@@ -1,0 +1,351 @@
+// Benchmarks regenerating (at reduced trial counts — full paper scale runs
+// via cmd/experiments) every table and figure of the paper's evaluation,
+// plus micro-benchmarks of the individual algorithms and ablations of the
+// design choices called out in DESIGN.md.
+package pipesched_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"pipesched"
+	"pipesched/internal/chains"
+	"pipesched/internal/deal"
+	"pipesched/internal/exact"
+	"pipesched/internal/experiments"
+	"pipesched/internal/heuristics"
+	"pipesched/internal/mapping"
+	"pipesched/internal/onetoone"
+	"pipesched/internal/sim"
+	"pipesched/internal/workload"
+)
+
+// benchFigure runs one paper figure's sweep at bench scale. Shapes match
+// the paper runs exactly; only Trials and Points are reduced so a full
+// -bench=. pass stays tractable.
+func benchFigure(b *testing.B, id string) {
+	b.Helper()
+	spec, ok := experiments.FigureSpec(id)
+	if !ok {
+		b.Fatalf("unknown figure %s", id)
+	}
+	spec.Trials = 6
+	spec.Points = 8
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		curve := experiments.TradeoffCurve(spec)
+		if len(curve.Series) != 6 {
+			b.Fatalf("%s: %d series", id, len(curve.Series))
+		}
+	}
+}
+
+// --- Figures 2–7: one benchmark per sub-figure -------------------------
+
+func BenchmarkFig2a(b *testing.B) { benchFigure(b, "2a") } // E1, n=10, p=10
+func BenchmarkFig2b(b *testing.B) { benchFigure(b, "2b") } // E1, n=40, p=10
+func BenchmarkFig3a(b *testing.B) { benchFigure(b, "3a") } // E2, n=10, p=10
+func BenchmarkFig3b(b *testing.B) { benchFigure(b, "3b") } // E2, n=40, p=10
+func BenchmarkFig4a(b *testing.B) { benchFigure(b, "4a") } // E3, n=5, p=10
+func BenchmarkFig4b(b *testing.B) { benchFigure(b, "4b") } // E3, n=20, p=10
+func BenchmarkFig5a(b *testing.B) { benchFigure(b, "5a") } // E4, n=5, p=10
+func BenchmarkFig5b(b *testing.B) { benchFigure(b, "5b") } // E4, n=20, p=10
+func BenchmarkFig6a(b *testing.B) { benchFigure(b, "6a") } // E1, n=40, p=100
+func BenchmarkFig6b(b *testing.B) { benchFigure(b, "6b") } // E2, n=40, p=100
+func BenchmarkFig7a(b *testing.B) { benchFigure(b, "7a") } // E3, n=10, p=100
+func BenchmarkFig7b(b *testing.B) { benchFigure(b, "7b") } // E4, n=40, p=100
+
+// --- Table 1: failure thresholds, one benchmark per family -------------
+
+func benchTable(b *testing.B, fam workload.Family) {
+	b.Helper()
+	spec := experiments.ThresholdSpec{
+		Family: fam, Stages: []int{5, 10, 20, 40}, Processors: 10,
+		Trials: 6, BaseSeed: 100,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl := experiments.FailureThresholds(spec)
+		if len(tbl.HIDs) != 6 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+func BenchmarkTable1E1(b *testing.B) { benchTable(b, workload.E1) }
+func BenchmarkTable1E2(b *testing.B) { benchTable(b, workload.E2) }
+func BenchmarkTable1E3(b *testing.B) { benchTable(b, workload.E3) }
+func BenchmarkTable1E4(b *testing.B) { benchTable(b, workload.E4) }
+
+// --- Micro-benchmarks: heuristics on a fixed mid-sized instance --------
+
+func benchEvaluator(n, p int, seed int64) *pipesched.Evaluator {
+	in := workload.Generate(workload.Config{Family: workload.E2, Stages: n, Processors: p, Seed: seed})
+	return in.Evaluator()
+}
+
+func benchHeuristicPeriod(b *testing.B, h pipesched.PeriodConstrained, n, p int) {
+	ev := benchEvaluator(n, p, 42)
+	single := mapping.SingleProcessor(ev.Pipeline(), ev.Platform(), ev.Platform().Fastest())
+	bound := ev.Period(single) * 0.4
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.MinimizeLatency(ev, bound); err != nil {
+			bound *= 1.2 // back off until feasible, then stay there
+		}
+	}
+}
+
+func BenchmarkH1SpMonoP(b *testing.B) { benchHeuristicPeriod(b, heuristics.SpMonoP{}, 40, 10) }
+func BenchmarkH2ThreeExploMono(b *testing.B) {
+	benchHeuristicPeriod(b, heuristics.ThreeExploMono{}, 40, 10)
+}
+func BenchmarkH3ThreeExploBi(b *testing.B) {
+	benchHeuristicPeriod(b, heuristics.ThreeExploBi{}, 40, 10)
+}
+func BenchmarkH4SpBiP(b *testing.B) { benchHeuristicPeriod(b, heuristics.SpBiP{}, 40, 10) }
+
+func benchHeuristicLatency(b *testing.B, h pipesched.LatencyConstrained, n, p int) {
+	ev := benchEvaluator(n, p, 42)
+	_, optLat := ev.OptimalLatency()
+	bound := optLat * 1.5
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.MinimizePeriod(ev, bound); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkH5SpMonoL(b *testing.B) { benchHeuristicLatency(b, heuristics.SpMonoL{}, 40, 10) }
+func BenchmarkH6SpBiL(b *testing.B)   { benchHeuristicLatency(b, heuristics.SpBiL{}, 40, 10) }
+
+// Scaling ablation: the plain splitter across platform sizes (the paper's
+// p = 10 → 100 transition).
+func BenchmarkH1Scaling(b *testing.B) {
+	for _, p := range []int{10, 100} {
+		for _, n := range []int{10, 40} {
+			b.Run(fmt.Sprintf("n=%d/p=%d", n, p), func(b *testing.B) {
+				benchHeuristicPeriod(b, heuristics.SpMonoP{}, n, p)
+			})
+		}
+	}
+}
+
+// --- Exact solvers and ablations ---------------------------------------
+
+func BenchmarkExactMinPeriod(b *testing.B) {
+	ev := benchEvaluator(10, 8, 7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exact.MinPeriod(ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExactParetoFront(b *testing.B) {
+	ev := benchEvaluator(8, 6, 7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exact.ParetoFront(ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Chains-to-chains ablation (DESIGN.md §6): exact DP vs bisection vs the
+// recursive-bisection heuristic on the same homogeneous instance, and
+// greedy vs exact on the heterogeneous one.
+func chainArray(n int, seed int64) []float64 {
+	r := rand.New(rand.NewSource(seed))
+	a := make([]float64, n)
+	for i := range a {
+		a[i] = float64(1 + r.Intn(20))
+	}
+	return a
+}
+
+func BenchmarkChainsHomogeneousDP(b *testing.B) {
+	a := chainArray(200, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := chains.HomogeneousDP(a, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkChainsHomogeneousBisect(b *testing.B) {
+	a := chainArray(200, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := chains.HomogeneousBisect(a, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkChainsRecursiveBisection(b *testing.B) {
+	a := chainArray(200, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := chains.RecursiveBisection(a, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkChainsHeterogeneousExact(b *testing.B) {
+	a := chainArray(24, 2)
+	speeds := chainArray(10, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := chains.HeterogeneousExact(a, speeds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkChainsHeterogeneousGreedy(b *testing.B) {
+	a := chainArray(24, 2)
+	speeds := chainArray(10, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := chains.HeterogeneousGreedy(a, speeds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Simulator and baselines --------------------------------------------
+
+func BenchmarkSimulator(b *testing.B) {
+	ev := benchEvaluator(20, 10, 9)
+	res, err := pipesched.BestUnderPeriod(ev, pipesched.PeriodLowerBound(ev)*2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(ev, res.Mapping, sim.Options{DataSets: 1000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOneToOneMinPeriod(b *testing.B) {
+	ev := benchEvaluator(10, 20, 11)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := onetoone.MinPeriod(ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSplitFullyHet(b *testing.B) {
+	ev := benchEvaluator(20, 10, 13)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		heuristics.MinAchievablePeriodFullyHet(ev)
+	}
+}
+
+func BenchmarkEvaluatorPeriod(b *testing.B) {
+	ev := benchEvaluator(40, 10, 17)
+	res, err := pipesched.BestUnderPeriod(ev, pipesched.PeriodLowerBound(ev)*2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ev.Period(res.Mapping)
+	}
+}
+
+func BenchmarkChainsHomogeneousNicol(b *testing.B) {
+	a := chainArray(200, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := chains.HomogeneousNicol(a, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation: the latency-constrained 3-Exploration extensions (X7/X8)
+// against the paper's H5/H6 on the same instance.
+func BenchmarkExploLatencyAblation(b *testing.B) {
+	hs := append(heuristics.LatencyHeuristics(), heuristics.ExtensionLatencyHeuristics()...)
+	for _, h := range hs {
+		b.Run(h.ID(), func(b *testing.B) {
+			benchHeuristicLatency(b, h, 40, 10)
+		})
+	}
+}
+
+func BenchmarkOneToOneHungarian(b *testing.B) {
+	ev := benchEvaluator(12, 24, 19)
+	_, met, err := onetoone.MinPeriod(ev)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bound := met.Period * 1.3
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := onetoone.MinLatencyUnderPeriod(ev, bound); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDealSplit(b *testing.B) {
+	ev := benchEvaluator(20, 10, 23)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Chase an unreachable period: exercises the full move loop.
+		if _, err := deal.DealSplit(ev, 0); err == nil {
+			b.Fatal("period 0 reached")
+		}
+	}
+}
+
+func BenchmarkDealSimulate(b *testing.B) {
+	ev := benchEvaluator(10, 10, 29)
+	res, err := deal.DealSplit(ev, pipesched.PeriodLowerBound(ev))
+	var m *deal.Mapping
+	if err == nil {
+		m = res.Mapping
+	} else if e, ok := err.(*deal.InfeasibleError); ok {
+		m = e.Best.Mapping
+	} else {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := deal.Simulate(ev, m, 500); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

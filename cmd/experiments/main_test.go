@@ -1,0 +1,119 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, args []string) (string, error) {
+	t.Helper()
+	f, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	runErr := run(args, f)
+	data, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data), runErr
+}
+
+func TestListExperiments(t *testing.T) {
+	out, err := capture(t, []string{"-list"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fig2a", "fig7b", "tables:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSingleFigureToDirectory(t *testing.T) {
+	dir := t.TempDir()
+	out, err := capture(t, []string{"-fig", "2a", "-trials", "3", "-points", "4", "-out", dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "fig2a") || !strings.Contains(out, "Sp mono, P fix") {
+		t.Errorf("figure output wrong:\n%s", out)
+	}
+	for _, name := range []string{"fig2a.dat", "fig2a.csv", "fig2a.txt"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("%s not written: %v", name, err)
+		}
+	}
+	// The .dat file carries all six series.
+	data, err := os.ReadFile(filepath.Join(dir, "fig2a.dat"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := strings.Count(string(data), "# series"); c != 6 {
+		t.Errorf("%d series blocks in .dat, want 6", c)
+	}
+}
+
+func TestTableRun(t *testing.T) {
+	dir := t.TempDir()
+	out, err := capture(t, []string{"-table", "1", "-trials", "3", "-out", dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Failure thresholds") {
+		t.Errorf("table output wrong:\n%s", out)
+	}
+	for _, fam := range []string{"E1", "E2", "E3", "E4"} {
+		for _, ext := range []string{".csv", ".txt"} {
+			name := "table1_" + fam + ext
+			if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+				t.Errorf("%s not written: %v", name, err)
+			}
+		}
+	}
+}
+
+func TestFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{},              // nothing selected
+		{"-fig", "9z"},  // unknown figure
+		{"-table", "2"}, // unknown table
+	}
+	for _, args := range cases {
+		if _, err := capture(t, args); err == nil {
+			t.Errorf("args %v accepted, want error", args)
+		}
+	}
+}
+
+func TestMultipleFigures(t *testing.T) {
+	out, err := capture(t, []string{"-fig", "5a", "-fig", "5b", "-trials", "2", "-points", "3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "fig5a") || !strings.Contains(out, "fig5b") {
+		t.Errorf("both figures not run:\n%s", out)
+	}
+}
+
+func TestAblationRun(t *testing.T) {
+	dir := t.TempDir()
+	out, err := capture(t, []string{"-ablation", "-trials", "3", "-points", "4", "-out", dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"ablation_E2_n40_p10", "ablation_E2_n40_p100", "ratio vs H5", "X7", "X8"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ablation output missing %q", want)
+		}
+	}
+	for _, name := range []string{"ablation_E2_n40_p10.dat", "ablation_E2_n40_p100.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("%s not written: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+// Command genworkload emits random application/platform instances from
+// the paper's experiment families (Section 5.1) as JSON, for use with the
+// pipesched command or external tooling.
+//
+// Examples:
+//
+//	genworkload -family E2 -stages 20 -procs 10 -seed 3 > instance.json
+//	genworkload -family E4 -stages 40 -procs 100 -count 5 -out dir/
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"pipesched/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "genworkload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("genworkload", flag.ContinueOnError)
+	var (
+		family = fs.String("family", "E1", "workload family E1..E4")
+		stages = fs.Int("stages", 10, "pipeline stages")
+		procs  = fs.Int("procs", 10, "platform processors")
+		seed   = fs.Int64("seed", 1, "base seed")
+		count  = fs.Int("count", 1, "number of instances (seeds seed..seed+count-1)")
+		outDir = fs.String("out", "", "output directory (default: single instance to stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var fam workload.Family
+	found := false
+	for _, f := range workload.Families() {
+		if strings.EqualFold(f.String(), *family) {
+			fam, found = f, true
+		}
+	}
+	if !found {
+		return fmt.Errorf("unknown family %q (want E1..E4)", *family)
+	}
+	if *count < 1 {
+		return fmt.Errorf("count %d < 1", *count)
+	}
+	if *count > 1 && *outDir == "" {
+		return fmt.Errorf("-count > 1 requires -out DIR")
+	}
+	for i := 0; i < *count; i++ {
+		in := workload.Generate(workload.Config{
+			Family: fam, Stages: *stages, Processors: *procs, Seed: *seed + int64(i),
+		})
+		data, err := json.MarshalIndent(in, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if *outDir == "" {
+			_, err = os.Stdout.Write(data)
+		} else {
+			if err = os.MkdirAll(*outDir, 0o755); err != nil {
+				return err
+			}
+			name := fmt.Sprintf("%s_n%d_p%d_seed%d.json", fam, *stages, *procs, *seed+int64(i))
+			err = os.WriteFile(filepath.Join(*outDir, name), data, 0o644)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

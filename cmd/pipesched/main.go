@@ -1,0 +1,221 @@
+// Command pipesched solves one bi-criteria pipeline mapping problem and
+// prints the resulting mapping and metrics.
+//
+// The instance comes either from a JSON file (-instance, format
+// {"pipeline": {"works": [...], "deltas": [...]},
+// "platform": {"speeds": [...], "bandwidth": b}}) or from the paper's
+// random generators (-family E1..E4, -stages, -procs, -seed).
+//
+// Exactly one constraint must be given: -period P (minimise latency under
+// a period bound, heuristics H1–H4) or -latency L (minimise period under a
+// latency bound, heuristics H5–H6). -heuristic selects one heuristic by
+// identifier, "best" (default) runs all applicable ones and keeps the best
+// result, "all" prints every result.
+//
+// Examples:
+//
+//	pipesched -family E1 -stages 10 -procs 10 -seed 7 -period 5
+//	pipesched -instance app.json -latency 30 -heuristic H6 -simulate 200
+//	pipesched -family E3 -stages 5 -procs 8 -period 120 -exact -pareto
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pipesched"
+	"pipesched/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pipesched:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("pipesched", flag.ContinueOnError)
+	var (
+		instPath  = fs.String("instance", "", "JSON instance file (overrides the generator flags)")
+		family    = fs.String("family", "E1", "workload family E1..E4 for generated instances")
+		stages    = fs.Int("stages", 10, "generated pipeline stages")
+		procs     = fs.Int("procs", 10, "generated platform processors")
+		seed      = fs.Int64("seed", 1, "generator seed")
+		period    = fs.Float64("period", 0, "period bound (minimise latency); exclusive with -latency")
+		latency   = fs.Float64("latency", 0, "latency bound (minimise period); exclusive with -period")
+		heuristic = fs.String("heuristic", "best", "H1..H6, \"best\" or \"all\"")
+		simulate  = fs.Int("simulate", 0, "additionally simulate N data sets through the chosen mapping")
+		gantt     = fs.Int("gantt", 0, "print an ASCII Gantt chart of the first N data sets")
+		exactFlag = fs.Bool("exact", false, "also compute the exact optimum (≤ 14 processors)")
+		pareto    = fs.Bool("pareto", false, "also print the exact Pareto front (≤ 14 processors)")
+		sweep     = fs.Bool("sweep", false, "also print the heuristic trade-off frontier (any platform size)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*period > 0) == (*latency > 0) {
+		return fmt.Errorf("give exactly one of -period or -latency")
+	}
+
+	in, err := loadInstance(*instPath, *family, *stages, *procs, *seed)
+	if err != nil {
+		return err
+	}
+	ev := in.Evaluator()
+	fmt.Fprintf(out, "pipeline: %v\n", in.App)
+	fmt.Fprintf(out, "platform: %v\n", in.Plat)
+	_, optLat := pipesched.OptimalLatency(ev)
+	fmt.Fprintf(out, "optimal latency (Lemma 1): %.4g   period lower bound: %.4g\n\n",
+		optLat, pipesched.PeriodLowerBound(ev))
+
+	var chosen *pipesched.Result
+	report := func(name string, res pipesched.Result, err error) {
+		if err != nil {
+			fmt.Fprintf(out, "%-16s FAILED: %v\n", name, err)
+			return
+		}
+		fmt.Fprintf(out, "%-16s period=%-10.4g latency=%-10.4g %v\n",
+			name, res.Metrics.Period, res.Metrics.Latency, res.Mapping)
+		if chosen == nil {
+			chosen = &res
+		}
+	}
+
+	switch {
+	case *period > 0:
+		hs := pipesched.PeriodHeuristics()
+		switch strings.ToLower(*heuristic) {
+		case "best":
+			res, err := pipesched.BestUnderPeriod(ev, *period)
+			report("best(H1..H4)", res, err)
+		case "all":
+			for _, h := range hs {
+				res, err := h.MinimizeLatency(ev, *period)
+				report(h.ID()+" "+h.Name(), res, err)
+			}
+		default:
+			h, err := findPeriodHeuristic(*heuristic)
+			if err != nil {
+				return err
+			}
+			res, err2 := h.MinimizeLatency(ev, *period)
+			report(h.ID()+" "+h.Name(), res, err2)
+		}
+	default: // latency bound
+		hs := pipesched.LatencyHeuristics()
+		switch strings.ToLower(*heuristic) {
+		case "best":
+			res, err := pipesched.BestUnderLatency(ev, *latency)
+			report("best(H5..H6)", res, err)
+		case "all":
+			for _, h := range hs {
+				res, err := h.MinimizePeriod(ev, *latency)
+				report(h.ID()+" "+h.Name(), res, err)
+			}
+		default:
+			h, err := findLatencyHeuristic(*heuristic)
+			if err != nil {
+				return err
+			}
+			res, err2 := h.MinimizePeriod(ev, *latency)
+			report(h.ID()+" "+h.Name(), res, err2)
+		}
+	}
+
+	if *exactFlag {
+		opt, err := pipesched.ExactMinPeriod(ev)
+		if err != nil {
+			fmt.Fprintf(out, "\nexact min period: unavailable (%v)\n", err)
+		} else {
+			fmt.Fprintf(out, "\nexact min period: %.4g (latency %.4g) %v\n",
+				opt.Metrics.Period, opt.Metrics.Latency, opt.Mapping)
+		}
+	}
+	if *pareto {
+		front, err := pipesched.ExactParetoFront(ev)
+		if err != nil {
+			fmt.Fprintf(out, "\npareto front: unavailable (%v)\n", err)
+		} else {
+			fmt.Fprintf(out, "\nexact Pareto front (%d points):\n", len(front))
+			for _, pt := range front {
+				fmt.Fprintf(out, "  period=%-10.4g latency=%-10.4g %v\n",
+					pt.Metrics.Period, pt.Metrics.Latency, pt.Mapping)
+			}
+		}
+	}
+	if *sweep {
+		front := pipesched.HeuristicParetoSweep(ev, 15)
+		fmt.Fprintf(out, "\nheuristic trade-off frontier (%d points):\n%s", len(front), pipesched.FormatTradeoff(front))
+	}
+	if *gantt > 0 && chosen != nil {
+		tr, err := pipesched.SimulateTraced(ev, chosen.Mapping, pipesched.SimulationOptions{DataSets: *gantt})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nGantt chart of %d data sets:\n%s", *gantt, pipesched.Gantt(tr, 100, 0))
+	}
+	if *simulate > 0 && chosen != nil {
+		rep, err := pipesched.Simulate(ev, chosen.Mapping, pipesched.SimulationOptions{DataSets: *simulate})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nsimulation of %d data sets:\n", *simulate)
+		fmt.Fprintf(out, "  steady-state period: %.6g (analytic %.6g)\n", rep.SteadyStatePeriod, chosen.Metrics.Period)
+		fmt.Fprintf(out, "  max latency:         %.6g (analytic %.6g)\n", rep.MaxLatency, chosen.Metrics.Latency)
+		fmt.Fprintf(out, "  makespan:            %.6g\n", rep.Makespan)
+		for j, u := range rep.Utilization {
+			fmt.Fprintf(out, "  interval %d utilization: %.1f%%\n", j+1, 100*u)
+		}
+	}
+	return nil
+}
+
+func loadInstance(path, family string, stages, procs int, seed int64) (workload.Instance, error) {
+	if path != "" {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return workload.Instance{}, err
+		}
+		var in workload.Instance
+		if err := json.Unmarshal(data, &in); err != nil {
+			return workload.Instance{}, fmt.Errorf("parsing %s: %w", path, err)
+		}
+		return in, nil
+	}
+	fam, err := parseFamily(family)
+	if err != nil {
+		return workload.Instance{}, err
+	}
+	return workload.Generate(workload.Config{Family: fam, Stages: stages, Processors: procs, Seed: seed}), nil
+}
+
+func parseFamily(s string) (workload.Family, error) {
+	for _, f := range workload.Families() {
+		if strings.EqualFold(f.String(), s) {
+			return f, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown family %q (want E1..E4)", s)
+}
+
+func findPeriodHeuristic(id string) (pipesched.PeriodConstrained, error) {
+	for _, h := range pipesched.PeriodHeuristics() {
+		if strings.EqualFold(h.ID(), id) {
+			return h, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown period heuristic %q (want H1..H4, best, all)", id)
+}
+
+func findLatencyHeuristic(id string) (pipesched.LatencyConstrained, error) {
+	for _, h := range pipesched.LatencyHeuristics() {
+		if strings.EqualFold(h.ID(), id) {
+			return h, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown latency heuristic %q (want H5, H6, best, all)", id)
+}

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pipesched/internal/workload"
+)
+
+// capture runs run() with stdout redirected to a pipe-backed temp file and
+// returns what it printed.
+func capture(t *testing.T, args []string) (string, error) {
+	t.Helper()
+	f, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	runErr := run(args, f)
+	data, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data), runErr
+}
+
+func TestGeneratedInstancePeriodBound(t *testing.T) {
+	out, err := capture(t, []string{"-family", "E1", "-stages", "10", "-procs", "10", "-seed", "7", "-period", "5", "-heuristic", "all"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"optimal latency", "H1 Sp mono, P fix", "H4 Sp bi, P fix", "period="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLatencyBoundWithSimulation(t *testing.T) {
+	out, err := capture(t, []string{"-family", "E2", "-stages", "8", "-procs", "6", "-seed", "3", "-latency", "100", "-heuristic", "best", "-simulate", "50"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"best(H5..H6)", "simulation of 50 data sets", "steady-state period"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSingleHeuristicSelection(t *testing.T) {
+	out, err := capture(t, []string{"-family", "E1", "-stages", "5", "-procs", "5", "-period", "100", "-heuristic", "h2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "H2 3-Explo mono") {
+		t.Errorf("H2 not selected:\n%s", out)
+	}
+	if strings.Contains(out, "H1 ") {
+		t.Errorf("unrequested heuristic ran:\n%s", out)
+	}
+}
+
+func TestExactAndPareto(t *testing.T) {
+	out, err := capture(t, []string{"-family", "E4", "-stages", "5", "-procs", "4", "-period", "50", "-exact", "-pareto"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"exact min period:", "exact Pareto front"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestInstanceFileRoundTrip(t *testing.T) {
+	in := workload.Generate(workload.Config{Family: workload.E3, Stages: 6, Processors: 4, Seed: 2})
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "inst.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, []string{"-instance", path, "-latency", "1e9"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "best(H5..H6)") {
+		t.Errorf("instance file run failed:\n%s", out)
+	}
+}
+
+func TestFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{},                                // no constraint
+		{"-period", "1", "-latency", "1"}, // both constraints
+		{"-period", "1", "-family", "E9"}, // bad family
+		{"-period", "1", "-heuristic", "H9"},
+		{"-latency", "1", "-heuristic", "H1"}, // H1 is period-constrained
+		{"-instance", "/nonexistent/file.json", "-period", "1"},
+	}
+	for _, args := range cases {
+		if _, err := capture(t, args); err == nil {
+			t.Errorf("args %v accepted, want error", args)
+		}
+	}
+}
+
+func TestInfeasibleBoundReportsFailure(t *testing.T) {
+	out, err := capture(t, []string{"-family", "E1", "-stages", "5", "-procs", "5", "-period", "0.0001", "-heuristic", "all"})
+	if err != nil {
+		t.Fatal(err) // per-heuristic failures are reported, not fatal
+	}
+	if !strings.Contains(out, "FAILED") {
+		t.Errorf("impossible bound did not report failures:\n%s", out)
+	}
+}

@@ -1,0 +1,36 @@
+// Package pipesched is a Go reproduction of "Multi-criteria scheduling of
+// pipeline workflows" (Anne Benoit, Veronika Rehn-Sonigo, Yves Robert;
+// INRIA RR-6232 / CLUSTER 2007).
+//
+// The library maps n-stage pipeline applications onto Communication
+// Homogeneous platforms (different-speed processors, identical links,
+// one-port model) under the paper's bi-criteria objective: minimise
+// latency under a period bound, or minimise period under a latency bound.
+// Both problems are NP-hard (the package executes the paper's
+// NP-completeness reduction in pipesched/internal/nmwts); the six
+// polynomial heuristics of the paper are provided, together with exact
+// exponential reference solvers, a discrete-event simulator validating the
+// analytic cost model, the chains-to-chains substrate, a one-to-one
+// mapping baseline, and a harness regenerating every figure and table of
+// the paper's evaluation.
+//
+// # Quick start
+//
+//	app, _ := pipesched.NewPipeline(
+//		[]float64{120, 80, 250, 60},     // w_k: per-stage operations
+//		[]float64{10, 40, 40, 20, 10})   // δ_k: inter-stage data sizes
+//	plat, _ := pipesched.NewPlatform([]float64{20, 14, 8, 5}, 10) // speeds, bandwidth
+//	ev := pipesched.NewEvaluator(app, plat)
+//
+//	res, err := pipesched.BestUnderPeriod(ev, 30) // latency-min mapping, period ≤ 30
+//	if err != nil { ... }
+//	fmt.Println(res.Mapping, res.Metrics.Period, res.Metrics.Latency)
+//
+// The cost model follows equations (1) and (2) of the paper: an interval
+// of stages [d..e] on processor u has cycle-time δ_{d-1}/b + Σw_i/s_u +
+// δ_e/b; the period is the largest cycle-time, and the latency sums the
+// input and compute terms of all intervals plus the final output.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured comparison of every figure and table.
+package pipesched

@@ -1,0 +1,85 @@
+// Datacutter: a chain of filtering operations over a large archival data
+// set, modelled after the DataCutter workloads the paper's related-work
+// section discusses (Beynon et al.): each filter reduces or transforms a
+// data stream, and the whole chain must sustain a target ingest rate.
+//
+// The example maps the filter chain under a throughput requirement
+// (period-constrained heuristics H1–H4), explores the full heuristic
+// trade-off frontier, and compares it with the exact Pareto front.
+//
+// Run with: go run ./examples/datacutter
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"pipesched"
+)
+
+func main() {
+	// An eight-filter chain: early filters are cheap but move huge data
+	// (decompress, select); later ones are compute-heavy on reduced data
+	// (cluster, render). Works in mega-ops per chunk, sizes in MB.
+	app, err := pipesched.NewPipeline(
+		[]float64{40, 60, 150, 300, 700, 900, 400, 120},
+		[]float64{800, 780, 600, 420, 260, 120, 90, 60, 25})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A departmental cluster: ten nodes with mixed generations, switched
+	// network of bandwidth 100 MB per time unit.
+	plat, err := pipesched.NewPlatform(
+		[]float64{95, 90, 72, 66, 60, 48, 40, 33, 25, 18}, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ev := pipesched.NewEvaluator(app, plat)
+	_, optLat := pipesched.OptimalLatency(ev)
+	lb := pipesched.PeriodLowerBound(ev)
+	fmt.Printf("filter chain: %d filters on %d nodes; period lower bound %.2f, optimal latency %.2f\n\n",
+		app.Stages(), plat.Processors(), lb, optLat)
+
+	// The ingest requirement: one chunk every 25 time units.
+	const targetPeriod = 25
+	fmt.Printf("requirement: period ≤ %d\n", targetPeriod)
+	for _, h := range pipesched.PeriodHeuristics() {
+		res, err := h.MinimizeLatency(ev, targetPeriod)
+		if err != nil {
+			fmt.Printf("  %-16s failed: %v\n", h.Name(), err)
+			continue
+		}
+		fmt.Printf("  %-16s period %6.2f  latency %7.2f  (%d nodes) %v\n",
+			h.Name(), res.Metrics.Period, res.Metrics.Latency, res.Mapping.Size(), res.Mapping)
+	}
+
+	// Trace the heuristic trade-off frontier by sweeping the period
+	// requirement, keeping the best heuristic answer at each point.
+	fmt.Printf("\nheuristic trade-off frontier (best of H1–H4 per period bound):\n")
+	type point struct{ period, latency float64 }
+	var frontier []point
+	for bound := lb; bound < 2.2*lb; bound += lb / 8 {
+		res, err := pipesched.BestUnderPeriod(ev, bound)
+		if err != nil {
+			continue
+		}
+		frontier = append(frontier, point{res.Metrics.Period, res.Metrics.Latency})
+	}
+	sort.Slice(frontier, func(i, j int) bool { return frontier[i].period < frontier[j].period })
+	for _, pt := range frontier {
+		fmt.Printf("  period %7.2f → latency %7.2f\n", pt.period, pt.latency)
+	}
+
+	// The cluster has 10 nodes — the exact solver's bitmask DP still
+	// fits. Compare the heuristic frontier with ground truth.
+	front, err := pipesched.ExactParetoFront(ev)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nexact Pareto front (%d points):\n", len(front))
+	for _, pt := range front {
+		fmt.Printf("  period %7.2f → latency %7.2f   %v\n",
+			pt.Metrics.Period, pt.Metrics.Latency, pt.Mapping)
+	}
+}

@@ -1,0 +1,62 @@
+// Quickstart: map a four-stage pipeline onto a small heterogeneous
+// cluster, trading latency against throughput exactly as in the paper.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pipesched"
+)
+
+func main() {
+	// A pipeline of 4 stages. Stage works w_k are in abstract operations,
+	// communication sizes δ_k in data units (δ_0 feeds stage 1 from the
+	// outside world, δ_4 returns the result).
+	app, err := pipesched.NewPipeline(
+		[]float64{120, 80, 250, 60},
+		[]float64{10, 40, 40, 20, 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A Communication Homogeneous platform: four processors of different
+	// speeds, all links at bandwidth 10 (the paper's setting).
+	plat, err := pipesched.NewPlatform([]float64{20, 14, 8, 5}, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ev := pipesched.NewEvaluator(app, plat)
+
+	// Lemma 1: minimum latency = everything on the fastest processor.
+	single, optLat := pipesched.OptimalLatency(ev)
+	fmt.Printf("latency-optimal mapping: %v\n", single)
+	fmt.Printf("  latency %.2f, but period also %.2f — poor throughput\n\n",
+		optLat, ev.Period(single))
+
+	// Bi-criteria: the best latency achievable with period ≤ 20.
+	res, err := pipesched.BestUnderPeriod(ev, 20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("best mapping with period ≤ 20: %v\n", res.Mapping)
+	fmt.Printf("  period %.2f, latency %.2f\n\n", res.Metrics.Period, res.Metrics.Latency)
+
+	// And the converse: the best period achievable with latency ≤ 35.
+	res2, err := pipesched.BestUnderLatency(ev, 35)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("best mapping with latency ≤ 35: %v\n", res2.Mapping)
+	fmt.Printf("  period %.2f, latency %.2f\n\n", res2.Metrics.Period, res2.Metrics.Latency)
+
+	// Verify the analytic numbers against the discrete-event simulator.
+	rep, err := pipesched.Simulate(ev, res.Mapping, pipesched.SimulationOptions{DataSets: 200})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulation of 200 data sets through the period-bounded mapping:\n")
+	fmt.Printf("  measured period  %.4f (analytic %.4f)\n", rep.SteadyStatePeriod, res.Metrics.Period)
+	fmt.Printf("  measured latency %.4f (analytic %.4f)\n", rep.MaxLatency, res.Metrics.Latency)
+}

@@ -1,0 +1,86 @@
+// Videopipeline: an interactive video-processing workflow — the kind of
+// latency-sensitive pipeline application the paper's introduction
+// motivates. Frames flow through decode → denoise → analyse → encode →
+// package stages; viewers need bounded end-to-end latency (responsiveness)
+// while the service needs enough throughput to sustain the frame rate.
+//
+// The example sweeps the frame-rate requirement and shows which mappings
+// the latency-constrained heuristics (H5, H6) find, then checks the best
+// one against the exact optimum and the discrete-event simulator.
+//
+// Run with: go run ./examples/videopipeline
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pipesched"
+)
+
+func main() {
+	// Stage works are in mega-operations per frame; communication sizes
+	// in kilobytes per frame. Decode and encode are heavy; the raw
+	// intermediate frames (δ_1..δ_3) are much larger than the compressed
+	// input/output streams.
+	app, err := pipesched.NewPipeline(
+		[]float64{900, 350, 500, 1200, 150}, // decode denoise analyse encode package
+		[]float64{250, 6000, 6000, 6000, 300, 250})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A small rendering cluster: two fast nodes, three mid, one slow;
+	// gigabit-class interconnect (in KB per time unit).
+	plat, err := pipesched.NewPlatform([]float64{320, 300, 180, 170, 160, 90}, 12000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ev := pipesched.NewEvaluator(app, plat)
+	_, optLat := pipesched.OptimalLatency(ev)
+	fmt.Printf("video pipeline: %d stages on %d nodes\n", app.Stages(), plat.Processors())
+	fmt.Printf("minimum possible end-to-end latency: %.2f time units\n\n", optLat)
+
+	// The product requirement: keep latency within 1.5× of the optimum;
+	// within that budget, push the frame period as low as possible.
+	budget := optLat * 1.5
+	fmt.Printf("latency budget %.2f (1.5× optimum):\n", budget)
+	for _, h := range pipesched.LatencyHeuristics() {
+		res, err := h.MinimizePeriod(ev, budget)
+		if err != nil {
+			fmt.Printf("  %-16s failed: %v\n", h.Name(), err)
+			continue
+		}
+		fmt.Printf("  %-16s period %.3f  latency %.2f  %v\n",
+			h.Name(), res.Metrics.Period, res.Metrics.Latency, res.Mapping)
+	}
+
+	best, err := pipesched.BestUnderLatency(ev, budget)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nchosen mapping sustains %.2f frames per 100 time units\n",
+		100/best.Metrics.Period)
+
+	// How far from optimal is the heuristic on this instance? The
+	// platform is small enough for the exact solver.
+	opt, err := pipesched.ExactMinPeriodUnderLatency(ev, budget)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exact optimum under the same budget: period %.3f (heuristic %.3f, gap %.1f%%)\n",
+		opt.Metrics.Period, best.Metrics.Period,
+		100*(best.Metrics.Period-opt.Metrics.Period)/opt.Metrics.Period)
+
+	// Replay the chosen mapping in the simulator and report utilization —
+	// where the provisioning headroom lives.
+	rep, err := pipesched.Simulate(ev, best.Mapping, pipesched.SimulationOptions{DataSets: 500})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsimulated 500 frames: measured period %.3f, max latency %.2f\n",
+		rep.SteadyStatePeriod, rep.MaxLatency)
+	for j, u := range rep.Utilization {
+		iv := best.Mapping.Interval(j)
+		fmt.Printf("  node P%d (stages %d..%d): %.0f%% busy\n", iv.Proc, iv.Start, iv.End, 100*u)
+	}
+}

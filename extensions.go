@@ -1,0 +1,74 @@
+package pipesched
+
+import (
+	"pipesched/internal/deal"
+	"pipesched/internal/onetoone"
+	"pipesched/internal/subhlok"
+)
+
+// This file exposes the baselines and extensions built around the paper's
+// core problem: the one-to-one mapping class (Section 2), the
+// identical-speed special case solved in polynomial time (Subhlok–Vondran,
+// the related work the paper generalises), and the deal/farm skeleton
+// nesting sketched in the paper's conclusion.
+
+// One-to-one mappings (each stage on its own processor; requires n ≤ p).
+
+// OneToOneMinPeriod returns the period-optimal one-to-one mapping (exact:
+// bottleneck assignment via bisection + bipartite matching).
+func OneToOneMinPeriod(ev *Evaluator) (*Mapping, Metrics, error) { return onetoone.MinPeriod(ev) }
+
+// OneToOneMinLatency returns the latency-optimal one-to-one mapping
+// (exact, by the rearrangement inequality).
+func OneToOneMinLatency(ev *Evaluator) (*Mapping, Metrics, error) { return onetoone.MinLatency(ev) }
+
+// OneToOneMinLatencyUnderPeriod returns the exact bi-criteria optimum on
+// the one-to-one class: the minimum-latency assignment whose period stays
+// under the bound, solved in polynomial time by the Hungarian algorithm —
+// in contrast to the interval class, where the same question is NP-hard.
+func OneToOneMinLatencyUnderPeriod(ev *Evaluator, maxPeriod float64) (*Mapping, Metrics, error) {
+	return onetoone.MinLatencyUnderPeriod(ev, maxPeriod)
+}
+
+// Identical-speed platforms: exact polynomial algorithms. These return
+// subhlok.ErrNotIdentical when processor speeds differ — that case is the
+// paper's NP-hard problem, use the heuristics or the exponential exact
+// solvers instead.
+
+// IdenticalSpeedResult is an optimal mapping on an identical-speed
+// platform.
+type IdenticalSpeedResult = subhlok.Result
+
+// IdenticalSpeedMinPeriod computes the optimal period in O(n²·p) time on
+// platforms whose processors all share one speed.
+func IdenticalSpeedMinPeriod(ev *Evaluator) (IdenticalSpeedResult, error) {
+	return subhlok.MinPeriod(ev)
+}
+
+// IdenticalSpeedMinLatencyUnderPeriod computes the optimal latency under a
+// period bound in O(n²·p) time on identical-speed platforms.
+func IdenticalSpeedMinLatencyUnderPeriod(ev *Evaluator, maxPeriod float64) (IdenticalSpeedResult, error) {
+	return subhlok.MinLatencyUnderPeriod(ev, maxPeriod)
+}
+
+// Deal (farm) skeleton nesting: replicate a bottleneck interval over
+// several processors, dealing data sets round-robin.
+
+// DealMapping is an interval mapping whose intervals may be replicated.
+type DealMapping = deal.Mapping
+
+// DealResult is the outcome of DealSplit.
+type DealResult = deal.Result
+
+// DealSplit drives the period under maxPeriod using both splitting and
+// replication moves; it can push a single heavy stage below its
+// cycle-time, which no plain interval mapping can.
+func DealSplit(ev *Evaluator, maxPeriod float64) (DealResult, error) {
+	return deal.DealSplit(ev, maxPeriod)
+}
+
+// DealPeriod evaluates the extended period of a replicated mapping.
+func DealPeriod(ev *Evaluator, m *DealMapping) float64 { return deal.Period(ev, m) }
+
+// DealLatency evaluates the extended latency of a replicated mapping.
+func DealLatency(ev *Evaluator, m *DealMapping) float64 { return deal.Latency(ev, m) }

@@ -1,0 +1,162 @@
+package pipesched_test
+
+import (
+	"math"
+	"testing"
+
+	"pipesched"
+)
+
+func TestOneToOneFacade(t *testing.T) {
+	app, err := pipesched.NewPipeline([]float64{9, 1}, make([]float64, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat, err := pipesched.NewPlatform([]float64{3, 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := pipesched.NewEvaluator(app, plat)
+	_, met, err := pipesched.OneToOneMinPeriod(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(met.Period-3) > 1e-9 {
+		t.Errorf("one-to-one min period = %g, want 3", met.Period)
+	}
+	m, met2, err := pipesched.OneToOneMinLatency(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(met2.Latency-4) > 1e-9 {
+		t.Errorf("one-to-one min latency = %g, want 4", met2.Latency)
+	}
+	// One-to-one optima can never beat the interval optimum (intervals
+	// include the one-to-one class when n ≤ p).
+	intervalOpt, err := pipesched.ExactMinPeriod(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.Period < intervalOpt.Metrics.Period-1e-9 {
+		t.Errorf("one-to-one period %g beats interval optimum %g", met.Period, intervalOpt.Metrics.Period)
+	}
+	_ = m
+}
+
+func TestIdenticalSpeedFacade(t *testing.T) {
+	app, err := pipesched.NewPipeline([]float64{4, 4}, []float64{0, 2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat, err := pipesched.NewPlatform([]float64{2, 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := pipesched.NewEvaluator(app, plat)
+	res, err := pipesched.IdenticalSpeedMinPeriod(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Metrics.Period-3) > 1e-9 {
+		t.Errorf("identical-speed min period = %g, want 3", res.Metrics.Period)
+	}
+	// Exact agreement with the exponential solver.
+	expo, err := pipesched.ExactMinPeriod(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Metrics.Period-expo.Metrics.Period) > 1e-9 {
+		t.Errorf("polynomial %g vs exponential %g", res.Metrics.Period, expo.Metrics.Period)
+	}
+	// Under a period bound too.
+	under, err := pipesched.IdenticalSpeedMinLatencyUnderPeriod(ev, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if under.Metrics.Period > 4+1e-9 {
+		t.Errorf("bound violated: %g", under.Metrics.Period)
+	}
+	// Different speeds must be rejected.
+	plat2, err := pipesched.NewPlatform([]float64{1, 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pipesched.IdenticalSpeedMinPeriod(pipesched.NewEvaluator(app, plat2)); err == nil {
+		t.Error("different speeds accepted")
+	}
+}
+
+func TestDealFacade(t *testing.T) {
+	app, err := pipesched.NewPipeline([]float64{30, 40, 600, 40, 30},
+		[]float64{5, 20, 20, 20, 20, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat, err := pipesched.NewPlatform([]float64{10, 10, 10, 10, 10, 10}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := pipesched.NewEvaluator(app, plat)
+	opt, err := pipesched.ExactMinPeriod(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No plain interval mapping beats the heavy stage's own cycle; the
+	// deal extension must.
+	target := opt.Metrics.Period / 2
+	if _, err := pipesched.BestUnderPeriod(ev, target); err == nil {
+		t.Fatalf("plain heuristics reached %g — instance no longer exercises the floor", target)
+	}
+	res, err := pipesched.DealSplit(ev, target)
+	if err != nil {
+		t.Fatalf("DealSplit: %v", err)
+	}
+	if res.Metrics.Period > target*(1+1e-9) {
+		t.Errorf("deal period %g > %g", res.Metrics.Period, target)
+	}
+	// Facade evaluation helpers agree with the result's own metrics.
+	if got := pipesched.DealPeriod(ev, res.Mapping); math.Abs(got-res.Metrics.Period) > 1e-9 {
+		t.Errorf("DealPeriod = %g, want %g", got, res.Metrics.Period)
+	}
+	if got := pipesched.DealLatency(ev, res.Mapping); math.Abs(got-res.Metrics.Latency) > 1e-9 {
+		t.Errorf("DealLatency = %g, want %g", got, res.Metrics.Latency)
+	}
+	// Impossible even with dealing: every processor dealt still leaves
+	// period ≥ cycle/p > 0.
+	if _, err := pipesched.DealSplit(ev, 0.001); err == nil {
+		t.Error("impossible deal bound accepted")
+	} else if err.Error() == "" {
+		t.Error("empty deal error message")
+	}
+}
+
+func TestOneToOneBiCriteriaFacade(t *testing.T) {
+	app, err := pipesched.NewPipeline([]float64{9, 1, 4}, make([]float64, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat, err := pipesched.NewPlatform([]float64{6, 3, 1, 2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := pipesched.NewEvaluator(app, plat)
+	_, optMet, err := pipesched.OneToOneMinPeriod(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, met, err := pipesched.OneToOneMinLatencyUnderPeriod(ev, optMet.Period*1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.Period > optMet.Period*1.2*(1+1e-9) {
+		t.Errorf("period %g exceeds bound", met.Period)
+	}
+	// Each stage on a distinct processor.
+	if m.Size() != 3 {
+		t.Errorf("mapping %v is not one-to-one", m)
+	}
+	// Impossible bound errors out.
+	if _, _, err := pipesched.OneToOneMinLatencyUnderPeriod(ev, optMet.Period*0.5); err == nil {
+		t.Error("impossible bound accepted")
+	}
+}

@@ -1,0 +1,469 @@
+package chains
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randArray(r *rand.Rand, n int) []float64 {
+	a := make([]float64, n)
+	for i := range a {
+		a[i] = float64(1 + r.Intn(20))
+	}
+	return a
+}
+
+// bruteHomogeneous enumerates every partition into at most p intervals.
+func bruteHomogeneous(a []float64, p int) float64 {
+	n := len(a)
+	best := math.MaxFloat64
+	var rec func(start, left int, cur float64)
+	rec = func(start, left int, cur float64) {
+		if start == n {
+			if cur < best {
+				best = cur
+			}
+			return
+		}
+		if left == 0 {
+			return
+		}
+		sum := 0.0
+		for end := start + 1; end <= n; end++ {
+			sum += a[end-1]
+			m := cur
+			if sum > m {
+				m = sum
+			}
+			if m < best { // prune
+				rec(end, left-1, m)
+			}
+		}
+	}
+	rec(0, p, 0)
+	return best
+}
+
+// bruteHeterogeneous enumerates partitions and processor choices.
+func bruteHeterogeneous(a []float64, speeds []float64) float64 {
+	n := len(a)
+	best := math.MaxFloat64
+	var rec func(start int, used uint32, cur float64)
+	rec = func(start int, used uint32, cur float64) {
+		if start == n {
+			if cur < best {
+				best = cur
+			}
+			return
+		}
+		sum := 0.0
+		for end := start + 1; end <= n; end++ {
+			sum += a[end-1]
+			for u := range speeds {
+				if used&(1<<u) != 0 {
+					continue
+				}
+				m := cur
+				if v := sum / speeds[u]; v > m {
+					m = v
+				}
+				if m < best {
+					rec(end, used|1<<u, m)
+				}
+			}
+		}
+	}
+	rec(0, 0, 0)
+	return best
+}
+
+func TestHomogeneousDPKnown(t *testing.T) {
+	cases := []struct {
+		a    []float64
+		p    int
+		want float64
+	}{
+		{[]float64{1, 2, 3, 4, 5}, 1, 15},
+		{[]float64{1, 2, 3, 4, 5}, 2, 9},  // {1,2,3} | {4,5} → max 9... {1,2,3,4}|{5}=10; 9 optimal
+		{[]float64{1, 2, 3, 4, 5}, 3, 6},  // {1,2,3}|{4}|{5} → 6
+		{[]float64{1, 2, 3, 4, 5}, 5, 5},  // singletons
+		{[]float64{1, 2, 3, 4, 5}, 10, 5}, // p > n clamps
+		{[]float64{7}, 3, 7},
+		{[]float64{5, 5, 5, 5}, 2, 10},
+		{[]float64{0, 0, 9, 0}, 2, 9},
+	}
+	for _, c := range cases {
+		got, err := HomogeneousDP(c.a, c.p)
+		if err != nil {
+			t.Fatalf("HomogeneousDP(%v, %d): %v", c.a, c.p, err)
+		}
+		if math.Abs(got.Bottleneck-c.want) > 1e-12 {
+			t.Errorf("HomogeneousDP(%v, %d) = %g, want %g", c.a, c.p, got.Bottleneck, c.want)
+		}
+		if err := Verify(c.a, nil, got); err != nil {
+			t.Errorf("Verify: %v", err)
+		}
+	}
+}
+
+func TestHomogeneousDPRejectsBadInput(t *testing.T) {
+	if _, err := HomogeneousDP(nil, 2); err == nil {
+		t.Error("empty array accepted")
+	}
+	if _, err := HomogeneousDP([]float64{1}, 0); err == nil {
+		t.Error("p=0 accepted")
+	}
+	if _, err := HomogeneousDP([]float64{-1}, 1); err == nil {
+		t.Error("negative element accepted")
+	}
+	if _, err := HomogeneousDP([]float64{math.NaN()}, 1); err == nil {
+		t.Error("NaN element accepted")
+	}
+}
+
+func TestHomogeneousDPMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(9)
+		p := 1 + r.Intn(4)
+		a := randArray(r, n)
+		got, err := HomogeneousDP(a, p)
+		if err != nil {
+			return false
+		}
+		want := bruteHomogeneous(a, p)
+		return math.Abs(got.Bottleneck-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHomogeneousBisectAgreesWithDP(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(25)
+		p := 1 + r.Intn(8)
+		a := randArray(r, n)
+		dp, err1 := HomogeneousDP(a, p)
+		bs, err2 := HomogeneousBisect(a, p)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if Verify(a, nil, bs) != nil {
+			return false
+		}
+		return math.Abs(dp.Bottleneck-bs.Bottleneck) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHomogeneousProbe(t *testing.T) {
+	// Optimum for p=2 is 8: {3,1,4} | {1,5}.
+	a := []float64{3, 1, 4, 1, 5}
+	if _, ok := HomogeneousProbe(a, 2, 7.99); ok {
+		t.Error("probe accepted bound below optimum 8")
+	}
+	part, ok := HomogeneousProbe(a, 2, 8)
+	if !ok {
+		t.Fatal("probe rejected the optimal bound 8")
+	}
+	if part.Bottleneck > 8 {
+		t.Errorf("probe bottleneck %g > bound", part.Bottleneck)
+	}
+	if err := Verify(a, nil, part); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+	// An element larger than the bound is infeasible regardless of p.
+	if _, ok := HomogeneousProbe([]float64{10}, 5, 9); ok {
+		t.Error("probe accepted an element above the bound")
+	}
+}
+
+func TestRecursiveBisectionIsValidAndDecent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(40)
+		p := 1 + r.Intn(8)
+		a := randArray(r, n)
+		rb, err := RecursiveBisection(a, p)
+		if err != nil {
+			return false
+		}
+		if Verify(a, nil, rb) != nil {
+			return false
+		}
+		if rb.Intervals() > p {
+			return false
+		}
+		opt, err := HomogeneousDP(a, p)
+		if err != nil {
+			return false
+		}
+		// Recursive bisection is within a small constant of optimal
+		// on these well-behaved inputs; 2× is a safe envelope and a
+		// violation indicates a structural bug rather than noise.
+		return rb.Bottleneck >= opt.Bottleneck-1e-9 && rb.Bottleneck <= 2*opt.Bottleneck+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHeterogeneousExactKnown(t *testing.T) {
+	// Tasks 4,4 with speeds {4,1}: best is both tasks on speed 4 → 2
+	// (splitting puts one task on speed 1 → 4).
+	part, err := HeterogeneousExact([]float64{4, 4}, []float64{4, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(part.Bottleneck-2) > 1e-12 {
+		t.Errorf("bottleneck = %g, want 2", part.Bottleneck)
+	}
+	// Tasks 6,2 with speeds {3,1}: {6}/3=2, {2}/1=2 → 2 (together: 8/3≈2.67).
+	part, err = HeterogeneousExact([]float64{6, 2}, []float64{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(part.Bottleneck-2) > 1e-12 {
+		t.Errorf("bottleneck = %g, want 2", part.Bottleneck)
+	}
+	if err := Verify([]float64{6, 2}, []float64{3, 1}, part); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+}
+
+func TestHeterogeneousExactMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(7)
+		p := 1 + r.Intn(4)
+		a := randArray(r, n)
+		speeds := randArray(r, p)
+		got, err := HeterogeneousExact(a, speeds)
+		if err != nil {
+			return false
+		}
+		if Verify(a, speeds, got) != nil {
+			return false
+		}
+		want := bruteHeterogeneous(a, speeds)
+		return math.Abs(got.Bottleneck-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHeterogeneousExactRejectsLargeP(t *testing.T) {
+	speeds := make([]float64, MaxProcsExact+1)
+	for i := range speeds {
+		speeds[i] = 1
+	}
+	if _, err := HeterogeneousExact([]float64{1}, speeds); err == nil {
+		t.Error("oversized p accepted")
+	}
+}
+
+func TestHeterogeneousGreedyIsValidAndAboveOptimal(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(10)
+		p := 1 + r.Intn(5)
+		a := randArray(r, n)
+		speeds := randArray(r, p)
+		greedy, err := HeterogeneousGreedy(a, speeds)
+		if err != nil {
+			return false
+		}
+		if Verify(a, speeds, greedy) != nil {
+			return false
+		}
+		opt, err := HeterogeneousExact(a, speeds)
+		if err != nil {
+			return false
+		}
+		return greedy.Bottleneck >= opt.Bottleneck-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHeterogeneousGreedySolvesEasyCases(t *testing.T) {
+	// Homogeneous speeds: greedy + ordered-DP polish must find the
+	// homogeneous optimum (ordered DP is exact once the order is fixed,
+	// and any order works with equal speeds).
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(12)
+		p := 1 + r.Intn(5)
+		a := randArray(r, n)
+		speeds := make([]float64, p)
+		for i := range speeds {
+			speeds[i] = 3
+		}
+		greedy, err := HeterogeneousGreedy(a, speeds)
+		if err != nil {
+			return false
+		}
+		hom, err := HomogeneousDP(a, p)
+		if err != nil {
+			return false
+		}
+		return math.Abs(greedy.Bottleneck-hom.Bottleneck/3) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHeterogeneousOrderedDP(t *testing.T) {
+	a := []float64{6, 2}
+	speeds := []float64{3, 1}
+	part, err := HeterogeneousOrderedDP(a, speeds, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(part.Bottleneck-2) > 1e-12 {
+		t.Errorf("ordered DP bottleneck = %g, want 2", part.Bottleneck)
+	}
+	// Reversed order: slow first. {6}/1=6 vs {6,2}/1=8; best is
+	// {6}/1, {2}/3 → 6.
+	part, err = HeterogeneousOrderedDP(a, speeds, []int{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(part.Bottleneck-6) > 1e-12 {
+		t.Errorf("reversed ordered DP bottleneck = %g, want 6", part.Bottleneck)
+	}
+}
+
+func TestHeterogeneousOrderedDPValidation(t *testing.T) {
+	a := []float64{1, 2}
+	speeds := []float64{1, 2}
+	if _, err := HeterogeneousOrderedDP(a, speeds, nil); err == nil {
+		t.Error("empty order accepted")
+	}
+	if _, err := HeterogeneousOrderedDP(a, speeds, []int{0, 0}); err == nil {
+		t.Error("repeated processor accepted")
+	}
+	if _, err := HeterogeneousOrderedDP(a, speeds, []int{5}); err == nil {
+		t.Error("out-of-range processor accepted")
+	}
+}
+
+// Ordered DP with the exact solution's own order must reproduce (or beat)
+// the exact bottleneck — a strong consistency check between the two
+// algorithms.
+func TestOrderedDPConsistentWithExact(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(8)
+		p := 1 + r.Intn(4)
+		a := randArray(r, n)
+		speeds := randArray(r, p)
+		exact, err := HeterogeneousExact(a, speeds)
+		if err != nil {
+			return false
+		}
+		ordered, err := HeterogeneousOrderedDP(a, speeds, exact.Proc)
+		if err != nil {
+			return false
+		}
+		// Same order ⇒ ordered DP can only match or improve, and
+		// exact is a lower bound for everything.
+		return ordered.Bottleneck <= exact.Bottleneck+1e-9 &&
+			ordered.Bottleneck >= exact.Bottleneck-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVerifyCatchesCorruption(t *testing.T) {
+	a := []float64{1, 2, 3}
+	good, err := HomogeneousDP(a, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.Bottleneck += 1
+	if Verify(a, nil, bad) == nil {
+		t.Error("Verify accepted a wrong bottleneck")
+	}
+	if Verify(a, nil, Partition{Ends: []int{2}}) == nil {
+		t.Error("Verify accepted incomplete coverage")
+	}
+	if Verify(a, nil, Partition{}) == nil {
+		t.Error("Verify accepted empty partition")
+	}
+	if Verify(a, []float64{1, 1}, Partition{Ends: []int{1, 3}, Proc: []int{0, 0}, Bottleneck: 5}) == nil {
+		t.Error("Verify accepted duplicated processor")
+	}
+}
+
+func TestPartitionBounds(t *testing.T) {
+	p := Partition{Ends: []int{2, 5, 6}}
+	cases := []struct{ k, s, e int }{{0, 0, 2}, {1, 2, 5}, {2, 5, 6}}
+	for _, c := range cases {
+		s, e := p.Bounds(c.k)
+		if s != c.s || e != c.e {
+			t.Errorf("Bounds(%d) = (%d,%d), want (%d,%d)", c.k, s, e, c.s, c.e)
+		}
+	}
+	if p.Intervals() != 3 {
+		t.Errorf("Intervals() = %d", p.Intervals())
+	}
+}
+
+func TestHomogeneousNicolAgreesWithDP(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(30)
+		p := 1 + r.Intn(8)
+		a := randArray(r, n)
+		dp, err1 := HomogeneousDP(a, p)
+		nic, err2 := HomogeneousNicol(a, p)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if Verify(a, nil, nic) != nil {
+			return false
+		}
+		return math.Abs(dp.Bottleneck-nic.Bottleneck) < 1e-9*(1+dp.Bottleneck)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHomogeneousNicolEdgeCases(t *testing.T) {
+	// Single element, p larger than n, uniform arrays, zero elements.
+	cases := []struct {
+		a    []float64
+		p    int
+		want float64
+	}{
+		{[]float64{7}, 3, 7},
+		{[]float64{1, 1, 1, 1}, 10, 1},
+		{[]float64{0, 0, 5, 0}, 2, 5},
+		{[]float64{2, 2, 2, 2, 2, 2}, 3, 4},
+	}
+	for _, c := range cases {
+		got, err := HomogeneousNicol(c.a, c.p)
+		if err != nil {
+			t.Fatalf("Nicol(%v, %d): %v", c.a, c.p, err)
+		}
+		if math.Abs(got.Bottleneck-c.want) > 1e-12 {
+			t.Errorf("Nicol(%v, %d) = %g, want %g", c.a, c.p, got.Bottleneck, c.want)
+		}
+	}
+	if _, err := HomogeneousNicol(nil, 1); err == nil {
+		t.Error("empty array accepted")
+	}
+}

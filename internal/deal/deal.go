@@ -1,0 +1,274 @@
+// Package deal implements the paper's concluding extension: nesting a
+// *deal* (farm) skeleton inside a pipeline stage. When a stage interval is
+// both computationally demanding and free of internal inter-task
+// dependencies, its workload can be dealt round-robin over several
+// processors; replica r then only processes every r-th data set, dividing
+// the interval's pressure on the period by the replication degree.
+//
+// Cost model (extending equations (1)–(2) of the paper):
+//
+//   - a replicated interval I = [d..e] on processor set R has period
+//     contribution max_{u∈R} cycle(d, e, u) / |R| — each replica must
+//     finish its data set before its next turn, which comes every |R|
+//     periods;
+//   - every data set still traverses exactly one replica per interval, so
+//     the worst-case latency sums the *slowest* replica's input and
+//     compute terms: Σ_I max_{u∈R(I)} (δ_{d-1}/b + W(I)/s_u) + δ_n/b.
+//
+// The one-port model is respected from the neighbours' point of view:
+// upstream intervals still perform one send per data set (to alternating
+// replicas), so their cycle-times are unchanged. What the model ignores —
+// deliberately, matching the paper's informal sketch — is any cost of the
+// round-robin bookkeeping itself.
+//
+// DealSplit is the paper's "extending our mapping strategies to
+// automatically identify opportunities for deal skeletons" in its simplest
+// greedy form: at each step the bottleneck interval is either split (the
+// H1 move) or replicated (the deal move), whichever helps more.
+package deal
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"pipesched/internal/mapping"
+	"pipesched/internal/platform"
+)
+
+// Interval is a pipeline interval executed by one or more processors;
+// with a single processor it degenerates to the paper's plain interval.
+type Interval struct {
+	Start, End int
+	Procs      []int // replica set, round-robin deal order; non-empty, distinct
+}
+
+// Replication returns the replication degree |R|.
+func (iv Interval) Replication() int { return len(iv.Procs) }
+
+func (iv Interval) String() string {
+	procs := make([]string, len(iv.Procs))
+	for i, u := range iv.Procs {
+		procs[i] = fmt.Sprintf("P%d", u)
+	}
+	span := fmt.Sprintf("S%d", iv.Start)
+	if iv.End != iv.Start {
+		span = fmt.Sprintf("S%d..S%d", iv.Start, iv.End)
+	}
+	if len(iv.Procs) == 1 {
+		return span + "→" + procs[0]
+	}
+	return span + "→deal{" + strings.Join(procs, ",") + "}"
+}
+
+// Mapping is an ordered partition of [1..n] into (possibly replicated)
+// intervals.
+type Mapping struct {
+	intervals []Interval
+}
+
+// New validates the intervals: full coverage in order, globally distinct
+// processors, non-empty replica sets.
+func New(ev *mapping.Evaluator, ivs []Interval) (*Mapping, error) {
+	if ev.Platform().Kind() != platform.CommHomogeneous {
+		return nil, errors.New("deal: comm-homogeneous platforms only")
+	}
+	n, p := ev.Pipeline().Stages(), ev.Platform().Processors()
+	if len(ivs) == 0 {
+		return nil, errors.New("deal: no interval")
+	}
+	used := make(map[int]bool)
+	next := 1
+	for j, iv := range ivs {
+		if iv.Start != next || iv.End < iv.Start || iv.End > n {
+			return nil, fmt.Errorf("deal: interval %d spans [%d..%d], want start %d within [1..%d]", j, iv.Start, iv.End, next, n)
+		}
+		if len(iv.Procs) == 0 {
+			return nil, fmt.Errorf("deal: interval %d has no processor", j)
+		}
+		for _, u := range iv.Procs {
+			if u < 1 || u > p {
+				return nil, fmt.Errorf("deal: interval %d uses processor %d outside [1..%d]", j, u, p)
+			}
+			if used[u] {
+				return nil, fmt.Errorf("deal: processor %d used twice", u)
+			}
+			used[u] = true
+		}
+		next = iv.End + 1
+	}
+	if next != n+1 {
+		return nil, fmt.Errorf("deal: stages %d..%d unmapped", next, n)
+	}
+	return &Mapping{intervals: append([]Interval(nil), ivs...)}, nil
+}
+
+// Intervals returns a copy of the intervals.
+func (m *Mapping) Intervals() []Interval {
+	out := make([]Interval, len(m.intervals))
+	for i, iv := range m.intervals {
+		out[i] = Interval{Start: iv.Start, End: iv.End, Procs: append([]int(nil), iv.Procs...)}
+	}
+	return out
+}
+
+// Size returns the number of intervals.
+func (m *Mapping) Size() int { return len(m.intervals) }
+
+func (m *Mapping) String() string {
+	parts := make([]string, len(m.intervals))
+	for i, iv := range m.intervals {
+		parts[i] = iv.String()
+	}
+	return strings.Join(parts, " | ")
+}
+
+// Period evaluates the extended equation (1): the slowest replica's cycle
+// divided by the replication degree, maximised over intervals.
+func Period(ev *mapping.Evaluator, m *Mapping) float64 {
+	worst := 0.0
+	for _, iv := range m.intervals {
+		if c := contribution(ev, iv); c > worst {
+			worst = c
+		}
+	}
+	return worst
+}
+
+func contribution(ev *mapping.Evaluator, iv Interval) float64 {
+	slowest := 0.0
+	for _, u := range iv.Procs {
+		if c := ev.Cycle(iv.Start, iv.End, u); c > slowest {
+			slowest = c
+		}
+	}
+	return slowest / float64(len(iv.Procs))
+}
+
+// Latency evaluates the extended equation (2): the worst-case data set
+// meets the slowest replica of every interval.
+func Latency(ev *mapping.Evaluator, m *Mapping) float64 {
+	app, plat := ev.Pipeline(), ev.Platform()
+	b := plat.Bandwidth()
+	total := 0.0
+	for _, iv := range m.intervals {
+		slowest := 0.0
+		for _, u := range iv.Procs {
+			t := app.Delta(iv.Start-1)/b + app.IntervalWork(iv.Start, iv.End)/plat.Speed(u)
+			if t > slowest {
+				slowest = t
+			}
+		}
+		total += slowest
+	}
+	return total + app.Delta(app.Stages())/b
+}
+
+// Result is the outcome of DealSplit.
+type Result struct {
+	Mapping *Mapping
+	Metrics mapping.Metrics
+}
+
+// InfeasibleError reports that DealSplit could not reach the period bound;
+// Best carries the closest mapping it found.
+type InfeasibleError struct {
+	Target   float64
+	Achieved float64
+	Best     Result
+}
+
+func (e *InfeasibleError) Error() string {
+	return fmt.Sprintf("deal: could not reach period ≤ %g (best %g)", e.Target, e.Achieved)
+}
+
+// DealSplit greedily drives the period under maxPeriod, starting from the
+// latency-optimal single interval on the fastest processor. At each step
+// the bottleneck interval is improved by the better of two moves:
+//
+//   - split: the best 2-way split with the next fastest unused processor
+//     (the H1 move; only for unreplicated intervals with ≥ 2 stages);
+//   - deal: add the next fastest unused processor to the interval's
+//     replica set.
+//
+// A move is applied only if it strictly reduces the bottleneck's period
+// contribution. Unlike pure splitting, DealSplit can push a single heavy
+// stage below its cycle-time — the scenario the paper's conclusion calls
+// out as the motivation for nesting farm skeletons.
+func DealSplit(ev *mapping.Evaluator, maxPeriod float64) (Result, error) {
+	plat := ev.Platform()
+	app := ev.Pipeline()
+	ivs := []Interval{{Start: 1, End: app.Stages(), Procs: []int{plat.Fastest()}}}
+	free := plat.FastestFirst()[1:]
+
+	build := func() *Mapping {
+		m, err := New(ev, ivs)
+		if err != nil {
+			panic("deal: internal construction error: " + err.Error())
+		}
+		return m
+	}
+	const eps = 1e-12
+	for {
+		m := build()
+		period := Period(ev, m)
+		if period <= maxPeriod*(1+1e-9) {
+			return Result{Mapping: m, Metrics: mapping.Metrics{Period: period, Latency: Latency(ev, m)}}, nil
+		}
+		if len(free) == 0 {
+			res := Result{Mapping: m, Metrics: mapping.Metrics{Period: period, Latency: Latency(ev, m)}}
+			return res, &InfeasibleError{Target: maxPeriod, Achieved: period, Best: res}
+		}
+		// Bottleneck interval.
+		bIdx, bContrib := 0, math.Inf(-1)
+		for j, iv := range ivs {
+			if c := contribution(ev, iv); c > bContrib {
+				bIdx, bContrib = j, c
+			}
+		}
+		iv := ivs[bIdx]
+		next := free[0]
+
+		// Move 1: deal — always available.
+		dealContrib := contribution(ev, Interval{Start: iv.Start, End: iv.End, Procs: append(append([]int(nil), iv.Procs...), next)})
+
+		// Move 2: split — unreplicated multi-stage intervals only.
+		splitContrib := math.Inf(1)
+		splitAt, splitOrder := 0, 0
+		if len(iv.Procs) == 1 && iv.End > iv.Start {
+			for k := iv.Start; k < iv.End; k++ {
+				for o, procs := range [2][2]int{{iv.Procs[0], next}, {next, iv.Procs[0]}} {
+					c1 := ev.Cycle(iv.Start, k, procs[0])
+					c2 := ev.Cycle(k+1, iv.End, procs[1])
+					worst := math.Max(c1, c2)
+					if worst < splitContrib {
+						splitContrib, splitAt, splitOrder = worst, k, o
+					}
+				}
+			}
+		}
+
+		better := math.Min(dealContrib, splitContrib)
+		if better >= bContrib-eps*(1+bContrib) {
+			m := build()
+			period := Period(ev, m)
+			res := Result{Mapping: m, Metrics: mapping.Metrics{Period: period, Latency: Latency(ev, m)}}
+			return res, &InfeasibleError{Target: maxPeriod, Achieved: period, Best: res}
+		}
+		if splitContrib < dealContrib {
+			first, second := iv.Procs[0], next
+			if splitOrder == 1 {
+				first, second = next, iv.Procs[0]
+			}
+			replaced := []Interval{
+				{Start: iv.Start, End: splitAt, Procs: []int{first}},
+				{Start: splitAt + 1, End: iv.End, Procs: []int{second}},
+			}
+			ivs = append(ivs[:bIdx:bIdx], append(replaced, ivs[bIdx+1:]...)...)
+		} else {
+			ivs[bIdx].Procs = append(ivs[bIdx].Procs, next)
+		}
+		free = free[1:]
+	}
+}

@@ -1,0 +1,243 @@
+package deal
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pipesched/internal/heuristics"
+	"pipesched/internal/mapping"
+	"pipesched/internal/pipeline"
+	"pipesched/internal/platform"
+)
+
+func ev2(works, deltas, speeds []float64, b float64) *mapping.Evaluator {
+	return mapping.NewEvaluator(pipeline.MustNew(works, deltas), platform.MustNew(speeds, b))
+}
+
+func TestNewValidation(t *testing.T) {
+	ev := ev2([]float64{1, 2, 3}, make([]float64, 4), []float64{1, 1, 1}, 1)
+	good := []Interval{{1, 2, []int{1, 3}}, {3, 3, []int{2}}}
+	if _, err := New(ev, good); err != nil {
+		t.Fatalf("valid mapping rejected: %v", err)
+	}
+	bad := map[string][]Interval{
+		"empty":           nil,
+		"gap":             {{1, 1, []int{1}}, {3, 3, []int{2}}},
+		"no processor":    {{1, 3, nil}},
+		"proc reuse":      {{1, 1, []int{1}}, {2, 3, []int{1}}},
+		"reuse in set":    {{1, 3, []int{1, 1}}},
+		"proc range":      {{1, 3, []int{9}}},
+		"incomplete":      {{1, 2, []int{1}}},
+		"starts past one": {{2, 3, []int{1}}},
+	}
+	for name, ivs := range bad {
+		if _, err := New(ev, ivs); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestUnreplicatedMatchesPlainModel(t *testing.T) {
+	// With all replica sets singleton, Period/Latency must equal the
+	// plain interval-mapping evaluator exactly.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(6)
+		p := 2 + r.Intn(4)
+		works := make([]float64, n)
+		for i := range works {
+			works[i] = float64(1 + r.Intn(20))
+		}
+		deltas := make([]float64, n+1)
+		for i := range deltas {
+			deltas[i] = float64(r.Intn(20))
+		}
+		speeds := make([]float64, p)
+		for i := range speeds {
+			speeds[i] = float64(1 + r.Intn(20))
+		}
+		ev := ev2(works, deltas, speeds, 10)
+		// A random 2-interval plain mapping.
+		cutAt := 1 + r.Intn(n-1)
+		plain := mapping.MustNew(ev.Pipeline(), ev.Platform(), []mapping.Interval{
+			{Start: 1, End: cutAt, Proc: 1},
+			{Start: cutAt + 1, End: n, Proc: 2},
+		})
+		dealM, err := New(ev, []Interval{
+			{Start: 1, End: cutAt, Procs: []int{1}},
+			{Start: cutAt + 1, End: n, Procs: []int{2}},
+		})
+		if err != nil {
+			return false
+		}
+		return math.Abs(Period(ev, dealM)-ev.Period(plain)) < 1e-9 &&
+			math.Abs(Latency(ev, dealM)-ev.Latency(plain)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReplicationDividesPeriod(t *testing.T) {
+	// One stage, work 12, two speed-2 processors, no comms: replicating
+	// over both halves the period contribution: 6 → 3. Latency stays 6.
+	ev := ev2([]float64{12}, []float64{0, 0}, []float64{2, 2}, 1)
+	m, err := New(ev, []Interval{{1, 1, []int{1, 2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Period(ev, m); math.Abs(got-3) > 1e-9 {
+		t.Errorf("Period = %g, want 3", got)
+	}
+	if got := Latency(ev, m); math.Abs(got-6) > 1e-9 {
+		t.Errorf("Latency = %g, want 6", got)
+	}
+}
+
+func TestHeterogeneousReplicasUseSlowest(t *testing.T) {
+	// Replicas at speeds 4 and 1: slowest cycle = 12/1 = 12, degree 2 →
+	// period 6; latency = slowest in+comp = 12.
+	ev := ev2([]float64{12}, []float64{0, 0}, []float64{4, 1}, 1)
+	m, err := New(ev, []Interval{{1, 1, []int{1, 2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Period(ev, m); math.Abs(got-6) > 1e-9 {
+		t.Errorf("Period = %g, want 6", got)
+	}
+	if got := Latency(ev, m); math.Abs(got-12) > 1e-9 {
+		t.Errorf("Latency = %g, want 12", got)
+	}
+}
+
+// The paper's motivating scenario: a single bottleneck stage that pure
+// splitting can never improve (intervals cannot split a stage), but
+// dealing can.
+func TestDealBreaksSingleStageBottleneck(t *testing.T) {
+	// 3 stages; the middle one dominates. 4 processors of speed 5.
+	ev := ev2([]float64{5, 100, 5}, []float64{0, 0, 0, 0}, []float64{5, 5, 5, 5}, 10)
+	// Pure splitting floor: the middle stage alone costs 100/5 = 20.
+	h1Floor := heuristics.MinAchievablePeriod(ev, heuristics.SpMonoP{})
+	if h1Floor < 20-1e-9 {
+		t.Fatalf("splitting floor %g below the single-stage cycle 20?", h1Floor)
+	}
+	// DealSplit reaches period 10: S2 dealt over two processors.
+	res, err := DealSplit(ev, 11)
+	if err != nil {
+		t.Fatalf("DealSplit: %v", err)
+	}
+	if res.Metrics.Period > 11+1e-9 {
+		t.Errorf("period %g > 11", res.Metrics.Period)
+	}
+	replicated := false
+	for _, iv := range res.Mapping.Intervals() {
+		if iv.Replication() > 1 {
+			replicated = true
+		}
+	}
+	if !replicated {
+		t.Errorf("no replication used: %v", res.Mapping)
+	}
+}
+
+func TestDealSplitRespectsBound(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(8)
+		p := 1 + r.Intn(6)
+		works := make([]float64, n)
+		for i := range works {
+			works[i] = float64(1 + r.Intn(50))
+		}
+		deltas := make([]float64, n+1)
+		for i := range deltas {
+			deltas[i] = float64(r.Intn(10))
+		}
+		speeds := make([]float64, p)
+		for i := range speeds {
+			speeds[i] = float64(1 + r.Intn(20))
+		}
+		ev := ev2(works, deltas, speeds, 10)
+		single := mapping.SingleProcessor(ev.Pipeline(), ev.Platform(), ev.Platform().Fastest())
+		bound := ev.Period(single) * (0.2 + 0.8*r.Float64())
+		res, err := DealSplit(ev, bound)
+		if err != nil {
+			var inf *InfeasibleError
+			if !errors.As(err, &inf) {
+				return false
+			}
+			return inf.Best.Metrics.Period > bound*(1-1e-9)
+		}
+		if res.Metrics.Period > bound*(1+1e-6) {
+			return false
+		}
+		// Reported metrics consistent with re-evaluation.
+		return math.Abs(Period(ev, res.Mapping)-res.Metrics.Period) < 1e-9*(1+res.Metrics.Period) &&
+			math.Abs(Latency(ev, res.Mapping)-res.Metrics.Latency) < 1e-9*(1+res.Metrics.Latency)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// DealSplit can never do worse than plain H1 splitting at period chasing:
+// its move set strictly contains H1's bottleneck move.
+func TestDealSplitAtLeastAsDeepAsH1(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	var sumH1, sumDeal float64
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + r.Intn(10)
+		p := 2 + r.Intn(6)
+		works := make([]float64, n)
+		for i := range works {
+			works[i] = float64(1 + r.Intn(50))
+		}
+		speeds := make([]float64, p)
+		for i := range speeds {
+			speeds[i] = float64(1 + r.Intn(20))
+		}
+		ev := ev2(works, make([]float64, n+1), speeds, 10)
+		h1 := heuristics.MinAchievablePeriod(ev, heuristics.SpMonoP{})
+		var dealP float64
+		if res, err := DealSplit(ev, 0); err != nil {
+			var inf *InfeasibleError
+			if !errors.As(err, &inf) {
+				t.Fatal(err)
+			}
+			dealP = inf.Best.Metrics.Period
+		} else {
+			dealP = res.Metrics.Period
+		}
+		sumH1 += h1
+		sumDeal += dealP
+	}
+	if sumDeal > sumH1*(1+1e-9) {
+		t.Errorf("deal splitting lost to plain splitting on aggregate: %g vs %g", sumDeal/60, sumH1/60)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	ev := ev2([]float64{1, 2}, make([]float64, 3), []float64{1, 1, 1}, 1)
+	m, err := New(ev, []Interval{{1, 1, []int{2}}, {2, 2, []int{1, 3}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.String()
+	if s != "S1→P2 | S2→deal{P1,P3}" {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestRejectsHeterogeneousPlatform(t *testing.T) {
+	plat, err := platform.NewFullyHeterogeneous([]float64{1, 1}, [][]float64{{0, 1}, {1, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := mapping.NewEvaluator(pipeline.MustNew([]float64{1}, []float64{0, 0}), plat)
+	if _, err := New(ev, []Interval{{1, 1, []int{1}}}); err == nil {
+		t.Error("heterogeneous platform accepted")
+	}
+}

@@ -1,0 +1,210 @@
+package deal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pipesched/internal/mapping"
+	"pipesched/internal/sim"
+)
+
+// randDealInstance builds a random evaluator and a random replicated
+// mapping over it.
+func randDealInstance(r *rand.Rand) (*mapping.Evaluator, *Mapping) {
+	n := 1 + r.Intn(6)
+	p := 2 + r.Intn(7)
+	works := make([]float64, n)
+	for i := range works {
+		works[i] = float64(1 + r.Intn(20))
+	}
+	deltas := make([]float64, n+1)
+	for i := range deltas {
+		deltas[i] = float64(r.Intn(15))
+	}
+	speeds := make([]float64, p)
+	for i := range speeds {
+		speeds[i] = float64(1 + r.Intn(20))
+	}
+	ev := ev2(works, deltas, speeds, 10)
+	// Random interval structure with random replica sets.
+	perm := r.Perm(p)
+	next := 0
+	take := func(k int) []int {
+		out := make([]int, 0, k)
+		for len(out) < k && next < p {
+			out = append(out, perm[next]+1)
+			next++
+		}
+		return out
+	}
+	var ivs []Interval
+	start := 1
+	for start <= n {
+		end := start + r.Intn(n-start+1)
+		remaining := p - next
+		intervalsLeft := n - end + 1 // worst case: one interval per stage
+		maxRep := remaining - intervalsLeft
+		if maxRep < 1 {
+			maxRep = 1
+		}
+		if maxRep > 3 {
+			maxRep = 3
+		}
+		procs := take(1 + r.Intn(maxRep))
+		if len(procs) == 0 {
+			return nil, nil // out of processors; caller retries
+		}
+		ivs = append(ivs, Interval{Start: start, End: end, Procs: procs})
+		start = end + 1
+	}
+	m, err := New(ev, ivs)
+	if err != nil {
+		return nil, nil
+	}
+	return ev, m
+}
+
+// The extended analytic period must equal the simulated steady state.
+func TestSimulateMatchesAnalyticPeriod(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ev, m := randDealInstance(r)
+		if ev == nil {
+			return true
+		}
+		rep, err := Simulate(ev, m, 400)
+		if err != nil {
+			return false
+		}
+		want := Period(ev, m)
+		// Round-robin dealing batches completions (up to |R| finish
+		// within one slow cycle), so a finite measurement window is
+		// biased by O(maxDegree / window). With 400 data sets and a
+		// 200-set warmup the bias stays below 2%.
+		return math.Abs(rep.SteadyStatePeriod-want) < 0.02*want+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The first data set walks an empty pipeline through replica 0 of every
+// interval: its simulated latency equals that exact path.
+func TestSimulateFirstLatency(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ev, m := randDealInstance(r)
+		if ev == nil {
+			return true
+		}
+		rep, err := Simulate(ev, m, 5)
+		if err != nil {
+			return false
+		}
+		app, plat := ev.Pipeline(), ev.Platform()
+		b := plat.Bandwidth()
+		want := 0.0
+		for _, iv := range m.Intervals() {
+			u := iv.Procs[0] // data set 0 → replica 0
+			want += app.Delta(iv.Start-1)/b + app.IntervalWork(iv.Start, iv.End)/plat.Speed(u)
+		}
+		want += app.Delta(app.Stages()) / b
+		return math.Abs(rep.Latencies[0]-want) < 1e-9*(1+want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// On unreplicated mappings the deal simulator must agree with the plain
+// pipeline simulator exactly.
+func TestSimulateDegeneratesToPlainSimulator(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(5)
+		works := make([]float64, n)
+		for i := range works {
+			works[i] = float64(1 + r.Intn(20))
+		}
+		deltas := make([]float64, n+1)
+		for i := range deltas {
+			deltas[i] = float64(r.Intn(15))
+		}
+		speeds := []float64{float64(1 + r.Intn(20)), float64(1 + r.Intn(20))}
+		ev := ev2(works, deltas, speeds, 10)
+		cut := 1 + r.Intn(n-1)
+		plain := mapping.MustNew(ev.Pipeline(), ev.Platform(), []mapping.Interval{
+			{Start: 1, End: cut, Proc: 1}, {Start: cut + 1, End: n, Proc: 2},
+		})
+		dealM, err := New(ev, []Interval{
+			{Start: 1, End: cut, Procs: []int{1}},
+			{Start: cut + 1, End: n, Procs: []int{2}},
+		})
+		if err != nil {
+			return false
+		}
+		const k = 40
+		plainRep, err1 := sim.Run(ev, plain, sim.Options{DataSets: k})
+		dealRep, err2 := Simulate(ev, dealM, k)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := 0; i < k; i++ {
+			if math.Abs(plainRep.Completions[i]-dealRep.Completions[i]) > 1e-9 {
+				return false
+			}
+			if math.Abs(plainRep.Latencies[i]-dealRep.Latencies[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Replication really buys the simulated throughput, not just the analytic
+// number: a dominant single stage dealt over three processors triples the
+// measured rate.
+func TestSimulatedThroughputGain(t *testing.T) {
+	ev := ev2([]float64{60}, []float64{0, 0}, []float64{2, 2, 2}, 1)
+	single, err := New(ev, []Interval{{1, 1, []int{1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dealt, err := New(ev, []Interval{{1, 1, []int{1, 2, 3}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 300
+	repS, err := Simulate(ev, single, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repD, err := Simulate(ev, dealt, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(repS.SteadyStatePeriod-30) > 1e-6 {
+		t.Errorf("single-replica period %g, want 30", repS.SteadyStatePeriod)
+	}
+	// Completions arrive in bursts of three (one per replica), so the
+	// finite-window measurement sits slightly below the asymptotic 10.
+	if math.Abs(repD.SteadyStatePeriod-10) > 0.25 {
+		t.Errorf("three-replica period %g, want ≈ 10", repD.SteadyStatePeriod)
+	}
+}
+
+func TestSimulateRejectsBadCount(t *testing.T) {
+	ev := ev2([]float64{1}, []float64{0, 0}, []float64{1}, 1)
+	m, err := New(ev, []Interval{{1, 1, []int{1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Simulate(ev, m, 0); err == nil {
+		t.Error("dataSets=0 accepted")
+	}
+}

@@ -1,0 +1,327 @@
+// Package exact provides optimal reference solvers for the bi-criteria
+// interval mapping problem on Communication Homogeneous platforms. The
+// problem is NP-hard (Theorem 2 of the paper), so everything here is
+// exponential in the number of processors and gated to small instances;
+// the solvers exist to validate the polynomial heuristics and to compute
+// exact Pareto fronts in tests, examples and ablation benchmarks.
+//
+// Two independent algorithms are provided: a bitmask dynamic program over
+// (prefix of stages, set of used processors) and a plain exhaustive
+// enumeration; the test-suite cross-checks them against each other.
+package exact
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"pipesched/internal/mapping"
+	"pipesched/internal/platform"
+)
+
+// MaxProcs caps the platform size accepted by the dynamic programs, which
+// allocate O(2^p · n) state.
+const MaxProcs = 14
+
+// Result is an optimal mapping together with its metrics.
+type Result struct {
+	Mapping *mapping.Mapping
+	Metrics mapping.Metrics
+}
+
+// ErrInfeasible is returned when no interval mapping satisfies the
+// requested constraint.
+var ErrInfeasible = errors.New("exact: no interval mapping satisfies the constraint")
+
+func guard(ev *mapping.Evaluator) error {
+	if ev.Platform().Kind() != platform.CommHomogeneous {
+		return errors.New("exact: solvers are defined on comm-homogeneous platforms")
+	}
+	if p := ev.Platform().Processors(); p > MaxProcs {
+		return fmt.Errorf("exact: platform has %d processors, limit is %d", p, MaxProcs)
+	}
+	return nil
+}
+
+// dp runs the shared bitmask dynamic program. rank scores one interval
+// (d..e on processor u) and combine folds interval scores along a mapping;
+// minimising the fold yields min-period (max-combine of cycles) or
+// min-latency (sum-combine of latency contributions). admissible rejects
+// intervals violating a side constraint.
+func dp(ev *mapping.Evaluator,
+	rank func(d, e, u int) float64,
+	combine func(acc, x float64) float64,
+	admissible func(d, e, u int) bool,
+) (*mapping.Mapping, float64, error) {
+	app, plat := ev.Pipeline(), ev.Platform()
+	n, p := app.Stages(), plat.Processors()
+	size := 1 << p
+	const inf = math.MaxFloat64
+	f := make([][]float64, n+1)
+	type choice struct {
+		prev int // previous stage index
+		proc int // 1-based processor of the last interval
+	}
+	back := make([][]choice, n+1)
+	for i := range f {
+		f[i] = make([]float64, size)
+		back[i] = make([]choice, size)
+		for s := range f[i] {
+			f[i][s] = inf
+		}
+	}
+	f[0][0] = 0
+	for i := 1; i <= n; i++ {
+		for S := 1; S < size; S++ {
+			for u := 1; u <= p; u++ {
+				bit := 1 << (u - 1)
+				if S&bit == 0 {
+					continue
+				}
+				prevSet := S &^ bit
+				for k := 0; k < i; k++ {
+					if f[k][prevSet] == inf {
+						continue
+					}
+					d, e := k+1, i
+					if !admissible(d, e, u) {
+						continue
+					}
+					cand := combine(f[k][prevSet], rank(d, e, u))
+					if cand < f[i][S] {
+						f[i][S] = cand
+						back[i][S] = choice{prev: k, proc: u}
+					}
+				}
+			}
+		}
+	}
+	best, bestS := inf, 0
+	for S := 1; S < size; S++ {
+		if f[n][S] < best {
+			best, bestS = f[n][S], S
+		}
+	}
+	if best == inf {
+		return nil, 0, ErrInfeasible
+	}
+	var ivs []mapping.Interval
+	i, S := n, bestS
+	for i > 0 {
+		c := back[i][S]
+		ivs = append(ivs, mapping.Interval{Start: c.prev + 1, End: i, Proc: c.proc})
+		S &^= 1 << (c.proc - 1)
+		i = c.prev
+	}
+	for l, r := 0, len(ivs)-1; l < r; l, r = l+1, r-1 {
+		ivs[l], ivs[r] = ivs[r], ivs[l]
+	}
+	m, err := mapping.New(app, plat, ivs)
+	if err != nil {
+		return nil, 0, fmt.Errorf("exact: reconstructed invalid mapping: %w", err)
+	}
+	return m, best, nil
+}
+
+func always(int, int, int) bool { return true }
+
+func maxCombine(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func sumCombine(a, b float64) float64 { return a + b }
+
+// MinPeriod returns an interval mapping of minimum period (the NP-hard
+// objective of Theorem 2), optimal over all interval mappings.
+func MinPeriod(ev *mapping.Evaluator) (Result, error) {
+	if err := guard(ev); err != nil {
+		return Result{}, err
+	}
+	m, _, err := dp(ev, ev.Cycle, maxCombine, always)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Mapping: m, Metrics: ev.Metrics(m)}, nil
+}
+
+// latencyRank returns the latency contribution of one interval
+// (the trailing δ_n/b term is a constant added afterwards).
+func latencyRank(ev *mapping.Evaluator) func(d, e, u int) float64 {
+	app, plat := ev.Pipeline(), ev.Platform()
+	return func(d, e, u int) float64 {
+		return app.Delta(d-1)/plat.Bandwidth() + app.IntervalWork(d, e)/plat.Speed(u)
+	}
+}
+
+// MinLatencyUnderPeriod returns the minimum-latency interval mapping among
+// those of period ≤ maxPeriod, or ErrInfeasible when none exists. This is
+// the exact counterpart of the paper's period-constrained heuristics.
+func MinLatencyUnderPeriod(ev *mapping.Evaluator, maxPeriod float64) (Result, error) {
+	if err := guard(ev); err != nil {
+		return Result{}, err
+	}
+	const slack = 1 + 1e-12 // absorb float noise on the boundary
+	adm := func(d, e, u int) bool { return ev.Cycle(d, e, u) <= maxPeriod*slack }
+	m, _, err := dp(ev, latencyRank(ev), sumCombine, adm)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Mapping: m, Metrics: ev.Metrics(m)}, nil
+}
+
+// MinPeriodUnderLatency returns the minimum-period interval mapping among
+// those of latency ≤ maxLatency, or ErrInfeasible when none exists. The
+// period only takes values among the O(n²·p) interval cycle-times, so the
+// solver binary-searches that candidate set, checking each bound with
+// MinLatencyUnderPeriod.
+func MinPeriodUnderLatency(ev *mapping.Evaluator, maxLatency float64) (Result, error) {
+	if err := guard(ev); err != nil {
+		return Result{}, err
+	}
+	app, plat := ev.Pipeline(), ev.Platform()
+	n, p := app.Stages(), plat.Processors()
+	cands := make([]float64, 0, n*n*p/2)
+	for d := 1; d <= n; d++ {
+		for e := d; e <= n; e++ {
+			for u := 1; u <= p; u++ {
+				cands = append(cands, ev.Cycle(d, e, u))
+			}
+		}
+	}
+	sort.Float64s(cands)
+	feasibleAt := func(period float64) (Result, bool) {
+		res, err := MinLatencyUnderPeriod(ev, period)
+		if err != nil {
+			return Result{}, false
+		}
+		return res, res.Metrics.Latency <= maxLatency*(1+1e-12)
+	}
+	lo, hi := 0, len(cands)-1
+	if _, ok := feasibleAt(cands[hi]); !ok {
+		return Result{}, ErrInfeasible
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if _, ok := feasibleAt(cands[mid]); ok {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	res, ok := feasibleAt(cands[lo])
+	if !ok {
+		return Result{}, fmt.Errorf("exact: bisection lost feasibility at %g", cands[lo])
+	}
+	return res, nil
+}
+
+// Enumerate calls fn for every valid interval mapping (exhaustive;
+// exponential — use on tiny instances only).
+func Enumerate(ev *mapping.Evaluator, fn func(*mapping.Mapping)) {
+	app, plat := ev.Pipeline(), ev.Platform()
+	n, p := app.Stages(), plat.Processors()
+	var rec func(start int, used uint32, acc []mapping.Interval)
+	rec = func(start int, used uint32, acc []mapping.Interval) {
+		if start > n {
+			m, err := mapping.New(app, plat, acc)
+			if err != nil {
+				panic(err)
+			}
+			fn(m)
+			return
+		}
+		if len(acc) == p {
+			return
+		}
+		for end := start; end <= n; end++ {
+			for u := 1; u <= p; u++ {
+				if used&(1<<u) != 0 {
+					continue
+				}
+				rec(end+1, used|1<<u, append(acc, mapping.Interval{Start: start, End: end, Proc: u}))
+			}
+		}
+	}
+	rec(1, 0, nil)
+}
+
+// BruteMinPeriod computes the minimum period by exhaustive enumeration —
+// an independent oracle for MinPeriod in tests.
+func BruteMinPeriod(ev *mapping.Evaluator) Result {
+	var best Result
+	found := false
+	Enumerate(ev, func(m *mapping.Mapping) {
+		met := ev.Metrics(m)
+		if !found || met.Period < best.Metrics.Period {
+			best = Result{Mapping: m, Metrics: met}
+			found = true
+		}
+	})
+	if !found {
+		panic("exact: enumeration produced no mapping")
+	}
+	return best
+}
+
+// ParetoPoint is one non-dominated (period, latency) trade-off with a
+// witness mapping.
+type ParetoPoint struct {
+	Metrics mapping.Metrics
+	Mapping *mapping.Mapping
+}
+
+// ParetoFront returns the exact Pareto front of (period, latency) over all
+// interval mappings, sorted by increasing period (hence decreasing
+// latency). It enumerates the candidate period values and solves a
+// min-latency DP at each, then prunes dominated points.
+func ParetoFront(ev *mapping.Evaluator) ([]ParetoPoint, error) {
+	if err := guard(ev); err != nil {
+		return nil, err
+	}
+	app, plat := ev.Pipeline(), ev.Platform()
+	n, p := app.Stages(), plat.Processors()
+	cands := make([]float64, 0, n*n*p/2)
+	for d := 1; d <= n; d++ {
+		for e := d; e <= n; e++ {
+			for u := 1; u <= p; u++ {
+				cands = append(cands, ev.Cycle(d, e, u))
+			}
+		}
+	}
+	sort.Float64s(cands)
+	var points []ParetoPoint
+	prevLatency := math.Inf(1)
+	for _, c := range cands {
+		res, err := MinLatencyUnderPeriod(ev, c)
+		if err != nil {
+			continue // period bound below every feasible mapping
+		}
+		if res.Metrics.Latency < prevLatency-1e-12 {
+			points = append(points, ParetoPoint{Metrics: res.Metrics, Mapping: res.Mapping})
+			prevLatency = res.Metrics.Latency
+		}
+	}
+	// The achieved period of a solution can be smaller than the candidate
+	// bound that produced it, so earlier points may be dominated: run a
+	// standard dominance sweep on (period asc, latency asc).
+	sort.Slice(points, func(i, j int) bool {
+		a, b := points[i].Metrics, points[j].Metrics
+		if a.Period != b.Period {
+			return a.Period < b.Period
+		}
+		return a.Latency < b.Latency
+	})
+	var front []ParetoPoint
+	bestLatency := math.Inf(1)
+	for _, pt := range points {
+		if pt.Metrics.Latency < bestLatency-1e-12 {
+			front = append(front, pt)
+			bestLatency = pt.Metrics.Latency
+		}
+	}
+	return front, nil
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"pipesched/internal/heuristics"
+	"pipesched/internal/mapping"
+	"pipesched/internal/stats"
+	"pipesched/internal/workload"
+)
+
+// AblationCurve compares the paper's latency-constrained heuristics
+// (H5, H6) with the library's 3-Exploration extensions (X7, X8) on the
+// same latency sweep — the ablation DESIGN.md §6 calls out: what does the
+// richer 3-way move set buy once a latency budget limits the search?
+//
+// The returned curve uses the same axes as the paper figures (achieved
+// period on x, latency budget on y), so it renders and exports through
+// the same WriteDAT/WriteCSV/RenderASCII machinery.
+func AblationCurve(spec CurveSpec) Curve {
+	spec = normalize(spec)
+	instances := workload.GenerateSet(spec.Family, spec.Stages, spec.Processors, spec.Trials, spec.BaseSeed)
+	evs := make([]*mapping.Evaluator, len(instances))
+	for i, in := range instances {
+		evs[i] = in.Evaluator()
+	}
+	// Latency grid anchors as in TradeoffCurve.
+	var latLoW, latHiW stats.Welford
+	anchors := parMap(spec.Concurrency, evs, func(ev *mapping.Evaluator) [2]float64 {
+		_, optLat := ev.OptimalLatency()
+		deep, err := heuristics.SpMonoP{}.MinimizeLatency(ev, 0)
+		latHi := deep.Metrics.Latency
+		if err != nil {
+			if e, ok := err.(*heuristics.InfeasibleError); ok {
+				latHi = e.Best.Metrics.Latency
+			}
+		}
+		return [2]float64{optLat, latHi}
+	})
+	for _, a := range anchors {
+		latLoW.Add(a[0])
+		latHiW.Add(a[1])
+	}
+	hi := latHiW.Mean()
+	if hi <= latLoW.Mean() {
+		hi = latLoW.Mean() * 1.5
+	}
+	grid := linspace(latLoW.Mean(), hi, spec.Points)
+	curve := Curve{Spec: spec, LatencyGrid: grid}
+	all := append(heuristics.LatencyHeuristics(), heuristics.ExtensionLatencyHeuristics()...)
+	for _, h := range all {
+		curve.Series = append(curve.Series, sweepLatency(spec, evs, h, grid))
+	}
+	return curve
+}
+
+// AblationSpec builds the default ablation configuration for a family and
+// platform size.
+func AblationSpec(fam workload.Family, stages, processors, trials int, seed int64) CurveSpec {
+	return CurveSpec{
+		ID:     fmt.Sprintf("ablation_%s_n%d_p%d", fam, stages, processors),
+		Title:  fmt.Sprintf("latency-constrained ablation (H5/H6 vs X7/X8) — %s, %d stages, p=%d", fam, stages, processors),
+		Family: fam, Stages: stages, Processors: processors,
+		Trials: trials, BaseSeed: seed,
+	}
+}
+
+// AblationSummary condenses an ablation curve into mean period ratios of
+// each extension against H5 over the grid points where both succeeded;
+// values below 1 mean the extension found better periods.
+func AblationSummary(c Curve) map[string]float64 {
+	var base Series
+	for _, s := range c.Series {
+		if s.HID == "H5" {
+			base = s
+		}
+	}
+	out := make(map[string]float64)
+	for _, s := range c.Series {
+		if s.HID == "H5" {
+			continue
+		}
+		var ratios []float64
+		for k := range s.X {
+			if math.IsNaN(s.X[k]) || math.IsNaN(base.X[k]) || base.X[k] == 0 {
+				continue
+			}
+			ratios = append(ratios, s.X[k]/base.X[k])
+		}
+		if len(ratios) > 0 {
+			out[s.HID] = stats.Mean(ratios)
+		}
+	}
+	return out
+}

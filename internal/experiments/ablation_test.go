@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"pipesched/internal/workload"
+)
+
+func TestAblationCurveShape(t *testing.T) {
+	spec := AblationSpec(workload.E2, 10, 10, 5, 1)
+	spec.Points = 6
+	c := AblationCurve(spec)
+	if len(c.Series) != 4 {
+		t.Fatalf("%d series, want 4 (H5, H6, X7, X8)", len(c.Series))
+	}
+	wantIDs := []string{"H5", "H6", "X7", "X8"}
+	for i, s := range c.Series {
+		if s.HID != wantIDs[i] {
+			t.Errorf("series %d = %s, want %s", i, s.HID, wantIDs[i])
+		}
+		if len(s.X) != 6 {
+			t.Errorf("%s: %d points", s.HID, len(s.X))
+		}
+	}
+	// All four share the failure pattern (same threshold: the optimal
+	// latency).
+	for k := range c.Series[0].Successes {
+		n := c.Series[0].Successes[k]
+		for _, s := range c.Series[1:] {
+			if s.Successes[k] != n {
+				t.Errorf("point %d: success mismatch %s=%d vs H5=%d", k, s.HID, s.Successes[k], n)
+			}
+		}
+	}
+}
+
+func TestAblationSummary(t *testing.T) {
+	spec := AblationSpec(workload.E1, 10, 10, 5, 2)
+	spec.Points = 6
+	c := AblationCurve(spec)
+	sum := AblationSummary(c)
+	for _, hid := range []string{"H6", "X7", "X8"} {
+		v, ok := sum[hid]
+		if !ok {
+			t.Fatalf("summary missing %s", hid)
+		}
+		if math.IsNaN(v) || v <= 0 || v > 3 {
+			t.Errorf("%s ratio %g implausible", hid, v)
+		}
+	}
+	if _, ok := sum["H5"]; ok {
+		t.Error("baseline H5 appears in its own summary")
+	}
+}
+
+func TestAblationRendersThroughStandardPipeline(t *testing.T) {
+	spec := AblationSpec(workload.E4, 8, 8, 3, 3)
+	spec.Points = 4
+	c := AblationCurve(spec)
+	out := RenderASCII(c)
+	for _, want := range []string{"X7", "X8", "ablation"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,294 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"pipesched/internal/workload"
+)
+
+// quickSpec returns a spec small enough for unit tests but large enough to
+// exercise every code path.
+func quickSpec() CurveSpec {
+	return CurveSpec{
+		ID:     "test",
+		Title:  "test curve",
+		Family: workload.E1, Stages: 10, Processors: 10,
+		Trials: 6, Points: 8, BaseSeed: 1,
+	}
+}
+
+func TestTradeoffCurveShape(t *testing.T) {
+	c := TradeoffCurve(quickSpec())
+	if len(c.Series) != 6 {
+		t.Fatalf("%d series, want 6", len(c.Series))
+	}
+	wantIDs := []string{"H1", "H2", "H3", "H4", "H5", "H6"}
+	for i, s := range c.Series {
+		if s.HID != wantIDs[i] {
+			t.Errorf("series %d = %s, want %s", i, s.HID, wantIDs[i])
+		}
+		if len(s.X) != 8 || len(s.Y) != 8 || len(s.Successes) != 8 {
+			t.Errorf("%s: lengths %d/%d/%d, want 8", s.HID, len(s.X), len(s.Y), len(s.Successes))
+		}
+		for k := range s.X {
+			if math.IsNaN(s.X[k]) != math.IsNaN(s.Y[k]) {
+				t.Errorf("%s point %d: NaN mismatch", s.HID, k)
+			}
+			if s.Successes[k] > 6 || s.Successes[k] < 0 {
+				t.Errorf("%s point %d: %d successes of 6 trials", s.HID, k, s.Successes[k])
+			}
+			if (s.Successes[k] == 0) != math.IsNaN(s.X[k]) {
+				t.Errorf("%s point %d: successes=%d but X NaN=%v", s.HID, k, s.Successes[k], math.IsNaN(s.X[k]))
+			}
+		}
+	}
+	if len(c.PeriodGrid) != 8 || len(c.LatencyGrid) != 8 {
+		t.Errorf("grid sizes %d/%d", len(c.PeriodGrid), len(c.LatencyGrid))
+	}
+	// Grids are increasing.
+	for i := 1; i < len(c.PeriodGrid); i++ {
+		if c.PeriodGrid[i] <= c.PeriodGrid[i-1] {
+			t.Fatalf("period grid not increasing: %v", c.PeriodGrid)
+		}
+	}
+}
+
+// At the largest swept period every period-constrained heuristic succeeds
+// on every instance (the grid tops out at the mean single-processor
+// period, and per-instance periods concentrate near it... not exactly —
+// so assert the weaker, always-true property: success counts are
+// non-decreasing along the period grid).
+func TestSuccessMonotoneAlongGrid(t *testing.T) {
+	c := TradeoffCurve(quickSpec())
+	for _, s := range c.Series[:4] { // H1..H4: period-constrained
+		for k := 1; k < len(s.Successes); k++ {
+			if s.Successes[k] < s.Successes[k-1] {
+				t.Errorf("%s: successes decreased along grid: %v", s.HID, s.Successes)
+			}
+		}
+	}
+	for _, s := range c.Series[4:] { // H5, H6: latency-constrained
+		for k := 1; k < len(s.Successes); k++ {
+			if s.Successes[k] < s.Successes[k-1] {
+				t.Errorf("%s: successes decreased along latency grid: %v", s.HID, s.Successes)
+			}
+		}
+	}
+}
+
+// Averaged achieved latencies of the splitter heuristics decrease (weakly)
+// as the period constraint loosens, *conditioned on the same success set*;
+// with varying success sets the average can wiggle, so assert only the
+// H5/H6 structural identity: their success pattern is identical (same
+// failure threshold, proved in the heuristics package).
+func TestH5H6SameSuccessPattern(t *testing.T) {
+	c := TradeoffCurve(quickSpec())
+	h5, h6 := c.Series[4], c.Series[5]
+	for k := range h5.Successes {
+		if h5.Successes[k] != h6.Successes[k] {
+			t.Errorf("point %d: H5 %d successes, H6 %d", k, h5.Successes[k], h6.Successes[k])
+		}
+	}
+}
+
+// The deepest point of the H1 curve must not report a latency below the
+// optimal-latency mean of its successful instances; sanity-check against
+// gross aggregation bugs by requiring all plotted values positive and
+// finite.
+func TestCurveValuesSane(t *testing.T) {
+	c := TradeoffCurve(quickSpec())
+	for _, s := range c.Series {
+		for k := range s.X {
+			if math.IsNaN(s.X[k]) {
+				continue
+			}
+			if s.X[k] <= 0 || s.Y[k] <= 0 || math.IsInf(s.X[k], 0) || math.IsInf(s.Y[k], 0) {
+				t.Errorf("%s point %d: (%g, %g)", s.HID, k, s.X[k], s.Y[k])
+			}
+		}
+	}
+}
+
+func TestTradeoffCurveDeterministic(t *testing.T) {
+	a := TradeoffCurve(quickSpec())
+	b := TradeoffCurve(quickSpec())
+	for i := range a.Series {
+		for k := range a.Series[i].X {
+			ax, bx := a.Series[i].X[k], b.Series[i].X[k]
+			if math.IsNaN(ax) && math.IsNaN(bx) {
+				continue
+			}
+			if ax != bx || a.Series[i].Y[k] != b.Series[i].Y[k] {
+				t.Fatalf("series %d point %d differs between runs", i, k)
+			}
+		}
+	}
+}
+
+func TestFailureThresholds(t *testing.T) {
+	tbl := FailureThresholds(ThresholdSpec{
+		Family: workload.E1, Stages: []int{5, 10}, Processors: 10,
+		Trials: 6, BaseSeed: 3,
+	})
+	if len(tbl.HIDs) != 6 {
+		t.Fatalf("HIDs = %v", tbl.HIDs)
+	}
+	for _, hid := range tbl.HIDs {
+		vals := tbl.Values[hid]
+		if len(vals) != 2 {
+			t.Fatalf("%s: %d values", hid, len(vals))
+		}
+		for _, v := range vals {
+			if v <= 0 || math.IsNaN(v) {
+				t.Errorf("%s: threshold %g", hid, v)
+			}
+		}
+	}
+	// The paper's observation: H5 and H6 coincide exactly.
+	for i := range tbl.Values["H5"] {
+		if tbl.Values["H5"][i] != tbl.Values["H6"][i] {
+			t.Errorf("H5/H6 thresholds differ at index %d", i)
+		}
+	}
+	// H1's threshold (min achievable period) is the smallest among the
+	// mono/3-explo splitters in the paper's Table 1; assert the weaker
+	// invariant that H1 ≤ H2 (3-Explo mono is never better than plain
+	// splitting at pure period chasing on these sizes — in the paper H2
+	// has the largest thresholds). Allow float slack.
+	for i := range tbl.Values["H1"] {
+		if tbl.Values["H1"][i] > tbl.Values["H2"][i]*1.5+1e-9 {
+			t.Errorf("H1 threshold %g wildly above H2 %g at index %d",
+				tbl.Values["H1"][i], tbl.Values["H2"][i], i)
+		}
+	}
+}
+
+func TestPaperFiguresRegistry(t *testing.T) {
+	figs := PaperFigures()
+	if len(figs) != 12 {
+		t.Fatalf("%d paper figures, want 12", len(figs))
+	}
+	seen := map[string]bool{}
+	for _, f := range figs {
+		if seen[f.ID] {
+			t.Errorf("duplicate figure id %s", f.ID)
+		}
+		seen[f.ID] = true
+		if f.Trials != workload.PaperTrials {
+			t.Errorf("%s: %d trials", f.ID, f.Trials)
+		}
+	}
+	for _, id := range []string{"fig2a", "2a", "fig7b", "7b"} {
+		if _, ok := FigureSpec(id); !ok {
+			t.Errorf("FigureSpec(%q) not found", id)
+		}
+	}
+	if _, ok := FigureSpec("fig9z"); ok {
+		t.Error("FigureSpec accepted a bogus id")
+	}
+	if len(PaperTables()) != 4 {
+		t.Errorf("PaperTables = %d entries, want 4", len(PaperTables()))
+	}
+}
+
+func TestWriteDATAndCSV(t *testing.T) {
+	c := TradeoffCurve(CurveSpec{
+		ID: "mini", Title: "mini", Family: workload.E1,
+		Stages: 5, Processors: 5, Trials: 3, Points: 4, BaseSeed: 9,
+	})
+	var dat bytes.Buffer
+	if err := WriteDAT(&dat, c); err != nil {
+		t.Fatal(err)
+	}
+	out := dat.String()
+	for _, want := range []string{"# mini", "# series 0: Sp mono, P fix (H1)", "# series 5: Sp bi, L fix (H6)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DAT output missing %q", want)
+		}
+	}
+	var csv bytes.Buffer
+	if err := WriteCSV(&csv, c); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if lines[0] != "figure,heuristic,name,period,latency,successes" {
+		t.Errorf("CSV header = %q", lines[0])
+	}
+	if len(lines) < 2 {
+		t.Error("CSV has no data rows")
+	}
+	for _, l := range lines[1:] {
+		if !strings.HasPrefix(l, "mini,H") {
+			t.Errorf("CSV row %q", l)
+		}
+	}
+}
+
+func TestRenderASCII(t *testing.T) {
+	c := TradeoffCurve(CurveSpec{
+		ID: "mini", Title: "mini", Family: workload.E4,
+		Stages: 5, Processors: 5, Trials: 3, Points: 4, BaseSeed: 11,
+	})
+	out := RenderASCII(c)
+	for _, want := range []string{"mini", "Period", "Latency", "H1 Sp mono, P fix"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ASCII plot missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderTableASCIIAndCSV(t *testing.T) {
+	tbl := FailureThresholds(ThresholdSpec{
+		Family: workload.E4, Stages: []int{5}, Processors: 5, Trials: 3, BaseSeed: 17,
+	})
+	out := RenderTableASCII(tbl)
+	for _, want := range []string{"E4", "H1", "H6", "n=5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	var csv bytes.Buffer
+	if err := WriteTableCSV(&csv, tbl); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csv.String(), "E4,H1") {
+		t.Errorf("table CSV:\n%s", csv.String())
+	}
+}
+
+func TestParMapOrderAndConcurrency(t *testing.T) {
+	in := make([]int, 100)
+	for i := range in {
+		in[i] = i
+	}
+	out := parMap(7, in, func(x int) int { return x * x })
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+	// workers < 1 clamps to serial but still completes.
+	out = parMap(0, in[:5], func(x int) int { return -x })
+	if out[3] != -3 {
+		t.Fatal("clamped worker pool broken")
+	}
+}
+
+func TestLinspace(t *testing.T) {
+	g := linspace(2, 4, 5)
+	want := []float64{2, 2.5, 3, 3.5, 4}
+	for i := range want {
+		if math.Abs(g[i]-want[i]) > 1e-12 {
+			t.Fatalf("linspace = %v", g)
+		}
+	}
+	if g := linspace(3, 3, 5); len(g) != 1 || g[0] != 3 {
+		t.Errorf("degenerate linspace = %v", g)
+	}
+	if g := linspace(5, 1, 5); len(g) != 1 {
+		t.Errorf("reversed linspace = %v", g)
+	}
+}

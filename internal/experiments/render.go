@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"pipesched/internal/textplot"
+)
+
+// WriteDAT emits a curve in gnuplot-friendly format: one indexed block per
+// series ("period latency successes" columns), blocks separated by two
+// blank lines, grid points where every instance failed omitted.
+func WriteDAT(w io.Writer, c Curve) error {
+	if _, err := fmt.Fprintf(w, "# %s — %s\n# columns: x(period) y(latency) successes\n", c.Spec.ID, c.Spec.Title); err != nil {
+		return err
+	}
+	for bi, s := range c.Series {
+		if bi > 0 {
+			if _, err := fmt.Fprint(w, "\n\n"); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# series %d: %s (%s)\n", bi, s.Name, s.HID); err != nil {
+			return err
+		}
+		for k := range s.X {
+			if math.IsNaN(s.X[k]) {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%.6g %.6g %d\n", s.X[k], s.Y[k], s.Successes[k]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteCSV emits a curve as CSV with one row per (series, grid point).
+func WriteCSV(w io.Writer, c Curve) error {
+	if _, err := fmt.Fprintln(w, "figure,heuristic,name,period,latency,successes"); err != nil {
+		return err
+	}
+	for _, s := range c.Series {
+		for k := range s.X {
+			if math.IsNaN(s.X[k]) {
+				continue
+			}
+			_, err := fmt.Fprintf(w, "%s,%s,%q,%.6g,%.6g,%d\n",
+				c.Spec.ID, s.HID, s.Name, s.X[k], s.Y[k], s.Successes[k])
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// RenderASCII draws the curve as a terminal plot mirroring the paper's
+// figures: period on the x-axis, latency on the y-axis, one marker per
+// heuristic.
+func RenderASCII(c Curve) string {
+	p := textplot.New(fmt.Sprintf("%s: %s", c.Spec.ID, c.Spec.Title), "Period", "Latency", 72, 24)
+	for _, s := range c.Series {
+		p.Add(textplot.Series{Name: fmt.Sprintf("%s %s", s.HID, s.Name), X: s.X, Y: s.Y})
+	}
+	return p.Render()
+}
+
+// WriteTableCSV emits a threshold table as CSV (one row per heuristic, one
+// column per stage count).
+func WriteTableCSV(w io.Writer, t ThresholdTable) error {
+	if _, err := fmt.Fprintf(w, "family,heuristic,name"); err != nil {
+		return err
+	}
+	for _, n := range t.Spec.Stages {
+		if _, err := fmt.Fprintf(w, ",n=%d", n); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	for _, hid := range t.HIDs {
+		if _, err := fmt.Fprintf(w, "%s,%s,%q", t.Spec.Family, hid, t.Names[hid]); err != nil {
+			return err
+		}
+		for i := range t.Spec.Stages {
+			if _, err := fmt.Fprintf(w, ",%.4g", t.Values[hid][i]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderTableASCII draws a threshold table in the layout of the paper's
+// Table 1.
+func RenderTableASCII(t ThresholdTable) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Failure thresholds — %s (%s), p=%d, %d trials\n",
+		t.Spec.Family, t.Spec.Family.Description(), t.Spec.Processors, t.Spec.Trials)
+	fmt.Fprintf(&b, "%-6s %-16s", "heur.", "name")
+	for _, n := range t.Spec.Stages {
+		fmt.Fprintf(&b, " %9s", fmt.Sprintf("n=%d", n))
+	}
+	b.WriteString("\n")
+	for _, hid := range t.HIDs {
+		fmt.Fprintf(&b, "%-6s %-16s", hid, t.Names[hid])
+		for i := range t.Spec.Stages {
+			fmt.Fprintf(&b, " %9.3g", t.Values[hid][i])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

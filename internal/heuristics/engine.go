@@ -1,0 +1,331 @@
+// Package heuristics implements the six polynomial bi-criteria mapping
+// heuristics of Section 4 of the paper, built on a shared interval
+// splitting engine.
+//
+// Every heuristic sorts processors by non-increasing speed and starts from
+// the latency-optimal mapping (all stages on the fastest processor), then
+// repeatedly splits the interval of the processor currently achieving the
+// largest cycle-time, enrolling the next fastest unused processor(s):
+//
+//   - H1 "Sp mono P":   2-way splits, mono-criterion rule, period fixed.
+//   - H2 "3-Explo mono": 3-way splits, mono-criterion rule, period fixed.
+//   - H3 "3-Explo bi":  3-way splits, Δlatency/Δperiod rule, period fixed.
+//   - H4 "Sp bi P":     binary search over an authorized latency increase
+//     around ratio-guided 2-way splits, period fixed.
+//   - H5 "Sp mono L":   2-way splits, mono rule, latency fixed.
+//   - H6 "Sp bi L":     2-way splits, ratio rule, latency fixed.
+//
+// Where the paper under-specifies, DESIGN.md §4 records the choices; the
+// most important are that a split is applied only when it strictly reduces
+// the bottleneck cycle-time (termination) and that 3-Explo falls back to a
+// 2-way split when fewer than two unused processors or fewer than three
+// stages remain.
+package heuristics
+
+import (
+	"fmt"
+	"math"
+
+	"pipesched/internal/mapping"
+	"pipesched/internal/platform"
+)
+
+// relEps is the relative tolerance used for feasibility comparisons; all
+// quantities are sums of a few dozen well-scaled terms, so 1e-9 is far
+// above accumulated rounding and far below any modelling signal.
+const relEps = 1e-9
+
+// leq reports x ≤ y up to relative tolerance.
+func leq(x, y float64) bool { return x <= y+relEps*(1+math.Abs(y)) }
+
+// lt reports x < y by a margin exceeding the tolerance (used for the
+// strict-improvement acceptance rule).
+func lt(x, y float64) bool { return x < y-relEps*(1+math.Abs(y)) }
+
+// state is the mutable working set of the splitting engine: the current
+// interval mapping, its per-interval cycle-times, the current latency, and
+// the list of unused processors in fastest-first order.
+type state struct {
+	ev     *mapping.Evaluator
+	ivs    []mapping.Interval
+	cycles []float64 // cycles[j] = cycle-time of ivs[j]
+	lat    float64   // current latency, equation (2)
+	free   []int     // unused processors, fastest first
+}
+
+// newState builds the initial state: all stages on the fastest processor.
+// The engine requires a Communication Homogeneous platform (the paper's
+// setting); the fully heterogeneous extension lives in fullhet.go.
+func newState(ev *mapping.Evaluator) *state {
+	plat := ev.Platform()
+	if plat.Kind() != platform.CommHomogeneous {
+		panic("heuristics: the paper's heuristics target comm-homogeneous platforms; see SplitFullyHet for the extension")
+	}
+	app := ev.Pipeline()
+	order := plat.FastestFirst()
+	first := order[0]
+	st := &state{
+		ev:   ev,
+		ivs:  []mapping.Interval{{Start: 1, End: app.Stages(), Proc: first}},
+		free: order[1:],
+	}
+	st.cycles = []float64{ev.Cycle(1, app.Stages(), first)}
+	st.lat = st.latencyContribution(1, app.Stages(), first) + app.Delta(app.Stages())/plat.Bandwidth()
+	return st
+}
+
+// latencyContribution returns the latency term of one interval:
+// δ_{d-1}/b + W(d,e)/s_u (the trailing δ_n/b of equation (2) is tracked
+// separately as a constant).
+func (st *state) latencyContribution(d, e, u int) float64 {
+	app, plat := st.ev.Pipeline(), st.ev.Platform()
+	return app.Delta(d-1)/plat.Bandwidth() + app.IntervalWork(d, e)/plat.Speed(u)
+}
+
+// period returns the current period (max cycle-time).
+func (st *state) period() float64 {
+	max := st.cycles[0]
+	for _, c := range st.cycles[1:] {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// bottleneck returns the index of the interval achieving the period
+// (lowest index on ties, for determinism).
+func (st *state) bottleneck() int {
+	best := 0
+	for j, c := range st.cycles {
+		if c > st.cycles[best] {
+			best = j
+		}
+	}
+	return best
+}
+
+// latency returns the current latency.
+func (st *state) latency() float64 { return st.lat }
+
+// mapping materialises the current state as a validated Mapping.
+func (st *state) mapping() *mapping.Mapping {
+	return mapping.MustNew(st.ev.Pipeline(), st.ev.Platform(), st.ivs)
+}
+
+// part is one piece of a candidate split.
+type part struct {
+	d, e, proc int
+	cycle      float64
+}
+
+// candidate is a proposed replacement of the bottleneck interval by two or
+// three parts.
+type candidate struct {
+	parts    []part
+	maxCycle float64 // max cycle among the parts
+	dLat     float64 // latency change of the whole mapping
+	ratio    float64 // max_i Δlatency/Δperiod(i); +Inf when some Δperiod(i) ≤ 0
+}
+
+// buildCandidate assembles the candidate metrics for parts replacing
+// interval idx (whose current cycle is oldCycle).
+func (st *state) buildCandidate(idx int, parts []part) candidate {
+	oldCycle := st.cycles[idx]
+	iv := st.ivs[idx]
+	oldLat := st.latencyContribution(iv.Start, iv.End, iv.Proc)
+	newLat := 0.0
+	maxCycle := 0.0
+	ratio := math.Inf(-1)
+	for i := range parts {
+		p := &parts[i]
+		p.cycle = st.ev.Cycle(p.d, p.e, p.proc)
+		if p.cycle > maxCycle {
+			maxCycle = p.cycle
+		}
+		newLat += st.latencyContribution(p.d, p.e, p.proc)
+	}
+	dLat := newLat - oldLat
+	for _, p := range parts {
+		dp := oldCycle - p.cycle
+		if dp <= relEps*(1+oldCycle) {
+			ratio = math.Inf(1)
+			break
+		}
+		if r := dLat / dp; r > ratio {
+			ratio = r
+		}
+	}
+	return candidate{parts: parts, maxCycle: maxCycle, dLat: dLat, ratio: ratio}
+}
+
+// selection rules: the mono-criterion rule minimises the worst new
+// cycle-time; the bi-criteria rule minimises the worst
+// Δlatency/Δperiod(i) ratio. Ties fall back to the other criterion, then
+// to generation order (deterministic).
+
+type selectRule int
+
+const (
+	selectMono selectRule = iota
+	selectBi
+)
+
+func better(rule selectRule, a, b candidate) bool {
+	switch rule {
+	case selectMono:
+		if a.maxCycle != b.maxCycle {
+			return a.maxCycle < b.maxCycle
+		}
+		return a.dLat < b.dLat
+	default: // selectBi
+		if a.ratio != b.ratio {
+			return a.ratio < b.ratio
+		}
+		return a.maxCycle < b.maxCycle
+	}
+}
+
+// splitOptions bundles the knobs the six heuristics vary.
+type splitOptions struct {
+	rule       selectRule
+	threeWay   bool    // try 3-way splits, falling back to 2-way
+	maxLatency float64 // candidates must keep latency ≤ maxLatency (+Inf to disable)
+}
+
+// bestSplit enumerates the admissible splits of interval idx and returns
+// the best candidate under the options, or ok=false when no admissible
+// candidate exists. Admissible means: strictly reduces the bottleneck
+// cycle-time and respects the latency cap.
+func (st *state) bestSplit(idx int, opt splitOptions) (candidate, bool) {
+	iv := st.ivs[idx]
+	oldCycle := st.cycles[idx]
+	var best candidate
+	found := false
+	consider := func(parts []part) {
+		c := st.buildCandidate(idx, parts)
+		if !lt(c.maxCycle, oldCycle) {
+			return // must strictly improve the bottleneck
+		}
+		if !leq(st.lat+c.dLat, opt.maxLatency) {
+			return
+		}
+		if !found || better(opt.rule, c, best) {
+			best, found = c, true
+		}
+	}
+
+	nFree := len(st.free)
+	if nFree == 0 {
+		return candidate{}, false
+	}
+	stages := iv.End - iv.Start + 1
+
+	if opt.threeWay && nFree >= 2 && stages >= 3 {
+		j1, j2 := st.free[0], st.free[1]
+		procs := [3]int{iv.Proc, j1, j2}
+		// All cut pairs and all bijections of the three parts onto
+		// {j, j', j''} — the paper's "testing all possible
+		// permutations and all possible positions where to cut".
+		perms := [6][3]int{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}}
+		for k1 := iv.Start; k1 < iv.End; k1++ {
+			for k2 := k1 + 1; k2 < iv.End; k2++ {
+				bounds := [3][2]int{{iv.Start, k1}, {k1 + 1, k2}, {k2 + 1, iv.End}}
+				for _, pm := range perms {
+					parts := []part{
+						{d: bounds[0][0], e: bounds[0][1], proc: procs[pm[0]]},
+						{d: bounds[1][0], e: bounds[1][1], proc: procs[pm[1]]},
+						{d: bounds[2][0], e: bounds[2][1], proc: procs[pm[2]]},
+					}
+					consider(parts)
+				}
+			}
+		}
+		if found {
+			return best, true
+		}
+		// No admissible 3-way split: fall through to 2-way below.
+	}
+
+	if stages < 2 {
+		return candidate{}, false
+	}
+	j1 := st.free[0]
+	for k := iv.Start; k < iv.End; k++ {
+		consider([]part{{d: iv.Start, e: k, proc: iv.Proc}, {d: k + 1, e: iv.End, proc: j1}})
+		consider([]part{{d: iv.Start, e: k, proc: j1}, {d: k + 1, e: iv.End, proc: iv.Proc}})
+	}
+	return best, found
+}
+
+// apply replaces interval idx by the candidate's parts and consumes the
+// newly enrolled processors from the free list.
+func (st *state) apply(idx int, c candidate) {
+	iv := st.ivs[idx]
+	newIvs := make([]mapping.Interval, 0, len(st.ivs)+len(c.parts)-1)
+	newCycles := make([]float64, 0, cap(newIvs))
+	newIvs = append(newIvs, st.ivs[:idx]...)
+	newCycles = append(newCycles, st.cycles[:idx]...)
+	usedNew := make(map[int]bool, 2)
+	for _, p := range c.parts {
+		newIvs = append(newIvs, mapping.Interval{Start: p.d, End: p.e, Proc: p.proc})
+		newCycles = append(newCycles, p.cycle)
+		if p.proc != iv.Proc {
+			usedNew[p.proc] = true
+		}
+	}
+	newIvs = append(newIvs, st.ivs[idx+1:]...)
+	newCycles = append(newCycles, st.cycles[idx+1:]...)
+	st.ivs, st.cycles = newIvs, newCycles
+	st.lat += c.dLat
+	remaining := st.free[:0]
+	for _, u := range st.free {
+		if !usedNew[u] {
+			remaining = append(remaining, u)
+		}
+	}
+	st.free = remaining
+}
+
+// splitUntil repeatedly splits the bottleneck interval under opt until the
+// period drops to target or below, or no admissible split remains. It
+// reports whether the target was reached.
+func (st *state) splitUntil(target float64, opt splitOptions) bool {
+	for !leq(st.period(), target) {
+		idx := st.bottleneck()
+		c, ok := st.bestSplit(idx, opt)
+		if !ok {
+			return false
+		}
+		st.apply(idx, c)
+	}
+	return true
+}
+
+// Result is the outcome of one heuristic run.
+type Result struct {
+	Mapping *mapping.Mapping
+	Metrics mapping.Metrics
+}
+
+func (st *state) result() Result {
+	m := st.mapping()
+	return Result{Mapping: m, Metrics: mapping.Metrics{Period: st.period(), Latency: st.latency()}}
+}
+
+// InfeasibleError reports that a heuristic could not satisfy its
+// constraint. Best holds the best mapping the heuristic reached anyway
+// (useful for failure-threshold studies: Best.Metrics records how close it
+// got).
+type InfeasibleError struct {
+	Heuristic  string
+	Constraint string  // "period" or "latency"
+	Target     float64 // the requested bound
+	Achieved   float64 // the best value reached
+	Best       Result
+}
+
+func (e *InfeasibleError) Error() string {
+	return fmt.Sprintf("heuristics: %s could not reach %s ≤ %g (best achieved %g)",
+		e.Heuristic, e.Constraint, e.Target, e.Achieved)
+}

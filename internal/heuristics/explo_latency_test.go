@@ -1,0 +1,157 @@
+package heuristics
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pipesched/internal/exact"
+	"pipesched/internal/mapping"
+)
+
+func TestExtensionRegistry(t *testing.T) {
+	ext := ExtensionLatencyHeuristics()
+	if len(ext) != 2 {
+		t.Fatalf("%d extensions, want 2", len(ext))
+	}
+	if ext[0].ID() != "X7" || ext[1].ID() != "X8" {
+		t.Errorf("IDs = %s, %s", ext[0].ID(), ext[1].ID())
+	}
+	// Extension IDs must not collide with the paper's H1–H6.
+	seen := map[string]bool{}
+	for _, h := range PeriodHeuristics() {
+		seen[h.ID()] = true
+	}
+	for _, h := range LatencyHeuristics() {
+		seen[h.ID()] = true
+	}
+	for _, h := range ext {
+		if seen[h.ID()] {
+			t.Errorf("extension ID %s collides with a paper heuristic", h.ID())
+		}
+	}
+}
+
+func TestExploLatencyRespectsBound(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ev := randEvaluator(r, 10, 6)
+		_, optLat := ev.OptimalLatency()
+		bound := optLat * (0.8 + 1.7*r.Float64())
+		for _, h := range ExtensionLatencyHeuristics() {
+			res, err := h.MinimizePeriod(ev, bound)
+			if err != nil {
+				var inf *InfeasibleError
+				if !errors.As(err, &inf) {
+					return false
+				}
+				if bound >= optLat*(1+1e-9) {
+					return false // must succeed at or above the optimum
+				}
+				continue
+			}
+			if res.Metrics.Latency > bound*(1+1e-6) {
+				return false
+			}
+			if math.Abs(ev.Latency(res.Mapping)-res.Metrics.Latency) > 1e-9*(1+res.Metrics.Latency) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExploLatencyNeverBeatsExact(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ev := randEvaluator(r, 7, 5)
+		_, optLat := ev.OptimalLatency()
+		bound := optLat * (1 + 1.5*r.Float64())
+		for _, h := range ExtensionLatencyHeuristics() {
+			res, err := h.MinimizePeriod(ev, bound)
+			if err != nil {
+				continue
+			}
+			opt, err := exact.MinPeriodUnderLatency(ev, bound)
+			if err != nil {
+				return false
+			}
+			if res.Metrics.Period < opt.Metrics.Period-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The extensions share the H5/H6 failure threshold (the optimal latency):
+// failure depends only on the starting mapping, not the move set.
+func TestExploLatencySameThresholdAsH5(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ev := randEvaluator(r, 10, 6)
+		th := LatencyFailureThreshold(ev)
+		for _, h := range ExtensionLatencyHeuristics() {
+			if _, err := h.MinimizePeriod(ev, th); err != nil {
+				return false
+			}
+			if _, err := h.MinimizePeriod(ev, th*0.98-1e-6); err == nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Ablation sanity: on aggregate, the 3-way move set must not lose to plain
+// 2-way splitting under the same latency budget (it can try every 2-way
+// fallback the plain splitter would).
+func TestExploLatencyAggregateQuality(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	var sumPlain, sumExplo float64
+	count := 0
+	for trial := 0; trial < 50; trial++ {
+		ev := randEvaluator(r, 12, 8)
+		_, optLat := ev.OptimalLatency()
+		bound := optLat * 1.5
+		plain, err1 := SpMonoL{}.MinimizePeriod(ev, bound)
+		explo, err2 := ThreeExploMonoL{}.MinimizePeriod(ev, bound)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("trial %d: %v / %v", trial, err1, err2)
+		}
+		sumPlain += plain.Metrics.Period
+		sumExplo += explo.Metrics.Period
+		count++
+	}
+	if sumExplo > sumPlain*1.05 {
+		t.Errorf("3-way exploration lost badly to plain splitting: mean %g vs %g",
+			sumExplo/float64(count), sumPlain/float64(count))
+	}
+}
+
+func TestExploLatencyMappingIsValid(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	ev := randEvaluator(r, 15, 10)
+	_, optLat := ev.OptimalLatency()
+	for _, h := range ExtensionLatencyHeuristics() {
+		res, err := h.MinimizePeriod(ev, optLat*2)
+		if err != nil {
+			t.Fatalf("%s: %v", h.ID(), err)
+		}
+		// Rebuild through the validating constructor.
+		if _, err := mapping.New(ev.Pipeline(), ev.Platform(), res.Mapping.Intervals()); err != nil {
+			t.Errorf("%s produced an invalid mapping: %v", h.ID(), err)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package heuristics
+
+import (
+	"math"
+
+	"pipesched/internal/mapping"
+)
+
+// SplitFullyHet extends the paper's splitting approach to fully
+// heterogeneous platforms (the "future work" of Section 7). On such
+// platforms an interval's cycle-time depends on the *links* to its
+// neighbours, so two things change relative to the Communication
+// Homogeneous engine:
+//
+//   - every candidate split is evaluated by re-scoring the whole trial
+//     mapping (a split changes the neighbouring intervals' communication
+//     costs too);
+//   - the replacement processor is chosen among all unused processors,
+//     not only the next fastest — a slower processor on a fast link can
+//     beat a faster one behind a slow link.
+//
+// The selection rule is mono-criterion (minimise the trial period); the
+// acceptance rule (strict period improvement) and the stopping condition
+// match the homogeneous engine. It also runs, unchanged, on homogeneous
+// platforms, where it degenerates to an H1 variant with free processor
+// choice.
+func SplitFullyHet(ev *mapping.Evaluator, maxPeriod float64) (Result, error) {
+	plat := ev.Platform()
+	app := ev.Pipeline()
+	cur := mapping.SingleProcessor(app, plat, plat.Fastest())
+	curPeriod := ev.Period(cur)
+	used := map[int]bool{plat.Fastest(): true}
+
+	for !leq(curPeriod, maxPeriod) {
+		best, bestPeriod, bestLatency := tryAllSplits(ev, cur, curPeriod, used)
+		if best == nil {
+			res := Result{Mapping: cur, Metrics: ev.Metrics(cur)}
+			return res, &InfeasibleError{
+				Heuristic: "Split fully-het", Constraint: "period",
+				Target: maxPeriod, Achieved: curPeriod, Best: res,
+			}
+		}
+		_ = bestLatency
+		cur, curPeriod = best, bestPeriod
+		used = map[int]bool{}
+		for _, u := range cur.Processors() {
+			used[u] = true
+		}
+	}
+	return Result{Mapping: cur, Metrics: ev.Metrics(cur)}, nil
+}
+
+// tryAllSplits enumerates 2-way splits of the bottleneck interval with
+// every unused processor in either order and returns the trial with the
+// smallest period, or nil when no trial strictly improves on curPeriod.
+func tryAllSplits(ev *mapping.Evaluator, cur *mapping.Mapping, curPeriod float64, used map[int]bool) (*mapping.Mapping, float64, float64) {
+	app, plat := ev.Pipeline(), ev.Platform()
+	ivs := cur.Intervals()
+
+	// Identify the bottleneck interval under the full heterogeneous
+	// cost model.
+	bIdx, bCycle := 0, math.Inf(-1)
+	for j, iv := range ivs {
+		prev, next := 0, 0
+		if j > 0 {
+			prev = ivs[j-1].Proc
+		}
+		if j < len(ivs)-1 {
+			next = ivs[j+1].Proc
+		}
+		in, comp, out := ev.CycleParts(iv.Start, iv.End, iv.Proc, prev, next)
+		if c := in + comp + out; c > bCycle {
+			bIdx, bCycle = j, c
+		}
+	}
+	iv := ivs[bIdx]
+	if iv.Start == iv.End {
+		return nil, 0, 0
+	}
+
+	var best *mapping.Mapping
+	bestPeriod := math.Inf(1)
+	bestLatency := math.Inf(1)
+	consider := func(trial []mapping.Interval) {
+		m, err := mapping.New(app, plat, trial)
+		if err != nil {
+			return
+		}
+		p := ev.Period(m)
+		if !lt(p, curPeriod) {
+			return
+		}
+		l := ev.Latency(m)
+		if p < bestPeriod-relEps || (p < bestPeriod+relEps && l < bestLatency) {
+			best, bestPeriod, bestLatency = m, p, l
+		}
+	}
+	for u := 1; u <= plat.Processors(); u++ {
+		if used[u] {
+			continue
+		}
+		for k := iv.Start; k < iv.End; k++ {
+			for _, order := range [2][2]int{{iv.Proc, u}, {u, iv.Proc}} {
+				trial := make([]mapping.Interval, 0, len(ivs)+1)
+				trial = append(trial, ivs[:bIdx]...)
+				trial = append(trial,
+					mapping.Interval{Start: iv.Start, End: k, Proc: order[0]},
+					mapping.Interval{Start: k + 1, End: iv.End, Proc: order[1]})
+				trial = append(trial, ivs[bIdx+1:]...)
+				consider(trial)
+			}
+		}
+	}
+	if best == nil {
+		return nil, 0, 0
+	}
+	return best, bestPeriod, bestLatency
+}
+
+// MinAchievablePeriodFullyHet is the SplitFullyHet analogue of
+// MinAchievablePeriod: the smallest period the heterogeneous splitter can
+// reach on this instance.
+func MinAchievablePeriodFullyHet(ev *mapping.Evaluator) float64 {
+	res, err := SplitFullyHet(ev, 0)
+	if err == nil {
+		return res.Metrics.Period
+	}
+	if e, ok := err.(*InfeasibleError); ok {
+		return e.Best.Metrics.Period
+	}
+	panic("heuristics: unexpected error from SplitFullyHet: " + err.Error())
+}

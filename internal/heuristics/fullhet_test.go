@@ -1,0 +1,176 @@
+package heuristics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pipesched/internal/mapping"
+	"pipesched/internal/pipeline"
+	"pipesched/internal/platform"
+)
+
+func randHetEvaluator(r *rand.Rand, maxN, maxP int) *mapping.Evaluator {
+	n := 1 + r.Intn(maxN)
+	p := 2 + r.Intn(maxP-1) // fully heterogeneous platforms need ≥ 2 processors
+	works := make([]float64, n)
+	for i := range works {
+		works[i] = float64(1 + r.Intn(20))
+	}
+	deltas := make([]float64, n+1)
+	for i := range deltas {
+		deltas[i] = float64(r.Intn(30))
+	}
+	speeds := make([]float64, p)
+	for i := range speeds {
+		speeds[i] = float64(1 + r.Intn(20))
+	}
+	links := make([][]float64, p)
+	for u := range links {
+		links[u] = make([]float64, p)
+	}
+	for u := 0; u < p; u++ {
+		for v := u + 1; v < p; v++ {
+			b := float64(1 + r.Intn(20))
+			links[u][v], links[v][u] = b, b
+		}
+	}
+	plat, err := platform.NewFullyHeterogeneous(speeds, links)
+	if err != nil {
+		panic(err)
+	}
+	return mapping.NewEvaluator(pipeline.MustNew(works, deltas), plat)
+}
+
+func TestSplitFullyHetRespectsBound(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ev := randHetEvaluator(r, 8, 5)
+		single := mapping.SingleProcessor(ev.Pipeline(), ev.Platform(), ev.Platform().Fastest())
+		p0 := ev.Period(single)
+		bound := p0 * (0.3 + 0.7*r.Float64())
+		res, err := SplitFullyHet(ev, bound)
+		if err != nil {
+			var inf *InfeasibleError
+			if e, ok := err.(*InfeasibleError); ok {
+				inf = e
+			} else {
+				return false
+			}
+			return inf.Best.Metrics.Period > bound*(1-1e-9)
+		}
+		if res.Metrics.Period > bound*(1+1e-6) {
+			return false
+		}
+		// Metrics match a re-evaluation.
+		return math.Abs(ev.Period(res.Mapping)-res.Metrics.Period) < 1e-9*(1+res.Metrics.Period)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitFullyHetOnHomogeneousPlatform(t *testing.T) {
+	// On a homogeneous platform the heterogeneous splitter explores a
+	// superset of H1's candidates at each step, but both are greedy, so
+	// neither final period provably dominates the other per instance.
+	// Assert the sound per-instance envelope (single-processor period
+	// above, nothing below zero) and that on aggregate the free
+	// processor choice does not lose to H1.
+	r := rand.New(rand.NewSource(1))
+	var sumH1, sumHet float64
+	for trial := 0; trial < 60; trial++ {
+		ev := randEvaluator(r, 10, 6)
+		single := mapping.SingleProcessor(ev.Pipeline(), ev.Platform(), ev.Platform().Fastest())
+		p0 := ev.Period(single)
+		h1 := MinAchievablePeriod(ev, SpMonoP{})
+		het := MinAchievablePeriodFullyHet(ev)
+		if het <= 0 || het > p0*(1+1e-9) {
+			t.Fatalf("trial %d: het min period %g outside (0, %g]", trial, het, p0)
+		}
+		sumH1 += h1
+		sumHet += het
+	}
+	if sumHet > sumH1*1.02 {
+		t.Errorf("free processor choice lost to H1 on aggregate: %g vs %g", sumHet/60, sumH1/60)
+	}
+}
+
+// A fast processor behind a slow link must lose to a slightly slower
+// processor on a fast link when communications dominate — the scenario
+// motivating the free processor choice of the heterogeneous splitter.
+//
+// Setup: P1 (speed 10, fastest) initially holds both stages; the stage
+// boundary carries δ = 100. P2 (speed 9) sits behind a bandwidth-1 link
+// from P1 (transfer cost 100); P3 (speed 8) is on a bandwidth-100 link
+// (transfer cost 1). Only splitting toward P3 can reach period ≤ 7:
+// cycles become P1: 0 + 50/10 + 100/100 = 6 and P3: 1 + 50/8 + 0 = 7.25…
+// — still above 7 on the second interval, so put the lighter... both
+// stages weigh 50; the P3 variant yields period 7.25, the bound below
+// must account for it.
+func TestSplitFullyHetPrefersFastLinks(t *testing.T) {
+	app := pipeline.MustNew([]float64{50, 50}, []float64{0, 100, 0})
+	links := [][]float64{
+		{0, 1, 100},
+		{1, 0, 1},
+		{100, 1, 0},
+	}
+	plat, err := platform.NewFullyHeterogeneous([]float64{10, 9, 8}, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := mapping.NewEvaluator(app, plat)
+	// Single-processor period on P1 is 100/10 = 10; the P3 split reaches
+	// max(6, 7.25) = 7.25; the P2 split costs a 100-unit transfer and is
+	// hopeless. Ask for 7.5: only the P3 split qualifies.
+	res, err := SplitFullyHet(ev, 7.5)
+	if err != nil {
+		t.Fatalf("expected feasible: %v", err)
+	}
+	usedP2, usedP3 := false, false
+	for _, u := range res.Mapping.Processors() {
+		switch u {
+		case 2:
+			usedP2 = true
+		case 3:
+			usedP3 = true
+		}
+	}
+	if usedP2 {
+		t.Errorf("splitter chose the fast processor behind the slow link: %v", res.Mapping)
+	}
+	if !usedP3 {
+		t.Errorf("splitter did not use the fast-link processor: %v", res.Mapping)
+	}
+}
+
+func TestSplitFullyHetTrivialBound(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	ev := randHetEvaluator(r, 6, 4)
+	single := mapping.SingleProcessor(ev.Pipeline(), ev.Platform(), ev.Platform().Fastest())
+	p0 := ev.Period(single)
+	res, err := SplitFullyHet(ev, p0*1.01)
+	if err != nil {
+		t.Fatalf("trivial bound failed: %v", err)
+	}
+	if res.Mapping.Size() != 1 {
+		t.Errorf("trivial bound split anyway: %v", res.Mapping)
+	}
+}
+
+func TestMinAchievablePeriodFullyHetConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ev := randHetEvaluator(r, 8, 5)
+		p0 := MinAchievablePeriodFullyHet(ev)
+		if _, err := SplitFullyHet(ev, p0*(1+1e-6)); err != nil {
+			return false
+		}
+		_, err := SplitFullyHet(ev, p0*0.98-1e-6)
+		return err != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,257 @@
+package heuristics
+
+import (
+	"math"
+
+	"pipesched/internal/mapping"
+)
+
+// PeriodConstrained is a heuristic that minimises latency under a maximum
+// period (Section 4.1 of the paper).
+type PeriodConstrained interface {
+	// Name returns the plot label used by the paper, e.g. "Sp mono, P fix".
+	Name() string
+	// ID returns the Table-1 identifier, e.g. "H1".
+	ID() string
+	// MinimizeLatency returns a mapping whose period is at most
+	// maxPeriod with latency as small as the heuristic manages. When the
+	// heuristic cannot reach the period bound it returns an
+	// *InfeasibleError carrying the best mapping found.
+	MinimizeLatency(ev *mapping.Evaluator, maxPeriod float64) (Result, error)
+}
+
+// LatencyConstrained is a heuristic that minimises the period under a
+// maximum latency (Section 4.2 of the paper).
+type LatencyConstrained interface {
+	Name() string
+	ID() string
+	// MinimizePeriod returns a mapping whose latency is at most
+	// maxLatency with period as small as the heuristic manages, or an
+	// *InfeasibleError when even the latency-optimal mapping exceeds the
+	// bound.
+	MinimizePeriod(ev *mapping.Evaluator, maxLatency float64) (Result, error)
+}
+
+// ---------------------------------------------------------------- H1 --
+
+// SpMonoP is heuristic H1, "Splitting mono-criterion" with fixed period:
+// repeatedly 2-way split the bottleneck interval, handing stages to the
+// next fastest unused processor, choosing the cut minimising
+// max(period(j), period(j')); stop as soon as the period bound is met.
+type SpMonoP struct{}
+
+// Name implements PeriodConstrained.
+func (SpMonoP) Name() string { return "Sp mono, P fix" }
+
+// ID implements PeriodConstrained.
+func (SpMonoP) ID() string { return "H1" }
+
+// MinimizeLatency implements PeriodConstrained.
+func (h SpMonoP) MinimizeLatency(ev *mapping.Evaluator, maxPeriod float64) (Result, error) {
+	st := newState(ev)
+	opt := splitOptions{rule: selectMono, maxLatency: math.Inf(1)}
+	ok := st.splitUntil(maxPeriod, opt)
+	res := st.result()
+	if !ok {
+		return res, &InfeasibleError{Heuristic: h.Name(), Constraint: "period", Target: maxPeriod, Achieved: res.Metrics.Period, Best: res}
+	}
+	return res, nil
+}
+
+// ---------------------------------------------------------------- H2 --
+
+// ThreeExploMono is heuristic H2, "3-Exploration mono-criterion": split the
+// bottleneck interval into three parts over the bottleneck processor and
+// the next two fastest unused processors, trying all cut pairs and part
+// permutations, and keep the candidate minimising the worst of the three
+// new cycle-times.
+type ThreeExploMono struct{}
+
+// Name implements PeriodConstrained.
+func (ThreeExploMono) Name() string { return "3-Explo mono" }
+
+// ID implements PeriodConstrained.
+func (ThreeExploMono) ID() string { return "H2" }
+
+// MinimizeLatency implements PeriodConstrained.
+func (h ThreeExploMono) MinimizeLatency(ev *mapping.Evaluator, maxPeriod float64) (Result, error) {
+	st := newState(ev)
+	opt := splitOptions{rule: selectMono, threeWay: true, maxLatency: math.Inf(1)}
+	ok := st.splitUntil(maxPeriod, opt)
+	res := st.result()
+	if !ok {
+		return res, &InfeasibleError{Heuristic: h.Name(), Constraint: "period", Target: maxPeriod, Achieved: res.Metrics.Period, Best: res}
+	}
+	return res, nil
+}
+
+// ---------------------------------------------------------------- H3 --
+
+// ThreeExploBi is heuristic H3, "3-Exploration bi-criteria": same
+// exploration as ThreeExploMono but the retained candidate minimises
+// max_{i∈{j,j′,j″}} Δlatency/Δperiod(i), trading period improvement
+// against latency degradation.
+type ThreeExploBi struct{}
+
+// Name implements PeriodConstrained.
+func (ThreeExploBi) Name() string { return "3-Explo bi" }
+
+// ID implements PeriodConstrained.
+func (ThreeExploBi) ID() string { return "H3" }
+
+// MinimizeLatency implements PeriodConstrained.
+func (h ThreeExploBi) MinimizeLatency(ev *mapping.Evaluator, maxPeriod float64) (Result, error) {
+	st := newState(ev)
+	opt := splitOptions{rule: selectBi, threeWay: true, maxLatency: math.Inf(1)}
+	ok := st.splitUntil(maxPeriod, opt)
+	res := st.result()
+	if !ok {
+		return res, &InfeasibleError{Heuristic: h.Name(), Constraint: "period", Target: maxPeriod, Achieved: res.Metrics.Period, Best: res}
+	}
+	return res, nil
+}
+
+// ---------------------------------------------------------------- H4 --
+
+// SpBiP is heuristic H4, "Splitting bi-criteria" with fixed period: a
+// binary search over the authorized latency. Each trial runs the
+// ratio-guided 2-way splitter under a latency cap and checks whether the
+// period bound is reached; the search shrinks the cap while trials stay
+// feasible, minimising the final latency.
+type SpBiP struct {
+	// Iterations bounds the binary search; 0 means DefaultBinaryIters.
+	Iterations int
+}
+
+// DefaultBinaryIters is the default number of bisection steps of SpBiP;
+// it locates the latency cap within a 2^-30 fraction of the bracket.
+const DefaultBinaryIters = 30
+
+// Name implements PeriodConstrained.
+func (SpBiP) Name() string { return "Sp bi, P fix" }
+
+// ID implements PeriodConstrained.
+func (SpBiP) ID() string { return "H4" }
+
+// MinimizeLatency implements PeriodConstrained.
+func (h SpBiP) MinimizeLatency(ev *mapping.Evaluator, maxPeriod float64) (Result, error) {
+	iters := h.Iterations
+	if iters <= 0 {
+		iters = DefaultBinaryIters
+	}
+	trial := func(latCap float64) (Result, bool) {
+		st := newState(ev)
+		opt := splitOptions{rule: selectBi, maxLatency: latCap}
+		ok := st.splitUntil(maxPeriod, opt)
+		return st.result(), ok
+	}
+	// Unlimited cap first: if even that fails, the heuristic fails.
+	best, ok := trial(math.Inf(1))
+	if !ok {
+		return best, &InfeasibleError{Heuristic: h.Name(), Constraint: "period", Target: maxPeriod, Achieved: best.Metrics.Period, Best: best}
+	}
+	_, lo := ev.OptimalLatency() // latency lower bound (Lemma 1)
+	hi := best.Metrics.Latency
+	for i := 0; i < iters && hi-lo > relEps*(1+hi); i++ {
+		mid := (lo + hi) / 2
+		if res, ok := trial(mid); ok {
+			if res.Metrics.Latency < best.Metrics.Latency {
+				best = res
+			}
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return best, nil
+}
+
+// ---------------------------------------------------------------- H5 --
+
+// SpMonoL is heuristic H5, "Splitting mono-criterion" with fixed latency:
+// the SpMonoP splitter with a different break condition — keep splitting
+// (reducing the period) as long as the latency bound is respected.
+type SpMonoL struct{}
+
+// Name implements LatencyConstrained.
+func (SpMonoL) Name() string { return "Sp mono, L fix" }
+
+// ID implements LatencyConstrained.
+func (SpMonoL) ID() string { return "H5" }
+
+// MinimizePeriod implements LatencyConstrained.
+func (h SpMonoL) MinimizePeriod(ev *mapping.Evaluator, maxLatency float64) (Result, error) {
+	return latencyConstrainedSplit(ev, maxLatency, selectMono, h.Name())
+}
+
+// ---------------------------------------------------------------- H6 --
+
+// SpBiL is heuristic H6, "Splitting bi-criteria" with fixed latency: like
+// SpMonoL but each step picks the split minimising
+// max_{i∈{j,j′}} Δlatency/Δperiod(i).
+type SpBiL struct{}
+
+// Name implements LatencyConstrained.
+func (SpBiL) Name() string { return "Sp bi, L fix" }
+
+// ID implements LatencyConstrained.
+func (SpBiL) ID() string { return "H6" }
+
+// MinimizePeriod implements LatencyConstrained.
+func (h SpBiL) MinimizePeriod(ev *mapping.Evaluator, maxLatency float64) (Result, error) {
+	return latencyConstrainedSplit(ev, maxLatency, selectBi, h.Name())
+}
+
+func latencyConstrainedSplit(ev *mapping.Evaluator, maxLatency float64, rule selectRule, name string) (Result, error) {
+	st := newState(ev)
+	if !leq(st.latency(), maxLatency) {
+		res := st.result()
+		return res, &InfeasibleError{Heuristic: name, Constraint: "latency", Target: maxLatency, Achieved: res.Metrics.Latency, Best: res}
+	}
+	opt := splitOptions{rule: rule, maxLatency: maxLatency}
+	st.splitUntil(0, opt) // split as far as the latency budget allows
+	return st.result(), nil
+}
+
+// ---------------------------------------------------------- registry --
+
+// PeriodHeuristics returns the four period-constrained heuristics in the
+// paper's order (H1–H4).
+func PeriodHeuristics() []PeriodConstrained {
+	return []PeriodConstrained{SpMonoP{}, ThreeExploMono{}, ThreeExploBi{}, SpBiP{}}
+}
+
+// LatencyHeuristics returns the two latency-constrained heuristics (H5, H6).
+func LatencyHeuristics() []LatencyConstrained {
+	return []LatencyConstrained{SpMonoL{}, SpBiL{}}
+}
+
+// MinAchievablePeriod runs h with an unreachable period bound (0) and
+// returns the smallest period its splitting trajectory reaches. Because
+// each accepted split strictly reduces the bottleneck cycle-time, this
+// value is exactly the failure threshold of h on this instance: the
+// heuristic succeeds for every target ≥ it and fails below it.
+func MinAchievablePeriod(ev *mapping.Evaluator, h PeriodConstrained) float64 {
+	res, err := h.MinimizeLatency(ev, 0)
+	if err == nil {
+		// A zero-period success is only possible on degenerate
+		// instances (it cannot happen with positive stage weights).
+		return res.Metrics.Period
+	}
+	var inf *InfeasibleError
+	if e, ok := err.(*InfeasibleError); ok {
+		inf = e
+	} else {
+		panic("heuristics: unexpected error type from MinimizeLatency: " + err.Error())
+	}
+	return inf.Best.Metrics.Period
+}
+
+// LatencyFailureThreshold returns the failure threshold of the
+// latency-constrained heuristics: they fail exactly when the bound is
+// below the optimal latency (Lemma 1), so the threshold is the same for H5
+// and H6 — the paper's Table 1 observes this equality empirically.
+func LatencyFailureThreshold(ev *mapping.Evaluator) float64 {
+	_, l := ev.OptimalLatency()
+	return l
+}

@@ -1,0 +1,522 @@
+package heuristics
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pipesched/internal/exact"
+	"pipesched/internal/mapping"
+	"pipesched/internal/pipeline"
+	"pipesched/internal/platform"
+)
+
+func randEvaluator(r *rand.Rand, maxN, maxP int) *mapping.Evaluator {
+	n := 1 + r.Intn(maxN)
+	p := 1 + r.Intn(maxP)
+	works := make([]float64, n)
+	for i := range works {
+		works[i] = float64(1 + r.Intn(20))
+	}
+	deltas := make([]float64, n+1)
+	for i := range deltas {
+		deltas[i] = float64(r.Intn(30))
+	}
+	speeds := make([]float64, p)
+	for i := range speeds {
+		speeds[i] = float64(1 + r.Intn(20))
+	}
+	return mapping.NewEvaluator(pipeline.MustNew(works, deltas), platform.MustNew(speeds, 10))
+}
+
+func TestRegistry(t *testing.T) {
+	ph := PeriodHeuristics()
+	if len(ph) != 4 {
+		t.Fatalf("PeriodHeuristics: %d entries, want 4", len(ph))
+	}
+	wantIDs := []string{"H1", "H2", "H3", "H4"}
+	wantNames := []string{"Sp mono, P fix", "3-Explo mono", "3-Explo bi", "Sp bi, P fix"}
+	for i, h := range ph {
+		if h.ID() != wantIDs[i] || h.Name() != wantNames[i] {
+			t.Errorf("heuristic %d: (%s, %s), want (%s, %s)", i, h.ID(), h.Name(), wantIDs[i], wantNames[i])
+		}
+	}
+	lh := LatencyHeuristics()
+	if len(lh) != 2 {
+		t.Fatalf("LatencyHeuristics: %d entries, want 2", len(lh))
+	}
+	if lh[0].ID() != "H5" || lh[1].ID() != "H6" {
+		t.Errorf("latency heuristic IDs: %s, %s", lh[0].ID(), lh[1].ID())
+	}
+}
+
+// With a generous period bound every period-constrained heuristic must
+// return the latency-optimal single-processor mapping unchanged.
+func TestPeriodHeuristicsTrivialBound(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		ev := randEvaluator(r, 8, 5)
+		single := mapping.SingleProcessor(ev.Pipeline(), ev.Platform(), ev.Platform().Fastest())
+		p0 := ev.Period(single)
+		_, optLat := ev.OptimalLatency()
+		for _, h := range PeriodHeuristics() {
+			res, err := h.MinimizeLatency(ev, p0*1.01)
+			if err != nil {
+				t.Fatalf("%s: unexpected failure: %v", h.ID(), err)
+			}
+			if math.Abs(res.Metrics.Latency-optLat) > 1e-9 {
+				t.Errorf("%s: latency %g at trivial bound, want optimal %g", h.ID(), res.Metrics.Latency, optLat)
+			}
+			if res.Mapping.Size() != 1 {
+				t.Errorf("%s: %d intervals at trivial bound, want 1", h.ID(), res.Mapping.Size())
+			}
+		}
+	}
+}
+
+// Heuristic results must respect their constraint and be valid mappings.
+func TestPeriodHeuristicsRespectBound(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ev := randEvaluator(r, 10, 6)
+		single := mapping.SingleProcessor(ev.Pipeline(), ev.Platform(), ev.Platform().Fastest())
+		p0 := ev.Period(single)
+		bound := p0 * (0.2 + 0.8*r.Float64())
+		for _, h := range PeriodHeuristics() {
+			res, err := h.MinimizeLatency(ev, bound)
+			if err != nil {
+				var inf *InfeasibleError
+				if !errors.As(err, &inf) {
+					return false
+				}
+				// On failure the best mapping must still be valid
+				// and its period above the bound.
+				if inf.Best.Metrics.Period <= bound*(1-1e-9) {
+					return false
+				}
+				continue
+			}
+			if res.Metrics.Period > bound*(1+1e-6) {
+				return false
+			}
+			// Reported metrics must match a re-evaluation.
+			if math.Abs(ev.Period(res.Mapping)-res.Metrics.Period) > 1e-9*(1+res.Metrics.Period) {
+				return false
+			}
+			if math.Abs(ev.Latency(res.Mapping)-res.Metrics.Latency) > 1e-9*(1+res.Metrics.Latency) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLatencyHeuristicsRespectBound(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ev := randEvaluator(r, 10, 6)
+		_, optLat := ev.OptimalLatency()
+		bound := optLat * (0.8 + 1.7*r.Float64()) // sometimes infeasible
+		for _, h := range LatencyHeuristics() {
+			res, err := h.MinimizePeriod(ev, bound)
+			if err != nil {
+				var inf *InfeasibleError
+				if !errors.As(err, &inf) {
+					return false
+				}
+				// Fails exactly when the bound is below optimum.
+				if bound >= optLat*(1+1e-9) {
+					return false
+				}
+				continue
+			}
+			if bound < optLat*(1-1e-9) {
+				return false // should have failed
+			}
+			if res.Metrics.Latency > bound*(1+1e-6) {
+				return false
+			}
+			if math.Abs(ev.Latency(res.Mapping)-res.Metrics.Latency) > 1e-9*(1+res.Metrics.Latency) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Heuristic latencies can never beat the exact optimum for the same period
+// bound, and heuristic periods can never beat the exact optimum for the
+// same latency bound (admissibility against the DP oracle).
+func TestHeuristicsNeverBeatExact(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ev := randEvaluator(r, 7, 5)
+		single := mapping.SingleProcessor(ev.Pipeline(), ev.Platform(), ev.Platform().Fastest())
+		p0 := ev.Period(single)
+		bound := p0 * (0.3 + 0.7*r.Float64())
+		for _, h := range PeriodHeuristics() {
+			res, err := h.MinimizeLatency(ev, bound)
+			if err != nil {
+				continue
+			}
+			opt, err := exact.MinLatencyUnderPeriod(ev, bound)
+			if err != nil {
+				return false // heuristic feasible but exact not: impossible
+			}
+			if res.Metrics.Latency < opt.Metrics.Latency-1e-9 {
+				return false
+			}
+		}
+		_, optLat := ev.OptimalLatency()
+		lBound := optLat * (1 + 1.5*r.Float64())
+		for _, h := range LatencyHeuristics() {
+			res, err := h.MinimizePeriod(ev, lBound)
+			if err != nil {
+				continue
+			}
+			opt, err := exact.MinPeriodUnderLatency(ev, lBound)
+			if err != nil {
+				return false
+			}
+			if res.Metrics.Period < opt.Metrics.Period-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Monotonicity of the splitter: a looser period bound never yields a
+// larger latency for the splitting heuristics (they stop earlier).
+func TestSpMonoPMonotoneInBound(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ev := randEvaluator(r, 10, 6)
+		single := mapping.SingleProcessor(ev.Pipeline(), ev.Platform(), ev.Platform().Fastest())
+		p0 := ev.Period(single)
+		b1 := p0 * (0.3 + 0.4*r.Float64())
+		b2 := b1 * (1 + r.Float64()) // b2 ≥ b1
+		h := SpMonoP{}
+		r1, err1 := h.MinimizeLatency(ev, b1)
+		r2, err2 := h.MinimizeLatency(ev, b2)
+		if err1 != nil {
+			return true // tighter bound failed; nothing to compare
+		}
+		if err2 != nil {
+			return false // looser bound cannot fail if tighter succeeded
+		}
+		return r2.Metrics.Latency <= r1.Metrics.Latency+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The latency-constrained heuristics are monotone too: more latency budget
+// never yields a worse period.
+func TestLatencyHeuristicsMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ev := randEvaluator(r, 10, 6)
+		_, optLat := ev.OptimalLatency()
+		b1 := optLat * (1 + r.Float64())
+		b2 := b1 * (1 + r.Float64())
+		for _, h := range LatencyHeuristics() {
+			r1, err1 := h.MinimizePeriod(ev, b1)
+			r2, err2 := h.MinimizePeriod(ev, b2)
+			if err1 != nil || err2 != nil {
+				return false // both bounds ≥ optLat: must succeed
+			}
+			if r2.Metrics.Period > r1.Metrics.Period+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinAchievablePeriodIsThreshold(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ev := randEvaluator(r, 8, 5)
+		for _, h := range PeriodHeuristics() {
+			p0 := MinAchievablePeriod(ev, h)
+			// Succeeds exactly at the threshold...
+			if _, err := h.MinimizeLatency(ev, p0*(1+1e-6)); err != nil {
+				return false
+			}
+			// ...and fails measurably below it.
+			if _, err := h.MinimizeLatency(ev, p0*0.98-1e-6); err == nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The paper's Table-1 observation: H5 and H6 share their failure
+// threshold, which equals the optimal latency.
+func TestLatencyFailureThreshold(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ev := randEvaluator(r, 10, 6)
+		th := LatencyFailureThreshold(ev)
+		_, optLat := ev.OptimalLatency()
+		if th != optLat {
+			return false
+		}
+		for _, h := range LatencyHeuristics() {
+			if _, err := h.MinimizePeriod(ev, th); err != nil {
+				return false
+			}
+			if _, err := h.MinimizePeriod(ev, th*0.98-1e-6); err == nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Hand-checked instance: 2 stages w={8,8}, δ={0,4,0}, speeds {4,2}, b=1.
+// Single mapping on P1: period = 16/4 = 4, latency 4.
+// Split {S1→P1, S2→P2}: cycles = 8/4+4 = 6 and 4+8/2 = 8 → period 8: worse.
+// Split {S1→P2, S2→P1}: cycles = 8/2+4 = 8, 4+8/4 = 6 → period 8: worse.
+// So no split improves: SpMonoP succeeds only for bounds ≥ 4.
+func TestSplitRejectsWorseningCuts(t *testing.T) {
+	app := pipeline.MustNew([]float64{8, 8}, []float64{0, 4, 0})
+	plat := platform.MustNew([]float64{4, 2}, 1)
+	ev := mapping.NewEvaluator(app, plat)
+	h := SpMonoP{}
+	res, err := h.MinimizeLatency(ev, 4)
+	if err != nil {
+		t.Fatalf("bound 4 should be feasible: %v", err)
+	}
+	if res.Mapping.Size() != 1 {
+		t.Errorf("expected no split, got %v", res.Mapping)
+	}
+	if _, err := h.MinimizeLatency(ev, 3.9); err == nil {
+		t.Error("bound 3.9 should be infeasible (no improving split exists)")
+	}
+}
+
+// Hand-checked instance where splitting helps: w={10,10}, δ=0 everywhere,
+// speeds {2,2}, b=1. Single: period 10. Split: each cycle 5 → period 5,
+// latency 10.
+func TestSplitImprovesWhenProfitable(t *testing.T) {
+	app := pipeline.MustNew([]float64{10, 10}, []float64{0, 0, 0})
+	plat := platform.MustNew([]float64{2, 2}, 1)
+	ev := mapping.NewEvaluator(app, plat)
+	res, err := SpMonoP{}.MinimizeLatency(ev, 5)
+	if err != nil {
+		t.Fatalf("bound 5 should be feasible: %v", err)
+	}
+	if res.Mapping.Size() != 2 {
+		t.Errorf("expected a split, got %v", res.Mapping)
+	}
+	if math.Abs(res.Metrics.Period-5) > 1e-9 || math.Abs(res.Metrics.Latency-10) > 1e-9 {
+		t.Errorf("metrics = %+v, want period 5, latency 10", res.Metrics)
+	}
+}
+
+// 3-Explo on a 3-stage pipeline with 3 equal processors must reach the
+// perfectly balanced 3-way split in one step.
+func TestThreeExploSplitsInOneStep(t *testing.T) {
+	app := pipeline.MustNew([]float64{6, 6, 6}, make([]float64, 4))
+	plat := platform.MustNew([]float64{3, 3, 3}, 1)
+	ev := mapping.NewEvaluator(app, plat)
+	for _, h := range []PeriodConstrained{ThreeExploMono{}, ThreeExploBi{}} {
+		res, err := h.MinimizeLatency(ev, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", h.ID(), err)
+		}
+		if res.Mapping.Size() != 3 {
+			t.Errorf("%s: mapping %v, want 3 singleton intervals", h.ID(), res.Mapping)
+		}
+		if math.Abs(res.Metrics.Period-2) > 1e-9 {
+			t.Errorf("%s: period %g, want 2", h.ID(), res.Metrics.Period)
+		}
+	}
+}
+
+// 3-Explo must fall back to 2-way splits when only one processor remains
+// unused (p = 2) and still satisfy reachable bounds.
+func TestThreeExploFallbackTwoProcessors(t *testing.T) {
+	app := pipeline.MustNew([]float64{10, 10}, make([]float64, 3))
+	plat := platform.MustNew([]float64{2, 2}, 1)
+	ev := mapping.NewEvaluator(app, plat)
+	res, err := ThreeExploMono{}.MinimizeLatency(ev, 5)
+	if err != nil {
+		t.Fatalf("fallback failed: %v", err)
+	}
+	if res.Mapping.Size() != 2 {
+		t.Errorf("mapping %v, want 2 intervals", res.Mapping)
+	}
+}
+
+// 3-Explo must also fall back when the bottleneck interval has only two
+// stages (no room for three parts).
+func TestThreeExploFallbackShortInterval(t *testing.T) {
+	app := pipeline.MustNew([]float64{10, 10}, make([]float64, 3))
+	plat := platform.MustNew([]float64{2, 2, 2, 2}, 1)
+	ev := mapping.NewEvaluator(app, plat)
+	res, err := ThreeExploMono{}.MinimizeLatency(ev, 5)
+	if err != nil {
+		t.Fatalf("fallback failed: %v", err)
+	}
+	if math.Abs(res.Metrics.Period-5) > 1e-9 {
+		t.Errorf("period %g, want 5", res.Metrics.Period)
+	}
+}
+
+// SpBiP must never return a worse latency than its own unconstrained trial
+// and must keep the period feasible on every success.
+func TestSpBiPBinarySearchImproves(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ev := randEvaluator(r, 10, 6)
+		single := mapping.SingleProcessor(ev.Pipeline(), ev.Platform(), ev.Platform().Fastest())
+		p0 := ev.Period(single)
+		bound := p0 * (0.3 + 0.6*r.Float64())
+		res, err := SpBiP{}.MinimizeLatency(ev, bound)
+		if err != nil {
+			return true
+		}
+		if res.Metrics.Period > bound*(1+1e-6) {
+			return false
+		}
+		// Compare against SpMonoL-style unconstrained bi splitter: the
+		// binary search result can only have smaller or equal latency
+		// than the +Inf-cap trial, which is what a degenerate
+		// 1-iteration search would return.
+		oneIter, err := SpBiP{Iterations: 1}.MinimizeLatency(ev, bound)
+		if err != nil {
+			return false
+		}
+		return res.Metrics.Latency <= oneIter.Metrics.Latency+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// On single-processor platforms every heuristic degenerates gracefully.
+func TestSingleProcessorPlatform(t *testing.T) {
+	app := pipeline.MustNew([]float64{5, 5}, []float64{1, 1, 1})
+	plat := platform.MustNew([]float64{2}, 10)
+	ev := mapping.NewEvaluator(app, plat)
+	// Period of the only mapping: 0.1 + 5 + 0.1 = 5.2; latency the same.
+	for _, h := range PeriodHeuristics() {
+		if res, err := h.MinimizeLatency(ev, 5.2); err != nil || res.Mapping.Size() != 1 {
+			t.Errorf("%s: res=%+v err=%v", h.ID(), res.Metrics, err)
+		}
+		if _, err := h.MinimizeLatency(ev, 5.0); err == nil {
+			t.Errorf("%s: impossible bound accepted", h.ID())
+		}
+	}
+	for _, h := range LatencyHeuristics() {
+		if res, err := h.MinimizePeriod(ev, 5.2); err != nil || math.Abs(res.Metrics.Period-5.2) > 1e-9 {
+			t.Errorf("%s: res=%+v err=%v", h.ID(), res.Metrics, err)
+		}
+	}
+}
+
+// Determinism: the same instance always produces the identical mapping.
+func TestHeuristicsDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	ev := randEvaluator(r, 12, 8)
+	single := mapping.SingleProcessor(ev.Pipeline(), ev.Platform(), ev.Platform().Fastest())
+	bound := ev.Period(single) * 0.5
+	for _, h := range PeriodHeuristics() {
+		a, errA := h.MinimizeLatency(ev, bound)
+		b, errB := h.MinimizeLatency(ev, bound)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("%s: non-deterministic feasibility", h.ID())
+		}
+		if errA == nil && a.Mapping.String() != b.Mapping.String() {
+			t.Errorf("%s: non-deterministic mapping:\n%v\n%v", h.ID(), a.Mapping, b.Mapping)
+		}
+	}
+}
+
+// The heuristics must enroll processors fastest-first: every processor
+// used in the result is at least as fast as every unused one (speeds drawn
+// distinct to make the check exact).
+func TestFastestProcessorsEnrolledFirst(t *testing.T) {
+	app := pipeline.MustNew([]float64{9, 9, 9, 9}, make([]float64, 5))
+	plat := platform.MustNew([]float64{1, 7, 3, 9, 5}, 10)
+	ev := mapping.NewEvaluator(app, plat)
+	res, err := SpMonoP{}.MinimizeLatency(ev, 2.5)
+	if err != nil {
+		t.Fatalf("unexpected failure: %v", err)
+	}
+	used := make(map[int]bool)
+	for _, u := range res.Mapping.Processors() {
+		used[u] = true
+	}
+	slowestUsed := math.Inf(1)
+	fastestUnused := 0.0
+	for u := 1; u <= 5; u++ {
+		s := plat.Speed(u)
+		if used[u] && s < slowestUsed {
+			slowestUsed = s
+		}
+		if !used[u] && s > fastestUnused {
+			fastestUnused = s
+		}
+	}
+	if fastestUnused > slowestUsed {
+		t.Errorf("used a slower processor (%g) while a faster one (%g) stayed idle: %v",
+			slowestUsed, fastestUnused, res.Mapping)
+	}
+}
+
+func TestInfeasibleErrorMessage(t *testing.T) {
+	app := pipeline.MustNew([]float64{10}, []float64{0, 0})
+	plat := platform.MustNew([]float64{2}, 1)
+	ev := mapping.NewEvaluator(app, plat)
+	_, err := SpMonoP{}.MinimizeLatency(ev, 1)
+	var inf *InfeasibleError
+	if !errors.As(err, &inf) {
+		t.Fatalf("err = %v, want *InfeasibleError", err)
+	}
+	if inf.Target != 1 || inf.Constraint != "period" || inf.Achieved != 5 {
+		t.Errorf("InfeasibleError = %+v", inf)
+	}
+	if inf.Error() == "" {
+		t.Error("empty error message")
+	}
+}
+
+func TestEngineRejectsHeterogeneousPlatform(t *testing.T) {
+	plat, err := platform.NewFullyHeterogeneous([]float64{1, 1}, [][]float64{{0, 1}, {1, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := mapping.NewEvaluator(pipeline.MustNew([]float64{1}, []float64{0, 0}), plat)
+	defer func() {
+		if recover() == nil {
+			t.Error("engine accepted a fully heterogeneous platform")
+		}
+	}()
+	SpMonoP{}.MinimizeLatency(ev, 1)
+}

@@ -1,0 +1,224 @@
+// Package integration_test wires every subsystem together on shared
+// instances: workload generation → lower bounds → heuristics → exact
+// solvers → simulator, across all four experiment families. Each test
+// asserts a relationship *between* modules that no per-package unit test
+// can see.
+package integration_test
+
+import (
+	"math"
+	"testing"
+
+	"pipesched/internal/chains"
+	"pipesched/internal/exact"
+	"pipesched/internal/heuristics"
+	"pipesched/internal/lowerbound"
+	"pipesched/internal/mapping"
+	"pipesched/internal/onetoone"
+	"pipesched/internal/pipeline"
+	"pipesched/internal/platform"
+	"pipesched/internal/sim"
+	"pipesched/internal/subhlok"
+	"pipesched/internal/workload"
+)
+
+// The full sandwich on every family: for random instances and a sweep of
+// period bounds,
+//
+//	lower bound ≤ exact optimum ≤ heuristic ≤ single-processor period
+//
+// and every feasible heuristic mapping simulates to its analytic metrics.
+func TestSandwichAcrossFamilies(t *testing.T) {
+	for _, fam := range workload.Families() {
+		fam := fam
+		t.Run(fam.String(), func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(0); seed < 5; seed++ {
+				in := workload.Generate(workload.Config{
+					Family: fam, Stages: 8, Processors: 6, Seed: 9000 + seed,
+				})
+				ev := in.Evaluator()
+				lb := lowerbound.Period(ev)
+				opt, err := exact.MinPeriod(ev)
+				if err != nil {
+					t.Fatal(err)
+				}
+				single := mapping.SingleProcessor(in.App, in.Plat, in.Plat.Fastest())
+				p0 := ev.Period(single)
+				if lb > opt.Metrics.Period*(1+1e-9) {
+					t.Fatalf("seed %d: lower bound %g > exact %g", seed, lb, opt.Metrics.Period)
+				}
+				if opt.Metrics.Period > p0*(1+1e-9) {
+					t.Fatalf("seed %d: exact %g > single-proc %g", seed, opt.Metrics.Period, p0)
+				}
+				for _, h := range heuristics.PeriodHeuristics() {
+					minP := heuristics.MinAchievablePeriod(ev, h)
+					if minP < opt.Metrics.Period-1e-9 {
+						t.Fatalf("seed %d: %s reached %g below exact optimum %g",
+							seed, h.ID(), minP, opt.Metrics.Period)
+					}
+					res, err := h.MinimizeLatency(ev, minP*1.000001)
+					if err != nil {
+						t.Fatalf("seed %d: %s infeasible at own threshold: %v", seed, h.ID(), err)
+					}
+					if err := sim.ValidateModel(ev, res.Mapping, 1e-9); err != nil {
+						t.Fatalf("seed %d: %s mapping fails simulation: %v", seed, h.ID(), err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// One-to-one optima are dominated by interval optima whenever n ≤ p (the
+// interval class strictly contains singletons), and the heuristics —
+// though restricted to fastest-first processors — must stay within the
+// one-to-one period optimum's reach on loose bounds.
+func TestOneToOneDominatedByIntervals(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		in := workload.Generate(workload.Config{
+			Family: workload.E2, Stages: 5, Processors: 8, Seed: 700 + seed,
+		})
+		ev := in.Evaluator()
+		_, oMet, err := onetoone.MinPeriod(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		iOpt, err := exact.MinPeriod(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if iOpt.Metrics.Period > oMet.Period*(1+1e-9) {
+			t.Fatalf("seed %d: interval optimum %g worse than one-to-one %g",
+				seed, iOpt.Metrics.Period, oMet.Period)
+		}
+		_, oLat, err := onetoone.MinLatency(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, intervalOptLat := ev.OptimalLatency()
+		if intervalOptLat > oLat.Latency*(1+1e-9) {
+			t.Fatalf("seed %d: Lemma-1 latency %g worse than one-to-one latency %g",
+				seed, intervalOptLat, oLat.Latency)
+		}
+	}
+}
+
+// On identical-speed platforms three independent solvers must agree: the
+// polynomial Subhlok DP, the exponential bitmask DP, and (for the chains
+// sub-case with zero communications) the homogeneous chains DP.
+func TestThreeSolverAgreementIdenticalSpeeds(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		in := workload.Generate(workload.Config{
+			Family: workload.E1, Stages: 7, Processors: 4, Seed: 300 + seed,
+		})
+		// Force identical speeds, keep the generated works/deltas.
+		speeds := in.Plat.Speeds()
+		for i := range speeds {
+			speeds[i] = 10
+		}
+		plat := mustPlatform(t, speeds, in.Plat.Bandwidth())
+		ev := mapping.NewEvaluator(in.App, plat)
+		poly, err := subhlok.MinPeriod(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		expo, err := exact.MinPeriod(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(poly.Metrics.Period-expo.Metrics.Period) > 1e-9 {
+			t.Fatalf("seed %d: subhlok %g vs exact %g", seed, poly.Metrics.Period, expo.Metrics.Period)
+		}
+		// Zero-comm variant reduces to homogeneous chains.
+		app0 := mustPipeline(t, in.App.Works(), make([]float64, in.App.Stages()+1))
+		ev0 := mapping.NewEvaluator(app0, plat)
+		poly0, err := subhlok.MinPeriod(ev0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		part, err := chains.HomogeneousDP(in.App.Works(), plat.Processors())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(poly0.Metrics.Period-part.Bottleneck/10) > 1e-9 {
+			t.Fatalf("seed %d: subhlok %g vs chains %g", seed, poly0.Metrics.Period, part.Bottleneck/10)
+		}
+	}
+}
+
+// The Table-1 relationships hold on fresh instances never seen by the
+// per-package tests: thresholds are bracketed by the lower bound and the
+// single-processor period, and the latency thresholds equal the optimal
+// latency exactly.
+func TestThresholdBracketing(t *testing.T) {
+	for _, fam := range workload.Families() {
+		for seed := int64(0); seed < 5; seed++ {
+			in := workload.Generate(workload.Config{
+				Family: fam, Stages: 12, Processors: 10, Seed: 5000 + seed,
+			})
+			ev := in.Evaluator()
+			lb := lowerbound.Period(ev)
+			single := mapping.SingleProcessor(in.App, in.Plat, in.Plat.Fastest())
+			p0 := ev.Period(single)
+			for _, h := range heuristics.PeriodHeuristics() {
+				th := heuristics.MinAchievablePeriod(ev, h)
+				if th < lb*(1-1e-9) || th > p0*(1+1e-9) {
+					t.Fatalf("%s seed %d: %s threshold %g outside [%g, %g]",
+						fam, seed, h.ID(), th, lb, p0)
+				}
+			}
+			_, optLat := ev.OptimalLatency()
+			if th := heuristics.LatencyFailureThreshold(ev); th != optLat {
+				t.Fatalf("%s seed %d: latency threshold %g ≠ optimal latency %g", fam, seed, th, optLat)
+			}
+		}
+	}
+}
+
+// End-to-end pipeline through the simulator at scale: run a heuristic
+// mapping for thousands of data sets and verify throughput accounting —
+// makespan ≈ latency + (K-1)·period — a relationship combining both
+// analytic formulas with the simulator's execution.
+func TestThroughputAccounting(t *testing.T) {
+	in := workload.Generate(workload.Config{
+		Family: workload.E2, Stages: 20, Processors: 10, Seed: 77,
+	})
+	ev := in.Evaluator()
+	floor := heuristics.MinAchievablePeriod(ev, heuristics.SpMonoP{})
+	res, err := heuristics.SpMonoP{}.MinimizeLatency(ev, floor*1.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 5000
+	rep, err := sim.Run(ev, res.Mapping, sim.Options{DataSets: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The pipeline fill costs at most one latency; afterwards one data
+	// set completes per period. Allow one extra period of slack for the
+	// fill/drain boundary.
+	upper := res.Metrics.Latency + float64(k)*res.Metrics.Period
+	lower := float64(k-1) * res.Metrics.Period
+	if rep.Makespan > upper+1e-6 || rep.Makespan < lower-1e-6 {
+		t.Fatalf("makespan %g outside [%g, %g]", rep.Makespan, lower, upper)
+	}
+}
+
+func mustPlatform(t *testing.T, speeds []float64, b float64) *platform.Platform {
+	t.Helper()
+	p, err := platform.New(speeds, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func mustPipeline(t *testing.T, works, deltas []float64) *pipeline.Pipeline {
+	t.Helper()
+	p, err := pipeline.New(works, deltas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}

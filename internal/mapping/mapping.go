@@ -1,0 +1,269 @@
+// Package mapping represents interval mappings of a pipeline onto a
+// platform and evaluates their period and latency according to equations
+// (1) and (2) of the paper.
+//
+// An interval mapping partitions the stages [1..n] into m ≤ p intervals
+// I_j = [d_j, e_j] of consecutive stages, with d_1 = 1, d_{j+1} = e_j + 1
+// and e_m = n; interval I_j is executed by a dedicated processor alloc(j),
+// and distinct intervals use distinct processors.
+package mapping
+
+import (
+	"fmt"
+	"strings"
+
+	"pipesched/internal/pipeline"
+	"pipesched/internal/platform"
+)
+
+// Interval is one element of an interval mapping: stages [Start..End]
+// (1-based, inclusive) run on processor Proc.
+type Interval struct {
+	Start int // d_j, first stage of the interval
+	End   int // e_j, last stage of the interval
+	Proc  int // alloc(j), 1-based processor identifier
+}
+
+// Stages returns the number of stages of the interval.
+func (iv Interval) Stages() int { return iv.End - iv.Start + 1 }
+
+func (iv Interval) String() string {
+	if iv.Start == iv.End {
+		return fmt.Sprintf("S%d→P%d", iv.Start, iv.Proc)
+	}
+	return fmt.Sprintf("S%d..S%d→P%d", iv.Start, iv.End, iv.Proc)
+}
+
+// Mapping is an ordered sequence of intervals covering [1..n].
+// The zero value is an empty mapping, invalid for any pipeline.
+type Mapping struct {
+	intervals []Interval
+}
+
+// New validates ivs against the pipeline and platform and returns the
+// mapping. The intervals must appear in pipeline order, cover [1..n]
+// exactly, reference existing processors, and use each processor at most
+// once.
+func New(app *pipeline.Pipeline, plat *platform.Platform, ivs []Interval) (*Mapping, error) {
+	n, p := app.Stages(), plat.Processors()
+	if len(ivs) == 0 {
+		return nil, fmt.Errorf("mapping: no interval for %d stages", n)
+	}
+	if len(ivs) > p {
+		return nil, fmt.Errorf("mapping: %d intervals but only %d processors", len(ivs), p)
+	}
+	used := make(map[int]bool, len(ivs))
+	next := 1
+	for j, iv := range ivs {
+		if iv.Start != next {
+			return nil, fmt.Errorf("mapping: interval %d starts at stage %d, want %d", j+1, iv.Start, next)
+		}
+		if iv.End < iv.Start {
+			return nil, fmt.Errorf("mapping: interval %d is empty ([%d..%d])", j+1, iv.Start, iv.End)
+		}
+		if iv.End > n {
+			return nil, fmt.Errorf("mapping: interval %d ends at stage %d beyond n=%d", j+1, iv.End, n)
+		}
+		if iv.Proc < 1 || iv.Proc > p {
+			return nil, fmt.Errorf("mapping: interval %d uses processor %d outside [1..%d]", j+1, iv.Proc, p)
+		}
+		if used[iv.Proc] {
+			return nil, fmt.Errorf("mapping: processor %d assigned to more than one interval", iv.Proc)
+		}
+		used[iv.Proc] = true
+		next = iv.End + 1
+	}
+	if next != n+1 {
+		return nil, fmt.Errorf("mapping: stages %d..%d left unmapped", next, n)
+	}
+	return &Mapping{intervals: append([]Interval(nil), ivs...)}, nil
+}
+
+// MustNew is New but panics on error; intended for tests.
+func MustNew(app *pipeline.Pipeline, plat *platform.Platform, ivs []Interval) *Mapping {
+	m, err := New(app, plat, ivs)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// SingleProcessor maps the whole pipeline onto processor u. This is the
+// latency-optimal mapping when u is the fastest processor (Lemma 1).
+func SingleProcessor(app *pipeline.Pipeline, plat *platform.Platform, u int) *Mapping {
+	m, err := New(app, plat, []Interval{{Start: 1, End: app.Stages(), Proc: u}})
+	if err != nil {
+		panic(err) // only reachable through an invalid u
+	}
+	return m
+}
+
+// Intervals returns a copy of the mapping's intervals in pipeline order.
+func (m *Mapping) Intervals() []Interval { return append([]Interval(nil), m.intervals...) }
+
+// Size returns the number of intervals (enrolled processors).
+func (m *Mapping) Size() int { return len(m.intervals) }
+
+// Interval returns the j-th interval, j in [0..Size()-1].
+func (m *Mapping) Interval(j int) Interval { return m.intervals[j] }
+
+// ProcessorOf returns the processor executing stage k.
+func (m *Mapping) ProcessorOf(k int) int {
+	for _, iv := range m.intervals {
+		if iv.Start <= k && k <= iv.End {
+			return iv.Proc
+		}
+	}
+	panic(fmt.Sprintf("mapping: stage %d not covered", k))
+}
+
+// Processors returns the set of enrolled processors in pipeline order.
+func (m *Mapping) Processors() []int {
+	out := make([]int, len(m.intervals))
+	for j, iv := range m.intervals {
+		out[j] = iv.Proc
+	}
+	return out
+}
+
+func (m *Mapping) String() string {
+	parts := make([]string, len(m.intervals))
+	for j, iv := range m.intervals {
+		parts[j] = iv.String()
+	}
+	return strings.Join(parts, " | ")
+}
+
+// Clone returns an independent copy of the mapping.
+func (m *Mapping) Clone() *Mapping {
+	return &Mapping{intervals: append([]Interval(nil), m.intervals...)}
+}
+
+// Metrics bundles the two antagonist criteria of the paper for one mapping.
+type Metrics struct {
+	Period  float64 // T_period, equation (1)
+	Latency float64 // T_latency, equation (2)
+}
+
+// Dominates reports whether a is at least as good as b on both criteria and
+// strictly better on at least one (Pareto dominance, smaller is better).
+func (a Metrics) Dominates(b Metrics) bool {
+	if a.Period > b.Period || a.Latency > b.Latency {
+		return false
+	}
+	return a.Period < b.Period || a.Latency < b.Latency
+}
+
+// Evaluator computes interval cycle-times, periods and latencies for one
+// (pipeline, platform) pair. It pre-binds the pair so that the heuristics'
+// inner loops evaluate candidate intervals in O(1) each.
+type Evaluator struct {
+	app  *pipeline.Pipeline
+	plat *platform.Platform
+}
+
+// NewEvaluator binds a pipeline and a platform.
+func NewEvaluator(app *pipeline.Pipeline, plat *platform.Platform) *Evaluator {
+	return &Evaluator{app: app, plat: plat}
+}
+
+// Pipeline returns the bound application.
+func (ev *Evaluator) Pipeline() *pipeline.Pipeline { return ev.app }
+
+// Platform returns the bound platform.
+func (ev *Evaluator) Platform() *platform.Platform { return ev.plat }
+
+// inBandwidth is the bandwidth stage d's input crosses when the previous
+// interval lives on processor prev (0 for the outside world) and the
+// current one on cur. On homogeneous platforms every link has bandwidth b;
+// the outside world is reached through a link of the same bandwidth.
+func (ev *Evaluator) inBandwidth(prev, cur int) float64 {
+	if ev.plat.Kind() == platform.CommHomogeneous {
+		return ev.plat.Bandwidth()
+	}
+	if prev == 0 || prev == cur {
+		// Outside world: served by the slowest adjacent link, a
+		// conservative choice consistent with Platform.Homogenize.
+		return ev.plat.MinLinkBandwidth()
+	}
+	return ev.plat.LinkBandwidth(prev, cur)
+}
+
+// CycleParts returns the three terms of the cycle-time of interval
+// [d..e] on processor u: input communication, computation, output
+// communication. prev and next are the processors holding the neighbouring
+// intervals (0 for the outside world); they matter only on fully
+// heterogeneous platforms.
+func (ev *Evaluator) CycleParts(d, e, u, prev, next int) (in, comp, out float64) {
+	in = ev.app.Delta(d-1) / ev.inBandwidth(prev, u)
+	comp = ev.app.IntervalWork(d, e) / ev.plat.Speed(u)
+	out = ev.app.Delta(e) / ev.inBandwidth(next, u)
+	return in, comp, out
+}
+
+// Cycle returns the cycle-time of interval [d..e] on processor u for a
+// Communication Homogeneous platform:
+//
+//	δ_{d-1}/b + Σ_{i=d..e} w_i / s_u + δ_e/b.
+//
+// The period of a mapping is the maximum cycle over its intervals.
+func (ev *Evaluator) Cycle(d, e, u int) float64 {
+	in, comp, out := ev.CycleParts(d, e, u, 0, 0)
+	if ev.plat.Kind() != platform.CommHomogeneous {
+		panic("mapping: Cycle is only defined on comm-homogeneous platforms; use CycleParts with neighbour processors")
+	}
+	return in + comp + out
+}
+
+// Period evaluates equation (1) for m.
+func (ev *Evaluator) Period(m *Mapping) float64 {
+	max := 0.0
+	ivs := m.intervals
+	for j, iv := range ivs {
+		prev, next := 0, 0
+		if j > 0 {
+			prev = ivs[j-1].Proc
+		}
+		if j < len(ivs)-1 {
+			next = ivs[j+1].Proc
+		}
+		in, comp, out := ev.CycleParts(iv.Start, iv.End, iv.Proc, prev, next)
+		if c := in + comp + out; c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// Latency evaluates equation (2) for m: data sets traverse all stages and
+// only inter-processor communications are paid:
+//
+//	Σ_j ( δ_{d_j-1}/b + Σ_{i∈I_j} w_i / s_alloc(j) ) + δ_n/b.
+func (ev *Evaluator) Latency(m *Mapping) float64 {
+	total := 0.0
+	ivs := m.intervals
+	for j, iv := range ivs {
+		prev := 0
+		if j > 0 {
+			prev = ivs[j-1].Proc
+		}
+		in, comp, _ := ev.CycleParts(iv.Start, iv.End, iv.Proc, prev, 0)
+		total += in + comp
+	}
+	last := ivs[len(ivs)-1]
+	_, _, out := ev.CycleParts(last.Start, last.End, last.Proc, 0, 0)
+	return total + out
+}
+
+// Metrics evaluates both criteria at once.
+func (ev *Evaluator) Metrics(m *Mapping) Metrics {
+	return Metrics{Period: ev.Period(m), Latency: ev.Latency(m)}
+}
+
+// OptimalLatency returns the minimum achievable latency over all interval
+// mappings together with the mapping realising it: everything on the
+// fastest processor (Lemma 1 of the paper).
+func (ev *Evaluator) OptimalLatency() (*Mapping, float64) {
+	m := SingleProcessor(ev.app, ev.plat, ev.plat.Fastest())
+	return m, ev.Latency(m)
+}

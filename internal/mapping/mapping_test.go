@@ -1,0 +1,318 @@
+package mapping
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"pipesched/internal/pipeline"
+	"pipesched/internal/platform"
+)
+
+func app3() *pipeline.Pipeline {
+	// 3 stages: w = 4, 6, 2; δ = 10, 20, 30, 40.
+	return pipeline.MustNew([]float64{4, 6, 2}, []float64{10, 20, 30, 40})
+}
+
+func plat3() *platform.Platform {
+	// 3 processors of speeds 2, 1, 4; b = 10.
+	return platform.MustNew([]float64{2, 1, 4}, 10)
+}
+
+func TestNewValidatesStructure(t *testing.T) {
+	app, plat := app3(), plat3()
+	valid := []Interval{{1, 2, 3}, {3, 3, 1}}
+	if _, err := New(app, plat, valid); err != nil {
+		t.Fatalf("valid mapping rejected: %v", err)
+	}
+	bad := []struct {
+		name string
+		ivs  []Interval
+	}{
+		{"empty", nil},
+		{"gap", []Interval{{1, 1, 1}, {3, 3, 2}}},
+		{"overlap", []Interval{{1, 2, 1}, {2, 3, 2}}},
+		{"starts late", []Interval{{2, 3, 1}}},
+		{"ends early", []Interval{{1, 2, 1}}},
+		{"beyond n", []Interval{{1, 4, 1}}},
+		{"empty interval", []Interval{{1, 0, 1}, {1, 3, 2}}},
+		{"processor reuse", []Interval{{1, 1, 2}, {2, 3, 2}}},
+		{"processor out of range", []Interval{{1, 3, 4}}},
+		{"processor zero", []Interval{{1, 3, 0}}},
+		{"too many intervals", []Interval{{1, 1, 1}, {2, 2, 2}, {3, 3, 3}, {4, 4, 4}}},
+	}
+	for _, c := range bad {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := New(app, plat, c.ivs); err == nil {
+				t.Errorf("New(%v) succeeded, want error", c.ivs)
+			}
+		})
+	}
+}
+
+func TestSingleProcessorMetrics(t *testing.T) {
+	app, plat := app3(), plat3()
+	ev := NewEvaluator(app, plat)
+	m := SingleProcessor(app, plat, 3) // fastest, speed 4
+	// Period = δ0/b + Σw/s + δ3/b = 10/10 + 12/4 + 40/10 = 1 + 3 + 4 = 8.
+	if got := ev.Period(m); math.Abs(got-8) > 1e-12 {
+		t.Errorf("Period = %g, want 8", got)
+	}
+	// Latency = same as period for a single interval.
+	if got := ev.Latency(m); math.Abs(got-8) > 1e-12 {
+		t.Errorf("Latency = %g, want 8", got)
+	}
+}
+
+func TestTwoIntervalMetricsByHand(t *testing.T) {
+	app, plat := app3(), plat3()
+	ev := NewEvaluator(app, plat)
+	// [1..2] on P3 (speed 4), [3..3] on P1 (speed 2).
+	m := MustNew(app, plat, []Interval{{1, 2, 3}, {3, 3, 1}})
+	// cycle1 = δ0/b + (4+6)/4 + δ2/b = 1 + 2.5 + 3 = 6.5
+	// cycle2 = δ2/b + 2/2 + δ3/b = 3 + 1 + 4 = 8
+	if got := ev.Period(m); math.Abs(got-8) > 1e-12 {
+		t.Errorf("Period = %g, want 8", got)
+	}
+	// latency = (1 + 2.5) + (3 + 1) + δ3/b = 3.5 + 4 + 4 = 11.5
+	if got := ev.Latency(m); math.Abs(got-11.5) > 1e-12 {
+		t.Errorf("Latency = %g, want 11.5", got)
+	}
+}
+
+func TestCycleMatchesPaperFormula(t *testing.T) {
+	app, plat := app3(), plat3()
+	ev := NewEvaluator(app, plat)
+	// Interval [2..3] on P2 (speed 1): 20/10 + (6+2)/1 + 40/10 = 2+8+4 = 14.
+	if got := ev.Cycle(2, 3, 2); math.Abs(got-14) > 1e-12 {
+		t.Errorf("Cycle(2,3,2) = %g, want 14", got)
+	}
+}
+
+func TestOptimalLatencyLemma1(t *testing.T) {
+	app, plat := app3(), plat3()
+	ev := NewEvaluator(app, plat)
+	m, l := ev.OptimalLatency()
+	if m.Size() != 1 || m.Interval(0).Proc != 3 {
+		t.Errorf("OptimalLatency mapping = %v, want single interval on P3", m)
+	}
+	if math.Abs(l-8) > 1e-12 {
+		t.Errorf("OptimalLatency = %g, want 8", l)
+	}
+}
+
+// Lemma 1: the single-interval mapping on the fastest processor has minimum
+// latency among all interval mappings. Verify exhaustively on random small
+// instances.
+func TestLemma1Exhaustive(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(5)
+		p := 1 + r.Intn(4)
+		works := make([]float64, n)
+		for i := range works {
+			works[i] = 1 + 19*r.Float64()
+		}
+		deltas := make([]float64, n+1)
+		for i := range deltas {
+			deltas[i] = 100 * r.Float64()
+		}
+		speeds := make([]float64, p)
+		for i := range speeds {
+			speeds[i] = float64(1 + r.Intn(20))
+		}
+		app := pipeline.MustNew(works, deltas)
+		plat := platform.MustNew(speeds, 10)
+		ev := NewEvaluator(app, plat)
+		_, best := ev.OptimalLatency()
+		ok := true
+		enumerate(app, plat, func(m *Mapping) {
+			if ev.Latency(m) < best-1e-9 {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// enumerate calls fn for every valid interval mapping of app onto plat
+// (exponential; small instances only). It is shared with the evaluator
+// consistency test below.
+func enumerate(app *pipeline.Pipeline, plat *platform.Platform, fn func(*Mapping)) {
+	n, p := app.Stages(), plat.Processors()
+	var rec func(start int, used uint32, acc []Interval)
+	rec = func(start int, used uint32, acc []Interval) {
+		if start > n {
+			m, err := New(app, plat, acc)
+			if err != nil {
+				panic(err)
+			}
+			fn(m)
+			return
+		}
+		if len(acc) == p { // no processor left
+			return
+		}
+		for end := start; end <= n; end++ {
+			for u := 1; u <= p; u++ {
+				if used&(1<<u) != 0 {
+					continue
+				}
+				rec(end+1, used|1<<u, append(acc, Interval{start, end, u}))
+			}
+		}
+	}
+	rec(1, 0, nil)
+}
+
+// Invariant: latency ≥ the sum of all computation terms plus end-to-end
+// communications paid, and latency ≥ period's computation share. More
+// directly testable: latency ≥ δ_0/b + Σ w_i/s_max + δ_n/b (every mapping's
+// latency is at least the optimal one), and period ≤ latency when only one
+// interval exists.
+func TestEvaluatorInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(6)
+		p := 1 + r.Intn(5)
+		works := make([]float64, n)
+		for i := range works {
+			works[i] = 0.01 + 10*r.Float64()
+		}
+		deltas := make([]float64, n+1)
+		for i := range deltas {
+			deltas[i] = 20 * r.Float64()
+		}
+		speeds := make([]float64, p)
+		for i := range speeds {
+			speeds[i] = float64(1 + r.Intn(20))
+		}
+		app := pipeline.MustNew(works, deltas)
+		plat := platform.MustNew(speeds, 10)
+		ev := NewEvaluator(app, plat)
+		_, optimal := ev.OptimalLatency()
+		ok := true
+		enumerate(app, plat, func(m *Mapping) {
+			lat, per := ev.Latency(m), ev.Period(m)
+			if lat < optimal-1e-9 {
+				ok = false
+			}
+			if per <= 0 || lat <= 0 {
+				ok = false
+			}
+			// The bottleneck interval's full cycle can exceed the
+			// latency only through its output comm being counted
+			// differently; but latency always ≥ any interval's
+			// in+comp contribution.
+			for _, iv := range m.Intervals() {
+				in, comp, _ := ev.CycleParts(iv.Start, iv.End, iv.Proc, 0, 0)
+				if lat < in+comp-1e-9 {
+					ok = false
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMetricsDominates(t *testing.T) {
+	a := Metrics{Period: 1, Latency: 5}
+	cases := []struct {
+		b    Metrics
+		want bool
+	}{
+		{Metrics{2, 6}, true},
+		{Metrics{1, 6}, true},
+		{Metrics{2, 5}, true},
+		{Metrics{1, 5}, false}, // equal: no strict improvement
+		{Metrics{0.5, 6}, false} /* better period */, {Metrics{2, 4}, false},
+	}
+	for _, c := range cases {
+		if got := a.Dominates(c.b); got != c.want {
+			t.Errorf("(%v).Dominates(%v) = %v, want %v", a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestProcessorOfAndClone(t *testing.T) {
+	app, plat := app3(), plat3()
+	m := MustNew(app, plat, []Interval{{1, 1, 2}, {2, 3, 1}})
+	if m.ProcessorOf(1) != 2 || m.ProcessorOf(2) != 1 || m.ProcessorOf(3) != 1 {
+		t.Errorf("ProcessorOf wrong: %d %d %d", m.ProcessorOf(1), m.ProcessorOf(2), m.ProcessorOf(3))
+	}
+	c := m.Clone()
+	if c.String() != m.String() {
+		t.Error("Clone differs")
+	}
+	procs := m.Processors()
+	if len(procs) != 2 || procs[0] != 2 || procs[1] != 1 {
+		t.Errorf("Processors() = %v", procs)
+	}
+}
+
+func TestZeroCommunicationReducesToChains(t *testing.T) {
+	// With all δ = 0 the period is exactly the heterogeneous 1D
+	// partitioning objective max_j load_j / s_j (Theorem 2 setting).
+	app := pipeline.MustNew([]float64{3, 1, 4, 1, 5}, make([]float64, 6))
+	plat := platform.MustNew([]float64{2, 1}, 1)
+	ev := NewEvaluator(app, plat)
+	m := MustNew(app, plat, []Interval{{1, 3, 1}, {4, 5, 2}})
+	// loads: 8/2 = 4, 6/1 = 6 → period 6; latency 4+6 = 10.
+	if got := ev.Period(m); math.Abs(got-6) > 1e-12 {
+		t.Errorf("Period = %g, want 6", got)
+	}
+	if got := ev.Latency(m); math.Abs(got-10) > 1e-12 {
+		t.Errorf("Latency = %g, want 10", got)
+	}
+}
+
+func TestFullyHeterogeneousEvaluation(t *testing.T) {
+	app := pipeline.MustNew([]float64{4, 6}, []float64{0, 30, 0})
+	links := [][]float64{{0, 3}, {3, 0}}
+	plat, err := platform.NewFullyHeterogeneous([]float64{2, 2}, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := NewEvaluator(app, plat)
+	m := MustNew(app, plat, []Interval{{1, 1, 1}, {2, 2, 2}})
+	// cycle1 = 0 + 4/2 + 30/3 = 12; cycle2 = 30/3 + 6/2 + 0 = 13.
+	if got := ev.Period(m); math.Abs(got-13) > 1e-12 {
+		t.Errorf("Period = %g, want 13", got)
+	}
+	// latency = (0 + 2) + (10 + 3) + 0 = 15.
+	if got := ev.Latency(m); math.Abs(got-15) > 1e-12 {
+		t.Errorf("Latency = %g, want 15", got)
+	}
+}
+
+func TestCyclePanicsOnHeterogeneous(t *testing.T) {
+	app := pipeline.MustNew([]float64{1}, []float64{0, 0})
+	plat, err := platform.NewFullyHeterogeneous([]float64{1, 1}, [][]float64{{0, 1}, {1, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := NewEvaluator(app, plat)
+	defer func() {
+		if recover() == nil {
+			t.Error("Cycle on heterogeneous platform did not panic")
+		}
+	}()
+	ev.Cycle(1, 1, 1)
+}
+
+func TestStringFormat(t *testing.T) {
+	app, plat := app3(), plat3()
+	m := MustNew(app, plat, []Interval{{1, 2, 3}, {3, 3, 1}})
+	s := m.String()
+	if !strings.Contains(s, "S1..S2→P3") || !strings.Contains(s, "S3→P1") {
+		t.Errorf("String() = %q", s)
+	}
+}

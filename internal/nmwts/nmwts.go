@@ -1,0 +1,317 @@
+// Package nmwts makes the paper's NP-completeness construction executable
+// (Section 3, Theorem 1): it models NUMERICAL MATCHING WITH TARGET SUMS
+// (NMWTS) instances, solves small ones exhaustively, and implements the
+// polynomial reduction from NMWTS to Hetero-1D-Partition together with the
+// forward and backward solution mappings the proof describes.
+//
+// Given 3m numbers x_1..x_m, y_1..y_m, z_1..z_m, NMWTS asks for two
+// permutations σ1, σ2 of {1..m} with x_i + y_{σ1(i)} = z_{σ2(i)} for all
+// i. The reduction builds (M+3)·m tasks and 3m processor speeds such that
+// a partition matching the bound K = 1 exists iff the NMWTS instance has a
+// solution (M = max over all values, B = 2M, C = 5M, D = 7M).
+package nmwts
+
+import (
+	"errors"
+	"fmt"
+
+	"pipesched/internal/chains"
+)
+
+// Instance is an NMWTS instance. All values must be positive.
+type Instance struct {
+	X, Y, Z []int
+}
+
+// M returns the number of triples.
+func (in Instance) M() int { return len(in.X) }
+
+// Validate checks structural well-formedness (equal lengths, positive
+// values). It does not check solvability.
+func (in Instance) Validate() error {
+	m := len(in.X)
+	if m == 0 {
+		return errors.New("nmwts: empty instance")
+	}
+	if len(in.Y) != m || len(in.Z) != m {
+		return fmt.Errorf("nmwts: lengths %d/%d/%d differ", len(in.X), len(in.Y), len(in.Z))
+	}
+	for _, s := range [][]int{in.X, in.Y, in.Z} {
+		for _, v := range s {
+			if v <= 0 {
+				return fmt.Errorf("nmwts: non-positive value %d", v)
+			}
+		}
+	}
+	return nil
+}
+
+// MaxValue returns M = max_i {x_i, y_i, z_i}.
+func (in Instance) MaxValue() int {
+	m := 0
+	for _, s := range [][]int{in.X, in.Y, in.Z} {
+		for _, v := range s {
+			if v > m {
+				m = v
+			}
+		}
+	}
+	return m
+}
+
+// SumsBalanced reports whether Σx + Σy = Σz, a necessary condition for
+// solvability the proof assumes.
+func (in Instance) SumsBalanced() bool {
+	sx, sy, sz := 0, 0, 0
+	for i := range in.X {
+		sx += in.X[i]
+		sy += in.Y[i]
+		sz += in.Z[i]
+	}
+	return sx+sy == sz
+}
+
+// Solution pairs the two permutations: X[i] + Y[Sigma1[i]] = Z[Sigma2[i]]
+// (0-based indices).
+type Solution struct {
+	Sigma1, Sigma2 []int
+}
+
+// Check verifies sol against the instance.
+func (in Instance) Check(sol Solution) error {
+	m := in.M()
+	if len(sol.Sigma1) != m || len(sol.Sigma2) != m {
+		return fmt.Errorf("nmwts: permutation lengths %d/%d, want %d", len(sol.Sigma1), len(sol.Sigma2), m)
+	}
+	if !isPerm(sol.Sigma1) || !isPerm(sol.Sigma2) {
+		return errors.New("nmwts: not permutations")
+	}
+	for i := 0; i < m; i++ {
+		if in.X[i]+in.Y[sol.Sigma1[i]] != in.Z[sol.Sigma2[i]] {
+			return fmt.Errorf("nmwts: x_%d + y_%d = %d ≠ z_%d = %d",
+				i, sol.Sigma1[i], in.X[i]+in.Y[sol.Sigma1[i]], sol.Sigma2[i], in.Z[sol.Sigma2[i]])
+		}
+	}
+	return nil
+}
+
+func isPerm(p []int) bool {
+	seen := make([]bool, len(p))
+	for _, v := range p {
+		if v < 0 || v >= len(p) || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+// MaxBruteM caps SolveBrute (m! × m! pairings pruned to m! × matching).
+const MaxBruteM = 7
+
+// SolveBrute finds a solution by exhaustive search over σ1 with a greedy
+// multiset match for σ2, or reports that none exists. Instances larger
+// than MaxBruteM are rejected.
+func SolveBrute(in Instance) (Solution, bool, error) {
+	if err := in.Validate(); err != nil {
+		return Solution{}, false, err
+	}
+	m := in.M()
+	if m > MaxBruteM {
+		return Solution{}, false, fmt.Errorf("nmwts: brute force limited to m ≤ %d, got %d", MaxBruteM, m)
+	}
+	perm := make([]int, m)
+	used := make([]bool, m)
+	var try func(i int) (Solution, bool)
+	try = func(i int) (Solution, bool) {
+		if i == m {
+			// σ1 fixed; match sums against Z as multisets.
+			sigma2, ok := matchSums(in, perm)
+			if !ok {
+				return Solution{}, false
+			}
+			return Solution{Sigma1: append([]int(nil), perm...), Sigma2: sigma2}, true
+		}
+		for j := 0; j < m; j++ {
+			if used[j] {
+				continue
+			}
+			used[j] = true
+			perm[i] = j
+			if sol, ok := try(i + 1); ok {
+				used[j] = false
+				return sol, true
+			}
+			used[j] = false
+		}
+		return Solution{}, false
+	}
+	sol, ok := try(0)
+	return sol, ok, nil
+}
+
+// matchSums finds σ2 with x_i + y_{σ1(i)} = z_{σ2(i)}, greedily consuming
+// equal z values (exact because equality is a rigid constraint).
+func matchSums(in Instance, sigma1 []int) ([]int, bool) {
+	m := in.M()
+	taken := make([]bool, m)
+	sigma2 := make([]int, m)
+	for i := 0; i < m; i++ {
+		want := in.X[i] + in.Y[sigma1[i]]
+		found := false
+		for j := 0; j < m; j++ {
+			if !taken[j] && in.Z[j] == want {
+				taken[j] = true
+				sigma2[i] = j
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, false
+		}
+	}
+	return sigma2, true
+}
+
+// Reduction is the Theorem-1 gadget: a Hetero-1D-Partition instance whose
+// bound-1 solutions correspond exactly to NMWTS solutions.
+type Reduction struct {
+	Tasks  []float64 // n = (M+3)·m task weights
+	Speeds []float64 // p = 3m processor speeds
+	M      int       // number of triples m
+	MaxVal int       // M = max value
+}
+
+// B, C and D return the gadget constants 2M, 5M and 7M.
+func (r Reduction) B() float64 { return 2 * float64(r.MaxVal) }
+
+// C returns 5M (weight of the guard task before each D task).
+func (r Reduction) C() float64 { return 5 * float64(r.MaxVal) }
+
+// D returns 7M (weight of the separator tasks).
+func (r Reduction) D() float64 { return 7 * float64(r.MaxVal) }
+
+// Reduce builds the reduction for a validated instance.
+func Reduce(in Instance) (Reduction, error) {
+	if err := in.Validate(); err != nil {
+		return Reduction{}, err
+	}
+	m := in.M()
+	mv := in.MaxValue()
+	b, c, d := 2*mv, 5*mv, 7*mv
+	var tasks []float64
+	for i := 0; i < m; i++ {
+		tasks = append(tasks, float64(b+in.X[i])) // A_i = B + x_i
+		for j := 0; j < mv; j++ {
+			tasks = append(tasks, 1) // M unit tasks
+		}
+		tasks = append(tasks, float64(c), float64(d))
+	}
+	speeds := make([]float64, 3*m)
+	for i := 0; i < m; i++ {
+		speeds[i] = float64(b + in.Z[i])        // s_i = B + z_i
+		speeds[m+i] = float64(c + mv - in.Y[i]) // s_{m+i} = C + M − y_i
+		speeds[2*m+i] = float64(d)              // s_{2m+i} = D
+	}
+	return Reduction{Tasks: tasks, Speeds: speeds, M: m, MaxVal: mv}, nil
+}
+
+// PartitionFromSolution builds the bound-1 partition the proof's forward
+// direction describes: processor P_{σ2(i)} takes A_i and y_{σ1(i)} unit
+// tasks, P_{m+σ1(i)} takes the remaining M − y_{σ1(i)} units plus C, and
+// P_{2m+i} takes the D task.
+func PartitionFromSolution(in Instance, r Reduction, sol Solution) (chains.Partition, error) {
+	if err := in.Check(sol); err != nil {
+		return chains.Partition{}, err
+	}
+	m := in.M()
+	blockLen := r.MaxVal + 3
+	var ends, procs []int
+	for i := 0; i < m; i++ {
+		base := i * blockLen
+		y := in.Y[sol.Sigma1[i]]
+		ends = append(ends, base+1+y) // A_i + y unit tasks
+		procs = append(procs, sol.Sigma2[i])
+		ends = append(ends, base+blockLen-1) // rest of units + C
+		procs = append(procs, m+sol.Sigma1[i])
+		ends = append(ends, base+blockLen) // D
+		procs = append(procs, 2*m+i)
+	}
+	bott := 0.0
+	start := 0
+	for k, e := range ends {
+		load := 0.0
+		for t := start; t < e; t++ {
+			load += r.Tasks[t]
+		}
+		if v := load / r.Speeds[procs[k]]; v > bott {
+			bott = v
+		}
+		start = e
+	}
+	part := chains.Partition{Ends: ends, Proc: procs, Bottleneck: bott}
+	if err := chains.Verify(r.Tasks, r.Speeds, part); err != nil {
+		return chains.Partition{}, fmt.Errorf("nmwts: forward mapping built invalid partition: %w", err)
+	}
+	if bott > 1+1e-9 {
+		return chains.Partition{}, fmt.Errorf("nmwts: forward mapping bottleneck %g > 1", bott)
+	}
+	return part, nil
+}
+
+// SolutionFromPartition is the proof's backward direction: extract the two
+// permutations from any partition of the reduction matching bound 1.
+func SolutionFromPartition(in Instance, r Reduction, part chains.Partition) (Solution, error) {
+	if err := chains.Verify(r.Tasks, r.Speeds, part); err != nil {
+		return Solution{}, err
+	}
+	if part.Bottleneck > 1+1e-9 {
+		return Solution{}, fmt.Errorf("nmwts: partition bottleneck %g > 1", part.Bottleneck)
+	}
+	m := in.M()
+	blockLen := r.MaxVal + 3
+	sigma1 := make([]int, m)
+	sigma2 := make([]int, m)
+	for i := range sigma1 {
+		sigma1[i], sigma2[i] = -1, -1
+	}
+	for k := range part.Ends {
+		start, end := part.Bounds(k)
+		proc := part.Proc[k]
+		block := start / blockLen
+		if block >= m {
+			return Solution{}, fmt.Errorf("nmwts: interval %d beyond gadget blocks", k)
+		}
+		first := r.Tasks[start]
+		switch {
+		case first == float64(r.MaxVal)*2+float64(in.X[block]) && start == block*blockLen:
+			// Interval starting at A_block → processor must be some
+			// P_j with j < m, defining σ2(block) = j.
+			if proc >= m {
+				return Solution{}, fmt.Errorf("nmwts: A-interval on non-B processor %d", proc)
+			}
+			sigma2[block] = proc
+			// Units taken: end − start − 1 = h_block = y_{σ1(block)}.
+		case r.Tasks[end-1] == r.C():
+			// Interval ending at the C task → P_{m+j}, defining
+			// σ1(block) = j.
+			if proc < m || proc >= 2*m {
+				return Solution{}, fmt.Errorf("nmwts: C-interval on processor %d", proc)
+			}
+			sigma1[block] = proc - m
+		case first == r.D() && end == start+1:
+			// Singleton D task on a D processor: structural only.
+			if proc < 2*m {
+				return Solution{}, fmt.Errorf("nmwts: D task on processor %d", proc)
+			}
+		default:
+			return Solution{}, fmt.Errorf("nmwts: unexpected interval [%d,%d) in bound-1 partition", start, end)
+		}
+	}
+	sol := Solution{Sigma1: sigma1, Sigma2: sigma2}
+	if err := in.Check(sol); err != nil {
+		return Solution{}, fmt.Errorf("nmwts: extracted permutations invalid: %w", err)
+	}
+	return sol, nil
+}

@@ -1,0 +1,183 @@
+package onetoone
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"pipesched/internal/mapping"
+)
+
+// assignMinCost solves the rectangular assignment problem: match each of
+// the n rows to a distinct column (n ≤ cols) minimising the total cost,
+// where math.Inf(1) marks forbidden pairs. It is the
+// shortest-augmenting-path Hungarian algorithm with potentials, O(n²·cols).
+// ok is false when no finite-cost perfect matching exists.
+func assignMinCost(cost [][]float64) (alloc []int, total float64, ok bool) {
+	n := len(cost)
+	if n == 0 {
+		return nil, 0, true
+	}
+	m := len(cost[0])
+	if m < n {
+		return nil, 0, false
+	}
+	const inf = math.MaxFloat64
+	// 1-based arrays in the classic formulation.
+	u := make([]float64, n+1)
+	v := make([]float64, m+1)
+	matchCol := make([]int, m+1) // column → row matched to it (0 = free)
+	way := make([]int, m+1)
+	for i := 1; i <= n; i++ {
+		matchCol[0] = i
+		j0 := 0
+		minv := make([]float64, m+1)
+		used := make([]bool, m+1)
+		for j := range minv {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0 := matchCol[j0]
+			delta := inf
+			j1 := -1
+			for j := 1; j <= m; j++ {
+				if used[j] {
+					continue
+				}
+				// Relax via the tree's newest row i0 (forbidden
+				// edges don't relax, but the column may already be
+				// reachable through an earlier tree row, so it must
+				// still take part in the delta scan below).
+				if c := cost[i0-1][j-1]; !math.IsInf(c, 1) {
+					cur := c - u[i0] - v[j]
+					if cur < minv[j] {
+						minv[j] = cur
+						way[j] = j0
+					}
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			if j1 < 0 {
+				return nil, 0, false // no augmenting path via finite edges
+			}
+			for j := 0; j <= m; j++ {
+				if used[j] {
+					u[matchCol[j]] += delta
+					v[j] -= delta
+				} else if minv[j] != inf {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if matchCol[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			matchCol[j0] = matchCol[j1]
+			j0 = j1
+		}
+	}
+	alloc = make([]int, n)
+	for j := 1; j <= m; j++ {
+		if matchCol[j] > 0 {
+			alloc[matchCol[j]-1] = j
+			total += cost[matchCol[j]-1][j-1]
+		}
+	}
+	return alloc, total, true
+}
+
+// MinLatencyUnderPeriod returns the minimum-latency one-to-one mapping
+// among those of period ≤ maxPeriod — the exact bi-criteria optimum on
+// the one-to-one class, which is polynomial (unlike the interval class):
+// the latency is Σ_k w_k/s_alloc(k) plus assignment-independent terms, so
+// the problem is a min-sum assignment over the pairs admissible under the
+// period bound, solved by the Hungarian algorithm.
+func MinLatencyUnderPeriod(ev *mapping.Evaluator, maxPeriod float64) (*mapping.Mapping, mapping.Metrics, error) {
+	if err := guard(ev); err != nil {
+		return nil, mapping.Metrics{}, err
+	}
+	app, plat := ev.Pipeline(), ev.Platform()
+	n, p := app.Stages(), plat.Processors()
+	slack := maxPeriod * (1 + 1e-12)
+	cost := make([][]float64, n)
+	for k := 1; k <= n; k++ {
+		cost[k-1] = make([]float64, p)
+		for u := 1; u <= p; u++ {
+			if ev.Cycle(k, k, u) <= slack {
+				cost[k-1][u-1] = app.Work(k) / plat.Speed(u)
+			} else {
+				cost[k-1][u-1] = math.Inf(1)
+			}
+		}
+	}
+	alloc, _, ok := assignMinCost(cost)
+	if !ok {
+		return nil, mapping.Metrics{}, errors.New("onetoone: no one-to-one mapping satisfies the period bound")
+	}
+	m, err := assignmentMapping(ev, alloc)
+	if err != nil {
+		return nil, mapping.Metrics{}, err
+	}
+	return m, ev.Metrics(m), nil
+}
+
+// ParetoFront returns the exact (period, latency) trade-off curve of the
+// one-to-one class, in polynomial time: the period only takes the n·p
+// single-stage cycle values; each candidate bound feeds the Hungarian
+// min-latency solver and dominated points are pruned.
+func ParetoFront(ev *mapping.Evaluator) ([]struct {
+	Metrics mapping.Metrics
+	Mapping *mapping.Mapping
+}, error) {
+	if err := guard(ev); err != nil {
+		return nil, err
+	}
+	app, plat := ev.Pipeline(), ev.Platform()
+	n, p := app.Stages(), plat.Processors()
+	cands := make([]float64, 0, n*p)
+	for k := 1; k <= n; k++ {
+		for u := 1; u <= p; u++ {
+			cands = append(cands, ev.Cycle(k, k, u))
+		}
+	}
+	sort.Float64s(cands)
+	type point = struct {
+		Metrics mapping.Metrics
+		Mapping *mapping.Mapping
+	}
+	var points []point
+	prevLat := math.Inf(1)
+	for _, c := range cands {
+		m, met, err := MinLatencyUnderPeriod(ev, c)
+		if err != nil {
+			continue
+		}
+		if met.Latency < prevLat-1e-12 {
+			points = append(points, point{Metrics: met, Mapping: m})
+			prevLat = met.Latency
+		}
+	}
+	sort.Slice(points, func(i, j int) bool {
+		a, b := points[i].Metrics, points[j].Metrics
+		if a.Period != b.Period {
+			return a.Period < b.Period
+		}
+		return a.Latency < b.Latency
+	})
+	var front []point
+	best := math.Inf(1)
+	for _, pt := range points {
+		if pt.Metrics.Latency < best-1e-12 {
+			front = append(front, pt)
+			best = pt.Metrics.Latency
+		}
+	}
+	return front, nil
+}

@@ -1,0 +1,223 @@
+package onetoone
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pipesched/internal/mapping"
+	"pipesched/internal/pipeline"
+	"pipesched/internal/platform"
+)
+
+func TestAssignMinCostKnown(t *testing.T) {
+	// Classic 3×3: optimal total is 5 (1+3+1 → rows to cols 0,2,1).
+	cost := [][]float64{
+		{1, 2, 3},
+		{2, 4, 3},
+		{3, 1, 2},
+	}
+	alloc, total, ok := assignMinCost(cost)
+	if !ok {
+		t.Fatal("feasible instance reported infeasible")
+	}
+	if math.Abs(total-6) > 1e-12 { // 1 + 3 + 1? verify by brute force below
+		// brute force all permutations of 3
+		best := math.Inf(1)
+		perms := [][]int{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}}
+		for _, p := range perms {
+			s := 0.0
+			for i, j := range p {
+				s += cost[i][j]
+			}
+			if s < best {
+				best = s
+			}
+		}
+		if math.Abs(total-best) > 1e-12 {
+			t.Fatalf("total %g, brute force %g (alloc %v)", total, best, alloc)
+		}
+	}
+	// The returned alloc must be a valid injection realising the total.
+	seen := map[int]bool{}
+	sum := 0.0
+	for i, j := range alloc {
+		if j < 1 || j > 3 || seen[j] {
+			t.Fatalf("invalid alloc %v", alloc)
+		}
+		seen[j] = true
+		sum += cost[i][j-1]
+	}
+	if math.Abs(sum-total) > 1e-12 {
+		t.Fatalf("alloc sum %g ≠ total %g", sum, total)
+	}
+}
+
+func TestAssignMinCostMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(5)
+		m := n + r.Intn(3)
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, m)
+			for j := range cost[i] {
+				if r.Float64() < 0.15 {
+					cost[i][j] = math.Inf(1) // forbidden
+				} else {
+					cost[i][j] = float64(r.Intn(50))
+				}
+			}
+		}
+		alloc, total, ok := assignMinCost(cost)
+		// Brute force over injections.
+		best := math.Inf(1)
+		used := make([]bool, m)
+		var rec func(i int, cur float64)
+		rec = func(i int, cur float64) {
+			if cur >= best {
+				return
+			}
+			if i == n {
+				best = cur
+				return
+			}
+			for j := 0; j < m; j++ {
+				if used[j] || math.IsInf(cost[i][j], 1) {
+					continue
+				}
+				used[j] = true
+				rec(i+1, cur+cost[i][j])
+				used[j] = false
+			}
+		}
+		rec(0, 0)
+		if math.IsInf(best, 1) {
+			return !ok
+		}
+		if !ok {
+			return false
+		}
+		if math.Abs(total-best) > 1e-9 {
+			return false
+		}
+		// alloc realises total.
+		sum := 0.0
+		seen := make(map[int]bool)
+		for i, j := range alloc {
+			if j < 1 || j > m || seen[j] {
+				return false
+			}
+			seen[j] = true
+			sum += cost[i][j-1]
+		}
+		return math.Abs(sum-total) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinLatencyUnderPeriodExact(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ev := randEvaluator(r, 5)
+		// Period bound between the one-to-one optimum and a loose value.
+		_, optMet, err := MinPeriod(ev)
+		if err != nil {
+			return false
+		}
+		bound := optMet.Period * (1 + r.Float64())
+		m, met, err := MinLatencyUnderPeriod(ev, bound)
+		if err != nil {
+			return false // must be feasible: bound ≥ one-to-one optimum
+		}
+		if met.Period > bound*(1+1e-9) {
+			return false
+		}
+		// Brute force the same objective.
+		app, plat := ev.Pipeline(), ev.Platform()
+		n, p := app.Stages(), plat.Processors()
+		best := math.Inf(1)
+		alloc := make([]int, n)
+		used := make([]bool, p+1)
+		var rec func(k int)
+		rec = func(k int) {
+			if k == n {
+				ivs := make([]mapping.Interval, n)
+				for i, u := range alloc {
+					ivs[i] = mapping.Interval{Start: i + 1, End: i + 1, Proc: u}
+				}
+				mm := mapping.MustNew(app, plat, ivs)
+				mmMet := ev.Metrics(mm)
+				if mmMet.Period <= bound*(1+1e-12) && mmMet.Latency < best {
+					best = mmMet.Latency
+				}
+				return
+			}
+			for u := 1; u <= p; u++ {
+				if used[u] {
+					continue
+				}
+				used[u] = true
+				alloc[k] = u
+				rec(k + 1)
+				used[u] = false
+			}
+		}
+		rec(0)
+		_ = m
+		return math.Abs(met.Latency-best) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinLatencyUnderPeriodInfeasible(t *testing.T) {
+	app := pipeline.MustNew([]float64{10}, []float64{0, 0})
+	plat := platform.MustNew([]float64{2, 1}, 1)
+	ev := mapping.NewEvaluator(app, plat)
+	if _, _, err := MinLatencyUnderPeriod(ev, 4.9); err == nil {
+		t.Error("impossible bound accepted")
+	}
+	if _, met, err := MinLatencyUnderPeriod(ev, 5); err != nil || math.Abs(met.Latency-5) > 1e-9 {
+		t.Errorf("boundary bound: met=%+v err=%v", met, err)
+	}
+}
+
+func TestOneToOneParetoFront(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ev := randEvaluator(r, 5)
+		front, err := ParetoFront(ev)
+		if err != nil || len(front) == 0 {
+			return false
+		}
+		for i := 1; i < len(front); i++ {
+			if front[i].Metrics.Period < front[i-1].Metrics.Period {
+				return false
+			}
+			if front[i].Metrics.Latency >= front[i-1].Metrics.Latency {
+				return false
+			}
+		}
+		// Endpoints: min period and min latency of the class.
+		_, pMet, err := MinPeriod(ev)
+		if err != nil {
+			return false
+		}
+		if math.Abs(front[0].Metrics.Period-pMet.Period) > 1e-9 {
+			return false
+		}
+		_, lMet, err := MinLatency(ev)
+		if err != nil {
+			return false
+		}
+		return math.Abs(front[len(front)-1].Metrics.Latency-lMet.Latency) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

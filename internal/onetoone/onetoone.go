@@ -1,0 +1,178 @@
+// Package onetoone solves the restricted mapping class the paper discusses
+// before generalising to intervals (Section 2): one-to-one mappings, where
+// each stage runs on a distinct processor (requires n ≤ p).
+//
+// Under the paper's cost model a one-to-one mapping alloc has
+//
+//	period  = max_k ( δ_{k-1}/b + w_k/s_alloc(k) + δ_k/b )
+//	latency = Σ_k ( δ_{k-1}/b + w_k/s_alloc(k) ) + δ_n/b
+//
+// Unlike the interval problem, both single-criterion optima are polynomial
+// here: minimum latency follows from the rearrangement inequality (heaviest
+// stage on fastest processor), and minimum period is a bottleneck
+// assignment problem solved by bisecting over the O(n·p) candidate cycle
+// values with a bipartite matching feasibility test.
+package onetoone
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"pipesched/internal/mapping"
+	"pipesched/internal/platform"
+)
+
+// ErrTooFewProcessors is returned when n > p.
+var ErrTooFewProcessors = errors.New("onetoone: more stages than processors")
+
+func guard(ev *mapping.Evaluator) error {
+	if ev.Platform().Kind() != platform.CommHomogeneous {
+		return errors.New("onetoone: comm-homogeneous platforms only")
+	}
+	if ev.Pipeline().Stages() > ev.Platform().Processors() {
+		return ErrTooFewProcessors
+	}
+	return nil
+}
+
+// assignmentMapping converts alloc (stage k → processor alloc[k-1]) into a
+// Mapping of singleton intervals.
+func assignmentMapping(ev *mapping.Evaluator, alloc []int) (*mapping.Mapping, error) {
+	ivs := make([]mapping.Interval, len(alloc))
+	for i, u := range alloc {
+		ivs[i] = mapping.Interval{Start: i + 1, End: i + 1, Proc: u}
+	}
+	return mapping.New(ev.Pipeline(), ev.Platform(), ivs)
+}
+
+// MinLatency returns the latency-optimal one-to-one mapping: stages sorted
+// by decreasing work take processors sorted by decreasing speed (exact by
+// the rearrangement inequality — the latency is Σ w_k/s_alloc(k) plus
+// assignment-independent communication terms).
+func MinLatency(ev *mapping.Evaluator) (*mapping.Mapping, mapping.Metrics, error) {
+	if err := guard(ev); err != nil {
+		return nil, mapping.Metrics{}, err
+	}
+	app, plat := ev.Pipeline(), ev.Platform()
+	n := app.Stages()
+	stages := make([]int, n)
+	for i := range stages {
+		stages[i] = i + 1
+	}
+	sort.SliceStable(stages, func(a, b int) bool { return app.Work(stages[a]) > app.Work(stages[b]) })
+	order := plat.FastestFirst()
+	alloc := make([]int, n)
+	for rank, k := range stages {
+		alloc[k-1] = order[rank]
+	}
+	m, err := assignmentMapping(ev, alloc)
+	if err != nil {
+		return nil, mapping.Metrics{}, err
+	}
+	return m, ev.Metrics(m), nil
+}
+
+// MinPeriod returns the period-optimal one-to-one mapping. The period only
+// takes values among the n·p single-stage cycle-times, so the solver
+// bisects that candidate set; feasibility of a bound K is a bipartite
+// matching between stages and the processors fast enough for them, decided
+// by Kuhn's augmenting-path algorithm in O(n·n·p) per probe.
+func MinPeriod(ev *mapping.Evaluator) (*mapping.Mapping, mapping.Metrics, error) {
+	if err := guard(ev); err != nil {
+		return nil, mapping.Metrics{}, err
+	}
+	app, plat := ev.Pipeline(), ev.Platform()
+	n, p := app.Stages(), plat.Processors()
+	cycle := func(k, u int) float64 { return ev.Cycle(k, k, u) }
+	cands := make([]float64, 0, n*p)
+	for k := 1; k <= n; k++ {
+		for u := 1; u <= p; u++ {
+			cands = append(cands, cycle(k, u))
+		}
+	}
+	sort.Float64s(cands)
+	lo, hi := 0, len(cands)-1
+	if _, ok := matchUnder(ev, cands[hi]); !ok {
+		// Matching every stage to its own fastest-possible processor:
+		// with n ≤ p and the largest candidate bound this always
+		// succeeds (every edge admissible).
+		return nil, mapping.Metrics{}, errors.New("onetoone: internal error, loosest bound infeasible")
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if _, ok := matchUnder(ev, cands[mid]); ok {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	alloc, ok := matchUnder(ev, cands[lo])
+	if !ok {
+		return nil, mapping.Metrics{}, fmt.Errorf("onetoone: bisection lost feasibility at %g", cands[lo])
+	}
+	m, err := assignmentMapping(ev, alloc)
+	if err != nil {
+		return nil, mapping.Metrics{}, err
+	}
+	return m, ev.Metrics(m), nil
+}
+
+// matchUnder attempts a perfect matching of stages onto processors using
+// only pairs with cycle ≤ bound (tolerating float noise).
+func matchUnder(ev *mapping.Evaluator, bound float64) ([]int, bool) {
+	app, plat := ev.Pipeline(), ev.Platform()
+	n, p := app.Stages(), plat.Processors()
+	slack := bound * (1 + 1e-12)
+	adj := make([][]int, n) // stage index → admissible processors
+	for k := 1; k <= n; k++ {
+		for u := 1; u <= p; u++ {
+			if ev.Cycle(k, k, u) <= slack {
+				adj[k-1] = append(adj[k-1], u)
+			}
+		}
+	}
+	procOf := make([]int, n)    // stage → matched processor (0 = none)
+	stageOf := make([]int, p+1) // processor → matched stage (0 = none)
+	var try func(k int, seen []bool) bool
+	try = func(k int, seen []bool) bool {
+		for _, u := range adj[k] {
+			if seen[u] {
+				continue
+			}
+			seen[u] = true
+			if stageOf[u] == 0 || try(stageOf[u]-1, seen) {
+				stageOf[u] = k + 1
+				procOf[k] = u
+				return true
+			}
+		}
+		return false
+	}
+	for k := 0; k < n; k++ {
+		seen := make([]bool, p+1)
+		if !try(k, seen) {
+			return nil, false
+		}
+	}
+	return procOf, true
+}
+
+// Greedy returns the fast heuristic one-to-one mapping used as a baseline:
+// stages in pipeline order take processors fastest-first. It is cheap and
+// often poor — exactly why it makes a useful comparison point in the
+// ablation benchmarks.
+func Greedy(ev *mapping.Evaluator) (*mapping.Mapping, mapping.Metrics, error) {
+	if err := guard(ev); err != nil {
+		return nil, mapping.Metrics{}, err
+	}
+	n := ev.Pipeline().Stages()
+	order := ev.Platform().FastestFirst()
+	alloc := make([]int, n)
+	copy(alloc, order[:n])
+	m, err := assignmentMapping(ev, alloc)
+	if err != nil {
+		return nil, mapping.Metrics{}, err
+	}
+	return m, ev.Metrics(m), nil
+}

@@ -1,0 +1,205 @@
+package onetoone
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pipesched/internal/mapping"
+	"pipesched/internal/pipeline"
+	"pipesched/internal/platform"
+)
+
+func randEvaluator(r *rand.Rand, maxN int) *mapping.Evaluator {
+	n := 1 + r.Intn(maxN)
+	p := n + r.Intn(4) // always n ≤ p
+	works := make([]float64, n)
+	for i := range works {
+		works[i] = float64(1 + r.Intn(20))
+	}
+	deltas := make([]float64, n+1)
+	for i := range deltas {
+		deltas[i] = float64(r.Intn(30))
+	}
+	speeds := make([]float64, p)
+	for i := range speeds {
+		speeds[i] = float64(1 + r.Intn(20))
+	}
+	return mapping.NewEvaluator(pipeline.MustNew(works, deltas), platform.MustNew(speeds, 10))
+}
+
+// bruteOneToOne enumerates all injections stage→processor and returns the
+// minimum period and minimum latency over them.
+func bruteOneToOne(ev *mapping.Evaluator) (minPeriod, minLatency float64) {
+	app, plat := ev.Pipeline(), ev.Platform()
+	n, p := app.Stages(), plat.Processors()
+	minPeriod, minLatency = math.Inf(1), math.Inf(1)
+	alloc := make([]int, n)
+	used := make([]bool, p+1)
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			ivs := make([]mapping.Interval, n)
+			for i, u := range alloc {
+				ivs[i] = mapping.Interval{Start: i + 1, End: i + 1, Proc: u}
+			}
+			m := mapping.MustNew(app, plat, ivs)
+			met := ev.Metrics(m)
+			if met.Period < minPeriod {
+				minPeriod = met.Period
+			}
+			if met.Latency < minLatency {
+				minLatency = met.Latency
+			}
+			return
+		}
+		for u := 1; u <= p; u++ {
+			if used[u] {
+				continue
+			}
+			used[u] = true
+			alloc[k] = u
+			rec(k + 1)
+			used[u] = false
+		}
+	}
+	rec(0)
+	return minPeriod, minLatency
+}
+
+func TestMinPeriodMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ev := randEvaluator(r, 5)
+		m, met, err := MinPeriod(ev)
+		if err != nil {
+			return false
+		}
+		wantP, _ := bruteOneToOne(ev)
+		if math.Abs(met.Period-wantP) > 1e-9 {
+			return false
+		}
+		return math.Abs(ev.Period(m)-met.Period) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinLatencyMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ev := randEvaluator(r, 5)
+		m, met, err := MinLatency(ev)
+		if err != nil {
+			return false
+		}
+		_, wantL := bruteOneToOne(ev)
+		if math.Abs(met.Latency-wantL) > 1e-9 {
+			return false
+		}
+		return math.Abs(ev.Latency(m)-met.Latency) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGreedyIsValidAndDominatedByExact(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ev := randEvaluator(r, 6)
+		_, gMet, err := Greedy(ev)
+		if err != nil {
+			return false
+		}
+		_, pMet, err := MinPeriod(ev)
+		if err != nil {
+			return false
+		}
+		_, lMet, err := MinLatency(ev)
+		if err != nil {
+			return false
+		}
+		return gMet.Period >= pMet.Period-1e-9 && gMet.Latency >= lMet.Latency-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRejectsTooFewProcessors(t *testing.T) {
+	app := pipeline.MustNew([]float64{1, 2, 3}, make([]float64, 4))
+	plat := platform.MustNew([]float64{1, 2}, 10)
+	ev := mapping.NewEvaluator(app, plat)
+	if _, _, err := MinPeriod(ev); !errors.Is(err, ErrTooFewProcessors) {
+		t.Errorf("MinPeriod err = %v", err)
+	}
+	if _, _, err := MinLatency(ev); !errors.Is(err, ErrTooFewProcessors) {
+		t.Errorf("MinLatency err = %v", err)
+	}
+	if _, _, err := Greedy(ev); !errors.Is(err, ErrTooFewProcessors) {
+		t.Errorf("Greedy err = %v", err)
+	}
+}
+
+func TestRejectsHeterogeneousPlatform(t *testing.T) {
+	plat, err := platform.NewFullyHeterogeneous([]float64{1, 1}, [][]float64{{0, 1}, {1, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := mapping.NewEvaluator(pipeline.MustNew([]float64{1}, []float64{0, 0}), plat)
+	if _, _, err := MinPeriod(ev); err == nil {
+		t.Error("heterogeneous platform accepted")
+	}
+}
+
+func TestKnownInstance(t *testing.T) {
+	// Stages w={9, 1}, δ=0, speeds {3, 1}, b=1.
+	// Latency optimum: 9→speed3, 1→speed1: 3 + 1 = 4.
+	// Period optimum: same: max(3, 1) = 3 (the swap gives max(9, 1/3)=9).
+	app := pipeline.MustNew([]float64{9, 1}, make([]float64, 3))
+	plat := platform.MustNew([]float64{3, 1}, 1)
+	ev := mapping.NewEvaluator(app, plat)
+	_, pMet, err := MinPeriod(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pMet.Period-3) > 1e-9 {
+		t.Errorf("MinPeriod = %g, want 3", pMet.Period)
+	}
+	m, lMet, err := MinLatency(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lMet.Latency-4) > 1e-9 {
+		t.Errorf("MinLatency = %g, want 4", lMet.Latency)
+	}
+	if m.ProcessorOf(1) != 1 {
+		t.Errorf("heaviest stage not on fastest processor: %v", m)
+	}
+}
+
+// One-to-one period optimum can never beat the interval optimum (intervals
+// strictly generalise singletons when n ≤ p): cross-package sanity against
+// the greedy single-processor upper bound instead of the exact solver to
+// keep this package decoupled — the interval comparison lives in the
+// integration tests.
+func TestSingleStage(t *testing.T) {
+	app := pipeline.MustNew([]float64{10}, []float64{5, 5})
+	plat := platform.MustNew([]float64{2, 5}, 10)
+	ev := mapping.NewEvaluator(app, plat)
+	m, met, err := MinPeriod(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only stage on fastest proc: 0.5 + 2 + 0.5 = 3.
+	if math.Abs(met.Period-3) > 1e-9 {
+		t.Errorf("period = %g, want 3", met.Period)
+	}
+	if m.ProcessorOf(1) != 2 {
+		t.Errorf("mapping %v, want P2", m)
+	}
+}

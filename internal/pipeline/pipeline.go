@@ -1,0 +1,224 @@
+// Package pipeline models the applicative framework of the paper: a linear
+// pipeline of n stages S_1..S_n. Stage S_k receives an input of size
+// δ_{k-1} from the previous stage, performs w_k computations and outputs
+// data of size δ_k to the next stage. The first stage reads δ_0 from the
+// outside world and the last stage writes δ_n back to it (Figure 1 of the
+// paper).
+package pipeline
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Pipeline is an immutable description of an n-stage pipeline application.
+//
+// The zero value is not usable; build instances with New or the builders in
+// this package. All weights are expressed in abstract units: w in floating
+// point operations, δ in data units. They acquire meaning relative to the
+// processor speeds s (operations per time unit) and link bandwidth b (data
+// units per time unit) of a platform.Platform.
+type Pipeline struct {
+	works  []float64 // works[k] = w_{k+1}, length n
+	deltas []float64 // deltas[k] = δ_k, length n+1
+	prefix []float64 // prefix[k] = w_1 + ... + w_k, length n+1, prefix[0] = 0
+}
+
+// ErrEmpty is returned when constructing a pipeline with no stage.
+var ErrEmpty = errors.New("pipeline: at least one stage is required")
+
+// New builds a pipeline from stage computation weights w (length n ≥ 1) and
+// communication sizes deltas (length n+1: δ_0 .. δ_n). Both slices are
+// copied. All weights must be non-negative and every w_k must be positive
+// (a zero-work stage would make interval cycle-times degenerate without
+// modelling anything useful; merge it with a neighbour instead).
+func New(works, deltas []float64) (*Pipeline, error) {
+	n := len(works)
+	if n == 0 {
+		return nil, ErrEmpty
+	}
+	if len(deltas) != n+1 {
+		return nil, fmt.Errorf("pipeline: got %d communication sizes for %d stages, want %d", len(deltas), n, n+1)
+	}
+	for k, w := range works {
+		if w <= 0 || isBad(w) {
+			return nil, fmt.Errorf("pipeline: stage %d has invalid work %v (must be finite and > 0)", k+1, w)
+		}
+	}
+	for k, d := range deltas {
+		if d < 0 || isBad(d) {
+			return nil, fmt.Errorf("pipeline: δ_%d = %v is invalid (must be finite and ≥ 0)", k, d)
+		}
+	}
+	p := &Pipeline{
+		works:  append([]float64(nil), works...),
+		deltas: append([]float64(nil), deltas...),
+	}
+	p.prefix = make([]float64, n+1)
+	for k, w := range p.works {
+		p.prefix[k+1] = p.prefix[k] + w
+	}
+	return p, nil
+}
+
+// MustNew is New but panics on error; intended for tests and literals.
+func MustNew(works, deltas []float64) *Pipeline {
+	p, err := New(works, deltas)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func isBad(x float64) bool {
+	return x != x || x > 1e300 || x < -1e300 // NaN or effectively infinite
+}
+
+// Stages returns n, the number of stages.
+func (p *Pipeline) Stages() int { return len(p.works) }
+
+// Work returns w_k for k in [1..n].
+func (p *Pipeline) Work(k int) float64 {
+	p.checkStage(k)
+	return p.works[k-1]
+}
+
+// Delta returns δ_k for k in [0..n]. δ_{k-1} is the input size of stage k
+// and δ_k its output size.
+func (p *Pipeline) Delta(k int) float64 {
+	if k < 0 || k > len(p.works) {
+		panic(fmt.Sprintf("pipeline: δ_%d out of range [0..%d]", k, len(p.works)))
+	}
+	return p.deltas[k]
+}
+
+// IntervalWork returns w_d + w_{d+1} + ... + w_e in O(1), for
+// 1 ≤ d ≤ e ≤ n. This is the numerator of the computation term of an
+// interval mapped onto one processor.
+func (p *Pipeline) IntervalWork(d, e int) float64 {
+	p.checkStage(d)
+	p.checkStage(e)
+	if d > e {
+		panic(fmt.Sprintf("pipeline: empty interval [%d..%d]", d, e))
+	}
+	return p.prefix[e] - p.prefix[d-1]
+}
+
+// TotalWork returns w_1 + ... + w_n.
+func (p *Pipeline) TotalWork() float64 { return p.prefix[len(p.works)] }
+
+// MaxWork returns the largest single-stage work max_k w_k.
+func (p *Pipeline) MaxWork() float64 {
+	m := p.works[0]
+	for _, w := range p.works[1:] {
+		if w > m {
+			m = w
+		}
+	}
+	return m
+}
+
+// MaxDelta returns the largest communication size max_k δ_k.
+func (p *Pipeline) MaxDelta() float64 {
+	m := p.deltas[0]
+	for _, d := range p.deltas[1:] {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Works returns a copy of the stage weights (index 0 holds w_1).
+func (p *Pipeline) Works() []float64 { return append([]float64(nil), p.works...) }
+
+// Deltas returns a copy of the communication sizes (index k holds δ_k).
+func (p *Pipeline) Deltas() []float64 { return append([]float64(nil), p.deltas...) }
+
+func (p *Pipeline) checkStage(k int) {
+	if k < 1 || k > len(p.works) {
+		panic(fmt.Sprintf("pipeline: stage %d out of range [1..%d]", k, len(p.works)))
+	}
+}
+
+// String renders the pipeline in the style of Figure 1:
+// [δ0] S1(w1) [δ1] S2(w2) ... Sn(wn) [δn].
+func (p *Pipeline) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[%g]", p.deltas[0])
+	for k, w := range p.works {
+		fmt.Fprintf(&b, " S%d(%g) [%g]", k+1, w, p.deltas[k+1])
+	}
+	return b.String()
+}
+
+// jsonPipeline is the serialised form.
+type jsonPipeline struct {
+	Works  []float64 `json:"works"`
+	Deltas []float64 `json:"deltas"`
+}
+
+// MarshalJSON encodes the pipeline as {"works":[...],"deltas":[...]}.
+func (p *Pipeline) MarshalJSON() ([]byte, error) {
+	return json.Marshal(jsonPipeline{Works: p.works, Deltas: p.deltas})
+}
+
+// UnmarshalJSON decodes and validates a pipeline.
+func (p *Pipeline) UnmarshalJSON(data []byte) error {
+	var j jsonPipeline
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	q, err := New(j.Works, j.Deltas)
+	if err != nil {
+		return err
+	}
+	*p = *q
+	return nil
+}
+
+// Uniform builds an n-stage pipeline with identical stage work w and
+// identical communication size d at every level (including δ_0 and δ_n).
+func Uniform(n int, w, d float64) (*Pipeline, error) {
+	if n <= 0 {
+		return nil, ErrEmpty
+	}
+	works := make([]float64, n)
+	deltas := make([]float64, n+1)
+	for i := range works {
+		works[i] = w
+	}
+	for i := range deltas {
+		deltas[i] = d
+	}
+	return New(works, deltas)
+}
+
+// Concat joins two pipelines into one: the stages of q follow the stages of
+// p. The boundary communication size is max(δ_n(p), δ_0(q)) so that neither
+// side's requirement is under-modelled.
+func Concat(p, q *Pipeline) (*Pipeline, error) {
+	works := append(p.Works(), q.Works()...)
+	dp, dq := p.Deltas(), q.Deltas()
+	boundary := dp[len(dp)-1]
+	if dq[0] > boundary {
+		boundary = dq[0]
+	}
+	deltas := make([]float64, 0, len(works)+1)
+	deltas = append(deltas, dp[:len(dp)-1]...)
+	deltas = append(deltas, boundary)
+	deltas = append(deltas, dq[1:]...)
+	return New(works, deltas)
+}
+
+// SubPipeline extracts stages [d..e] as a standalone pipeline, keeping the
+// surrounding communication sizes δ_{d-1} and δ_e as its outside-world
+// input and output.
+func (p *Pipeline) SubPipeline(d, e int) (*Pipeline, error) {
+	if d < 1 || e > p.Stages() || d > e {
+		return nil, fmt.Errorf("pipeline: invalid sub-interval [%d..%d] of %d stages", d, e, p.Stages())
+	}
+	return New(p.works[d-1:e], p.deltas[d-1:e+1])
+}

@@ -1,0 +1,303 @@
+package pipeline
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValid(t *testing.T) {
+	p, err := New([]float64{1, 2, 3}, []float64{10, 11, 12, 13})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if got := p.Stages(); got != 3 {
+		t.Errorf("Stages() = %d, want 3", got)
+	}
+	for k, want := range map[int]float64{1: 1, 2: 2, 3: 3} {
+		if got := p.Work(k); got != want {
+			t.Errorf("Work(%d) = %g, want %g", k, got, want)
+		}
+	}
+	for k, want := range map[int]float64{0: 10, 1: 11, 2: 12, 3: 13} {
+		if got := p.Delta(k); got != want {
+			t.Errorf("Delta(%d) = %g, want %g", k, got, want)
+		}
+	}
+}
+
+func TestNewRejectsBadInput(t *testing.T) {
+	cases := []struct {
+		name   string
+		works  []float64
+		deltas []float64
+	}{
+		{"no stage", nil, []float64{1}},
+		{"delta length mismatch short", []float64{1, 2}, []float64{1, 2}},
+		{"delta length mismatch long", []float64{1, 2}, []float64{1, 2, 3, 4}},
+		{"zero work", []float64{1, 0}, []float64{1, 1, 1}},
+		{"negative work", []float64{-1}, []float64{1, 1}},
+		{"NaN work", []float64{math.NaN()}, []float64{1, 1}},
+		{"Inf work", []float64{math.Inf(1)}, []float64{1, 1}},
+		{"negative delta", []float64{1}, []float64{-1, 1}},
+		{"NaN delta", []float64{1}, []float64{math.NaN(), 1}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := New(c.works, c.deltas); err == nil {
+				t.Errorf("New(%v, %v) succeeded, want error", c.works, c.deltas)
+			}
+		})
+	}
+}
+
+func TestZeroDeltaAllowed(t *testing.T) {
+	// The NP-hardness reduction (Theorem 2) sets all δ_i = 0; the model
+	// must accept that.
+	p, err := New([]float64{5, 7}, []float64{0, 0, 0})
+	if err != nil {
+		t.Fatalf("New with zero deltas: %v", err)
+	}
+	if p.MaxDelta() != 0 {
+		t.Errorf("MaxDelta() = %g, want 0", p.MaxDelta())
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew with invalid input did not panic")
+		}
+	}()
+	MustNew(nil, nil)
+}
+
+func TestIntervalWork(t *testing.T) {
+	p := MustNew([]float64{1, 2, 3, 4, 5}, make([]float64, 6))
+	cases := []struct {
+		d, e int
+		want float64
+	}{
+		{1, 5, 15}, {1, 1, 1}, {5, 5, 5}, {2, 4, 9}, {3, 3, 3}, {1, 2, 3},
+	}
+	for _, c := range cases {
+		if got := p.IntervalWork(c.d, c.e); got != c.want {
+			t.Errorf("IntervalWork(%d,%d) = %g, want %g", c.d, c.e, got, c.want)
+		}
+	}
+	if got := p.TotalWork(); got != 15 {
+		t.Errorf("TotalWork() = %g, want 15", got)
+	}
+	if got := p.MaxWork(); got != 5 {
+		t.Errorf("MaxWork() = %g, want 5", got)
+	}
+}
+
+func TestIntervalWorkPanicsOnBadRange(t *testing.T) {
+	p := MustNew([]float64{1, 2}, make([]float64, 3))
+	for _, c := range [][2]int{{0, 1}, {1, 3}, {2, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("IntervalWork(%d,%d) did not panic", c[0], c[1])
+				}
+			}()
+			p.IntervalWork(c[0], c[1])
+		}()
+	}
+}
+
+// Property: for random pipelines and random split points, interval work is
+// additive: work[d..k] + work[k+1..e] == work[d..e].
+func TestIntervalWorkAdditiveProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(30)
+		works := make([]float64, n)
+		for i := range works {
+			works[i] = 0.01 + 20*r.Float64()
+		}
+		p := MustNew(works, make([]float64, n+1))
+		d := 1 + r.Intn(n)
+		e := d + r.Intn(n-d+1)
+		if d == e {
+			return math.Abs(p.IntervalWork(d, e)-works[d-1]) < 1e-9*(1+works[d-1])
+		}
+		k := d + r.Intn(e-d) // d ≤ k < e
+		lhs := p.IntervalWork(d, k) + p.IntervalWork(k+1, e)
+		rhs := p.IntervalWork(d, e)
+		return math.Abs(lhs-rhs) < 1e-9*(1+math.Abs(rhs))
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWorksDeltasAreCopies(t *testing.T) {
+	p := MustNew([]float64{1, 2}, []float64{3, 4, 5})
+	w := p.Works()
+	w[0] = 99
+	if p.Work(1) != 1 {
+		t.Error("mutating Works() result changed the pipeline")
+	}
+	d := p.Deltas()
+	d[0] = 99
+	if p.Delta(0) != 3 {
+		t.Error("mutating Deltas() result changed the pipeline")
+	}
+}
+
+func TestNewCopiesInput(t *testing.T) {
+	works := []float64{1, 2}
+	deltas := []float64{3, 4, 5}
+	p := MustNew(works, deltas)
+	works[0] = 42
+	deltas[0] = 42
+	if p.Work(1) != 1 || p.Delta(0) != 3 {
+		t.Error("New aliased caller slices")
+	}
+}
+
+func TestString(t *testing.T) {
+	p := MustNew([]float64{1.5, 2}, []float64{0, 3, 4})
+	s := p.String()
+	for _, want := range []string{"S1(1.5)", "S2(2)", "[0]", "[3]", "[4]"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	p := MustNew([]float64{1, 2, 3}, []float64{0.5, 1.5, 2.5, 3.5})
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	var q Pipeline
+	if err := json.Unmarshal(data, &q); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if q.Stages() != p.Stages() || q.TotalWork() != p.TotalWork() {
+		t.Errorf("round trip mismatch: %v vs %v", &q, p)
+	}
+	for k := 0; k <= p.Stages(); k++ {
+		if q.Delta(k) != p.Delta(k) {
+			t.Errorf("Delta(%d) = %g after round trip, want %g", k, q.Delta(k), p.Delta(k))
+		}
+	}
+}
+
+func TestJSONRejectsInvalid(t *testing.T) {
+	var p Pipeline
+	for _, blob := range []string{
+		`{"works":[],"deltas":[1]}`,
+		`{"works":[1],"deltas":[1]}`,
+		`{"works":[-1],"deltas":[1,1]}`,
+		`{not json`,
+	} {
+		if err := json.Unmarshal([]byte(blob), &p); err == nil {
+			t.Errorf("Unmarshal(%q) succeeded, want error", blob)
+		}
+	}
+}
+
+func TestUniform(t *testing.T) {
+	p, err := Uniform(4, 2.5, 10)
+	if err != nil {
+		t.Fatalf("Uniform: %v", err)
+	}
+	if p.Stages() != 4 || p.TotalWork() != 10 {
+		t.Errorf("Uniform(4, 2.5, 10): stages=%d total=%g", p.Stages(), p.TotalWork())
+	}
+	for k := 0; k <= 4; k++ {
+		if p.Delta(k) != 10 {
+			t.Errorf("Delta(%d) = %g, want 10", k, p.Delta(k))
+		}
+	}
+	if _, err := Uniform(0, 1, 1); err == nil {
+		t.Error("Uniform(0,...) succeeded, want error")
+	}
+}
+
+func TestConcat(t *testing.T) {
+	p := MustNew([]float64{1, 2}, []float64{10, 11, 12})
+	q := MustNew([]float64{3}, []float64{20, 21})
+	r, err := Concat(p, q)
+	if err != nil {
+		t.Fatalf("Concat: %v", err)
+	}
+	if r.Stages() != 3 {
+		t.Fatalf("Concat stages = %d, want 3", r.Stages())
+	}
+	// Boundary is max(δ_2(p)=12, δ_0(q)=20) = 20.
+	wantDeltas := []float64{10, 11, 20, 21}
+	for k, want := range wantDeltas {
+		if got := r.Delta(k); got != want {
+			t.Errorf("Concat Delta(%d) = %g, want %g", k, got, want)
+		}
+	}
+	if r.TotalWork() != 6 {
+		t.Errorf("Concat TotalWork = %g, want 6", r.TotalWork())
+	}
+}
+
+func TestSubPipeline(t *testing.T) {
+	p := MustNew([]float64{1, 2, 3, 4}, []float64{0, 10, 20, 30, 40})
+	s, err := p.SubPipeline(2, 3)
+	if err != nil {
+		t.Fatalf("SubPipeline: %v", err)
+	}
+	if s.Stages() != 2 || s.TotalWork() != 5 {
+		t.Errorf("SubPipeline(2,3): stages=%d total=%g, want 2, 5", s.Stages(), s.TotalWork())
+	}
+	if s.Delta(0) != 10 || s.Delta(2) != 30 {
+		t.Errorf("SubPipeline kept wrong boundary deltas: δ0=%g δ2=%g", s.Delta(0), s.Delta(2))
+	}
+	for _, c := range [][2]int{{0, 1}, {3, 2}, {1, 5}} {
+		if _, err := p.SubPipeline(c[0], c[1]); err == nil {
+			t.Errorf("SubPipeline(%d,%d) succeeded, want error", c[0], c[1])
+		}
+	}
+}
+
+// Property: Concat(p, q).TotalWork == p.TotalWork + q.TotalWork and
+// SubPipeline(1, n) reproduces the original weights.
+func TestConcatSubPipelineProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		gen := func() *Pipeline {
+			n := 1 + r.Intn(10)
+			w := make([]float64, n)
+			d := make([]float64, n+1)
+			for i := range w {
+				w[i] = 0.5 + r.Float64()
+			}
+			for i := range d {
+				d[i] = r.Float64() * 5
+			}
+			return MustNew(w, d)
+		}
+		p, q := gen(), gen()
+		cat, err := Concat(p, q)
+		if err != nil {
+			return false
+		}
+		if math.Abs(cat.TotalWork()-(p.TotalWork()+q.TotalWork())) > 1e-9 {
+			return false
+		}
+		whole, err := p.SubPipeline(1, p.Stages())
+		if err != nil {
+			return false
+		}
+		return whole.TotalWork() == p.TotalWork() && whole.Delta(0) == p.Delta(0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,304 @@
+// Package platform models the target execution platforms of the paper:
+// cliques of p processors P_1..P_p. The paper's main setting is the
+// Communication Homogeneous platform (different-speed processors, identical
+// link bandwidth b, one-port communication model); the fully heterogeneous
+// extension mentioned as future work (per-link bandwidths b_{u,v}) is also
+// supported so that the splitting heuristics can be exercised on it.
+package platform
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind discriminates the communication model of a platform.
+type Kind int
+
+const (
+	// CommHomogeneous: identical links of bandwidth b between any pair
+	// (the paper's target).
+	CommHomogeneous Kind = iota
+	// FullyHeterogeneous: per-link bandwidths b_{u,v} (the paper's
+	// future-work extension).
+	FullyHeterogeneous
+)
+
+func (k Kind) String() string {
+	switch k {
+	case CommHomogeneous:
+		return "comm-homogeneous"
+	case FullyHeterogeneous:
+		return "fully-heterogeneous"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Platform describes p processors fully interconnected as a virtual clique.
+// Processors are numbered 1..p as in the paper.
+type Platform struct {
+	speeds    []float64   // speeds[u] = s_{u+1}
+	bandwidth float64     // b, for CommHomogeneous
+	links     [][]float64 // links[u][v] = b_{u+1,v+1}, for FullyHeterogeneous
+	kind      Kind
+	bySpeed   []int // processor ids (1-based) sorted by non-increasing speed
+}
+
+var errNoProcessor = errors.New("platform: at least one processor is required")
+
+// New builds a Communication Homogeneous platform from processor speeds and
+// the common link bandwidth b. Speeds are copied.
+func New(speeds []float64, bandwidth float64) (*Platform, error) {
+	if len(speeds) == 0 {
+		return nil, errNoProcessor
+	}
+	if bandwidth <= 0 || bad(bandwidth) {
+		return nil, fmt.Errorf("platform: invalid bandwidth %v (must be finite and > 0)", bandwidth)
+	}
+	for u, s := range speeds {
+		if s <= 0 || bad(s) {
+			return nil, fmt.Errorf("platform: processor %d has invalid speed %v (must be finite and > 0)", u+1, s)
+		}
+	}
+	p := &Platform{
+		speeds:    append([]float64(nil), speeds...),
+		bandwidth: bandwidth,
+		kind:      CommHomogeneous,
+	}
+	p.buildSpeedOrder()
+	return p, nil
+}
+
+// MustNew is New but panics on error; intended for tests and literals.
+func MustNew(speeds []float64, bandwidth float64) *Platform {
+	p, err := New(speeds, bandwidth)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// NewFullyHeterogeneous builds a platform with per-link bandwidths.
+// links must be a p×p matrix; links[u][v] is the bandwidth of the
+// bidirectional link between P_{u+1} and P_{v+1} and must equal
+// links[v][u]. Diagonal entries are ignored (intra-processor communication
+// is free) but must be non-negative.
+func NewFullyHeterogeneous(speeds []float64, links [][]float64) (*Platform, error) {
+	pn := len(speeds)
+	if pn == 0 {
+		return nil, errNoProcessor
+	}
+	if pn == 1 {
+		return nil, errors.New("platform: a fully heterogeneous platform needs at least 2 processors (no link exists otherwise); use New for a single processor")
+	}
+	for u, s := range speeds {
+		if s <= 0 || bad(s) {
+			return nil, fmt.Errorf("platform: processor %d has invalid speed %v", u+1, s)
+		}
+	}
+	if len(links) != pn {
+		return nil, fmt.Errorf("platform: link matrix has %d rows, want %d", len(links), pn)
+	}
+	cp := make([][]float64, pn)
+	for u := range links {
+		if len(links[u]) != pn {
+			return nil, fmt.Errorf("platform: link matrix row %d has %d columns, want %d", u, len(links[u]), pn)
+		}
+		cp[u] = append([]float64(nil), links[u]...)
+	}
+	for u := 0; u < pn; u++ {
+		for v := u + 1; v < pn; v++ {
+			if cp[u][v] != cp[v][u] {
+				return nil, fmt.Errorf("platform: asymmetric link %d↔%d (%v vs %v)", u+1, v+1, cp[u][v], cp[v][u])
+			}
+			if cp[u][v] <= 0 || bad(cp[u][v]) {
+				return nil, fmt.Errorf("platform: invalid bandwidth %v on link %d↔%d", cp[u][v], u+1, v+1)
+			}
+		}
+	}
+	p := &Platform{
+		speeds: append([]float64(nil), speeds...),
+		links:  cp,
+		kind:   FullyHeterogeneous,
+	}
+	p.buildSpeedOrder()
+	return p, nil
+}
+
+func bad(x float64) bool { return x != x || x > 1e300 || x < -1e300 }
+
+func (p *Platform) buildSpeedOrder() {
+	p.bySpeed = make([]int, len(p.speeds))
+	for i := range p.bySpeed {
+		p.bySpeed[i] = i + 1
+	}
+	sort.SliceStable(p.bySpeed, func(i, j int) bool {
+		si, sj := p.speeds[p.bySpeed[i]-1], p.speeds[p.bySpeed[j]-1]
+		if si != sj {
+			return si > sj
+		}
+		return p.bySpeed[i] < p.bySpeed[j] // deterministic tie-break by id
+	})
+}
+
+// Kind reports the communication model of the platform.
+func (p *Platform) Kind() Kind { return p.kind }
+
+// Processors returns p, the number of processors.
+func (p *Platform) Processors() int { return len(p.speeds) }
+
+// Speed returns s_u, for u in [1..p].
+func (p *Platform) Speed(u int) float64 {
+	p.check(u)
+	return p.speeds[u-1]
+}
+
+// Speeds returns a copy of the speed vector (index 0 holds s_1).
+func (p *Platform) Speeds() []float64 { return append([]float64(nil), p.speeds...) }
+
+// Bandwidth returns the common link bandwidth b of a Communication
+// Homogeneous platform. It panics on fully heterogeneous platforms, where
+// no single b exists; use LinkBandwidth instead.
+func (p *Platform) Bandwidth() float64 {
+	if p.kind != CommHomogeneous {
+		panic("platform: Bandwidth() called on a " + p.kind.String() + " platform")
+	}
+	return p.bandwidth
+}
+
+// LinkBandwidth returns the bandwidth b_{u,v} of the link between P_u and
+// P_v. On Communication Homogeneous platforms this is b for every pair.
+// Intra-processor transfers cost nothing and never traverse a link, so
+// u == v panics to keep misuse loud.
+func (p *Platform) LinkBandwidth(u, v int) float64 {
+	p.check(u)
+	p.check(v)
+	if u == v {
+		panic("platform: LinkBandwidth(u,u) is meaningless (intra-processor data does not traverse a link)")
+	}
+	if p.kind == CommHomogeneous {
+		return p.bandwidth
+	}
+	return p.links[u-1][v-1]
+}
+
+// FastestFirst returns the processor identifiers sorted by non-increasing
+// speed (ties broken by increasing identifier). This is the order every
+// heuristic of the paper consumes processors in. The returned slice is a
+// copy and may be permuted freely by the caller.
+func (p *Platform) FastestFirst() []int { return append([]int(nil), p.bySpeed...) }
+
+// Fastest returns the identifier of the fastest processor.
+func (p *Platform) Fastest() int { return p.bySpeed[0] }
+
+// MaxSpeed returns max_u s_u.
+func (p *Platform) MaxSpeed() float64 { return p.speeds[p.bySpeed[0]-1] }
+
+// TotalSpeed returns Σ_u s_u, used by work-based period lower bounds.
+func (p *Platform) TotalSpeed() float64 {
+	t := 0.0
+	for _, s := range p.speeds {
+		t += s
+	}
+	return t
+}
+
+// MinLinkBandwidth returns the smallest bandwidth over all (ordered) pairs;
+// on homogeneous platforms this is b.
+func (p *Platform) MinLinkBandwidth() float64 {
+	if p.kind == CommHomogeneous {
+		return p.bandwidth
+	}
+	m := p.links[0][1]
+	for u := 0; u < len(p.speeds); u++ {
+		for v := 0; v < len(p.speeds); v++ {
+			if u != v && p.links[u][v] < m {
+				m = p.links[u][v]
+			}
+		}
+	}
+	return m
+}
+
+func (p *Platform) check(u int) {
+	if u < 1 || u > len(p.speeds) {
+		panic(fmt.Sprintf("platform: processor %d out of range [1..%d]", u, len(p.speeds)))
+	}
+}
+
+// String summarises the platform.
+func (p *Platform) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s platform, %d processors, speeds={", p.kind, len(p.speeds))
+	for i, s := range p.speeds {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%g", s)
+	}
+	b.WriteString("}")
+	if p.kind == CommHomogeneous {
+		fmt.Fprintf(&b, ", b=%g", p.bandwidth)
+	}
+	return b.String()
+}
+
+type jsonPlatform struct {
+	Kind      string      `json:"kind"`
+	Speeds    []float64   `json:"speeds"`
+	Bandwidth float64     `json:"bandwidth,omitempty"`
+	Links     [][]float64 `json:"links,omitempty"`
+}
+
+// MarshalJSON encodes the platform.
+func (p *Platform) MarshalJSON() ([]byte, error) {
+	j := jsonPlatform{Kind: p.kind.String(), Speeds: p.speeds}
+	if p.kind == CommHomogeneous {
+		j.Bandwidth = p.bandwidth
+	} else {
+		j.Links = p.links
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON decodes and validates a platform.
+func (p *Platform) UnmarshalJSON(data []byte) error {
+	var j jsonPlatform
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	var q *Platform
+	var err error
+	switch j.Kind {
+	case CommHomogeneous.String(), "": // default
+		q, err = New(j.Speeds, j.Bandwidth)
+	case FullyHeterogeneous.String():
+		q, err = NewFullyHeterogeneous(j.Speeds, j.Links)
+	default:
+		return fmt.Errorf("platform: unknown kind %q", j.Kind)
+	}
+	if err != nil {
+		return err
+	}
+	*p = *q
+	return nil
+}
+
+// Homogenize returns a Communication Homogeneous view of a fully
+// heterogeneous platform by replacing every link with the slowest one
+// (a conservative bound, per the paper's "retain the bandwidth of the
+// slowest link in the path" remark). Homogeneous platforms are returned
+// unchanged.
+func (p *Platform) Homogenize() *Platform {
+	if p.kind == CommHomogeneous {
+		return p
+	}
+	q, err := New(p.speeds, p.MinLinkBandwidth())
+	if err != nil {
+		panic(err) // unreachable: fields already validated
+	}
+	return q
+}

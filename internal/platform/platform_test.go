@@ -1,0 +1,302 @@
+package platform
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValid(t *testing.T) {
+	p, err := New([]float64{3, 1, 2}, 10)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if p.Processors() != 3 {
+		t.Errorf("Processors() = %d, want 3", p.Processors())
+	}
+	if p.Kind() != CommHomogeneous {
+		t.Errorf("Kind() = %v, want CommHomogeneous", p.Kind())
+	}
+	if p.Bandwidth() != 10 {
+		t.Errorf("Bandwidth() = %g, want 10", p.Bandwidth())
+	}
+	for u, want := range map[int]float64{1: 3, 2: 1, 3: 2} {
+		if got := p.Speed(u); got != want {
+			t.Errorf("Speed(%d) = %g, want %g", u, got, want)
+		}
+	}
+}
+
+func TestNewRejectsBadInput(t *testing.T) {
+	cases := []struct {
+		name   string
+		speeds []float64
+		b      float64
+	}{
+		{"no processor", nil, 1},
+		{"zero speed", []float64{1, 0}, 1},
+		{"negative speed", []float64{-2}, 1},
+		{"NaN speed", []float64{math.NaN()}, 1},
+		{"zero bandwidth", []float64{1}, 0},
+		{"negative bandwidth", []float64{1}, -3},
+		{"NaN bandwidth", []float64{1}, math.NaN()},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := New(c.speeds, c.b); err == nil {
+				t.Errorf("New(%v, %v) succeeded, want error", c.speeds, c.b)
+			}
+		})
+	}
+}
+
+func TestFastestFirstOrder(t *testing.T) {
+	p := MustNew([]float64{5, 20, 20, 1, 7}, 10)
+	order := p.FastestFirst()
+	want := []int{2, 3, 5, 1, 4} // speed 20,20 (tie → lower id first), 7, 5, 1
+	if len(order) != len(want) {
+		t.Fatalf("FastestFirst() length %d, want %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("FastestFirst() = %v, want %v", order, want)
+		}
+	}
+	if p.Fastest() != 2 {
+		t.Errorf("Fastest() = %d, want 2", p.Fastest())
+	}
+	if p.MaxSpeed() != 20 {
+		t.Errorf("MaxSpeed() = %g, want 20", p.MaxSpeed())
+	}
+}
+
+func TestFastestFirstIsCopy(t *testing.T) {
+	p := MustNew([]float64{1, 2}, 1)
+	order := p.FastestFirst()
+	order[0] = 99
+	if p.Fastest() != 2 {
+		t.Error("mutating FastestFirst() result changed the platform")
+	}
+}
+
+// Property: FastestFirst is always a permutation of 1..p with
+// non-increasing speeds.
+func TestFastestFirstProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(50)
+		speeds := make([]float64, n)
+		for i := range speeds {
+			speeds[i] = float64(1 + r.Intn(20))
+		}
+		p := MustNew(speeds, 10)
+		order := p.FastestFirst()
+		seen := make(map[int]bool, n)
+		for i, u := range order {
+			if u < 1 || u > n || seen[u] {
+				return false
+			}
+			seen[u] = true
+			if i > 0 && p.Speed(order[i-1]) < p.Speed(u) {
+				return false
+			}
+		}
+		return len(seen) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTotalSpeed(t *testing.T) {
+	p := MustNew([]float64{1, 2, 3.5}, 1)
+	if got := p.TotalSpeed(); got != 6.5 {
+		t.Errorf("TotalSpeed() = %g, want 6.5", got)
+	}
+}
+
+func TestLinkBandwidthHomogeneous(t *testing.T) {
+	p := MustNew([]float64{1, 2, 3}, 7)
+	for u := 1; u <= 3; u++ {
+		for v := 1; v <= 3; v++ {
+			if u == v {
+				continue
+			}
+			if got := p.LinkBandwidth(u, v); got != 7 {
+				t.Errorf("LinkBandwidth(%d,%d) = %g, want 7", u, v, got)
+			}
+		}
+	}
+}
+
+func TestLinkBandwidthSelfPanics(t *testing.T) {
+	p := MustNew([]float64{1, 2}, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("LinkBandwidth(1,1) did not panic")
+		}
+	}()
+	p.LinkBandwidth(1, 1)
+}
+
+func TestBandwidthPanicsOnHeterogeneous(t *testing.T) {
+	p, err := NewFullyHeterogeneous([]float64{1, 2}, [][]float64{{0, 3}, {3, 0}})
+	if err != nil {
+		t.Fatalf("NewFullyHeterogeneous: %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Bandwidth() on heterogeneous platform did not panic")
+		}
+	}()
+	p.Bandwidth()
+}
+
+func TestNewFullyHeterogeneous(t *testing.T) {
+	links := [][]float64{
+		{0, 5, 2},
+		{5, 0, 8},
+		{2, 8, 0},
+	}
+	p, err := NewFullyHeterogeneous([]float64{1, 2, 3}, links)
+	if err != nil {
+		t.Fatalf("NewFullyHeterogeneous: %v", err)
+	}
+	if p.Kind() != FullyHeterogeneous {
+		t.Errorf("Kind() = %v", p.Kind())
+	}
+	if got := p.LinkBandwidth(1, 3); got != 2 {
+		t.Errorf("LinkBandwidth(1,3) = %g, want 2", got)
+	}
+	if got := p.LinkBandwidth(3, 2); got != 8 {
+		t.Errorf("LinkBandwidth(3,2) = %g, want 8", got)
+	}
+	if got := p.MinLinkBandwidth(); got != 2 {
+		t.Errorf("MinLinkBandwidth() = %g, want 2", got)
+	}
+}
+
+func TestNewFullyHeterogeneousRejectsBadMatrices(t *testing.T) {
+	cases := []struct {
+		name   string
+		speeds []float64
+		links  [][]float64
+	}{
+		{"wrong rows", []float64{1, 2}, [][]float64{{0, 1}}},
+		{"wrong cols", []float64{1, 2}, [][]float64{{0, 1}, {1}}},
+		{"asymmetric", []float64{1, 2}, [][]float64{{0, 1}, {2, 0}}},
+		{"zero link", []float64{1, 2}, [][]float64{{0, 0}, {0, 0}}},
+		{"negative link", []float64{1, 2}, [][]float64{{0, -1}, {-1, 0}}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := NewFullyHeterogeneous(c.speeds, c.links); err == nil {
+				t.Error("succeeded, want error")
+			}
+		})
+	}
+}
+
+func TestHomogenize(t *testing.T) {
+	links := [][]float64{
+		{0, 5, 2},
+		{5, 0, 8},
+		{2, 8, 0},
+	}
+	het, err := NewFullyHeterogeneous([]float64{1, 2, 3}, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hom := het.Homogenize()
+	if hom.Kind() != CommHomogeneous {
+		t.Fatalf("Homogenize kind = %v", hom.Kind())
+	}
+	if hom.Bandwidth() != 2 {
+		t.Errorf("Homogenize bandwidth = %g, want slowest link 2", hom.Bandwidth())
+	}
+	// Homogeneous platforms homogenize to themselves.
+	p := MustNew([]float64{1}, 4)
+	if p.Homogenize() != p {
+		t.Error("Homogenize of homogeneous platform is not identity")
+	}
+}
+
+func TestJSONRoundTripHomogeneous(t *testing.T) {
+	p := MustNew([]float64{4, 2, 9}, 10)
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q Platform
+	if err := json.Unmarshal(data, &q); err != nil {
+		t.Fatal(err)
+	}
+	if q.Processors() != 3 || q.Bandwidth() != 10 || q.Speed(3) != 9 {
+		t.Errorf("round trip mismatch: %v", &q)
+	}
+	order := q.FastestFirst()
+	if !sort.SliceIsSorted(order, func(i, j int) bool { return q.Speed(order[i]) >= q.Speed(order[j]) }) {
+		t.Error("speed order not rebuilt after Unmarshal")
+	}
+}
+
+func TestJSONRoundTripHeterogeneous(t *testing.T) {
+	links := [][]float64{{0, 5}, {5, 0}}
+	p, err := NewFullyHeterogeneous([]float64{1, 2}, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q Platform
+	if err := json.Unmarshal(data, &q); err != nil {
+		t.Fatal(err)
+	}
+	if q.Kind() != FullyHeterogeneous || q.LinkBandwidth(1, 2) != 5 {
+		t.Errorf("round trip mismatch: %v", &q)
+	}
+}
+
+func TestJSONRejectsInvalid(t *testing.T) {
+	var p Platform
+	for _, blob := range []string{
+		`{"kind":"comm-homogeneous","speeds":[],"bandwidth":1}`,
+		`{"kind":"comm-homogeneous","speeds":[1]}`, // zero bandwidth
+		`{"kind":"nonsense","speeds":[1],"bandwidth":1}`,
+		`{"kind":"fully-heterogeneous","speeds":[1,2],"links":[[0,1]]}`,
+	} {
+		if err := json.Unmarshal([]byte(blob), &p); err == nil {
+			t.Errorf("Unmarshal(%q) succeeded, want error", blob)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	p := MustNew([]float64{1, 2}, 10)
+	s := p.String()
+	for _, want := range []string{"comm-homogeneous", "2 processors", "b=10"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+func TestSpeedOutOfRangePanics(t *testing.T) {
+	p := MustNew([]float64{1}, 1)
+	for _, u := range []int{0, 2, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Speed(%d) did not panic", u)
+				}
+			}()
+			p.Speed(u)
+		}()
+	}
+}

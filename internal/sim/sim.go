@@ -1,0 +1,193 @@
+// Package sim is a discrete-event simulator for mapped pipeline workflows
+// under the paper's execution model: each enrolled processor serially
+// performs, for every data set, a receive, a computation and a send; the
+// one-port model serialises a processor's communications, and transfers
+// are blocking rendezvous that occupy both endpoints for δ/b time units.
+//
+// The simulator exists to validate the analytic cost model: on any mapping
+// the measured steady-state period must equal equation (1) and the first
+// data set's response time must equal equation (2). The paper asserts both
+// by construction; the test-suite asserts them against this independent
+// implementation.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"pipesched/internal/mapping"
+	"pipesched/internal/platform"
+)
+
+// Options configures a simulation run.
+type Options struct {
+	// DataSets is the number of data sets pushed through the pipeline
+	// (must be ≥ 1).
+	DataSets int
+	// Warmup is the number of initial data sets excluded from the
+	// steady-state period measurement (defaults to min(DataSets/2,
+	// 2·intervals), which always covers the pipeline fill).
+	Warmup int
+}
+
+// Report summarises one simulation run.
+type Report struct {
+	// Completions[t] is the absolute time at which data set t left the
+	// pipeline (its output reached the outside world).
+	Completions []float64
+	// Latencies[t] is the response time of data set t: completion minus
+	// the instant its input started entering the pipeline.
+	Latencies []float64
+	// MaxLatency is the largest response time over all data sets — the
+	// paper's latency definition.
+	MaxLatency float64
+	// SteadyStatePeriod is the mean inter-completion gap after warmup.
+	SteadyStatePeriod float64
+	// MaxGap is the largest inter-completion gap after warmup.
+	MaxGap float64
+	// Makespan is the completion time of the last data set.
+	Makespan float64
+	// Utilization[j] is the fraction of the makespan interval during
+	// which the processor of interval j was busy (receiving, computing
+	// or sending).
+	Utilization []float64
+}
+
+// Run simulates opt.DataSets data sets through m on the evaluator's
+// pipeline and platform.
+func Run(ev *mapping.Evaluator, m *mapping.Mapping, opt Options) (Report, error) {
+	if ev.Platform().Kind() != platform.CommHomogeneous {
+		return Report{}, errors.New("sim: only comm-homogeneous platforms are simulated")
+	}
+	k := opt.DataSets
+	if k < 1 {
+		return Report{}, fmt.Errorf("sim: DataSets = %d, want ≥ 1", k)
+	}
+	app, plat := ev.Pipeline(), ev.Platform()
+	ivs := m.Intervals()
+	nIv := len(ivs)
+	b := plat.Bandwidth()
+
+	// Durations: xferDur[j] is the transfer on boundary j (0 = outside →
+	// interval 1, nIv = interval nIv → outside); compDur[j] is interval
+	// j's computation (0-based).
+	xferDur := make([]float64, nIv+1)
+	compDur := make([]float64, nIv)
+	xferDur[0] = app.Delta(0) / b
+	for j, iv := range ivs {
+		compDur[j] = app.IntervalWork(iv.Start, iv.End) / plat.Speed(iv.Proc)
+		xferDur[j+1] = app.Delta(iv.End) / b
+	}
+
+	// Event recurrence per data set t (see DESIGN.md and the package
+	// comment): the transfer on boundary j starts when the upstream
+	// interval finished computing data set t and the downstream interval
+	// finished sending data set t-1.
+	prevXferEnd := make([]float64, nIv+1) // boundary j's transfer end for t-1
+	busy := make([]float64, nIv)
+
+	report := Report{
+		Completions: make([]float64, k),
+		Latencies:   make([]float64, k),
+	}
+	for t := 0; t < k; t++ {
+		// Boundary 0: outside world always ready; interval 1 (if any)
+		// must have finished its previous send (= previous transfer on
+		// boundary 1).
+		start0 := 0.0
+		if nIv > 0 && t > 0 {
+			start0 = prevXferEnd[1]
+		}
+		injection := start0
+		inEnd := start0 + xferDur[0]
+		curXferEnd := make([]float64, nIv+1)
+		curXferEnd[0] = inEnd
+		for j := 0; j < nIv; j++ {
+			recvEnd := curXferEnd[j]
+			compEnd := recvEnd + compDur[j]
+			busy[j] += xferDur[j] + compDur[j] // receive + compute
+			sendStart := compEnd
+			if j+1 < nIv && t > 0 {
+				// Downstream interval's previous op is its send
+				// of data set t-1 on boundary j+2.
+				if prev := prevXferEnd[j+2]; prev > sendStart {
+					sendStart = prev
+				}
+			}
+			curXferEnd[j+1] = sendStart + xferDur[j+1]
+			busy[j] += xferDur[j+1] // send occupies the sender
+		}
+		report.Completions[t] = curXferEnd[nIv]
+		report.Latencies[t] = curXferEnd[nIv] - injection
+		if report.Latencies[t] > report.MaxLatency {
+			report.MaxLatency = report.Latencies[t]
+		}
+		prevXferEnd = curXferEnd
+	}
+	report.Makespan = report.Completions[k-1]
+
+	warm := opt.Warmup
+	if warm <= 0 {
+		warm = 2 * nIv
+		if half := k / 2; warm > half {
+			warm = half
+		}
+	}
+	if warm >= k {
+		warm = k - 1
+	}
+	if k-1 > warm {
+		report.SteadyStatePeriod = (report.Completions[k-1] - report.Completions[warm]) / float64(k-1-warm)
+	} else if k >= 2 {
+		report.SteadyStatePeriod = report.Completions[k-1] - report.Completions[k-2]
+	} else {
+		report.SteadyStatePeriod = report.Completions[0]
+	}
+	for t := warm + 1; t < k; t++ {
+		if gap := report.Completions[t] - report.Completions[t-1]; gap > report.MaxGap {
+			report.MaxGap = gap
+		}
+	}
+	if report.Makespan > 0 {
+		report.Utilization = make([]float64, nIv)
+		for j := range busy {
+			report.Utilization[j] = busy[j] / report.Makespan
+			if report.Utilization[j] > 1 {
+				// Rounding can push a fully busy processor a hair
+				// above 1; clamp but scream on real violations.
+				if report.Utilization[j] > 1+1e-9 {
+					return Report{}, fmt.Errorf("sim: interval %d utilization %v > 1 (model bug)", j, report.Utilization[j])
+				}
+				report.Utilization[j] = 1
+			}
+		}
+	}
+	return report, nil
+}
+
+// ValidateModel runs a simulation long enough to reach steady state and
+// compares the measured metrics with the analytic formulas of the paper,
+// returning a descriptive error if either disagrees beyond tol (relative).
+// It is the bridge the tests and examples use to demonstrate that
+// equations (1) and (2) describe the simulated system.
+func ValidateModel(ev *mapping.Evaluator, m *mapping.Mapping, tol float64) error {
+	k := 20*m.Size() + 50
+	rep, err := Run(ev, m, Options{DataSets: k})
+	if err != nil {
+		return err
+	}
+	wantPeriod := ev.Period(m)
+	wantLatency := ev.Latency(m)
+	if rel(rep.SteadyStatePeriod, wantPeriod) > tol {
+		return fmt.Errorf("sim: steady-state period %g vs analytic %g", rep.SteadyStatePeriod, wantPeriod)
+	}
+	// The first data set flows through an empty pipeline: its response
+	// time is exactly equation (2).
+	if rel(rep.Latencies[0], wantLatency) > tol {
+		return fmt.Errorf("sim: first data set latency %g vs analytic %g", rep.Latencies[0], wantLatency)
+	}
+	return nil
+}
+
+func rel(a, b float64) float64 { return math.Abs(a-b) / (1 + math.Max(math.Abs(a), math.Abs(b))) }

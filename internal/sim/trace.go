@@ -1,0 +1,256 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"pipesched/internal/mapping"
+	"pipesched/internal/platform"
+)
+
+// OpKind labels one operation of the execution model.
+type OpKind int
+
+const (
+	// OpRecv is a receive: the transfer on the interval's input boundary.
+	OpRecv OpKind = iota
+	// OpComp is the interval's computation.
+	OpComp
+	// OpSend is a send: the transfer on the interval's output boundary.
+	OpSend
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpRecv:
+		return "recv"
+	case OpComp:
+		return "comp"
+	case OpSend:
+		return "send"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// Event is one operation instance in a traced simulation.
+type Event struct {
+	Interval int // 0-based interval index
+	Proc     int // 1-based processor id
+	DataSet  int // 0-based data set number
+	Kind     OpKind
+	Start    float64
+	End      float64
+}
+
+// Trace is a chronologically sorted event log of a simulation run.
+type Trace struct {
+	Events []Event
+	Report Report
+}
+
+// RunTraced simulates like Run but additionally records every operation.
+// Intended for small DataSets counts (the trace holds 3·intervals·K
+// events).
+func RunTraced(ev *mapping.Evaluator, m *mapping.Mapping, opt Options) (Trace, error) {
+	if ev.Platform().Kind() != platform.CommHomogeneous {
+		return Trace{}, errors.New("sim: only comm-homogeneous platforms are simulated")
+	}
+	k := opt.DataSets
+	if k < 1 {
+		return Trace{}, fmt.Errorf("sim: DataSets = %d, want ≥ 1", k)
+	}
+	app, plat := ev.Pipeline(), ev.Platform()
+	ivs := m.Intervals()
+	nIv := len(ivs)
+	b := plat.Bandwidth()
+
+	xferDur := make([]float64, nIv+1)
+	compDur := make([]float64, nIv)
+	xferDur[0] = app.Delta(0) / b
+	for j, iv := range ivs {
+		compDur[j] = app.IntervalWork(iv.Start, iv.End) / plat.Speed(iv.Proc)
+		xferDur[j+1] = app.Delta(iv.End) / b
+	}
+
+	trace := Trace{Events: make([]Event, 0, 3*nIv*k)}
+	prevXferEnd := make([]float64, nIv+1)
+	rep := Report{Completions: make([]float64, k), Latencies: make([]float64, k)}
+	for t := 0; t < k; t++ {
+		start0 := 0.0
+		if nIv > 0 && t > 0 {
+			start0 = prevXferEnd[1]
+		}
+		cur := make([]float64, nIv+1)
+		cur[0] = start0 + xferDur[0]
+		trace.Events = append(trace.Events, Event{
+			Interval: 0, Proc: ivs[0].Proc, DataSet: t, Kind: OpRecv,
+			Start: start0, End: cur[0],
+		})
+		for j := 0; j < nIv; j++ {
+			recvEnd := cur[j]
+			compEnd := recvEnd + compDur[j]
+			trace.Events = append(trace.Events, Event{
+				Interval: j, Proc: ivs[j].Proc, DataSet: t, Kind: OpComp,
+				Start: recvEnd, End: compEnd,
+			})
+			sendStart := compEnd
+			if j+1 < nIv && t > 0 {
+				if prev := prevXferEnd[j+2]; prev > sendStart {
+					sendStart = prev
+				}
+			}
+			cur[j+1] = sendStart + xferDur[j+1]
+			trace.Events = append(trace.Events, Event{
+				Interval: j, Proc: ivs[j].Proc, DataSet: t, Kind: OpSend,
+				Start: sendStart, End: cur[j+1],
+			})
+			if j+1 < nIv {
+				// The same transfer is the downstream interval's
+				// receive — record it from the receiver's side too.
+				trace.Events = append(trace.Events, Event{
+					Interval: j + 1, Proc: ivs[j+1].Proc, DataSet: t, Kind: OpRecv,
+					Start: sendStart, End: cur[j+1],
+				})
+			}
+		}
+		rep.Completions[t] = cur[nIv]
+		rep.Latencies[t] = cur[nIv] - start0
+		if rep.Latencies[t] > rep.MaxLatency {
+			rep.MaxLatency = rep.Latencies[t]
+		}
+		prevXferEnd = cur
+	}
+	rep.Makespan = rep.Completions[k-1]
+	if k >= 2 {
+		warm := k / 2
+		if warm == k-1 {
+			warm = k - 2
+		}
+		rep.SteadyStatePeriod = (rep.Completions[k-1] - rep.Completions[warm]) / float64(k-1-warm)
+	} else {
+		rep.SteadyStatePeriod = rep.Completions[0]
+	}
+	sort.SliceStable(trace.Events, func(i, j int) bool {
+		if trace.Events[i].Start != trace.Events[j].Start {
+			return trace.Events[i].Start < trace.Events[j].Start
+		}
+		return trace.Events[i].Interval < trace.Events[j].Interval
+	})
+	trace.Report = rep
+	return trace, nil
+}
+
+// Validate checks the structural invariants of the trace: per-processor
+// operations never overlap (the one-port model plus sequential compute),
+// every computation is preceded by its receive, and every data set's
+// operations are ordered along the pipeline.
+func (tr Trace) Validate() error {
+	// Per (interval, dataset): recv.End ≤ comp.Start, comp.End ≤ send.Start.
+	type key struct{ iv, ds int }
+	ops := make(map[key]map[OpKind]Event)
+	for _, e := range tr.Events {
+		if e.End < e.Start {
+			return fmt.Errorf("sim: event %+v runs backwards", e)
+		}
+		k := key{e.Interval, e.DataSet}
+		if ops[k] == nil {
+			ops[k] = make(map[OpKind]Event, 3)
+		}
+		ops[k][e.Kind] = e
+	}
+	const eps = 1e-9
+	for k, m := range ops {
+		recv, okR := m[OpRecv]
+		comp, okC := m[OpComp]
+		send, okS := m[OpSend]
+		if !okR || !okC || !okS {
+			return fmt.Errorf("sim: interval %d data set %d missing operations", k.iv, k.ds)
+		}
+		if recv.End > comp.Start+eps || comp.End > send.Start+eps {
+			return fmt.Errorf("sim: interval %d data set %d operations out of order", k.iv, k.ds)
+		}
+	}
+	// Per processor: no two operations overlap. Receives and sends of
+	// the same transfer are shared between two processors, so overlap is
+	// only checked within one processor's own op list.
+	byProc := make(map[int][]Event)
+	for _, e := range tr.Events {
+		byProc[e.Proc] = append(byProc[e.Proc], e)
+	}
+	for proc, evs := range byProc {
+		sort.SliceStable(evs, func(i, j int) bool { return evs[i].Start < evs[j].Start })
+		for i := 1; i < len(evs); i++ {
+			if evs[i].Start < evs[i-1].End-eps {
+				return fmt.Errorf("sim: processor %d operations overlap: %+v then %+v", proc, evs[i-1], evs[i])
+			}
+		}
+	}
+	return nil
+}
+
+// Gantt renders the first maxTime time units of the trace as an ASCII
+// Gantt chart, one row per enrolled processor: r/c/s cells mark receive,
+// compute and send activity, digits tag which data set a compute serves
+// (mod 10). width is the chart width in character cells.
+func (tr Trace) Gantt(width int, maxTime float64) string {
+	if width < 20 {
+		width = 20
+	}
+	if maxTime <= 0 {
+		maxTime = tr.Report.Makespan
+	}
+	if maxTime <= 0 {
+		return "(empty trace)\n"
+	}
+	procs := make([]int, 0, 8)
+	seen := map[int]bool{}
+	for _, e := range tr.Events {
+		if !seen[e.Proc] {
+			seen[e.Proc] = true
+			procs = append(procs, e.Proc)
+		}
+	}
+	sort.Ints(procs)
+	rows := make(map[int][]byte, len(procs))
+	for _, p := range procs {
+		rows[p] = []byte(strings.Repeat(".", width))
+	}
+	scale := float64(width) / maxTime
+	for _, e := range tr.Events {
+		if e.Start >= maxTime {
+			continue
+		}
+		from := int(math.Floor(e.Start * scale))
+		to := int(math.Ceil(e.End * scale))
+		if to > width {
+			to = width
+		}
+		if to == from {
+			to = from + 1
+		}
+		var glyph byte
+		switch e.Kind {
+		case OpRecv:
+			glyph = 'r'
+		case OpComp:
+			glyph = byte('0' + e.DataSet%10)
+		default:
+			glyph = 's'
+		}
+		row := rows[e.Proc]
+		for c := from; c < to && c < width; c++ {
+			row[c] = glyph
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "time 0 .. %.4g (one cell = %.4g)\n", maxTime, maxTime/float64(width))
+	for _, p := range procs {
+		fmt.Fprintf(&b, "P%-3d |%s|\n", p, rows[p])
+	}
+	b.WriteString("legend: r=receive, s=send, digit=compute (data set mod 10), .=idle\n")
+	return b.String()
+}

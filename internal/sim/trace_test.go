@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"pipesched/internal/mapping"
+	"pipesched/internal/pipeline"
+	"pipesched/internal/platform"
+)
+
+func TestRunTracedAgreesWithRun(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ev := randInstance(r, 8, 5)
+		if ev.Pipeline().Stages() < 2 {
+			return true
+		}
+		m := randMapping(r, ev)
+		plain, err1 := Run(ev, m, Options{DataSets: 20})
+		traced, err2 := RunTraced(ev, m, Options{DataSets: 20})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range plain.Completions {
+			if math.Abs(plain.Completions[i]-traced.Report.Completions[i]) > 1e-9 {
+				return false
+			}
+			if math.Abs(plain.Latencies[i]-traced.Report.Latencies[i]) > 1e-9 {
+				return false
+			}
+		}
+		return math.Abs(plain.Makespan-traced.Report.Makespan) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTraceValidatesOnRandomMappings(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ev := randInstance(r, 8, 5)
+		if ev.Pipeline().Stages() < 2 {
+			return true
+		}
+		m := randMapping(r, ev)
+		tr, err := RunTraced(ev, m, Options{DataSets: 15})
+		if err != nil {
+			return false
+		}
+		return tr.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTraceEventCount(t *testing.T) {
+	app := pipeline.MustNew([]float64{2, 2, 2}, []float64{1, 1, 1, 1})
+	plat := platform.MustNew([]float64{1, 1, 1}, 1)
+	ev := mapping.NewEvaluator(app, plat)
+	m := mapping.MustNew(app, plat, []mapping.Interval{
+		{Start: 1, End: 1, Proc: 1}, {Start: 2, End: 2, Proc: 2}, {Start: 3, End: 3, Proc: 3},
+	})
+	const k = 4
+	tr, err := RunTraced(ev, m, Options{DataSets: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per data set each of the 3 intervals records one receive, one
+	// compute and one send (internal transfers appear once per endpoint:
+	// sender-side send + receiver-side recv): 9 events.
+	if want := k * 9; len(tr.Events) != want {
+		t.Fatalf("%d events, want %d", len(tr.Events), want)
+	}
+	// Chronological order.
+	for i := 1; i < len(tr.Events); i++ {
+		if tr.Events[i].Start < tr.Events[i-1].Start-1e-12 {
+			t.Fatal("events not sorted by start time")
+		}
+	}
+}
+
+func TestTraceValidateCatchesCorruption(t *testing.T) {
+	app := pipeline.MustNew([]float64{2, 2}, []float64{1, 1, 1})
+	plat := platform.MustNew([]float64{1, 1}, 1)
+	ev := mapping.NewEvaluator(app, plat)
+	m := mapping.MustNew(app, plat, []mapping.Interval{{Start: 1, End: 1, Proc: 1}, {Start: 2, End: 2, Proc: 2}})
+	tr, err := RunTraced(ev, m, Options{DataSets: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("clean trace invalid: %v", err)
+	}
+	// Corrupt: make one computation start before its receive ends.
+	bad := tr
+	bad.Events = append([]Event(nil), tr.Events...)
+	for i, e := range bad.Events {
+		if e.Kind == OpComp {
+			bad.Events[i].Start -= 10
+			break
+		}
+	}
+	if bad.Validate() == nil {
+		t.Error("corrupted trace validated")
+	}
+	// Corrupt: reversed event.
+	bad2 := tr
+	bad2.Events = append([]Event(nil), tr.Events...)
+	bad2.Events[0].End = bad2.Events[0].Start - 1
+	if bad2.Validate() == nil {
+		t.Error("backwards event validated")
+	}
+}
+
+func TestGanttRendering(t *testing.T) {
+	app := pipeline.MustNew([]float64{4, 4}, []float64{2, 2, 2})
+	plat := platform.MustNew([]float64{2, 2}, 2)
+	ev := mapping.NewEvaluator(app, plat)
+	m := mapping.MustNew(app, plat, []mapping.Interval{{Start: 1, End: 1, Proc: 1}, {Start: 2, End: 2, Proc: 2}})
+	tr, err := RunTraced(ev, m, Options{DataSets: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := tr.Gantt(60, 0)
+	for _, want := range []string{"P1", "P2", "legend", "r", "s", "0"} {
+		if !strings.Contains(g, want) {
+			t.Errorf("Gantt missing %q:\n%s", want, g)
+		}
+	}
+	// Small widths are clamped, not crashed.
+	if g := tr.Gantt(1, 0); !strings.Contains(g, "P1") {
+		t.Errorf("clamped Gantt broken:\n%s", g)
+	}
+	// Zero-length trace edge case.
+	empty := Trace{}
+	if out := empty.Gantt(40, 0); !strings.Contains(out, "empty") {
+		t.Errorf("empty Gantt = %q", out)
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	if OpRecv.String() != "recv" || OpComp.String() != "comp" || OpSend.String() != "send" {
+		t.Error("OpKind strings wrong")
+	}
+	if OpKind(9).String() == "" {
+		t.Error("unknown OpKind renders empty")
+	}
+}

@@ -1,0 +1,154 @@
+// Package stats provides the small set of descriptive statistics used by
+// the experiment harness: means, extrema, standard deviations and
+// quantiles, plus a streaming Welford accumulator.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs; it panics on empty input, which
+// always indicates a harness bug (averaging a point with zero successful
+// runs must be filtered out by the caller).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Mean of empty slice")
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Min returns the smallest element of xs; panics on empty input.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Min of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element of xs; panics on empty input.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Max of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// StdDev returns the sample standard deviation (n-1 denominator) of xs.
+// It returns 0 for fewer than two samples.
+func StdDev(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	mean := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics. It panics on empty input or
+// q outside [0,1].
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Quantile of empty slice")
+	}
+	if q < 0 || q > 1 || q != q {
+		panic(fmt.Sprintf("stats: quantile %v outside [0,1]", q))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 0.5-quantile.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// Welford accumulates a running mean and variance in one pass without
+// storing the samples. The zero value is ready to use.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates one sample.
+func (w *Welford) Add(x float64) {
+	w.n++
+	if w.n == 1 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of samples accumulated.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean (0 before any sample).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Min returns the smallest sample seen; panics before the first sample.
+func (w *Welford) Min() float64 {
+	if w.n == 0 {
+		panic("stats: Welford.Min before any sample")
+	}
+	return w.min
+}
+
+// Max returns the largest sample seen; panics before the first sample.
+func (w *Welford) Max() float64 {
+	if w.n == 0 {
+		panic("stats: Welford.Max before any sample")
+	}
+	return w.max
+}
+
+// StdDev returns the running sample standard deviation (0 for n < 2).
+func (w *Welford) StdDev() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return math.Sqrt(w.m2 / float64(w.n-1))
+}

@@ -1,0 +1,126 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMeanMinMax(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	if got := Mean(xs); !almost(got, 2.8) {
+		t.Errorf("Mean = %g, want 2.8", got)
+	}
+	if got := Min(xs); got != 1 {
+		t.Errorf("Min = %g, want 1", got)
+	}
+	if got := Max(xs); got != 5 {
+		t.Errorf("Max = %g, want 5", got)
+	}
+}
+
+func TestEmptyPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"Mean":     func() { Mean(nil) },
+		"Min":      func() { Min(nil) },
+		"Max":      func() { Max(nil) },
+		"Quantile": func() { Quantile(nil, 0.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s(nil) did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if got := StdDev([]float64{5}); got != 0 {
+		t.Errorf("StdDev of singleton = %g, want 0", got)
+	}
+	// Sample stddev of {2,4,4,4,5,5,7,9} is sqrt(32/7).
+	got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if want := math.Sqrt(32.0 / 7.0); !almost(got, want) {
+		t.Errorf("StdDev = %g, want %g", got, want)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75}, {1.0 / 3.0, 2},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almost(got, c.want) {
+			t.Errorf("Quantile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+	if got := Median([]float64{9}); got != 9 {
+		t.Errorf("Median singleton = %g", got)
+	}
+	if got := Median([]float64{1, 3}); !almost(got, 2) {
+		t.Errorf("Median{1,3} = %g, want 2", got)
+	}
+}
+
+func TestQuantileRejectsBadQ(t *testing.T) {
+	for _, q := range []float64{-0.1, 1.1, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Quantile(q=%v) did not panic", q)
+				}
+			}()
+			Quantile([]float64{1}, q)
+		}()
+	}
+}
+
+func TestQuantileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Quantile sorted the caller's slice: %v", xs)
+	}
+}
+
+func TestWelfordMatchesBatch(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(100)
+		xs := make([]float64, n)
+		var w Welford
+		for i := range xs {
+			xs[i] = r.NormFloat64() * 10
+			w.Add(xs[i])
+		}
+		if w.N() != n {
+			return false
+		}
+		return almost(w.Mean(), Mean(xs)) &&
+			almost(w.StdDev(), StdDev(xs)) &&
+			w.Min() == Min(xs) && w.Max() == Max(xs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWelfordEmpty(t *testing.T) {
+	var w Welford
+	if w.N() != 0 || w.Mean() != 0 || w.StdDev() != 0 {
+		t.Error("zero Welford not zeroed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Welford.Min before samples did not panic")
+		}
+	}()
+	w.Min()
+}

@@ -1,0 +1,281 @@
+// Package subhlok solves the identical-speed special case of the paper's
+// mapping problem in polynomial time, after Subhlok and Vondran's optimal
+// latency–throughput algorithms for homogeneous platforms (PPoPP'95 /
+// SPAA'96, references [19, 20] of the paper — the work the paper
+// explicitly extends to different-speed processors).
+//
+// With equal processor speeds the permutation component of
+// Hetero-1D-Partition disappears: processors are interchangeable, so the
+// optimal interval mapping follows from dynamic programming over prefixes
+// alone, in O(n²·p) per query. This package therefore provides exact
+// polynomial counterparts of everything that is NP-hard on
+// Communication Homogeneous platforms:
+//
+//   - MinPeriod: the optimal period;
+//   - MinLatencyUnderPeriod / MinPeriodUnderLatency: the bi-criteria
+//     optima;
+//   - ParetoFront: the full trade-off curve.
+//
+// The test-suite cross-checks these against the exponential solvers of
+// package exact on equal-speed instances — two independent algorithms, one
+// polynomial and one exponential, agreeing on the same optimum.
+package subhlok
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"pipesched/internal/mapping"
+	"pipesched/internal/platform"
+)
+
+// ErrNotIdentical is returned when the platform's processors do not all
+// have the same speed.
+var ErrNotIdentical = errors.New("subhlok: platform processors must have identical speeds")
+
+// ErrInfeasible is returned when no interval mapping satisfies the
+// requested constraint.
+var ErrInfeasible = errors.New("subhlok: no interval mapping satisfies the constraint")
+
+// Result is an optimal mapping with its metrics.
+type Result struct {
+	Mapping *mapping.Mapping
+	Metrics mapping.Metrics
+}
+
+func guard(ev *mapping.Evaluator) (speed float64, err error) {
+	plat := ev.Platform()
+	if plat.Kind() != platform.CommHomogeneous {
+		return 0, errors.New("subhlok: comm-homogeneous platforms only")
+	}
+	s := plat.Speed(1)
+	for u := 2; u <= plat.Processors(); u++ {
+		if plat.Speed(u) != s {
+			return 0, ErrNotIdentical
+		}
+	}
+	return s, nil
+}
+
+// cut solves the core dynamic program: partition [1..n] into at most p
+// intervals minimising either the bottleneck cycle (period objective) or
+// the cut-communication sum (latency objective) subject to a cycle cap.
+//
+// With identical speeds the latency of a mapping is
+//
+//	δ_0/b + Σ_{cuts c} δ_c/b + W/s + δ_n/b
+//
+// — only the set of cut points matters — so minimising latency under a
+// period cap means choosing the cheapest cut set whose intervals all fit
+// the cap.
+func cut(ev *mapping.Evaluator, maxIntervals int, cycleCap float64, minimizeCuts bool) ([]int, bool) {
+	app, plat := ev.Pipeline(), ev.Platform()
+	n := app.Stages()
+	b := plat.Bandwidth()
+	s := plat.Speed(1)
+	cycle := func(d, e int) float64 {
+		return app.Delta(d-1)/b + app.IntervalWork(d, e)/s + app.Delta(e)/b
+	}
+	const inf = math.MaxFloat64
+	slack := cycleCap * (1 + 1e-12)
+	// f[j][i]: best value for stages 1..i in exactly j intervals.
+	// Value = bottleneck cycle (minimizeCuts=false) or Σ δ at cuts
+	// (minimizeCuts=true).
+	f := make([][]float64, maxIntervals+1)
+	back := make([][]int, maxIntervals+1)
+	for j := range f {
+		f[j] = make([]float64, n+1)
+		back[j] = make([]int, n+1)
+		for i := range f[j] {
+			f[j][i] = inf
+		}
+	}
+	f[0][0] = 0
+	for j := 1; j <= maxIntervals; j++ {
+		for i := j; i <= n; i++ {
+			for k := j - 1; k < i; k++ {
+				if f[j-1][k] == inf {
+					continue
+				}
+				c := cycle(k+1, i)
+				if c > slack {
+					continue
+				}
+				var cand float64
+				if minimizeCuts {
+					cand = f[j-1][k]
+					if k > 0 {
+						cand += app.Delta(k) / b
+					}
+				} else {
+					cand = f[j-1][k]
+					if c > cand {
+						cand = c
+					}
+				}
+				if cand < f[j][i] {
+					f[j][i] = cand
+					back[j][i] = k
+				}
+			}
+		}
+	}
+	bestJ, best := 0, inf
+	for j := 1; j <= maxIntervals; j++ {
+		if f[j][n] < best {
+			best, bestJ = f[j][n], j
+		}
+	}
+	if bestJ == 0 {
+		return nil, false
+	}
+	ends := make([]int, bestJ)
+	i := n
+	for j := bestJ; j >= 1; j-- {
+		ends[j-1] = i
+		i = back[j][i]
+	}
+	return ends, true
+}
+
+// toMapping turns interval end points into a Mapping on processors
+// 1, 2, ... (any distinct choice is optimal — identical speeds).
+func toMapping(ev *mapping.Evaluator, ends []int) (*mapping.Mapping, error) {
+	ivs := make([]mapping.Interval, len(ends))
+	start := 1
+	for j, e := range ends {
+		ivs[j] = mapping.Interval{Start: start, End: e, Proc: j + 1}
+		start = e + 1
+	}
+	return mapping.New(ev.Pipeline(), ev.Platform(), ivs)
+}
+
+// MinPeriod returns the optimal-period interval mapping, in O(n²·p) time.
+func MinPeriod(ev *mapping.Evaluator) (Result, error) {
+	if _, err := guard(ev); err != nil {
+		return Result{}, err
+	}
+	p := ev.Platform().Processors()
+	ends, ok := cut(ev, p, math.Inf(1), false)
+	if !ok {
+		return Result{}, fmt.Errorf("subhlok: internal error, unconstrained cut failed")
+	}
+	m, err := toMapping(ev, ends)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Mapping: m, Metrics: ev.Metrics(m)}, nil
+}
+
+// MinLatencyUnderPeriod returns the minimum-latency mapping among those of
+// period ≤ maxPeriod, in O(n²·p) time.
+func MinLatencyUnderPeriod(ev *mapping.Evaluator, maxPeriod float64) (Result, error) {
+	if _, err := guard(ev); err != nil {
+		return Result{}, err
+	}
+	p := ev.Platform().Processors()
+	ends, ok := cut(ev, p, maxPeriod, true)
+	if !ok {
+		return Result{}, ErrInfeasible
+	}
+	m, err := toMapping(ev, ends)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Mapping: m, Metrics: ev.Metrics(m)}, nil
+}
+
+// MinPeriodUnderLatency returns the minimum-period mapping among those of
+// latency ≤ maxLatency: a bisection over the O(n²) candidate cycle values,
+// each probe an O(n²·p) DP.
+func MinPeriodUnderLatency(ev *mapping.Evaluator, maxLatency float64) (Result, error) {
+	if _, err := guard(ev); err != nil {
+		return Result{}, err
+	}
+	cands := candidateCycles(ev)
+	feasible := func(period float64) (Result, bool) {
+		res, err := MinLatencyUnderPeriod(ev, period)
+		if err != nil {
+			return Result{}, false
+		}
+		return res, res.Metrics.Latency <= maxLatency*(1+1e-12)
+	}
+	lo, hi := 0, len(cands)-1
+	if _, ok := feasible(cands[hi]); !ok {
+		return Result{}, ErrInfeasible
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if _, ok := feasible(cands[mid]); ok {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	res, ok := feasible(cands[lo])
+	if !ok {
+		return Result{}, fmt.Errorf("subhlok: bisection lost feasibility at %g", cands[lo])
+	}
+	return res, nil
+}
+
+func candidateCycles(ev *mapping.Evaluator) []float64 {
+	app, plat := ev.Pipeline(), ev.Platform()
+	n := app.Stages()
+	b := plat.Bandwidth()
+	s := plat.Speed(1)
+	cands := make([]float64, 0, n*(n+1)/2)
+	for d := 1; d <= n; d++ {
+		for e := d; e <= n; e++ {
+			cands = append(cands, app.Delta(d-1)/b+app.IntervalWork(d, e)/s+app.Delta(e)/b)
+		}
+	}
+	sort.Float64s(cands)
+	return cands
+}
+
+// ParetoPoint is one non-dominated (period, latency) trade-off.
+type ParetoPoint struct {
+	Metrics mapping.Metrics
+	Mapping *mapping.Mapping
+}
+
+// ParetoFront returns the exact trade-off curve over all interval
+// mappings, sorted by increasing period, in O(n⁴·p) total time — entirely
+// polynomial, in contrast to the exponential exact.ParetoFront needed for
+// different-speed platforms.
+func ParetoFront(ev *mapping.Evaluator) ([]ParetoPoint, error) {
+	if _, err := guard(ev); err != nil {
+		return nil, err
+	}
+	var points []ParetoPoint
+	prevLat := math.Inf(1)
+	for _, c := range candidateCycles(ev) {
+		res, err := MinLatencyUnderPeriod(ev, c)
+		if err != nil {
+			continue
+		}
+		if res.Metrics.Latency < prevLat-1e-12 {
+			points = append(points, ParetoPoint{Metrics: res.Metrics, Mapping: res.Mapping})
+			prevLat = res.Metrics.Latency
+		}
+	}
+	sort.Slice(points, func(i, j int) bool {
+		a, b := points[i].Metrics, points[j].Metrics
+		if a.Period != b.Period {
+			return a.Period < b.Period
+		}
+		return a.Latency < b.Latency
+	})
+	var front []ParetoPoint
+	bestLat := math.Inf(1)
+	for _, pt := range points {
+		if pt.Metrics.Latency < bestLat-1e-12 {
+			front = append(front, pt)
+			bestLat = pt.Metrics.Latency
+		}
+	}
+	return front, nil
+}

@@ -1,0 +1,238 @@
+package subhlok
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pipesched/internal/exact"
+	"pipesched/internal/heuristics"
+	"pipesched/internal/mapping"
+	"pipesched/internal/pipeline"
+	"pipesched/internal/platform"
+)
+
+// randIdentical builds a random instance with identical processor speeds.
+func randIdentical(r *rand.Rand, maxN, maxP int) *mapping.Evaluator {
+	n := 1 + r.Intn(maxN)
+	p := 1 + r.Intn(maxP)
+	works := make([]float64, n)
+	for i := range works {
+		works[i] = float64(1 + r.Intn(20))
+	}
+	deltas := make([]float64, n+1)
+	for i := range deltas {
+		deltas[i] = float64(r.Intn(30))
+	}
+	s := float64(1 + r.Intn(20))
+	speeds := make([]float64, p)
+	for i := range speeds {
+		speeds[i] = s
+	}
+	return mapping.NewEvaluator(pipeline.MustNew(works, deltas), platform.MustNew(speeds, 10))
+}
+
+// The polynomial DP must agree with the exponential bitmask DP.
+func TestMinPeriodMatchesExponentialSolver(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ev := randIdentical(r, 8, 5)
+		poly, err := MinPeriod(ev)
+		if err != nil {
+			return false
+		}
+		expo, err := exact.MinPeriod(ev)
+		if err != nil {
+			return false
+		}
+		return math.Abs(poly.Metrics.Period-expo.Metrics.Period) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinLatencyUnderPeriodMatchesExponentialSolver(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ev := randIdentical(r, 7, 4)
+		opt, err := MinPeriod(ev)
+		if err != nil {
+			return false
+		}
+		single := mapping.SingleProcessor(ev.Pipeline(), ev.Platform(), ev.Platform().Fastest())
+		maxP := ev.Period(single)
+		bound := opt.Metrics.Period + r.Float64()*(maxP-opt.Metrics.Period)
+		poly, err := MinLatencyUnderPeriod(ev, bound)
+		if err != nil {
+			return false
+		}
+		expo, err := exact.MinLatencyUnderPeriod(ev, bound)
+		if err != nil {
+			return false
+		}
+		if poly.Metrics.Period > bound*(1+1e-9) {
+			return false
+		}
+		return math.Abs(poly.Metrics.Latency-expo.Metrics.Latency) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinPeriodUnderLatencyMatchesExponentialSolver(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ev := randIdentical(r, 6, 4)
+		_, optLat := ev.OptimalLatency()
+		bound := optLat * (1 + 1.5*r.Float64())
+		poly, err := MinPeriodUnderLatency(ev, bound)
+		if err != nil {
+			return false
+		}
+		expo, err := exact.MinPeriodUnderLatency(ev, bound)
+		if err != nil {
+			return false
+		}
+		if poly.Metrics.Latency > bound*(1+1e-9) {
+			return false
+		}
+		return math.Abs(poly.Metrics.Period-expo.Metrics.Period) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParetoFrontMatchesExponentialSolver(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ev := randIdentical(r, 6, 4)
+		poly, err := ParetoFront(ev)
+		if err != nil || len(poly) == 0 {
+			return false
+		}
+		expo, err := exact.ParetoFront(ev)
+		if err != nil {
+			return false
+		}
+		if len(poly) != len(expo) {
+			return false
+		}
+		for i := range poly {
+			if math.Abs(poly[i].Metrics.Period-expo[i].Metrics.Period) > 1e-9 {
+				return false
+			}
+			if math.Abs(poly[i].Metrics.Latency-expo[i].Metrics.Latency) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The paper's heuristics on identical-speed platforms can never beat the
+// polynomial optimum — and the optimum is reachable in polynomial time,
+// which is the whole point of the Subhlok–Vondran special case.
+func TestHeuristicsBoundedByPolynomialOptimum(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ev := randIdentical(r, 10, 6)
+		opt, err := MinPeriod(ev)
+		if err != nil {
+			return false
+		}
+		for _, h := range heuristics.PeriodHeuristics() {
+			if heuristics.MinAchievablePeriod(ev, h) < opt.Metrics.Period-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRejectsDifferentSpeeds(t *testing.T) {
+	ev := mapping.NewEvaluator(
+		pipeline.MustNew([]float64{1, 2}, make([]float64, 3)),
+		platform.MustNew([]float64{1, 2}, 10))
+	if _, err := MinPeriod(ev); !errors.Is(err, ErrNotIdentical) {
+		t.Errorf("MinPeriod err = %v", err)
+	}
+	if _, err := MinLatencyUnderPeriod(ev, 10); !errors.Is(err, ErrNotIdentical) {
+		t.Errorf("MinLatencyUnderPeriod err = %v", err)
+	}
+	if _, err := MinPeriodUnderLatency(ev, 10); !errors.Is(err, ErrNotIdentical) {
+		t.Errorf("MinPeriodUnderLatency err = %v", err)
+	}
+	if _, err := ParetoFront(ev); !errors.Is(err, ErrNotIdentical) {
+		t.Errorf("ParetoFront err = %v", err)
+	}
+}
+
+func TestInfeasibleBounds(t *testing.T) {
+	ev := mapping.NewEvaluator(
+		pipeline.MustNew([]float64{10}, []float64{0, 0}),
+		platform.MustNew([]float64{2, 2}, 1))
+	if _, err := MinLatencyUnderPeriod(ev, 4.9); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("period bound below optimum: err = %v", err)
+	}
+	if _, err := MinPeriodUnderLatency(ev, 4.9); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("latency bound below optimum: err = %v", err)
+	}
+}
+
+func TestKnownInstance(t *testing.T) {
+	// w = {4, 4}, δ = {0, 8, 0}, two speed-2 processors, b = 2.
+	// Single interval: cycle = 0 + 8/2 + 0 = 4.
+	// Split: cycles = 4/2 + 8/2 = 6 each → period 6. So min period = 4
+	// with the single interval; the split only ever loses here.
+	app := pipeline.MustNew([]float64{4, 4}, []float64{0, 8, 0})
+	plat := platform.MustNew([]float64{2, 2}, 2)
+	ev := mapping.NewEvaluator(app, plat)
+	res, err := MinPeriod(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Metrics.Period-4) > 1e-9 || res.Mapping.Size() != 1 {
+		t.Errorf("MinPeriod = %+v %v, want period 4 on one interval", res.Metrics, res.Mapping)
+	}
+	// Now make the middle transfer cheap: δ = {0, 2, 0}. Split cycles =
+	// 2 + 1 = 3 → period 3 beats 4.
+	app2 := pipeline.MustNew([]float64{4, 4}, []float64{0, 2, 0})
+	ev2 := mapping.NewEvaluator(app2, plat)
+	res2, err := MinPeriod(ev2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res2.Metrics.Period-3) > 1e-9 || res2.Mapping.Size() != 2 {
+		t.Errorf("MinPeriod = %+v %v, want period 3 on two intervals", res2.Metrics, res2.Mapping)
+	}
+}
+
+// Latency structure: with identical speeds latency = const + Σ δ at cuts;
+// the min-latency mapping under a loose period bound must therefore be the
+// single interval whenever it fits.
+func TestLatencyReducesToCutSelection(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		ev := randIdentical(r, 8, 4)
+		single := mapping.SingleProcessor(ev.Pipeline(), ev.Platform(), ev.Platform().Fastest())
+		p0 := ev.Period(single)
+		res, err := MinLatencyUnderPeriod(ev, p0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Mapping.Size() != 1 {
+			t.Errorf("trial %d: loose bound produced %d intervals", trial, res.Mapping.Size())
+		}
+	}
+}

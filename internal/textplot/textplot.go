@@ -1,0 +1,172 @@
+// Package textplot renders small line/scatter plots as plain text, so that
+// the experiment binaries can show the paper's latency-versus-period
+// trade-off figures directly in a terminal without any plotting
+// dependency. Data files for external plotting are emitted separately by
+// the experiments package.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named sequence of (x, y) points. NaN coordinates are
+// skipped.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// markers cycles through distinguishable glyphs, one per series.
+var markers = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+// Plot is a configurable text plot. The zero value is not usable; create
+// plots with New.
+type Plot struct {
+	title  string
+	xlabel string
+	ylabel string
+	width  int
+	height int
+	series []Series
+}
+
+// New creates a plot of the given interior size in character cells
+// (axes and legend are added around it). Sizes are clamped to [16,200]×[8,60].
+func New(title, xlabel, ylabel string, width, height int) *Plot {
+	clamp := func(v, lo, hi int) int {
+		if v < lo {
+			return lo
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	}
+	return &Plot{
+		title:  title,
+		xlabel: xlabel,
+		ylabel: ylabel,
+		width:  clamp(width, 16, 200),
+		height: clamp(height, 8, 60),
+	}
+}
+
+// Add appends a series; call order determines marker assignment.
+func (p *Plot) Add(s Series) { p.series = append(p.series, s) }
+
+// Render draws the plot. Series beyond the marker palette reuse markers.
+func (p *Plot) Render() string {
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	count := 0
+	for _, s := range p.series {
+		for i := range s.X {
+			x, y := s.X[i], s.Y[i]
+			if bad(x) || bad(y) {
+				continue
+			}
+			count++
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			ymin, ymax = math.Min(ymin, y), math.Max(ymax, y)
+		}
+	}
+	var b strings.Builder
+	if p.title != "" {
+		fmt.Fprintf(&b, "%s\n", p.title)
+	}
+	if count == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if xmax == xmin {
+		xmin, xmax = xmin-1, xmax+1
+	}
+	if ymax == ymin {
+		ymin, ymax = ymin-1, ymax+1
+	}
+	grid := make([][]byte, p.height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", p.width))
+	}
+	for si, s := range p.series {
+		mark := markers[si%len(markers)]
+		for i := range s.X {
+			x, y := s.X[i], s.Y[i]
+			if bad(x) || bad(y) {
+				continue
+			}
+			col := int(math.Round((x - xmin) / (xmax - xmin) * float64(p.width-1)))
+			row := p.height - 1 - int(math.Round((y-ymin)/(ymax-ymin)*float64(p.height-1)))
+			grid[row][col] = mark
+		}
+	}
+	yLo, yHi := label(ymin), label(ymax)
+	margin := len(yLo)
+	if len(yHi) > margin {
+		margin = len(yHi)
+	}
+	if l := len(p.ylabel); l > margin && l <= 14 {
+		margin = l // make room for a reasonably short axis label
+	}
+	for r := 0; r < p.height; r++ {
+		lab := strings.Repeat(" ", margin)
+		switch r {
+		case 0:
+			lab = pad(yHi, margin)
+		case p.height - 1:
+			lab = pad(yLo, margin)
+		case p.height / 2:
+			if p.ylabel != "" {
+				lab = pad(trunc(p.ylabel, margin), margin)
+			}
+		}
+		fmt.Fprintf(&b, "%s |%s\n", lab, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", margin), strings.Repeat("-", p.width))
+	xLo, xHi := label(xmin), label(xmax)
+	gap := p.width - len(xLo) - len(xHi)
+	if gap < 1 {
+		gap = 1
+	}
+	fmt.Fprintf(&b, "%s  %s%s%s\n", strings.Repeat(" ", margin), xLo, strings.Repeat(" ", gap), xHi)
+	if p.xlabel != "" {
+		fmt.Fprintf(&b, "%s  %s\n", strings.Repeat(" ", margin), center(p.xlabel, p.width))
+	}
+	for si, s := range p.series {
+		fmt.Fprintf(&b, "  %c %s\n", markers[si%len(markers)], s.Name)
+	}
+	return b.String()
+}
+
+func bad(v float64) bool { return math.IsNaN(v) || math.IsInf(v, 0) }
+
+func label(v float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.2f", v), "0"), ".")
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return strings.Repeat(" ", w-len(s)) + s
+}
+
+func trunc(s string, w int) string {
+	if len(s) <= w {
+		return s
+	}
+	if w <= 1 {
+		return s[:w]
+	}
+	return s[:w-1] + "."
+}
+
+func center(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	left := (w - len(s)) / 2
+	return strings.Repeat(" ", left) + s
+}

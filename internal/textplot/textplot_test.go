@@ -1,0 +1,119 @@
+package textplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderBasics(t *testing.T) {
+	p := New("My Title", "xcol", "ycol", 40, 10)
+	p.Add(Series{Name: "alpha", X: []float64{0, 1, 2}, Y: []float64{0, 1, 4}})
+	p.Add(Series{Name: "beta", X: []float64{0, 1, 2}, Y: []float64{4, 1, 0}})
+	out := p.Render()
+	for _, want := range []string{"My Title", "xcol", "alpha", "beta", "* alpha", "+ beta"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Corner markers: min/max labels appear.
+	if !strings.Contains(out, "0") || !strings.Contains(out, "4") {
+		t.Errorf("axis labels missing:\n%s", out)
+	}
+	// Marker characters are present in the canvas.
+	if strings.Count(out, "*") < 3 { // 3 points + legend? legend has 1
+		t.Errorf("series alpha markers missing:\n%s", out)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	p := New("t", "", "", 30, 10)
+	out := p.Render()
+	if !strings.Contains(out, "(no data)") {
+		t.Errorf("empty plot output %q", out)
+	}
+	p.Add(Series{Name: "nan only", X: []float64{math.NaN()}, Y: []float64{1}})
+	if out := p.Render(); !strings.Contains(out, "(no data)") {
+		t.Errorf("NaN-only plot output %q", out)
+	}
+}
+
+func TestRenderSkipsNaN(t *testing.T) {
+	p := New("", "", "", 30, 10)
+	p.Add(Series{Name: "s", X: []float64{1, math.NaN(), 3}, Y: []float64{1, 2, 3}})
+	out := p.Render()
+	if strings.Contains(out, "NaN") {
+		t.Errorf("NaN leaked into output:\n%s", out)
+	}
+	if strings.Count(out, "*") != 3 { // 2 points + 1 legend marker
+		t.Errorf("expected 2 plotted points + legend:\n%s", out)
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	// Degenerate ranges (all x equal, all y equal) must not divide by zero.
+	p := New("", "", "", 30, 10)
+	p.Add(Series{Name: "flat", X: []float64{5, 5}, Y: []float64{7, 7}})
+	out := p.Render()
+	if !strings.Contains(out, "flat") {
+		t.Errorf("constant series broke rendering:\n%s", out)
+	}
+}
+
+func TestSizeClamping(t *testing.T) {
+	p := New("", "", "", 1, 1)
+	p.Add(Series{Name: "s", X: []float64{0, 1}, Y: []float64{0, 1}})
+	out := p.Render()
+	lines := strings.Split(out, "\n")
+	if len(lines) < 8 {
+		t.Errorf("clamped plot too small:\n%s", out)
+	}
+	p2 := New("", "", "", 10000, 10000)
+	p2.Add(Series{Name: "s", X: []float64{0, 1}, Y: []float64{0, 1}})
+	for _, l := range strings.Split(p2.Render(), "\n") {
+		if len(l) > 260 {
+			t.Errorf("line of %d chars escaped clamping", len(l))
+		}
+	}
+}
+
+func TestManySeriesReuseMarkers(t *testing.T) {
+	p := New("", "", "", 40, 10)
+	for i := 0; i < 10; i++ {
+		p.Add(Series{Name: "s", X: []float64{float64(i)}, Y: []float64{float64(i)}})
+	}
+	out := p.Render()
+	if len(strings.Split(out, "\n")) < 15 {
+		t.Errorf("legend rows missing:\n%s", out)
+	}
+}
+
+func TestLabelFormatting(t *testing.T) {
+	if got := label(3.0); got != "3" {
+		t.Errorf("label(3.0) = %q", got)
+	}
+	if got := label(3.25); got != "3.25" {
+		t.Errorf("label(3.25) = %q", got)
+	}
+	if got := label(3.10); got != "3.1" {
+		t.Errorf("label(3.10) = %q", got)
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if got := pad("ab", 5); got != "   ab" {
+		t.Errorf("pad = %q", got)
+	}
+	if got := pad("abcdef", 3); got != "abcdef" {
+		t.Errorf("pad overflow = %q", got)
+	}
+	if got := trunc("abcdef", 4); got != "abc." {
+		t.Errorf("trunc = %q", got)
+	}
+	if got := trunc("ab", 4); got != "ab" {
+		t.Errorf("trunc short = %q", got)
+	}
+	if got := center("ab", 6); got != "  ab" {
+		t.Errorf("center = %q", got)
+	}
+}

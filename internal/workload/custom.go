@@ -1,0 +1,81 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pipesched/internal/pipeline"
+	"pipesched/internal/platform"
+)
+
+// Custom describes a user-defined workload family for studies outside the
+// paper's four presets: uniform ranges for communication sizes, stage
+// works and integer processor speeds, plus the link bandwidth.
+type Custom struct {
+	DeltaMin, DeltaMax float64
+	WorkMin, WorkMax   float64
+	SpeedMinimum       int
+	SpeedMaximum       int
+	LinkBandwidth      float64
+}
+
+// Validate checks range sanity.
+func (c Custom) Validate() error {
+	if c.DeltaMin < 0 || c.DeltaMax < c.DeltaMin {
+		return fmt.Errorf("workload: invalid δ range [%g, %g]", c.DeltaMin, c.DeltaMax)
+	}
+	if c.WorkMin <= 0 || c.WorkMax < c.WorkMin {
+		return fmt.Errorf("workload: invalid work range [%g, %g]", c.WorkMin, c.WorkMax)
+	}
+	if c.SpeedMinimum < 1 || c.SpeedMaximum < c.SpeedMinimum {
+		return fmt.Errorf("workload: invalid speed range [%d, %d]", c.SpeedMinimum, c.SpeedMaximum)
+	}
+	if c.LinkBandwidth <= 0 {
+		return fmt.Errorf("workload: invalid bandwidth %g", c.LinkBandwidth)
+	}
+	return nil
+}
+
+// GenerateCustom draws one instance from a custom family.
+func GenerateCustom(c Custom, stages, processors int, seed int64) (Instance, error) {
+	if err := c.Validate(); err != nil {
+		return Instance{}, err
+	}
+	if stages < 1 || processors < 1 {
+		return Instance{}, fmt.Errorf("workload: %d stages, %d processors", stages, processors)
+	}
+	r := rand.New(rand.NewSource(seed))
+	works := make([]float64, stages)
+	for i := range works {
+		works[i] = uniform(r, c.WorkMin, c.WorkMax)
+	}
+	deltas := make([]float64, stages+1)
+	for i := range deltas {
+		deltas[i] = uniform(r, c.DeltaMin, c.DeltaMax)
+	}
+	speeds := make([]float64, processors)
+	for i := range speeds {
+		speeds[i] = float64(c.SpeedMinimum + r.Intn(c.SpeedMaximum-c.SpeedMinimum+1))
+	}
+	app, err := pipeline.New(works, deltas)
+	if err != nil {
+		return Instance{}, err
+	}
+	plat, err := platform.New(speeds, c.LinkBandwidth)
+	if err != nil {
+		return Instance{}, err
+	}
+	return Instance{App: app, Plat: plat}, nil
+}
+
+// PaperFamily returns the Custom equivalent of a preset family, so that
+// user studies can start from a paper setting and perturb it.
+func PaperFamily(f Family) Custom {
+	dMin, dMax, wMin, wMax := f.Ranges()
+	return Custom{
+		DeltaMin: dMin, DeltaMax: dMax,
+		WorkMin: wMin, WorkMax: wMax,
+		SpeedMinimum: SpeedMin, SpeedMaximum: SpeedMax,
+		LinkBandwidth: Bandwidth,
+	}
+}

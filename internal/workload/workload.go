@@ -1,0 +1,193 @@
+// Package workload generates the random applications and platforms of the
+// paper's experimental setting (Section 5.1): four experiment families E1–
+// E4 over n ∈ {5,10,20,40} stages and p ∈ {10,100} processors, with fixed
+// link bandwidth b = 10 and integer processor speeds uniform on [1,20].
+// All draws are reproducible from a seed.
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+
+	"pipesched/internal/mapping"
+	"pipesched/internal/pipeline"
+	"pipesched/internal/platform"
+)
+
+// Family identifies one of the paper's four experiment families.
+type Family int
+
+const (
+	// E1: balanced communications/computations, homogeneous
+	// communications — δ_i = 10 fixed, w ~ U[1,20].
+	E1 Family = iota + 1
+	// E2: balanced communications/computations, heterogeneous
+	// communications — δ ~ U[1,100], w ~ U[1,20].
+	E2
+	// E3: large computations — δ ~ U[1,20], w ~ U[10,1000].
+	E3
+	// E4: small computations — δ ~ U[1,20], w ~ U[0.01,10].
+	E4
+)
+
+// Families lists all four families in order.
+func Families() []Family { return []Family{E1, E2, E3, E4} }
+
+// String returns "E1".."E4".
+func (f Family) String() string {
+	if f < E1 || f > E4 {
+		return fmt.Sprintf("Family(%d)", int(f))
+	}
+	return fmt.Sprintf("E%d", int(f))
+}
+
+// Description returns the paper's one-line description of the family.
+func (f Family) Description() string {
+	switch f {
+	case E1:
+		return "balanced communication/computation, homogeneous communications"
+	case E2:
+		return "balanced communications/computations, heterogeneous communications"
+	case E3:
+		return "large computations"
+	case E4:
+		return "small computations"
+	default:
+		return "unknown family"
+	}
+}
+
+// Ranges returns the application parameter ranges of the family:
+// communication sizes drawn on [DeltaMin, DeltaMax] (fixed when equal) and
+// stage works on [WorkMin, WorkMax].
+func (f Family) Ranges() (deltaMin, deltaMax, workMin, workMax float64) {
+	switch f {
+	case E1:
+		return 10, 10, 1, 20
+	case E2:
+		return 1, 100, 1, 20
+	case E3:
+		return 1, 20, 10, 1000
+	case E4:
+		return 1, 20, 0.01, 10
+	default:
+		panic(fmt.Sprintf("workload: invalid family %d", int(f)))
+	}
+}
+
+// Bandwidth is the fixed link bandwidth of every experiment (b = 10).
+const Bandwidth = 10.0
+
+// SpeedMin and SpeedMax bound the integer processor speeds.
+const (
+	SpeedMin = 1
+	SpeedMax = 20
+)
+
+// Config describes one random application/platform pair to generate.
+type Config struct {
+	Family     Family
+	Stages     int   // n
+	Processors int   // p
+	Seed       int64 // RNG seed; equal configs generate equal instances
+}
+
+// Instance is one generated application/platform pair. Its JSON form
+// ({"pipeline": ..., "platform": ...}) is the interchange format of the
+// command-line tools.
+type Instance struct {
+	App  *pipeline.Pipeline
+	Plat *platform.Platform
+}
+
+type instanceJSON struct {
+	Pipeline *pipeline.Pipeline `json:"pipeline"`
+	Platform *platform.Platform `json:"platform"`
+}
+
+// MarshalJSON encodes the instance.
+func (in Instance) MarshalJSON() ([]byte, error) {
+	return json.Marshal(instanceJSON{Pipeline: in.App, Platform: in.Plat})
+}
+
+// UnmarshalJSON decodes and validates an instance.
+func (in *Instance) UnmarshalJSON(data []byte) error {
+	var j instanceJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	if j.Pipeline == nil || j.Platform == nil {
+		return fmt.Errorf("workload: instance needs both \"pipeline\" and \"platform\"")
+	}
+	in.App, in.Plat = j.Pipeline, j.Platform
+	return nil
+}
+
+// Evaluator binds the pair into a cost-model evaluator.
+func (in Instance) Evaluator() *mapping.Evaluator {
+	return mapping.NewEvaluator(in.App, in.Plat)
+}
+
+// Generate draws one instance of the family. It panics on invalid
+// configuration (family out of range, non-positive sizes), which always
+// indicates a programming error in the harness.
+func Generate(cfg Config) Instance {
+	if cfg.Stages < 1 {
+		panic(fmt.Sprintf("workload: %d stages", cfg.Stages))
+	}
+	if cfg.Processors < 1 {
+		panic(fmt.Sprintf("workload: %d processors", cfg.Processors))
+	}
+	dMin, dMax, wMin, wMax := cfg.Family.Ranges()
+	r := rand.New(rand.NewSource(cfg.Seed))
+	works := make([]float64, cfg.Stages)
+	for i := range works {
+		works[i] = uniform(r, wMin, wMax)
+	}
+	deltas := make([]float64, cfg.Stages+1)
+	for i := range deltas {
+		deltas[i] = uniform(r, dMin, dMax)
+	}
+	speeds := make([]float64, cfg.Processors)
+	for i := range speeds {
+		speeds[i] = float64(SpeedMin + r.Intn(SpeedMax-SpeedMin+1))
+	}
+	return Instance{
+		App:  pipeline.MustNew(works, deltas),
+		Plat: platform.MustNew(speeds, Bandwidth),
+	}
+}
+
+func uniform(r *rand.Rand, lo, hi float64) float64 {
+	if lo == hi {
+		return lo
+	}
+	return lo + (hi-lo)*r.Float64()
+}
+
+// GenerateSet draws count independent instances; instance i uses seed
+// baseSeed + i, so sets with overlapping seed ranges share instances —
+// deliberate, to let quick runs reuse prefixes of full runs.
+func GenerateSet(family Family, stages, processors, count int, baseSeed int64) []Instance {
+	out := make([]Instance, count)
+	for i := range out {
+		out[i] = Generate(Config{
+			Family:     family,
+			Stages:     stages,
+			Processors: processors,
+			Seed:       baseSeed + int64(i),
+		})
+	}
+	return out
+}
+
+// PaperStages lists the stage counts the paper sweeps.
+func PaperStages() []int { return []int{5, 10, 20, 40} }
+
+// PaperProcessors lists the platform sizes the paper sweeps.
+func PaperProcessors() []int { return []int{10, 100} }
+
+// PaperTrials is the number of random application/platform pairs averaged
+// per reported value in the paper.
+const PaperTrials = 50

@@ -1,0 +1,253 @@
+package workload
+
+import (
+	"testing"
+
+	"pipesched/internal/mapping"
+)
+
+func TestFamilyMetadata(t *testing.T) {
+	if len(Families()) != 4 {
+		t.Fatalf("Families() = %v", Families())
+	}
+	wantNames := map[Family]string{E1: "E1", E2: "E2", E3: "E3", E4: "E4"}
+	for f, name := range wantNames {
+		if f.String() != name {
+			t.Errorf("%d.String() = %q, want %q", int(f), f.String(), name)
+		}
+		if f.Description() == "unknown family" {
+			t.Errorf("%s has no description", name)
+		}
+	}
+	if Family(0).String() == "E0" {
+		t.Error("invalid family rendered as valid")
+	}
+}
+
+func TestRangesMatchPaper(t *testing.T) {
+	cases := []struct {
+		f                      Family
+		dMin, dMax, wMin, wMax float64
+	}{
+		{E1, 10, 10, 1, 20},
+		{E2, 1, 100, 1, 20},
+		{E3, 1, 20, 10, 1000},
+		{E4, 1, 20, 0.01, 10},
+	}
+	for _, c := range cases {
+		dMin, dMax, wMin, wMax := c.f.Ranges()
+		if dMin != c.dMin || dMax != c.dMax || wMin != c.wMin || wMax != c.wMax {
+			t.Errorf("%s ranges = (%g,%g,%g,%g), want (%g,%g,%g,%g)",
+				c.f, dMin, dMax, wMin, wMax, c.dMin, c.dMax, c.wMin, c.wMax)
+		}
+	}
+}
+
+func TestRangesPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Ranges on invalid family did not panic")
+		}
+	}()
+	Family(9).Ranges()
+}
+
+func TestGenerateRespectsRanges(t *testing.T) {
+	for _, f := range Families() {
+		dMin, dMax, wMin, wMax := f.Ranges()
+		for seed := int64(0); seed < 30; seed++ {
+			in := Generate(Config{Family: f, Stages: 20, Processors: 10, Seed: seed})
+			if in.App.Stages() != 20 {
+				t.Fatalf("%s: %d stages", f, in.App.Stages())
+			}
+			if in.Plat.Processors() != 10 {
+				t.Fatalf("%s: %d processors", f, in.Plat.Processors())
+			}
+			if in.Plat.Bandwidth() != Bandwidth {
+				t.Fatalf("%s: bandwidth %g", f, in.Plat.Bandwidth())
+			}
+			for k := 1; k <= 20; k++ {
+				if w := in.App.Work(k); w < wMin || w > wMax {
+					t.Fatalf("%s seed %d: w_%d = %g outside [%g,%g]", f, seed, k, w, wMin, wMax)
+				}
+			}
+			for k := 0; k <= 20; k++ {
+				if d := in.App.Delta(k); d < dMin || d > dMax {
+					t.Fatalf("%s seed %d: δ_%d = %g outside [%g,%g]", f, seed, k, d, dMin, dMax)
+				}
+			}
+			for u := 1; u <= 10; u++ {
+				s := in.Plat.Speed(u)
+				if s < SpeedMin || s > SpeedMax || s != float64(int(s)) {
+					t.Fatalf("%s seed %d: speed %g not an integer in [%d,%d]", f, seed, s, SpeedMin, SpeedMax)
+				}
+			}
+		}
+	}
+}
+
+func TestE1CommunicationsHomogeneous(t *testing.T) {
+	in := Generate(Config{Family: E1, Stages: 15, Processors: 5, Seed: 3})
+	for k := 0; k <= 15; k++ {
+		if in.App.Delta(k) != 10 {
+			t.Fatalf("E1 δ_%d = %g, want 10", k, in.App.Delta(k))
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Family: E2, Stages: 10, Processors: 10, Seed: 77}
+	a, b := Generate(cfg), Generate(cfg)
+	for k := 1; k <= 10; k++ {
+		if a.App.Work(k) != b.App.Work(k) {
+			t.Fatal("same seed, different works")
+		}
+	}
+	for u := 1; u <= 10; u++ {
+		if a.Plat.Speed(u) != b.Plat.Speed(u) {
+			t.Fatal("same seed, different speeds")
+		}
+	}
+	c := Generate(Config{Family: E2, Stages: 10, Processors: 10, Seed: 78})
+	same := true
+	for k := 1; k <= 10; k++ {
+		if a.App.Work(k) != c.App.Work(k) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical works")
+	}
+}
+
+func TestGenerateSetSeedsArePrefixStable(t *testing.T) {
+	small := GenerateSet(E3, 5, 10, 3, 100)
+	large := GenerateSet(E3, 5, 10, 10, 100)
+	for i := range small {
+		if small[i].App.Work(1) != large[i].App.Work(1) {
+			t.Fatalf("instance %d differs between set sizes", i)
+		}
+	}
+	if len(large) != 10 {
+		t.Fatalf("len = %d", len(large))
+	}
+}
+
+func TestGeneratePanicsOnBadConfig(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"no stages":     {Family: E1, Stages: 0, Processors: 1},
+		"no processors": {Family: E1, Stages: 1, Processors: 0},
+		"bad family":    {Family: 0, Stages: 1, Processors: 1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			Generate(cfg)
+		}()
+	}
+}
+
+func TestEvaluatorBinding(t *testing.T) {
+	in := Generate(Config{Family: E4, Stages: 8, Processors: 4, Seed: 5})
+	ev := in.Evaluator()
+	if ev.Pipeline() != in.App || ev.Platform() != in.Plat {
+		t.Error("Evaluator did not bind the instance's own pair")
+	}
+	m := mapping.SingleProcessor(in.App, in.Plat, in.Plat.Fastest())
+	if ev.Period(m) <= 0 || ev.Latency(m) <= 0 {
+		t.Error("degenerate metrics on a generated instance")
+	}
+}
+
+func TestPaperConstants(t *testing.T) {
+	if got := PaperStages(); len(got) != 4 || got[0] != 5 || got[3] != 40 {
+		t.Errorf("PaperStages() = %v", got)
+	}
+	if got := PaperProcessors(); len(got) != 2 || got[0] != 10 || got[1] != 100 {
+		t.Errorf("PaperProcessors() = %v", got)
+	}
+	if PaperTrials != 50 {
+		t.Errorf("PaperTrials = %d", PaperTrials)
+	}
+}
+
+func TestGenerateCustom(t *testing.T) {
+	c := Custom{
+		DeltaMin: 2, DeltaMax: 4,
+		WorkMin: 10, WorkMax: 20,
+		SpeedMinimum: 3, SpeedMaximum: 5,
+		LinkBandwidth: 7,
+	}
+	in, err := GenerateCustom(c, 12, 6, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.App.Stages() != 12 || in.Plat.Processors() != 6 || in.Plat.Bandwidth() != 7 {
+		t.Fatalf("shape wrong: %v / %v", in.App, in.Plat)
+	}
+	for k := 1; k <= 12; k++ {
+		if w := in.App.Work(k); w < 10 || w > 20 {
+			t.Errorf("w_%d = %g outside range", k, w)
+		}
+	}
+	for k := 0; k <= 12; k++ {
+		if d := in.App.Delta(k); d < 2 || d > 4 {
+			t.Errorf("δ_%d = %g outside range", k, d)
+		}
+	}
+	for u := 1; u <= 6; u++ {
+		if s := in.Plat.Speed(u); s < 3 || s > 5 {
+			t.Errorf("speed %d = %g outside range", u, s)
+		}
+	}
+}
+
+func TestGenerateCustomValidation(t *testing.T) {
+	valid := Custom{DeltaMin: 0, DeltaMax: 1, WorkMin: 1, WorkMax: 2, SpeedMinimum: 1, SpeedMaximum: 2, LinkBandwidth: 1}
+	bad := []Custom{
+		{DeltaMin: -1, DeltaMax: 1, WorkMin: 1, WorkMax: 2, SpeedMinimum: 1, SpeedMaximum: 2, LinkBandwidth: 1},
+		{DeltaMin: 2, DeltaMax: 1, WorkMin: 1, WorkMax: 2, SpeedMinimum: 1, SpeedMaximum: 2, LinkBandwidth: 1},
+		{DeltaMin: 0, DeltaMax: 1, WorkMin: 0, WorkMax: 2, SpeedMinimum: 1, SpeedMaximum: 2, LinkBandwidth: 1},
+		{DeltaMin: 0, DeltaMax: 1, WorkMin: 3, WorkMax: 2, SpeedMinimum: 1, SpeedMaximum: 2, LinkBandwidth: 1},
+		{DeltaMin: 0, DeltaMax: 1, WorkMin: 1, WorkMax: 2, SpeedMinimum: 0, SpeedMaximum: 2, LinkBandwidth: 1},
+		{DeltaMin: 0, DeltaMax: 1, WorkMin: 1, WorkMax: 2, SpeedMinimum: 3, SpeedMaximum: 2, LinkBandwidth: 1},
+		{DeltaMin: 0, DeltaMax: 1, WorkMin: 1, WorkMax: 2, SpeedMinimum: 1, SpeedMaximum: 2, LinkBandwidth: 0},
+	}
+	for i, c := range bad {
+		if _, err := GenerateCustom(c, 2, 2, 1); err == nil {
+			t.Errorf("bad custom %d accepted", i)
+		}
+	}
+	if _, err := GenerateCustom(valid, 0, 2, 1); err == nil {
+		t.Error("zero stages accepted")
+	}
+	if _, err := GenerateCustom(valid, 2, 0, 1); err == nil {
+		t.Error("zero processors accepted")
+	}
+}
+
+func TestPaperFamilyEquivalence(t *testing.T) {
+	// A Custom built from a preset must draw from identical ranges; with
+	// the same seed it produces the exact same instance because both use
+	// the same draw order.
+	for _, f := range Families() {
+		preset := Generate(Config{Family: f, Stages: 7, Processors: 4, Seed: 13})
+		custom, err := GenerateCustom(PaperFamily(f), 7, 4, 13)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 1; k <= 7; k++ {
+			if preset.App.Work(k) != custom.App.Work(k) {
+				t.Fatalf("%s: works differ at %d", f, k)
+			}
+		}
+		for u := 1; u <= 4; u++ {
+			if preset.Plat.Speed(u) != custom.Plat.Speed(u) {
+				t.Fatalf("%s: speeds differ at %d", f, u)
+			}
+		}
+	}
+}

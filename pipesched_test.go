@@ -1,0 +1,193 @@
+package pipesched_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"pipesched"
+)
+
+func demoEvaluator(t *testing.T) *pipesched.Evaluator {
+	t.Helper()
+	app, err := pipesched.NewPipeline(
+		[]float64{120, 80, 250, 60},
+		[]float64{10, 40, 40, 20, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat, err := pipesched.NewPlatform([]float64{20, 14, 8, 5}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pipesched.NewEvaluator(app, plat)
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	ev := demoEvaluator(t)
+	_, optLat := pipesched.OptimalLatency(ev)
+	// Single processor: period = latency = 1 + 510/20 + 1 = 27.5.
+	if math.Abs(optLat-27.5) > 1e-9 {
+		t.Fatalf("optimal latency = %g, want 27.5", optLat)
+	}
+	res, err := pipesched.BestUnderPeriod(ev, 20)
+	if err != nil {
+		t.Fatalf("BestUnderPeriod: %v", err)
+	}
+	if res.Metrics.Period > 20+1e-9 {
+		t.Errorf("period %g exceeds bound", res.Metrics.Period)
+	}
+	if res.Metrics.Latency < optLat-1e-9 {
+		t.Errorf("latency %g below the provable optimum %g", res.Metrics.Latency, optLat)
+	}
+	// The chosen mapping must simulate to its claimed metrics.
+	if err := pipesched.ValidateModel(ev, res.Mapping, 1e-9); err != nil {
+		t.Errorf("model validation: %v", err)
+	}
+}
+
+func TestBestUnderPeriodBeatsOrMatchesEachHeuristic(t *testing.T) {
+	ev := demoEvaluator(t)
+	best, err := pipesched.BestUnderPeriod(ev, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range pipesched.PeriodHeuristics() {
+		res, err := h.MinimizeLatency(ev, 20)
+		if err != nil {
+			continue
+		}
+		if best.Metrics.Latency > res.Metrics.Latency+1e-9 {
+			t.Errorf("best latency %g worse than %s's %g", best.Metrics.Latency, h.ID(), res.Metrics.Latency)
+		}
+	}
+}
+
+func TestBestUnderPeriodInfeasible(t *testing.T) {
+	ev := demoEvaluator(t)
+	_, err := pipesched.BestUnderPeriod(ev, 0.001)
+	if err == nil {
+		t.Fatal("impossible bound accepted")
+	}
+	var inf *pipesched.InfeasibleError
+	if !errors.As(err, &inf) {
+		t.Errorf("error does not wrap InfeasibleError: %v", err)
+	}
+}
+
+func TestBestUnderLatency(t *testing.T) {
+	ev := demoEvaluator(t)
+	_, optLat := pipesched.OptimalLatency(ev)
+	res, err := pipesched.BestUnderLatency(ev, optLat*1.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Latency > optLat*1.3+1e-9 {
+		t.Errorf("latency %g exceeds bound", res.Metrics.Latency)
+	}
+	if _, err := pipesched.BestUnderLatency(ev, optLat*0.5); err == nil {
+		t.Error("sub-optimal latency bound accepted")
+	}
+}
+
+func TestHeuristicsAgainstExactOnFacade(t *testing.T) {
+	ev := demoEvaluator(t)
+	lb := pipesched.PeriodLowerBound(ev)
+	opt, err := pipesched.ExactMinPeriod(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb > opt.Metrics.Period+1e-9 {
+		t.Errorf("lower bound %g above exact optimum %g", lb, opt.Metrics.Period)
+	}
+	res, err := pipesched.BestUnderPeriod(ev, opt.Metrics.Period*1.1)
+	if err != nil {
+		t.Fatalf("heuristics failed near the optimum: %v", err)
+	}
+	exactLat, err := pipesched.ExactMinLatencyUnderPeriod(ev, opt.Metrics.Period*1.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Latency < exactLat.Metrics.Latency-1e-9 {
+		t.Errorf("heuristic latency %g beats the optimum %g", res.Metrics.Latency, exactLat.Metrics.Latency)
+	}
+}
+
+func TestExactParetoFrontFacade(t *testing.T) {
+	ev := demoEvaluator(t)
+	front, err := pipesched.ExactParetoFront(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(front) == 0 {
+		t.Fatal("empty Pareto front")
+	}
+	_, optLat := pipesched.OptimalLatency(ev)
+	if math.Abs(front[len(front)-1].Metrics.Latency-optLat) > 1e-9 {
+		t.Errorf("front does not end at the optimal latency")
+	}
+}
+
+func TestWorkloadGenerationFacade(t *testing.T) {
+	in := pipesched.GenerateWorkload(pipesched.WorkloadConfig{
+		Family: pipesched.E3, Stages: 20, Processors: 10, Seed: 1,
+	})
+	ev := in.Evaluator()
+	res, err := pipesched.BestUnderPeriod(ev, pipesched.PeriodLowerBound(ev)*3)
+	if err != nil {
+		t.Fatalf("E3 instance unschedulable at 3× lower bound: %v", err)
+	}
+	rep, err := pipesched.Simulate(ev, res.Mapping, pipesched.SimulationOptions{DataSets: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.SteadyStatePeriod-res.Metrics.Period) > 1e-6*(1+res.Metrics.Period) {
+		t.Errorf("simulated period %g vs analytic %g", rep.SteadyStatePeriod, res.Metrics.Period)
+	}
+}
+
+func TestFullyHeterogeneousFacade(t *testing.T) {
+	app, err := pipesched.NewPipeline([]float64{50, 50}, []float64{0, 100, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	links := [][]float64{
+		{0, 1, 100},
+		{1, 0, 1},
+		{100, 1, 0},
+	}
+	plat, err := pipesched.NewFullyHeterogeneousPlatform([]float64{10, 9, 8}, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := pipesched.NewEvaluator(app, plat)
+	res, err := pipesched.SplitFullyHet(ev, 7.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Period > 7.5+1e-9 {
+		t.Errorf("period %g exceeds bound", res.Metrics.Period)
+	}
+}
+
+func TestExplicitMappingFacade(t *testing.T) {
+	app, _ := pipesched.NewPipeline([]float64{1, 2}, []float64{0, 0, 0})
+	plat, _ := pipesched.NewPlatform([]float64{1, 1}, 1)
+	m, err := pipesched.NewMapping(app, plat, []pipesched.Interval{
+		{Start: 1, End: 1, Proc: 1}, {Start: 2, End: 2, Proc: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := pipesched.NewEvaluator(app, plat)
+	if got := ev.Period(m); math.Abs(got-2) > 1e-9 {
+		t.Errorf("period = %g, want 2", got)
+	}
+	if _, err := pipesched.NewMapping(app, plat, []pipesched.Interval{{Start: 1, End: 1, Proc: 1}}); err == nil {
+		t.Error("partial mapping accepted")
+	}
+	single := pipesched.SingleProcessorMapping(app, plat, 2)
+	if single.ProcessorOf(1) != 2 {
+		t.Error("SingleProcessorMapping ignored the processor argument")
+	}
+}

@@ -1,0 +1,118 @@
+package pipesched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"pipesched/internal/lowerbound"
+	"pipesched/internal/mapping"
+	"pipesched/internal/sim"
+)
+
+// TradeoffPoint is one point of a heuristic trade-off frontier: a concrete
+// mapping together with its metrics.
+type TradeoffPoint struct {
+	Metrics Metrics
+	Mapping *Mapping
+}
+
+// HeuristicParetoSweep traces an approximate Pareto frontier using only
+// the paper's polynomial heuristics: it sweeps `points` period bounds
+// between the period lower bound and the single-processor period, runs all
+// four period-constrained heuristics plus both latency-constrained ones
+// (fed with the latencies discovered so far), and returns the
+// non-dominated results sorted by increasing period.
+//
+// Unlike ExactParetoFront this scales to large platforms (nothing
+// exponential); the returned frontier is a superset-dominated
+// approximation of the true front — every returned point is achievable,
+// none dominates another, but better points may exist.
+func HeuristicParetoSweep(ev *Evaluator, points int) []TradeoffPoint {
+	if points < 2 {
+		points = 2
+	}
+	single := mapping.SingleProcessor(ev.Pipeline(), ev.Platform(), ev.Platform().Fastest())
+	lo := lowerbound.Period(ev)
+	hi := ev.Period(single)
+	var raw []TradeoffPoint
+	add := func(res Result, err error) {
+		if err != nil {
+			return
+		}
+		raw = append(raw, TradeoffPoint{Metrics: res.Metrics, Mapping: res.Mapping})
+	}
+	for i := 0; i < points; i++ {
+		bound := lo + (hi-lo)*float64(i)/float64(points-1)
+		for _, h := range PeriodHeuristics() {
+			res, err := h.MinimizeLatency(ev, bound)
+			add(res, err)
+		}
+	}
+	// Feed the latency range the period sweep discovered back through
+	// the latency-constrained heuristics: they sometimes find better
+	// periods at equal latency.
+	minLat, maxLat := math.Inf(1), math.Inf(-1)
+	for _, pt := range raw {
+		minLat = math.Min(minLat, pt.Metrics.Latency)
+		maxLat = math.Max(maxLat, pt.Metrics.Latency)
+	}
+	if len(raw) > 0 && maxLat > minLat {
+		for i := 0; i < points; i++ {
+			budget := minLat + (maxLat-minLat)*float64(i)/float64(points-1)
+			for _, h := range LatencyHeuristics() {
+				res, err := h.MinimizePeriod(ev, budget)
+				add(res, err)
+			}
+		}
+	}
+	// Dominance prune.
+	sort.Slice(raw, func(i, j int) bool {
+		a, b := raw[i].Metrics, raw[j].Metrics
+		if a.Period != b.Period {
+			return a.Period < b.Period
+		}
+		return a.Latency < b.Latency
+	})
+	var front []TradeoffPoint
+	best := math.Inf(1)
+	for _, pt := range raw {
+		if pt.Metrics.Latency < best-1e-12 {
+			front = append(front, pt)
+			best = pt.Metrics.Latency
+		}
+	}
+	return front
+}
+
+// SimulationTrace is a fully evented simulation run; see Gantt.
+type SimulationTrace = sim.Trace
+
+// SimulationEvent is one operation of a traced run.
+type SimulationEvent = sim.Event
+
+// SimulateTraced runs the discrete-event simulator recording every
+// receive/compute/send operation; use the result's Gantt method (or the
+// Gantt helper below) to visualise pipeline behaviour. Intended for small
+// data-set counts.
+func SimulateTraced(ev *Evaluator, m *Mapping, opts SimulationOptions) (SimulationTrace, error) {
+	return sim.RunTraced(ev, m, opts)
+}
+
+// Gantt renders a traced simulation as an ASCII Gantt chart, one row per
+// processor, covering [0, maxTime) (0 = whole makespan).
+func Gantt(tr SimulationTrace, width int, maxTime float64) string {
+	return tr.Gantt(width, maxTime)
+}
+
+// FormatTradeoff renders a frontier as an aligned text table.
+func FormatTradeoff(front []TradeoffPoint) string {
+	if len(front) == 0 {
+		return "(empty frontier)\n"
+	}
+	out := fmt.Sprintf("%10s %10s  mapping\n", "period", "latency")
+	for _, pt := range front {
+		out += fmt.Sprintf("%10.4g %10.4g  %v\n", pt.Metrics.Period, pt.Metrics.Latency, pt.Mapping)
+	}
+	return out
+}

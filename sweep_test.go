@@ -1,0 +1,112 @@
+package pipesched_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"pipesched"
+	"pipesched/internal/workload"
+)
+
+func TestHeuristicParetoSweepProperties(t *testing.T) {
+	in := workload.Generate(workload.Config{Family: workload.E2, Stages: 12, Processors: 8, Seed: 21})
+	ev := in.Evaluator()
+	front := pipesched.HeuristicParetoSweep(ev, 12)
+	if len(front) == 0 {
+		t.Fatal("empty frontier")
+	}
+	// Sorted by period, strictly decreasing latency, mutually
+	// non-dominated, all achievable (metrics re-evaluate).
+	for i, pt := range front {
+		if got := ev.Period(pt.Mapping); math.Abs(got-pt.Metrics.Period) > 1e-9*(1+got) {
+			t.Errorf("point %d: period %g vs re-evaluated %g", i, pt.Metrics.Period, got)
+		}
+		if got := ev.Latency(pt.Mapping); math.Abs(got-pt.Metrics.Latency) > 1e-9*(1+got) {
+			t.Errorf("point %d: latency %g vs re-evaluated %g", i, pt.Metrics.Latency, got)
+		}
+		if i == 0 {
+			continue
+		}
+		if front[i].Metrics.Period < front[i-1].Metrics.Period {
+			t.Errorf("frontier not sorted at %d", i)
+		}
+		if front[i].Metrics.Latency >= front[i-1].Metrics.Latency {
+			t.Errorf("frontier latency not decreasing at %d", i)
+		}
+	}
+	// The right end touches the optimal latency (the trivial bound makes
+	// every heuristic return the single-processor mapping).
+	_, optLat := pipesched.OptimalLatency(ev)
+	if last := front[len(front)-1].Metrics.Latency; math.Abs(last-optLat) > 1e-9 {
+		t.Errorf("frontier ends at latency %g, want optimal %g", last, optLat)
+	}
+}
+
+func TestHeuristicSweepDominatedByExactFront(t *testing.T) {
+	in := workload.Generate(workload.Config{Family: workload.E1, Stages: 7, Processors: 5, Seed: 5})
+	ev := in.Evaluator()
+	heur := pipesched.HeuristicParetoSweep(ev, 10)
+	exactFront, err := pipesched.ExactParetoFront(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every heuristic point must be weakly dominated by some exact point
+	// (the exact front is the true lower envelope).
+	for _, hp := range heur {
+		dominated := false
+		for _, ep := range exactFront {
+			if ep.Metrics.Period <= hp.Metrics.Period*(1+1e-9) &&
+				ep.Metrics.Latency <= hp.Metrics.Latency*(1+1e-9) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			t.Errorf("heuristic point %+v below the exact front", hp.Metrics)
+		}
+	}
+}
+
+func TestHeuristicSweepLargePlatform(t *testing.T) {
+	// The whole point of the heuristic sweep: p = 100 is far beyond the
+	// exponential solvers.
+	in := workload.Generate(workload.Config{Family: workload.E2, Stages: 20, Processors: 100, Seed: 31})
+	ev := in.Evaluator()
+	front := pipesched.HeuristicParetoSweep(ev, 8)
+	if len(front) < 2 {
+		t.Fatalf("frontier too small on a large platform: %d points", len(front))
+	}
+}
+
+func TestFormatTradeoff(t *testing.T) {
+	in := workload.Generate(workload.Config{Family: workload.E4, Stages: 6, Processors: 5, Seed: 3})
+	ev := in.Evaluator()
+	out := pipesched.FormatTradeoff(pipesched.HeuristicParetoSweep(ev, 6))
+	if !strings.Contains(out, "period") || !strings.Contains(out, "→P") {
+		t.Errorf("FormatTradeoff output:\n%s", out)
+	}
+	if got := pipesched.FormatTradeoff(nil); !strings.Contains(got, "empty") {
+		t.Errorf("empty frontier rendering %q", got)
+	}
+}
+
+func TestSimulateTracedAndGantt(t *testing.T) {
+	in := workload.Generate(workload.Config{Family: workload.E1, Stages: 6, Processors: 4, Seed: 2})
+	ev := in.Evaluator()
+	res, err := pipesched.BestUnderPeriod(ev, pipesched.PeriodLowerBound(ev)*2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := pipesched.SimulateTraced(ev, res.Mapping, pipesched.SimulationOptions{DataSets: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("trace invalid: %v", err)
+	}
+	g := pipesched.Gantt(tr, 80, 0)
+	if !strings.Contains(g, "legend") {
+		t.Errorf("Gantt output:\n%s", g)
+	}
+}
