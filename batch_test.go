@@ -1,0 +1,179 @@
+package pipesched_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"pipesched"
+)
+
+// serialBestUnderPeriod is the original sequential façade loop, kept
+// verbatim as the reference the concurrent portfolio must reproduce.
+func serialBestUnderPeriod(ev *pipesched.Evaluator, maxPeriod float64) (pipesched.Result, bool) {
+	var best pipesched.Result
+	found := false
+	for _, h := range pipesched.PeriodHeuristics() {
+		res, err := h.MinimizeLatency(ev, maxPeriod)
+		if err != nil {
+			continue
+		}
+		if !found ||
+			res.Metrics.Latency < best.Metrics.Latency ||
+			(res.Metrics.Latency == best.Metrics.Latency && res.Metrics.Period < best.Metrics.Period) {
+			best, found = res, true
+		}
+	}
+	return best, found
+}
+
+// serialBestUnderLatency is the sequential reference of BestUnderLatency.
+func serialBestUnderLatency(ev *pipesched.Evaluator, maxLatency float64) (pipesched.Result, bool) {
+	var best pipesched.Result
+	found := false
+	for _, h := range pipesched.LatencyHeuristics() {
+		res, err := h.MinimizePeriod(ev, maxLatency)
+		if err != nil {
+			continue
+		}
+		if !found || res.Metrics.Period < best.Metrics.Period {
+			best, found = res, true
+		}
+	}
+	return best, found
+}
+
+func bitsEqual(a, b pipesched.Metrics) bool {
+	return math.Float64bits(a.Period) == math.Float64bits(b.Period) &&
+		math.Float64bits(a.Latency) == math.Float64bits(b.Latency)
+}
+
+// TestBestUnderPeriodMatchesSerialLoop: the concurrent façade returns
+// bit-identical results to the sequential loop it replaced, across
+// families, sizes and bounds.
+func TestBestUnderPeriodMatchesSerialLoop(t *testing.T) {
+	for _, fam := range []pipesched.WorkloadFamily{pipesched.E1, pipesched.E2, pipesched.E3, pipesched.E4} {
+		for seed := int64(1); seed <= 5; seed++ {
+			in := pipesched.GenerateWorkload(pipesched.WorkloadConfig{
+				Family: fam, Stages: 12, Processors: 10, Seed: seed,
+			})
+			ev := in.Evaluator()
+			lb := pipesched.PeriodLowerBound(ev)
+			for _, factor := range []float64{0.8, 1.2, 2.0, 4.0} {
+				bound := lb * factor
+				want, wantOK := serialBestUnderPeriod(ev, bound)
+				got, err := pipesched.BestUnderPeriod(ev, bound)
+				if wantOK != (err == nil) {
+					t.Fatalf("%v seed %d bound %g: serial ok=%v, parallel err=%v", fam, seed, bound, wantOK, err)
+				}
+				if err == nil && (!bitsEqual(want.Metrics, got.Metrics) || want.Mapping.String() != got.Mapping.String()) {
+					t.Fatalf("%v seed %d bound %g: serial %v %+v != parallel %v %+v",
+						fam, seed, bound, want.Mapping, want.Metrics, got.Mapping, got.Metrics)
+				}
+			}
+			_, optLat := pipesched.OptimalLatency(ev)
+			for _, factor := range []float64{0.9, 1.3, 2.0} {
+				bound := optLat * factor
+				want, wantOK := serialBestUnderLatency(ev, bound)
+				got, err := pipesched.BestUnderLatency(ev, bound)
+				if wantOK != (err == nil) {
+					t.Fatalf("%v seed %d latency %g: serial ok=%v, parallel err=%v", fam, seed, bound, wantOK, err)
+				}
+				if err == nil && (!bitsEqual(want.Metrics, got.Metrics) || want.Mapping.String() != got.Mapping.String()) {
+					t.Fatalf("%v seed %d latency %g: mismatch", fam, seed, bound)
+				}
+			}
+		}
+	}
+}
+
+// TestSolveBatchFacade exercises the exported batch API end to end: 64+
+// instances, both objectives, frontier sanity.
+func TestSolveBatchFacade(t *testing.T) {
+	var instances []pipesched.WorkloadInstance
+	for seed := int64(0); seed < 64; seed++ {
+		instances = append(instances, pipesched.GenerateWorkload(pipesched.WorkloadConfig{
+			Family: pipesched.E2, Stages: 10, Processors: 8, Seed: 4000 + seed,
+		}))
+	}
+	report, err := pipesched.SolveBatch(context.Background(), instances, pipesched.BatchOptions{
+		Objective:     pipesched.MinimizeLatency,
+		Bound:         1.5,
+		RelativeBound: true,
+		Exact:         true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Results) != len(instances) {
+		t.Fatalf("%d results for %d instances", len(report.Results), len(instances))
+	}
+	if report.Solved+report.Failed != len(instances) {
+		t.Fatalf("solved %d + failed %d != %d", report.Solved, report.Failed, len(instances))
+	}
+	if report.Solved == 0 {
+		t.Fatal("nothing solved at 1.5× the period lower bound")
+	}
+	for _, r := range report.Results {
+		if r.Err != nil {
+			continue
+		}
+		if r.Outcome.Result.Metrics.Period > r.Bound*(1+1e-9) {
+			t.Fatalf("instance %d: period %g exceeds bound %g", r.Index, r.Outcome.Result.Metrics.Period, r.Bound)
+		}
+		if r.Outcome.Solver == "" {
+			t.Fatalf("instance %d: no winning solver recorded", r.Index)
+		}
+	}
+	// The frontier must be strictly improving in both criteria.
+	for i := 1; i < len(report.Front); i++ {
+		prev, cur := report.Front[i-1].Metrics, report.Front[i].Metrics
+		if cur.Period <= prev.Period || cur.Latency >= prev.Latency {
+			t.Fatalf("front not strictly trade-off ordered: %+v then %+v", prev, cur)
+		}
+	}
+}
+
+// TestPortfolioUnderPeriodUsesExact: on a small platform the DP joins the
+// race and can only match or beat every heuristic.
+func TestPortfolioUnderPeriodUsesExact(t *testing.T) {
+	in := pipesched.GenerateWorkload(pipesched.WorkloadConfig{
+		Family: pipesched.E2, Stages: 10, Processors: 6, Seed: 11,
+	})
+	ev := in.Evaluator()
+	bound := pipesched.PeriodLowerBound(ev) * 1.6
+	out, err := pipesched.PortfolioUnderPeriod(context.Background(), ev, bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := pipesched.ExactMinLatencyUnderPeriod(ev, bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Result.Metrics.Latency > opt.Metrics.Latency*(1+1e-9) {
+		t.Fatalf("portfolio latency %g worse than exact %g with the DP racing",
+			out.Result.Metrics.Latency, opt.Metrics.Latency)
+	}
+	best, err := pipesched.BestUnderPeriod(ev, bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Result.Metrics.Latency > best.Metrics.Latency {
+		t.Fatalf("portfolio (with DP) lost to heuristics-only: %g > %g",
+			out.Result.Metrics.Latency, best.Metrics.Latency)
+	}
+}
+
+// TestSolveBatchCancelledContext: the façade propagates cancellation.
+func TestSolveBatchCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	instances := []pipesched.WorkloadInstance{
+		pipesched.GenerateWorkload(pipesched.WorkloadConfig{Family: pipesched.E1, Stages: 5, Processors: 5, Seed: 1}),
+	}
+	_, err := pipesched.SolveBatch(ctx, instances, pipesched.BatchOptions{Bound: 100})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+}

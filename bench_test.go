@@ -5,6 +5,7 @@
 package pipesched_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -17,6 +18,7 @@ import (
 	"pipesched/internal/heuristics"
 	"pipesched/internal/mapping"
 	"pipesched/internal/onetoone"
+	"pipesched/internal/portfolio"
 	"pipesched/internal/sim"
 	"pipesched/internal/workload"
 )
@@ -226,6 +228,78 @@ func BenchmarkChainsHeterogeneousGreedy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := chains.HeterogeneousGreedy(a, speeds); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// --- Portfolio and batch engine -----------------------------------------
+
+// BenchmarkSolveBatch contrasts the serial reference path with the
+// concurrent pool on the same 64-instance batch; on multi-core the
+// parallel variant should scale with GOMAXPROCS while producing the
+// identical report.
+func BenchmarkSolveBatch(b *testing.B) {
+	instances := workload.GenerateSet(workload.E2, 20, 10, 64, 31000)
+	base := pipesched.BatchOptions{Bound: 1.5, RelativeBound: true}
+	for _, mode := range []struct {
+		name   string
+		serial bool
+	}{
+		{"serial", true},
+		{"parallel", false},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			opts := base
+			opts.Serial = mode.serial
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				report, err := pipesched.SolveBatch(context.Background(), instances, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if report.Solved == 0 {
+					b.Fatal("nothing solved")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPortfolioRace times one instance's portfolio (heuristics +
+// exact DP) serial versus racing.
+func BenchmarkPortfolioRace(b *testing.B) {
+	ev := benchEvaluator(14, 10, 47)
+	bound := pipesched.PeriodLowerBound(ev) * 1.5
+	for _, mode := range []struct {
+		name   string
+		serial bool
+	}{
+		{"serial", true},
+		{"parallel", false},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, found, _ := portfolio.UnderPeriod(context.Background(), ev, bound,
+					portfolio.SolveOptions{Exact: true, Serial: mode.serial})
+				if !found {
+					b.Fatal("infeasible bound")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkHeuristicParetoSweep exercises the parallelised façade sweep on
+// a paper-scale platform.
+func BenchmarkHeuristicParetoSweep(b *testing.B) {
+	ev := benchEvaluator(40, 100, 53)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if front := pipesched.HeuristicParetoSweep(ev, 10); len(front) == 0 {
+			b.Fatal("empty frontier")
 		}
 	}
 }

@@ -50,6 +50,7 @@ func run(args []string, out *os.File) error {
 		trials   = fs.Int("trials", 0, "instances per point (0 = paper's 50)")
 		points   = fs.Int("points", 0, "sweep grid size (0 = default 25)")
 		outDir   = fs.String("out", "", "directory for .dat/.csv/.txt outputs (omit to print only)")
+		workers  = fs.Int("workers", 0, "worker goroutines per sweep (0 = GOMAXPROCS)")
 		list     = fs.Bool("list", false, "list available experiment ids and exit")
 		ablation = fs.Bool("ablation", false, "run the H5/H6 vs X7/X8 latency-constrained ablation (E2, n=40, p=10 and p=100)")
 	)
@@ -100,7 +101,12 @@ func run(args []string, out *os.File) error {
 		if *points > 0 {
 			spec.Points = *points
 		}
-		fmt.Fprintf(out, "running %s (%s; %d trials, %d points)...\n", spec.ID, spec.Title, spec.Trials, max(spec.Points, experiments.DefaultPoints))
+		spec.Concurrency = *workers
+		effPoints := spec.Points
+		if effPoints <= 0 {
+			effPoints = experiments.DefaultPoints
+		}
+		fmt.Fprintf(out, "running %s (%s; %d trials, %d points)...\n", spec.ID, spec.Title, spec.Trials, effPoints)
 		curve := experiments.TradeoffCurve(spec)
 		ascii := experiments.RenderASCII(curve)
 		fmt.Fprintln(out, ascii)
@@ -120,6 +126,7 @@ func run(args []string, out *os.File) error {
 			if *points > 0 {
 				spec.Points = *points
 			}
+			spec.Concurrency = *workers
 			fmt.Fprintf(out, "running %s (%d trials)...\n", spec.ID, max(spec.Trials, 1))
 			curve := experiments.AblationCurve(spec)
 			ascii := experiments.RenderASCII(curve)
@@ -142,6 +149,7 @@ func run(args []string, out *os.File) error {
 			if *trials > 0 {
 				tspec.Trials = *trials
 			}
+			tspec.Concurrency = *workers
 			fmt.Fprintf(out, "running table 1 block %s (%d trials)...\n", tspec.Family, tspec.Trials)
 			tbl := experiments.FailureThresholds(tspec)
 			ascii := experiments.RenderTableASCII(tbl)

@@ -10,7 +10,9 @@
 // a period bound, heuristics H1–H4) or -latency L (minimise period under a
 // latency bound, heuristics H5–H6). -heuristic selects one heuristic by
 // identifier, "best" (default) runs all applicable ones and keeps the best
-// result, "all" prints every result.
+// result, "all" prints every result, "portfolio" races all applicable
+// heuristics plus the exact DP (platforms ≤ 14 processors) concurrently
+// and reports the winner.
 //
 // Examples:
 //
@@ -20,6 +22,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -29,6 +32,14 @@ import (
 	"pipesched"
 	"pipesched/internal/workload"
 )
+
+// portfolioName labels a portfolio run with its winning solver.
+func portfolioName(out pipesched.PortfolioOutcome, err error) string {
+	if err != nil || out.Solver == "" {
+		return "portfolio"
+	}
+	return "portfolio→" + out.Solver
+}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -47,7 +58,7 @@ func run(args []string, out *os.File) error {
 		seed      = fs.Int64("seed", 1, "generator seed")
 		period    = fs.Float64("period", 0, "period bound (minimise latency); exclusive with -latency")
 		latency   = fs.Float64("latency", 0, "latency bound (minimise period); exclusive with -period")
-		heuristic = fs.String("heuristic", "best", "H1..H6, \"best\" or \"all\"")
+		heuristic = fs.String("heuristic", "best", "H1..H6, \"best\", \"all\" or \"portfolio\" (race heuristics + exact DP)")
 		simulate  = fs.Int("simulate", 0, "additionally simulate N data sets through the chosen mapping")
 		gantt     = fs.Int("gantt", 0, "print an ASCII Gantt chart of the first N data sets")
 		exactFlag = fs.Bool("exact", false, "also compute the exact optimum (≤ 14 processors)")
@@ -92,6 +103,9 @@ func run(args []string, out *os.File) error {
 		case "best":
 			res, err := pipesched.BestUnderPeriod(ev, *period)
 			report("best(H1..H4)", res, err)
+		case "portfolio":
+			out, err := pipesched.PortfolioUnderPeriod(context.Background(), ev, *period)
+			report(portfolioName(out, err), out.Result, err)
 		case "all":
 			for _, h := range hs {
 				res, err := h.MinimizeLatency(ev, *period)
@@ -111,6 +125,9 @@ func run(args []string, out *os.File) error {
 		case "best":
 			res, err := pipesched.BestUnderLatency(ev, *latency)
 			report("best(H5..H6)", res, err)
+		case "portfolio":
+			out, err := pipesched.PortfolioUnderLatency(context.Background(), ev, *latency)
+			report(portfolioName(out, err), out.Result, err)
 		case "all":
 			for _, h := range hs {
 				res, err := h.MinimizePeriod(ev, *latency)
@@ -208,7 +225,7 @@ func findPeriodHeuristic(id string) (pipesched.PeriodConstrained, error) {
 			return h, nil
 		}
 	}
-	return nil, fmt.Errorf("unknown period heuristic %q (want H1..H4, best, all)", id)
+	return nil, fmt.Errorf("unknown period heuristic %q (want H1..H4, best, all, portfolio)", id)
 }
 
 func findLatencyHeuristic(id string) (pipesched.LatencyConstrained, error) {
@@ -217,5 +234,5 @@ func findLatencyHeuristic(id string) (pipesched.LatencyConstrained, error) {
 			return h, nil
 		}
 	}
-	return nil, fmt.Errorf("unknown latency heuristic %q (want H5, H6, best, all)", id)
+	return nil, fmt.Errorf("unknown latency heuristic %q (want H5, H6, best, all, portfolio)", id)
 }

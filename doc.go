@@ -31,6 +31,40 @@
 // δ_e/b; the period is the largest cycle-time, and the latency sums the
 // input and compute terms of all intervals plus the final output.
 //
+// # Concurrency: portfolio and batch solving
+//
+// Both mapping problems are NP-hard, so at scale the library's value
+// comes from throwing many solvers at many instances at once. All
+// orchestration lives in a worker-pool layer (internal/portfolio) that
+// keeps the solvers themselves deterministic and single-threaded; every
+// concurrent entry point returns bit-identical results to its serial
+// reference path, whatever the worker count.
+//
+//   - BestUnderPeriod and BestUnderLatency race their heuristics on
+//     separate goroutines and select the winner with the original serial
+//     tie-breaking rules.
+//   - PortfolioUnderPeriod and PortfolioUnderLatency additionally race
+//     the exact DP on platforms small enough for it (≤ 14 processors)
+//     and name the winning solver.
+//   - SolveBatch solves a slice of WorkloadInstances across a bounded
+//     pool (BatchOptions.Workers, default GOMAXPROCS) with per-instance
+//     error capture, context cancellation, and a non-dominated
+//     cross-instance frontier in the returned BatchReport.
+//   - HeuristicParetoSweep fans its (grid point, heuristic) runs over the
+//     same pool.
+//
+//	batch := []pipesched.WorkloadInstance{...}
+//	report, err := pipesched.SolveBatch(ctx, batch, pipesched.BatchOptions{
+//		Objective:     pipesched.MinimizeLatency,
+//		Bound:         1.5, RelativeBound: true, // 1.5 × each period lower bound
+//		Exact:         true,                     // race the DP where it fits
+//	})
+//
+// Evaluator, Pipeline, Platform and Mapping are immutable after
+// construction and safe for concurrent use; the test-suite hammers one
+// shared Evaluator from many workers under the race detector to keep that
+// contract honest.
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-versus-measured comparison of every figure and table.
 package pipesched

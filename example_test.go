@@ -1,6 +1,7 @@
 package pipesched_test
 
 import (
+	"context"
 	"fmt"
 
 	"pipesched"
@@ -82,6 +83,38 @@ func ExampleExactParetoFront() {
 	// Output:
 	// period=3 latency=5 S1→P2 | S2→P1
 	// period=4 latency=4 S1..S2→P1
+}
+
+// A batch of random instances solved concurrently: each instance races
+// H1–H4 plus the exact DP under 1.5× its own period lower bound, the pool
+// fans instances out over GOMAXPROCS workers, and the report aggregates
+// the non-dominated (period, latency) frontier across the whole batch.
+// Results are identical whatever the worker count.
+func ExampleSolveBatch() {
+	var batch []pipesched.WorkloadInstance
+	for seed := int64(1); seed <= 16; seed++ {
+		batch = append(batch, pipesched.GenerateWorkload(pipesched.WorkloadConfig{
+			Family: pipesched.E2, Stages: 8, Processors: 6, Seed: seed,
+		}))
+	}
+	report, err := pipesched.SolveBatch(context.Background(), batch, pipesched.BatchOptions{
+		Objective:     pipesched.MinimizeLatency, // latency under a period bound
+		Bound:         1.5,                       // × each instance's period lower bound
+		RelativeBound: true,
+		Exact:         true, // race the exact DP too (≤ 14 processors)
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("solved %d/%d instances\n", report.Solved, len(batch))
+	for _, pt := range report.Front {
+		fmt.Printf("instance %2d: period=%.2f latency=%.2f\n",
+			pt.Instance, pt.Metrics.Period, pt.Metrics.Latency)
+	}
+	// Output:
+	// solved 14/16 instances
+	// instance 12: period=7.95 latency=13.35
+	// instance  1: period=8.69 latency=11.12
 }
 
 func ExampleDealSplit() {

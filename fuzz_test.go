@@ -1,0 +1,140 @@
+package pipesched_test
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"pipesched"
+)
+
+// floats decodes raw into float64s, 8 little-endian bytes each; the tail
+// remainder is dropped.
+func floats(raw []byte) []float64 {
+	out := make([]float64, 0, len(raw)/8)
+	for len(raw) >= 8 {
+		out = append(out, math.Float64frombits(binary.LittleEndian.Uint64(raw[:8])))
+		raw = raw[8:]
+	}
+	return out
+}
+
+// FuzzNewPipeline drives the pipeline constructor with arbitrary stage
+// works and communication sizes: it must never panic, and accepted
+// pipelines must honour their basic invariants.
+func FuzzNewPipeline(f *testing.F) {
+	le := func(vals ...float64) []byte {
+		var raw []byte
+		for _, v := range vals {
+			raw = binary.LittleEndian.AppendUint64(raw, math.Float64bits(v))
+		}
+		return raw
+	}
+	f.Add(le(1, 2), le(1, 1, 1))              // valid 2-stage pipeline
+	f.Add(le(120, 80, 250), le(10, 40, 40))   // deltas too short: rejected
+	f.Add(le(0), le(0, 0))                    // zero work: rejected
+	f.Add(le(math.NaN()), le(1, 1))           // NaN work: rejected
+	f.Add(le(1), le(-1, 1))                   // negative delta: rejected
+	f.Add([]byte{}, []byte{})                 // empty: rejected
+	f.Add(le(math.MaxFloat64, 1), le(1, 1, 1)) // effectively-infinite work: rejected
+
+	f.Fuzz(func(t *testing.T, worksRaw, deltasRaw []byte) {
+		works := floats(worksRaw)
+		deltas := floats(deltasRaw)
+		app, err := pipesched.NewPipeline(works, deltas)
+		if err != nil {
+			if app != nil {
+				t.Fatal("error with non-nil pipeline")
+			}
+			return
+		}
+		if app.Stages() != len(works) {
+			t.Fatalf("Stages() = %d, built from %d works", app.Stages(), len(works))
+		}
+		if len(deltas) != len(works)+1 {
+			t.Fatalf("accepted %d deltas for %d stages", len(deltas), len(works))
+		}
+		total := app.TotalWork()
+		if math.IsNaN(total) || total <= 0 {
+			t.Fatalf("TotalWork() = %v on an accepted pipeline", total)
+		}
+		// Mutating the input slices must not reach the pipeline.
+		for i := range works {
+			works[i] = -1
+		}
+		if app.TotalWork() != total {
+			t.Fatal("pipeline aliases its input slice")
+		}
+		if app.String() == "" {
+			t.Fatal("empty String()")
+		}
+	})
+}
+
+// FuzzNewMapping drives the mapping validator with arbitrary interval
+// lists over a fuzzed instance shape: no panic, and accepted mappings must
+// be fully evaluable.
+func FuzzNewMapping(f *testing.F) {
+	f.Add([]byte{4, 4}, []byte{1, 4, 1})          // one interval covering all 4 stages
+	f.Add([]byte{3, 3}, []byte{1, 1, 1, 2, 3, 2}) // two intervals
+	f.Add([]byte{2, 2}, []byte{1, 1, 1, 2, 2, 1}) // processor reused: rejected
+	f.Add([]byte{4, 2}, []byte{1, 2, 1})          // stages 3..4 unmapped: rejected
+	f.Add([]byte{1, 1}, []byte{})                 // no interval: rejected
+	f.Add([]byte{1, 1}, []byte{1, 1, 9})          // processor out of range: rejected
+
+	f.Fuzz(func(t *testing.T, shape, raw []byte) {
+		if len(shape) < 2 {
+			return
+		}
+		n := 1 + int(shape[0])%12
+		p := 1 + int(shape[1])%12
+		works := make([]float64, n)
+		deltas := make([]float64, n+1)
+		for i := range works {
+			works[i] = float64(1 + i)
+		}
+		for i := range deltas {
+			deltas[i] = float64(1 + i%3)
+		}
+		speeds := make([]float64, p)
+		for i := range speeds {
+			speeds[i] = float64(1 + i%5)
+		}
+		app, err := pipesched.NewPipeline(works, deltas)
+		if err != nil {
+			t.Fatalf("harness pipeline invalid: %v", err)
+		}
+		plat, err := pipesched.NewPlatform(speeds, 10)
+		if err != nil {
+			t.Fatalf("harness platform invalid: %v", err)
+		}
+		var ivs []pipesched.Interval
+		for len(raw) >= 3 {
+			ivs = append(ivs, pipesched.Interval{
+				Start: int(raw[0]),
+				End:   int(raw[1]),
+				Proc:  int(raw[2]),
+			})
+			raw = raw[3:]
+		}
+		m, err := pipesched.NewMapping(app, plat, ivs)
+		if err != nil {
+			if m != nil {
+				t.Fatal("error with non-nil mapping")
+			}
+			return
+		}
+		// An accepted mapping must cover every stage exactly once and
+		// evaluate to finite positive metrics.
+		ev := pipesched.NewEvaluator(app, plat)
+		met := ev.Metrics(m)
+		if math.IsNaN(met.Period) || met.Period <= 0 || math.IsNaN(met.Latency) || met.Latency <= 0 {
+			t.Fatalf("accepted mapping %v has metrics %+v", m, met)
+		}
+		for k := 1; k <= n; k++ {
+			if u := m.ProcessorOf(k); u < 1 || u > p {
+				t.Fatalf("stage %d on processor %d outside [1..%d]", k, u, p)
+			}
+		}
+	})
+}

@@ -1,0 +1,3 @@
+module pipesched
+
+go 1.22

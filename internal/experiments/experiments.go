@@ -6,14 +6,15 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
-	"sync"
 
 	"pipesched/internal/heuristics"
 	"pipesched/internal/lowerbound"
 	"pipesched/internal/mapping"
+	"pipesched/internal/portfolio"
 	"pipesched/internal/stats"
 	"pipesched/internal/workload"
 )
@@ -213,25 +214,16 @@ func sweepLatency(spec CurveSpec, evs []*mapping.Evaluator, h heuristics.Latency
 	return s
 }
 
-// parMap applies fn to every element of in using at most workers
-// goroutines and returns the results in input order.
+// parMap applies fn to every element of in through a portfolio.Map worker
+// pool — bounded per call, not shared across calls — and returns the
+// results in input order.
 func parMap[T, R any](workers int, in []T, fn func(T) R) []R {
 	if workers < 1 {
 		workers = 1
 	}
-	out := make([]R, len(in))
-	sem := make(chan struct{}, workers)
-	var wg sync.WaitGroup
-	for i := range in {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			out[i] = fn(in[i])
-		}(i)
-	}
-	wg.Wait()
+	out, _ := portfolio.Map(context.Background(), workers, in, func(_ context.Context, v T) R {
+		return fn(v)
+	})
 	return out
 }
 

@@ -10,6 +10,8 @@ package mapping
 
 import (
 	"fmt"
+	"math"
+	"sort"
 	"strings"
 
 	"pipesched/internal/pipeline"
@@ -152,6 +154,37 @@ func (a Metrics) Dominates(b Metrics) bool {
 		return false
 	}
 	return a.Period < b.Period || a.Latency < b.Latency
+}
+
+// Frontier returns the indices of the non-dominated entries of metrics,
+// ordered by increasing period. Candidates are ranked by (period, latency,
+// index) and kept on a strict latency improvement; the epsilon absorbs
+// float noise between near-identical mappings. The one dominance filter
+// shared by the façade sweep and the batch aggregator.
+func Frontier(metrics []Metrics) []int {
+	order := make([]int, len(metrics))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(x, y int) bool {
+		a, b := metrics[order[x]], metrics[order[y]]
+		if a.Period != b.Period {
+			return a.Period < b.Period
+		}
+		if a.Latency != b.Latency {
+			return a.Latency < b.Latency
+		}
+		return order[x] < order[y]
+	})
+	var front []int
+	best := math.Inf(1)
+	for _, i := range order {
+		if metrics[i].Latency < best-1e-12 {
+			front = append(front, i)
+			best = metrics[i].Latency
+		}
+	}
+	return front
 }
 
 // Evaluator computes interval cycle-times, periods and latencies for one

@@ -316,3 +316,27 @@ func TestStringFormat(t *testing.T) {
 		t.Errorf("String() = %q", s)
 	}
 }
+
+func TestFrontier(t *testing.T) {
+	metrics := []Metrics{
+		{Period: 4, Latency: 4},  // on the front
+		{Period: 3, Latency: 9},  // on the front
+		{Period: 3, Latency: 12}, // dominated by index 1
+		{Period: 5, Latency: 4},  // dominated by index 0
+		{Period: 8, Latency: 2},  // on the front
+		{Period: 3, Latency: 9},  // exact duplicate of index 1: dropped, index 1 kept
+	}
+	got := Frontier(metrics)
+	want := []int{1, 0, 4}
+	if len(got) != len(want) {
+		t.Fatalf("Frontier = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Frontier = %v, want %v", got, want)
+		}
+	}
+	if Frontier(nil) != nil {
+		t.Fatal("Frontier(nil) != nil")
+	}
+}

@@ -1,0 +1,78 @@
+// Package portfolio is the concurrent solving layer of the reproduction:
+// it races the paper's solvers against each other on one instance
+// (portfolio solving) and batch-solves slices of workload instances on a
+// bounded, context-aware worker pool (batch solving).
+//
+// Everything here is pure orchestration. The heuristics and exact solvers
+// stay deterministic and single-threaded; the portfolio only decides what
+// runs where, then selects among finished runs with the exact tie-breaking
+// rules of the original serial loops, so parallel results are bit-identical
+// to serial ones.
+package portfolio
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Map applies fn to every element of in using at most workers goroutines
+// and returns the results in input order. workers < 1 selects
+// runtime.GOMAXPROCS(0).
+//
+// Map is context-aware: once ctx is cancelled no new element is started
+// (elements already running finish — the solvers themselves are not
+// interruptible) and Map returns ctx's error. Skipped elements keep the
+// zero value of R, so callers distinguishing "ran" from "skipped" should
+// make R a pointer type.
+func Map[T, R any](ctx context.Context, workers int, in []T, fn func(context.Context, T) R) ([]R, error) {
+	return MapIndexed(ctx, workers, in, func(ctx context.Context, _ int, v T) R {
+		return fn(ctx, v)
+	})
+}
+
+// MapIndexed is Map with the element's input position passed to fn, for
+// callers whose work depends on position (e.g. sweep grids flattened into
+// one task slice).
+func MapIndexed[T, R any](ctx context.Context, workers int, in []T, fn func(context.Context, int, T) R) ([]R, error) {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(in) {
+		workers = len(in)
+	}
+	out := make([]R, len(in))
+	if len(in) == 0 {
+		return out, ctx.Err()
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = fn(ctx, i, in[i])
+			}
+		}()
+	}
+feed:
+	for i := range in {
+		// Poll cancellation first: the blocking select below picks
+		// randomly among ready cases, so with idle workers it could keep
+		// dispatching after the context died.
+		select {
+		case <-ctx.Done():
+			break feed
+		default:
+		}
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+	return out, ctx.Err()
+}

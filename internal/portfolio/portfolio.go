@@ -1,0 +1,173 @@
+package portfolio
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"pipesched/internal/exact"
+	"pipesched/internal/heuristics"
+	"pipesched/internal/mapping"
+)
+
+// ExactID is the solver identifier of the exact dynamic program in a
+// portfolio outcome, alongside the heuristic identifiers H1..H6.
+const ExactID = "DP"
+
+// SolveOptions configure one portfolio race.
+type SolveOptions struct {
+	// Exact also races the exact DP when the platform fits
+	// exact.MaxProcs (it silently sits the race out otherwise). The DP
+	// dominates every heuristic when it applies, at exponential cost.
+	Exact bool
+	// Serial runs the portfolio members one after the other on the
+	// calling goroutine. This is the reference path: selection is shared,
+	// so results are identical to the concurrent race — it exists for
+	// benchmarks and cross-checking tests.
+	Serial bool
+}
+
+// Outcome is the winning entry of a portfolio race.
+type Outcome struct {
+	Result heuristics.Result
+	Solver string // winning solver: "H1".."H6" or ExactID
+}
+
+// attempt is one solver's finished run.
+type attempt struct {
+	id  string
+	res heuristics.Result
+	err error
+}
+
+// solver is one portfolio member, closed over its instance and bound.
+type solver struct {
+	id  string
+	run func() (heuristics.Result, error)
+}
+
+// race runs every solver and returns the attempts in solver order. The
+// concurrent path fans one goroutine out per member and drains them all;
+// each attempt lands in its own slot, so the result is independent of
+// scheduling order.
+func race(solvers []solver, serial bool) []attempt {
+	out := make([]attempt, len(solvers))
+	if serial {
+		for i, s := range solvers {
+			res, err := s.run()
+			out[i] = attempt{id: s.id, res: res, err: err}
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	for i, s := range solvers {
+		wg.Add(1)
+		go func(i int, s solver) {
+			defer wg.Done()
+			res, err := s.run()
+			out[i] = attempt{id: s.id, res: res, err: err}
+		}(i, s)
+	}
+	wg.Wait()
+	return out
+}
+
+func exactApplies(ev *mapping.Evaluator, opts SolveOptions) bool {
+	return opts.Exact && ev.Platform().Processors() <= exact.MaxProcs
+}
+
+// UnderPeriod races the period-constrained solvers (H1–H4, plus the exact
+// DP when opts.Exact applies) and returns the feasible outcome with the
+// smallest latency (ties: smallest period; further ties: portfolio order).
+// found reports whether any member met the bound; when none did, closest is
+// the *heuristics.InfeasibleError whose achieved period came closest to the
+// bound (nil when no member produced one).
+//
+// The selection replays the serial scan of the original façade loop member
+// by member, so the returned result is bit-identical to running the
+// heuristics sequentially.
+func UnderPeriod(ctx context.Context, ev *mapping.Evaluator, maxPeriod float64, opts SolveOptions) (out Outcome, found bool, closest error) {
+	if err := ctx.Err(); err != nil {
+		return Outcome{}, false, err
+	}
+	var solvers []solver
+	for _, h := range heuristics.PeriodHeuristics() {
+		h := h
+		solvers = append(solvers, solver{id: h.ID(), run: func() (heuristics.Result, error) {
+			return h.MinimizeLatency(ev, maxPeriod)
+		}})
+	}
+	if exactApplies(ev, opts) {
+		solvers = append(solvers, solver{id: ExactID, run: func() (heuristics.Result, error) {
+			r, err := exact.MinLatencyUnderPeriod(ev, maxPeriod)
+			return heuristics.Result{Mapping: r.Mapping, Metrics: r.Metrics}, err
+		}})
+	}
+	return pickUnderPeriod(race(solvers, opts.Serial))
+}
+
+// pickUnderPeriod mirrors the serial selection of BestUnderPeriod: strict
+// improvement on (latency, period) scanning attempts in portfolio order;
+// among failures it remembers the infeasible run that came closest to the
+// period bound.
+func pickUnderPeriod(attempts []attempt) (out Outcome, found bool, closest error) {
+	achieved := 0.0
+	for _, a := range attempts {
+		if a.err != nil {
+			var inf *heuristics.InfeasibleError
+			if errors.As(a.err, &inf) && (closest == nil || inf.Achieved < achieved) {
+				closest, achieved = a.err, inf.Achieved
+			}
+			continue
+		}
+		if !found ||
+			a.res.Metrics.Latency < out.Result.Metrics.Latency ||
+			(a.res.Metrics.Latency == out.Result.Metrics.Latency && a.res.Metrics.Period < out.Result.Metrics.Period) {
+			out, found = Outcome{Result: a.res, Solver: a.id}, true
+		}
+	}
+	return out, found, closest
+}
+
+// UnderLatency races the latency-constrained solvers (H5–H6, plus the
+// exact DP when opts.Exact applies) and returns the feasible outcome with
+// the smallest period (ties: portfolio order). When no member met the
+// bound, closest is the first failure in portfolio order — the error the
+// serial loop would have reported.
+func UnderLatency(ctx context.Context, ev *mapping.Evaluator, maxLatency float64, opts SolveOptions) (out Outcome, found bool, closest error) {
+	if err := ctx.Err(); err != nil {
+		return Outcome{}, false, err
+	}
+	var solvers []solver
+	for _, h := range heuristics.LatencyHeuristics() {
+		h := h
+		solvers = append(solvers, solver{id: h.ID(), run: func() (heuristics.Result, error) {
+			return h.MinimizePeriod(ev, maxLatency)
+		}})
+	}
+	if exactApplies(ev, opts) {
+		solvers = append(solvers, solver{id: ExactID, run: func() (heuristics.Result, error) {
+			r, err := exact.MinPeriodUnderLatency(ev, maxLatency)
+			return heuristics.Result{Mapping: r.Mapping, Metrics: r.Metrics}, err
+		}})
+	}
+	return pickUnderLatency(race(solvers, opts.Serial))
+}
+
+// pickUnderLatency mirrors the serial selection of BestUnderLatency:
+// strict improvement on the period scanning attempts in portfolio order;
+// the remembered failure is the first one.
+func pickUnderLatency(attempts []attempt) (out Outcome, found bool, closest error) {
+	for _, a := range attempts {
+		if a.err != nil {
+			if closest == nil {
+				closest = a.err
+			}
+			continue
+		}
+		if !found || a.res.Metrics.Period < out.Result.Metrics.Period {
+			out, found = Outcome{Result: a.res, Solver: a.id}, true
+		}
+	}
+	return out, found, closest
+}

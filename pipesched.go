@@ -1,7 +1,7 @@
 package pipesched
 
 import (
-	"errors"
+	"context"
 	"fmt"
 
 	"pipesched/internal/exact"
@@ -10,6 +10,7 @@ import (
 	"pipesched/internal/mapping"
 	"pipesched/internal/pipeline"
 	"pipesched/internal/platform"
+	"pipesched/internal/portfolio"
 	"pipesched/internal/sim"
 	"pipesched/internal/workload"
 )
@@ -112,58 +113,30 @@ func PeriodHeuristics() []PeriodConstrained { return heuristics.PeriodHeuristics
 // heuristics: H5 "Sp mono, L fix" and H6 "Sp bi, L fix".
 func LatencyHeuristics() []LatencyConstrained { return heuristics.LatencyHeuristics() }
 
-// BestUnderPeriod runs all four period-constrained heuristics and returns
-// the feasible result with the smallest latency (ties: smallest period).
-// It returns an error only when every heuristic fails, wrapping the
-// failure that came closest to the bound.
+// BestUnderPeriod runs all four period-constrained heuristics — racing
+// them on separate goroutines — and returns the feasible result with the
+// smallest latency (ties: smallest period). The selection is deterministic
+// and identical to running the heuristics sequentially. It returns an
+// error only when every heuristic fails, wrapping the failure that came
+// closest to the bound.
 func BestUnderPeriod(ev *Evaluator, maxPeriod float64) (Result, error) {
-	var best Result
-	var bestErr error
-	found := false
-	closest := 0.0
-	for _, h := range PeriodHeuristics() {
-		res, err := h.MinimizeLatency(ev, maxPeriod)
-		if err != nil {
-			var inf *InfeasibleError
-			if errors.As(err, &inf) && (bestErr == nil || inf.Achieved < closest) {
-				bestErr, closest = err, inf.Achieved
-			}
-			continue
-		}
-		if !found ||
-			res.Metrics.Latency < best.Metrics.Latency ||
-			(res.Metrics.Latency == best.Metrics.Latency && res.Metrics.Period < best.Metrics.Period) {
-			best, found = res, true
-		}
-	}
+	out, found, closest := portfolio.UnderPeriod(context.Background(), ev, maxPeriod, portfolio.SolveOptions{})
 	if !found {
-		return Result{}, fmt.Errorf("pipesched: no heuristic reached period ≤ %g: %w", maxPeriod, bestErr)
+		return Result{}, fmt.Errorf("pipesched: no heuristic reached period ≤ %g: %w", maxPeriod, closest)
 	}
-	return best, nil
+	return out.Result, nil
 }
 
-// BestUnderLatency runs both latency-constrained heuristics and returns
-// the feasible result with the smallest period.
+// BestUnderLatency runs both latency-constrained heuristics — racing them
+// on separate goroutines — and returns the feasible result with the
+// smallest period. The selection is deterministic and identical to running
+// the heuristics sequentially.
 func BestUnderLatency(ev *Evaluator, maxLatency float64) (Result, error) {
-	var best Result
-	var bestErr error
-	found := false
-	for _, h := range LatencyHeuristics() {
-		res, err := h.MinimizePeriod(ev, maxLatency)
-		if err != nil {
-			if bestErr == nil {
-				bestErr = err
-			}
-			continue
-		}
-		if !found || res.Metrics.Period < best.Metrics.Period {
-			best, found = res, true
-		}
-	}
+	out, found, closest := portfolio.UnderLatency(context.Background(), ev, maxLatency, portfolio.SolveOptions{})
 	if !found {
-		return Result{}, fmt.Errorf("pipesched: latency bound %g below the optimum: %w", maxLatency, bestErr)
+		return Result{}, fmt.Errorf("pipesched: latency bound %g below the optimum: %w", maxLatency, closest)
 	}
-	return best, nil
+	return out.Result, nil
 }
 
 // OptimalLatency returns the latency-optimal mapping and its latency

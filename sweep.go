@@ -1,12 +1,13 @@
 package pipesched
 
 import (
+	"context"
 	"fmt"
 	"math"
-	"sort"
 
 	"pipesched/internal/lowerbound"
 	"pipesched/internal/mapping"
+	"pipesched/internal/portfolio"
 	"pipesched/internal/sim"
 )
 
@@ -28,6 +29,11 @@ type TradeoffPoint struct {
 // exponential); the returned frontier is a superset-dominated
 // approximation of the true front — every returned point is achievable,
 // none dominates another, but better points may exist.
+//
+// The (grid point, heuristic) runs of each phase are independent, so they
+// fan out over a GOMAXPROCS-bounded worker pool; candidates are then
+// aggregated in grid order, making the frontier identical to a serial
+// sweep.
 func HeuristicParetoSweep(ev *Evaluator, points int) []TradeoffPoint {
 	if points < 2 {
 		points = 2
@@ -35,6 +41,7 @@ func HeuristicParetoSweep(ev *Evaluator, points int) []TradeoffPoint {
 	single := mapping.SingleProcessor(ev.Pipeline(), ev.Platform(), ev.Platform().Fastest())
 	lo := lowerbound.Period(ev)
 	hi := ev.Period(single)
+	ctx := context.Background()
 	var raw []TradeoffPoint
 	add := func(res Result, err error) {
 		if err != nil {
@@ -42,12 +49,27 @@ func HeuristicParetoSweep(ev *Evaluator, points int) []TradeoffPoint {
 		}
 		raw = append(raw, TradeoffPoint{Metrics: res.Metrics, Mapping: res.Mapping})
 	}
+	type run struct {
+		res Result
+		err error
+	}
+	type periodTask struct {
+		bound float64
+		h     PeriodConstrained
+	}
+	var periodTasks []periodTask
 	for i := 0; i < points; i++ {
 		bound := lo + (hi-lo)*float64(i)/float64(points-1)
 		for _, h := range PeriodHeuristics() {
-			res, err := h.MinimizeLatency(ev, bound)
-			add(res, err)
+			periodTasks = append(periodTasks, periodTask{bound: bound, h: h})
 		}
+	}
+	runs, _ := portfolio.Map(ctx, 0, periodTasks, func(_ context.Context, t periodTask) run {
+		res, err := t.h.MinimizeLatency(ev, t.bound)
+		return run{res: res, err: err}
+	})
+	for _, r := range runs {
+		add(r.res, r.err)
 	}
 	// Feed the latency range the period sweep discovered back through
 	// the latency-constrained heuristics: they sometimes find better
@@ -58,29 +80,33 @@ func HeuristicParetoSweep(ev *Evaluator, points int) []TradeoffPoint {
 		maxLat = math.Max(maxLat, pt.Metrics.Latency)
 	}
 	if len(raw) > 0 && maxLat > minLat {
+		type latencyTask struct {
+			budget float64
+			h      LatencyConstrained
+		}
+		var latencyTasks []latencyTask
 		for i := 0; i < points; i++ {
 			budget := minLat + (maxLat-minLat)*float64(i)/float64(points-1)
 			for _, h := range LatencyHeuristics() {
-				res, err := h.MinimizePeriod(ev, budget)
-				add(res, err)
+				latencyTasks = append(latencyTasks, latencyTask{budget: budget, h: h})
 			}
 		}
+		runs, _ := portfolio.Map(ctx, 0, latencyTasks, func(_ context.Context, t latencyTask) run {
+			res, err := t.h.MinimizePeriod(ev, t.budget)
+			return run{res: res, err: err}
+		})
+		for _, r := range runs {
+			add(r.res, r.err)
+		}
 	}
-	// Dominance prune.
-	sort.Slice(raw, func(i, j int) bool {
-		a, b := raw[i].Metrics, raw[j].Metrics
-		if a.Period != b.Period {
-			return a.Period < b.Period
-		}
-		return a.Latency < b.Latency
-	})
+	// Dominance prune through the shared frontier filter.
+	metrics := make([]Metrics, len(raw))
+	for i, pt := range raw {
+		metrics[i] = pt.Metrics
+	}
 	var front []TradeoffPoint
-	best := math.Inf(1)
-	for _, pt := range raw {
-		if pt.Metrics.Latency < best-1e-12 {
-			front = append(front, pt)
-			best = pt.Metrics.Latency
-		}
+	for _, i := range mapping.Frontier(metrics) {
+		front = append(front, raw[i])
 	}
 	return front
 }
