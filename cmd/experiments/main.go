@@ -17,10 +17,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 
+	"pipesched/internal/cli"
 	"pipesched/internal/experiments"
 	"pipesched/internal/workload"
 )
@@ -35,14 +37,20 @@ func (s *stringList) Set(v string) error {
 }
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
-	}
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, out *os.File) error {
+// realMain is main with injectable streams and exit code, for tests.
+// Exit codes follow the shared internal/cli contract: misuse (unknown
+// flags, figure or table ids) exits 2 with a usage pointer, runtime
+// failures exit 1.
+func realMain(args []string, out, errOut io.Writer) int {
+	return cli.ExitCode("experiments", run(args, out, errOut), errOut)
+}
+
+func run(args []string, out, errOut io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(errOut)
 	var figs stringList
 	var tables stringList
 	var (
@@ -55,9 +63,12 @@ func run(args []string, out *os.File) error {
 		ablation = fs.Bool("ablation", false, "run the H5/H6 vs X7/X8 latency-constrained ablation (E2, n=40, p=10 and p=100)")
 	)
 	fs.Var(&figs, "fig", "figure id (2a..7b); repeatable")
-	fs.Var(&tables, "table", "table id (1, or a family E1..E4); repeatable")
+	fs.Var(&tables, "table", "table id (only 1 exists); repeatable")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return cli.WrapParse(err)
+	}
+	if fs.NArg() > 0 {
+		return cli.Usagef("unexpected arguments: %v", fs.Args())
 	}
 
 	if *list {
@@ -77,7 +88,7 @@ func run(args []string, out *os.File) error {
 		for _, id := range figs {
 			spec, ok := experiments.FigureSpec(id)
 			if !ok {
-				return fmt.Errorf("unknown figure %q (try -list)", id)
+				return cli.Usagef("unknown figure %q (try -list)", id)
 			}
 			specs = append(specs, spec)
 		}
@@ -88,10 +99,10 @@ func run(args []string, out *os.File) error {
 			runTables = true
 			continue
 		}
-		return fmt.Errorf("unknown table %q (only Table 1 exists; use -table 1)", id)
+		return cli.Usagef("unknown table %q (only Table 1 exists; use -table 1)", id)
 	}
 	if len(specs) == 0 && !runTables && !*ablation {
-		return fmt.Errorf("nothing to run: give -all, -fig, -table or -ablation (see -list)")
+		return cli.Usagef("nothing to run: give -all, -fig, -table or -ablation (see -list)")
 	}
 
 	for _, spec := range specs {

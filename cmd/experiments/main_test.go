@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"strings"
@@ -9,17 +10,9 @@ import (
 
 func capture(t *testing.T, args []string) (string, error) {
 	t.Helper()
-	f, err := os.CreateTemp(t.TempDir(), "out")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer f.Close()
-	runErr := run(args, f)
-	data, err := os.ReadFile(f.Name())
-	if err != nil {
-		t.Fatal(err)
-	}
-	return string(data), runErr
+	var out, errOut bytes.Buffer
+	runErr := run(args, &out, &errOut)
+	return out.String(), runErr
 }
 
 func TestListExperiments(t *testing.T) {
@@ -87,6 +80,34 @@ func TestFlagValidation(t *testing.T) {
 		if _, err := capture(t, args); err == nil {
 			t.Errorf("args %v accepted, want error", args)
 		}
+	}
+}
+
+// TestExitCodes pins the misuse contract: unknown flags or experiment ids
+// exit 2 with a usage pointer on stderr; -h and success exit 0.
+func TestExitCodes(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"list", []string{"-list"}, 0},
+		{"help", []string{"-h"}, 0},
+		{"unknown-flag", []string{"-bogus"}, 2},
+		{"nothing-to-run", []string{}, 2},
+		{"unknown-figure", []string{"-fig", "9z"}, 2},
+		{"unknown-table", []string{"-table", "2"}, 2},
+		{"positional-args", []string{"-list", "stray"}, 2},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errOut bytes.Buffer
+			if got := realMain(tc.args, &out, &errOut); got != tc.want {
+				t.Fatalf("exit code %d, want %d\nstderr: %s", got, tc.want, errOut.String())
+			}
+			if tc.want == 2 && !strings.Contains(strings.ToLower(errOut.String()), "usage") {
+				t.Fatalf("misuse exit printed no usage message:\n%s", errOut.String())
+			}
+		})
 	}
 }
 

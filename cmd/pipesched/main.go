@@ -26,10 +26,12 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"pipesched"
+	"pipesched/internal/cli"
 	"pipesched/internal/workload"
 )
 
@@ -42,14 +44,20 @@ func portfolioName(out pipesched.PortfolioOutcome, err error) string {
 }
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "pipesched:", err)
-		os.Exit(1)
-	}
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, out *os.File) error {
+// realMain is main with injectable streams and exit code, for tests.
+// Exit codes follow the shared internal/cli contract: misuse (unknown
+// flags, -heuristic or -family values, missing constraints) exits 2 with
+// a usage pointer, runtime failures exit 1.
+func realMain(args []string, out, errOut io.Writer) int {
+	return cli.ExitCode("pipesched", run(args, out, errOut), errOut)
+}
+
+func run(args []string, out, errOut io.Writer) error {
 	fs := flag.NewFlagSet("pipesched", flag.ContinueOnError)
+	fs.SetOutput(errOut)
 	var (
 		instPath  = fs.String("instance", "", "JSON instance file (overrides the generator flags)")
 		family    = fs.String("family", "E1", "workload family E1..E4 for generated instances")
@@ -66,10 +74,13 @@ func run(args []string, out *os.File) error {
 		sweep     = fs.Bool("sweep", false, "also print the heuristic trade-off frontier (any platform size)")
 	)
 	if err := fs.Parse(args); err != nil {
-		return err
+		return cli.WrapParse(err)
+	}
+	if fs.NArg() > 0 {
+		return cli.Usagef("unexpected arguments: %v", fs.Args())
 	}
 	if (*period > 0) == (*latency > 0) {
-		return fmt.Errorf("give exactly one of -period or -latency")
+		return cli.Usagef("give exactly one of -period or -latency")
 	}
 
 	in, err := loadInstance(*instPath, *family, *stages, *procs, *seed)
@@ -216,7 +227,7 @@ func parseFamily(s string) (workload.Family, error) {
 			return f, nil
 		}
 	}
-	return 0, fmt.Errorf("unknown family %q (want E1..E4)", s)
+	return 0, cli.Usagef("unknown family %q (want E1..E4)", s)
 }
 
 func findPeriodHeuristic(id string) (pipesched.PeriodConstrained, error) {
@@ -225,7 +236,7 @@ func findPeriodHeuristic(id string) (pipesched.PeriodConstrained, error) {
 			return h, nil
 		}
 	}
-	return nil, fmt.Errorf("unknown period heuristic %q (want H1..H4, best, all, portfolio)", id)
+	return nil, cli.Usagef("unknown period heuristic %q (want H1..H4, best, all, portfolio)", id)
 }
 
 func findLatencyHeuristic(id string) (pipesched.LatencyConstrained, error) {
@@ -234,5 +245,5 @@ func findLatencyHeuristic(id string) (pipesched.LatencyConstrained, error) {
 			return h, nil
 		}
 	}
-	return nil, fmt.Errorf("unknown latency heuristic %q (want H5, H6, best, all, portfolio)", id)
+	return nil, cli.Usagef("unknown latency heuristic %q (want H5, H6, best, all, portfolio)", id)
 }

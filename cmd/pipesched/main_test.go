@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -10,21 +11,13 @@ import (
 	"pipesched/internal/workload"
 )
 
-// capture runs run() with stdout redirected to a pipe-backed temp file and
-// returns what it printed.
+// capture runs run() with buffered streams and returns what it printed to
+// stdout.
 func capture(t *testing.T, args []string) (string, error) {
 	t.Helper()
-	f, err := os.CreateTemp(t.TempDir(), "out")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer f.Close()
-	runErr := run(args, f)
-	data, err := os.ReadFile(f.Name())
-	if err != nil {
-		t.Fatal(err)
-	}
-	return string(data), runErr
+	var out, errOut bytes.Buffer
+	runErr := run(args, &out, &errOut)
+	return out.String(), runErr
 }
 
 func TestGeneratedInstancePeriodBound(t *testing.T) {
@@ -108,6 +101,39 @@ func TestFlagValidation(t *testing.T) {
 		if _, err := capture(t, args); err == nil {
 			t.Errorf("args %v accepted, want error", args)
 		}
+	}
+}
+
+// TestExitCodes pins the contract satellite-fixed in PR 2: command-line
+// misuse — unknown flags or unknown -heuristic/-family values — exits 2
+// with a usage pointer on stderr, runtime failures exit 1, success and
+// -h exit 0.
+func TestExitCodes(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"success", []string{"-family", "E1", "-stages", "4", "-procs", "3", "-period", "1000"}, 0},
+		{"help", []string{"-h"}, 0},
+		{"unknown-flag", []string{"-bogus"}, 2},
+		{"no-constraint", []string{}, 2},
+		{"both-constraints", []string{"-period", "1", "-latency", "1"}, 2},
+		{"unknown-heuristic", []string{"-period", "5", "-heuristic", "H9"}, 2},
+		{"wrong-side-heuristic", []string{"-latency", "5", "-heuristic", "H1"}, 2},
+		{"unknown-family", []string{"-period", "5", "-family", "E9"}, 2},
+		{"positional-args", []string{"-period", "5", "stray"}, 2},
+		{"runtime-failure", []string{"-instance", "/nonexistent/file.json", "-period", "1"}, 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errOut bytes.Buffer
+			if got := realMain(tc.args, &out, &errOut); got != tc.want {
+				t.Fatalf("exit code %d, want %d\nstderr: %s", got, tc.want, errOut.String())
+			}
+			if tc.want == 2 && !strings.Contains(strings.ToLower(errOut.String()), "usage") {
+				t.Fatalf("misuse exit printed no usage message:\n%s", errOut.String())
+			}
+		})
 	}
 }
 

@@ -1,0 +1,98 @@
+// Command pipeschedd is the solver service daemon: a long-lived HTTP
+// process exposing the paper's heuristics, the exact DP and the
+// concurrent portfolio/batch engine over a JSON API, with a
+// canonical-instance result cache and singleflight deduplication so that
+// repeat and concurrent-identical traffic costs one solve.
+//
+// Endpoints:
+//
+//	POST /v1/solve   {"pipeline": ..., "platform": ..., "bound": P,
+//	                  "objective": "min-latency"|"min-period",
+//	                  "mode": "portfolio"|"best"|"exact"|"H1".."H6",
+//	                  "timeout_ms": N}
+//	POST /v1/batch   {"instances": [...], "bound": B, "relative_bound": bool,
+//	                  "exact": bool, "workers": N}
+//	POST /v1/sweep   {"pipeline": ..., "platform": ..., "points": N}
+//	GET  /healthz    liveness probe
+//	GET  /metrics    cache hit rate, in-flight gauge, per-endpoint latencies
+//
+// The daemon drains gracefully on SIGINT/SIGTERM: the listener closes
+// immediately, in-flight requests get -drain-timeout to finish.
+//
+// Example:
+//
+//	pipeschedd -addr :8080 -cache-entries 4096 -request-timeout 30s
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pipesched/internal/cli"
+	"pipesched/internal/service"
+)
+
+func main() {
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// realMain is main with injectable streams and exit code, for tests.
+// Exit codes follow the shared internal/cli contract: misuse exits 2
+// with a usage pointer, runtime failures exit 1.
+func realMain(args []string, out, errOut io.Writer) int {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return cli.ExitCode("pipeschedd", run(ctx, args, out, errOut), errOut)
+}
+
+func run(ctx context.Context, args []string, out, errOut io.Writer) error {
+	fs := flag.NewFlagSet("pipeschedd", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	var (
+		addr           = fs.String("addr", ":8080", "listen address")
+		cacheEntries   = fs.Int("cache-entries", 0, "result cache bound in entries (0 = default 1024, negative = disable storage)")
+		workers        = fs.Int("workers", 0, "batch worker pool cap (0 = GOMAXPROCS)")
+		requestTimeout = fs.Duration("request-timeout", 0, "server-side deadline per request (0 = none; requests may still set timeout_ms)")
+		drainTimeout   = fs.Duration("drain-timeout", 15*time.Second, "graceful-shutdown wait for in-flight requests")
+		maxBody        = fs.Int64("max-body-bytes", 0, "request body limit in bytes (0 = default 8 MiB)")
+		quiet          = fs.Bool("quiet", false, "suppress the serving log")
+	)
+	if err := fs.Parse(args); err != nil {
+		return cli.WrapParse(err)
+	}
+	if fs.NArg() > 0 {
+		return cli.Usagef("unexpected arguments: %v", fs.Args())
+	}
+	if *drainTimeout < 0 || *requestTimeout < 0 {
+		return cli.Usagef("timeouts must be non-negative")
+	}
+
+	logger := log.New(out, "", log.LstdFlags)
+	if *quiet {
+		logger = log.New(io.Discard, "", 0)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	// Printed unconditionally (and first) so wrappers can scrape the
+	// resolved port when -addr ends in :0.
+	fmt.Fprintf(out, "pipeschedd: listening on %s\n", ln.Addr())
+	srv := service.New(service.Options{
+		CacheEntries:   *cacheEntries,
+		Workers:        *workers,
+		RequestTimeout: *requestTimeout,
+		DrainTimeout:   *drainTimeout,
+		MaxBodyBytes:   *maxBody,
+		Logger:         logger,
+	})
+	return srv.Serve(ctx, ln)
+}

@@ -53,6 +53,8 @@
 //   - HeuristicParetoSweep fans its (grid point, heuristic) runs over the
 //     same pool.
 //
+// For example:
+//
 //	batch := []pipesched.WorkloadInstance{...}
 //	report, err := pipesched.SolveBatch(ctx, batch, pipesched.BatchOptions{
 //		Objective:     pipesched.MinimizeLatency,
@@ -64,6 +66,26 @@
 // construction and safe for concurrent use; the test-suite hammers one
 // shared Evaluator from many workers under the race detector to keep that
 // contract honest.
+//
+// # Serving: the solver service
+//
+// The serving layer (internal/service, packaged as cmd/pipeschedd) turns
+// the solvers into a long-lived daemon: POST /v1/solve, /v1/batch and
+// /v1/sweep accept JSON instances and route them through the portfolio
+// engine under per-request contexts and deadlines, GET /healthz and
+// /metrics expose liveness and counters. Requests are reduced to a
+// canonical byte form and SHA-256 hashed into a bounded LRU result cache
+// with singleflight deduplication: a repeated identical request is served
+// from memory, and N concurrent identical requests trigger exactly one
+// underlying solve. The X-Cache response header reports the disposition
+// (miss, hit or collapsed).
+//
+// NewServer builds the service as an http.Handler for embedding;
+// Serve runs the full lifecycle — listen, serve, drain gracefully when
+// the context is cancelled:
+//
+//	srv := pipesched.NewServer(pipesched.ServerOptions{CacheEntries: 4096})
+//	http.ListenAndServe(":8080", srv) // or: pipesched.Serve(ctx, ":8080", opts)
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-versus-measured comparison of every figure and table.

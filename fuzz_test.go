@@ -30,12 +30,12 @@ func FuzzNewPipeline(f *testing.F) {
 		}
 		return raw
 	}
-	f.Add(le(1, 2), le(1, 1, 1))              // valid 2-stage pipeline
-	f.Add(le(120, 80, 250), le(10, 40, 40))   // deltas too short: rejected
-	f.Add(le(0), le(0, 0))                    // zero work: rejected
-	f.Add(le(math.NaN()), le(1, 1))           // NaN work: rejected
-	f.Add(le(1), le(-1, 1))                   // negative delta: rejected
-	f.Add([]byte{}, []byte{})                 // empty: rejected
+	f.Add(le(1, 2), le(1, 1, 1))               // valid 2-stage pipeline
+	f.Add(le(120, 80, 250), le(10, 40, 40))    // deltas too short: rejected
+	f.Add(le(0), le(0, 0))                     // zero work: rejected
+	f.Add(le(math.NaN()), le(1, 1))            // NaN work: rejected
+	f.Add(le(1), le(-1, 1))                    // negative delta: rejected
+	f.Add([]byte{}, []byte{})                  // empty: rejected
 	f.Add(le(math.MaxFloat64, 1), le(1, 1, 1)) // effectively-infinite work: rejected
 
 	f.Fuzz(func(t *testing.T, worksRaw, deltasRaw []byte) {

@@ -1,0 +1,48 @@
+// Package cli holds the exit-code contract shared by every pipesched
+// command: success and -h exit 0, command-line misuse (unknown flags or
+// flag values) exits 2 with a usage pointer, runtime failures exit 1.
+package cli
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+)
+
+// UsageError marks a misuse of the command line, as opposed to a runtime
+// failure.
+type UsageError struct{ Err error }
+
+func (e *UsageError) Error() string { return e.Err.Error() }
+func (e *UsageError) Unwrap() error { return e.Err }
+
+// Usagef builds a *UsageError from a format string.
+func Usagef(format string, a ...any) error {
+	return &UsageError{Err: fmt.Errorf(format, a...)}
+}
+
+// WrapParse classifies a flag.FlagSet.Parse error: nil and flag.ErrHelp
+// pass through untouched, anything else is command-line misuse.
+func WrapParse(err error) error {
+	if err == nil || errors.Is(err, flag.ErrHelp) {
+		return err
+	}
+	return &UsageError{Err: err}
+}
+
+// ExitCode maps a command's run error onto its exit code, printing
+// diagnostics (and, for misuse, a usage pointer) to errOut.
+func ExitCode(name string, err error, errOut io.Writer) int {
+	switch {
+	case err == nil, errors.Is(err, flag.ErrHelp):
+		return 0
+	}
+	fmt.Fprintf(errOut, "%s: %v\n", name, err)
+	var ue *UsageError
+	if errors.As(err, &ue) {
+		fmt.Fprintf(errOut, "run '%s -h' for usage\n", name)
+		return 2
+	}
+	return 1
+}

@@ -1,0 +1,61 @@
+package cli
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestExitCode(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		err      error
+		want     int
+		wantHint bool
+	}{
+		{"nil", nil, 0, false},
+		{"help", flag.ErrHelp, 0, false},
+		{"wrapped-help", fmt.Errorf("x: %w", flag.ErrHelp), 0, false},
+		{"usage", Usagef("unknown flag"), 2, true},
+		{"wrapped-usage", fmt.Errorf("ctx: %w", Usagef("bad value")), 2, true},
+		{"runtime", errors.New("file not found"), 1, false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var errOut bytes.Buffer
+			if got := ExitCode("tool", tc.err, &errOut); got != tc.want {
+				t.Fatalf("ExitCode = %d, want %d", got, tc.want)
+			}
+			hasHint := strings.Contains(errOut.String(), "run 'tool -h' for usage")
+			if hasHint != tc.wantHint {
+				t.Fatalf("usage hint present = %v, want %v:\n%s", hasHint, tc.wantHint, errOut.String())
+			}
+			if tc.err != nil && tc.want != 0 && !strings.Contains(errOut.String(), "tool: ") {
+				t.Fatalf("diagnostic missing tool prefix:\n%s", errOut.String())
+			}
+		})
+	}
+}
+
+func TestWrapParse(t *testing.T) {
+	if WrapParse(nil) != nil {
+		t.Fatal("WrapParse(nil) != nil")
+	}
+	if err := WrapParse(flag.ErrHelp); !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("WrapParse(ErrHelp) = %v", err)
+	}
+	var ue *UsageError
+	if err := WrapParse(errors.New("flag provided but not defined")); !errors.As(err, &ue) {
+		t.Fatalf("WrapParse(parse error) = %T, want *UsageError", err)
+	}
+}
+
+func TestUsageErrorUnwrap(t *testing.T) {
+	base := errors.New("root cause")
+	err := &UsageError{Err: base}
+	if !errors.Is(err, base) {
+		t.Fatal("UsageError does not unwrap to its cause")
+	}
+}

@@ -1,0 +1,111 @@
+package portfolio
+
+import (
+	"context"
+	"math"
+
+	"pipesched/internal/heuristics"
+	"pipesched/internal/lowerbound"
+	"pipesched/internal/mapping"
+)
+
+// TradeoffPoint is one point of a heuristic trade-off frontier: a concrete
+// mapping together with its metrics.
+type TradeoffPoint struct {
+	Metrics mapping.Metrics
+	Mapping *mapping.Mapping
+}
+
+// ParetoSweep traces an approximate Pareto frontier using only the paper's
+// polynomial heuristics: it sweeps points period bounds between the period
+// lower bound and the single-processor period, runs all four
+// period-constrained heuristics plus both latency-constrained ones (fed
+// with the latencies discovered so far), and returns the non-dominated
+// results sorted by increasing period.
+//
+// Unlike the exact front this scales to large platforms (nothing
+// exponential); the returned frontier is a superset-dominated
+// approximation of the true front — every returned point is achievable,
+// none dominates another, but better points may exist.
+//
+// The (grid point, heuristic) runs of each phase are independent, so they
+// fan out over a workers-bounded pool (0 selects GOMAXPROCS); candidates
+// are then aggregated in grid order, making the frontier identical to a
+// serial sweep. Cancelling ctx stops dispatching new runs; candidates from
+// runs that never started are simply absent, exactly as if the grid had
+// been truncated.
+func ParetoSweep(ctx context.Context, ev *mapping.Evaluator, points, workers int) []TradeoffPoint {
+	if points < 2 {
+		points = 2
+	}
+	single := mapping.SingleProcessor(ev.Pipeline(), ev.Platform(), ev.Platform().Fastest())
+	lo := lowerbound.Period(ev)
+	hi := ev.Period(single)
+	var raw []TradeoffPoint
+	add := func(res heuristics.Result, err error) {
+		if err != nil || res.Mapping == nil {
+			return
+		}
+		raw = append(raw, TradeoffPoint{Metrics: res.Metrics, Mapping: res.Mapping})
+	}
+	type run struct {
+		res heuristics.Result
+		err error
+	}
+	type periodTask struct {
+		bound float64
+		h     heuristics.PeriodConstrained
+	}
+	var periodTasks []periodTask
+	for i := 0; i < points; i++ {
+		bound := lo + (hi-lo)*float64(i)/float64(points-1)
+		for _, h := range heuristics.PeriodHeuristics() {
+			periodTasks = append(periodTasks, periodTask{bound: bound, h: h})
+		}
+	}
+	runs, _ := Map(ctx, workers, periodTasks, func(_ context.Context, t periodTask) run {
+		res, err := t.h.MinimizeLatency(ev, t.bound)
+		return run{res: res, err: err}
+	})
+	for _, r := range runs {
+		add(r.res, r.err)
+	}
+	// Feed the latency range the period sweep discovered back through
+	// the latency-constrained heuristics: they sometimes find better
+	// periods at equal latency.
+	minLat, maxLat := math.Inf(1), math.Inf(-1)
+	for _, pt := range raw {
+		minLat = math.Min(minLat, pt.Metrics.Latency)
+		maxLat = math.Max(maxLat, pt.Metrics.Latency)
+	}
+	if len(raw) > 0 && maxLat > minLat {
+		type latencyTask struct {
+			budget float64
+			h      heuristics.LatencyConstrained
+		}
+		var latencyTasks []latencyTask
+		for i := 0; i < points; i++ {
+			budget := minLat + (maxLat-minLat)*float64(i)/float64(points-1)
+			for _, h := range heuristics.LatencyHeuristics() {
+				latencyTasks = append(latencyTasks, latencyTask{budget: budget, h: h})
+			}
+		}
+		runs, _ := Map(ctx, workers, latencyTasks, func(_ context.Context, t latencyTask) run {
+			res, err := t.h.MinimizePeriod(ev, t.budget)
+			return run{res: res, err: err}
+		})
+		for _, r := range runs {
+			add(r.res, r.err)
+		}
+	}
+	// Dominance prune through the shared frontier filter.
+	metrics := make([]mapping.Metrics, len(raw))
+	for i, pt := range raw {
+		metrics[i] = pt.Metrics
+	}
+	var front []TradeoffPoint
+	for _, i := range mapping.Frontier(metrics) {
+		front = append(front, raw[i])
+	}
+	return front
+}

@@ -1,0 +1,306 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func key(b byte) Key {
+	var k Key
+	k[0] = b
+	return k
+}
+
+func TestDoComputesThenHits(t *testing.T) {
+	c := New[int](4)
+	calls := 0
+	fn := func() (int, error) { calls++; return 42, nil }
+
+	v, src, err := c.Do(context.Background(), key(1), fn)
+	if err != nil || v != 42 || src != Computed {
+		t.Fatalf("first Do = (%d, %v, %v), want (42, Computed, nil)", v, src, err)
+	}
+	v, src, err = c.Do(context.Background(), key(1), fn)
+	if err != nil || v != 42 || src != Hit {
+		t.Fatalf("second Do = (%d, %v, %v), want (42, Hit, nil)", v, src, err)
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Collapsed != 0 || s.Entries != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestErrorsAreNotCached(t *testing.T) {
+	c := New[int](4)
+	boom := errors.New("boom")
+	calls := 0
+	_, _, err := c.Do(context.Background(), key(1), func() (int, error) { calls++; return 0, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	v, src, err := c.Do(context.Background(), key(1), func() (int, error) { calls++; return 7, nil })
+	if err != nil || v != 7 || src != Computed {
+		t.Fatalf("retry = (%d, %v, %v), want recompute", v, src, err)
+	}
+	if calls != 2 {
+		t.Fatalf("compute ran %d times, want 2", calls)
+	}
+	if n := c.Len(); n != 1 {
+		t.Fatalf("Len = %d, want 1", n)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New[int](2)
+	for b := byte(1); b <= 3; b++ {
+		b := b
+		if _, _, err := c.Do(context.Background(), key(b), func() (int, error) { return int(b), nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Capacity 2: key 1 (oldest) must be gone, keys 2 and 3 present.
+	if _, ok := c.Get(key(1)); ok {
+		t.Fatal("oldest entry survived past capacity")
+	}
+	for b := byte(2); b <= 3; b++ {
+		if _, ok := c.Get(key(b)); !ok {
+			t.Fatalf("entry %d evicted early", b)
+		}
+	}
+	s := c.Stats()
+	if s.Evictions != 1 || s.Entries != 2 {
+		t.Fatalf("stats = %+v, want 1 eviction, 2 entries", s)
+	}
+	// Touch key 2, insert key 4: key 3 is now the LRU victim.
+	c.Get(key(2))
+	if _, _, err := c.Do(context.Background(), key(4), func() (int, error) { return 4, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(key(3)); ok {
+		t.Fatal("recency order ignored: untouched entry survived")
+	}
+	if _, ok := c.Get(key(2)); !ok {
+		t.Fatal("recently used entry evicted")
+	}
+}
+
+func TestZeroCapacityKeepsSingleflight(t *testing.T) {
+	c := New[int](0)
+	calls := 0
+	for i := 0; i < 2; i++ {
+		_, src, err := c.Do(context.Background(), key(1), func() (int, error) { calls++; return 1, nil })
+		if err != nil || src != Computed {
+			t.Fatalf("Do %d = (%v, %v), want Computed", i, src, err)
+		}
+	}
+	if calls != 2 || c.Len() != 0 {
+		t.Fatalf("calls = %d, Len = %d; want 2 sequential recomputes and no storage", calls, c.Len())
+	}
+}
+
+// TestSingleflightCollapse drives N concurrent Do calls with the same key
+// into a compute function that blocks until every other call has
+// registered as a waiter, proving the collapse is real concurrency and
+// not sequential cache hits.
+func TestSingleflightCollapse(t *testing.T) {
+	const n = 8
+	c := New[int](4)
+	var executions atomic.Int64
+	release := make(chan struct{})
+	fn := func() (int, error) {
+		executions.Add(1)
+		<-release
+		return 99, nil
+	}
+
+	var wg sync.WaitGroup
+	sources := make([]Source, n)
+	values := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, src, err := c.Do(context.Background(), key(7), fn)
+			if err != nil {
+				t.Errorf("Do %d: %v", i, err)
+			}
+			values[i], sources[i] = v, src
+		}(i)
+	}
+	// Wait until the leader is in fn and all n-1 others are parked on it.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s := c.Stats()
+		if s.Misses == 1 && s.Collapsed == n-1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("waiters never converged: %+v", s)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if got := executions.Load(); got != 1 {
+		t.Fatalf("%d executions for %d concurrent identical calls, want 1", got, n)
+	}
+	computed, collapsed := 0, 0
+	for i := 0; i < n; i++ {
+		if values[i] != 99 {
+			t.Fatalf("call %d got %d, want 99", i, values[i])
+		}
+		switch sources[i] {
+		case Computed:
+			computed++
+		case Collapsed:
+			collapsed++
+		}
+	}
+	if computed != 1 || collapsed != n-1 {
+		t.Fatalf("sources: %d computed, %d collapsed; want 1 and %d", computed, collapsed, n-1)
+	}
+}
+
+func TestCollapsedWaiterHonorsContext(t *testing.T) {
+	c := New[int](4)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		c.Do(context.Background(), key(1), func() (int, error) {
+			close(started)
+			<-release
+			return 1, nil
+		})
+	}()
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do(ctx, key(1), func() (int, error) { return 2, nil })
+		errc <- err
+	}()
+	// The waiter must be parked on the in-flight call before we cancel.
+	for c.Stats().Collapsed == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("waiter err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled waiter never returned")
+	}
+	close(release)
+	// The leader's result still lands in the cache.
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Len() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("leader result never stored")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if v, ok := c.Get(key(1)); !ok || v != 1 {
+		t.Fatalf("Get = (%d, %v), want leader's 1", v, ok)
+	}
+}
+
+// TestPanicInComputeDoesNotPoisonKey pins the panic-containment
+// contract: a panicking compute function must deliver an error (not hang
+// or crash waiters), release the in-flight slot so the key stays usable,
+// and cache nothing.
+func TestPanicInComputeDoesNotPoisonKey(t *testing.T) {
+	c := New[int](4)
+	_, src, err := c.Do(context.Background(), key(1), func() (int, error) { panic("solver exploded") })
+	if err == nil || !strings.Contains(err.Error(), "solver exploded") {
+		t.Fatalf("Do after panic = (%v, %v), want the panic as an error", src, err)
+	}
+	if c.Len() != 0 {
+		t.Fatal("panicked computation was cached")
+	}
+	// The key must not be stuck: a fresh call recomputes normally.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		v, src, err := c.Do(context.Background(), key(1), func() (int, error) { return 5, nil })
+		if err != nil || v != 5 || src != Computed {
+			t.Errorf("retry after panic = (%d, %v, %v), want (5, Computed, nil)", v, src, err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("key poisoned: retry after panic hung")
+	}
+}
+
+// TestLeaderTimeoutDoesNotAbortComputation pins the detached-compute
+// contract: a caller abandoning its wait gets its own context error, but
+// the computation finishes and the result lands in the cache.
+func TestLeaderTimeoutDoesNotAbortComputation(t *testing.T) {
+	c := New[int](4)
+	release := make(chan struct{})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		// Cancel the leader's wait while fn is held.
+		for c.Stats().Misses == 0 {
+			time.Sleep(time.Millisecond)
+		}
+		cancel()
+	}()
+	_, _, err := c.Do(ctx, key(1), func() (int, error) {
+		<-release
+		return 7, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("abandoning leader got %v, want context.Canceled", err)
+	}
+	close(release)
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Len() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("abandoned computation never cached its result")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	v, src, err := c.Do(context.Background(), key(1), func() (int, error) { return 0, nil })
+	if err != nil || v != 7 || src != Hit {
+		t.Fatalf("follow-up = (%d, %v, %v), want the abandoned leader's (7, Hit, nil)", v, src, err)
+	}
+}
+
+func TestPurge(t *testing.T) {
+	c := New[int](4)
+	for b := byte(1); b <= 3; b++ {
+		b := b
+		c.Do(context.Background(), key(b), func() (int, error) { return int(b), nil })
+	}
+	if n := c.Purge(); n != 3 {
+		t.Fatalf("Purge dropped %d, want 3", n)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d after Purge", c.Len())
+	}
+	if _, ok := c.Get(key(2)); ok {
+		t.Fatal("entry survived Purge")
+	}
+}
+
+func TestSourceString(t *testing.T) {
+	for src, want := range map[Source]string{Computed: "miss", Hit: "hit", Collapsed: "collapsed", Source(9): "unknown"} {
+		if got := src.String(); got != want {
+			t.Errorf("Source(%d).String() = %q, want %q", int(src), got, want)
+		}
+	}
+}

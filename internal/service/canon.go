@@ -1,0 +1,145 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"hash"
+	"math"
+
+	"pipesched/internal/pipeline"
+	"pipesched/internal/platform"
+	"pipesched/internal/portfolio"
+	"pipesched/internal/service/cache"
+	"pipesched/internal/workload"
+)
+
+// Canonical instance hashing. Every cacheable request is reduced to a
+// deterministic wire form — a type-tagged byte stream over the exact
+// float64 bit patterns of the instance — and digested with SHA-256 into a
+// cache.Key. Two requests share a key if and only if they describe the
+// same (pipeline, platform, objective, bound, mode) tuple, so the result
+// cache can never conflate distinct problems.
+//
+// The encoding is versioned: bump canonVersion whenever a field is added,
+// removed or reordered, so stale keys from older layouts can never alias
+// new ones (irrelevant for the in-memory cache, vital the day keys are
+// persisted or shared between replicas).
+const canonVersion = 1
+
+// canon accumulates the canonical wire form directly into a hash.
+type canon struct {
+	h   hash.Hash
+	buf [8]byte
+}
+
+func newCanon(kind string) *canon {
+	c := &canon{h: sha256.New()}
+	c.u64(canonVersion)
+	c.str(kind)
+	return c
+}
+
+// u64 appends one little-endian 64-bit word.
+func (c *canon) u64(v uint64) {
+	binary.LittleEndian.PutUint64(c.buf[:], v)
+	c.h.Write(c.buf[:])
+}
+
+// f64 appends the exact bit pattern of one float64. Bit-level identity is
+// the right equality here: the solvers are deterministic functions of the
+// input bits, so inputs differing only in, say, -0 vs +0 may legitimately
+// be cached separately.
+func (c *canon) f64(v float64) { c.u64(math.Float64bits(v)) }
+
+// str appends a length-prefixed string.
+func (c *canon) str(s string) {
+	c.u64(uint64(len(s)))
+	c.h.Write([]byte(s))
+}
+
+// floats appends a length-prefixed float64 slice.
+func (c *canon) floats(xs []float64) {
+	c.u64(uint64(len(xs)))
+	for _, x := range xs {
+		c.f64(x)
+	}
+}
+
+// pipeline appends the full applicative description: stage works and
+// communication sizes.
+func (c *canon) pipeline(app *pipeline.Pipeline) {
+	c.floats(app.Works())
+	c.floats(app.Deltas())
+}
+
+// platform appends the full platform description, discriminated by kind.
+func (c *canon) platform(plat *platform.Platform) {
+	c.u64(uint64(plat.Kind()))
+	c.floats(plat.Speeds())
+	switch plat.Kind() {
+	case platform.CommHomogeneous:
+		c.f64(plat.Bandwidth())
+	case platform.FullyHeterogeneous:
+		p := plat.Processors()
+		for u := 1; u <= p; u++ {
+			for v := 1; v <= p; v++ {
+				if u == v {
+					c.f64(0)
+				} else {
+					c.f64(plat.LinkBandwidth(u, v))
+				}
+			}
+		}
+	}
+}
+
+func (c *canon) key() cache.Key {
+	var k cache.Key
+	copy(k[:], c.h.Sum(nil))
+	return k
+}
+
+// solveKey digests one /v1/solve request. mode is already normalised by
+// validation, so "H1" and "h1" hash identically.
+func solveKey(objective portfolio.Objective, mode string, bound float64, app *pipeline.Pipeline, plat *platform.Platform) cache.Key {
+	c := newCanon("solve")
+	c.u64(uint64(objective))
+	c.str(mode)
+	c.f64(bound)
+	c.pipeline(app)
+	c.platform(plat)
+	return c.key()
+}
+
+// sweepKey digests one /v1/sweep request.
+func sweepKey(points int, app *pipeline.Pipeline, plat *platform.Platform) cache.Key {
+	c := newCanon("sweep")
+	c.u64(uint64(points))
+	c.pipeline(app)
+	c.platform(plat)
+	return c.key()
+}
+
+// batchKey digests one /v1/batch request. Worker count is deliberately
+// excluded: the batch engine guarantees results identical for any worker
+// count, so scheduling knobs must not fragment the cache.
+func batchKey(opts portfolio.BatchOptions, instances []workload.Instance) cache.Key {
+	c := newCanon("batch")
+	c.u64(uint64(opts.Objective))
+	c.f64(opts.Bound)
+	c.u64(boolBit(opts.RelativeBound))
+	c.u64(boolBit(opts.Exact))
+	c.u64(uint64(len(instances)))
+	for _, in := range instances {
+		c.pipeline(in.App)
+		c.platform(in.Plat)
+	}
+	return c.key()
+}
+
+func boolBit(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,112 @@
+package service
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pipesched/internal/service/cache"
+	"pipesched/internal/stats"
+)
+
+// metricsRegistry aggregates per-endpoint latency distributions (one
+// streaming Welford accumulator each — no samples retained, so unbounded
+// traffic costs constant memory) plus request and error counts. Cache
+// counters live in the cache itself; the registry only snapshots them.
+type metricsRegistry struct {
+	start time.Time
+
+	inFlight atomic.Int64
+
+	mu        sync.Mutex
+	endpoints map[string]*endpointMetrics
+}
+
+type endpointMetrics struct {
+	requests uint64
+	errors   uint64
+	latency  stats.Welford // seconds
+}
+
+func newMetricsRegistry() *metricsRegistry {
+	return &metricsRegistry{
+		start:     time.Now(),
+		endpoints: make(map[string]*endpointMetrics),
+	}
+}
+
+// observe records one finished request.
+func (m *metricsRegistry) observe(endpoint string, d time.Duration, failed bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	em := m.endpoints[endpoint]
+	if em == nil {
+		em = &endpointMetrics{}
+		m.endpoints[endpoint] = em
+	}
+	em.requests++
+	if failed {
+		em.errors++
+	}
+	em.latency.Add(d.Seconds())
+}
+
+// EndpointSnapshot is the JSON form of one endpoint's latency summary.
+type EndpointSnapshot struct {
+	Requests uint64  `json:"requests"`
+	Errors   uint64  `json:"errors"`
+	MeanMS   float64 `json:"mean_ms"`
+	MinMS    float64 `json:"min_ms"`
+	MaxMS    float64 `json:"max_ms"`
+	StddevMS float64 `json:"stddev_ms"`
+}
+
+// CacheSnapshot is the JSON form of the cache counters.
+type CacheSnapshot struct {
+	Hits      uint64  `json:"hits"`
+	Misses    uint64  `json:"misses"`
+	Collapsed uint64  `json:"collapsed"`
+	Evictions uint64  `json:"evictions"`
+	Entries   int     `json:"entries"`
+	HitRate   float64 `json:"hit_rate"`
+}
+
+// MetricsSnapshot is the body served by GET /metrics.
+type MetricsSnapshot struct {
+	UptimeSeconds float64                     `json:"uptime_seconds"`
+	InFlight      int64                       `json:"in_flight"`
+	Cache         CacheSnapshot               `json:"cache"`
+	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
+}
+
+// snapshot renders the registry plus the given cache stats.
+func (m *metricsRegistry) snapshot(cs cache.Stats) MetricsSnapshot {
+	snap := MetricsSnapshot{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		InFlight:      m.inFlight.Load(),
+		Endpoints:     make(map[string]EndpointSnapshot),
+		Cache: CacheSnapshot{
+			Hits:      cs.Hits,
+			Misses:    cs.Misses,
+			Collapsed: cs.Collapsed,
+			Evictions: cs.Evictions,
+			Entries:   cs.Entries,
+		},
+	}
+	if total := cs.Hits + cs.Misses + cs.Collapsed; total > 0 {
+		snap.Cache.HitRate = float64(cs.Hits+cs.Collapsed) / float64(total)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for name, em := range m.endpoints {
+		es := EndpointSnapshot{Requests: em.requests, Errors: em.errors}
+		if em.latency.N() > 0 {
+			es.MeanMS = 1000 * em.latency.Mean()
+			es.MinMS = 1000 * em.latency.Min()
+			es.MaxMS = 1000 * em.latency.Max()
+			es.StddevMS = 1000 * em.latency.StdDev()
+		}
+		snap.Endpoints[name] = es
+	}
+	return snap
+}

@@ -1,0 +1,716 @@
+// Package service is the serving layer of the reproduction: a long-lived
+// HTTP daemon exposing the paper's solvers — heuristics H1–H6, the exact
+// DP and the concurrent portfolio/batch engine of internal/portfolio —
+// over a JSON API.
+//
+// Endpoints:
+//
+//	POST /v1/solve   one instance, period- or latency-constrained
+//	POST /v1/batch   a slice of instances through the batch engine
+//	POST /v1/sweep   the heuristic Pareto frontier of one instance
+//	GET  /healthz    liveness
+//	GET  /metrics    cache counters, in-flight gauge, per-endpoint latencies
+//
+// Every cacheable request is canonically hashed (see canon.go) into a
+// bounded LRU with singleflight deduplication: concurrent identical
+// requests collapse to one solve, repeated ones are served from memory.
+// Responses are cached as rendered bytes, so a hit allocates nothing but
+// the copy; the X-Cache response header reports hit, miss or collapsed.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"pipesched/internal/exact"
+	"pipesched/internal/heuristics"
+	"pipesched/internal/mapping"
+	"pipesched/internal/pipeline"
+	"pipesched/internal/platform"
+	"pipesched/internal/portfolio"
+	"pipesched/internal/service/cache"
+	"pipesched/internal/workload"
+)
+
+// Options configure a Server. The zero value is fully usable.
+type Options struct {
+	// CacheEntries bounds the result cache; 0 selects the default (1024)
+	// and negative values disable storage while keeping singleflight
+	// deduplication.
+	CacheEntries int
+	// Workers caps the batch engine's worker pool when a request does not
+	// set its own; 0 selects runtime.GOMAXPROCS(0).
+	Workers int
+	// RequestTimeout bounds every request without an explicit timeout_ms;
+	// 0 means no server-side deadline.
+	RequestTimeout time.Duration
+	// DrainTimeout bounds the graceful-shutdown wait for in-flight
+	// requests; 0 selects the default (15s).
+	DrainTimeout time.Duration
+	// MaxBodyBytes bounds request bodies; 0 selects the default (8 MiB).
+	MaxBodyBytes int64
+	// Logger receives start/stop and per-request error lines; nil
+	// discards them.
+	Logger *log.Logger
+}
+
+const (
+	defaultCacheEntries = 1024
+	defaultDrainTimeout = 15 * time.Second
+	defaultMaxBody      = 8 << 20
+	defaultSweepPoints  = 15
+	// maxSweepPoints caps the sweep grid: points scales both memory and
+	// solver work linearly, so an uncapped value in one small request
+	// would be a denial-of-service lever.
+	maxSweepPoints = 512
+)
+
+func (o Options) cacheEntries() int {
+	switch {
+	case o.CacheEntries == 0:
+		return defaultCacheEntries
+	case o.CacheEntries < 0:
+		return 0
+	default:
+		return o.CacheEntries
+	}
+}
+
+func (o Options) drain() time.Duration {
+	if o.DrainTimeout <= 0 {
+		return defaultDrainTimeout
+	}
+	return o.DrainTimeout
+}
+
+func (o Options) maxBody() int64 {
+	if o.MaxBodyBytes <= 0 {
+		return defaultMaxBody
+	}
+	return o.MaxBodyBytes
+}
+
+// Server is the HTTP solver service. It implements http.Handler; run it
+// under any http.Server, or use Serve for listener-to-shutdown lifecycle.
+type Server struct {
+	opts    Options
+	cache   *cache.Cache[[]byte]
+	metrics *metricsRegistry
+	mux     *http.ServeMux
+	logger  *log.Logger
+
+	// solveHook, when non-nil, runs inside the singleflight leader just
+	// before the underlying solve. Tests use it to hold requests in
+	// flight deterministically.
+	solveHook func()
+}
+
+// New builds a Server from opts.
+func New(opts Options) *Server {
+	s := &Server{
+		opts:    opts,
+		cache:   cache.New[[]byte](opts.cacheEntries()),
+		metrics: newMetricsRegistry(),
+		logger:  opts.Logger,
+	}
+	if s.logger == nil {
+		s.logger = log.New(io.Discard, "", 0)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/solve", s.instrument("solve", s.handleSolve))
+	mux.HandleFunc("POST /v1/batch", s.instrument("batch", s.handleBatch))
+	mux.HandleFunc("POST /v1/sweep", s.instrument("sweep", s.handleSweep))
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// CacheStats returns a snapshot of the result-cache counters.
+func (s *Server) CacheStats() cache.Stats { return s.cache.Stats() }
+
+// Metrics returns the snapshot served by GET /metrics.
+func (s *Server) Metrics() MetricsSnapshot { return s.metrics.snapshot(s.cache.Stats()) }
+
+// Serve accepts connections on ln until ctx is cancelled, then shuts down
+// gracefully: the listener closes immediately, in-flight requests get up
+// to Options.DrainTimeout to finish, and Serve returns nil on a clean
+// drain (or the drain deadline's error). The listener is always closed on
+// return.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	hs := &http.Server{
+		Handler:           s,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	s.logger.Printf("pipeschedd: serving on %s", ln.Addr())
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	s.logger.Printf("pipeschedd: shutdown requested, draining for up to %s", s.opts.drain())
+	sctx, cancel := context.WithTimeout(context.Background(), s.opts.drain())
+	defer cancel()
+	err := hs.Shutdown(sctx)
+	<-errc // hs.Serve has returned http.ErrServerClosed
+	if err != nil {
+		return fmt.Errorf("service: drain incomplete: %w", err)
+	}
+	s.logger.Printf("pipeschedd: drained cleanly")
+	return nil
+}
+
+// ---------------------------------------------------------- wire types --
+
+// IntervalJSON is the wire form of one mapping interval.
+type IntervalJSON struct {
+	Start int `json:"start"`
+	End   int `json:"end"`
+	Proc  int `json:"proc"`
+}
+
+func intervalsJSON(m *mapping.Mapping) []IntervalJSON {
+	if m == nil {
+		return nil
+	}
+	ivs := m.Intervals()
+	out := make([]IntervalJSON, len(ivs))
+	for i, iv := range ivs {
+		out[i] = IntervalJSON{Start: iv.Start, End: iv.End, Proc: iv.Proc}
+	}
+	return out
+}
+
+// SolveRequest is the body of POST /v1/solve.
+type SolveRequest struct {
+	Pipeline *pipeline.Pipeline `json:"pipeline"`
+	Platform *platform.Platform `json:"platform"`
+	// Objective: "min-latency" (default; Bound is a period bound, the
+	// paper's H1–H4 side) or "min-period" (Bound is a latency bound,
+	// H5–H6).
+	Objective string  `json:"objective,omitempty"`
+	Bound     float64 `json:"bound"`
+	// Mode: "portfolio" (default; heuristics + exact DP raced), "best"
+	// (heuristics only), "exact" (DP only, ≤ 14 processors), or one
+	// heuristic identifier "H1".."H6".
+	Mode      string `json:"mode,omitempty"`
+	TimeoutMS int    `json:"timeout_ms,omitempty"`
+}
+
+// SolveResponse is the body of a successful POST /v1/solve.
+type SolveResponse struct {
+	Objective string         `json:"objective"`
+	Mode      string         `json:"mode"`
+	Bound     float64        `json:"bound"`
+	Solver    string         `json:"solver"`
+	Period    float64        `json:"period"`
+	Latency   float64        `json:"latency"`
+	Intervals []IntervalJSON `json:"intervals"`
+}
+
+// BatchRequest is the body of POST /v1/batch.
+type BatchRequest struct {
+	Instances []workload.Instance `json:"instances"`
+	Objective string              `json:"objective,omitempty"`
+	Bound     float64             `json:"bound"`
+	// RelativeBound rescales Bound per instance, as in
+	// portfolio.BatchOptions.
+	RelativeBound bool `json:"relative_bound,omitempty"`
+	// Exact additionally races the exact DP where the platform fits.
+	Exact     bool `json:"exact,omitempty"`
+	Workers   int  `json:"workers,omitempty"`
+	TimeoutMS int  `json:"timeout_ms,omitempty"`
+}
+
+// BatchResult is one instance's outcome in a BatchResponse.
+type BatchResult struct {
+	Index     int            `json:"index"`
+	Bound     float64        `json:"bound"`
+	Solver    string         `json:"solver,omitempty"`
+	Period    float64        `json:"period,omitempty"`
+	Latency   float64        `json:"latency,omitempty"`
+	Intervals []IntervalJSON `json:"intervals,omitempty"`
+	Error     string         `json:"error,omitempty"`
+}
+
+// BatchFrontPoint is one entry of the batch-level non-dominated frontier.
+type BatchFrontPoint struct {
+	Instance int     `json:"instance"`
+	Period   float64 `json:"period"`
+	Latency  float64 `json:"latency"`
+}
+
+// BatchResponse is the body of a successful POST /v1/batch.
+type BatchResponse struct {
+	Solved  int               `json:"solved"`
+	Failed  int               `json:"failed"`
+	Results []BatchResult     `json:"results"`
+	Front   []BatchFrontPoint `json:"front"`
+}
+
+// SweepRequest is the body of POST /v1/sweep.
+type SweepRequest struct {
+	Pipeline *pipeline.Pipeline `json:"pipeline"`
+	Platform *platform.Platform `json:"platform"`
+	// Points is the period-bound grid size (default 15, minimum 2).
+	Points    int `json:"points,omitempty"`
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// SweepPoint is one frontier point of a SweepResponse.
+type SweepPoint struct {
+	Period    float64        `json:"period"`
+	Latency   float64        `json:"latency"`
+	Intervals []IntervalJSON `json:"intervals"`
+}
+
+// SweepResponse is the body of a successful POST /v1/sweep.
+type SweepResponse struct {
+	Points []SweepPoint `json:"points"`
+}
+
+// errorResponse is the body of every non-2xx reply.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// ------------------------------------------------------------ plumbing --
+
+// statusError is an error that knows its HTTP status.
+type statusError struct {
+	code int
+	msg  string
+}
+
+func (e *statusError) Error() string { return e.msg }
+
+func badRequest(format string, a ...any) error {
+	return &statusError{code: http.StatusBadRequest, msg: fmt.Sprintf(format, a...)}
+}
+
+func infeasible(format string, a ...any) error {
+	return &statusError{code: http.StatusUnprocessableEntity, msg: fmt.Sprintf(format, a...)}
+}
+
+// statusRecorder captures the response status for metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusRecorder) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with the in-flight gauge and the
+// per-endpoint latency accumulator.
+func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.inFlight.Add(1)
+		defer s.metrics.inFlight.Add(-1)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(rec, r)
+		s.metrics.observe(name, time.Since(start), rec.status >= 400)
+	}
+}
+
+// decodeJSON strictly decodes the request body into v.
+func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.maxBody())
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return badRequest("invalid request body: %v", err)
+	}
+	if dec.More() {
+		return badRequest("invalid request body: trailing data after the JSON object")
+	}
+	return nil
+}
+
+// writeJSON renders a 200 with v as JSON.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeError maps err onto an HTTP status and renders the error body.
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, err error) {
+	code := http.StatusInternalServerError
+	var se *statusError
+	switch {
+	case errors.As(err, &se):
+		code = se.code
+	case errors.Is(err, context.DeadlineExceeded):
+		code = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// The client went away; the status is for the log's benefit.
+		code = http.StatusServiceUnavailable
+	}
+	if code >= 500 {
+		s.logger.Printf("pipeschedd: %s %s: %v", r.Method, r.URL.Path, err)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(errorResponse{Error: err.Error()})
+}
+
+// requestContext derives the per-request deadline: an explicit timeout_ms
+// wins, then Options.RequestTimeout, then no deadline.
+func (s *Server) requestContext(r *http.Request, timeoutMS int) (context.Context, context.CancelFunc) {
+	d := s.opts.RequestTimeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+	}
+	if d > 0 {
+		return context.WithTimeout(r.Context(), d)
+	}
+	return context.WithCancel(r.Context())
+}
+
+// ----------------------------------------------------------- endpoints --
+
+// parseObjective maps the wire objective onto the batch engine's enum.
+func parseObjective(objective string) (portfolio.Objective, error) {
+	switch strings.ToLower(objective) {
+	case "", "min-latency":
+		return portfolio.MinimizeLatency, nil
+	case "min-period":
+		return portfolio.MinimizePeriod, nil
+	default:
+		return 0, badRequest("unknown objective %q (want \"min-latency\" or \"min-period\")", objective)
+	}
+}
+
+func validBound(bound float64) error {
+	if bound <= 0 || math.IsNaN(bound) || math.IsInf(bound, 0) {
+		return badRequest("bound %v is invalid (must be finite and > 0)", bound)
+	}
+	return nil
+}
+
+// validPlatform rejects platform kinds the serving solvers cannot take.
+// The paper's heuristics target Communication Homogeneous platforms and
+// panic on fully heterogeneous ones — a panic a request must never be
+// able to reach.
+func validPlatform(plat *platform.Platform) error {
+	if plat.Kind() != platform.CommHomogeneous {
+		return badRequest("platform kind %q is not servable (the paper's heuristics target comm-homogeneous platforms; collapse per-link bandwidths to the slowest link first)", plat.Kind())
+	}
+	return nil
+}
+
+// normalizeMode canonicalises and checks the solve mode against the
+// objective: H1–H4 exist only on the period-constrained side, H5–H6 only
+// on the latency-constrained one.
+func normalizeMode(mode string, objective portfolio.Objective) (string, error) {
+	m := strings.ToLower(mode)
+	switch m {
+	case "":
+		return "portfolio", nil
+	case "portfolio", "best", "exact":
+		return m, nil
+	}
+	id := strings.ToUpper(mode)
+	if objective == portfolio.MinimizeLatency {
+		for _, h := range heuristics.PeriodHeuristics() {
+			if h.ID() == id {
+				return id, nil
+			}
+		}
+		return "", badRequest("unknown mode %q for objective min-latency (want portfolio, best, exact or H1..H4)", mode)
+	}
+	for _, h := range heuristics.LatencyHeuristics() {
+		if h.ID() == id {
+			return id, nil
+		}
+	}
+	return "", badRequest("unknown mode %q for objective min-period (want portfolio, best, exact, H5 or H6)", mode)
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var req SolveRequest
+	if err := s.decodeJSON(w, r, &req); err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	if req.Pipeline == nil || req.Platform == nil {
+		s.writeError(w, r, badRequest("both \"pipeline\" and \"platform\" are required"))
+		return
+	}
+	if err := validPlatform(req.Platform); err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	objective, err := parseObjective(req.Objective)
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	if err := validBound(req.Bound); err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	mode, err := normalizeMode(req.Mode, objective)
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+	// The solve itself runs detached from this request's lifetime: ctx
+	// bounds only the wait below, so one impatient or disconnecting
+	// client can never poison collapsed waiters, and the finished result
+	// still lands in the cache.
+	solveCtx := context.WithoutCancel(ctx)
+	body, src, err := s.cache.Do(ctx, solveKey(objective, mode, req.Bound, req.Pipeline, req.Platform), func() ([]byte, error) {
+		if s.solveHook != nil {
+			s.solveHook()
+		}
+		resp, err := s.solveOne(solveCtx, objective, mode, req)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(resp)
+	})
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	writeCached(w, body, src)
+}
+
+// solveOne runs one instance through the selected mode.
+func (s *Server) solveOne(ctx context.Context, objective portfolio.Objective, mode string, req SolveRequest) (SolveResponse, error) {
+	ev := mapping.NewEvaluator(req.Pipeline, req.Platform)
+	resp := SolveResponse{Objective: objective.String(), Mode: mode, Bound: req.Bound}
+	var res heuristics.Result
+	switch mode {
+	case "portfolio", "best":
+		sopts := portfolio.SolveOptions{Exact: mode == "portfolio"}
+		var (
+			out     portfolio.Outcome
+			found   bool
+			closest error
+		)
+		if objective == portfolio.MinimizePeriod {
+			out, found, closest = portfolio.UnderLatency(ctx, ev, req.Bound, sopts)
+		} else {
+			out, found, closest = portfolio.UnderPeriod(ctx, ev, req.Bound, sopts)
+		}
+		if !found {
+			if err := ctx.Err(); err != nil {
+				return resp, err
+			}
+			return resp, infeasible("no solver satisfied %s bound %g: %v", objective, req.Bound, closest)
+		}
+		res, resp.Solver = out.Result, out.Solver
+	case "exact":
+		var (
+			xr  exact.Result
+			err error
+		)
+		if objective == portfolio.MinimizePeriod {
+			xr, err = exact.MinPeriodUnderLatency(ev, req.Bound)
+		} else {
+			xr, err = exact.MinLatencyUnderPeriod(ev, req.Bound)
+		}
+		if err != nil {
+			return resp, infeasible("exact solve failed: %v", err)
+		}
+		res, resp.Solver = heuristics.Result{Mapping: xr.Mapping, Metrics: xr.Metrics}, portfolio.ExactID
+	default: // a single heuristic identifier, already validated
+		var err error
+		if objective == portfolio.MinimizePeriod {
+			for _, h := range heuristics.LatencyHeuristics() {
+				if h.ID() == mode {
+					res, err = h.MinimizePeriod(ev, req.Bound)
+				}
+			}
+		} else {
+			for _, h := range heuristics.PeriodHeuristics() {
+				if h.ID() == mode {
+					res, err = h.MinimizeLatency(ev, req.Bound)
+				}
+			}
+		}
+		if err != nil {
+			return resp, infeasible("%s failed: %v", mode, err)
+		}
+		resp.Solver = mode
+	}
+	resp.Period = res.Metrics.Period
+	resp.Latency = res.Metrics.Latency
+	resp.Intervals = intervalsJSON(res.Mapping)
+	return resp, nil
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if err := s.decodeJSON(w, r, &req); err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	if len(req.Instances) == 0 {
+		s.writeError(w, r, badRequest("\"instances\" must hold at least one instance"))
+		return
+	}
+	for i, in := range req.Instances {
+		if err := validPlatform(in.Plat); err != nil {
+			s.writeError(w, r, badRequest("instance %d: %v", i, err))
+			return
+		}
+	}
+	objective, err := parseObjective(req.Objective)
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	if err := validBound(req.Bound); err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	workers := req.Workers
+	if workers <= 0 {
+		workers = s.opts.Workers
+	}
+	opts := portfolio.BatchOptions{
+		Objective:     objective,
+		Bound:         req.Bound,
+		RelativeBound: req.RelativeBound,
+		Exact:         req.Exact,
+		Workers:       workers,
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+	// Detached as in handleSolve: ctx bounds the wait, not the batch.
+	solveCtx := context.WithoutCancel(ctx)
+	body, src, err := s.cache.Do(ctx, batchKey(opts, req.Instances), func() ([]byte, error) {
+		if s.solveHook != nil {
+			s.solveHook()
+		}
+		report, err := portfolio.SolveBatch(solveCtx, req.Instances, opts)
+		if err != nil {
+			// Cancelled mid-batch: the report is partial, never cache it.
+			return nil, err
+		}
+		resp := BatchResponse{Solved: report.Solved, Failed: report.Failed}
+		resp.Results = make([]BatchResult, len(report.Results))
+		for i, res := range report.Results {
+			br := BatchResult{Index: res.Index, Bound: res.Bound}
+			if res.Err != nil {
+				br.Error = res.Err.Error()
+			} else {
+				br.Solver = res.Outcome.Solver
+				br.Period = res.Outcome.Result.Metrics.Period
+				br.Latency = res.Outcome.Result.Metrics.Latency
+				br.Intervals = intervalsJSON(res.Outcome.Result.Mapping)
+			}
+			resp.Results[i] = br
+		}
+		for _, pt := range report.Front {
+			resp.Front = append(resp.Front, BatchFrontPoint{
+				Instance: pt.Instance,
+				Period:   pt.Metrics.Period,
+				Latency:  pt.Metrics.Latency,
+			})
+		}
+		return json.Marshal(resp)
+	})
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	writeCached(w, body, src)
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if err := s.decodeJSON(w, r, &req); err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	if req.Pipeline == nil || req.Platform == nil {
+		s.writeError(w, r, badRequest("both \"pipeline\" and \"platform\" are required"))
+		return
+	}
+	if err := validPlatform(req.Platform); err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	if req.Points < 0 || req.Points > maxSweepPoints {
+		s.writeError(w, r, badRequest("points %d is invalid (must be in [0..%d]; 0 selects the default %d)", req.Points, maxSweepPoints, defaultSweepPoints))
+		return
+	}
+	points := req.Points
+	if points == 0 {
+		points = defaultSweepPoints
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+	// Detached as in handleSolve: ctx bounds the wait, not the sweep.
+	solveCtx := context.WithoutCancel(ctx)
+	body, src, err := s.cache.Do(ctx, sweepKey(points, req.Pipeline, req.Platform), func() ([]byte, error) {
+		if s.solveHook != nil {
+			s.solveHook()
+		}
+		ev := mapping.NewEvaluator(req.Pipeline, req.Platform)
+		front := portfolio.ParetoSweep(solveCtx, ev, points, 0)
+		if err := solveCtx.Err(); err != nil {
+			// Cancelled mid-sweep: the frontier is truncated, never cache it.
+			return nil, err
+		}
+		resp := SweepResponse{Points: make([]SweepPoint, len(front))}
+		for i, pt := range front {
+			resp.Points[i] = SweepPoint{
+				Period:    pt.Metrics.Period,
+				Latency:   pt.Metrics.Latency,
+				Intervals: intervalsJSON(pt.Mapping),
+			}
+		}
+		return json.Marshal(resp)
+	})
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	writeCached(w, body, src)
+}
+
+// writeCached renders a cached (or just-rendered) response body with its
+// cache disposition.
+func writeCached(w http.ResponseWriter, body []byte, src cache.Source) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", src.String())
+	w.Write(body)
+	if len(body) == 0 || body[len(body)-1] != '\n' {
+		io.WriteString(w, "\n")
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.metrics.start).Seconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.Metrics())
+}

@@ -1,0 +1,582 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pipesched/internal/mapping"
+	"pipesched/internal/portfolio"
+	"pipesched/internal/workload"
+)
+
+// testInstance is a small deterministic instance every endpoint test
+// shares; bounds below are generous enough for all solvers.
+func testInstance(t *testing.T) workload.Instance {
+	t.Helper()
+	return workload.Generate(workload.Config{Family: workload.E1, Stages: 6, Processors: 4, Seed: 11})
+}
+
+func solveBody(t *testing.T, in workload.Instance, extra map[string]any) []byte {
+	t.Helper()
+	req := map[string]any{
+		"pipeline": in.App,
+		"platform": in.Plat,
+	}
+	for k, v := range extra {
+		req[k] = v
+	}
+	data, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func post(t *testing.T, ts *httptest.Server, path string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func get(t *testing.T, ts *httptest.Server, path string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(opts)
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func TestSolveEndpointModes(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	in := testInstance(t)
+	periodBound := 1e6 // loose: everything feasible
+
+	for _, tc := range []struct {
+		name  string
+		extra map[string]any
+	}{
+		{"default-portfolio", map[string]any{"bound": periodBound}},
+		{"best", map[string]any{"bound": periodBound, "mode": "best"}},
+		{"exact", map[string]any{"bound": periodBound, "mode": "exact"}},
+		{"single-heuristic", map[string]any{"bound": periodBound, "mode": "h2"}},
+		{"latency-side", map[string]any{"bound": 1e6, "objective": "min-period", "mode": "portfolio"}},
+		{"latency-heuristic", map[string]any{"bound": 1e6, "objective": "min-period", "mode": "H6"}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := post(t, ts, "/v1/solve", solveBody(t, in, tc.extra))
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("status %d: %s", resp.StatusCode, body)
+			}
+			var sr SolveResponse
+			if err := json.Unmarshal(body, &sr); err != nil {
+				t.Fatalf("bad body %s: %v", body, err)
+			}
+			if sr.Solver == "" || sr.Period <= 0 || sr.Latency <= 0 || len(sr.Intervals) == 0 {
+				t.Fatalf("incomplete response: %+v", sr)
+			}
+			// The mapping must reconstruct and re-evaluate to the
+			// reported metrics: the wire form is lossless.
+			ivs := make([]mapping.Interval, len(sr.Intervals))
+			for i, iv := range sr.Intervals {
+				ivs[i] = mapping.Interval{Start: iv.Start, End: iv.End, Proc: iv.Proc}
+			}
+			m, err := mapping.New(in.App, in.Plat, ivs)
+			if err != nil {
+				t.Fatalf("returned intervals invalid: %v", err)
+			}
+			ev := mapping.NewEvaluator(in.App, in.Plat)
+			if got := ev.Period(m); got != sr.Period {
+				t.Errorf("re-evaluated period %g != reported %g", got, sr.Period)
+			}
+		})
+	}
+}
+
+func TestSolveHeuristicModeMatchesDirectRun(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	in := testInstance(t)
+	ev := mapping.NewEvaluator(in.App, in.Plat)
+	out, found, _ := portfolio.UnderPeriod(context.Background(), ev, 50, portfolio.SolveOptions{Exact: true})
+	if !found {
+		t.Skip("bound infeasible for this seed")
+	}
+	resp, body := post(t, ts, "/v1/solve", solveBody(t, in, map[string]any{"bound": 50.0}))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var sr SolveResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Solver != out.Solver || sr.Period != out.Result.Metrics.Period || sr.Latency != out.Result.Metrics.Latency {
+		t.Errorf("served (%s, %g, %g) != direct portfolio (%s, %g, %g)",
+			sr.Solver, sr.Period, sr.Latency, out.Solver, out.Result.Metrics.Period, out.Result.Metrics.Latency)
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	in := testInstance(t)
+	for _, tc := range []struct {
+		name string
+		body []byte
+		want int
+	}{
+		{"not-json", []byte("{nope"), http.StatusBadRequest},
+		{"unknown-field", solveBody(t, in, map[string]any{"bound": 1.0, "bogus": true}), http.StatusBadRequest},
+		{"missing-platform", []byte(`{"pipeline":{"works":[1],"deltas":[0,0]},"bound":1}`), http.StatusBadRequest},
+		{"zero-bound", solveBody(t, in, map[string]any{"bound": 0.0}), http.StatusBadRequest},
+		{"bad-objective", solveBody(t, in, map[string]any{"bound": 1.0, "objective": "min-energy"}), http.StatusBadRequest},
+		{"bad-mode", solveBody(t, in, map[string]any{"bound": 1.0, "mode": "H9"}), http.StatusBadRequest},
+		{"wrong-side-heuristic", solveBody(t, in, map[string]any{"bound": 1.0, "objective": "min-period", "mode": "H1"}), http.StatusBadRequest},
+		{"invalid-pipeline", []byte(`{"pipeline":{"works":[-1],"deltas":[0,0]},"platform":{"speeds":[1],"bandwidth":1},"bound":1}`), http.StatusBadRequest},
+		{"infeasible", solveBody(t, in, map[string]any{"bound": 1e-9, "mode": "best"}), http.StatusUnprocessableEntity},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := post(t, ts, "/v1/solve", tc.body)
+			if resp.StatusCode != tc.want {
+				t.Fatalf("status %d, want %d: %s", resp.StatusCode, tc.want, body)
+			}
+			var er errorResponse
+			if err := json.Unmarshal(body, &er); err != nil || er.Error == "" {
+				t.Fatalf("error body %s not an error object (%v)", body, err)
+			}
+		})
+	}
+}
+
+// TestFullyHeterogeneousPlatformRejected pins the boundary guard: the
+// paper's heuristics panic on fully heterogeneous platforms, so such a
+// request must come back 400 — on every endpoint — rather than reach a
+// solver goroutine and kill the process.
+func TestFullyHeterogeneousPlatformRejected(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	het := `{"kind":"fully-heterogeneous","speeds":[1,2],"links":[[0,1],[1,0]]}`
+	for _, tc := range []struct{ path, body string }{
+		{"/v1/solve", `{"pipeline":{"works":[1,2],"deltas":[1,1,1]},"platform":` + het + `,"bound":1000}`},
+		{"/v1/sweep", `{"pipeline":{"works":[1,2],"deltas":[1,1,1]},"platform":` + het + `}`},
+		{"/v1/batch", `{"instances":[{"pipeline":{"works":[1,2],"deltas":[1,1,1]},"platform":` + het + `}],"bound":1000}`},
+	} {
+		resp, body := post(t, ts, tc.path, []byte(tc.body))
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400: %s", tc.path, resp.StatusCode, body)
+		}
+		if !bytes.Contains(body, []byte("fully-heterogeneous")) {
+			t.Errorf("%s: error does not name the platform kind: %s", tc.path, body)
+		}
+	}
+}
+
+func TestSweepPointsCapped(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	in := testInstance(t)
+	resp, body := post(t, ts, "/v1/sweep", solveBody(t, in, map[string]any{"points": 2000000000}))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400: %s", resp.StatusCode, body)
+	}
+}
+
+// TestLeaderTimeoutDoesNotPoisonCache pins the detached-solve contract at
+// the HTTP level: a leader whose deadline fires gets its 504, but the
+// solve completes and later identical requests are served from cache.
+func TestLeaderTimeoutDoesNotPoisonCache(t *testing.T) {
+	s, ts := newTestServer(t, Options{})
+	in := testInstance(t)
+	release := make(chan struct{})
+	s.solveHook = func() { <-release }
+
+	resp, data := post(t, ts, "/v1/solve", solveBody(t, in, map[string]any{"bound": 1e6, "timeout_ms": 1}))
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("impatient leader got %d, want 504: %s", resp.StatusCode, data)
+	}
+	close(release)
+	deadline := time.Now().Add(10 * time.Second)
+	for s.CacheStats().Entries == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("abandoned solve never cached its result")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.solveHook = nil
+	// The exact same request body — timeout included — now hits.
+	resp2, data2 := post(t, ts, "/v1/solve", solveBody(t, in, map[string]any{"bound": 1e6, "timeout_ms": 1}))
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("follow-up got %d, want 200: %s", resp2.StatusCode, data2)
+	}
+	if got := resp2.Header.Get("X-Cache"); got != "hit" {
+		t.Fatalf("follow-up X-Cache %q, want hit", got)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	resp, _ := get(t, ts, "/v1/solve")
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/solve = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestRepeatedRequestIsCacheHit(t *testing.T) {
+	s, ts := newTestServer(t, Options{})
+	in := testInstance(t)
+	body := solveBody(t, in, map[string]any{"bound": 1e6})
+
+	resp1, data1 := post(t, ts, "/v1/solve", body)
+	resp2, data2 := post(t, ts, "/v1/solve", body)
+	if resp1.StatusCode != 200 || resp2.StatusCode != 200 {
+		t.Fatalf("statuses %d, %d", resp1.StatusCode, resp2.StatusCode)
+	}
+	if got := resp1.Header.Get("X-Cache"); got != "miss" {
+		t.Errorf("first X-Cache = %q, want miss", got)
+	}
+	if got := resp2.Header.Get("X-Cache"); got != "hit" {
+		t.Errorf("second X-Cache = %q, want hit", got)
+	}
+	if !bytes.Equal(data1, data2) {
+		t.Errorf("cached body differs:\n%s\n%s", data1, data2)
+	}
+	cs := s.CacheStats()
+	if cs.Hits != 1 || cs.Misses != 1 {
+		t.Fatalf("cache stats = %+v, want exactly 1 hit and 1 miss", cs)
+	}
+
+	// A semantically different request must not hit.
+	resp3, _ := post(t, ts, "/v1/solve", solveBody(t, in, map[string]any{"bound": 2e6}))
+	if got := resp3.Header.Get("X-Cache"); got != "miss" {
+		t.Errorf("different bound served from cache (X-Cache = %q)", got)
+	}
+	// The /metrics endpoint reports the same counters.
+	_, mbody := get(t, ts, "/metrics")
+	var snap MetricsSnapshot
+	if err := json.Unmarshal(mbody, &snap); err != nil {
+		t.Fatalf("bad /metrics body %s: %v", mbody, err)
+	}
+	if snap.Cache.Hits != 1 || snap.Cache.Misses != 2 {
+		t.Fatalf("/metrics cache = %+v, want 1 hit, 2 misses", snap.Cache)
+	}
+	if snap.Endpoints["solve"].Requests != 3 {
+		t.Fatalf("/metrics endpoints = %+v, want 3 solve requests", snap.Endpoints)
+	}
+}
+
+// TestConcurrentIdenticalRequestsCollapse fires N identical solves while
+// the singleflight leader is held inside the solver, then asserts exactly
+// one underlying solve ran and every response carries the same body.
+func TestConcurrentIdenticalRequestsCollapse(t *testing.T) {
+	const n = 6
+	s, ts := newTestServer(t, Options{})
+	in := testInstance(t)
+	body := solveBody(t, in, map[string]any{"bound": 1e6})
+
+	release := make(chan struct{})
+	s.solveHook = func() { <-release }
+
+	type reply struct {
+		status int
+		cache  string
+		body   string
+	}
+	replies := make([]reply, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, data := post(t, ts, "/v1/solve", body)
+			replies[i] = reply{status: resp.StatusCode, cache: resp.Header.Get("X-Cache"), body: string(data)}
+		}(i)
+	}
+	// Wait until one leader is inside the solver and the other n-1
+	// requests are parked on its flight, then release.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		cs := s.CacheStats()
+		if cs.Misses == 1 && cs.Collapsed == n-1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("requests never collapsed: %+v", cs)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	cs := s.CacheStats()
+	if cs.Misses != 1 {
+		t.Fatalf("%d underlying solves for %d concurrent identical requests, want 1 (stats %+v)", cs.Misses, n, cs)
+	}
+	misses, collapsed := 0, 0
+	for i, rp := range replies {
+		if rp.status != http.StatusOK {
+			t.Fatalf("request %d status %d: %s", i, rp.status, rp.body)
+		}
+		if rp.body != replies[0].body {
+			t.Fatalf("request %d body differs", i)
+		}
+		switch rp.cache {
+		case "miss":
+			misses++
+		case "collapsed":
+			collapsed++
+		}
+	}
+	if misses != 1 || collapsed != n-1 {
+		t.Fatalf("dispositions: %d miss, %d collapsed; want 1 and %d", misses, collapsed, n-1)
+	}
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	s, ts := newTestServer(t, Options{})
+	instances := make([]workload.Instance, 5)
+	for i := range instances {
+		instances[i] = workload.Generate(workload.Config{Family: workload.E2, Stages: 5, Processors: 4, Seed: int64(100 + i)})
+	}
+	req := map[string]any{
+		"instances":      instances,
+		"bound":          1.5,
+		"relative_bound": true,
+		"exact":          true,
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, data := post(t, ts, "/v1/batch", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var br BatchResponse
+	if err := json.Unmarshal(data, &br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Results) != len(instances) {
+		t.Fatalf("%d results for %d instances", len(br.Results), len(instances))
+	}
+	if br.Solved+br.Failed != len(instances) {
+		t.Fatalf("solved %d + failed %d != %d", br.Solved, br.Failed, len(instances))
+	}
+	// Cross-check against the engine directly: the service is a thin
+	// wire layer and must not change outcomes.
+	report, err := portfolio.SolveBatch(context.Background(), instances, portfolio.BatchOptions{
+		Bound: 1.5, RelativeBound: true, Exact: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Solved != br.Solved || report.Failed != br.Failed {
+		t.Fatalf("served %d/%d, engine %d/%d", br.Solved, br.Failed, report.Solved, report.Failed)
+	}
+	if len(br.Front) != len(report.Front) {
+		t.Fatalf("front sizes differ: %d vs %d", len(br.Front), len(report.Front))
+	}
+
+	// Identical batch → cache hit.
+	resp2, _ := post(t, ts, "/v1/batch", body)
+	if got := resp2.Header.Get("X-Cache"); got != "hit" {
+		t.Errorf("repeat batch X-Cache = %q, want hit", got)
+	}
+	if cs := s.CacheStats(); cs.Hits != 1 {
+		t.Errorf("cache stats = %+v, want 1 hit", cs)
+	}
+}
+
+func TestBatchValidation(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	for _, tc := range []struct {
+		name string
+		body string
+		want int
+	}{
+		{"no-instances", `{"instances":[],"bound":1}`, http.StatusBadRequest},
+		{"bad-bound", `{"instances":[{"pipeline":{"works":[1],"deltas":[0,0]},"platform":{"speeds":[1],"bandwidth":1}}],"bound":-1}`, http.StatusBadRequest},
+		{"bad-instance", `{"instances":[{"pipeline":null,"platform":null}],"bound":1}`, http.StatusBadRequest},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := post(t, ts, "/v1/batch", []byte(tc.body))
+			if resp.StatusCode != tc.want {
+				t.Fatalf("status %d, want %d: %s", resp.StatusCode, tc.want, body)
+			}
+		})
+	}
+}
+
+func TestSweepEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	in := testInstance(t)
+	body := solveBody(t, in, map[string]any{"points": 8})
+	resp, data := post(t, ts, "/v1/sweep", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var sr SweepResponse
+	if err := json.Unmarshal(data, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Points) == 0 {
+		t.Fatal("empty frontier")
+	}
+	// The frontier must match the façade sweep and be non-dominated by
+	// construction: strictly increasing period, strictly decreasing
+	// latency.
+	ev := mapping.NewEvaluator(in.App, in.Plat)
+	direct := portfolio.ParetoSweep(context.Background(), ev, 8, 0)
+	if len(direct) != len(sr.Points) {
+		t.Fatalf("served %d points, direct sweep %d", len(sr.Points), len(direct))
+	}
+	for i := 1; i < len(sr.Points); i++ {
+		if sr.Points[i].Period <= sr.Points[i-1].Period || sr.Points[i].Latency >= sr.Points[i-1].Latency {
+			t.Fatalf("frontier not strictly ordered at %d: %+v", i, sr.Points)
+		}
+	}
+	// Repeat → hit.
+	resp2, _ := post(t, ts, "/v1/sweep", body)
+	if got := resp2.Header.Get("X-Cache"); got != "hit" {
+		t.Errorf("repeat sweep X-Cache = %q, want hit", got)
+	}
+}
+
+func TestSolveTimeoutReturns504(t *testing.T) {
+	s, ts := newTestServer(t, Options{})
+	in := testInstance(t)
+	// Hold the solve long enough for the 1ms deadline to fire. The
+	// collapsed waiter path returns the context error; the leader's
+	// eventual result simply lands in the cache unobserved.
+	release := make(chan struct{})
+	defer close(release)
+	s.solveHook = func() { <-release }
+	body := solveBody(t, in, map[string]any{"bound": 1e6, "timeout_ms": 1})
+	// First request becomes the leader; it blocks in the hook, but its
+	// own Do call is past the ctx check — so fire a second request that
+	// collapses onto it and times out. The leader goroutine must not use
+	// the test helpers (no t.Fatal off the test goroutine).
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/solve", "application/json", bytes.NewReader(body))
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for s.CacheStats().Misses == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("leader never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	resp, data := post(t, ts, "/v1/solve", body)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504: %s", resp.StatusCode, data)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	resp, body := get(t, ts, "/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var h struct {
+		Status        string  `json:"status"`
+		UptimeSeconds float64 `json:"uptime_seconds"`
+	}
+	if err := json.Unmarshal(body, &h); err != nil || h.Status != "ok" {
+		t.Fatalf("healthz body %s (%v)", body, err)
+	}
+}
+
+func TestCacheDisabledStillCollapses(t *testing.T) {
+	s, ts := newTestServer(t, Options{CacheEntries: -1})
+	in := testInstance(t)
+	body := solveBody(t, in, map[string]any{"bound": 1e6})
+	post(t, ts, "/v1/solve", body)
+	resp, _ := post(t, ts, "/v1/solve", body)
+	if got := resp.Header.Get("X-Cache"); got != "miss" {
+		t.Fatalf("storage disabled but X-Cache = %q", got)
+	}
+	if cs := s.CacheStats(); cs.Misses != 2 || cs.Entries != 0 {
+		t.Fatalf("stats = %+v, want 2 misses, 0 entries", cs)
+	}
+}
+
+func TestCanonicalKeysDistinguishRequests(t *testing.T) {
+	in := testInstance(t)
+	base := solveKey(portfolio.MinimizeLatency, "portfolio", 10, in.App, in.Plat)
+	for name, k := range map[string]any{
+		"objective": solveKey(portfolio.MinimizePeriod, "portfolio", 10, in.App, in.Plat),
+		"mode":      solveKey(portfolio.MinimizeLatency, "best", 10, in.App, in.Plat),
+		"bound":     solveKey(portfolio.MinimizeLatency, "portfolio", 11, in.App, in.Plat),
+		"endpoint":  sweepKey(10, in.App, in.Plat),
+	} {
+		if fmt.Sprint(k) == fmt.Sprint(base) {
+			t.Errorf("key ignores %s", name)
+		}
+	}
+	// Same request, separately marshalled → same key.
+	again := solveKey(portfolio.MinimizeLatency, "portfolio", 10, in.App, in.Plat)
+	if base != again {
+		t.Error("identical requests produced different keys")
+	}
+	// Different instances → different keys.
+	other := workload.Generate(workload.Config{Family: workload.E1, Stages: 6, Processors: 4, Seed: 12})
+	if solveKey(portfolio.MinimizeLatency, "portfolio", 10, other.App, other.Plat) == base {
+		t.Error("distinct instances share a key")
+	}
+}
+
+func TestMetricsEndpointShape(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	in := testInstance(t)
+	post(t, ts, "/v1/solve", solveBody(t, in, map[string]any{"bound": 1e6}))
+	post(t, ts, "/v1/solve", []byte("{bad")) // one error for the counter
+	_, body := get(t, ts, "/metrics")
+	var snap MetricsSnapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("bad metrics body: %v\n%s", err, body)
+	}
+	es, ok := snap.Endpoints["solve"]
+	if !ok {
+		t.Fatalf("no solve endpoint in %s", body)
+	}
+	if es.Requests != 2 || es.Errors != 1 {
+		t.Fatalf("solve endpoint = %+v, want 2 requests, 1 error", es)
+	}
+	if es.MeanMS < 0 || es.MaxMS < es.MinMS {
+		t.Fatalf("latency summary inconsistent: %+v", es)
+	}
+	if snap.UptimeSeconds <= 0 {
+		t.Fatalf("uptime %g", snap.UptimeSeconds)
+	}
+	if !strings.Contains(string(body), "hit_rate") {
+		t.Fatalf("no hit_rate in %s", body)
+	}
+}

@@ -1,0 +1,122 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"pipesched/internal/workload"
+)
+
+// TestGracefulShutdownDrainsInFlight holds one request inside the solver,
+// cancels the Serve context, and checks that (a) Serve waits for the
+// request, (b) the request completes with a 200, and (c) new connections
+// are refused once the listener is down.
+func TestGracefulShutdownDrainsInFlight(t *testing.T) {
+	s := New(Options{DrainTimeout: 10 * time.Second})
+	inSolver := make(chan struct{})
+	release := make(chan struct{})
+	s.solveHook = func() {
+		close(inSolver)
+		<-release
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ctx, cancel := context.WithCancel(context.Background())
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- s.Serve(ctx, ln) }()
+
+	in := workload.Generate(workload.Config{Family: workload.E1, Stages: 5, Processors: 3, Seed: 5})
+	reqBody, err := json.Marshal(map[string]any{"pipeline": in.App, "platform": in.Plat, "bound": 1e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type result struct {
+		status int
+		err    error
+	}
+	reqDone := make(chan result, 1)
+	go func() {
+		resp, err := http.Post("http://"+addr+"/v1/solve", "application/json", bytes.NewReader(reqBody))
+		if err != nil {
+			reqDone <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		reqDone <- result{status: resp.StatusCode}
+	}()
+
+	select {
+	case <-inSolver:
+	case <-time.After(10 * time.Second):
+		t.Fatal("request never reached the solver")
+	}
+
+	// Trigger shutdown while the request is in flight.
+	cancel()
+
+	// Serve must NOT return while the request is still held.
+	select {
+	case err := <-serveDone:
+		t.Fatalf("Serve returned (%v) with a request in flight", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	// Release the solver: the in-flight request completes normally.
+	close(release)
+	select {
+	case r := <-reqDone:
+		if r.err != nil {
+			t.Fatalf("in-flight request failed during drain: %v", r.err)
+		}
+		if r.status != http.StatusOK {
+			t.Fatalf("in-flight request status %d, want 200", r.status)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("in-flight request never completed")
+	}
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			t.Fatalf("Serve returned %v after a clean drain, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve never returned after drain")
+	}
+
+	// The listener is down: new connections must fail.
+	if _, err := net.DialTimeout("tcp", addr, time.Second); err == nil {
+		t.Fatal("listener still accepting after shutdown")
+	}
+}
+
+// TestServeReturnsListenerError checks the non-shutdown exit path: closing
+// the listener out from under Serve surfaces the accept error.
+func TestServeReturnsListenerError(t *testing.T) {
+	s := New(Options{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- s.Serve(context.Background(), ln) }()
+	time.Sleep(50 * time.Millisecond)
+	ln.Close()
+	select {
+	case err := <-serveDone:
+		if err == nil {
+			t.Fatal("Serve returned nil after the listener died")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve never noticed the dead listener")
+	}
+}

@@ -1,0 +1,44 @@
+package pipesched
+
+import (
+	"context"
+	"net"
+
+	"pipesched/internal/service"
+)
+
+// The serving layer, built on internal/service: a long-lived HTTP daemon
+// exposing the solvers over a JSON API with a canonical-instance result
+// cache and singleflight deduplication. cmd/pipeschedd is the packaged
+// daemon; these façade hooks embed the same server in any Go process.
+type (
+	// Server is the HTTP solver service. It implements http.Handler, so
+	// it mounts under any mux or http.Server; use its Serve method (or
+	// the Serve function below) for a managed listen-drain-stop
+	// lifecycle.
+	Server = service.Server
+	// ServerOptions configure a Server: cache bound, worker cap,
+	// per-request timeout, drain timeout, body limit and logger. The
+	// zero value is fully usable.
+	ServerOptions = service.Options
+	// ServerMetrics is the snapshot served by GET /metrics.
+	ServerMetrics = service.MetricsSnapshot
+)
+
+// NewServer builds the HTTP solver service: POST /v1/solve, /v1/batch and
+// /v1/sweep routed through the portfolio engine with per-request contexts
+// and deadlines, plus GET /healthz and /metrics. Identical requests are
+// canonically hashed into a bounded LRU result cache; concurrent
+// identical requests collapse to one underlying solve.
+func NewServer(opts ServerOptions) *Server { return service.New(opts) }
+
+// Serve listens on addr and serves the solver API until ctx is cancelled,
+// then shuts down gracefully: in-flight requests get ServerOptions.
+// DrainTimeout to finish. It returns nil after a clean drain.
+func Serve(ctx context.Context, addr string, opts ServerOptions) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return service.New(opts).Serve(ctx, ln)
+}

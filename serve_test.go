@@ -1,0 +1,65 @@
+package pipesched
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestNewServerSolveRoundTrip(t *testing.T) {
+	ts := httptest.NewServer(NewServer(ServerOptions{}))
+	defer ts.Close()
+
+	in := GenerateWorkload(WorkloadConfig{Family: E1, Stages: 6, Processors: 4, Seed: 9})
+	body, err := json.Marshal(map[string]any{"pipeline": in.App, "platform": in.Plat, "bound": 1e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []string{"miss", "hit"} {
+		resp, err := http.Post(ts.URL+"/v1/solve", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sr struct {
+			Solver string  `json:"solver"`
+			Period float64 `json:"period"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || sr.Solver == "" || sr.Period <= 0 {
+			t.Fatalf("request %d: status %d, %+v", i, resp.StatusCode, sr)
+		}
+		if got := resp.Header.Get("X-Cache"); got != want {
+			t.Fatalf("request %d: X-Cache %q, want %q", i, got, want)
+		}
+	}
+}
+
+func TestServeStopsOnContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- Serve(ctx, "127.0.0.1:0", ServerOptions{DrainTimeout: time.Second}) }()
+	// Let the listener come up, then cancel; Serve must return nil.
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve returned %v, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve never returned after cancel")
+	}
+}
+
+func TestServeRejectsBadAddr(t *testing.T) {
+	if err := Serve(context.Background(), "500.500.500.500:99999", ServerOptions{}); err == nil {
+		t.Fatal("Serve accepted an unusable address")
+	}
+}

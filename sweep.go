@@ -3,20 +3,14 @@ package pipesched
 import (
 	"context"
 	"fmt"
-	"math"
 
-	"pipesched/internal/lowerbound"
-	"pipesched/internal/mapping"
 	"pipesched/internal/portfolio"
 	"pipesched/internal/sim"
 )
 
 // TradeoffPoint is one point of a heuristic trade-off frontier: a concrete
 // mapping together with its metrics.
-type TradeoffPoint struct {
-	Metrics Metrics
-	Mapping *Mapping
-}
+type TradeoffPoint = portfolio.TradeoffPoint
 
 // HeuristicParetoSweep traces an approximate Pareto frontier using only
 // the paper's polynomial heuristics: it sweeps `points` period bounds
@@ -33,82 +27,10 @@ type TradeoffPoint struct {
 // The (grid point, heuristic) runs of each phase are independent, so they
 // fan out over a GOMAXPROCS-bounded worker pool; candidates are then
 // aggregated in grid order, making the frontier identical to a serial
-// sweep.
+// sweep. The sweep core lives in internal/portfolio (ParetoSweep), where
+// the serving layer reaches it with per-request contexts.
 func HeuristicParetoSweep(ev *Evaluator, points int) []TradeoffPoint {
-	if points < 2 {
-		points = 2
-	}
-	single := mapping.SingleProcessor(ev.Pipeline(), ev.Platform(), ev.Platform().Fastest())
-	lo := lowerbound.Period(ev)
-	hi := ev.Period(single)
-	ctx := context.Background()
-	var raw []TradeoffPoint
-	add := func(res Result, err error) {
-		if err != nil {
-			return
-		}
-		raw = append(raw, TradeoffPoint{Metrics: res.Metrics, Mapping: res.Mapping})
-	}
-	type run struct {
-		res Result
-		err error
-	}
-	type periodTask struct {
-		bound float64
-		h     PeriodConstrained
-	}
-	var periodTasks []periodTask
-	for i := 0; i < points; i++ {
-		bound := lo + (hi-lo)*float64(i)/float64(points-1)
-		for _, h := range PeriodHeuristics() {
-			periodTasks = append(periodTasks, periodTask{bound: bound, h: h})
-		}
-	}
-	runs, _ := portfolio.Map(ctx, 0, periodTasks, func(_ context.Context, t periodTask) run {
-		res, err := t.h.MinimizeLatency(ev, t.bound)
-		return run{res: res, err: err}
-	})
-	for _, r := range runs {
-		add(r.res, r.err)
-	}
-	// Feed the latency range the period sweep discovered back through
-	// the latency-constrained heuristics: they sometimes find better
-	// periods at equal latency.
-	minLat, maxLat := math.Inf(1), math.Inf(-1)
-	for _, pt := range raw {
-		minLat = math.Min(minLat, pt.Metrics.Latency)
-		maxLat = math.Max(maxLat, pt.Metrics.Latency)
-	}
-	if len(raw) > 0 && maxLat > minLat {
-		type latencyTask struct {
-			budget float64
-			h      LatencyConstrained
-		}
-		var latencyTasks []latencyTask
-		for i := 0; i < points; i++ {
-			budget := minLat + (maxLat-minLat)*float64(i)/float64(points-1)
-			for _, h := range LatencyHeuristics() {
-				latencyTasks = append(latencyTasks, latencyTask{budget: budget, h: h})
-			}
-		}
-		runs, _ := portfolio.Map(ctx, 0, latencyTasks, func(_ context.Context, t latencyTask) run {
-			res, err := t.h.MinimizePeriod(ev, t.budget)
-			return run{res: res, err: err}
-		})
-		for _, r := range runs {
-			add(r.res, r.err)
-		}
-	}
-	// Dominance prune through the shared frontier filter.
-	metrics := make([]Metrics, len(raw))
-	for i, pt := range raw {
-		metrics[i] = pt.Metrics
-	}
-	var front []TradeoffPoint
-	for _, i := range mapping.Frontier(metrics) {
-		front = append(front, raw[i])
-	}
-	return front
+	return portfolio.ParetoSweep(context.Background(), ev, points, 0)
 }
 
 // SimulationTrace is a fully evented simulation run; see Gantt.
