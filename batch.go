@@ -49,9 +49,10 @@ func SolveBatch(ctx context.Context, instances []WorkloadInstance, opts BatchOpt
 }
 
 // PortfolioUnderPeriod races all four period-constrained heuristics plus
-// the exact DP (on platforms small enough for it) and returns the best
-// feasible outcome — smallest latency, ties broken on period — as soon as
-// the whole portfolio drains. The outcome names the winning solver
+// the exact DP (on ExactEligible platforms — keyed on the speed-class
+// structure, not the processor count) and returns the best feasible
+// outcome — smallest latency, ties broken on period — as soon as the
+// whole portfolio drains. The outcome names the winning solver
 // ("H1".."H4" or "DP").
 func PortfolioUnderPeriod(ctx context.Context, ev *Evaluator, maxPeriod float64) (PortfolioOutcome, error) {
 	out, found, closest := portfolio.UnderPeriod(ctx, ev, maxPeriod, portfolio.SolveOptions{Exact: true})
@@ -62,8 +63,8 @@ func PortfolioUnderPeriod(ctx context.Context, ev *Evaluator, maxPeriod float64)
 }
 
 // PortfolioUnderLatency races both latency-constrained heuristics plus the
-// exact DP (on platforms small enough for it) and returns the best
-// feasible outcome — smallest period.
+// exact DP (on ExactEligible platforms) and returns the best feasible
+// outcome — smallest period.
 func PortfolioUnderLatency(ctx context.Context, ev *Evaluator, maxLatency float64) (PortfolioOutcome, error) {
 	out, found, closest := portfolio.UnderLatency(ctx, ev, maxLatency, portfolio.SolveOptions{Exact: true})
 	if !found {

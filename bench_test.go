@@ -163,6 +163,58 @@ func BenchmarkExactParetoFront(b *testing.B) {
 	}
 }
 
+// fewClassEvaluator builds a platform beyond the legacy 14-processor
+// ceiling whose speeds cycle through few distinct values — the structure
+// the class-compressed DP is built for.
+func fewClassEvaluator(n, p, classes int, seed int64) *pipesched.Evaluator {
+	r := rand.New(rand.NewSource(seed))
+	works := make([]float64, n)
+	for i := range works {
+		works[i] = float64(1 + r.Intn(20))
+	}
+	deltas := make([]float64, n+1)
+	for i := range deltas {
+		deltas[i] = float64(r.Intn(30))
+	}
+	speeds := make([]float64, p)
+	for i := range speeds {
+		speeds[i] = float64(1 + i%classes)
+	}
+	app, err := pipesched.NewPipeline(works, deltas)
+	if err != nil {
+		panic(err)
+	}
+	plat, err := pipesched.NewPlatform(speeds, 10)
+	if err != nil {
+		panic(err)
+	}
+	return pipesched.NewEvaluator(app, plat)
+}
+
+// BenchmarkExactLargeFewClass times exact solves that the old bitmask DP
+// rejected outright: 24 processors in 3 speed classes of 8 (9³ = 729
+// compressed states versus an impossible 2^24).
+func BenchmarkExactLargeFewClass(b *testing.B) {
+	ev := fewClassEvaluator(10, 24, 3, 7)
+	b.Run("MinPeriod", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := exact.MinPeriod(ev); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("MinPeriodUnderLatency", func(b *testing.B) {
+		_, optLat := ev.OptimalLatency()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := exact.MinPeriodUnderLatency(ev, optLat*1.5); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // Chains-to-chains ablation (DESIGN.md §6): exact DP vs bisection vs the
 // recursive-bisection heuristic on the same homogeneous instance, and
 // greedy vs exact on the heterogeneous one.

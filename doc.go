@@ -44,8 +44,8 @@
 //     separate goroutines and select the winner with the original serial
 //     tie-breaking rules.
 //   - PortfolioUnderPeriod and PortfolioUnderLatency additionally race
-//     the exact DP on platforms small enough for it (≤ 14 processors)
-//     and name the winning solver.
+//     the exact DP on ExactEligible platforms and name the winning
+//     solver.
 //   - SolveBatch solves a slice of WorkloadInstances across a bounded
 //     pool (BatchOptions.Workers, default GOMAXPROCS) with per-instance
 //     error capture, context cancellation, and a non-dominated
@@ -66,6 +66,33 @@
 // construction and safe for concurrent use; the test-suite hammers one
 // shared Evaluator from many workers under the race detector to keep that
 // contract honest.
+//
+// # Performance: the class-compressed exact engine
+//
+// The exact solvers run a speed-class-compressed dynamic program.
+// Processors enter the cost model only through their speed, so
+// equal-speed processors are interchangeable and the DP tracks per-class
+// usage counts instead of a 2^p used-set bitmask: the state space is
+// ∏(c_k+1) over the speed-class sizes c_k rather than 2^p. A homogeneous
+// 14-processor platform collapses from 16384 states to 15, and platforms
+// far beyond the historical 14-processor ceiling solve exactly whenever
+// their class structure is small — a 100-processor platform with 2 speed
+// classes of 50 is 2601 states. Eligibility (ExactEligible) admits any
+// comm-homogeneous platform whose state space fits 2^16, so every
+// platform of up to 16 processors qualifies unconditionally.
+//
+// The DP workspace is pooled: value tables, backpointers, per-class cycle
+// tables and the candidate-bound set live in a sync.Pool arena, so
+// repeated solves — portfolio races, batches, the daemon's cache-miss
+// path — are allocation-free in steady state, and the bound-probing
+// solvers (ExactMinPeriodUnderLatency, ExactParetoFront) reuse one arena
+// and one sorted candidate set across all probes instead of re-deriving
+// them per bound.
+//
+// scripts/bench.sh snapshots the exact/portfolio benchmarks into
+// BENCH_<pr>.json (ns/op, B/op, allocs/op per benchmark); CI uploads the
+// file as an artifact on every run, so comparing two commits is a diff of
+// their BENCH_*.json.
 //
 // # Serving: the solver service
 //

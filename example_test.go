@@ -81,7 +81,7 @@ func ExampleExactParetoFront() {
 		fmt.Printf("period=%.0f latency=%.0f %v\n", pt.Metrics.Period, pt.Metrics.Latency, pt.Mapping)
 	}
 	// Output:
-	// period=3 latency=5 S1→P2 | S2→P1
+	// period=3 latency=5 S1→P1 | S2→P2
 	// period=4 latency=4 S1..S2→P1
 }
 

@@ -1,0 +1,305 @@
+package exact
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"pipesched/internal/mapping"
+)
+
+// This file holds the speed-class-compressed dynamic program that powers
+// every exact solver of the package.
+//
+// Processors enter the cost model only through their speed, so two
+// processors of equal speed are interchangeable in any interval mapping:
+// swapping them changes neither the period nor the latency. The DP
+// therefore does not need to know *which* processors an optimal prefix
+// consumed — only *how many of each speed class*. The 2^p used-set bitmask
+// of the textbook formulation collapses into a mixed-radix vector of
+// per-class usage counts, shrinking the state space from 2^p to
+// ∏_k (c_k+1) where c_k is the size of class k. A homogeneous 14-processor
+// platform drops from 16384 states to 15; platforms far beyond the old
+// 14-processor ceiling become exactly solvable whenever their class
+// structure is small.
+//
+// The workspace (value table, backpointers, per-class cycle tables,
+// transition lists) lives in a pooled arena so that repeated solves —
+// portfolio races, batch sweeps, the service daemon's cache-miss path, and
+// the incremental probing of MinPeriodUnderLatency/ParetoFront — are
+// allocation-free in steady state.
+
+// objective selects which recurrence the arena runs.
+type objective int
+
+const (
+	// objMinPeriod minimises the maximum interval cycle-time.
+	objMinPeriod objective = iota
+	// objMinLatency minimises the summed latency contributions among
+	// mappings whose every cycle-time stays under a period bound.
+	objMinLatency
+)
+
+const inf = math.MaxFloat64
+
+// slack absorbs float noise on constraint boundaries, matching the
+// historical behaviour of the solvers.
+const slack = 1 + 1e-12
+
+// backpointer packing: prev<<classShift | class. The guard bounds the
+// class count by log2(MaxStates) < 32, so five bits always suffice for
+// the class and the stage index keeps 26 bits — far beyond any pipeline.
+const classShift = 5
+
+// arena is one reusable compressed-DP workspace bound to an evaluator.
+// Acquire with acquireArena, return with release; between the two, the
+// candidate set and all tables are reused across any number of runs.
+type arena struct {
+	ev      *mapping.Evaluator
+	n       int // pipeline stages
+	classes int // distinct speed classes K
+	states  int // ∏_k (c_k+1)
+
+	csize []int // csize[k] = c_k
+	radix []int // radix[k] = ∏_{j<k} (c_j+1): stride of class k's digit
+
+	// Per-class interval costs, indexed k*n*n + (d-1)*n + (e-1). cycle is
+	// the full cycle-time of [d..e] on class k; lat is its latency
+	// contribution (input + compute terms).
+	cycle []float64
+	lat   []float64
+
+	// Transitions: for every state S, the classes whose usage digit is
+	// non-zero, with the predecessor state S - radix[k]. Built once per
+	// bind, shared by all runs.
+	transOff   []int32 // transOff[S]..transOff[S+1] indexes the two below
+	transClass []int8
+	transPrev  []int32
+
+	f    []float64 // DP values, (n+1)×states row-major
+	back []int32   // packed backpointers, same shape
+
+	cands  []float64          // sorted unique candidate cycle-times (lazy)
+	ivbuf  []mapping.Interval // reconstruction scratch
+	cursor []int              // per-class member cursor for reconstruction
+}
+
+var arenaPool = sync.Pool{New: func() any { return new(arena) }}
+
+// acquireArena takes an arena from the pool and binds it to ev: sizes the
+// tables (reusing previous capacity), precomputes the per-class cycle and
+// latency tables and the state transition lists. The caller must release
+// the arena when done.
+func acquireArena(ev *mapping.Evaluator) *arena {
+	a := arenaPool.Get().(*arena)
+	a.bind(ev)
+	return a
+}
+
+func (a *arena) release() {
+	a.ev = nil
+	arenaPool.Put(a)
+}
+
+// resize returns s with length n, reusing its backing array when large
+// enough so that pooled arenas stop allocating once warm.
+func resize[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+func (a *arena) bind(ev *mapping.Evaluator) {
+	plat := ev.Platform()
+	a.ev = ev
+	a.n = ev.Pipeline().Stages()
+	a.classes = plat.SpeedClasses()
+	a.csize = resize(a.csize, a.classes)
+	a.radix = resize(a.radix, a.classes)
+	states := 1
+	for k := 0; k < a.classes; k++ {
+		a.csize[k] = plat.ClassSize(k)
+		a.radix[k] = states
+		states *= a.csize[k] + 1
+	}
+	a.states = states
+
+	n, nn := a.n, a.n*a.n
+	a.cycle = resize(a.cycle, a.classes*nn)
+	a.lat = resize(a.lat, a.classes*nn)
+	for k := 0; k < a.classes; k++ {
+		for d := 1; d <= n; d++ {
+			base := k*nn + (d-1)*n
+			for e := d; e <= n; e++ {
+				in, comp, out := ev.ClassCycleParts(d, e, k)
+				a.cycle[base+e-1] = in + comp + out
+				a.lat[base+e-1] = in + comp
+			}
+		}
+	}
+
+	a.transOff = resize(a.transOff, states+1)
+	a.transClass = a.transClass[:0]
+	a.transPrev = a.transPrev[:0]
+	for S := 0; S < states; S++ {
+		a.transOff[S] = int32(len(a.transClass))
+		for k := 0; k < a.classes; k++ {
+			if (S/a.radix[k])%(a.csize[k]+1) > 0 {
+				a.transClass = append(a.transClass, int8(k))
+				a.transPrev = append(a.transPrev, int32(S-a.radix[k]))
+			}
+		}
+	}
+	a.transOff[states] = int32(len(a.transClass))
+
+	a.f = resize(a.f, (n+1)*states)
+	a.back = resize(a.back, (n+1)*states)
+	a.cursor = resize(a.cursor, a.classes)
+	a.cands = a.cands[:0]
+}
+
+// candidates returns the sorted, deduplicated set of interval cycle-times
+// — the only values an optimal period can take. It is computed on first
+// use and cached on the arena, so the bound probing of
+// MinPeriodUnderLatency and ParetoFront pays for it exactly once.
+func (a *arena) candidates() []float64 {
+	if len(a.cands) > 0 {
+		return a.cands
+	}
+	n, nn := a.n, a.n*a.n
+	for k := 0; k < a.classes; k++ {
+		for d := 1; d <= n; d++ {
+			base := k*nn + (d-1)*n
+			for e := d; e <= n; e++ {
+				a.cands = append(a.cands, a.cycle[base+e-1])
+			}
+		}
+	}
+	sort.Float64s(a.cands)
+	uniq := a.cands[:1]
+	for _, c := range a.cands[1:] {
+		if c != uniq[len(uniq)-1] {
+			uniq = append(uniq, c)
+		}
+	}
+	a.cands = uniq
+	return a.cands
+}
+
+// run executes the compressed DP and returns the optimal objective value
+// with its winning final state. For objMinLatency, periodBound is the
+// admissibility cutoff on individual cycle-times (slack already applied by
+// the caller). ok is false when no complete assignment is feasible.
+//
+// f[i][S] is the best value over all assignments of stages 1..i to
+// intervals consuming exactly the class-usage vector S; the recurrence
+// closes the last interval [k+1..i] on one processor of any class with a
+// spare member.
+func (a *arena) run(obj objective, periodBound float64) (best float64, bestState int, ok bool) {
+	n, states, nn := a.n, a.states, a.n*a.n
+	f, back := a.f, a.back
+	for i := range f {
+		f[i] = inf
+	}
+	f[0] = 0
+	for i := 1; i <= n; i++ {
+		row := i * states
+		for S := 1; S < states; S++ {
+			bestV := inf
+			var bestB int32
+			for t := a.transOff[S]; t < a.transOff[S+1]; t++ {
+				k := int(a.transClass[t])
+				prevS := int(a.transPrev[t])
+				base := k*nn + i - 1 // index of cycle[k][d][i] is base + (d-1)*n
+				for kk := 0; kk < i; kk++ {
+					fv := f[kk*states+prevS]
+					if fv == inf {
+						continue
+					}
+					cy := a.cycle[base+kk*n] // interval [kk+1..i] on class k
+					var cand float64
+					if obj == objMinPeriod {
+						cand = fv
+						if cy > cand {
+							cand = cy
+						}
+					} else {
+						if cy > periodBound {
+							continue
+						}
+						cand = fv + a.lat[base+kk*n]
+					}
+					if cand < bestV {
+						bestV = cand
+						bestB = int32(kk)<<classShift | int32(k)
+					}
+				}
+			}
+			if bestV < inf {
+				f[row+S] = bestV
+				back[row+S] = bestB
+			}
+		}
+	}
+	best = inf
+	last := n * states
+	for S := 1; S < states; S++ {
+		if f[last+S] < best {
+			best, bestState = f[last+S], S
+		}
+	}
+	return best, bestState, best < inf
+}
+
+// latencyTail is the constant trailing δ_n/b term of the latency: adding
+// it to a run(objMinLatency, ·) value yields the mapping's latency, bit
+// for bit equal to Evaluator.Latency on the reconstructed mapping.
+func (a *arena) latencyTail() float64 {
+	_, _, out := a.ev.ClassCycleParts(a.n, a.n, 0)
+	return out
+}
+
+// reconstruct walks the backpointers from the winning final state and
+// materialises the interval list, assigning concrete processor ids: the
+// classes recorded along the path take their members in increasing-id
+// order, which is valid because same-speed processors are interchangeable.
+// The returned slice aliases the arena's scratch buffer — it is consumed
+// by mapping.New (which copies) before the next run.
+func (a *arena) reconstruct(bestState int) []mapping.Interval {
+	a.ivbuf = a.ivbuf[:0]
+	i, S := a.n, bestState
+	for i > 0 {
+		b := a.back[i*a.states+S]
+		prev := int(b >> classShift)
+		class := int(b & (1<<classShift - 1))
+		a.ivbuf = append(a.ivbuf, mapping.Interval{Start: prev + 1, End: i, Proc: class})
+		S -= a.radix[class]
+		i = prev
+	}
+	// Reverse into pipeline order, then swap class indices for member ids.
+	for l, r := 0, len(a.ivbuf)-1; l < r; l, r = l+1, r-1 {
+		a.ivbuf[l], a.ivbuf[r] = a.ivbuf[r], a.ivbuf[l]
+	}
+	for k := range a.cursor {
+		a.cursor[k] = 0
+	}
+	plat := a.ev.Platform()
+	for j := range a.ivbuf {
+		class := a.ivbuf[j].Proc
+		a.ivbuf[j].Proc = plat.ClassMember(class, a.cursor[class])
+		a.cursor[class]++
+	}
+	return a.ivbuf
+}
+
+// result turns a winning state into a Result with validated mapping and
+// recomputed metrics.
+func (a *arena) result(bestState int) (Result, error) {
+	m, err := mapping.New(a.ev.Pipeline(), a.ev.Platform(), a.reconstruct(bestState))
+	if err != nil {
+		return Result{}, fmt.Errorf("exact: reconstructed invalid mapping: %w", err)
+	}
+	return Result{Mapping: m, Metrics: a.ev.Metrics(m)}, nil
+}

@@ -1,13 +1,18 @@
 // Package exact provides optimal reference solvers for the bi-criteria
 // interval mapping problem on Communication Homogeneous platforms. The
 // problem is NP-hard (Theorem 2 of the paper), so everything here is
-// exponential in the number of processors and gated to small instances;
-// the solvers exist to validate the polynomial heuristics and to compute
-// exact Pareto fronts in tests, examples and ablation benchmarks.
+// exponential in the platform's structure and gated to tractable
+// instances; the solvers exist to validate the polynomial heuristics, to
+// win portfolio races where they fit, and to compute exact Pareto fronts
+// in tests, examples and ablation benchmarks.
 //
-// Two independent algorithms are provided: a bitmask dynamic program over
-// (prefix of stages, set of used processors) and a plain exhaustive
-// enumeration; the test-suite cross-checks them against each other.
+// The production engine is a speed-class-compressed dynamic program
+// (compressed.go): processors of equal speed are interchangeable, so the
+// DP tracks per-class usage counts instead of a 2^p used-set bitmask,
+// shrinking the state space to ∏_k (c_k+1) over the class sizes c_k. The
+// historical bitmask DP is retained (legacy_oracle_test.go) as an
+// independent oracle the test-suite cross-checks against, alongside a
+// plain exhaustive enumeration.
 package exact
 
 import (
@@ -20,8 +25,17 @@ import (
 	"pipesched/internal/platform"
 )
 
-// MaxProcs caps the platform size accepted by the dynamic programs, which
-// allocate O(2^p · n) state.
+// MaxStates caps the compressed state space ∏_k (c_k+1) accepted by the
+// solvers, which allocate O(∏(c_k+1) · n) state. The cap admits every
+// platform of up to 16 processors (worst case: all speeds distinct,
+// 2^16 states) and arbitrarily larger platforms whose speeds repeat —
+// a homogeneous 100-processor platform needs only 101 states.
+const MaxStates = 1 << 16
+
+// MaxProcs is the historical processor cap of the bitmask dynamic
+// program, which allocated O(2^p · n) state regardless of speed
+// structure. It still bounds the legacy oracle used in tests; production
+// eligibility is decided by Eligible against MaxStates instead.
 const MaxProcs = 14
 
 // Result is an optimal mapping together with its metrics.
@@ -34,106 +48,26 @@ type Result struct {
 // requested constraint.
 var ErrInfeasible = errors.New("exact: no interval mapping satisfies the constraint")
 
+// Eligible reports whether the exact solvers accept the platform: it must
+// be Communication Homogeneous with a compressed state space within
+// MaxStates. This is the gate portfolio races and batch solvers key their
+// exact-DP participation on — note it depends on the speed-class
+// structure, not the raw processor count.
+func Eligible(plat *platform.Platform) bool {
+	return plat.Kind() == platform.CommHomogeneous && plat.ClassStateSpace() <= MaxStates
+}
+
 func guard(ev *mapping.Evaluator) error {
-	if ev.Platform().Kind() != platform.CommHomogeneous {
+	plat := ev.Platform()
+	if plat.Kind() != platform.CommHomogeneous {
 		return errors.New("exact: solvers are defined on comm-homogeneous platforms")
 	}
-	if p := ev.Platform().Processors(); p > MaxProcs {
-		return fmt.Errorf("exact: platform has %d processors, limit is %d", p, MaxProcs)
+	if s := plat.ClassStateSpace(); s > MaxStates {
+		return fmt.Errorf("exact: compressed state space %d (%d processors in %d speed classes) exceeds limit %d",
+			s, plat.Processors(), plat.SpeedClasses(), MaxStates)
 	}
 	return nil
 }
-
-// dp runs the shared bitmask dynamic program. rank scores one interval
-// (d..e on processor u) and combine folds interval scores along a mapping;
-// minimising the fold yields min-period (max-combine of cycles) or
-// min-latency (sum-combine of latency contributions). admissible rejects
-// intervals violating a side constraint.
-func dp(ev *mapping.Evaluator,
-	rank func(d, e, u int) float64,
-	combine func(acc, x float64) float64,
-	admissible func(d, e, u int) bool,
-) (*mapping.Mapping, float64, error) {
-	app, plat := ev.Pipeline(), ev.Platform()
-	n, p := app.Stages(), plat.Processors()
-	size := 1 << p
-	const inf = math.MaxFloat64
-	f := make([][]float64, n+1)
-	type choice struct {
-		prev int // previous stage index
-		proc int // 1-based processor of the last interval
-	}
-	back := make([][]choice, n+1)
-	for i := range f {
-		f[i] = make([]float64, size)
-		back[i] = make([]choice, size)
-		for s := range f[i] {
-			f[i][s] = inf
-		}
-	}
-	f[0][0] = 0
-	for i := 1; i <= n; i++ {
-		for S := 1; S < size; S++ {
-			for u := 1; u <= p; u++ {
-				bit := 1 << (u - 1)
-				if S&bit == 0 {
-					continue
-				}
-				prevSet := S &^ bit
-				for k := 0; k < i; k++ {
-					if f[k][prevSet] == inf {
-						continue
-					}
-					d, e := k+1, i
-					if !admissible(d, e, u) {
-						continue
-					}
-					cand := combine(f[k][prevSet], rank(d, e, u))
-					if cand < f[i][S] {
-						f[i][S] = cand
-						back[i][S] = choice{prev: k, proc: u}
-					}
-				}
-			}
-		}
-	}
-	best, bestS := inf, 0
-	for S := 1; S < size; S++ {
-		if f[n][S] < best {
-			best, bestS = f[n][S], S
-		}
-	}
-	if best == inf {
-		return nil, 0, ErrInfeasible
-	}
-	var ivs []mapping.Interval
-	i, S := n, bestS
-	for i > 0 {
-		c := back[i][S]
-		ivs = append(ivs, mapping.Interval{Start: c.prev + 1, End: i, Proc: c.proc})
-		S &^= 1 << (c.proc - 1)
-		i = c.prev
-	}
-	for l, r := 0, len(ivs)-1; l < r; l, r = l+1, r-1 {
-		ivs[l], ivs[r] = ivs[r], ivs[l]
-	}
-	m, err := mapping.New(app, plat, ivs)
-	if err != nil {
-		return nil, 0, fmt.Errorf("exact: reconstructed invalid mapping: %w", err)
-	}
-	return m, best, nil
-}
-
-func always(int, int, int) bool { return true }
-
-func maxCombine(a, b float64) float64 {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func sumCombine(a, b float64) float64 { return a + b }
 
 // MinPeriod returns an interval mapping of minimum period (the NP-hard
 // objective of Theorem 2), optimal over all interval mappings.
@@ -141,20 +75,13 @@ func MinPeriod(ev *mapping.Evaluator) (Result, error) {
 	if err := guard(ev); err != nil {
 		return Result{}, err
 	}
-	m, _, err := dp(ev, ev.Cycle, maxCombine, always)
-	if err != nil {
-		return Result{}, err
+	a := acquireArena(ev)
+	defer a.release()
+	_, state, ok := a.run(objMinPeriod, 0)
+	if !ok {
+		return Result{}, ErrInfeasible
 	}
-	return Result{Mapping: m, Metrics: ev.Metrics(m)}, nil
-}
-
-// latencyRank returns the latency contribution of one interval
-// (the trailing δ_n/b term is a constant added afterwards).
-func latencyRank(ev *mapping.Evaluator) func(d, e, u int) float64 {
-	app, plat := ev.Pipeline(), ev.Platform()
-	return func(d, e, u int) float64 {
-		return app.Delta(d-1)/plat.Bandwidth() + app.IntervalWork(d, e)/plat.Speed(u)
-	}
+	return a.result(state)
 }
 
 // MinLatencyUnderPeriod returns the minimum-latency interval mapping among
@@ -164,41 +91,34 @@ func MinLatencyUnderPeriod(ev *mapping.Evaluator, maxPeriod float64) (Result, er
 	if err := guard(ev); err != nil {
 		return Result{}, err
 	}
-	const slack = 1 + 1e-12 // absorb float noise on the boundary
-	adm := func(d, e, u int) bool { return ev.Cycle(d, e, u) <= maxPeriod*slack }
-	m, _, err := dp(ev, latencyRank(ev), sumCombine, adm)
-	if err != nil {
-		return Result{}, err
+	a := acquireArena(ev)
+	defer a.release()
+	_, state, ok := a.run(objMinLatency, maxPeriod*slack)
+	if !ok {
+		return Result{}, ErrInfeasible
 	}
-	return Result{Mapping: m, Metrics: ev.Metrics(m)}, nil
+	return a.result(state)
 }
 
 // MinPeriodUnderLatency returns the minimum-period interval mapping among
 // those of latency ≤ maxLatency, or ErrInfeasible when none exists. The
-// period only takes values among the O(n²·p) interval cycle-times, so the
-// solver binary-searches that candidate set, checking each bound with
-// MinLatencyUnderPeriod.
+// period only takes values among the distinct interval cycle-times — of
+// which there are at most n²·K over the K speed classes — so the solver
+// precomputes that candidate set once and binary-searches it, probing each
+// bound with the min-latency DP in the shared arena; probes never
+// reconstruct a mapping, they compare DP values directly.
 func MinPeriodUnderLatency(ev *mapping.Evaluator, maxLatency float64) (Result, error) {
 	if err := guard(ev); err != nil {
 		return Result{}, err
 	}
-	app, plat := ev.Pipeline(), ev.Platform()
-	n, p := app.Stages(), plat.Processors()
-	cands := make([]float64, 0, n*n*p/2)
-	for d := 1; d <= n; d++ {
-		for e := d; e <= n; e++ {
-			for u := 1; u <= p; u++ {
-				cands = append(cands, ev.Cycle(d, e, u))
-			}
-		}
-	}
-	sort.Float64s(cands)
-	feasibleAt := func(period float64) (Result, bool) {
-		res, err := MinLatencyUnderPeriod(ev, period)
-		if err != nil {
-			return Result{}, false
-		}
-		return res, res.Metrics.Latency <= maxLatency*(1+1e-12)
+	a := acquireArena(ev)
+	defer a.release()
+	cands := a.candidates()
+	tail := a.latencyTail()
+	latBound := maxLatency * slack
+	feasibleAt := func(period float64) (int, bool) {
+		v, state, ok := a.run(objMinLatency, period*slack)
+		return state, ok && v+tail <= latBound
 	}
 	lo, hi := 0, len(cands)-1
 	if _, ok := feasibleAt(cands[hi]); !ok {
@@ -212,20 +132,23 @@ func MinPeriodUnderLatency(ev *mapping.Evaluator, maxLatency float64) (Result, e
 			lo = mid + 1
 		}
 	}
-	res, ok := feasibleAt(cands[lo])
+	state, ok := feasibleAt(cands[lo])
 	if !ok {
 		return Result{}, fmt.Errorf("exact: bisection lost feasibility at %g", cands[lo])
 	}
-	return res, nil
+	return a.result(state)
 }
 
 // Enumerate calls fn for every valid interval mapping (exhaustive;
-// exponential — use on tiny instances only).
+// exponential — use on tiny instances only). The used set is a slice, not
+// a bitmask, so platforms beyond 32 processors — which the class-keyed
+// gate can admit — enumerate correctly.
 func Enumerate(ev *mapping.Evaluator, fn func(*mapping.Mapping)) {
 	app, plat := ev.Pipeline(), ev.Platform()
 	n, p := app.Stages(), plat.Processors()
-	var rec func(start int, used uint32, acc []mapping.Interval)
-	rec = func(start int, used uint32, acc []mapping.Interval) {
+	used := make([]bool, p+1)
+	var rec func(start int, acc []mapping.Interval)
+	rec = func(start int, acc []mapping.Interval) {
 		if start > n {
 			m, err := mapping.New(app, plat, acc)
 			if err != nil {
@@ -239,14 +162,16 @@ func Enumerate(ev *mapping.Evaluator, fn func(*mapping.Mapping)) {
 		}
 		for end := start; end <= n; end++ {
 			for u := 1; u <= p; u++ {
-				if used&(1<<u) != 0 {
+				if used[u] {
 					continue
 				}
-				rec(end+1, used|1<<u, append(acc, mapping.Interval{Start: start, End: end, Proc: u}))
+				used[u] = true
+				rec(end+1, append(acc, mapping.Interval{Start: start, End: end, Proc: u}))
+				used[u] = false
 			}
 		}
 	}
-	rec(1, 0, nil)
+	rec(1, nil)
 }
 
 // BruteMinPeriod computes the minimum period by exhaustive enumeration —
@@ -276,33 +201,49 @@ type ParetoPoint struct {
 
 // ParetoFront returns the exact Pareto front of (period, latency) over all
 // interval mappings, sorted by increasing period (hence decreasing
-// latency). It enumerates the candidate period values and solves a
-// min-latency DP at each, then prunes dominated points.
+// latency).
+//
+// The sweep is incremental: the sorted candidate cycle-time set and the
+// solver arena are built once and shared by every probe. Candidates below
+// the exact minimum period (one min-period DP) are skipped outright, each
+// surviving candidate costs one min-latency DP whose value is compared
+// before any mapping is reconstructed, and the sweep stops as soon as the
+// latency reaches the Lemma-1 optimum — no later bound can improve it.
 func ParetoFront(ev *mapping.Evaluator) ([]ParetoPoint, error) {
 	if err := guard(ev); err != nil {
 		return nil, err
 	}
-	app, plat := ev.Pipeline(), ev.Platform()
-	n, p := app.Stages(), plat.Processors()
-	cands := make([]float64, 0, n*n*p/2)
-	for d := 1; d <= n; d++ {
-		for e := d; e <= n; e++ {
-			for u := 1; u <= p; u++ {
-				cands = append(cands, ev.Cycle(d, e, u))
-			}
-		}
+	a := acquireArena(ev)
+	defer a.release()
+	cands := a.candidates()
+	tail := a.latencyTail()
+	_, optLat := ev.OptimalLatency()
+
+	// The minimum period is itself a candidate cycle-time (a period is the
+	// max cycle of some mapping); everything below it is infeasible.
+	minP, _, ok := a.run(objMinPeriod, 0)
+	if !ok {
+		return nil, ErrInfeasible
 	}
-	sort.Float64s(cands)
+	first := sort.SearchFloat64s(cands, minP)
+
 	var points []ParetoPoint
 	prevLatency := math.Inf(1)
-	for _, c := range cands {
-		res, err := MinLatencyUnderPeriod(ev, c)
-		if err != nil {
-			continue // period bound below every feasible mapping
+	for _, c := range cands[first:] {
+		v, state, ok := a.run(objMinLatency, c*slack)
+		if !ok {
+			continue // numeric edge: bound still below every mapping
 		}
-		if res.Metrics.Latency < prevLatency-1e-12 {
+		if lat := v + tail; lat < prevLatency-1e-12 {
+			res, err := a.result(state)
+			if err != nil {
+				return nil, err
+			}
 			points = append(points, ParetoPoint{Metrics: res.Metrics, Mapping: res.Mapping})
-			prevLatency = res.Metrics.Latency
+			prevLatency = lat
+			if lat <= optLat {
+				break // Lemma 1: latency cannot drop further
+			}
 		}
 	}
 	// The achieved period of a solution can be smaller than the candidate

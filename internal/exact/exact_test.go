@@ -230,12 +230,18 @@ func TestParetoFrontProperties(t *testing.T) {
 	}
 }
 
-func TestGuardRejectsLargePlatforms(t *testing.T) {
-	speeds := make([]float64, MaxProcs+1)
+func TestGuardRejectsLargeStateSpaces(t *testing.T) {
+	// 17 processors of pairwise-distinct speeds compress to nothing:
+	// 2^17 states exceed MaxStates.
+	speeds := make([]float64, 17)
 	for i := range speeds {
-		speeds[i] = 1
+		speeds[i] = float64(i + 1)
 	}
-	ev := mapping.NewEvaluator(pipeline.MustNew([]float64{1}, []float64{0, 0}), platform.MustNew(speeds, 1))
+	plat := platform.MustNew(speeds, 1)
+	if Eligible(plat) {
+		t.Error("Eligible accepted a 2^17-state platform")
+	}
+	ev := mapping.NewEvaluator(pipeline.MustNew([]float64{1}, []float64{0, 0}), plat)
 	if _, err := MinPeriod(ev); err == nil {
 		t.Error("MinPeriod accepted an oversized platform")
 	}
@@ -247,6 +253,24 @@ func TestGuardRejectsLargePlatforms(t *testing.T) {
 	}
 	if _, err := ParetoFront(ev); err == nil {
 		t.Error("ParetoFront accepted an oversized platform")
+	}
+}
+
+func TestGuardKeyedOnClassesNotProcessors(t *testing.T) {
+	// The same 17 processors all at speed 1 compress to 18 states: the
+	// raw processor count no longer matters, only the class structure.
+	// This platform was rejected outright under the old MaxProcs gate.
+	speeds := make([]float64, 17)
+	for i := range speeds {
+		speeds[i] = 1
+	}
+	plat := platform.MustNew(speeds, 1)
+	if !Eligible(plat) {
+		t.Fatal("Eligible rejected a homogeneous 17-processor platform")
+	}
+	ev := mapping.NewEvaluator(pipeline.MustNew([]float64{2, 3}, []float64{1, 1, 1}), plat)
+	if _, err := MinPeriod(ev); err != nil {
+		t.Errorf("MinPeriod on a homogeneous 17-processor platform: %v", err)
 	}
 }
 
@@ -315,5 +339,33 @@ func TestMinPeriodReducesToHeteroChains(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Error(err)
+	}
+}
+
+// Enumerate historically tracked used processors in a uint32 bitmask,
+// which silently overflowed at p ≥ 32 — platform sizes the class-keyed
+// gate now admits. Lock the slice-based fix with a wide platform.
+func TestEnumerateBeyond32Processors(t *testing.T) {
+	speeds := make([]float64, 33)
+	for i := range speeds {
+		speeds[i] = 1
+	}
+	speeds[32] = 2 // the fastest (and last) processor must be reachable
+	ev := mapping.NewEvaluator(
+		pipeline.MustNew([]float64{6, 4}, []float64{0, 0, 0}),
+		platform.MustNew(speeds, 1))
+	count := 0
+	Enumerate(ev, func(*mapping.Mapping) { count++ })
+	// 33 single-interval mappings plus 33·32 two-interval splits.
+	if want := 33 + 33*32; count != want {
+		t.Fatalf("Enumerate produced %d mappings, want %d", count, want)
+	}
+	brute := BruteMinPeriod(ev)
+	res, err := MinPeriod(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Period != brute.Metrics.Period {
+		t.Fatalf("MinPeriod %v != brute %v", res.Metrics.Period, brute.Metrics.Period)
 	}
 }

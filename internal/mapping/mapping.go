@@ -11,6 +11,7 @@ package mapping
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 	"strings"
 
@@ -54,7 +55,6 @@ func New(app *pipeline.Pipeline, plat *platform.Platform, ivs []Interval) (*Mapp
 	if len(ivs) > p {
 		return nil, fmt.Errorf("mapping: %d intervals but only %d processors", len(ivs), p)
 	}
-	used := make(map[int]bool, len(ivs))
 	next := 1
 	for j, iv := range ivs {
 		if iv.Start != next {
@@ -69,10 +69,13 @@ func New(app *pipeline.Pipeline, plat *platform.Platform, ivs []Interval) (*Mapp
 		if iv.Proc < 1 || iv.Proc > p {
 			return nil, fmt.Errorf("mapping: interval %d uses processor %d outside [1..%d]", j+1, iv.Proc, p)
 		}
-		if used[iv.Proc] {
-			return nil, fmt.Errorf("mapping: processor %d assigned to more than one interval", iv.Proc)
+		// Quadratic distinctness scan: the list is at most p intervals
+		// long, so this beats a heap-allocated set on every real input.
+		for _, prev := range ivs[:j] {
+			if prev.Proc == iv.Proc {
+				return nil, fmt.Errorf("mapping: processor %d assigned to more than one interval", iv.Proc)
+			}
 		}
-		used[iv.Proc] = true
 		next = iv.End + 1
 	}
 	if next != n+1 {
@@ -109,12 +112,13 @@ func (m *Mapping) Size() int { return len(m.intervals) }
 // Interval returns the j-th interval, j in [0..Size()-1].
 func (m *Mapping) Interval(j int) Interval { return m.intervals[j] }
 
-// ProcessorOf returns the processor executing stage k.
+// ProcessorOf returns the processor executing stage k. The intervals are
+// sorted by construction, so the lookup binary-searches their end points.
 func (m *Mapping) ProcessorOf(k int) int {
-	for _, iv := range m.intervals {
-		if iv.Start <= k && k <= iv.End {
-			return iv.Proc
-		}
+	ivs := m.intervals
+	j := sort.Search(len(ivs), func(i int) bool { return ivs[i].End >= k })
+	if j < len(ivs) && ivs[j].Start <= k {
+		return ivs[j].Proc
 	}
 	panic(fmt.Sprintf("mapping: stage %d not covered", k))
 }
@@ -162,26 +166,36 @@ func (a Metrics) Dominates(b Metrics) bool {
 // float noise between near-identical mappings. The one dominance filter
 // shared by the façade sweep and the batch aggregator.
 func Frontier(metrics []Metrics) []int {
-	order := make([]int, len(metrics))
-	for i := range order {
-		order[i] = i
+	type candidate struct {
+		period, latency float64
+		index           int
 	}
-	sort.Slice(order, func(x, y int) bool {
-		a, b := metrics[order[x]], metrics[order[y]]
-		if a.Period != b.Period {
-			return a.Period < b.Period
+	order := make([]candidate, len(metrics))
+	for i, m := range metrics {
+		order[i] = candidate{period: m.Period, latency: m.Latency, index: i}
+	}
+	slices.SortFunc(order, func(a, b candidate) int {
+		switch {
+		case a.period != b.period:
+			if a.period < b.period {
+				return -1
+			}
+			return 1
+		case a.latency != b.latency:
+			if a.latency < b.latency {
+				return -1
+			}
+			return 1
+		default:
+			return a.index - b.index
 		}
-		if a.Latency != b.Latency {
-			return a.Latency < b.Latency
-		}
-		return order[x] < order[y]
 	})
 	var front []int
 	best := math.Inf(1)
-	for _, i := range order {
-		if metrics[i].Latency < best-1e-12 {
-			front = append(front, i)
-			best = metrics[i].Latency
+	for _, c := range order {
+		if c.latency < best-1e-12 {
+			front = append(front, c.index)
+			best = c.latency
 		}
 	}
 	return front
@@ -189,15 +203,49 @@ func Frontier(metrics []Metrics) []int {
 
 // Evaluator computes interval cycle-times, periods and latencies for one
 // (pipeline, platform) pair. It pre-binds the pair so that the heuristics'
-// inner loops evaluate candidate intervals in O(1) each.
+// inner loops evaluate candidate intervals in O(1) each; the divisions of
+// the cost model (by bandwidths and speeds) are hoisted into reciprocal
+// tables at construction, leaving only multiplications on the hot path.
 type Evaluator struct {
 	app  *pipeline.Pipeline
 	plat *platform.Platform
+
+	invSpeed      []float64   // invSpeed[u-1] = 1/s_u
+	invClassSpeed []float64   // invClassSpeed[k] = 1/ClassSpeed(k)
+	invBandwidth  float64     // 1/b on CommHomogeneous platforms
+	invMinLink    float64     // 1/MinLinkBandwidth()
+	invLinks      [][]float64 // reciprocal link matrix (FullyHeterogeneous)
 }
 
 // NewEvaluator binds a pipeline and a platform.
 func NewEvaluator(app *pipeline.Pipeline, plat *platform.Platform) *Evaluator {
-	return &Evaluator{app: app, plat: plat}
+	ev := &Evaluator{app: app, plat: plat}
+	ev.invSpeed = make([]float64, plat.Processors())
+	for u := 1; u <= plat.Processors(); u++ {
+		ev.invSpeed[u-1] = 1 / plat.Speed(u)
+	}
+	ev.invClassSpeed = make([]float64, plat.SpeedClasses())
+	for k := range ev.invClassSpeed {
+		// The representative's entry, so class and per-processor costs
+		// agree bit for bit.
+		ev.invClassSpeed[k] = ev.invSpeed[plat.ClassRepresentative(k)-1]
+	}
+	ev.invMinLink = 1 / plat.MinLinkBandwidth()
+	if plat.Kind() == platform.CommHomogeneous {
+		ev.invBandwidth = 1 / plat.Bandwidth()
+	} else {
+		p := plat.Processors()
+		ev.invLinks = make([][]float64, p)
+		for u := 1; u <= p; u++ {
+			ev.invLinks[u-1] = make([]float64, p)
+			for v := 1; v <= p; v++ {
+				if u != v {
+					ev.invLinks[u-1][v-1] = 1 / plat.LinkBandwidth(u, v)
+				}
+			}
+		}
+	}
+	return ev
 }
 
 // Pipeline returns the bound application.
@@ -206,20 +254,21 @@ func (ev *Evaluator) Pipeline() *pipeline.Pipeline { return ev.app }
 // Platform returns the bound platform.
 func (ev *Evaluator) Platform() *platform.Platform { return ev.plat }
 
-// inBandwidth is the bandwidth stage d's input crosses when the previous
-// interval lives on processor prev (0 for the outside world) and the
-// current one on cur. On homogeneous platforms every link has bandwidth b;
-// the outside world is reached through a link of the same bandwidth.
-func (ev *Evaluator) inBandwidth(prev, cur int) float64 {
+// invInBandwidth is the reciprocal bandwidth stage d's input crosses when
+// the previous interval lives on processor prev (0 for the outside world)
+// and the current one on cur. On homogeneous platforms every link has
+// bandwidth b; the outside world is reached through a link of the same
+// bandwidth.
+func (ev *Evaluator) invInBandwidth(prev, cur int) float64 {
 	if ev.plat.Kind() == platform.CommHomogeneous {
-		return ev.plat.Bandwidth()
+		return ev.invBandwidth
 	}
 	if prev == 0 || prev == cur {
 		// Outside world: served by the slowest adjacent link, a
 		// conservative choice consistent with Platform.Homogenize.
-		return ev.plat.MinLinkBandwidth()
+		return ev.invMinLink
 	}
-	return ev.plat.LinkBandwidth(prev, cur)
+	return ev.invLinks[prev-1][cur-1]
 }
 
 // CycleParts returns the three terms of the cycle-time of interval
@@ -228,10 +277,33 @@ func (ev *Evaluator) inBandwidth(prev, cur int) float64 {
 // intervals (0 for the outside world); they matter only on fully
 // heterogeneous platforms.
 func (ev *Evaluator) CycleParts(d, e, u, prev, next int) (in, comp, out float64) {
-	in = ev.app.Delta(d-1) / ev.inBandwidth(prev, u)
-	comp = ev.app.IntervalWork(d, e) / ev.plat.Speed(u)
-	out = ev.app.Delta(e) / ev.inBandwidth(next, u)
+	in = ev.app.Delta(d-1) * ev.invInBandwidth(prev, u)
+	comp = ev.app.IntervalWork(d, e) * ev.invSpeed[u-1]
+	out = ev.app.Delta(e) * ev.invInBandwidth(next, u)
 	return in, comp, out
+}
+
+// ClassCycleParts is CycleParts for an anonymous processor of speed class
+// k on a Communication Homogeneous platform, where the three terms depend
+// on the processor only through its speed. It evaluates bit-identically to
+// CycleParts(d, e, u, 0, 0) for every member u of the class — the property
+// the class-compressed exact solvers rest on.
+func (ev *Evaluator) ClassCycleParts(d, e, k int) (in, comp, out float64) {
+	if ev.plat.Kind() != platform.CommHomogeneous {
+		panic("mapping: ClassCycleParts is only defined on comm-homogeneous platforms")
+	}
+	in = ev.app.Delta(d-1) * ev.invBandwidth
+	comp = ev.app.IntervalWork(d, e) * ev.invClassSpeed[k]
+	out = ev.app.Delta(e) * ev.invBandwidth
+	return in, comp, out
+}
+
+// ClassCycle returns the cycle-time of interval [d..e] on any processor of
+// speed class k (Communication Homogeneous platforms only); it equals
+// Cycle(d, e, u) bit for bit for every member u of the class.
+func (ev *Evaluator) ClassCycle(d, e, k int) float64 {
+	in, comp, out := ev.ClassCycleParts(d, e, k)
+	return in + comp + out
 }
 
 // Cycle returns the cycle-time of interval [d..e] on processor u for a

@@ -340,3 +340,115 @@ func TestFrontier(t *testing.T) {
 		t.Fatal("Frontier(nil) != nil")
 	}
 }
+
+func TestClassCycleMatchesEveryMember(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n, p := 1+r.Intn(8), 1+r.Intn(10)
+		works := make([]float64, n)
+		for i := range works {
+			works[i] = 0.5 + r.Float64()*20
+		}
+		deltas := make([]float64, n+1)
+		for i := range deltas {
+			deltas[i] = r.Float64() * 30
+		}
+		speeds := make([]float64, p)
+		for i := range speeds {
+			speeds[i] = float64(1 + r.Intn(4)) // few classes, many members
+		}
+		ev := NewEvaluator(pipeline.MustNew(works, deltas), platform.MustNew(speeds, 7))
+		for d := 1; d <= n; d++ {
+			for e := d; e <= n; e++ {
+				for u := 1; u <= p; u++ {
+					k := ev.Platform().ClassOf(u)
+					// Bit-identical, not merely close: the compressed
+					// exact DP depends on exact equality.
+					if ev.ClassCycle(d, e, k) != ev.Cycle(d, e, u) {
+						return false
+					}
+					ci, cc, co := ev.ClassCycleParts(d, e, k)
+					i2, c2, o2 := ev.CycleParts(d, e, u, 0, 0)
+					if ci != i2 || cc != c2 || co != o2 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClassCyclePartsPanicsOnHeterogeneous(t *testing.T) {
+	plat, err := platform.NewFullyHeterogeneous([]float64{1, 1}, [][]float64{{0, 2}, {2, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := NewEvaluator(pipeline.MustNew([]float64{1}, []float64{0, 0}), plat)
+	defer func() {
+		if recover() == nil {
+			t.Error("ClassCycleParts on a heterogeneous platform did not panic")
+		}
+	}()
+	ev.ClassCycleParts(1, 1, 0)
+}
+
+func TestProcessorOfBinarySearchProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(30)
+		works := make([]float64, n)
+		for i := range works {
+			works[i] = 1
+		}
+		speeds := make([]float64, n)
+		for i := range speeds {
+			speeds[i] = 1 + r.Float64()
+		}
+		app := pipeline.MustNew(works, make([]float64, n+1))
+		plat := platform.MustNew(speeds, 1)
+		// Random interval partition of [1..n], random distinct processors.
+		procs := rand.New(rand.NewSource(seed + 1)).Perm(n)
+		var ivs []Interval
+		start := 1
+		for start <= n {
+			end := start + r.Intn(n-start+1)
+			ivs = append(ivs, Interval{Start: start, End: end, Proc: procs[len(ivs)] + 1})
+			start = end + 1
+		}
+		m := MustNew(app, plat, ivs)
+		for k := 1; k <= n; k++ {
+			want := 0
+			for _, iv := range ivs { // reference linear scan
+				if iv.Start <= k && k <= iv.End {
+					want = iv.Proc
+				}
+			}
+			if m.ProcessorOf(k) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProcessorOfPanicsOutsideRange(t *testing.T) {
+	app, plat := app3(), plat3()
+	m := MustNew(app, plat, []Interval{{1, 3, 1}})
+	for _, k := range []int{0, 4} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ProcessorOf(%d) did not panic", k)
+				}
+			}()
+			m.ProcessorOf(k)
+		}()
+	}
+}

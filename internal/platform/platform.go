@@ -45,7 +45,21 @@ type Platform struct {
 	links     [][]float64 // links[u][v] = b_{u+1,v+1}, for FullyHeterogeneous
 	kind      Kind
 	bySpeed   []int // processor ids (1-based) sorted by non-increasing speed
+
+	// Speed classes: processors grouped by equal speed, fastest class
+	// first. Interval mappings cost intervals through Speed(u) only, so
+	// same-speed processors are interchangeable; the exact solvers exploit
+	// this to compress their per-processor state to per-class counts.
+	classMembers [][]int // classMembers[k]: ids of class k, increasing
+	classOf      []int   // classOf[u-1]: class index of processor u
+	stateSpace   int     // ∏_k (|class k|+1), saturated at stateSpaceCap
 }
+
+// stateSpaceCap saturates the mixed-radix state-space product so that
+// pathological platforms (many large classes) cannot overflow int; any
+// value above every practical solver budget is equivalent. It stays
+// below 2^31 so the package keeps building on 32-bit architectures.
+const stateSpaceCap = 1 << 30
 
 var errNoProcessor = errors.New("platform: at least one processor is required")
 
@@ -142,6 +156,94 @@ func (p *Platform) buildSpeedOrder() {
 		}
 		return p.bySpeed[i] < p.bySpeed[j] // deterministic tie-break by id
 	})
+	p.buildClasses()
+}
+
+// buildClasses groups the speed-sorted processors into equal-speed classes.
+// bySpeed is sorted by (speed desc, id asc), so each class's member list
+// comes out in increasing id order for free.
+func (p *Platform) buildClasses() {
+	p.classOf = make([]int, len(p.speeds))
+	p.classMembers = p.classMembers[:0]
+	for _, u := range p.bySpeed {
+		k := len(p.classMembers) - 1
+		if k < 0 || p.speeds[u-1] != p.speeds[p.classMembers[k][0]-1] {
+			p.classMembers = append(p.classMembers, []int{u})
+			k++
+		} else {
+			p.classMembers[k] = append(p.classMembers[k], u)
+		}
+		p.classOf[u-1] = k
+	}
+	p.stateSpace = 1
+	for _, members := range p.classMembers {
+		p.stateSpace *= len(members) + 1
+		if p.stateSpace > stateSpaceCap {
+			p.stateSpace = stateSpaceCap
+			break
+		}
+	}
+}
+
+// SpeedClasses returns the number of distinct processor speeds.
+func (p *Platform) SpeedClasses() int { return len(p.classMembers) }
+
+// ClassOf returns the speed-class index of processor u, in [0..SpeedClasses()).
+// Classes are numbered fastest first.
+func (p *Platform) ClassOf(u int) int {
+	p.check(u)
+	return p.classOf[u-1]
+}
+
+// ClassSpeed returns the common speed of class k.
+func (p *Platform) ClassSpeed(k int) float64 {
+	p.checkClass(k)
+	return p.speeds[p.classMembers[k][0]-1]
+}
+
+// ClassSize returns c_k, the number of processors in class k.
+func (p *Platform) ClassSize(k int) int {
+	p.checkClass(k)
+	return len(p.classMembers[k])
+}
+
+// ClassMembers returns the processor ids of class k in increasing order.
+// The returned slice is a copy.
+func (p *Platform) ClassMembers(k int) []int {
+	p.checkClass(k)
+	return append([]int(nil), p.classMembers[k]...)
+}
+
+// ClassMember returns the i-th processor id of class k (ids increase with
+// i). Unlike ClassMembers it does not copy, so callers on allocation-free
+// paths can enumerate a class member by member.
+func (p *Platform) ClassMember(k, i int) int {
+	p.checkClass(k)
+	members := p.classMembers[k]
+	if i < 0 || i >= len(members) {
+		panic(fmt.Sprintf("platform: class %d member %d out of range [0..%d)", k, i, len(members)))
+	}
+	return members[i]
+}
+
+// ClassRepresentative returns the smallest processor id of class k. Any
+// cost that depends on processors only through their speed evaluates
+// identically on the representative and on every other member.
+func (p *Platform) ClassRepresentative(k int) int {
+	p.checkClass(k)
+	return p.classMembers[k][0]
+}
+
+// ClassStateSpace returns ∏_k (c_k+1), the number of per-class usage
+// vectors — the state count of the class-compressed exact dynamic program,
+// against 2^p for the uncompressed bitmask formulation. The product
+// saturates (at 2^30) instead of overflowing on pathological platforms.
+func (p *Platform) ClassStateSpace() int { return p.stateSpace }
+
+func (p *Platform) checkClass(k int) {
+	if k < 0 || k >= len(p.classMembers) {
+		panic(fmt.Sprintf("platform: speed class %d out of range [0..%d)", k, len(p.classMembers)))
+	}
 }
 
 // Kind reports the communication model of the platform.

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"math"
 	"math/rand"
+	"reflect"
 	"sort"
 	"strings"
 	"testing"
@@ -297,6 +298,109 @@ func TestSpeedOutOfRangePanics(t *testing.T) {
 				}
 			}()
 			p.Speed(u)
+		}()
+	}
+}
+
+func TestSpeedClasses(t *testing.T) {
+	p := MustNew([]float64{5, 20, 20, 1, 7, 5}, 10)
+	if got := p.SpeedClasses(); got != 4 {
+		t.Fatalf("SpeedClasses() = %d, want 4", got)
+	}
+	// Classes fastest first: 20 {2,3}, 7 {5}, 5 {1,6}, 1 {4}.
+	wantSpeeds := []float64{20, 7, 5, 1}
+	wantMembers := [][]int{{2, 3}, {5}, {1, 6}, {4}}
+	for k := range wantSpeeds {
+		if got := p.ClassSpeed(k); got != wantSpeeds[k] {
+			t.Errorf("ClassSpeed(%d) = %g, want %g", k, got, wantSpeeds[k])
+		}
+		if got := p.ClassSize(k); got != len(wantMembers[k]) {
+			t.Errorf("ClassSize(%d) = %d, want %d", k, got, len(wantMembers[k]))
+		}
+		members := p.ClassMembers(k)
+		if !reflect.DeepEqual(members, wantMembers[k]) {
+			t.Errorf("ClassMembers(%d) = %v, want %v", k, members, wantMembers[k])
+		}
+		if got := p.ClassRepresentative(k); got != wantMembers[k][0] {
+			t.Errorf("ClassRepresentative(%d) = %d, want %d", k, got, wantMembers[k][0])
+		}
+		for _, u := range members {
+			if got := p.ClassOf(u); got != k {
+				t.Errorf("ClassOf(%d) = %d, want %d", u, got, k)
+			}
+		}
+	}
+	if got, want := p.ClassStateSpace(), 3*2*3*2; got != want {
+		t.Errorf("ClassStateSpace() = %d, want %d", got, want)
+	}
+}
+
+func TestSpeedClassesProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(30)
+		speeds := make([]float64, n)
+		for i := range speeds {
+			speeds[i] = float64(1 + r.Intn(5)) // few distinct values → classes
+		}
+		p := MustNew(speeds, 10)
+		seen := 0
+		product := 1
+		for k := 0; k < p.SpeedClasses(); k++ {
+			if k > 0 && p.ClassSpeed(k) >= p.ClassSpeed(k-1) {
+				return false // classes must be strictly fastest-first
+			}
+			members := p.ClassMembers(k)
+			if len(members) != p.ClassSize(k) {
+				return false
+			}
+			product *= len(members) + 1
+			for i, u := range members {
+				if i > 0 && members[i-1] >= u {
+					return false // increasing ids within a class
+				}
+				if p.Speed(u) != p.ClassSpeed(k) || p.ClassOf(u) != k {
+					return false
+				}
+				seen++
+			}
+		}
+		return seen == n && product == p.ClassStateSpace()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClassStateSpaceSaturates(t *testing.T) {
+	// 60 singleton classes would give 2^60 > the cap; the product must
+	// saturate, not overflow.
+	speeds := make([]float64, 60)
+	for i := range speeds {
+		speeds[i] = float64(i + 1)
+	}
+	p := MustNew(speeds, 1)
+	if got := p.ClassStateSpace(); got != stateSpaceCap {
+		t.Errorf("ClassStateSpace() = %d, want saturation at %d", got, stateSpaceCap)
+	}
+}
+
+func TestClassAccessorsPanicOutOfRange(t *testing.T) {
+	p := MustNew([]float64{1, 2}, 1)
+	for name, fn := range map[string]func(){
+		"ClassSpeed":          func() { p.ClassSpeed(2) },
+		"ClassSize":           func() { p.ClassSize(-1) },
+		"ClassMembers":        func() { p.ClassMembers(5) },
+		"ClassRepresentative": func() { p.ClassRepresentative(2) },
+		"ClassOf":             func() { p.ClassOf(3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s out of range did not panic", name)
+				}
+			}()
+			fn()
 		}()
 	}
 }

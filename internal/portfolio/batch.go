@@ -51,7 +51,8 @@ type BatchOptions struct {
 	// Bound (e.g. 2.0 = "twice the ideal").
 	RelativeBound bool
 	// Exact additionally races the exact DP on instances whose platform
-	// fits exact.MaxProcs.
+	// is exact.Eligible (comm-homogeneous, compressed speed-class state
+	// space within exact.MaxStates).
 	Exact bool
 	// Workers bounds the worker pool; 0 selects runtime.GOMAXPROCS(0).
 	Workers int

@@ -16,9 +16,13 @@ const ExactID = "DP"
 
 // SolveOptions configure one portfolio race.
 type SolveOptions struct {
-	// Exact also races the exact DP when the platform fits
-	// exact.MaxProcs (it silently sits the race out otherwise). The DP
-	// dominates every heuristic when it applies, at exponential cost.
+	// Exact also races the exact DP when the platform is
+	// exact.Eligible — comm-homogeneous with a compressed speed-class
+	// state space within exact.MaxStates (it silently sits the race out
+	// otherwise). Eligibility is keyed on the speed-class structure, not
+	// the raw processor count: a 100-processor platform with few distinct
+	// speeds races the DP, while 17 pairwise-distinct speeds do not. The
+	// DP dominates every heuristic when it applies, at exponential cost.
 	Exact bool
 	// Serial runs the portfolio members one after the other on the
 	// calling goroutine. This is the reference path: selection is shared,
@@ -73,7 +77,7 @@ func race(solvers []solver, serial bool) []attempt {
 }
 
 func exactApplies(ev *mapping.Evaluator, opts SolveOptions) bool {
-	return opts.Exact && ev.Platform().Processors() <= exact.MaxProcs
+	return opts.Exact && exact.Eligible(ev.Platform())
 }
 
 // UnderPeriod races the period-constrained solvers (H1–H4, plus the exact

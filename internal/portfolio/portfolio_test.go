@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"math"
+	"math/rand"
 	"runtime"
 	"testing"
 	"time"
@@ -11,6 +12,8 @@ import (
 	"pipesched/internal/exact"
 	"pipesched/internal/heuristics"
 	"pipesched/internal/mapping"
+	"pipesched/internal/pipeline"
+	"pipesched/internal/platform"
 	"pipesched/internal/workload"
 )
 
@@ -353,5 +356,109 @@ func TestMapIndexed(t *testing.T) {
 		if out[i] != want[i] {
 			t.Fatalf("out = %v", out)
 		}
+	}
+}
+
+// dupSpeedInstance builds an instance whose platform repeats few speeds
+// over many processors — eligible for the exact DP under the class-keyed
+// gate even though its processor count exceeds the legacy 14-proc limit.
+func dupSpeedInstance(n, p, classes int, seed int64) workload.Instance {
+	r := rand.New(rand.NewSource(seed))
+	works := make([]float64, n)
+	for i := range works {
+		works[i] = float64(1 + r.Intn(20))
+	}
+	deltas := make([]float64, n+1)
+	for i := range deltas {
+		deltas[i] = float64(r.Intn(30))
+	}
+	speeds := make([]float64, p)
+	for i := range speeds {
+		speeds[i] = float64(1 + r.Intn(classes))
+	}
+	return workload.Instance{
+		App:  pipeline.MustNew(works, deltas),
+		Plat: platform.MustNew(speeds, 10),
+	}
+}
+
+// TestRaisedExactGateKeepsDeterminism is the regression guard for the
+// class-keyed exact-eligibility rule: on platforms the old processor-count
+// gate rejected (p > 14, few classes), the DP now joins the race — and the
+// concurrent portfolio must still return bitwise what the serial reference
+// returns, with the DP's optimum winning whenever the bound admits it.
+func TestRaisedExactGateKeepsDeterminism(t *testing.T) {
+	ctx := context.Background()
+	for seed := int64(1); seed <= 6; seed++ {
+		in := dupSpeedInstance(7, 18, 3, 7000+seed)
+		if !exact.Eligible(in.Plat) {
+			t.Fatalf("seed %d: expected an Eligible few-class platform", seed)
+		}
+		ev := in.Evaluator()
+		opt := exactMinPeriod(t, ev)
+		for _, factor := range []float64{1.0, 1.3, 2.0} {
+			bound := opt * factor
+			sOut, sFound, sErr := UnderPeriod(ctx, ev, bound, SolveOptions{Exact: true, Serial: true})
+			pOut, pFound, pErr := UnderPeriod(ctx, ev, bound, SolveOptions{Exact: true})
+			if sFound != pFound || sOut.Solver != pOut.Solver || !sameResult(sOut.Result, pOut.Result) {
+				t.Fatalf("seed %d bound %g: serial (%v, %q) != parallel (%v, %q)",
+					seed, bound, sFound, sOut.Solver, pFound, pOut.Solver)
+			}
+			if (sErr == nil) != (pErr == nil) || (sErr != nil && sErr.Error() != pErr.Error()) {
+				t.Fatalf("seed %d bound %g: serial err %v != parallel err %v", seed, bound, sErr, pErr)
+			}
+			if !sFound {
+				t.Fatalf("seed %d: bound %g ≥ the DP optimum must be feasible", seed, bound)
+			}
+			// The DP races, so no winner can miss the exact optimum
+			// latency under this bound.
+			xr, err := exact.MinLatencyUnderPeriod(ev, bound)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sOut.Result.Metrics.Latency > xr.Metrics.Latency {
+				t.Fatalf("seed %d bound %g: winner %q latency %v worse than DP %v",
+					seed, bound, sOut.Solver, sOut.Result.Metrics.Latency, xr.Metrics.Latency)
+			}
+		}
+		// At the exact optimum period the heuristics typically miss the
+		// bound; the race must then be won by the DP itself, proving it
+		// participates on these previously rejected platforms.
+		tight, found, _ := UnderPeriod(ctx, ev, opt, SolveOptions{Exact: true, Serial: true})
+		if !found {
+			t.Fatalf("seed %d: DP-feasible bound reported infeasible", seed)
+		}
+		if tight.Result.Metrics.Period > opt*(1+1e-12) {
+			t.Fatalf("seed %d: winner %q period %v exceeds optimum %v", seed, tight.Solver, tight.Result.Metrics.Period, opt)
+		}
+	}
+}
+
+// TestExactGateSitsOutIneligiblePlatforms pins the other side of the gate:
+// many distinct speeds keep the DP out of the race, and the portfolio
+// still behaves identically serial vs parallel.
+func TestExactGateSitsOutIneligiblePlatforms(t *testing.T) {
+	speeds := make([]float64, 17)
+	for i := range speeds {
+		speeds[i] = float64(i + 1) // 2^17 states: not Eligible
+	}
+	in := workload.Instance{
+		App:  pipeline.MustNew([]float64{5, 9, 2, 7}, []float64{1, 2, 3, 4, 5}),
+		Plat: platform.MustNew(speeds, 10),
+	}
+	if exact.Eligible(in.Plat) {
+		t.Fatal("17 distinct speeds must not be Eligible")
+	}
+	ev := in.Evaluator()
+	ctx := context.Background()
+	single := mapping.SingleProcessor(ev.Pipeline(), ev.Platform(), ev.Platform().Fastest())
+	bound := ev.Period(single)
+	sOut, sFound, _ := UnderPeriod(ctx, ev, bound, SolveOptions{Exact: true, Serial: true})
+	pOut, pFound, _ := UnderPeriod(ctx, ev, bound, SolveOptions{Exact: true})
+	if sFound != pFound || sOut.Solver != pOut.Solver || !sameResult(sOut.Result, pOut.Result) {
+		t.Fatal("serial != parallel on an ineligible platform")
+	}
+	if sFound && sOut.Solver == ExactID {
+		t.Fatal("the DP must sit out races on ineligible platforms")
 	}
 }

@@ -205,8 +205,9 @@ type SolveRequest struct {
 	Objective string  `json:"objective,omitempty"`
 	Bound     float64 `json:"bound"`
 	// Mode: "portfolio" (default; heuristics + exact DP raced), "best"
-	// (heuristics only), "exact" (DP only, ≤ 14 processors), or one
-	// heuristic identifier "H1".."H6".
+	// (heuristics only), "exact" (DP only; requires an exact.Eligible
+	// platform — compressed speed-class state space within budget), or
+	// one heuristic identifier "H1".."H6".
 	Mode      string `json:"mode,omitempty"`
 	TimeoutMS int    `json:"timeout_ms,omitempty"`
 }

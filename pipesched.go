@@ -147,25 +147,40 @@ func OptimalLatency(ev *Evaluator) (*Mapping, float64) { return ev.OptimalLatenc
 // interval mapping; useful for anchoring sweeps and sanity checks.
 func PeriodLowerBound(ev *Evaluator) float64 { return lowerbound.Period(ev) }
 
-// ExactMinPeriod computes the optimal-period mapping with the exponential
-// bitmask dynamic program (platforms up to 14 processors).
+// ExactMinPeriod computes the optimal-period mapping with the
+// speed-class-compressed dynamic program. Platforms are accepted whenever
+// their compressed state space ∏(c_k+1) over the speed-class sizes c_k
+// stays within the solver budget (see ExactEligible) — the raw processor
+// count does not matter, so few-class platforms far beyond the historical
+// 14-processor ceiling solve exactly.
 func ExactMinPeriod(ev *Evaluator) (ExactResult, error) { return exact.MinPeriod(ev) }
 
 // ExactMinLatencyUnderPeriod computes the optimal latency achievable under
-// a period bound (exponential; small platforms only).
+// a period bound (exponential in the speed-class structure; see
+// ExactEligible).
 func ExactMinLatencyUnderPeriod(ev *Evaluator, maxPeriod float64) (ExactResult, error) {
 	return exact.MinLatencyUnderPeriod(ev, maxPeriod)
 }
 
 // ExactMinPeriodUnderLatency computes the optimal period achievable under
-// a latency bound (exponential; small platforms only).
+// a latency bound (exponential in the speed-class structure; see
+// ExactEligible).
 func ExactMinPeriodUnderLatency(ev *Evaluator, maxLatency float64) (ExactResult, error) {
 	return exact.MinPeriodUnderLatency(ev, maxLatency)
 }
 
 // ExactParetoFront enumerates the exact (period, latency) Pareto front
-// (exponential; small platforms only).
+// (exponential in the speed-class structure; see ExactEligible).
 func ExactParetoFront(ev *Evaluator) ([]ParetoPoint, error) { return exact.ParetoFront(ev) }
+
+// ExactEligible reports whether the exact solvers accept the platform:
+// Communication Homogeneous with a compressed state space ∏(c_k+1) of at
+// most 2^16 over its speed-class sizes. Every platform of up to 16
+// processors qualifies regardless of speeds; larger platforms qualify
+// when their distinct-speed structure is small (e.g. 100 homogeneous
+// processors are 101 states). This is also the gate the portfolio and
+// batch engines key their exact-DP participation on.
+func ExactEligible(plat *Platform) bool { return exact.Eligible(plat) }
 
 // Simulate pushes opts.DataSets data sets through m under the one-port
 // discrete-event model and reports measured period, latencies and

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# bench.sh — snapshot the exact-engine and portfolio benchmarks into a
+# machine-readable JSON trajectory file.
+#
+# Usage:
+#   scripts/bench.sh                 # writes BENCH_3.json in the repo root
+#   BENCH_OUT=out.json scripts/bench.sh
+#   BENCHTIME=0.5s scripts/bench.sh  # shorter runs (CI)
+#
+# The output records ns/op, B/op and allocs/op for every benchmark matched
+# by PATTERN. Comparing two commits is a diff of their BENCH_*.json files;
+# CI uploads the file as a build artifact on every run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${BENCH_OUT:-BENCH_3.json}"
+BENCHTIME="${BENCHTIME:-1s}"
+PATTERN="${BENCH_PATTERN:-^(BenchmarkExactMinPeriod|BenchmarkExactParetoFront|BenchmarkExactLargeFewClass|BenchmarkPortfolioRace)$}"
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" . | tee "$raw"
+
+awk -v go_version="$(go version | awk '{print $3}')" '
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+/^Benchmark/ && /ns\/op/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    sub(/^Benchmark/, "", name)
+    entry = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
+                    name, $2, $3, $5, $7)
+    entries = entries (entries == "" ? "" : ",\n") entry
+}
+END {
+    if (entries == "") {
+        print "bench.sh: no benchmark lines parsed" > "/dev/stderr"
+        exit 1
+    }
+    print "{"
+    printf "  \"go\": \"%s\",\n", go_version
+    printf "  \"cpu\": \"%s\",\n", cpu
+    print  "  \"benchmarks\": ["
+    print entries
+    print "  ]"
+    print "}"
+}' "$raw" > "$OUT"
+
+echo "wrote $OUT"
