@@ -343,6 +343,40 @@ func BenchmarkPortfolioRace(b *testing.B) {
 	}
 }
 
+// BenchmarkHeuristicSolve is the snapshot benchmark of one heuristic
+// solve per H1–H6 on the shared mid-sized instance — the per-solver
+// trajectory scripts/bench.sh records into BENCH_*.json.
+func BenchmarkHeuristicSolve(b *testing.B) {
+	for _, h := range pipesched.PeriodHeuristics() {
+		b.Run(h.ID(), func(b *testing.B) { benchHeuristicPeriod(b, h, 40, 10) })
+	}
+	for _, h := range pipesched.LatencyHeuristics() {
+		b.Run(h.ID(), func(b *testing.B) { benchHeuristicLatency(b, h, 40, 10) })
+	}
+}
+
+// BenchmarkParetoSweep is the snapshot benchmark of the sweep core
+// (internal/portfolio.ParetoSweep), serial versus pooled workers.
+func BenchmarkParetoSweep(b *testing.B) {
+	ev := benchEvaluator(30, 40, 53)
+	for _, mode := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"parallel", 0},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if front := portfolio.ParetoSweep(context.Background(), ev, 10, mode.workers); len(front) == 0 {
+					b.Fatal("empty frontier")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkHeuristicParetoSweep exercises the parallelised façade sweep on
 // a paper-scale platform.
 func BenchmarkHeuristicParetoSweep(b *testing.B) {

@@ -19,6 +19,12 @@
 // The daemon drains gracefully on SIGINT/SIGTERM: the listener closes
 // immediately, in-flight requests get -drain-timeout to finish.
 //
+// Profiling is opt-in: -pprof ADDR exposes net/http/pprof on a separate
+// listener (never on the service port), so production deployments can
+// attach a profiler on localhost without exposing /debug to API clients:
+//
+//	pipeschedd -addr :8080 -pprof 127.0.0.1:6060
+//
 // Example:
 //
 //	pipeschedd -addr :8080 -cache-entries 4096 -request-timeout 30s
@@ -31,6 +37,8 @@ import (
 	"io"
 	"log"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -64,6 +72,7 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) error {
 		drainTimeout   = fs.Duration("drain-timeout", 15*time.Second, "graceful-shutdown wait for in-flight requests")
 		maxBody        = fs.Int64("max-body-bytes", 0, "request body limit in bytes (0 = default 8 MiB)")
 		quiet          = fs.Bool("quiet", false, "suppress the serving log")
+		pprofAddr      = fs.String("pprof", "", "expose net/http/pprof on this separate address (empty = disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return cli.WrapParse(err)
@@ -86,6 +95,14 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) error {
 	// Printed unconditionally (and first) so wrappers can scrape the
 	// resolved port when -addr ends in :0.
 	fmt.Fprintf(out, "pipeschedd: listening on %s\n", ln.Addr())
+	if *pprofAddr != "" {
+		stopProf, err := servePprof(*pprofAddr, out)
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		defer stopProf()
+	}
 	srv := service.New(service.Options{
 		CacheEntries:   *cacheEntries,
 		Workers:        *workers,
@@ -95,4 +112,26 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) error {
 		Logger:         logger,
 	})
 	return srv.Serve(ctx, ln)
+}
+
+// servePprof starts the opt-in profiling listener: an explicit mux
+// carrying only the net/http/pprof handlers (never http.DefaultServeMux,
+// so nothing else can leak onto the debug port). It returns a stop
+// function that closes the listener when the daemon exits.
+func servePprof(addr string, out io.Writer) (func(), error) {
+	pln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("pprof listener: %w", err)
+	}
+	// Scrapable like the main line, for tooling and tests (-pprof :0).
+	fmt.Fprintf(out, "pipeschedd: pprof listening on %s\n", pln.Addr())
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	psrv := &http.Server{Handler: mux}
+	go psrv.Serve(pln) //nolint:errcheck // closed via stop below
+	return func() { psrv.Close() }, nil
 }

@@ -135,6 +135,127 @@ func TestDaemonServesAndDrains(t *testing.T) {
 	}
 }
 
+var pprofListenRE = regexp.MustCompile(`pprof listening on (\S+)`)
+
+// TestPprofEnabled: with -pprof, a separate listener serves the pprof
+// index while the service port keeps /debug off limits.
+func TestPprofEnabled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	out := &syncBuffer{}
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(ctx, []string{"-addr", "127.0.0.1:0", "-pprof", "127.0.0.1:0", "-quiet"}, out, out)
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	var mainAddr, profAddr string
+	for mainAddr == "" || profAddr == "" {
+		s := out.String()
+		if m := pprofListenRE.FindStringSubmatch(s); m != nil {
+			profAddr = m[1]
+		}
+		// The main line has no "pprof" prefix; strip pprof lines first.
+		for _, line := range strings.Split(s, "\n") {
+			if strings.Contains(line, "pprof") {
+				continue
+			}
+			if m := listenRE.FindStringSubmatch(line); m != nil {
+				mainAddr = m[1]
+			}
+		}
+		select {
+		case err := <-errc:
+			t.Fatalf("daemon exited early: %v\n%s", err, out.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never reported both addresses:\n%s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	resp, err := http.Get("http://" + profAddr + "/debug/pprof/")
+	if err != nil {
+		t.Fatalf("pprof index: %v", err)
+	}
+	body := &bytes.Buffer{}
+	body.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index status %d", resp.StatusCode)
+	}
+	if !strings.Contains(body.String(), "goroutine") {
+		t.Fatalf("pprof index does not list profiles:\n%s", body.String())
+	}
+
+	// The service listener must not expose the debug handlers.
+	resp, err = http.Get("http://" + mainAddr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("service port served /debug/pprof/ with status %d, want 404", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never exited")
+	}
+}
+
+// TestPprofDisabledByDefault: without -pprof, no profiling listener is
+// announced and the service port stays clean of /debug.
+func TestPprofDisabledByDefault(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	out := &syncBuffer{}
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(ctx, []string{"-addr", "127.0.0.1:0", "-quiet"}, out, out)
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	var addr string
+	for addr == "" {
+		if m := listenRE.FindStringSubmatch(out.String()); m != nil {
+			addr = m[1]
+		}
+		select {
+		case err := <-errc:
+			t.Fatalf("daemon exited early: %v\n%s", err, out.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never reported its address:\n%s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	resp, err := http.Get("http://" + addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/debug/pprof/ on the service port: status %d, want 404", resp.StatusCode)
+	}
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never exited")
+	}
+	// Nothing may have announced a profiling listener.
+	if pprofListenRE.MatchString(out.String()) {
+		t.Fatalf("daemon announced a pprof listener without -pprof:\n%s", out.String())
+	}
+}
+
 func TestDaemonFlagValidation(t *testing.T) {
 	for _, tc := range []struct {
 		name string

@@ -50,8 +50,8 @@
 //     pool (BatchOptions.Workers, default GOMAXPROCS) with per-instance
 //     error capture, context cancellation, and a non-dominated
 //     cross-instance frontier in the returned BatchReport.
-//   - HeuristicParetoSweep fans its (grid point, heuristic) runs over the
-//     same pool.
+//   - HeuristicParetoSweep runs one warm-started lane per heuristic over
+//     the same pool (see the Performance chapter).
 //
 // For example:
 //
@@ -66,6 +66,37 @@
 // construction and safe for concurrent use; the test-suite hammers one
 // shared Evaluator from many workers under the race detector to keep that
 // contract honest.
+//
+// # Performance: the zero-allocation heuristic engine
+//
+// The Section-4 heuristics H1–H6 share one interval-splitting engine
+// that is allocation-free in steady state: its working set (interval
+// list, cycle-times, fastest-first free list, δ/b tables) lives in a
+// pooled scratch leased from the Evaluator, candidates are fixed-size
+// values scored on reused buffers, splits splice in place, and the only
+// heap work of a solve is materialising the returned Mapping (2
+// allocations). H4 rewinds a single pooled engine through its bisection
+// trials; the fully heterogeneous splitter scores whole trial mappings
+// on scratch buffers via Evaluator.PeriodOf/LatencyOf. The pre-pooling
+// engine survives as a frozen test oracle with property tests asserting
+// the rebuilt engine matches it bit for bit — intervals, metrics and
+// InfeasibleError payloads — across the paper's workload families under
+// the race detector, and testing.AllocsPerRun regression tests cap the
+// allocation counts of every heuristic, a portfolio race and a sweep
+// point.
+//
+// Pareto sweeps are warm-started: each heuristic owns a lane that walks
+// the sorted bound grid on one pooled engine. Period-constrained
+// trajectories are target-independent (the bound only decides when to
+// stop), so adjacent grid points extend one trajectory instead of
+// recomputing its shared prefix; latency-constrained lanes track the
+// smallest cap-rejected candidate latency and skip reruns whose outcome
+// provably repeats; every lane stops at its heuristic's failure
+// threshold. Per-point results are bit-identical to fresh runs, so
+// frontiers are unchanged. BENCH_3 → BENCH_4: the portfolio race drops
+// 937µs/1868 allocs → 421µs/20 allocs, one H2 solve 620µs/5272 allocs →
+// 256µs/2 allocs, and the sweep benchmarks run 6–8× faster
+// (HeuristicParetoSweep 11.3ms/105k allocs → 1.5ms/193 allocs).
 //
 // # Performance: the class-compressed exact engine
 //
@@ -87,12 +118,18 @@
 // path — are allocation-free in steady state, and the bound-probing
 // solvers (ExactMinPeriodUnderLatency, ExactParetoFront) reuse one arena
 // and one sorted candidate set across all probes instead of re-deriving
-// them per bound.
+// them per bound. The DP itself visits states outermost with its tables
+// laid out for consecutive inner-loop reads, prunes cells below each
+// state's processor-usage floor, and a pooled arena re-acquired for the
+// evaluator it last served skips rebinding entirely — bit-identical to
+// the row-major formulation, roughly halving ExactMinPeriod again after
+// PR 3 (94µs → 45µs) and cutting the large few-class latency probe 7.5×.
 //
-// scripts/bench.sh snapshots the exact/portfolio benchmarks into
-// BENCH_<pr>.json (ns/op, B/op, allocs/op per benchmark); CI uploads the
-// file as an artifact on every run, so comparing two commits is a diff of
-// their BENCH_*.json.
+// scripts/bench.sh snapshots the exact/heuristic/portfolio benchmarks
+// into BENCH_<pr>.json (ns/op, B/op, allocs/op per benchmark); CI uploads
+// the file as an artifact on every run and scripts/bench_diff.sh compares
+// two snapshots with crude regression thresholds (the advisory bench-diff
+// CI job), so comparing commits is a diff of their BENCH_*.json.
 //
 // # Serving: the solver service
 //

@@ -56,7 +56,14 @@ const classShift = 5
 // Acquire with acquireArena, return with release; between the two, the
 // candidate set and all tables are reused across any number of runs.
 type arena struct {
-	ev      *mapping.Evaluator
+	ev *mapping.Evaluator
+	// boundTo survives release: when a pooled arena is re-acquired for
+	// the evaluator it last served — the portfolio/batch/service steady
+	// state — bind skips rebuilding the cost tables, transitions and
+	// candidate set entirely. Holding the pointer keeps that evaluator
+	// reachable, so pointer identity cannot be recycled under us; the
+	// pool's GC-driven eviction bounds how long it is pinned.
+	boundTo *mapping.Evaluator
 	n       int // pipeline stages
 	classes int // distinct speed classes K
 	states  int // ∏_k (c_k+1)
@@ -64,9 +71,10 @@ type arena struct {
 	csize []int // csize[k] = c_k
 	radix []int // radix[k] = ∏_{j<k} (c_j+1): stride of class k's digit
 
-	// Per-class interval costs, indexed k*n*n + (d-1)*n + (e-1). cycle is
-	// the full cycle-time of [d..e] on class k; lat is its latency
-	// contribution (input + compute terms).
+	// Per-class interval costs, indexed k*n*n + (e-1)*n + (d-1) — end-major,
+	// so the DP's inner loop over interval starts reads consecutively.
+	// cycle is the full cycle-time of [d..e] on class k; lat is its
+	// latency contribution (input + compute terms).
 	cycle []float64
 	lat   []float64
 
@@ -76,8 +84,9 @@ type arena struct {
 	transOff   []int32 // transOff[S]..transOff[S+1] indexes the two below
 	transClass []int8
 	transPrev  []int32
+	usage      []int16 // usage[S] = Σ_k digit_k(S): processors consumed by S
 
-	f    []float64 // DP values, (n+1)×states row-major
+	f    []float64 // DP values, states×(n+1) state-major: f[S*(n+1)+i]
 	back []int32   // packed backpointers, same shape
 
 	cands  []float64          // sorted unique candidate cycle-times (lazy)
@@ -112,8 +121,12 @@ func resize[T any](s []T, n int) []T {
 }
 
 func (a *arena) bind(ev *mapping.Evaluator) {
-	plat := ev.Platform()
 	a.ev = ev
+	if a.boundTo == ev {
+		return // tables, transitions and candidates are still valid
+	}
+	a.boundTo = nil // invalidate while rebinding: a panic must not leave stale tables claimed
+	plat := ev.Platform()
 	a.n = ev.Pipeline().Stages()
 	a.classes = plat.SpeedClasses()
 	a.csize = resize(a.csize, a.classes)
@@ -131,11 +144,11 @@ func (a *arena) bind(ev *mapping.Evaluator) {
 	a.lat = resize(a.lat, a.classes*nn)
 	for k := 0; k < a.classes; k++ {
 		for d := 1; d <= n; d++ {
-			base := k*nn + (d-1)*n
 			for e := d; e <= n; e++ {
 				in, comp, out := ev.ClassCycleParts(d, e, k)
-				a.cycle[base+e-1] = in + comp + out
-				a.lat[base+e-1] = in + comp
+				idx := k*nn + (e-1)*n + (d - 1)
+				a.cycle[idx] = in + comp + out
+				a.lat[idx] = in + comp
 			}
 		}
 	}
@@ -143,6 +156,8 @@ func (a *arena) bind(ev *mapping.Evaluator) {
 	a.transOff = resize(a.transOff, states+1)
 	a.transClass = a.transClass[:0]
 	a.transPrev = a.transPrev[:0]
+	a.usage = resize(a.usage, states)
+	a.usage[0] = 0
 	for S := 0; S < states; S++ {
 		a.transOff[S] = int32(len(a.transClass))
 		for k := 0; k < a.classes; k++ {
@@ -151,6 +166,11 @@ func (a *arena) bind(ev *mapping.Evaluator) {
 				a.transPrev = append(a.transPrev, int32(S-a.radix[k]))
 			}
 		}
+		if S > 0 {
+			// Every transition consumes one processor: derive the usage
+			// count from any predecessor (the last recorded one).
+			a.usage[S] = a.usage[a.transPrev[len(a.transPrev)-1]] + 1
+		}
 	}
 	a.transOff[states] = int32(len(a.transClass))
 
@@ -158,6 +178,7 @@ func (a *arena) bind(ev *mapping.Evaluator) {
 	a.back = resize(a.back, (n+1)*states)
 	a.cursor = resize(a.cursor, a.classes)
 	a.cands = a.cands[:0]
+	a.boundTo = ev
 }
 
 // candidates returns the sorted, deduplicated set of interval cycle-times
@@ -171,9 +192,8 @@ func (a *arena) candidates() []float64 {
 	n, nn := a.n, a.n*a.n
 	for k := 0; k < a.classes; k++ {
 		for d := 1; d <= n; d++ {
-			base := k*nn + (d-1)*n
 			for e := d; e <= n; e++ {
-				a.cands = append(a.cands, a.cycle[base+e-1])
+				a.cands = append(a.cands, a.cycle[k*nn+(e-1)*n+(d-1)])
 			}
 		}
 	}
@@ -193,61 +213,83 @@ func (a *arena) candidates() []float64 {
 // admissibility cutoff on individual cycle-times (slack already applied by
 // the caller). ok is false when no complete assignment is feasible.
 //
-// f[i][S] is the best value over all assignments of stages 1..i to
+// f[S][i] is the best value over all assignments of stages 1..i to
 // intervals consuming exactly the class-usage vector S; the recurrence
-// closes the last interval [k+1..i] on one processor of any class with a
-// spare member.
+// closes the last interval [kk+1..i] on one processor of any class with a
+// spare member. States are visited outermost (every predecessor S-radix[k]
+// is smaller than S, so its row is complete) and both f and the cost
+// tables are laid out so the inner loop over the last interval's start
+// walks consecutive memory — on portfolio-sized instances this cache
+// behaviour, not arithmetic, bounds the solve. Candidate enumeration
+// order per cell (transition, then start) is unchanged from the row-major
+// formulation, so ties break identically and results stay bit-identical.
 func (a *arena) run(obj objective, periodBound float64) (best float64, bestState int, ok bool) {
 	n, states, nn := a.n, a.states, a.n*a.n
 	f, back := a.f, a.back
 	for i := range f {
 		f[i] = inf
 	}
-	f[0] = 0
-	for i := 1; i <= n; i++ {
-		row := i * states
-		for S := 1; S < states; S++ {
+	f[0] = 0 // f[S=0][i=0]; every other (S, i) starts unreachable
+	for S := 1; S < states; S++ {
+		rowS := S * (n + 1)
+		t0, t1 := a.transOff[S], a.transOff[S+1]
+		// A state consuming c processors covers at least c one-stage
+		// intervals, so f[S][i] is unreachable (inf) below i = c, and
+		// every predecessor row is unreachable below kk = c-1: both loops
+		// start there, skipping cells the row-major formulation scanned
+		// only to reject.
+		cS := int(a.usage[S])
+		if cS > n {
+			continue
+		}
+		for i := cS; i <= n; i++ {
 			bestV := inf
 			var bestB int32
-			for t := a.transOff[S]; t < a.transOff[S+1]; t++ {
+			for t := t0; t < t1; t++ {
 				k := int(a.transClass[t])
-				prevS := int(a.transPrev[t])
-				base := k*nn + i - 1 // index of cycle[k][d][i] is base + (d-1)*n
-				for kk := 0; kk < i; kk++ {
-					fv := f[kk*states+prevS]
-					if fv == inf {
-						continue
-					}
-					cy := a.cycle[base+kk*n] // interval [kk+1..i] on class k
-					var cand float64
-					if obj == objMinPeriod {
-						cand = fv
-						if cy > cand {
-							cand = cy
-						}
-					} else {
-						if cy > periodBound {
+				prevRow := int(a.transPrev[t]) * (n + 1)
+				base := k*nn + (i-1)*n // cycle[k][kk+1..i] is at base + kk
+				if obj == objMinPeriod {
+					for kk := cS - 1; kk < i; kk++ {
+						fv := f[prevRow+kk]
+						if fv == inf {
 							continue
 						}
-						cand = fv + a.lat[base+kk*n]
+						cand := fv
+						if cy := a.cycle[base+kk]; cy > cand {
+							cand = cy
+						}
+						if cand < bestV {
+							bestV = cand
+							bestB = int32(kk)<<classShift | int32(k)
+						}
 					}
-					if cand < bestV {
-						bestV = cand
-						bestB = int32(kk)<<classShift | int32(k)
+				} else {
+					for kk := cS - 1; kk < i; kk++ {
+						fv := f[prevRow+kk]
+						if fv == inf {
+							continue
+						}
+						if a.cycle[base+kk] > periodBound {
+							continue
+						}
+						if cand := fv + a.lat[base+kk]; cand < bestV {
+							bestV = cand
+							bestB = int32(kk)<<classShift | int32(k)
+						}
 					}
 				}
 			}
 			if bestV < inf {
-				f[row+S] = bestV
-				back[row+S] = bestB
+				f[rowS+i] = bestV
+				back[rowS+i] = bestB
 			}
 		}
 	}
 	best = inf
-	last := n * states
 	for S := 1; S < states; S++ {
-		if f[last+S] < best {
-			best, bestState = f[last+S], S
+		if v := f[S*(n+1)+n]; v < best {
+			best, bestState = v, S
 		}
 	}
 	return best, bestState, best < inf
@@ -271,7 +313,7 @@ func (a *arena) reconstruct(bestState int) []mapping.Interval {
 	a.ivbuf = a.ivbuf[:0]
 	i, S := a.n, bestState
 	for i > 0 {
-		b := a.back[i*a.states+S]
+		b := a.back[S*(a.n+1)+i]
 		prev := int(b >> classShift)
 		class := int(b & (1<<classShift - 1))
 		a.ivbuf = append(a.ivbuf, mapping.Interval{Start: prev + 1, End: i, Proc: class})

@@ -1,0 +1,110 @@
+package heuristics
+
+// Allocation-regression tests: hard AllocsPerRun caps so the engine's
+// zero-allocation property cannot silently rot. A steady-state solve
+// touches the heap only to materialise the returned Mapping (2
+// allocations in mapping.New); the caps leave a little slack for the
+// occasional GC-emptied pool, nothing more. Skipped under the race
+// detector, where sync.Pool intentionally drops entries and the counts
+// stop being meaningful.
+
+import (
+	"testing"
+
+	"pipesched/internal/mapping"
+	"pipesched/internal/workload"
+)
+
+// allocEvaluator is the shared mid-sized instance of the caps below.
+func allocEvaluator() *mapping.Evaluator {
+	return workload.Generate(workload.Config{Family: workload.E2, Stages: 20, Processors: 10, Seed: 42}).Evaluator()
+}
+
+func requireAllocs(t *testing.T, label string, cap float64, f func()) {
+	t.Helper()
+	f() // warm the pools outside the measurement
+	if got := testing.AllocsPerRun(100, f); got > cap {
+		t.Errorf("%s: %.2f allocs/run, cap %g", label, got, cap)
+	}
+}
+
+// TestHeuristicSolveAllocs caps one steady-state solve of every
+// heuristic H1–H6 (plus the X7/X8 extensions), mirroring the 2-allocs
+// guarantee the exact engine already enforces via its benchmarks.
+func TestHeuristicSolveAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race (sync.Pool drops entries)")
+	}
+	ev := allocEvaluator()
+	single := mapping.SingleProcessor(ev.Pipeline(), ev.Platform(), ev.Platform().Fastest())
+	bound := ev.Period(single) * 0.4
+	for MinAchievablePeriod(ev, SpMonoP{}) > bound {
+		bound *= 1.2
+	}
+	for _, h := range PeriodHeuristics() {
+		h := h
+		requireAllocs(t, h.ID(), 6, func() {
+			if _, err := h.MinimizeLatency(ev, bound); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	budget := ev.OptimalLatencyValue() * 1.5
+	for _, h := range append(LatencyHeuristics(), ExtensionLatencyHeuristics()...) {
+		h := h
+		requireAllocs(t, h.ID(), 6, func() {
+			if _, err := h.MinimizePeriod(ev, budget); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestInfeasibleSolveAllocs caps the failure path too: an infeasible
+// bound still runs the full trajectory and materialises the best-effort
+// payload, nothing else.
+func TestInfeasibleSolveAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race (sync.Pool drops entries)")
+	}
+	ev := allocEvaluator()
+	requireAllocs(t, "H1/infeasible", 12, func() {
+		if _, err := (SpMonoP{}).MinimizeLatency(ev, 0); err == nil {
+			t.Fatal("period 0 must be infeasible")
+		}
+	})
+}
+
+// TestSweepPointAllocs caps one warm grid point of each sweeper: a
+// repeated result must cost nothing, and an advancing one only its
+// materialisation.
+func TestSweepPointAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race (sync.Pool drops entries)")
+	}
+	ev := allocEvaluator()
+	single := mapping.SingleProcessor(ev.Pipeline(), ev.Platform(), ev.Platform().Fastest())
+	hi := ev.Period(single)
+	sw := NewPeriodSweeper(ev, SpMonoP{})
+	defer sw.Close()
+	bound := hi
+	per := testing.AllocsPerRun(40, func() {
+		bound *= 0.985 // a fine descending grid: most points repeat results
+		sw.Solve(bound)
+	})
+	if per > 8 {
+		t.Errorf("PeriodSweeper: %.2f allocs per grid point, cap 8", per)
+	}
+	lsw := NewLatencySweeper(ev, SpMonoL{})
+	defer lsw.Close()
+	budget := ev.OptimalLatencyValue()
+	perL := testing.AllocsPerRun(40, func() {
+		budget *= 1.02
+		if _, err := lsw.Solve(budget); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if perL > 8 {
+		t.Errorf("LatencySweeper: %.2f allocs per grid point, cap 8", perL)
+	}
+}

@@ -20,11 +20,21 @@
 // the bottleneck cycle-time (termination) and that 3-Explo falls back to a
 // 2-way split when fewer than two unused processors or fewer than three
 // stages remain.
+//
+// The engine is allocation-free in steady state: its working set (the
+// interval list, per-interval cycle-times and the fastest-first free
+// list) lives in a mapping.Scratch leased from the evaluator, the state
+// struct itself is pooled, candidates are fixed-size values, and apply
+// splices parts into the interval list in place. A solve touches the
+// heap only to materialise the final Mapping. The pre-pooling engine is
+// retained verbatim in legacy_oracle_test.go as the oracle the rebuilt
+// engine must match bit for bit.
 package heuristics
 
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"pipesched/internal/mapping"
 	"pipesched/internal/platform"
@@ -43,43 +53,100 @@ func leq(x, y float64) bool { return x <= y+relEps*(1+math.Abs(y)) }
 func lt(x, y float64) bool { return x < y-relEps*(1+math.Abs(y)) }
 
 // state is the mutable working set of the splitting engine: the current
-// interval mapping, its per-interval cycle-times, the current latency, and
-// the list of unused processors in fastest-first order.
+// interval mapping, its per-interval cycle-times, the current latency,
+// and the unused processors. Acquire with acquireState, return with
+// release; between the two every slice aliases the evaluator-leased
+// scratch, and reset rewinds to the initial mapping without touching the
+// heap (H4's bisection trials and the sweepers rerun the engine through
+// it).
 type state struct {
-	ev     *mapping.Evaluator
+	ev *mapping.Evaluator
+	sc *mapping.Scratch
+
 	ivs    []mapping.Interval
 	cycles []float64 // cycles[j] = cycle-time of ivs[j]
 	lat    float64   // current latency, equation (2)
-	free   []int     // unused processors, fastest first
+
+	// deltaB[k] = δ_k/b, computed once per acquire: the communication
+	// term of every latency contribution, hoisted out of the candidate
+	// loops (the value is the same division the legacy engine performs
+	// per candidate, so results are unchanged bit for bit).
+	deltaB []float64
+
+	// free holds every non-fastest processor in fastest-first order;
+	// entries before freeOff are enrolled. Candidates only ever enroll
+	// the next one or two unused processors, so consumption is a cursor
+	// bump, not a filter.
+	free    []int
+	freeOff int
+
+	// minRejectedLat is the smallest total latency (current + Δ) of a
+	// candidate rejected only by the latency cap since the last reset.
+	// A rerun under a cap below it replays every decision identically —
+	// the invariant LatencySweeper's warm starts rest on.
+	minRejectedLat float64
 }
 
-// newState builds the initial state: all stages on the fastest processor.
-// The engine requires a Communication Homogeneous platform (the paper's
-// setting); the fully heterogeneous extension lives in fullhet.go.
-func newState(ev *mapping.Evaluator) *state {
+var statePool = sync.Pool{New: func() any { return new(state) }}
+
+// acquireState takes an engine state from the pool, leases scratch
+// buffers from ev and rewinds to the initial latency-optimal mapping.
+// The caller must release the state when done.
+func acquireState(ev *mapping.Evaluator) *state {
 	plat := ev.Platform()
 	if plat.Kind() != platform.CommHomogeneous {
 		panic("heuristics: the paper's heuristics target comm-homogeneous platforms; see SplitFullyHet for the extension")
 	}
-	app := ev.Pipeline()
-	order := plat.FastestFirst()
-	first := order[0]
-	st := &state{
-		ev:   ev,
-		ivs:  []mapping.Interval{{Start: 1, End: app.Stages(), Proc: first}},
-		free: order[1:],
+	st := statePool.Get().(*state)
+	st.ev = ev
+	st.sc = ev.LeaseScratch()
+	st.ivs = st.sc.Ivs[:0]
+	st.cycles = st.sc.Cycles[:0]
+	st.free = st.sc.Procs[:0]
+	for i := 1; i < plat.Processors(); i++ {
+		st.free = append(st.free, plat.OrderedProcessor(i))
 	}
-	st.cycles = []float64{ev.Cycle(1, app.Stages(), first)}
-	st.lat = st.latencyContribution(1, app.Stages(), first) + app.Delta(app.Stages())/plat.Bandwidth()
+	app := ev.Pipeline()
+	b := plat.Bandwidth()
+	st.deltaB = st.sc.Comm[:0]
+	for k := 0; k <= app.Stages(); k++ {
+		st.deltaB = append(st.deltaB, app.Delta(k)/b)
+	}
+	st.reset()
 	return st
+}
+
+// release hands the grown buffers back to the evaluator's scratch pool
+// and the state back to the engine pool.
+func (st *state) release() {
+	st.sc.Ivs = st.ivs[:0]
+	st.sc.Cycles = st.cycles[:0]
+	st.sc.Comm = st.deltaB[:0]
+	st.sc.Procs = st.free[:0]
+	st.sc.Release()
+	st.ev, st.sc = nil, nil
+	st.ivs, st.cycles, st.free, st.deltaB = nil, nil, nil, nil
+	statePool.Put(st)
+}
+
+// reset rewinds the state to the initial mapping: all stages on the
+// fastest processor, every other processor free.
+func (st *state) reset() {
+	app, plat := st.ev.Pipeline(), st.ev.Platform()
+	n := app.Stages()
+	first := plat.Fastest()
+	st.ivs = append(st.ivs[:0], mapping.Interval{Start: 1, End: n, Proc: first})
+	st.cycles = append(st.cycles[:0], st.ev.Cycle(1, n, first))
+	st.freeOff = 0
+	st.lat = st.latencyContribution(1, n, first) + st.deltaB[n]
+	st.minRejectedLat = math.Inf(1)
 }
 
 // latencyContribution returns the latency term of one interval:
 // δ_{d-1}/b + W(d,e)/s_u (the trailing δ_n/b of equation (2) is tracked
 // separately as a constant).
 func (st *state) latencyContribution(d, e, u int) float64 {
-	app, plat := st.ev.Pipeline(), st.ev.Platform()
-	return app.Delta(d-1)/plat.Bandwidth() + app.IntervalWork(d, e)/plat.Speed(u)
+	return st.deltaB[d-1] + st.ev.Pipeline().IntervalWork(d, e)/st.ev.Platform().Speed(u)
 }
 
 // period returns the current period (max cycle-time).
@@ -108,55 +175,51 @@ func (st *state) bottleneck() int {
 // latency returns the current latency.
 func (st *state) latency() float64 { return st.lat }
 
-// mapping materialises the current state as a validated Mapping.
-func (st *state) mapping() *mapping.Mapping {
-	return mapping.MustNew(st.ev.Pipeline(), st.ev.Platform(), st.ivs)
-}
-
 // part is one piece of a candidate split.
 type part struct {
 	d, e, proc int
 	cycle      float64
 }
 
-// candidate is a proposed replacement of the bottleneck interval by two or
-// three parts.
+// candidate is a proposed replacement of the bottleneck interval by two
+// or three parts. It is a fixed-size value: candidates are scored,
+// compared and copied without heap allocation.
 type candidate struct {
-	parts    []part
+	parts    [3]part
+	n        int     // parts in use (2 or 3)
 	maxCycle float64 // max cycle among the parts
 	dLat     float64 // latency change of the whole mapping
 	ratio    float64 // max_i Δlatency/Δperiod(i); +Inf when some Δperiod(i) ≤ 0
 }
 
-// buildCandidate assembles the candidate metrics for parts replacing
-// interval idx (whose current cycle is oldCycle).
-func (st *state) buildCandidate(idx int, parts []part) candidate {
-	oldCycle := st.cycles[idx]
-	iv := st.ivs[idx]
-	oldLat := st.latencyContribution(iv.Start, iv.End, iv.Proc)
+// score fills c's derived metrics for parts replacing an interval of
+// cycle-time oldCycle and latency contribution oldLat. The caller
+// supplies each part's cycle (in parts[i].cycle) and latency
+// contribution (latContrib[i]); sums run in part order, matching the
+// legacy engine bit for bit.
+func scoreCandidate(oldCycle, oldLat float64, c *candidate, latContrib *[3]float64) {
 	newLat := 0.0
 	maxCycle := 0.0
-	ratio := math.Inf(-1)
-	for i := range parts {
-		p := &parts[i]
-		p.cycle = st.ev.Cycle(p.d, p.e, p.proc)
-		if p.cycle > maxCycle {
-			maxCycle = p.cycle
+	for i := 0; i < c.n; i++ {
+		if c.parts[i].cycle > maxCycle {
+			maxCycle = c.parts[i].cycle
 		}
-		newLat += st.latencyContribution(p.d, p.e, p.proc)
+		newLat += latContrib[i]
 	}
-	dLat := newLat - oldLat
-	for _, p := range parts {
-		dp := oldCycle - p.cycle
+	c.maxCycle = maxCycle
+	c.dLat = newLat - oldLat
+	ratio := math.Inf(-1)
+	for i := 0; i < c.n; i++ {
+		dp := oldCycle - c.parts[i].cycle
 		if dp <= relEps*(1+oldCycle) {
 			ratio = math.Inf(1)
 			break
 		}
-		if r := dLat / dp; r > ratio {
+		if r := c.dLat / dp; r > ratio {
 			ratio = r
 		}
 	}
-	return candidate{parts: parts, maxCycle: maxCycle, dLat: dLat, ratio: ratio}
+	c.ratio = ratio
 }
 
 // selection rules: the mono-criterion rule minimises the worst new
@@ -171,7 +234,7 @@ const (
 	selectBi
 )
 
-func better(rule selectRule, a, b candidate) bool {
+func better(rule selectRule, a, b *candidate) bool {
 	switch rule {
 	case selectMono:
 		if a.maxCycle != b.maxCycle {
@@ -193,51 +256,72 @@ type splitOptions struct {
 	maxLatency float64 // candidates must keep latency ≤ maxLatency (+Inf to disable)
 }
 
+// consider scores cur and keeps it in best when admissible and better
+// under the options. Admissible means: strictly reduces the bottleneck
+// cycle-time and respects the latency cap. Candidates failing only the
+// cap feed minRejectedLat (the sweep warm-start invariant).
+func (st *state) consider(opt splitOptions, oldCycle, oldLat float64, cur *candidate, latContrib *[3]float64, best *candidate, found *bool) {
+	scoreCandidate(oldCycle, oldLat, cur, latContrib)
+	if !lt(cur.maxCycle, oldCycle) {
+		return // must strictly improve the bottleneck
+	}
+	if total := st.lat + cur.dLat; !leq(total, opt.maxLatency) {
+		if total < st.minRejectedLat {
+			st.minRejectedLat = total
+		}
+		return
+	}
+	if !*found || better(opt.rule, cur, best) {
+		*best, *found = *cur, true
+	}
+}
+
 // bestSplit enumerates the admissible splits of interval idx and returns
 // the best candidate under the options, or ok=false when no admissible
-// candidate exists. Admissible means: strictly reduces the bottleneck
-// cycle-time and respects the latency cap.
+// candidate exists.
 func (st *state) bestSplit(idx int, opt splitOptions) (candidate, bool) {
 	iv := st.ivs[idx]
 	oldCycle := st.cycles[idx]
-	var best candidate
+	oldLat := st.latencyContribution(iv.Start, iv.End, iv.Proc)
+	var best, cur candidate
+	var latContrib [3]float64
 	found := false
-	consider := func(parts []part) {
-		c := st.buildCandidate(idx, parts)
-		if !lt(c.maxCycle, oldCycle) {
-			return // must strictly improve the bottleneck
-		}
-		if !leq(st.lat+c.dLat, opt.maxLatency) {
-			return
-		}
-		if !found || better(opt.rule, c, best) {
-			best, found = c, true
-		}
-	}
 
-	nFree := len(st.free)
+	nFree := len(st.free) - st.freeOff
 	if nFree == 0 {
 		return candidate{}, false
 	}
 	stages := iv.End - iv.Start + 1
 
 	if opt.threeWay && nFree >= 2 && stages >= 3 {
-		j1, j2 := st.free[0], st.free[1]
+		j1, j2 := st.free[st.freeOff], st.free[st.freeOff+1]
 		procs := [3]int{iv.Proc, j1, j2}
 		// All cut pairs and all bijections of the three parts onto
 		// {j, j', j''} — the paper's "testing all possible
 		// permutations and all possible positions where to cut".
 		perms := [6][3]int{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}}
+		cur.n = 3
+		// cyc[b][p] and latc[b][p] cache the cycle-time and latency
+		// contribution of bounds b on procs[p], so the six permutations
+		// of one cut pair share nine evaluations instead of redoing
+		// eighteen. Values are identical either way — only the sharing
+		// is new.
+		var cyc, latc [3][3]float64
 		for k1 := iv.Start; k1 < iv.End; k1++ {
 			for k2 := k1 + 1; k2 < iv.End; k2++ {
 				bounds := [3][2]int{{iv.Start, k1}, {k1 + 1, k2}, {k2 + 1, iv.End}}
-				for _, pm := range perms {
-					parts := []part{
-						{d: bounds[0][0], e: bounds[0][1], proc: procs[pm[0]]},
-						{d: bounds[1][0], e: bounds[1][1], proc: procs[pm[1]]},
-						{d: bounds[2][0], e: bounds[2][1], proc: procs[pm[2]]},
+				for b := 0; b < 3; b++ {
+					for pi := 0; pi < 3; pi++ {
+						cyc[b][pi] = st.ev.Cycle(bounds[b][0], bounds[b][1], procs[pi])
+						latc[b][pi] = st.latencyContribution(bounds[b][0], bounds[b][1], procs[pi])
 					}
-					consider(parts)
+				}
+				for _, pm := range perms {
+					for b := 0; b < 3; b++ {
+						cur.parts[b] = part{d: bounds[b][0], e: bounds[b][1], proc: procs[pm[b]], cycle: cyc[b][pm[b]]}
+						latContrib[b] = latc[b][pm[b]]
+					}
+					st.consider(opt, oldCycle, oldLat, &cur, &latContrib, &best, &found)
 				}
 			}
 		}
@@ -250,41 +334,42 @@ func (st *state) bestSplit(idx int, opt splitOptions) (candidate, bool) {
 	if stages < 2 {
 		return candidate{}, false
 	}
-	j1 := st.free[0]
+	j1 := st.free[st.freeOff]
+	cur.n = 2
 	for k := iv.Start; k < iv.End; k++ {
-		consider([]part{{d: iv.Start, e: k, proc: iv.Proc}, {d: k + 1, e: iv.End, proc: j1}})
-		consider([]part{{d: iv.Start, e: k, proc: j1}, {d: k + 1, e: iv.End, proc: iv.Proc}})
+		cur.parts[0] = part{d: iv.Start, e: k, proc: iv.Proc, cycle: st.ev.Cycle(iv.Start, k, iv.Proc)}
+		cur.parts[1] = part{d: k + 1, e: iv.End, proc: j1, cycle: st.ev.Cycle(k+1, iv.End, j1)}
+		latContrib[0] = st.latencyContribution(iv.Start, k, iv.Proc)
+		latContrib[1] = st.latencyContribution(k+1, iv.End, j1)
+		st.consider(opt, oldCycle, oldLat, &cur, &latContrib, &best, &found)
+
+		cur.parts[0] = part{d: iv.Start, e: k, proc: j1, cycle: st.ev.Cycle(iv.Start, k, j1)}
+		cur.parts[1] = part{d: k + 1, e: iv.End, proc: iv.Proc, cycle: st.ev.Cycle(k+1, iv.End, iv.Proc)}
+		latContrib[0] = st.latencyContribution(iv.Start, k, j1)
+		latContrib[1] = st.latencyContribution(k+1, iv.End, iv.Proc)
+		st.consider(opt, oldCycle, oldLat, &cur, &latContrib, &best, &found)
 	}
 	return best, found
 }
 
-// apply replaces interval idx by the candidate's parts and consumes the
-// newly enrolled processors from the free list.
-func (st *state) apply(idx int, c candidate) {
-	iv := st.ivs[idx]
-	newIvs := make([]mapping.Interval, 0, len(st.ivs)+len(c.parts)-1)
-	newCycles := make([]float64, 0, cap(newIvs))
-	newIvs = append(newIvs, st.ivs[:idx]...)
-	newCycles = append(newCycles, st.cycles[:idx]...)
-	usedNew := make(map[int]bool, 2)
-	for _, p := range c.parts {
-		newIvs = append(newIvs, mapping.Interval{Start: p.d, End: p.e, Proc: p.proc})
-		newCycles = append(newCycles, p.cycle)
-		if p.proc != iv.Proc {
-			usedNew[p.proc] = true
-		}
+// apply splices the candidate's parts over interval idx in place and
+// advances the free-list cursor past the newly enrolled processors
+// (candidates always enroll the next one or two unused processors).
+func (st *state) apply(idx int, c *candidate) {
+	np := c.n
+	for i := 1; i < np; i++ {
+		st.ivs = append(st.ivs, mapping.Interval{})
+		st.cycles = append(st.cycles, 0)
 	}
-	newIvs = append(newIvs, st.ivs[idx+1:]...)
-	newCycles = append(newCycles, st.cycles[idx+1:]...)
-	st.ivs, st.cycles = newIvs, newCycles
+	copy(st.ivs[idx+np:], st.ivs[idx+1:])
+	copy(st.cycles[idx+np:], st.cycles[idx+1:])
+	for i := 0; i < np; i++ {
+		p := c.parts[i]
+		st.ivs[idx+i] = mapping.Interval{Start: p.d, End: p.e, Proc: p.proc}
+		st.cycles[idx+i] = p.cycle
+	}
 	st.lat += c.dLat
-	remaining := st.free[:0]
-	for _, u := range st.free {
-		if !usedNew[u] {
-			remaining = append(remaining, u)
-		}
-	}
-	st.free = remaining
+	st.freeOff += np - 1
 }
 
 // splitUntil repeatedly splits the bottleneck interval under opt until the
@@ -297,7 +382,7 @@ func (st *state) splitUntil(target float64, opt splitOptions) bool {
 		if !ok {
 			return false
 		}
-		st.apply(idx, c)
+		st.apply(idx, &c)
 	}
 	return true
 }
@@ -308,8 +393,10 @@ type Result struct {
 	Metrics mapping.Metrics
 }
 
+// result materialises the current state as a validated Mapping with its
+// metrics — the one heap-touching step of a solve.
 func (st *state) result() Result {
-	m := st.mapping()
+	m := mapping.MustNew(st.ev.Pipeline(), st.ev.Platform(), st.ivs)
 	return Result{Mapping: m, Metrics: mapping.Metrics{Period: st.period(), Latency: st.latency()}}
 }
 

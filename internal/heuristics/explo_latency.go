@@ -42,14 +42,7 @@ func (h ThreeExploBiL) MinimizePeriod(ev *mapping.Evaluator, maxLatency float64)
 }
 
 func latencyConstrainedExplo(ev *mapping.Evaluator, maxLatency float64, rule selectRule, name string) (Result, error) {
-	st := newState(ev)
-	if !leq(st.latency(), maxLatency) {
-		res := st.result()
-		return res, &InfeasibleError{Heuristic: name, Constraint: "latency", Target: maxLatency, Achieved: res.Metrics.Latency, Best: res}
-	}
-	opt := splitOptions{rule: rule, threeWay: true, maxLatency: maxLatency}
-	st.splitUntil(0, opt)
-	return st.result(), nil
+	return latencyConstrained(ev, maxLatency, splitOptions{rule: rule, threeWay: true, maxLatency: maxLatency}, name)
 }
 
 // ExtensionLatencyHeuristics returns the two latency-constrained

@@ -24,97 +24,118 @@ import (
 // match the homogeneous engine. It also runs, unchanged, on homogeneous
 // platforms, where it degenerates to an H1 variant with free processor
 // choice.
+//
+// Like the homogeneous engine, the splitter works on evaluator-leased
+// scratch buffers: the current and trial interval lists live in one
+// Scratch, candidates are scored with PeriodOf/LatencyOf on the raw
+// slices, and the only allocation of a steady-state solve is the final
+// Mapping. legacy_oracle_test.go retains the mapping-per-trial original
+// as the bit-identity oracle.
 func SplitFullyHet(ev *mapping.Evaluator, maxPeriod float64) (Result, error) {
-	plat := ev.Platform()
-	app := ev.Pipeline()
-	cur := mapping.SingleProcessor(app, plat, plat.Fastest())
-	curPeriod := ev.Period(cur)
-	used := map[int]bool{plat.Fastest(): true}
+	plat, app := ev.Platform(), ev.Pipeline()
+	sc := ev.LeaseScratch()
+	cur := append(sc.Ivs[:0], mapping.Interval{Start: 1, End: app.Stages(), Proc: plat.Fastest()})
+	trial := sc.Trial[:0]
+	curPeriod := ev.PeriodOf(cur)
+
+	finish := func(ivs []mapping.Interval) Result {
+		m := mapping.MustNew(app, plat, ivs) // copies; scratch can be released
+		res := Result{Mapping: m, Metrics: ev.Metrics(m)}
+		sc.Ivs, sc.Trial = cur[:0], trial[:0]
+		sc.Release()
+		return res
+	}
 
 	for !leq(curPeriod, maxPeriod) {
-		best, bestPeriod, bestLatency := tryAllSplits(ev, cur, curPeriod, used)
-		if best == nil {
-			res := Result{Mapping: cur, Metrics: ev.Metrics(cur)}
+		bIdx, bestK, bestLeft, bestRight, bestPeriod, ok := tryAllSplits(ev, cur, &trial, curPeriod)
+		if !ok {
+			res := finish(cur)
 			return res, &InfeasibleError{
 				Heuristic: "Split fully-het", Constraint: "period",
 				Target: maxPeriod, Achieved: curPeriod, Best: res,
 			}
 		}
-		_ = bestLatency
-		cur, curPeriod = best, bestPeriod
-		used = map[int]bool{}
-		for _, u := range cur.Processors() {
-			used[u] = true
-		}
+		// Rebuild the winning trial into the spare buffer and swap it in.
+		iv := cur[bIdx]
+		trial = append(trial[:0], cur[:bIdx]...)
+		trial = append(trial,
+			mapping.Interval{Start: iv.Start, End: bestK, Proc: bestLeft},
+			mapping.Interval{Start: bestK + 1, End: iv.End, Proc: bestRight})
+		trial = append(trial, cur[bIdx+1:]...)
+		cur, trial = trial, cur
+		curPeriod = bestPeriod
 	}
-	return Result{Mapping: cur, Metrics: ev.Metrics(cur)}, nil
+	return finish(cur), nil
 }
 
 // tryAllSplits enumerates 2-way splits of the bottleneck interval with
-// every unused processor in either order and returns the trial with the
-// smallest period, or nil when no trial strictly improves on curPeriod.
-func tryAllSplits(ev *mapping.Evaluator, cur *mapping.Mapping, curPeriod float64, used map[int]bool) (*mapping.Mapping, float64, float64) {
-	app, plat := ev.Pipeline(), ev.Platform()
-	ivs := cur.Intervals()
+// every unused processor in either order, scoring each trial in the
+// reused buffer (*trialBuf, grown in place so its capacity persists
+// across calls), and returns the winning split parameters, or ok=false
+// when no trial strictly improves on curPeriod.
+func tryAllSplits(ev *mapping.Evaluator, cur []mapping.Interval, trialBuf *[]mapping.Interval, curPeriod float64) (bIdx, bestK, bestLeft, bestRight int, bestPeriod float64, ok bool) {
+	plat := ev.Platform()
 
 	// Identify the bottleneck interval under the full heterogeneous
 	// cost model.
-	bIdx, bCycle := 0, math.Inf(-1)
-	for j, iv := range ivs {
+	bCycle := math.Inf(-1)
+	for j, iv := range cur {
 		prev, next := 0, 0
 		if j > 0 {
-			prev = ivs[j-1].Proc
+			prev = cur[j-1].Proc
 		}
-		if j < len(ivs)-1 {
-			next = ivs[j+1].Proc
+		if j < len(cur)-1 {
+			next = cur[j+1].Proc
 		}
 		in, comp, out := ev.CycleParts(iv.Start, iv.End, iv.Proc, prev, next)
 		if c := in + comp + out; c > bCycle {
 			bIdx, bCycle = j, c
 		}
 	}
-	iv := ivs[bIdx]
+	iv := cur[bIdx]
 	if iv.Start == iv.End {
-		return nil, 0, 0
+		return 0, 0, 0, 0, 0, false
 	}
 
-	var best *mapping.Mapping
-	bestPeriod := math.Inf(1)
+	bestPeriod = math.Inf(1)
 	bestLatency := math.Inf(1)
-	consider := func(trial []mapping.Interval) {
-		m, err := mapping.New(app, plat, trial)
-		if err != nil {
-			return
-		}
-		p := ev.Period(m)
-		if !lt(p, curPeriod) {
-			return
-		}
-		l := ev.Latency(m)
-		if p < bestPeriod-relEps || (p < bestPeriod+relEps && l < bestLatency) {
-			best, bestPeriod, bestLatency = m, p, l
-		}
-	}
 	for u := 1; u <= plat.Processors(); u++ {
-		if used[u] {
+		if usedIn(cur, u) {
 			continue
 		}
 		for k := iv.Start; k < iv.End; k++ {
 			for _, order := range [2][2]int{{iv.Proc, u}, {u, iv.Proc}} {
-				trial := make([]mapping.Interval, 0, len(ivs)+1)
-				trial = append(trial, ivs[:bIdx]...)
+				trial := append((*trialBuf)[:0], cur[:bIdx]...)
 				trial = append(trial,
 					mapping.Interval{Start: iv.Start, End: k, Proc: order[0]},
 					mapping.Interval{Start: k + 1, End: iv.End, Proc: order[1]})
-				trial = append(trial, ivs[bIdx+1:]...)
-				consider(trial)
+				trial = append(trial, cur[bIdx+1:]...)
+				*trialBuf = trial
+				p := ev.PeriodOf(trial)
+				if !lt(p, curPeriod) {
+					continue
+				}
+				l := ev.LatencyOf(trial)
+				if p < bestPeriod-relEps || (p < bestPeriod+relEps && l < bestLatency) {
+					bestK, bestLeft, bestRight = k, order[0], order[1]
+					bestPeriod, bestLatency, ok = p, l, true
+				}
 			}
 		}
 	}
-	if best == nil {
-		return nil, 0, 0
+	return bIdx, bestK, bestLeft, bestRight, bestPeriod, ok
+}
+
+// usedIn reports whether processor u executes one of the intervals. The
+// list is at most p entries long, so the linear scan beats any
+// heap-allocated set.
+func usedIn(ivs []mapping.Interval, u int) bool {
+	for _, iv := range ivs {
+		if iv.Proc == u {
+			return true
+		}
 	}
-	return best, bestPeriod, bestLatency
+	return false
 }
 
 // MinAchievablePeriodFullyHet is the SplitFullyHet analogue of

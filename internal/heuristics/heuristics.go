@@ -48,14 +48,7 @@ func (SpMonoP) ID() string { return "H1" }
 
 // MinimizeLatency implements PeriodConstrained.
 func (h SpMonoP) MinimizeLatency(ev *mapping.Evaluator, maxPeriod float64) (Result, error) {
-	st := newState(ev)
-	opt := splitOptions{rule: selectMono, maxLatency: math.Inf(1)}
-	ok := st.splitUntil(maxPeriod, opt)
-	res := st.result()
-	if !ok {
-		return res, &InfeasibleError{Heuristic: h.Name(), Constraint: "period", Target: maxPeriod, Achieved: res.Metrics.Period, Best: res}
-	}
-	return res, nil
+	return periodConstrainedSplit(ev, maxPeriod, splitOptions{rule: selectMono, maxLatency: math.Inf(1)}, h.Name())
 }
 
 // ---------------------------------------------------------------- H2 --
@@ -75,14 +68,7 @@ func (ThreeExploMono) ID() string { return "H2" }
 
 // MinimizeLatency implements PeriodConstrained.
 func (h ThreeExploMono) MinimizeLatency(ev *mapping.Evaluator, maxPeriod float64) (Result, error) {
-	st := newState(ev)
-	opt := splitOptions{rule: selectMono, threeWay: true, maxLatency: math.Inf(1)}
-	ok := st.splitUntil(maxPeriod, opt)
-	res := st.result()
-	if !ok {
-		return res, &InfeasibleError{Heuristic: h.Name(), Constraint: "period", Target: maxPeriod, Achieved: res.Metrics.Period, Best: res}
-	}
-	return res, nil
+	return periodConstrainedSplit(ev, maxPeriod, splitOptions{rule: selectMono, threeWay: true, maxLatency: math.Inf(1)}, h.Name())
 }
 
 // ---------------------------------------------------------------- H3 --
@@ -101,12 +87,18 @@ func (ThreeExploBi) ID() string { return "H3" }
 
 // MinimizeLatency implements PeriodConstrained.
 func (h ThreeExploBi) MinimizeLatency(ev *mapping.Evaluator, maxPeriod float64) (Result, error) {
-	st := newState(ev)
-	opt := splitOptions{rule: selectBi, threeWay: true, maxLatency: math.Inf(1)}
+	return periodConstrainedSplit(ev, maxPeriod, splitOptions{rule: selectBi, threeWay: true, maxLatency: math.Inf(1)}, h.Name())
+}
+
+// periodConstrainedSplit runs one pooled splitting trajectory towards the
+// period bound (the H1–H3 shape).
+func periodConstrainedSplit(ev *mapping.Evaluator, maxPeriod float64, opt splitOptions, name string) (Result, error) {
+	st := acquireState(ev)
+	defer st.release()
 	ok := st.splitUntil(maxPeriod, opt)
 	res := st.result()
 	if !ok {
-		return res, &InfeasibleError{Heuristic: h.Name(), Constraint: "period", Target: maxPeriod, Achieved: res.Metrics.Period, Best: res}
+		return res, &InfeasibleError{Heuristic: name, Constraint: "period", Target: maxPeriod, Achieved: res.Metrics.Period, Best: res}
 	}
 	return res, nil
 }
@@ -139,31 +131,40 @@ func (h SpBiP) MinimizeLatency(ev *mapping.Evaluator, maxPeriod float64) (Result
 	if iters <= 0 {
 		iters = DefaultBinaryIters
 	}
-	trial := func(latCap float64) (Result, bool) {
-		st := newState(ev)
-		opt := splitOptions{rule: selectBi, maxLatency: latCap}
-		ok := st.splitUntil(maxPeriod, opt)
-		return st.result(), ok
+	// One pooled engine serves every bisection trial: each trial rewinds
+	// it in place, and only the winning cap's state is materialised — a
+	// full binary search allocates once, for the returned Mapping.
+	st := acquireState(ev)
+	defer st.release()
+	trial := func(latCap float64) (mapping.Metrics, bool) {
+		st.reset()
+		ok := st.splitUntil(maxPeriod, splitOptions{rule: selectBi, maxLatency: latCap})
+		return mapping.Metrics{Period: st.period(), Latency: st.latency()}, ok
 	}
 	// Unlimited cap first: if even that fails, the heuristic fails.
 	best, ok := trial(math.Inf(1))
 	if !ok {
-		return best, &InfeasibleError{Heuristic: h.Name(), Constraint: "period", Target: maxPeriod, Achieved: best.Metrics.Period, Best: best}
+		res := st.result()
+		return res, &InfeasibleError{Heuristic: h.Name(), Constraint: "period", Target: maxPeriod, Achieved: res.Metrics.Period, Best: res}
 	}
-	_, lo := ev.OptimalLatency() // latency lower bound (Lemma 1)
-	hi := best.Metrics.Latency
+	bestCap := math.Inf(1)
+	lo := ev.OptimalLatencyValue() // latency lower bound (Lemma 1)
+	hi := best.Latency
 	for i := 0; i < iters && hi-lo > relEps*(1+hi); i++ {
 		mid := (lo + hi) / 2
-		if res, ok := trial(mid); ok {
-			if res.Metrics.Latency < best.Metrics.Latency {
-				best = res
+		if met, ok := trial(mid); ok {
+			if met.Latency < best.Latency {
+				best, bestCap = met, mid
 			}
 			hi = mid
 		} else {
 			lo = mid
 		}
 	}
-	return best, nil
+	// Rewind to the winning cap (trials are deterministic) and
+	// materialise that state once.
+	trial(bestCap)
+	return st.result(), nil
 }
 
 // ---------------------------------------------------------------- H5 --
@@ -203,12 +204,19 @@ func (h SpBiL) MinimizePeriod(ev *mapping.Evaluator, maxLatency float64) (Result
 }
 
 func latencyConstrainedSplit(ev *mapping.Evaluator, maxLatency float64, rule selectRule, name string) (Result, error) {
-	st := newState(ev)
+	return latencyConstrained(ev, maxLatency, splitOptions{rule: rule, maxLatency: maxLatency}, name)
+}
+
+// latencyConstrained is the shared H5/H6 (and X7/X8) runner: start from
+// the latency optimum, split as far as the budget allows, on one pooled
+// engine.
+func latencyConstrained(ev *mapping.Evaluator, maxLatency float64, opt splitOptions, name string) (Result, error) {
+	st := acquireState(ev)
+	defer st.release()
 	if !leq(st.latency(), maxLatency) {
 		res := st.result()
 		return res, &InfeasibleError{Heuristic: name, Constraint: "latency", Target: maxLatency, Achieved: res.Metrics.Latency, Best: res}
 	}
-	opt := splitOptions{rule: rule, maxLatency: maxLatency}
 	st.splitUntil(0, opt) // split as far as the latency budget allows
 	return st.result(), nil
 }

@@ -1,0 +1,409 @@
+package heuristics
+
+// This file freezes the pre-pooling splitting engine — the straight
+// transcription of the paper's Section-4 heuristics that allocated fresh
+// interval lists, candidate part slices and free-list maps on every
+// step — as a test-only oracle, exactly as internal/exact retains its
+// legacy bitmask DP in legacy_oracle_test.go. The pooled engine in
+// engine.go must reproduce it bit for bit: identical intervals, metrics
+// and InfeasibleError payloads for every heuristic on every instance.
+// oracle_equivalence_test.go drives the comparison across the paper's
+// workload families under the race detector.
+//
+// Nothing here is reachable from production code; it exists so the
+// zero-allocation engine can never silently drift from the audited
+// semantics.
+
+import (
+	"math"
+
+	"pipesched/internal/mapping"
+	"pipesched/internal/platform"
+)
+
+// legacyState is the frozen allocating working set of the splitting
+// engine.
+type legacyState struct {
+	ev     *mapping.Evaluator
+	ivs    []mapping.Interval
+	cycles []float64
+	lat    float64
+	free   []int
+}
+
+func legacyNewState(ev *mapping.Evaluator) *legacyState {
+	plat := ev.Platform()
+	if plat.Kind() != platform.CommHomogeneous {
+		panic("heuristics: the paper's heuristics target comm-homogeneous platforms; see SplitFullyHet for the extension")
+	}
+	app := ev.Pipeline()
+	order := plat.FastestFirst()
+	first := order[0]
+	st := &legacyState{
+		ev:   ev,
+		ivs:  []mapping.Interval{{Start: 1, End: app.Stages(), Proc: first}},
+		free: order[1:],
+	}
+	st.cycles = []float64{ev.Cycle(1, app.Stages(), first)}
+	st.lat = st.latencyContribution(1, app.Stages(), first) + app.Delta(app.Stages())/plat.Bandwidth()
+	return st
+}
+
+func (st *legacyState) latencyContribution(d, e, u int) float64 {
+	app, plat := st.ev.Pipeline(), st.ev.Platform()
+	return app.Delta(d-1)/plat.Bandwidth() + app.IntervalWork(d, e)/plat.Speed(u)
+}
+
+func (st *legacyState) period() float64 {
+	max := st.cycles[0]
+	for _, c := range st.cycles[1:] {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+func (st *legacyState) bottleneck() int {
+	best := 0
+	for j, c := range st.cycles {
+		if c > st.cycles[best] {
+			best = j
+		}
+	}
+	return best
+}
+
+func (st *legacyState) latency() float64 { return st.lat }
+
+func (st *legacyState) mapping() *mapping.Mapping {
+	return mapping.MustNew(st.ev.Pipeline(), st.ev.Platform(), st.ivs)
+}
+
+type legacyPart struct {
+	d, e, proc int
+	cycle      float64
+}
+
+type legacyCandidate struct {
+	parts    []legacyPart
+	maxCycle float64
+	dLat     float64
+	ratio    float64
+}
+
+func (st *legacyState) buildCandidate(idx int, parts []legacyPart) legacyCandidate {
+	oldCycle := st.cycles[idx]
+	iv := st.ivs[idx]
+	oldLat := st.latencyContribution(iv.Start, iv.End, iv.Proc)
+	newLat := 0.0
+	maxCycle := 0.0
+	ratio := math.Inf(-1)
+	for i := range parts {
+		p := &parts[i]
+		p.cycle = st.ev.Cycle(p.d, p.e, p.proc)
+		if p.cycle > maxCycle {
+			maxCycle = p.cycle
+		}
+		newLat += st.latencyContribution(p.d, p.e, p.proc)
+	}
+	dLat := newLat - oldLat
+	for _, p := range parts {
+		dp := oldCycle - p.cycle
+		if dp <= relEps*(1+oldCycle) {
+			ratio = math.Inf(1)
+			break
+		}
+		if r := dLat / dp; r > ratio {
+			ratio = r
+		}
+	}
+	return legacyCandidate{parts: parts, maxCycle: maxCycle, dLat: dLat, ratio: ratio}
+}
+
+func legacyBetter(rule selectRule, a, b legacyCandidate) bool {
+	switch rule {
+	case selectMono:
+		if a.maxCycle != b.maxCycle {
+			return a.maxCycle < b.maxCycle
+		}
+		return a.dLat < b.dLat
+	default: // selectBi
+		if a.ratio != b.ratio {
+			return a.ratio < b.ratio
+		}
+		return a.maxCycle < b.maxCycle
+	}
+}
+
+func (st *legacyState) bestSplit(idx int, opt splitOptions) (legacyCandidate, bool) {
+	iv := st.ivs[idx]
+	oldCycle := st.cycles[idx]
+	var best legacyCandidate
+	found := false
+	consider := func(parts []legacyPart) {
+		c := st.buildCandidate(idx, parts)
+		if !lt(c.maxCycle, oldCycle) {
+			return
+		}
+		if !leq(st.lat+c.dLat, opt.maxLatency) {
+			return
+		}
+		if !found || legacyBetter(opt.rule, c, best) {
+			best, found = c, true
+		}
+	}
+
+	nFree := len(st.free)
+	if nFree == 0 {
+		return legacyCandidate{}, false
+	}
+	stages := iv.End - iv.Start + 1
+
+	if opt.threeWay && nFree >= 2 && stages >= 3 {
+		j1, j2 := st.free[0], st.free[1]
+		procs := [3]int{iv.Proc, j1, j2}
+		perms := [6][3]int{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}}
+		for k1 := iv.Start; k1 < iv.End; k1++ {
+			for k2 := k1 + 1; k2 < iv.End; k2++ {
+				bounds := [3][2]int{{iv.Start, k1}, {k1 + 1, k2}, {k2 + 1, iv.End}}
+				for _, pm := range perms {
+					parts := []legacyPart{
+						{d: bounds[0][0], e: bounds[0][1], proc: procs[pm[0]]},
+						{d: bounds[1][0], e: bounds[1][1], proc: procs[pm[1]]},
+						{d: bounds[2][0], e: bounds[2][1], proc: procs[pm[2]]},
+					}
+					consider(parts)
+				}
+			}
+		}
+		if found {
+			return best, true
+		}
+	}
+
+	if stages < 2 {
+		return legacyCandidate{}, false
+	}
+	j1 := st.free[0]
+	for k := iv.Start; k < iv.End; k++ {
+		consider([]legacyPart{{d: iv.Start, e: k, proc: iv.Proc}, {d: k + 1, e: iv.End, proc: j1}})
+		consider([]legacyPart{{d: iv.Start, e: k, proc: j1}, {d: k + 1, e: iv.End, proc: iv.Proc}})
+	}
+	return best, found
+}
+
+func (st *legacyState) apply(idx int, c legacyCandidate) {
+	iv := st.ivs[idx]
+	newIvs := make([]mapping.Interval, 0, len(st.ivs)+len(c.parts)-1)
+	newCycles := make([]float64, 0, cap(newIvs))
+	newIvs = append(newIvs, st.ivs[:idx]...)
+	newCycles = append(newCycles, st.cycles[:idx]...)
+	usedNew := make(map[int]bool, 2)
+	for _, p := range c.parts {
+		newIvs = append(newIvs, mapping.Interval{Start: p.d, End: p.e, Proc: p.proc})
+		newCycles = append(newCycles, p.cycle)
+		if p.proc != iv.Proc {
+			usedNew[p.proc] = true
+		}
+	}
+	newIvs = append(newIvs, st.ivs[idx+1:]...)
+	newCycles = append(newCycles, st.cycles[idx+1:]...)
+	st.ivs, st.cycles = newIvs, newCycles
+	st.lat += c.dLat
+	remaining := st.free[:0]
+	for _, u := range st.free {
+		if !usedNew[u] {
+			remaining = append(remaining, u)
+		}
+	}
+	st.free = remaining
+}
+
+func (st *legacyState) splitUntil(target float64, opt splitOptions) bool {
+	for !leq(st.period(), target) {
+		idx := st.bottleneck()
+		c, ok := st.bestSplit(idx, opt)
+		if !ok {
+			return false
+		}
+		st.apply(idx, c)
+	}
+	return true
+}
+
+func (st *legacyState) result() Result {
+	m := st.mapping()
+	return Result{Mapping: m, Metrics: mapping.Metrics{Period: st.period(), Latency: st.latency()}}
+}
+
+// --- legacy heuristic entry points -------------------------------------
+
+func legacyPeriodConstrained(ev *mapping.Evaluator, maxPeriod float64, opt splitOptions, name string) (Result, error) {
+	st := legacyNewState(ev)
+	ok := st.splitUntil(maxPeriod, opt)
+	res := st.result()
+	if !ok {
+		return res, &InfeasibleError{Heuristic: name, Constraint: "period", Target: maxPeriod, Achieved: res.Metrics.Period, Best: res}
+	}
+	return res, nil
+}
+
+func legacyH1(ev *mapping.Evaluator, maxPeriod float64) (Result, error) {
+	return legacyPeriodConstrained(ev, maxPeriod, splitOptions{rule: selectMono, maxLatency: math.Inf(1)}, SpMonoP{}.Name())
+}
+
+func legacyH2(ev *mapping.Evaluator, maxPeriod float64) (Result, error) {
+	return legacyPeriodConstrained(ev, maxPeriod, splitOptions{rule: selectMono, threeWay: true, maxLatency: math.Inf(1)}, ThreeExploMono{}.Name())
+}
+
+func legacyH3(ev *mapping.Evaluator, maxPeriod float64) (Result, error) {
+	return legacyPeriodConstrained(ev, maxPeriod, splitOptions{rule: selectBi, threeWay: true, maxLatency: math.Inf(1)}, ThreeExploBi{}.Name())
+}
+
+func legacyH4(ev *mapping.Evaluator, maxPeriod float64, iters int) (Result, error) {
+	if iters <= 0 {
+		iters = DefaultBinaryIters
+	}
+	trial := func(latCap float64) (Result, bool) {
+		st := legacyNewState(ev)
+		opt := splitOptions{rule: selectBi, maxLatency: latCap}
+		ok := st.splitUntil(maxPeriod, opt)
+		return st.result(), ok
+	}
+	best, ok := trial(math.Inf(1))
+	if !ok {
+		return best, &InfeasibleError{Heuristic: SpBiP{}.Name(), Constraint: "period", Target: maxPeriod, Achieved: best.Metrics.Period, Best: best}
+	}
+	_, lo := ev.OptimalLatency()
+	hi := best.Metrics.Latency
+	for i := 0; i < iters && hi-lo > relEps*(1+hi); i++ {
+		mid := (lo + hi) / 2
+		if res, ok := trial(mid); ok {
+			if res.Metrics.Latency < best.Metrics.Latency {
+				best = res
+			}
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return best, nil
+}
+
+func legacyLatencyConstrained(ev *mapping.Evaluator, maxLatency float64, opt splitOptions, name string) (Result, error) {
+	st := legacyNewState(ev)
+	if !leq(st.latency(), maxLatency) {
+		res := st.result()
+		return res, &InfeasibleError{Heuristic: name, Constraint: "latency", Target: maxLatency, Achieved: res.Metrics.Latency, Best: res}
+	}
+	opt.maxLatency = maxLatency
+	st.splitUntil(0, opt)
+	return st.result(), nil
+}
+
+func legacyH5(ev *mapping.Evaluator, maxLatency float64) (Result, error) {
+	return legacyLatencyConstrained(ev, maxLatency, splitOptions{rule: selectMono}, SpMonoL{}.Name())
+}
+
+func legacyH6(ev *mapping.Evaluator, maxLatency float64) (Result, error) {
+	return legacyLatencyConstrained(ev, maxLatency, splitOptions{rule: selectBi}, SpBiL{}.Name())
+}
+
+func legacyX7(ev *mapping.Evaluator, maxLatency float64) (Result, error) {
+	return legacyLatencyConstrained(ev, maxLatency, splitOptions{rule: selectMono, threeWay: true}, ThreeExploMonoL{}.Name())
+}
+
+func legacyX8(ev *mapping.Evaluator, maxLatency float64) (Result, error) {
+	return legacyLatencyConstrained(ev, maxLatency, splitOptions{rule: selectBi, threeWay: true}, ThreeExploBiL{}.Name())
+}
+
+// --- legacy fully heterogeneous splitter --------------------------------
+
+func legacySplitFullyHet(ev *mapping.Evaluator, maxPeriod float64) (Result, error) {
+	plat := ev.Platform()
+	app := ev.Pipeline()
+	cur := mapping.SingleProcessor(app, plat, plat.Fastest())
+	curPeriod := ev.Period(cur)
+	used := map[int]bool{plat.Fastest(): true}
+
+	for !leq(curPeriod, maxPeriod) {
+		best, bestPeriod, bestLatency := legacyTryAllSplits(ev, cur, curPeriod, used)
+		if best == nil {
+			res := Result{Mapping: cur, Metrics: ev.Metrics(cur)}
+			return res, &InfeasibleError{
+				Heuristic: "Split fully-het", Constraint: "period",
+				Target: maxPeriod, Achieved: curPeriod, Best: res,
+			}
+		}
+		_ = bestLatency
+		cur, curPeriod = best, bestPeriod
+		used = map[int]bool{}
+		for _, u := range cur.Processors() {
+			used[u] = true
+		}
+	}
+	return Result{Mapping: cur, Metrics: ev.Metrics(cur)}, nil
+}
+
+func legacyTryAllSplits(ev *mapping.Evaluator, cur *mapping.Mapping, curPeriod float64, used map[int]bool) (*mapping.Mapping, float64, float64) {
+	app, plat := ev.Pipeline(), ev.Platform()
+	ivs := cur.Intervals()
+
+	bIdx, bCycle := 0, math.Inf(-1)
+	for j, iv := range ivs {
+		prev, next := 0, 0
+		if j > 0 {
+			prev = ivs[j-1].Proc
+		}
+		if j < len(ivs)-1 {
+			next = ivs[j+1].Proc
+		}
+		in, comp, out := ev.CycleParts(iv.Start, iv.End, iv.Proc, prev, next)
+		if c := in + comp + out; c > bCycle {
+			bIdx, bCycle = j, c
+		}
+	}
+	iv := ivs[bIdx]
+	if iv.Start == iv.End {
+		return nil, 0, 0
+	}
+
+	var best *mapping.Mapping
+	bestPeriod := math.Inf(1)
+	bestLatency := math.Inf(1)
+	consider := func(trial []mapping.Interval) {
+		m, err := mapping.New(app, plat, trial)
+		if err != nil {
+			return
+		}
+		p := ev.Period(m)
+		if !lt(p, curPeriod) {
+			return
+		}
+		l := ev.Latency(m)
+		if p < bestPeriod-relEps || (p < bestPeriod+relEps && l < bestLatency) {
+			best, bestPeriod, bestLatency = m, p, l
+		}
+	}
+	for u := 1; u <= plat.Processors(); u++ {
+		if used[u] {
+			continue
+		}
+		for k := iv.Start; k < iv.End; k++ {
+			for _, order := range [2][2]int{{iv.Proc, u}, {u, iv.Proc}} {
+				trial := make([]mapping.Interval, 0, len(ivs)+1)
+				trial = append(trial, ivs[:bIdx]...)
+				trial = append(trial,
+					mapping.Interval{Start: iv.Start, End: k, Proc: order[0]},
+					mapping.Interval{Start: k + 1, End: iv.End, Proc: order[1]})
+				trial = append(trial, ivs[bIdx+1:]...)
+				consider(trial)
+			}
+		}
+	}
+	if best == nil {
+		return nil, 0, 0
+	}
+	return best, bestPeriod, bestLatency
+}

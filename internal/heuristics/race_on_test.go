@@ -1,0 +1,8 @@
+//go:build race
+
+package heuristics
+
+// raceEnabled reports that this binary was built with the race detector;
+// allocation-count assertions are skipped there (sync.Pool intentionally
+// drops entries under -race).
+const raceEnabled = true

@@ -14,6 +14,7 @@ import (
 	"slices"
 	"sort"
 	"strings"
+	"sync"
 
 	"pipesched/internal/pipeline"
 	"pipesched/internal/platform"
@@ -215,6 +216,9 @@ type Evaluator struct {
 	invBandwidth  float64     // 1/b on CommHomogeneous platforms
 	invMinLink    float64     // 1/MinLinkBandwidth()
 	invLinks      [][]float64 // reciprocal link matrix (FullyHeterogeneous)
+
+	optLat  float64   // latency of the Lemma-1 optimal mapping, precomputed
+	scratch sync.Pool // Scratch leases; see LeaseScratch
 }
 
 // NewEvaluator binds a pipeline and a platform.
@@ -245,6 +249,7 @@ func NewEvaluator(app *pipeline.Pipeline, plat *platform.Platform) *Evaluator {
 			}
 		}
 	}
+	ev.optLat = ev.Latency(SingleProcessor(app, plat, plat.Fastest()))
 	return ev
 }
 
@@ -321,9 +326,14 @@ func (ev *Evaluator) Cycle(d, e, u int) float64 {
 }
 
 // Period evaluates equation (1) for m.
-func (ev *Evaluator) Period(m *Mapping) float64 {
+func (ev *Evaluator) Period(m *Mapping) float64 { return ev.PeriodOf(m.intervals) }
+
+// PeriodOf evaluates equation (1) on a raw interval slice already in
+// pipeline order. Engines score candidate mappings on reused scratch
+// buffers through it, without materialising a Mapping; it is
+// bit-identical to Period on the validated equivalent.
+func (ev *Evaluator) PeriodOf(ivs []Interval) float64 {
 	max := 0.0
-	ivs := m.intervals
 	for j, iv := range ivs {
 		prev, next := 0, 0
 		if j > 0 {
@@ -344,9 +354,13 @@ func (ev *Evaluator) Period(m *Mapping) float64 {
 // only inter-processor communications are paid:
 //
 //	Σ_j ( δ_{d_j-1}/b + Σ_{i∈I_j} w_i / s_alloc(j) ) + δ_n/b.
-func (ev *Evaluator) Latency(m *Mapping) float64 {
+func (ev *Evaluator) Latency(m *Mapping) float64 { return ev.LatencyOf(m.intervals) }
+
+// LatencyOf evaluates equation (2) on a raw interval slice already in
+// pipeline order; the scratch-buffer counterpart of Latency (see
+// PeriodOf).
+func (ev *Evaluator) LatencyOf(ivs []Interval) float64 {
 	total := 0.0
-	ivs := m.intervals
 	for j, iv := range ivs {
 		prev := 0
 		if j > 0 {
@@ -369,6 +383,11 @@ func (ev *Evaluator) Metrics(m *Mapping) Metrics {
 // mappings together with the mapping realising it: everything on the
 // fastest processor (Lemma 1 of the paper).
 func (ev *Evaluator) OptimalLatency() (*Mapping, float64) {
-	m := SingleProcessor(ev.app, ev.plat, ev.plat.Fastest())
-	return m, ev.Latency(m)
+	return SingleProcessor(ev.app, ev.plat, ev.plat.Fastest()), ev.optLat
 }
+
+// OptimalLatencyValue returns the Lemma-1 optimal latency without
+// materialising its mapping. The value is precomputed at NewEvaluator, so
+// hot paths (the bisection bracket of heuristic H4, sweep feasibility
+// checks) read a field instead of building and scoring a mapping.
+func (ev *Evaluator) OptimalLatencyValue() float64 { return ev.optLat }

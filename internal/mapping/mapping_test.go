@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -451,4 +452,90 @@ func TestProcessorOfPanicsOutsideRange(t *testing.T) {
 			m.ProcessorOf(k)
 		}()
 	}
+}
+
+// PeriodOf/LatencyOf must agree bit for bit with the Mapping-based
+// evaluation: they are the scratch-buffer path the heuristic engines
+// score candidates through.
+func TestPeriodOfLatencyOfMatchMapping(t *testing.T) {
+	app := pipeline.MustNew([]float64{3, 5, 2, 8, 1}, []float64{2, 4, 1, 3, 2, 5})
+	for _, plat := range []*platform.Platform{
+		platform.MustNew([]float64{4, 2, 3}, 7),
+		mustFullyHet(t),
+	} {
+		ev := NewEvaluator(app, plat)
+		for _, ivs := range [][]Interval{
+			{{Start: 1, End: 5, Proc: 1}},
+			{{Start: 1, End: 2, Proc: 2}, {Start: 3, End: 5, Proc: 1}},
+			{{Start: 1, End: 1, Proc: 3}, {Start: 2, End: 4, Proc: 1}, {Start: 5, End: 5, Proc: 2}},
+		} {
+			m := MustNew(app, plat, ivs)
+			if got, want := ev.PeriodOf(ivs), ev.Period(m); math.Float64bits(got) != math.Float64bits(want) {
+				t.Errorf("%v: PeriodOf = %v, Period = %v", ivs, got, want)
+			}
+			if got, want := ev.LatencyOf(ivs), ev.Latency(m); math.Float64bits(got) != math.Float64bits(want) {
+				t.Errorf("%v: LatencyOf = %v, Latency = %v", ivs, got, want)
+			}
+		}
+	}
+}
+
+func mustFullyHet(t *testing.T) *platform.Platform {
+	t.Helper()
+	plat, err := platform.NewFullyHeterogeneous([]float64{4, 2, 3}, [][]float64{
+		{0, 5, 2},
+		{5, 0, 7},
+		{2, 7, 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plat
+}
+
+// OptimalLatencyValue must equal the second return of OptimalLatency and
+// the direct evaluation of the single-processor mapping.
+func TestOptimalLatencyValue(t *testing.T) {
+	app := pipeline.MustNew([]float64{3, 5, 2}, []float64{2, 4, 1, 3})
+	plat := platform.MustNew([]float64{4, 2, 9}, 7)
+	ev := NewEvaluator(app, plat)
+	m, lat := ev.OptimalLatency()
+	if math.Float64bits(lat) != math.Float64bits(ev.OptimalLatencyValue()) {
+		t.Errorf("OptimalLatencyValue %v != OptimalLatency %v", ev.OptimalLatencyValue(), lat)
+	}
+	if math.Float64bits(lat) != math.Float64bits(ev.Latency(m)) {
+		t.Errorf("cached optimal latency %v != evaluated %v", lat, ev.Latency(m))
+	}
+}
+
+// A Scratch lease is exclusive while held, and concurrent leases never
+// alias each other's buffers. (Capacity retention across leases is a
+// sync.Pool property the allocation-regression tests pin down; under
+// -race the pool intentionally drops entries, so it cannot be asserted
+// here.)
+func TestScratchLease(t *testing.T) {
+	app := pipeline.MustNew([]float64{3, 5, 2}, []float64{2, 4, 1, 3})
+	ev := NewEvaluator(app, platform.MustNew([]float64{4, 2, 9}, 7))
+	s := ev.LeaseScratch()
+	s.Ivs = append(s.Ivs[:0], Interval{Start: 1, End: 3, Proc: 1})
+	s.Cycles = append(s.Cycles[:0], 1.5)
+	s.Procs = append(s.Procs[:0], 2, 3)
+	s.Release()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				sc := ev.LeaseScratch()
+				sc.Procs = append(sc.Procs[:0], w)
+				if sc.Procs[0] != w {
+					t.Errorf("scratch shared across concurrent leases")
+				}
+				sc.Release()
+			}
+		}(w)
+	}
+	wg.Wait()
 }

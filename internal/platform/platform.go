@@ -296,6 +296,17 @@ func (p *Platform) FastestFirst() []int { return append([]int(nil), p.bySpeed...
 // Fastest returns the identifier of the fastest processor.
 func (p *Platform) Fastest() int { return p.bySpeed[0] }
 
+// OrderedProcessor returns the processor with the i-th highest speed,
+// i in [0..p) (ties ordered by increasing identifier): entry i of
+// FastestFirst without the copy, so allocation-free engines can rebuild
+// their fastest-first free lists processor by processor.
+func (p *Platform) OrderedProcessor(i int) int {
+	if i < 0 || i >= len(p.bySpeed) {
+		panic(fmt.Sprintf("platform: speed rank %d out of range [0..%d)", i, len(p.bySpeed)))
+	}
+	return p.bySpeed[i]
+}
+
 // MaxSpeed returns max_u s_u.
 func (p *Platform) MaxSpeed() float64 { return p.speeds[p.bySpeed[0]-1] }
 

@@ -404,3 +404,23 @@ func TestClassAccessorsPanicOutOfRange(t *testing.T) {
 		}()
 	}
 }
+
+func TestOrderedProcessorMatchesFastestFirst(t *testing.T) {
+	p := MustNew([]float64{1, 7, 3, 9, 5, 7}, 10)
+	order := p.FastestFirst()
+	for i, want := range order {
+		if got := p.OrderedProcessor(i); got != want {
+			t.Errorf("OrderedProcessor(%d) = %d, want %d", i, got, want)
+		}
+	}
+	for _, i := range []int{-1, len(order)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("OrderedProcessor(%d) did not panic", i)
+				}
+			}()
+			p.OrderedProcessor(i)
+		}()
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package portfolio
+
+// raceEnabled mirrors the heuristics package guard: allocation-count
+// assertions are skipped under the race detector, where sync.Pool
+// intentionally drops entries.
+const raceEnabled = true

@@ -28,11 +28,17 @@ type TradeoffPoint struct {
 // approximation of the true front — every returned point is achievable,
 // none dominates another, but better points may exist.
 //
-// The (grid point, heuristic) runs of each phase are independent, so they
-// fan out over a workers-bounded pool (0 selects GOMAXPROCS); candidates
-// are then aggregated in grid order, making the frontier identical to a
-// serial sweep. Cancelling ctx stops dispatching new runs; candidates from
-// runs that never started are simply absent, exactly as if the grid had
+// The sweep is warm-started: each heuristic owns one lane that walks the
+// shared sorted bound grid monotonically on a single pooled engine
+// (heuristics.PeriodSweeper / LatencySweeper), so adjacent grid points
+// extend the splitting trajectory instead of recomputing its prefix,
+// repeated results are reused without re-enumeration, and a lane stops as
+// soon as its heuristic's failure threshold is crossed. Lanes fan out
+// over a workers-bounded pool (0 selects GOMAXPROCS); every per-point
+// result is bit-identical to a fresh run, and candidates are aggregated
+// in grid order, so the frontier is identical to the historical
+// point-by-point sweep. Cancelling ctx stops lanes between grid points;
+// points never reached are simply absent, exactly as if the grid had
 // been truncated.
 func ParetoSweep(ctx context.Context, ev *mapping.Evaluator, points, workers int) []TradeoffPoint {
 	if points < 2 {
@@ -41,63 +47,79 @@ func ParetoSweep(ctx context.Context, ev *mapping.Evaluator, points, workers int
 	single := mapping.SingleProcessor(ev.Pipeline(), ev.Platform(), ev.Platform().Fastest())
 	lo := lowerbound.Period(ev)
 	hi := ev.Period(single)
-	var raw []TradeoffPoint
-	add := func(res heuristics.Result, err error) {
-		if err != nil || res.Mapping == nil {
-			return
-		}
-		raw = append(raw, TradeoffPoint{Metrics: res.Metrics, Mapping: res.Mapping})
-	}
-	type run struct {
+
+	type cell struct {
 		res heuristics.Result
-		err error
+		ok  bool
 	}
-	type periodTask struct {
-		bound float64
-		h     heuristics.PeriodConstrained
-	}
-	var periodTasks []periodTask
+
+	// Phase 1: period-constrained lanes, each walking the bound grid
+	// loosest-first (trajectories only ever extend).
+	periodRows, _ := Map(ctx, workers, heuristics.PeriodHeuristics(), func(ctx context.Context, h heuristics.PeriodConstrained) []cell {
+		sw := heuristics.NewPeriodSweeper(ev, h)
+		defer sw.Close()
+		row := make([]cell, points)
+		for i := points - 1; i >= 0; i-- {
+			if ctx.Err() != nil {
+				break
+			}
+			bound := lo + (hi-lo)*float64(i)/float64(points-1)
+			res, err := sw.Solve(bound)
+			if err != nil {
+				// Failure thresholds are monotone: every tighter bound
+				// fails too, contributing nothing.
+				break
+			}
+			if res.Mapping != nil {
+				row[i] = cell{res: res, ok: true}
+			}
+		}
+		return row
+	})
+	var raw []TradeoffPoint
 	for i := 0; i < points; i++ {
-		bound := lo + (hi-lo)*float64(i)/float64(points-1)
-		for _, h := range heuristics.PeriodHeuristics() {
-			periodTasks = append(periodTasks, periodTask{bound: bound, h: h})
+		for _, row := range periodRows {
+			if row != nil && row[i].ok {
+				raw = append(raw, TradeoffPoint{Metrics: row[i].res.Metrics, Mapping: row[i].res.Mapping})
+			}
 		}
 	}
-	runs, _ := Map(ctx, workers, periodTasks, func(_ context.Context, t periodTask) run {
-		res, err := t.h.MinimizeLatency(ev, t.bound)
-		return run{res: res, err: err}
-	})
-	for _, r := range runs {
-		add(r.res, r.err)
-	}
-	// Feed the latency range the period sweep discovered back through
-	// the latency-constrained heuristics: they sometimes find better
-	// periods at equal latency.
+
+	// Phase 2: feed the latency range the period sweep discovered back
+	// through the latency-constrained heuristics — they sometimes find
+	// better periods at equal latency. Budgets ascend, matching the
+	// LatencySweeper warm-start contract.
 	minLat, maxLat := math.Inf(1), math.Inf(-1)
 	for _, pt := range raw {
 		minLat = math.Min(minLat, pt.Metrics.Latency)
 		maxLat = math.Max(maxLat, pt.Metrics.Latency)
 	}
 	if len(raw) > 0 && maxLat > minLat {
-		type latencyTask struct {
-			budget float64
-			h      heuristics.LatencyConstrained
-		}
-		var latencyTasks []latencyTask
+		latRows, _ := Map(ctx, workers, heuristics.LatencyHeuristics(), func(ctx context.Context, h heuristics.LatencyConstrained) []cell {
+			sw := heuristics.NewLatencySweeper(ev, h)
+			defer sw.Close()
+			row := make([]cell, points)
+			for i := 0; i < points; i++ {
+				if ctx.Err() != nil {
+					break
+				}
+				budget := minLat + (maxLat-minLat)*float64(i)/float64(points-1)
+				res, err := sw.Solve(budget)
+				if err == nil && res.Mapping != nil {
+					row[i] = cell{res: res, ok: true}
+				}
+			}
+			return row
+		})
 		for i := 0; i < points; i++ {
-			budget := minLat + (maxLat-minLat)*float64(i)/float64(points-1)
-			for _, h := range heuristics.LatencyHeuristics() {
-				latencyTasks = append(latencyTasks, latencyTask{budget: budget, h: h})
+			for _, row := range latRows {
+				if row != nil && row[i].ok {
+					raw = append(raw, TradeoffPoint{Metrics: row[i].res.Metrics, Mapping: row[i].res.Mapping})
+				}
 			}
 		}
-		runs, _ := Map(ctx, workers, latencyTasks, func(_ context.Context, t latencyTask) run {
-			res, err := t.h.MinimizePeriod(ev, t.budget)
-			return run{res: res, err: err}
-		})
-		for _, r := range runs {
-			add(r.res, r.err)
-		}
 	}
+
 	// Dominance prune through the shared frontier filter.
 	metrics := make([]mapping.Metrics, len(raw))
 	for i, pt := range raw {

@@ -1,21 +1,34 @@
 #!/usr/bin/env bash
-# bench.sh — snapshot the exact-engine and portfolio benchmarks into a
-# machine-readable JSON trajectory file.
+# bench.sh — snapshot the exact-engine, heuristic and portfolio
+# benchmarks into a machine-readable JSON trajectory file.
 #
 # Usage:
-#   scripts/bench.sh                 # writes BENCH_3.json in the repo root
+#   scripts/bench.sh                 # writes BENCH_4.json in the repo root
+#   scripts/bench.sh out.json        # explicit output path (first arg)
 #   BENCH_OUT=out.json scripts/bench.sh
 #   BENCHTIME=0.5s scripts/bench.sh  # shorter runs (CI)
 #
-# The output records ns/op, B/op and allocs/op for every benchmark matched
-# by PATTERN. Comparing two commits is a diff of their BENCH_*.json files;
-# CI uploads the file as a build artifact on every run.
+# The default output name tracks the PR trajectory (BENCH_<pr>.json);
+# bump BENCH_DEFAULT when cutting a new snapshot generation. The output
+# records ns/op, B/op and allocs/op for every benchmark matched by
+# BENCH_PATTERN. Comparing two commits is a diff of their BENCH_*.json
+# files (scripts/bench_diff.sh automates it); CI uploads the fresh file
+# as a build artifact on every run.
 set -euo pipefail
-cd "$(dirname "$0")/.."
 
-OUT="${BENCH_OUT:-BENCH_3.json}"
+# Resolve a caller-supplied output path against the caller's directory
+# BEFORE changing into the repo root, so `scripts/bench.sh out.json`
+# writes where the caller stands; the default lands in the repo root.
+BENCH_DEFAULT="BENCH_4.json"
+OUT="${BENCH_OUT:-${1:-}}"
+case "$OUT" in
+"" | /*) ;;
+*) OUT="$PWD/$OUT" ;;
+esac
+cd "$(dirname "$0")/.."
+[ -n "$OUT" ] || OUT="$BENCH_DEFAULT"
 BENCHTIME="${BENCHTIME:-1s}"
-PATTERN="${BENCH_PATTERN:-^(BenchmarkExactMinPeriod|BenchmarkExactParetoFront|BenchmarkExactLargeFewClass|BenchmarkPortfolioRace)$}"
+PATTERN="${BENCH_PATTERN:-^(BenchmarkExactMinPeriod|BenchmarkExactParetoFront|BenchmarkExactLargeFewClass|BenchmarkPortfolioRace|BenchmarkHeuristicSolve|BenchmarkParetoSweep)$}"
 
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT

@@ -24,11 +24,16 @@ type TradeoffPoint = portfolio.TradeoffPoint
 // approximation of the true front — every returned point is achievable,
 // none dominates another, but better points may exist.
 //
-// The (grid point, heuristic) runs of each phase are independent, so they
-// fan out over a GOMAXPROCS-bounded worker pool; candidates are then
-// aggregated in grid order, making the frontier identical to a serial
-// sweep. The sweep core lives in internal/portfolio (ParetoSweep), where
-// the serving layer reaches it with per-request contexts.
+// The sweep is warm-started: each heuristic owns one lane that walks the
+// sorted bound grid on a single pooled engine, extending its splitting
+// trajectory across adjacent grid points instead of recomputing the
+// shared prefix, reusing repeated results outright, and stopping at the
+// heuristic's failure threshold. Lanes fan out over a GOMAXPROCS-bounded
+// worker pool; every per-point result is bit-identical to a fresh run
+// and candidates are aggregated in grid order, so the frontier is
+// identical to the historical point-by-point sweep. The sweep core lives
+// in internal/portfolio (ParetoSweep), where the serving layer reaches
+// it with per-request contexts.
 func HeuristicParetoSweep(ev *Evaluator, points int) []TradeoffPoint {
 	return portfolio.ParetoSweep(context.Background(), ev, points, 0)
 }
