@@ -1,8 +1,10 @@
 // Command pipeschedd is the solver service daemon: a long-lived HTTP
 // process exposing the paper's heuristics, the exact DP and the
-// concurrent portfolio/batch engine over a JSON API, with a
+// concurrent portfolio/batch engine over a JSON API, with a sharded
 // canonical-instance result cache and singleflight deduplication so that
-// repeat and concurrent-identical traffic costs one solve.
+// repeat and concurrent-identical traffic costs one solve and cache hits
+// scale with cores (-cache-shards tunes the shard count; the default is
+// one power-of-two shard per core).
 //
 // Endpoints:
 //
@@ -67,6 +69,7 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) error {
 	var (
 		addr           = fs.String("addr", ":8080", "listen address")
 		cacheEntries   = fs.Int("cache-entries", 0, "result cache bound in entries (0 = default 1024, negative = disable storage)")
+		cacheShards    = fs.Int("cache-shards", 0, "result cache shard count, rounded up to a power of two (0 = one shard per core, negative = single shard)")
 		workers        = fs.Int("workers", 0, "batch worker pool cap (0 = GOMAXPROCS)")
 		requestTimeout = fs.Duration("request-timeout", 0, "server-side deadline per request (0 = none; requests may still set timeout_ms)")
 		drainTimeout   = fs.Duration("drain-timeout", 15*time.Second, "graceful-shutdown wait for in-flight requests")
@@ -105,6 +108,7 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) error {
 	}
 	srv := service.New(service.Options{
 		CacheEntries:   *cacheEntries,
+		CacheShards:    *cacheShards,
 		Workers:        *workers,
 		RequestTimeout: *requestTimeout,
 		DrainTimeout:   *drainTimeout,

@@ -45,6 +45,18 @@ func MapIndexed[T, R any](ctx context.Context, workers int, in []T, fn func(cont
 	if len(in) == 0 {
 		return out, ctx.Err()
 	}
+	if workers == 1 {
+		// Inline lane handoff: one worker needs no goroutine, no channel
+		// and no WaitGroup — the single-lane path must never cost more
+		// than a plain loop, so the serial fallback genuinely is serial.
+		for i := range in {
+			if ctx.Err() != nil {
+				break
+			}
+			out[i] = fn(ctx, i, in[i])
+		}
+		return out, ctx.Err()
+	}
 	idx := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {

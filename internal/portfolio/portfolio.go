@@ -3,6 +3,7 @@ package portfolio
 import (
 	"context"
 	"errors"
+	"runtime"
 	"sync"
 
 	"pipesched/internal/exact"
@@ -80,6 +81,23 @@ func exactApplies(ev *mapping.Evaluator, opts SolveOptions) bool {
 	return opts.Exact && exact.Eligible(ev.Platform())
 }
 
+// serialFallbackCells is the instance size (stages × processors) at or
+// below which a concurrent race runs serially instead: the pooled
+// solvers finish such instances in tens of microseconds, so goroutine
+// fan-out and WaitGroup handoff cost as much as they save — the
+// BENCH_4 PortfolioRace rows (140 cells) showed the parallel lane flat
+// on time and heavier on allocations. Selection is shared between both
+// paths, so the fallback cannot change any result, only remove overhead.
+const serialFallbackCells = 256
+
+// serialFallback reports whether the concurrent path should degrade to
+// the serial one: small instances, or a single-processor host where
+// there is no parallelism to win and every spawned lane is pure loss.
+func serialFallback(ev *mapping.Evaluator) bool {
+	return runtime.GOMAXPROCS(0) == 1 ||
+		ev.Pipeline().Stages()*ev.Platform().Processors() <= serialFallbackCells
+}
+
 // UnderPeriod races the period-constrained solvers (H1–H4, plus the exact
 // DP when opts.Exact applies) and returns the feasible outcome with the
 // smallest latency (ties: smallest period; further ties: portfolio order).
@@ -107,7 +125,7 @@ func UnderPeriod(ctx context.Context, ev *mapping.Evaluator, maxPeriod float64, 
 			return heuristics.Result{Mapping: r.Mapping, Metrics: r.Metrics}, err
 		}})
 	}
-	return pickUnderPeriod(race(solvers, opts.Serial))
+	return pickUnderPeriod(race(solvers, opts.Serial || serialFallback(ev)))
 }
 
 // pickUnderPeriod mirrors the serial selection of BestUnderPeriod: strict
@@ -155,7 +173,7 @@ func UnderLatency(ctx context.Context, ev *mapping.Evaluator, maxLatency float64
 			return heuristics.Result{Mapping: r.Mapping, Metrics: r.Metrics}, err
 		}})
 	}
-	return pickUnderLatency(race(solvers, opts.Serial))
+	return pickUnderLatency(race(solvers, opts.Serial || serialFallback(ev)))
 }
 
 // pickUnderLatency mirrors the serial selection of BestUnderLatency:

@@ -44,6 +44,14 @@ func ParetoSweep(ctx context.Context, ev *mapping.Evaluator, points, workers int
 	if points < 2 {
 		points = 2
 	}
+	// Small instances (and single-processor hosts) take the inline
+	// single-lane path: the per-point solves are microseconds, so lane
+	// goroutines and channel handoff would cost more than they overlap.
+	// Candidates aggregate in grid order either way — the frontier is
+	// bit-identical to the fanned-out sweep.
+	if serialFallback(ev) {
+		workers = 1
+	}
 	single := mapping.SingleProcessor(ev.Pipeline(), ev.Platform(), ev.Platform().Fastest())
 	lo := lowerbound.Period(ev)
 	hi := ev.Period(single)

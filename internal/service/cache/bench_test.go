@@ -1,0 +1,145 @@
+package cache
+
+// Contention benchmarks: the sharded cache against the legacy
+// single-mutex oracle under RunParallel hit traffic — the serving hot
+// path, where every request takes the cache lock at least once. Run
+// across core counts to see the single mutex saturate:
+//
+//	go test -run '^$' -bench BenchmarkCache -benchmem -cpu 1,4,8 ./internal/service/cache
+
+import (
+	"context"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+)
+
+// benchKeys builds a working set of distinct keys spread over the full
+// shard space, pre-shuffled so consecutive accesses hop shards the way
+// hashed traffic does.
+func benchKeys(n int) []Key {
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]Key, n)
+	for i := range keys {
+		rng.Read(keys[i][:])
+	}
+	return keys
+}
+
+type cacheUnderTest struct {
+	name string
+	get  func(Key) ([]byte, bool)
+	do   func(context.Context, Key, func() ([]byte, error)) ([]byte, Source, error)
+}
+
+func contenders(capacity int) []cacheUnderTest {
+	legacy := New[[]byte](capacity)
+	sharded := NewSharded[[]byte](capacity, 0)
+	return []cacheUnderTest{
+		{"legacy", legacy.Get, legacy.Do},
+		{"sharded", sharded.Get, sharded.Do},
+	}
+}
+
+// BenchmarkCacheGetHitParallel is the pure lock-contention probe: every
+// operation is a hit, so the entire cost is shard selection plus one
+// mutex acquire and LRU promotion. On the legacy cache every core queues
+// on the same mutex; on the sharded cache they spread across shards.
+func BenchmarkCacheGetHitParallel(b *testing.B) {
+	const working = 1024
+	keys := benchKeys(working)
+	body := []byte(`{"result":"cached"}`)
+	for _, c := range contenders(working * 2) {
+		b.Run(c.name, func(b *testing.B) {
+			for _, k := range keys {
+				k := k
+				if _, _, err := c.do(context.Background(), k, func() ([]byte, error) { return body, nil }); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := rand.Int()
+				for pb.Next() {
+					i++
+					if _, ok := c.get(keys[i%working]); !ok {
+						b.Error("unexpected miss")
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkCacheDoHitParallel drives the same hit traffic through Do —
+// the exact call the serving path makes — including the in-flight table
+// check that rides under the same lock.
+func BenchmarkCacheDoHitParallel(b *testing.B) {
+	const working = 1024
+	keys := benchKeys(working)
+	body := []byte(`{"result":"cached"}`)
+	ctx := context.Background()
+	for _, c := range contenders(working * 2) {
+		b.Run(c.name, func(b *testing.B) {
+			fn := func() ([]byte, error) { return body, nil }
+			for _, k := range keys {
+				if _, _, err := c.do(ctx, k, fn); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := rand.Int()
+				for pb.Next() {
+					i++
+					if _, src, err := c.do(ctx, keys[i%working], fn); err != nil || src != Hit {
+						b.Errorf("Do = (%v, %v), want hit", src, err)
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkCacheChurnParallel mixes hits with misses and eviction churn:
+// a working set twice the capacity, so every miss takes the insert path
+// (store + LRU eviction) under the shard lock while other cores keep
+// hitting. The miss fraction is reported so the two implementations can
+// be confirmed to run the same mix.
+func BenchmarkCacheChurnParallel(b *testing.B) {
+	const working = 2048
+	keys := benchKeys(working)
+	body := []byte(`{"result":"cached"}`)
+	ctx := context.Background()
+	for _, c := range contenders(working / 2) {
+		b.Run(c.name, func(b *testing.B) {
+			fn := func() ([]byte, error) { return body, nil }
+			var misses, total atomic.Uint64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := rand.Int()
+				for pb.Next() {
+					i++
+					_, src, err := c.do(ctx, keys[i%working], fn)
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					if src == Computed {
+						misses.Add(1)
+					}
+					total.Add(1)
+				}
+			})
+			b.StopTimer()
+			if n := total.Load(); n > 0 {
+				b.ReportMetric(float64(misses.Load())/float64(n), "miss/op")
+			}
+		})
+	}
+}

@@ -1,0 +1,364 @@
+package cache
+
+// Cross-implementation property tests: the sharded cache must be
+// behaviourally identical to the single-shard Cache, which stays in the
+// package as the test oracle. Sequential traffic is compared op by op
+// (value, source, error and final stats all equal); concurrent traffic —
+// where interleavings legitimately differ between two instances — is
+// checked against the invariants that hold for every interleaving:
+// returned values are always the key's value, every observed outcome is
+// counted exactly once (hits+misses+collapsed conservation), and the
+// entry count respects the capacity bound. Run under -race, this doubles
+// as the data-race hammer for the shard routing.
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// val is the deterministic value of a key: compute functions in these
+// tests always return val(k), so any returned value is checkable.
+func val(k Key) int { return int(k[0])*31 + int(k[1]) }
+
+// keyAt builds a key whose shard (for any power-of-two shard count up to
+// 256) is chosen by its first byte.
+func keyAt(shardByte, salt byte) Key {
+	var k Key
+	k[0] = shardByte
+	k[1] = salt
+	return k
+}
+
+func TestCeilPow2(t *testing.T) {
+	for _, tc := range []struct{ in, max, want int }{
+		{0, 128, 1}, {1, 128, 1}, {2, 128, 2}, {3, 128, 4},
+		{5, 128, 8}, {8, 128, 8}, {9, 128, 16}, {1000, 128, 128},
+	} {
+		if got := ceilPow2(tc.in, tc.max); got != tc.want {
+			t.Errorf("ceilPow2(%d, %d) = %d, want %d", tc.in, tc.max, got, tc.want)
+		}
+	}
+}
+
+func TestShardedRouting(t *testing.T) {
+	s := NewSharded[int](64, 5) // rounds up to 8 shards
+	if got := s.Shards(); got != 8 {
+		t.Fatalf("Shards() = %d, want 8 (5 rounded up)", got)
+	}
+	if d := DefaultShards(); d&(d-1) != 0 || d < 1 || d > 128 {
+		t.Fatalf("DefaultShards() = %d, want a power of two in [1,128]", d)
+	}
+	// Identical keys must always route identically (the collapse
+	// guarantee depends on it); distinct low bytes must spread.
+	k := keyAt(3, 9)
+	if s.shard(k) != s.shard(k) {
+		t.Fatal("same key routed to different shards")
+	}
+	seen := map[*Cache[int]]bool{}
+	for b := byte(0); b < 8; b++ {
+		seen[s.shard(keyAt(b, 0))] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("8 distinct low bytes landed on %d shards, want 8", len(seen))
+	}
+}
+
+// oracleSet mirrors a Sharded cache with independent single-shard Cache
+// oracles, routed by the same key bits.
+type oracleSet struct {
+	mask    uint64
+	oracles []*Cache[int]
+}
+
+func newOracleSet(perShard, shards int) *oracleSet {
+	o := &oracleSet{mask: uint64(shards - 1), oracles: make([]*Cache[int], shards)}
+	for i := range o.oracles {
+		o.oracles[i] = New[int](perShard)
+	}
+	return o
+}
+
+func (o *oracleSet) route(k Key) *Cache[int] {
+	return o.oracles[binary.LittleEndian.Uint64(k[:8])&o.mask]
+}
+
+func (o *oracleSet) stats() Stats {
+	var agg Stats
+	for _, c := range o.oracles {
+		s := c.Stats()
+		agg.Hits += s.Hits
+		agg.Misses += s.Misses
+		agg.Collapsed += s.Collapsed
+		agg.Evictions += s.Evictions
+		agg.Entries += s.Entries
+	}
+	return agg
+}
+
+// TestShardedMatchesOracleSequential drives one deterministic randomized
+// op stream — Get, Do and eviction pressure — through a sharded cache and
+// the per-shard oracles, asserting every single operation observes the
+// identical outcome and the final counters agree shard by shard.
+func TestShardedMatchesOracleSequential(t *testing.T) {
+	const (
+		shards   = 4
+		perShard = 8
+		ops      = 20000
+	)
+	s := NewSharded[int](shards*perShard, shards)
+	o := newOracleSet(perShard, shards)
+	rng := rand.New(rand.NewSource(7))
+	ctx := context.Background()
+
+	for i := 0; i < ops; i++ {
+		// 64 distinct keys over 4 shards, 16 per shard vs capacity 8:
+		// constant eviction churn on every shard.
+		k := keyAt(byte(rng.Intn(shards)), byte(rng.Intn(16)))
+		if rng.Intn(10) < 3 { // 30% bare Gets
+			gv, gok := s.Get(k)
+			wv, wok := o.route(k).Get(k)
+			if gv != wv || gok != wok {
+				t.Fatalf("op %d: Get(%v) = (%d,%v), oracle (%d,%v)", i, k[:2], gv, gok, wv, wok)
+			}
+			continue
+		}
+		fn := func() (int, error) { return val(k), nil }
+		gv, gsrc, gerr := s.Do(ctx, k, fn)
+		wv, wsrc, werr := o.route(k).Do(ctx, k, fn)
+		if gv != wv || gsrc != wsrc || (gerr == nil) != (werr == nil) {
+			t.Fatalf("op %d: Do(%v) = (%d,%v,%v), oracle (%d,%v,%v)", i, k[:2], gv, gsrc, gerr, wv, wsrc, werr)
+		}
+	}
+	for i, shard := range s.shards {
+		ss, os := shard.Stats(), o.oracles[i].Stats()
+		if ss != os {
+			t.Errorf("shard %d stats %+v, oracle %+v", i, ss, os)
+		}
+	}
+	if agg, want := s.Stats(), o.stats(); agg != want {
+		t.Errorf("aggregate stats %+v, oracle %+v", agg, want)
+	}
+	if agg := s.Stats(); agg.Evictions == 0 {
+		t.Error("traffic produced no evictions; the property run is not exercising LRU bounds")
+	}
+}
+
+// TestSingleShardIsTheOracle pins the degenerate case exactly: one shard
+// must behave indistinguishably from the legacy cache on eviction-order
+// sensitive traffic.
+func TestSingleShardIsTheOracle(t *testing.T) {
+	s := NewSharded[int](3, 1)
+	c := New[int](3)
+	rng := rand.New(rand.NewSource(11))
+	ctx := context.Background()
+	for i := 0; i < 5000; i++ {
+		k := keyAt(byte(rng.Intn(9)), 0)
+		fn := func() (int, error) { return val(k), nil }
+		gv, gsrc, _ := s.Do(ctx, k, fn)
+		wv, wsrc, _ := c.Do(ctx, k, fn)
+		if gv != wv || gsrc != wsrc {
+			t.Fatalf("op %d: (%d,%v) vs oracle (%d,%v)", i, gv, gsrc, wv, wsrc)
+		}
+	}
+	if ss, cs := s.Stats(), c.Stats(); ss != cs {
+		t.Fatalf("stats diverged: %+v vs %+v", ss, cs)
+	}
+}
+
+// TestShardedMatchesOracleConcurrent hammers both implementations with
+// randomized concurrent Get/Do/evict traffic and asserts the invariants
+// that hold under every interleaving: values are never conflated across
+// keys, every Do outcome is counted exactly once (hits + misses +
+// collapsed = Do calls, the conservation law /metrics relies on), Get
+// hits are counted exactly once, and storage respects the bound.
+func TestShardedMatchesOracleConcurrent(t *testing.T) {
+	type target struct {
+		name string
+		get  func(Key) (int, bool)
+		do   func(context.Context, Key, func() (int, error)) (int, Source, error)
+		stat func() Stats
+		cap  int
+	}
+	sh := NewSharded[int](64, 8)
+	legacy := New[int](64)
+	for _, tgt := range []target{
+		{"sharded", sh.Get, sh.Do, sh.Stats, 64},
+		{"legacy-oracle", legacy.Get, legacy.Do, legacy.Stats, 64},
+	} {
+		t.Run(tgt.name, func(t *testing.T) {
+			const (
+				workers = 8
+				perG    = 3000
+			)
+			var getHits, doHits, doMisses, doCollapsed atomic.Uint64
+			ctx := context.Background()
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(seed))
+					for i := 0; i < perG; i++ {
+						k := keyAt(byte(rng.Intn(16)), byte(rng.Intn(8)))
+						if rng.Intn(10) < 3 {
+							if v, ok := tgt.get(k); ok {
+								if v != val(k) {
+									t.Errorf("Get(%v) returned %d, want %d", k[:2], v, val(k))
+									return
+								}
+								getHits.Add(1)
+							}
+							continue
+						}
+						slow := rng.Intn(50) == 0
+						v, src, err := tgt.do(ctx, k, func() (int, error) {
+							if slow {
+								time.Sleep(100 * time.Microsecond) // widen the collapse window
+							}
+							return val(k), nil
+						})
+						if err != nil {
+							t.Errorf("Do(%v): %v", k[:2], err)
+							return
+						}
+						if v != val(k) {
+							t.Errorf("Do(%v) returned %d, want %d", k[:2], v, val(k))
+							return
+						}
+						switch src {
+						case Hit:
+							doHits.Add(1)
+						case Computed:
+							doMisses.Add(1)
+						case Collapsed:
+							doCollapsed.Add(1)
+						}
+					}
+				}(int64(100 + w))
+			}
+			wg.Wait()
+			// All waiters have returned and every leader stores before
+			// releasing its waiters, so the counters are quiescent.
+			s := tgt.stat()
+			wantHits := getHits.Load() + doHits.Load()
+			if s.Hits != wantHits || s.Misses != doMisses.Load() || s.Collapsed != doCollapsed.Load() {
+				t.Errorf("stats %+v; observed hits=%d misses=%d collapsed=%d",
+					s, wantHits, doMisses.Load(), doCollapsed.Load())
+			}
+			if total := s.Hits + s.Misses + s.Collapsed; total != doHits.Load()+doMisses.Load()+doCollapsed.Load()+getHits.Load() {
+				t.Errorf("conservation violated: counted %d, observed %d outcomes", total, doHits.Load()+doMisses.Load()+doCollapsed.Load()+getHits.Load())
+			}
+			if s.Entries > tgt.cap {
+				t.Errorf("%d entries exceed capacity %d", s.Entries, tgt.cap)
+			}
+		})
+	}
+}
+
+// TestShardedCollapse proves the singleflight guarantee survives
+// sharding: identical keys land on one shard, so concurrent identical
+// calls still collapse to exactly one execution.
+func TestShardedCollapse(t *testing.T) {
+	const n = 8
+	s := NewSharded[int](16, 4)
+	var executions atomic.Int64
+	release := make(chan struct{})
+	k := keyAt(5, 1)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, _, err := s.Do(context.Background(), k, func() (int, error) {
+				executions.Add(1)
+				<-release
+				return val(k), nil
+			})
+			if err != nil || v != val(k) {
+				t.Errorf("Do = (%d, %v)", v, err)
+			}
+		}()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := s.Stats()
+		if st.Misses == 1 && st.Collapsed == n-1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("waiters never converged: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	if got := executions.Load(); got != 1 {
+		t.Fatalf("%d executions, want 1", got)
+	}
+}
+
+func TestShardedZeroCapacity(t *testing.T) {
+	s := NewSharded[int](-1, 4)
+	calls := 0
+	for i := 0; i < 2; i++ {
+		_, src, err := s.Do(context.Background(), keyAt(1, 1), func() (int, error) { calls++; return 1, nil })
+		if err != nil || src != Computed {
+			t.Fatalf("Do %d = (%v, %v), want Computed", i, src, err)
+		}
+	}
+	if calls != 2 || s.Len() != 0 {
+		t.Fatalf("calls = %d, Len = %d; want 2 recomputes, no storage", calls, s.Len())
+	}
+}
+
+func TestShardedPurge(t *testing.T) {
+	s := NewSharded[int](32, 4)
+	for b := byte(0); b < 12; b++ {
+		k := keyAt(b, 0)
+		s.Do(context.Background(), k, func() (int, error) { return val(k), nil })
+	}
+	if n := s.Len(); n != 12 {
+		t.Fatalf("Len = %d, want 12", n)
+	}
+	if n := s.Purge(); n != 12 {
+		t.Fatalf("Purge dropped %d, want 12", n)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d after Purge", s.Len())
+	}
+}
+
+func TestShardedCapacityRoundsUpToShardGranularity(t *testing.T) {
+	// Capacity 10 over 4 shards → 3 per shard → effective bound 12.
+	s := NewSharded[int](10, 4)
+	for shard := byte(0); shard < 4; shard++ {
+		for salt := byte(0); salt < 5; salt++ {
+			k := keyAt(shard, salt)
+			s.Do(context.Background(), k, func() (int, error) { return val(k), nil })
+		}
+	}
+	if n := s.Len(); n != 12 {
+		t.Fatalf("Len = %d after overfilling every shard, want 12 (4 shards x 3)", n)
+	}
+	if st := s.Stats(); st.Evictions != 8 {
+		t.Fatalf("evictions = %d, want 8 (20 inserts - 12 kept)", st.Evictions)
+	}
+}
+
+func ExampleSharded() {
+	s := NewSharded[string](1024, 0) // 0 shards selects DefaultShards()
+	k := Key{1, 2, 3}
+	v, src, _ := s.Do(context.Background(), k, func() (string, error) { return "solved", nil })
+	fmt.Println(v, src)
+	v, src, _ = s.Do(context.Background(), k, func() (string, error) { return "never runs", nil })
+	fmt.Println(v, src)
+	// Output:
+	// solved miss
+	// solved hit
+}

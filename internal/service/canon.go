@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"hash"
 	"math"
+	"sync"
 
 	"pipesched/internal/pipeline"
 	"pipesched/internal/platform"
@@ -20,6 +21,13 @@ import (
 // same (pipeline, platform, objective, bound, mode) tuple, so the result
 // cache can never conflate distinct problems.
 //
+// The hashers are pooled: a canon is leased per key computation, its
+// SHA-256 state reset in place, and the digest lands in the caller's
+// stack-allocated Key — hashing a request allocates nothing in steady
+// state. The solve and sweep keys are computed directly from the decoded
+// wire slices (works/deltas/speeds), so the serving hot path never has to
+// materialise pipeline or platform objects just to ask the cache.
+//
 // The encoding is versioned: bump canonVersion whenever a field is added,
 // removed or reordered, so stale keys from older layouts can never alias
 // new ones (irrelevant for the in-memory cache, vital the day keys are
@@ -28,12 +36,19 @@ const canonVersion = 1
 
 // canon accumulates the canonical wire form directly into a hash.
 type canon struct {
-	h   hash.Hash
-	buf [8]byte
+	h    hash.Hash
+	buf  [8]byte
+	sbuf [32]byte // string staging: avoids a []byte(s) heap copy per str
+	sum  [32]byte // digest staging: Sum lands here, not in an escaping local
 }
 
+var canonPool = sync.Pool{New: func() any { return &canon{h: sha256.New()} }}
+
+// newCanon leases a pooled hasher primed with the version and key kind.
+// key() returns it to the pool.
 func newCanon(kind string) *canon {
-	c := &canon{h: sha256.New()}
+	c := canonPool.Get().(*canon)
+	c.h.Reset()
 	c.u64(canonVersion)
 	c.str(kind)
 	return c
@@ -51,9 +66,16 @@ func (c *canon) u64(v uint64) {
 // be cached separately.
 func (c *canon) f64(v float64) { c.u64(math.Float64bits(v)) }
 
-// str appends a length-prefixed string.
+// str appends a length-prefixed string. Short strings (every mode and
+// kind tag is) stage through the inline buffer so the conversion to bytes
+// never escapes to the heap.
 func (c *canon) str(s string) {
 	c.u64(uint64(len(s)))
+	if len(s) <= len(c.sbuf) {
+		n := copy(c.sbuf[:], s)
+		c.h.Write(c.sbuf[:n])
+		return
+	}
 	c.h.Write([]byte(s))
 }
 
@@ -93,14 +115,54 @@ func (c *canon) platform(plat *platform.Platform) {
 	}
 }
 
+// commHomogeneous appends a Communication Homogeneous platform from its
+// raw wire slices — the byte stream is identical to platform() on the
+// constructed object, so wire-computed and object-computed keys agree.
+func (c *canon) commHomogeneous(speeds []float64, bandwidth float64) {
+	c.u64(uint64(platform.CommHomogeneous))
+	c.floats(speeds)
+	c.f64(bandwidth)
+}
+
+// key finalises the digest and returns the canon to the pool. The digest
+// stages through the canon's own array: summing into a local would make
+// it escape and cost the hot path an allocation per key.
 func (c *canon) key() cache.Key {
-	var k cache.Key
-	copy(k[:], c.h.Sum(nil))
+	c.h.Sum(c.sum[:0])
+	k := cache.Key(c.sum)
+	canonPool.Put(c)
 	return k
 }
 
-// solveKey digests one /v1/solve request. mode is already normalised by
-// validation, so "H1" and "h1" hash identically.
+// solveKeyWire digests one /v1/solve request straight from its decoded
+// wire form. mode is already normalised by validation, so "H1" and "h1"
+// hash identically; the platform is comm-homogeneous by the time a key is
+// computed (validation rejects everything else before the cache is
+// consulted).
+func solveKeyWire(objective portfolio.Objective, mode string, bound float64, works, deltas, speeds []float64, bandwidth float64) cache.Key {
+	c := newCanon("solve")
+	c.u64(uint64(objective))
+	c.str(mode)
+	c.f64(bound)
+	c.floats(works)
+	c.floats(deltas)
+	c.commHomogeneous(speeds, bandwidth)
+	return c.key()
+}
+
+// sweepKeyWire digests one /v1/sweep request from its wire form.
+func sweepKeyWire(points int, works, deltas, speeds []float64, bandwidth float64) cache.Key {
+	c := newCanon("sweep")
+	c.u64(uint64(points))
+	c.floats(works)
+	c.floats(deltas)
+	c.commHomogeneous(speeds, bandwidth)
+	return c.key()
+}
+
+// solveKey digests a solve request from constructed objects. It must
+// produce the same key as solveKeyWire on the same instance; tests pin
+// the equivalence.
 func solveKey(objective portfolio.Objective, mode string, bound float64, app *pipeline.Pipeline, plat *platform.Platform) cache.Key {
 	c := newCanon("solve")
 	c.u64(uint64(objective))
@@ -111,7 +173,8 @@ func solveKey(objective portfolio.Objective, mode string, bound float64, app *pi
 	return c.key()
 }
 
-// sweepKey digests one /v1/sweep request.
+// sweepKey digests a sweep request from constructed objects; it matches
+// sweepKeyWire exactly like solveKey matches solveKeyWire.
 func sweepKey(points int, app *pipeline.Pipeline, plat *platform.Platform) cache.Key {
 	c := newCanon("sweep")
 	c.u64(uint64(points))

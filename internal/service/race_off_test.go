@@ -1,0 +1,8 @@
+//go:build !race
+
+package service
+
+// raceEnabled mirrors the heuristics/portfolio package guard: allocation-
+// count assertions are skipped under the race detector, where sync.Pool
+// intentionally drops entries.
+const raceEnabled = false

@@ -12,10 +12,14 @@
 //	GET  /metrics    cache counters, in-flight gauge, per-endpoint latencies
 //
 // Every cacheable request is canonically hashed (see canon.go) into a
-// bounded LRU with singleflight deduplication: concurrent identical
-// requests collapse to one solve, repeated ones are served from memory.
-// Responses are cached as rendered bytes, so a hit allocates nothing but
-// the copy; the X-Cache response header reports hit, miss or collapsed.
+// sharded, bounded LRU with singleflight deduplication: concurrent
+// identical requests collapse to one solve, repeated ones are served from
+// memory. The hot path is built for high QPS: requests decode into pooled
+// wire scratch, keys come from pooled hashers, the cache shards by key
+// bits so cores do not serialise on one mutex, metrics record through
+// lock-free atomics, and responses are cached as fully rendered bytes —
+// a hit is one Write and a handful of allocations. The X-Cache response
+// header reports hit, miss or collapsed.
 package service
 
 import (
@@ -47,6 +51,10 @@ type Options struct {
 	// and negative values disable storage while keeping singleflight
 	// deduplication.
 	CacheEntries int
+	// CacheShards sets the result-cache shard count; values are rounded
+	// up to a power of two. 0 auto-selects one shard per core
+	// (cache.DefaultShards); negative values force a single shard.
+	CacheShards int
 	// Workers caps the batch engine's worker pool when a request does not
 	// set its own; 0 selects runtime.GOMAXPROCS(0).
 	Workers int
@@ -85,6 +93,13 @@ func (o Options) cacheEntries() int {
 	}
 }
 
+func (o Options) cacheShards() int {
+	if o.CacheShards < 0 {
+		return 1
+	}
+	return o.CacheShards
+}
+
 func (o Options) drain() time.Duration {
 	if o.DrainTimeout <= 0 {
 		return defaultDrainTimeout
@@ -103,7 +118,7 @@ func (o Options) maxBody() int64 {
 // under any http.Server, or use Serve for listener-to-shutdown lifecycle.
 type Server struct {
 	opts    Options
-	cache   *cache.Cache[[]byte]
+	cache   *cache.Sharded[[]byte]
 	metrics *metricsRegistry
 	mux     *http.ServeMux
 	logger  *log.Logger
@@ -118,7 +133,7 @@ type Server struct {
 func New(opts Options) *Server {
 	s := &Server{
 		opts:    opts,
-		cache:   cache.New[[]byte](opts.cacheEntries()),
+		cache:   cache.NewSharded[[]byte](opts.cacheEntries(), opts.cacheShards()),
 		metrics: newMetricsRegistry(),
 		logger:  opts.Logger,
 	}
@@ -126,9 +141,9 @@ func New(opts Options) *Server {
 		s.logger = log.New(io.Discard, "", 0)
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/solve", s.instrument("solve", s.handleSolve))
-	mux.HandleFunc("POST /v1/batch", s.instrument("batch", s.handleBatch))
-	mux.HandleFunc("POST /v1/sweep", s.instrument("sweep", s.handleSweep))
+	mux.HandleFunc("POST /v1/solve", s.instrument("solve", (*Server).handleSolve))
+	mux.HandleFunc("POST /v1/batch", s.instrument("batch", (*Server).handleBatch))
+	mux.HandleFunc("POST /v1/sweep", s.instrument("sweep", (*Server).handleSweep))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux = mux
@@ -138,11 +153,13 @@ func New(opts Options) *Server {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// CacheStats returns a snapshot of the result-cache counters.
+// CacheStats returns a snapshot of the aggregated result-cache counters.
 func (s *Server) CacheStats() cache.Stats { return s.cache.Stats() }
 
 // Metrics returns the snapshot served by GET /metrics.
-func (s *Server) Metrics() MetricsSnapshot { return s.metrics.snapshot(s.cache.Stats()) }
+func (s *Server) Metrics() MetricsSnapshot {
+	return s.metrics.snapshot(s.cache.Stats(), s.cache.Shards())
+}
 
 // Serve accepts connections on ln until ctx is cancelled, then shuts down
 // gracefully: the listener closes immediately, in-flight requests get up
@@ -195,7 +212,9 @@ func intervalsJSON(m *mapping.Mapping) []IntervalJSON {
 	return out
 }
 
-// SolveRequest is the body of POST /v1/solve.
+// SolveRequest is the body of POST /v1/solve. (The serving path decodes
+// through pooled wire scratch; this struct documents the schema and
+// serves programmatic clients.)
 type SolveRequest struct {
 	Pipeline *pipeline.Pipeline `json:"pipeline"`
 	Platform *platform.Platform `json:"platform"`
@@ -284,7 +303,9 @@ type SweepResponse struct {
 	Points []SweepPoint `json:"points"`
 }
 
-// errorResponse is the body of every non-2xx reply.
+// errorResponse is the body of every non-2xx reply. The serving path
+// renders it by hand (writeErrorBody) byte-identically to the encoder;
+// the type remains the schema and the test oracle.
 type errorResponse struct {
 	Error string `json:"error"`
 }
@@ -307,7 +328,8 @@ func infeasible(format string, a ...any) error {
 	return &statusError{code: http.StatusUnprocessableEntity, msg: fmt.Sprintf(format, a...)}
 }
 
-// statusRecorder captures the response status for metrics.
+// statusRecorder captures the response status for metrics. It lives in
+// the pooled scratch and is re-armed per request.
 type statusRecorder struct {
 	http.ResponseWriter
 	status int
@@ -318,23 +340,43 @@ func (w *statusRecorder) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps a handler with the in-flight gauge and the
-// per-endpoint latency accumulator.
-func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+func (w *statusRecorder) reset(inner http.ResponseWriter) {
+	w.ResponseWriter = inner
+	w.status = http.StatusOK
+}
+
+// instrument wraps a handler with the in-flight gauge, the pooled
+// per-request scratch and the per-endpoint latency recorder. The
+// endpoint's metrics slot is resolved once here, at mux-registration
+// time, so the per-request path records straight into it.
+func (s *Server) instrument(name string, h func(*Server, *scratch, http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	em := s.metrics.slot(name)
+	if em == nil {
+		// Unknown endpoint names never reach the mux today; a detached
+		// slot keeps a future registration mistake a silent no-op (as
+		// the old map registry was) rather than a nil deref.
+		em = newEndpointMetrics()
+	}
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.metrics.inFlight.Add(1)
 		defer s.metrics.inFlight.Add(-1)
-		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		sc := scratchPool.Get().(*scratch)
+		sc.rec.reset(w)
 		start := time.Now()
-		h(rec, r)
-		s.metrics.observe(name, time.Since(start), rec.status >= 400)
+		h(s, sc, &sc.rec, r)
+		failed := sc.rec.status >= 400
+		sc.rec.ResponseWriter = nil // no stale writer retained in the pool
+		scratchPool.Put(sc)
+		em.observe(time.Since(start), failed)
 	}
 }
 
-// decodeJSON strictly decodes the request body into v.
+// decodeJSON strictly decodes the request body into v: unknown top-level
+// fields and trailing data are rejected, exactly as before the wire
+// rework (sub-objects decoded from RawMessage stay lenient, matching the
+// former custom-unmarshaler behaviour).
 func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
-	r.Body = http.MaxBytesReader(w, r.Body, s.opts.maxBody())
-	dec := json.NewDecoder(r.Body)
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.maxBody()))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		return badRequest("invalid request body: %v", err)
@@ -345,13 +387,14 @@ func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) error
 	return nil
 }
 
-// writeJSON renders a 200 with v as JSON.
+// writeJSON renders a 200 with v as JSON (non-hot paths: health, metrics).
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(v)
 }
 
-// writeError maps err onto an HTTP status and renders the error body.
+// writeError maps err onto an HTTP status and renders the error body
+// through the pooled encoder.
 func (s *Server) writeError(w http.ResponseWriter, r *http.Request, err error) {
 	code := http.StatusInternalServerError
 	var se *statusError
@@ -367,9 +410,7 @@ func (s *Server) writeError(w http.ResponseWriter, r *http.Request, err error) {
 	if code >= 500 {
 		s.logger.Printf("pipeschedd: %s %s: %v", r.Method, r.URL.Path, err)
 	}
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(errorResponse{Error: err.Error()})
+	writeErrorBody(w, code, err.Error())
 }
 
 // requestContext derives the per-request deadline: an explicit timeout_ms
@@ -417,6 +458,16 @@ func validPlatform(plat *platform.Platform) error {
 	return nil
 }
 
+// validPlatformKind is the wire-level twin of validPlatform: the kind tag
+// is checked before any platform object exists. An empty tag defaults to
+// comm-homogeneous, as in platform.UnmarshalJSON.
+func validPlatformKind(kind string) error {
+	if kind != "" && kind != platform.CommHomogeneous.String() {
+		return badRequest("platform kind %q is not servable (the paper's heuristics target comm-homogeneous platforms; collapse per-link bandwidths to the slowest link first)", kind)
+	}
+	return nil
+}
+
 // normalizeMode canonicalises and checks the solve mode against the
 // objective: H1–H4 exist only on the period-constrained side, H5–H6 only
 // on the latency-constrained one.
@@ -445,17 +496,18 @@ func normalizeMode(mode string, objective portfolio.Objective) (string, error) {
 	return "", badRequest("unknown mode %q for objective min-period (want portfolio, best, exact, H5 or H6)", mode)
 }
 
-func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
-	var req SolveRequest
-	if err := s.decodeJSON(w, r, &req); err != nil {
+func (s *Server) handleSolve(sc *scratch, w http.ResponseWriter, r *http.Request) {
+	req := &sc.solve
+	req.reset()
+	if err := s.decodeJSON(w, r, req); err != nil {
 		s.writeError(w, r, err)
 		return
 	}
-	if req.Pipeline == nil || req.Platform == nil {
+	if req.Pipeline.missing() || req.Platform.missing() {
 		s.writeError(w, r, badRequest("both \"pipeline\" and \"platform\" are required"))
 		return
 	}
-	if err := validPlatform(req.Platform); err != nil {
+	if err := validPlatformKind(req.Platform.Kind); err != nil {
 		s.writeError(w, r, err)
 		return
 	}
@@ -473,6 +525,27 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, err)
 		return
 	}
+	key := solveKeyWire(objective, mode, req.Bound, req.Pipeline.Works, req.Pipeline.Deltas, req.Platform.Speeds, req.Platform.Bandwidth)
+	// Hot path: a stored entry is served without building domain objects
+	// or a request context — one lookup, one Write.
+	if body, ok := s.cache.Get(key); ok {
+		writeCached(w, body, cache.Hit)
+		return
+	}
+	// Miss: construct and validate the instance. The constructors copy
+	// the wire slices, so the detached solve below owns its inputs and
+	// the scratch can be pooled the moment this handler returns.
+	app, err := pipeline.New(req.Pipeline.Works, req.Pipeline.Deltas)
+	if err != nil {
+		s.writeError(w, r, badRequest("invalid request body: %v", err))
+		return
+	}
+	plat, err := platform.New(req.Platform.Speeds, req.Platform.Bandwidth)
+	if err != nil {
+		s.writeError(w, r, badRequest("invalid request body: %v", err))
+		return
+	}
+	bound := req.Bound
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
 	// The solve itself runs detached from this request's lifetime: ctx
@@ -480,15 +553,15 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	// client can never poison collapsed waiters, and the finished result
 	// still lands in the cache.
 	solveCtx := context.WithoutCancel(ctx)
-	body, src, err := s.cache.Do(ctx, solveKey(objective, mode, req.Bound, req.Pipeline, req.Platform), func() ([]byte, error) {
+	body, src, err := s.cache.Do(ctx, key, func() ([]byte, error) {
 		if s.solveHook != nil {
 			s.solveHook()
 		}
-		resp, err := s.solveOne(solveCtx, objective, mode, req)
+		resp, err := s.solveOne(solveCtx, objective, mode, app, plat, bound)
 		if err != nil {
 			return nil, err
 		}
-		return json.Marshal(resp)
+		return renderJSON(resp)
 	})
 	if err != nil {
 		s.writeError(w, r, err)
@@ -498,9 +571,9 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 }
 
 // solveOne runs one instance through the selected mode.
-func (s *Server) solveOne(ctx context.Context, objective portfolio.Objective, mode string, req SolveRequest) (SolveResponse, error) {
-	ev := mapping.NewEvaluator(req.Pipeline, req.Platform)
-	resp := SolveResponse{Objective: objective.String(), Mode: mode, Bound: req.Bound}
+func (s *Server) solveOne(ctx context.Context, objective portfolio.Objective, mode string, app *pipeline.Pipeline, plat *platform.Platform, bound float64) (SolveResponse, error) {
+	ev := mapping.NewEvaluator(app, plat)
+	resp := SolveResponse{Objective: objective.String(), Mode: mode, Bound: bound}
 	var res heuristics.Result
 	switch mode {
 	case "portfolio", "best":
@@ -511,15 +584,15 @@ func (s *Server) solveOne(ctx context.Context, objective portfolio.Objective, mo
 			closest error
 		)
 		if objective == portfolio.MinimizePeriod {
-			out, found, closest = portfolio.UnderLatency(ctx, ev, req.Bound, sopts)
+			out, found, closest = portfolio.UnderLatency(ctx, ev, bound, sopts)
 		} else {
-			out, found, closest = portfolio.UnderPeriod(ctx, ev, req.Bound, sopts)
+			out, found, closest = portfolio.UnderPeriod(ctx, ev, bound, sopts)
 		}
 		if !found {
 			if err := ctx.Err(); err != nil {
 				return resp, err
 			}
-			return resp, infeasible("no solver satisfied %s bound %g: %v", objective, req.Bound, closest)
+			return resp, infeasible("no solver satisfied %s bound %g: %v", objective, bound, closest)
 		}
 		res, resp.Solver = out.Result, out.Solver
 	case "exact":
@@ -528,9 +601,9 @@ func (s *Server) solveOne(ctx context.Context, objective portfolio.Objective, mo
 			err error
 		)
 		if objective == portfolio.MinimizePeriod {
-			xr, err = exact.MinPeriodUnderLatency(ev, req.Bound)
+			xr, err = exact.MinPeriodUnderLatency(ev, bound)
 		} else {
-			xr, err = exact.MinLatencyUnderPeriod(ev, req.Bound)
+			xr, err = exact.MinLatencyUnderPeriod(ev, bound)
 		}
 		if err != nil {
 			return resp, infeasible("exact solve failed: %v", err)
@@ -541,13 +614,13 @@ func (s *Server) solveOne(ctx context.Context, objective portfolio.Objective, mo
 		if objective == portfolio.MinimizePeriod {
 			for _, h := range heuristics.LatencyHeuristics() {
 				if h.ID() == mode {
-					res, err = h.MinimizePeriod(ev, req.Bound)
+					res, err = h.MinimizePeriod(ev, bound)
 				}
 			}
 		} else {
 			for _, h := range heuristics.PeriodHeuristics() {
 				if h.ID() == mode {
-					res, err = h.MinimizeLatency(ev, req.Bound)
+					res, err = h.MinimizeLatency(ev, bound)
 				}
 			}
 		}
@@ -562,7 +635,10 @@ func (s *Server) solveOne(ctx context.Context, objective portfolio.Objective, mo
 	return resp, nil
 }
 
-func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleBatch(sc *scratch, w http.ResponseWriter, r *http.Request) {
+	// Batch bodies hold arbitrarily many instances, so they decode into
+	// a fresh request (the detached batch run below owns it); the pooled
+	// render path and cached-bytes fast path still apply.
 	var req BatchRequest
 	if err := s.decodeJSON(w, r, &req); err != nil {
 		s.writeError(w, r, err)
@@ -598,11 +674,16 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		Exact:         req.Exact,
 		Workers:       workers,
 	}
+	key := batchKey(opts, req.Instances)
+	if body, ok := s.cache.Get(key); ok {
+		writeCached(w, body, cache.Hit)
+		return
+	}
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
 	// Detached as in handleSolve: ctx bounds the wait, not the batch.
 	solveCtx := context.WithoutCancel(ctx)
-	body, src, err := s.cache.Do(ctx, batchKey(opts, req.Instances), func() ([]byte, error) {
+	body, src, err := s.cache.Do(ctx, key, func() ([]byte, error) {
 		if s.solveHook != nil {
 			s.solveHook()
 		}
@@ -632,7 +713,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				Latency:  pt.Metrics.Latency,
 			})
 		}
-		return json.Marshal(resp)
+		return renderJSON(resp)
 	})
 	if err != nil {
 		s.writeError(w, r, err)
@@ -641,17 +722,18 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeCached(w, body, src)
 }
 
-func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
-	var req SweepRequest
-	if err := s.decodeJSON(w, r, &req); err != nil {
+func (s *Server) handleSweep(sc *scratch, w http.ResponseWriter, r *http.Request) {
+	req := &sc.sweep
+	req.reset()
+	if err := s.decodeJSON(w, r, req); err != nil {
 		s.writeError(w, r, err)
 		return
 	}
-	if req.Pipeline == nil || req.Platform == nil {
+	if req.Pipeline.missing() || req.Platform.missing() {
 		s.writeError(w, r, badRequest("both \"pipeline\" and \"platform\" are required"))
 		return
 	}
-	if err := validPlatform(req.Platform); err != nil {
+	if err := validPlatformKind(req.Platform.Kind); err != nil {
 		s.writeError(w, r, err)
 		return
 	}
@@ -663,20 +745,34 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if points == 0 {
 		points = defaultSweepPoints
 	}
+	key := sweepKeyWire(points, req.Pipeline.Works, req.Pipeline.Deltas, req.Platform.Speeds, req.Platform.Bandwidth)
+	if body, ok := s.cache.Get(key); ok {
+		writeCached(w, body, cache.Hit)
+		return
+	}
+	app, err := pipeline.New(req.Pipeline.Works, req.Pipeline.Deltas)
+	if err != nil {
+		s.writeError(w, r, badRequest("invalid request body: %v", err))
+		return
+	}
+	plat, err := platform.New(req.Platform.Speeds, req.Platform.Bandwidth)
+	if err != nil {
+		s.writeError(w, r, badRequest("invalid request body: %v", err))
+		return
+	}
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
 	// Detached as in handleSolve: ctx bounds the wait, not the sweep.
 	solveCtx := context.WithoutCancel(ctx)
-	body, src, err := s.cache.Do(ctx, sweepKey(points, req.Pipeline, req.Platform), func() ([]byte, error) {
+	body, src, err := s.cache.Do(ctx, key, func() ([]byte, error) {
 		if s.solveHook != nil {
 			s.solveHook()
 		}
-		ev := mapping.NewEvaluator(req.Pipeline, req.Platform)
+		ev := mapping.NewEvaluator(app, plat)
+		// solveCtx is never cancellable (WithoutCancel), so the sweep
+		// always runs to completion and the frontier is never truncated;
+		// a cancelled client merely abandons its wait in cache.Do.
 		front := portfolio.ParetoSweep(solveCtx, ev, points, 0)
-		if err := solveCtx.Err(); err != nil {
-			// Cancelled mid-sweep: the frontier is truncated, never cache it.
-			return nil, err
-		}
 		resp := SweepResponse{Points: make([]SweepPoint, len(front))}
 		for i, pt := range front {
 			resp.Points[i] = SweepPoint{
@@ -685,7 +781,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 				Intervals: intervalsJSON(pt.Mapping),
 			}
 		}
-		return json.Marshal(resp)
+		return renderJSON(resp)
 	})
 	if err != nil {
 		s.writeError(w, r, err)
@@ -695,14 +791,17 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 }
 
 // writeCached renders a cached (or just-rendered) response body with its
-// cache disposition.
+// cache disposition: three header slots and exactly one Write. Bodies are
+// rendered with their trailing newline (renderJSON), so no second write
+// is ever needed.
 func writeCached(w http.ResponseWriter, body []byte, src cache.Source) {
-	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set("X-Cache", src.String())
-	w.Write(body)
-	if len(body) == 0 || body[len(body)-1] != '\n' {
-		io.WriteString(w, "\n")
+	h := w.Header()
+	h["Content-Type"] = hdrJSON
+	if int(src) < len(hdrXCacheVal) {
+		h["X-Cache"] = hdrXCacheVal[src]
 	}
+	setContentLength(h, len(body))
+	w.Write(body)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

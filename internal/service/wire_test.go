@@ -1,0 +1,212 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"pipesched/internal/portfolio"
+	"pipesched/internal/workload"
+)
+
+// TestWireKeysMatchObjectKeys pins the wire-level key functions to the
+// object-level ones: the serving hot path computes keys from raw decoded
+// slices, and those keys must be byte-identical to hashing the
+// constructed pipeline/platform — otherwise a request could miss its own
+// earlier result.
+func TestWireKeysMatchObjectKeys(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		in := workload.Generate(workload.Config{Family: workload.E2, Stages: 7, Processors: 5, Seed: seed})
+		works, deltas := in.App.Works(), in.App.Deltas()
+		speeds, bandwidth := in.Plat.Speeds(), in.Plat.Bandwidth()
+		for _, mode := range []string{"portfolio", "best", "H1"} {
+			objKey := solveKey(portfolio.MinimizeLatency, mode, 12.5, in.App, in.Plat)
+			wireKey := solveKeyWire(portfolio.MinimizeLatency, mode, 12.5, works, deltas, speeds, bandwidth)
+			if objKey != wireKey {
+				t.Errorf("seed %d mode %s: wire solve key diverges from object key", seed, mode)
+			}
+		}
+		if sweepKey(9, in.App, in.Plat) != sweepKeyWire(9, works, deltas, speeds, bandwidth) {
+			t.Errorf("seed %d: wire sweep key diverges from object key", seed)
+		}
+	}
+}
+
+// TestErrorJSONShape pins the hand-rendered error body byte-for-byte
+// against encoding/json on a torture table: quotes, backslashes, HTML
+// metacharacters, control bytes, multi-byte UTF-8, the JS line
+// separators and invalid UTF-8 must all escape exactly as the encoder
+// would, so clients observe no change from the pooled error path.
+func TestErrorJSONShape(t *testing.T) {
+	messages := []string{
+		"plain message",
+		`platform kind "fully-heterogeneous" is not servable`,
+		"bound -1 is invalid (must be finite and > 0)",
+		"tabs\tand\nnewlines\rand\\slashes",
+		"html <script>&amp;</script> metacharacters",
+		"control \x01\x02\x1f bytes",
+		"unicode: périod λatency 周期",
+		"js separators \u2028 and \u2029",
+		"invalid utf-8: \xff\xfe tail",
+		"",
+	}
+	for _, msg := range messages {
+		want, err := json.Marshal(errorResponse{Error: msg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, '\n')
+		rec := httptest.NewRecorder()
+		writeErrorBody(rec, http.StatusBadRequest, msg)
+		if got := rec.Body.Bytes(); !bytes.Equal(got, want) {
+			t.Errorf("message %q:\n got %q\nwant %q", msg, got, want)
+		}
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("message %q: status %d", msg, rec.Code)
+		}
+		if cl := rec.Header().Get("Content-Length"); cl != strconv.Itoa(len(want)) {
+			t.Errorf("message %q: Content-Length %q, want %d", msg, cl, len(want))
+		}
+		if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+			t.Errorf("message %q: Content-Type %q", msg, ct)
+		}
+	}
+}
+
+// TestErrorShapeEndToEnd drives real invalid requests through the HTTP
+// stack and asserts every error body is exactly one {"error": ...}
+// object with a trailing newline, decodable into errorResponse, on both
+// the 4xx and the 5xx-mapped paths.
+func TestErrorShapeEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	in := testInstance(t)
+	for name, body := range map[string][]byte{
+		"bad-json":      []byte("{nope"),
+		"bad-bound":     solveBody(t, in, map[string]any{"bound": -3.5}),
+		"bad-mode":      solveBody(t, in, map[string]any{"bound": 1.0, "mode": "H99"}),
+		"infeasible":    solveBody(t, in, map[string]any{"bound": 1e-9, "mode": "best"}),
+		"het-platform":  []byte(`{"pipeline":{"works":[1,2],"deltas":[1,1,1]},"platform":{"kind":"fully-heterogeneous","speeds":[1,2],"links":[[0,1],[1,0]]},"bound":10}`),
+		"trailing-data": append(solveBody(t, in, map[string]any{"bound": 1.0}), []byte(" {}")...),
+	} {
+		t.Run(name, func(t *testing.T) {
+			resp, data := post(t, ts, "/v1/solve", body)
+			if resp.StatusCode < 400 {
+				t.Fatalf("status %d, want an error", resp.StatusCode)
+			}
+			if !bytes.HasSuffix(data, []byte("}\n")) {
+				t.Fatalf("error body %q does not end in }\\n", data)
+			}
+			var er errorResponse
+			if err := json.Unmarshal(data, &er); err != nil || er.Error == "" {
+				t.Fatalf("error body %q not an error object (%v)", data, err)
+			}
+			// The body must be the canonical encoding of its own message.
+			want, _ := json.Marshal(errorResponse{Error: er.Error})
+			if !bytes.Equal(data, append(want, '\n')) {
+				t.Fatalf("error body %q is not canonical (want %q)", data, append(want, '\n'))
+			}
+			if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+				t.Fatalf("Content-Type %q", ct)
+			}
+		})
+	}
+}
+
+// TestResponsesCarryContentLength pins the rendered-bytes contract: both
+// hits and misses go out with an exact Content-Length (one write, no
+// chunking) and a trailing newline.
+func TestResponsesCarryContentLength(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	in := testInstance(t)
+	body := solveBody(t, in, map[string]any{"bound": 1e6})
+	for _, pass := range []string{"miss", "hit"} {
+		resp, data := post(t, ts, "/v1/solve", body)
+		if got := resp.Header.Get("X-Cache"); got != pass {
+			t.Fatalf("X-Cache %q, want %q", got, pass)
+		}
+		if cl := resp.Header.Get("Content-Length"); cl != strconv.Itoa(len(data)) {
+			t.Fatalf("%s: Content-Length %q for %d body bytes", pass, cl, len(data))
+		}
+		if !bytes.HasSuffix(data, []byte("\n")) {
+			t.Fatalf("%s: body missing trailing newline", pass)
+		}
+	}
+}
+
+// TestMetricsConservation pins the /metrics consistency law the sharded
+// rebuild must preserve: over any quiesced run of valid cacheable
+// requests, hits + collapsed + misses equals the requests that reached
+// the cache, and the endpoint counters account for every HTTP request.
+func TestMetricsConservation(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	in := testInstance(t)
+	const uniques, repeats = 5, 3
+	valid := 0
+	for u := 0; u < uniques; u++ {
+		body := solveBody(t, in, map[string]any{"bound": 1e6 + float64(u)})
+		for rep := 0; rep < repeats; rep++ {
+			resp, data := post(t, ts, "/v1/solve", body)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("status %d: %s", resp.StatusCode, data)
+			}
+			valid++
+		}
+	}
+	// Two invalid requests: they hit the endpoint counters but never
+	// reach the cache.
+	post(t, ts, "/v1/solve", []byte("{bad"))
+	post(t, ts, "/v1/solve", solveBody(t, in, map[string]any{"bound": -1.0}))
+
+	_, mbody := get(t, ts, "/metrics")
+	var snap MetricsSnapshot
+	if err := json.Unmarshal(mbody, &snap); err != nil {
+		t.Fatalf("bad /metrics body: %v\n%s", err, mbody)
+	}
+	if got := snap.Cache.Hits + snap.Cache.Misses + snap.Cache.Collapsed; got != uint64(valid) {
+		t.Errorf("hits+misses+collapsed = %d, want %d (the cacheable requests)", got, valid)
+	}
+	if snap.Cache.Misses != uniques || snap.Cache.Hits != uniques*(repeats-1) {
+		t.Errorf("cache = %+v, want %d misses and %d hits", snap.Cache, uniques, uniques*(repeats-1))
+	}
+	es := snap.Endpoints["solve"]
+	if es.Requests != uint64(valid+2) || es.Errors != 2 {
+		t.Errorf("solve endpoint = %+v, want %d requests, 2 errors", es, valid+2)
+	}
+	if snap.Cache.Shards < 1 {
+		t.Errorf("snapshot reports %d shards", snap.Cache.Shards)
+	}
+	if fmt.Sprint(snap.Cache.HitRate) == "NaN" || snap.Cache.HitRate <= 0 {
+		t.Errorf("hit rate %v", snap.Cache.HitRate)
+	}
+}
+
+// TestStrictTopLevelDecodeStillEnforced pins the strictness contract
+// after the wire rework: unknown top-level fields and trailing data are
+// rejected on every wire-decoded endpoint.
+func TestStrictTopLevelDecodeStillEnforced(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	in := testInstance(t)
+	for _, tc := range []struct {
+		name, path string
+		body       []byte
+	}{
+		{"solve-unknown", "/v1/solve", solveBody(t, in, map[string]any{"bound": 1.0, "bogus": 1})},
+		{"sweep-unknown", "/v1/sweep", solveBody(t, in, map[string]any{"bogus": 1})},
+		{"batch-unknown", "/v1/batch", []byte(`{"instances":[],"bound":1,"bogus":1}`)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, data := post(t, ts, tc.path, tc.body)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400: %s", resp.StatusCode, data)
+			}
+			if !strings.Contains(string(data), "bogus") && !strings.Contains(string(data), "instances") {
+				t.Fatalf("error does not name the offending field: %s", data)
+			}
+		})
+	}
+}

@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
-# bench.sh — snapshot the exact-engine, heuristic and portfolio
+# bench.sh — snapshot the exact-engine, heuristic, portfolio and serving
 # benchmarks into a machine-readable JSON trajectory file.
 #
 # Usage:
-#   scripts/bench.sh                 # writes BENCH_4.json in the repo root
+#   scripts/bench.sh                 # writes BENCH_5.json in the repo root
 #   scripts/bench.sh out.json        # explicit output path (first arg)
 #   BENCH_OUT=out.json scripts/bench.sh
 #   BENCHTIME=0.5s scripts/bench.sh  # shorter runs (CI)
@@ -11,15 +11,16 @@
 # The default output name tracks the PR trajectory (BENCH_<pr>.json);
 # bump BENCH_DEFAULT when cutting a new snapshot generation. The output
 # records ns/op, B/op and allocs/op for every benchmark matched by
-# BENCH_PATTERN. Comparing two commits is a diff of their BENCH_*.json
-# files (scripts/bench_diff.sh automates it); CI uploads the fresh file
-# as a build artifact on every run.
+# BENCH_PATTERN across BENCH_PACKAGES (the root solvers plus the serving
+# layer and its cache). Comparing two commits is a diff of their
+# BENCH_*.json files (scripts/bench_diff.sh automates it); CI uploads the
+# fresh file as a build artifact on every run.
 set -euo pipefail
 
 # Resolve a caller-supplied output path against the caller's directory
 # BEFORE changing into the repo root, so `scripts/bench.sh out.json`
 # writes where the caller stands; the default lands in the repo root.
-BENCH_DEFAULT="BENCH_4.json"
+BENCH_DEFAULT="BENCH_5.json"
 OUT="${BENCH_OUT:-${1:-}}"
 case "$OUT" in
 "" | /*) ;;
@@ -28,21 +29,32 @@ esac
 cd "$(dirname "$0")/.."
 [ -n "$OUT" ] || OUT="$BENCH_DEFAULT"
 BENCHTIME="${BENCHTIME:-1s}"
-PATTERN="${BENCH_PATTERN:-^(BenchmarkExactMinPeriod|BenchmarkExactParetoFront|BenchmarkExactLargeFewClass|BenchmarkPortfolioRace|BenchmarkHeuristicSolve|BenchmarkParetoSweep)$}"
+PATTERN="${BENCH_PATTERN:-^(BenchmarkExactMinPeriod|BenchmarkExactParetoFront|BenchmarkExactLargeFewClass|BenchmarkPortfolioRace|BenchmarkHeuristicSolve|BenchmarkParetoSweep|BenchmarkServeSolve|BenchmarkServeBatch|BenchmarkServeSweep|BenchmarkCacheGetHitParallel|BenchmarkCacheDoHitParallel|BenchmarkCacheChurnParallel)$}"
+PACKAGES="${BENCH_PACKAGES:-. ./internal/service ./internal/service/cache}"
 
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" . | tee "$raw"
+# shellcheck disable=SC2086 # PACKAGES is a deliberate word list
+go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" $PACKAGES | tee "$raw"
 
+# Fields are located by their unit token, not position: benchmarks that
+# b.ReportMetric extra columns (collapsed/op, miss/op) still parse.
 awk -v go_version="$(go version | awk '{print $3}')" '
 /^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
 /^Benchmark/ && /ns\/op/ {
     name = $1
     sub(/-[0-9]+$/, "", name)
     sub(/^Benchmark/, "", name)
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 3; i <= NF; i++) {
+        if ($i == "ns/op") ns = $(i - 1)
+        if ($i == "B/op") bytes = $(i - 1)
+        if ($i == "allocs/op") allocs = $(i - 1)
+    }
+    if (ns == "" || bytes == "" || allocs == "") next
     entry = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
-                    name, $2, $3, $5, $7)
+                    name, $2, ns, bytes, allocs)
     entries = entries (entries == "" ? "" : ",\n") entry
 }
 END {

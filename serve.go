@@ -9,7 +9,11 @@ import (
 
 // The serving layer, built on internal/service: a long-lived HTTP daemon
 // exposing the solvers over a JSON API with a canonical-instance result
-// cache and singleflight deduplication. cmd/pipeschedd is the packaged
+// cache and singleflight deduplication. The hot path is built for high
+// QPS: the result cache is sharded by key bits so cores never serialise
+// on one mutex, request decode and canonical hashing run on pooled
+// scratch, metrics are lock-free atomics, and cache hits are served as
+// pre-rendered bytes in a single write. cmd/pipeschedd is the packaged
 // daemon; these façade hooks embed the same server in any Go process.
 type (
 	// Server is the HTTP solver service. It implements http.Handler, so
@@ -17,9 +21,10 @@ type (
 	// the Serve function below) for a managed listen-drain-stop
 	// lifecycle.
 	Server = service.Server
-	// ServerOptions configure a Server: cache bound, worker cap,
-	// per-request timeout, drain timeout, body limit and logger. The
-	// zero value is fully usable.
+	// ServerOptions configure a Server: cache bound, cache shard count
+	// (CacheShards; 0 auto-selects one power-of-two shard per core),
+	// worker cap, per-request timeout, drain timeout, body limit and
+	// logger. The zero value is fully usable.
 	ServerOptions = service.Options
 	// ServerMetrics is the snapshot served by GET /metrics.
 	ServerMetrics = service.MetricsSnapshot
@@ -28,7 +33,7 @@ type (
 // NewServer builds the HTTP solver service: POST /v1/solve, /v1/batch and
 // /v1/sweep routed through the portfolio engine with per-request contexts
 // and deadlines, plus GET /healthz and /metrics. Identical requests are
-// canonically hashed into a bounded LRU result cache; concurrent
+// canonically hashed into a sharded, bounded LRU result cache; concurrent
 // identical requests collapse to one underlying solve.
 func NewServer(opts ServerOptions) *Server { return service.New(opts) }
 
