@@ -423,7 +423,74 @@ func BenchmarkSplitFullyHet(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		heuristics.MinAchievablePeriodFullyHet(ev)
+		if _, err := heuristics.MinAchievablePeriodFullyHet(ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchFullHetEvaluator derives a fully heterogeneous instance from the
+// shared generator: same pipeline and speeds, deterministic per-link
+// bandwidths in [1, 5).
+func benchFullHetEvaluator(n, p int, seed int64) *pipesched.Evaluator {
+	in := workload.Generate(workload.Config{Family: workload.E2, Stages: n, Processors: p, Seed: seed})
+	r := rand.New(rand.NewSource(seed + 1))
+	links := make([][]float64, p)
+	for u := range links {
+		links[u] = make([]float64, p)
+	}
+	for u := 0; u < p; u++ {
+		for v := u + 1; v < p; v++ {
+			bw := 1 + 4*r.Float64()
+			links[u][v], links[v][u] = bw, bw
+		}
+	}
+	plat, err := pipesched.NewFullyHeterogeneousPlatform(in.Plat.Speeds(), links)
+	if err != nil {
+		panic(err)
+	}
+	return pipesched.NewEvaluator(in.App, plat)
+}
+
+// BenchmarkFullHetPortfolioRace times the fully heterogeneous portfolio
+// lane — F1 under a period bound, F5/F6 under a latency bound — serial
+// versus racing, the fullhet counterpart of BenchmarkPortfolioRace.
+func BenchmarkFullHetPortfolioRace(b *testing.B) {
+	ev := benchFullHetEvaluator(14, 10, 47)
+	single := mapping.SingleProcessor(ev.Pipeline(), ev.Platform(), ev.Platform().Fastest())
+	minPeriod, err := heuristics.MinAchievablePeriodFullyHet(ev)
+	if err != nil {
+		b.Fatal(err)
+	}
+	periodBound := minPeriod * 1.05
+	latencyBound := ev.Latency(single) * 1.5
+	for _, mode := range []struct {
+		name   string
+		serial bool
+	}{
+		{"serial", true},
+		{"parallel", false},
+	} {
+		b.Run("period/"+mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, found, _ := portfolio.UnderPeriod(context.Background(), ev, periodBound,
+					portfolio.SolveOptions{Exact: true, Serial: mode.serial})
+				if !found {
+					b.Fatal("infeasible bound")
+				}
+			}
+		})
+		b.Run("latency/"+mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, found, _ := portfolio.UnderLatency(context.Background(), ev, latencyBound,
+					portfolio.SolveOptions{Exact: true, Serial: mode.serial})
+				if !found {
+					b.Fatal("infeasible bound")
+				}
+			}
+		})
 	}
 }
 

@@ -10,13 +10,20 @@
 //
 //	POST /v1/solve   {"pipeline": ..., "platform": ..., "bound": P,
 //	                  "objective": "min-latency"|"min-period",
-//	                  "mode": "portfolio"|"best"|"exact"|"H1".."H6",
+//	                  "mode": "portfolio"|"best"|"exact"|"H1".."H6"|"F1"|"F5"|"F6",
 //	                  "timeout_ms": N}
 //	POST /v1/batch   {"instances": [...], "bound": B, "relative_bound": bool,
 //	                  "exact": bool, "workers": N}
 //	POST /v1/sweep   {"pipeline": ..., "platform": ..., "points": N}
 //	GET  /healthz    liveness probe
 //	GET  /metrics    cache hit rate, in-flight gauge, per-endpoint latencies
+//
+// Platforms may be comm-homogeneous ({"speeds": [...], "bandwidth": b},
+// the default kind) or fully heterogeneous ({"kind":
+// "fully-heterogeneous", "speeds": [...], "links": [[...], ...]}); the
+// solver lane is chosen by kind — the paper's H1–H6 and the exact DP on
+// the former, the free-processor-choice F1/F5/F6 heuristics on the
+// latter. Mode "exact" requires a comm-homogeneous platform.
 //
 // The daemon drains gracefully on SIGINT/SIGTERM: the listener closes
 // immediately, in-flight requests get -drain-timeout to finish.

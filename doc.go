@@ -155,6 +155,22 @@
 //	srv := pipesched.NewServer(pipesched.ServerOptions{CacheEntries: 4096})
 //	http.ListenAndServe(":8080", srv) // or: pipesched.Serve(ctx, ":8080", opts)
 //
+// # Fully heterogeneous serving
+//
+// Every endpoint accepts both platform kinds and dispatches by
+// capability: comm-homogeneous instances race the paper's H1–H6 plus the
+// exact DP where eligible, fully heterogeneous ones ({"kind":
+// "fully-heterogeneous", "speeds": ..., "links": ...}) race the
+// free-processor-choice lane — F1 (SplitFullyHet under a period bound)
+// and F5/F6 (its latency-constrained variants). The capability check is
+// a single shared gate (every heuristic implements Supports; the engine
+// returns a typed ErrUnsupportedPlatform instead of panicking), so no
+// servable request can reach a solver panic; a fuzz target pins this.
+// Canonical cache keys cover the platform kind and every per-link
+// bandwidth, so platforms differing in one link never share an entry.
+// Mode "exact" remains comm-homogeneous-only: the DP's speed-class
+// compression does not extend to per-link bandwidths.
+//
 // # Serving performance: the high-QPS hot path
 //
 // The serving path is built so that the steady state of heavy traffic —

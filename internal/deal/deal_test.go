@@ -120,7 +120,10 @@ func TestDealBreaksSingleStageBottleneck(t *testing.T) {
 	// 3 stages; the middle one dominates. 4 processors of speed 5.
 	ev := ev2([]float64{5, 100, 5}, []float64{0, 0, 0, 0}, []float64{5, 5, 5, 5}, 10)
 	// Pure splitting floor: the middle stage alone costs 100/5 = 20.
-	h1Floor := heuristics.MinAchievablePeriod(ev, heuristics.SpMonoP{})
+	h1Floor, err := heuristics.MinAchievablePeriod(ev, heuristics.SpMonoP{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if h1Floor < 20-1e-9 {
 		t.Fatalf("splitting floor %g below the single-stage cycle 20?", h1Floor)
 	}
@@ -200,7 +203,10 @@ func TestDealSplitAtLeastAsDeepAsH1(t *testing.T) {
 			speeds[i] = float64(1 + r.Intn(20))
 		}
 		ev := ev2(works, make([]float64, n+1), speeds, 10)
-		h1 := heuristics.MinAchievablePeriod(ev, heuristics.SpMonoP{})
+		h1, err := heuristics.MinAchievablePeriod(ev, heuristics.SpMonoP{})
+		if err != nil {
+			t.Fatal(err)
+		}
 		var dealP float64
 		if res, err := DealSplit(ev, 0); err != nil {
 			var inf *InfeasibleError

@@ -291,7 +291,14 @@ func FailureThresholds(spec ThresholdSpec) ThresholdTable {
 			ev := in.Evaluator()
 			vals := make(map[string]float64, 6)
 			for _, h := range heuristics.PeriodHeuristics() {
-				vals[h.ID()] = heuristics.MinAchievablePeriod(ev, h)
+				v, err := heuristics.MinAchievablePeriod(ev, h)
+				if err != nil {
+					// Generated workloads are comm-homogeneous, so every
+					// paper heuristic supports them; a failure here is a
+					// harness bug, like an invalid workload.Config.
+					panic(err)
+				}
+				vals[h.ID()] = v
 			}
 			lt := heuristics.LatencyFailureThreshold(ev)
 			for _, h := range heuristics.LatencyHeuristics() {

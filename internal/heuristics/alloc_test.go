@@ -38,7 +38,11 @@ func TestHeuristicSolveAllocs(t *testing.T) {
 	ev := allocEvaluator()
 	single := mapping.SingleProcessor(ev.Pipeline(), ev.Platform(), ev.Platform().Fastest())
 	bound := ev.Period(single) * 0.4
-	for MinAchievablePeriod(ev, SpMonoP{}) > bound {
+	floor, err := MinAchievablePeriod(ev, SpMonoP{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for floor > bound {
 		bound *= 1.2
 	}
 	for _, h := range PeriodHeuristics() {

@@ -32,6 +32,7 @@
 package heuristics
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -39,6 +40,31 @@ import (
 	"pipesched/internal/mapping"
 	"pipesched/internal/platform"
 )
+
+// ErrUnsupportedPlatform reports that a heuristic was asked to solve on a
+// platform kind outside its capability (see the Supports methods). It is
+// returned — never panicked — from every exported entry point, so a
+// caller holding an arbitrary platform can always dispatch by capability
+// with errors.Is(err, ErrUnsupportedPlatform) instead of recovering.
+var ErrUnsupportedPlatform = errors.New("heuristics: unsupported platform kind")
+
+// unsupportedPlatform wraps ErrUnsupportedPlatform with the offending
+// kind and a pointer at the lane that does serve it.
+func unsupportedPlatform(kind platform.Kind) error {
+	return fmt.Errorf("%w: the paper's splitting engine targets comm-homogeneous platforms, got %q (use SplitFullyHet or the FullHet* heuristics)", ErrUnsupportedPlatform, kind)
+}
+
+// commHomogeneousOnly is embedded by the paper's H1–H6 heuristics (and
+// the X7/X8 extensions): their shared splitting engine prices every link
+// at one bandwidth, so they serve Communication Homogeneous platforms
+// only. The fullhet lane (fullhet.go) overrides Supports to accept every
+// kind.
+type commHomogeneousOnly struct{}
+
+// Supports reports whether the heuristic can solve on plat.
+func (commHomogeneousOnly) Supports(plat *platform.Platform) bool {
+	return plat.Kind() == platform.CommHomogeneous
+}
 
 // relEps is the relative tolerance used for feasibility comparisons; all
 // quantities are sums of a few dozen well-scaled terms, so 1e-9 is far
@@ -91,11 +117,13 @@ var statePool = sync.Pool{New: func() any { return new(state) }}
 
 // acquireState takes an engine state from the pool, leases scratch
 // buffers from ev and rewinds to the initial latency-optimal mapping.
-// The caller must release the state when done.
-func acquireState(ev *mapping.Evaluator) *state {
+// The caller must release the state when done. On a platform kind the
+// engine cannot price it returns ErrUnsupportedPlatform instead of
+// panicking — no request input may reach a panic through a heuristic.
+func acquireState(ev *mapping.Evaluator) (*state, error) {
 	plat := ev.Platform()
 	if plat.Kind() != platform.CommHomogeneous {
-		panic("heuristics: the paper's heuristics target comm-homogeneous platforms; see SplitFullyHet for the extension")
+		return nil, unsupportedPlatform(plat.Kind())
 	}
 	st := statePool.Get().(*state)
 	st.ev = ev
@@ -113,7 +141,7 @@ func acquireState(ev *mapping.Evaluator) *state {
 		st.deltaB = append(st.deltaB, app.Delta(k)/b)
 	}
 	st.reset()
-	return st
+	return st, nil
 }
 
 // release hands the grown buffers back to the evaluator's scratch pool

@@ -13,7 +13,7 @@ import "pipesched/internal/mapping"
 // period target, limits the search.
 
 // ThreeExploMonoL is the latency-constrained analogue of ThreeExploMono.
-type ThreeExploMonoL struct{}
+type ThreeExploMonoL struct{ commHomogeneousOnly }
 
 // Name implements LatencyConstrained.
 func (ThreeExploMonoL) Name() string { return "3-Explo mono, L fix" }
@@ -28,7 +28,7 @@ func (h ThreeExploMonoL) MinimizePeriod(ev *mapping.Evaluator, maxLatency float6
 }
 
 // ThreeExploBiL is the latency-constrained analogue of ThreeExploBi.
-type ThreeExploBiL struct{}
+type ThreeExploBiL struct{ commHomogeneousOnly }
 
 // Name implements LatencyConstrained.
 func (ThreeExploBiL) Name() string { return "3-Explo bi, L fix" }

@@ -1,9 +1,11 @@
 package heuristics
 
 import (
+	"errors"
 	"math"
 
 	"pipesched/internal/mapping"
+	"pipesched/internal/platform"
 )
 
 // SplitFullyHet extends the paper's splitting approach to fully
@@ -47,7 +49,7 @@ func SplitFullyHet(ev *mapping.Evaluator, maxPeriod float64) (Result, error) {
 	}
 
 	for !leq(curPeriod, maxPeriod) {
-		bIdx, bestK, bestLeft, bestRight, bestPeriod, ok := tryAllSplits(ev, cur, &trial, curPeriod)
+		bIdx, bestK, bestLeft, bestRight, bestPeriod, _, ok := tryAllSplits(ev, cur, &trial, curPeriod, 0, math.Inf(1), selectMono)
 		if !ok {
 			res := finish(cur)
 			return res, &InfeasibleError{
@@ -68,12 +70,66 @@ func SplitFullyHet(ev *mapping.Evaluator, maxPeriod float64) (Result, error) {
 	return finish(cur), nil
 }
 
+// splitFullyHetLatency is the latency-constrained side of the fullhet
+// lane — the free-processor-choice analogue of H5 (mono rule) and H6
+// (ratio rule). It starts from the single-interval mapping on the fastest
+// processor (the same start as SplitFullyHet; when even that busts the
+// budget the run is infeasible) and keeps applying the admissible split
+// that the rule prefers, where admissible means: strictly smaller trial
+// period AND trial latency within the budget. Every trial mapping is
+// re-scored whole, as in SplitFullyHet, because neighbour links move.
+func splitFullyHetLatency(ev *mapping.Evaluator, maxLatency float64, rule selectRule, name string) (Result, error) {
+	plat, app := ev.Platform(), ev.Pipeline()
+	sc := ev.LeaseScratch()
+	cur := append(sc.Ivs[:0], mapping.Interval{Start: 1, End: app.Stages(), Proc: plat.Fastest()})
+	trial := sc.Trial[:0]
+	curPeriod := ev.PeriodOf(cur)
+	curLatency := ev.LatencyOf(cur)
+
+	finish := func(ivs []mapping.Interval) Result {
+		m := mapping.MustNew(app, plat, ivs) // copies; scratch can be released
+		res := Result{Mapping: m, Metrics: ev.Metrics(m)}
+		sc.Ivs, sc.Trial = cur[:0], trial[:0]
+		sc.Release()
+		return res
+	}
+
+	if !leq(curLatency, maxLatency) {
+		res := finish(cur)
+		return res, &InfeasibleError{
+			Heuristic: name, Constraint: "latency",
+			Target: maxLatency, Achieved: curLatency, Best: res,
+		}
+	}
+	for {
+		bIdx, bestK, bestLeft, bestRight, bestPeriod, bestLat, ok := tryAllSplits(ev, cur, &trial, curPeriod, curLatency, maxLatency, rule)
+		if !ok {
+			break // split as far as the latency budget allows
+		}
+		iv := cur[bIdx]
+		trial = append(trial[:0], cur[:bIdx]...)
+		trial = append(trial,
+			mapping.Interval{Start: iv.Start, End: bestK, Proc: bestLeft},
+			mapping.Interval{Start: bestK + 1, End: iv.End, Proc: bestRight})
+		trial = append(trial, cur[bIdx+1:]...)
+		cur, trial = trial, cur
+		curPeriod, curLatency = bestPeriod, bestLat
+	}
+	return finish(cur), nil
+}
+
 // tryAllSplits enumerates 2-way splits of the bottleneck interval with
-// every unused processor in either order, scoring each trial in the
+// every unused processor in either order, scoring each whole trial in the
 // reused buffer (*trialBuf, grown in place so its capacity persists
 // across calls), and returns the winning split parameters, or ok=false
-// when no trial strictly improves on curPeriod.
-func tryAllSplits(ev *mapping.Evaluator, cur []mapping.Interval, trialBuf *[]mapping.Interval, curPeriod float64) (bIdx, bestK, bestLeft, bestRight int, bestPeriod float64, ok bool) {
+// when no trial is admissible. Admissible means: the trial period
+// strictly improves on curPeriod and the trial latency respects
+// maxLatency (+Inf disables the cap — the SplitFullyHet configuration,
+// whose decisions this generalisation reproduces bit for bit). The mono
+// rule picks the smallest trial period (ties: smallest latency); the bi
+// rule picks the smallest whole-mapping Δlatency/Δperiod ratio relative
+// to (curPeriod, curLatency) (ties: smallest period).
+func tryAllSplits(ev *mapping.Evaluator, cur []mapping.Interval, trialBuf *[]mapping.Interval, curPeriod, curLatency, maxLatency float64, rule selectRule) (bIdx, bestK, bestLeft, bestRight int, bestPeriod, bestLat float64, ok bool) {
 	plat := ev.Platform()
 
 	// Identify the bottleneck interval under the full heterogeneous
@@ -94,11 +150,12 @@ func tryAllSplits(ev *mapping.Evaluator, cur []mapping.Interval, trialBuf *[]map
 	}
 	iv := cur[bIdx]
 	if iv.Start == iv.End {
-		return 0, 0, 0, 0, 0, false
+		return 0, 0, 0, 0, 0, 0, false
 	}
 
 	bestPeriod = math.Inf(1)
-	bestLatency := math.Inf(1)
+	bestLat = math.Inf(1)
+	bestRatio := math.Inf(1)
 	for u := 1; u <= plat.Processors(); u++ {
 		if usedIn(cur, u) {
 			continue
@@ -116,14 +173,29 @@ func tryAllSplits(ev *mapping.Evaluator, cur []mapping.Interval, trialBuf *[]map
 					continue
 				}
 				l := ev.LatencyOf(trial)
-				if p < bestPeriod-relEps || (p < bestPeriod+relEps && l < bestLatency) {
+				if !leq(l, maxLatency) {
+					continue
+				}
+				take := false
+				if rule == selectBi {
+					// Δperiod = curPeriod - p > 0 is guaranteed by the
+					// strict-improvement gate above.
+					r := (l - curLatency) / (curPeriod - p)
+					take = r < bestRatio-relEps || (r < bestRatio+relEps && p < bestPeriod)
+					if take {
+						bestRatio = r
+					}
+				} else {
+					take = p < bestPeriod-relEps || (p < bestPeriod+relEps && l < bestLat)
+				}
+				if take {
 					bestK, bestLeft, bestRight = k, order[0], order[1]
-					bestPeriod, bestLatency, ok = p, l, true
+					bestPeriod, bestLat, ok = p, l, true
 				}
 			}
 		}
 	}
-	return bIdx, bestK, bestLeft, bestRight, bestPeriod, ok
+	return bIdx, bestK, bestLeft, bestRight, bestPeriod, bestLat, ok
 }
 
 // usedIn reports whether processor u executes one of the intervals. The
@@ -140,14 +212,87 @@ func usedIn(ivs []mapping.Interval, u int) bool {
 
 // MinAchievablePeriodFullyHet is the SplitFullyHet analogue of
 // MinAchievablePeriod: the smallest period the heterogeneous splitter can
-// reach on this instance.
-func MinAchievablePeriodFullyHet(ev *mapping.Evaluator) float64 {
+// reach on this instance. A non-InfeasibleError failure is propagated
+// instead of panicked.
+func MinAchievablePeriodFullyHet(ev *mapping.Evaluator) (float64, error) {
 	res, err := SplitFullyHet(ev, 0)
 	if err == nil {
-		return res.Metrics.Period
+		return res.Metrics.Period, nil
 	}
-	if e, ok := err.(*InfeasibleError); ok {
-		return e.Best.Metrics.Period
+	var inf *InfeasibleError
+	if errors.As(err, &inf) {
+		return inf.Best.Metrics.Period, nil
 	}
-	panic("heuristics: unexpected error from SplitFullyHet: " + err.Error())
+	return 0, err
+}
+
+// ------------------------------------------------- fullhet portfolio --
+
+// FullHetSplit adapts SplitFullyHet to the PeriodConstrained interface so
+// the portfolio and sweep layers can race it. The F-prefixed identifiers
+// mark the fully-heterogeneous lane, mirroring the X prefix of the
+// latency-constrained 3-Exploration extensions.
+type FullHetSplit struct{}
+
+// Name implements PeriodConstrained.
+func (FullHetSplit) Name() string { return "Split fully-het" }
+
+// ID implements PeriodConstrained.
+func (FullHetSplit) ID() string { return "F1" }
+
+// Supports implements PeriodConstrained: the fullhet splitter prices
+// per-link bandwidths, so every platform kind is fair game.
+func (FullHetSplit) Supports(*platform.Platform) bool { return true }
+
+// MinimizeLatency implements PeriodConstrained.
+func (FullHetSplit) MinimizeLatency(ev *mapping.Evaluator, maxPeriod float64) (Result, error) {
+	return SplitFullyHet(ev, maxPeriod)
+}
+
+// FullHetSplitL is the latency-constrained fullhet splitter with the
+// mono-criterion rule — the free-processor-choice H5 analogue.
+type FullHetSplitL struct{}
+
+// Name implements LatencyConstrained.
+func (FullHetSplitL) Name() string { return "Sp mono fully-het, L fix" }
+
+// ID implements LatencyConstrained.
+func (FullHetSplitL) ID() string { return "F5" }
+
+// Supports implements LatencyConstrained.
+func (FullHetSplitL) Supports(*platform.Platform) bool { return true }
+
+// MinimizePeriod implements LatencyConstrained.
+func (h FullHetSplitL) MinimizePeriod(ev *mapping.Evaluator, maxLatency float64) (Result, error) {
+	return splitFullyHetLatency(ev, maxLatency, selectMono, h.Name())
+}
+
+// FullHetSplitBiL is the latency-constrained fullhet splitter with the
+// Δlatency/Δperiod rule — the free-processor-choice H6 analogue.
+type FullHetSplitBiL struct{}
+
+// Name implements LatencyConstrained.
+func (FullHetSplitBiL) Name() string { return "Sp bi fully-het, L fix" }
+
+// ID implements LatencyConstrained.
+func (FullHetSplitBiL) ID() string { return "F6" }
+
+// Supports implements LatencyConstrained.
+func (FullHetSplitBiL) Supports(*platform.Platform) bool { return true }
+
+// MinimizePeriod implements LatencyConstrained.
+func (h FullHetSplitBiL) MinimizePeriod(ev *mapping.Evaluator, maxLatency float64) (Result, error) {
+	return splitFullyHetLatency(ev, maxLatency, selectBi, h.Name())
+}
+
+// FullHetPeriodHeuristics returns the period-constrained solvers of the
+// fully heterogeneous lane, in portfolio order.
+func FullHetPeriodHeuristics() []PeriodConstrained {
+	return []PeriodConstrained{FullHetSplit{}}
+}
+
+// FullHetLatencyHeuristics returns the latency-constrained solvers of the
+// fully heterogeneous lane, in portfolio order.
+func FullHetLatencyHeuristics() []LatencyConstrained {
+	return []LatencyConstrained{FullHetSplitL{}, FullHetSplitBiL{}}
 }

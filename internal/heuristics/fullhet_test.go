@@ -84,8 +84,11 @@ func TestSplitFullyHetOnHomogeneousPlatform(t *testing.T) {
 		ev := randEvaluator(r, 10, 6)
 		single := mapping.SingleProcessor(ev.Pipeline(), ev.Platform(), ev.Platform().Fastest())
 		p0 := ev.Period(single)
-		h1 := MinAchievablePeriod(ev, SpMonoP{})
-		het := MinAchievablePeriodFullyHet(ev)
+		h1, err1 := MinAchievablePeriod(ev, SpMonoP{})
+		het, err2 := MinAchievablePeriodFullyHet(ev)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("thresholds failed: %v / %v", err1, err2)
+		}
 		if het <= 0 || het > p0*(1+1e-9) {
 			t.Fatalf("trial %d: het min period %g outside (0, %g]", trial, het, p0)
 		}
@@ -163,7 +166,10 @@ func TestMinAchievablePeriodFullyHetConsistent(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
 		ev := randHetEvaluator(r, 8, 5)
-		p0 := MinAchievablePeriodFullyHet(ev)
+		p0, err0 := MinAchievablePeriodFullyHet(ev)
+		if err0 != nil {
+			return false
+		}
 		if _, err := SplitFullyHet(ev, p0*(1+1e-6)); err != nil {
 			return false
 		}

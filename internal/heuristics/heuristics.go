@@ -1,9 +1,11 @@
 package heuristics
 
 import (
+	"errors"
 	"math"
 
 	"pipesched/internal/mapping"
+	"pipesched/internal/platform"
 )
 
 // PeriodConstrained is a heuristic that minimises latency under a maximum
@@ -13,6 +15,11 @@ type PeriodConstrained interface {
 	Name() string
 	// ID returns the Table-1 identifier, e.g. "H1".
 	ID() string
+	// Supports reports whether the heuristic can solve on plat. Calling
+	// MinimizeLatency on an unsupported platform returns
+	// ErrUnsupportedPlatform (it never panics); Supports lets dispatchers
+	// pick a capable solver lane up front.
+	Supports(plat *platform.Platform) bool
 	// MinimizeLatency returns a mapping whose period is at most
 	// maxPeriod with latency as small as the heuristic manages. When the
 	// heuristic cannot reach the period bound it returns an
@@ -25,6 +32,9 @@ type PeriodConstrained interface {
 type LatencyConstrained interface {
 	Name() string
 	ID() string
+	// Supports reports whether the heuristic can solve on plat, exactly
+	// as PeriodConstrained.Supports.
+	Supports(plat *platform.Platform) bool
 	// MinimizePeriod returns a mapping whose latency is at most
 	// maxLatency with period as small as the heuristic manages, or an
 	// *InfeasibleError when even the latency-optimal mapping exceeds the
@@ -38,7 +48,7 @@ type LatencyConstrained interface {
 // repeatedly 2-way split the bottleneck interval, handing stages to the
 // next fastest unused processor, choosing the cut minimising
 // max(period(j), period(j')); stop as soon as the period bound is met.
-type SpMonoP struct{}
+type SpMonoP struct{ commHomogeneousOnly }
 
 // Name implements PeriodConstrained.
 func (SpMonoP) Name() string { return "Sp mono, P fix" }
@@ -58,7 +68,7 @@ func (h SpMonoP) MinimizeLatency(ev *mapping.Evaluator, maxPeriod float64) (Resu
 // the next two fastest unused processors, trying all cut pairs and part
 // permutations, and keep the candidate minimising the worst of the three
 // new cycle-times.
-type ThreeExploMono struct{}
+type ThreeExploMono struct{ commHomogeneousOnly }
 
 // Name implements PeriodConstrained.
 func (ThreeExploMono) Name() string { return "3-Explo mono" }
@@ -77,7 +87,7 @@ func (h ThreeExploMono) MinimizeLatency(ev *mapping.Evaluator, maxPeriod float64
 // exploration as ThreeExploMono but the retained candidate minimises
 // max_{i∈{j,j′,j″}} Δlatency/Δperiod(i), trading period improvement
 // against latency degradation.
-type ThreeExploBi struct{}
+type ThreeExploBi struct{ commHomogeneousOnly }
 
 // Name implements PeriodConstrained.
 func (ThreeExploBi) Name() string { return "3-Explo bi" }
@@ -93,7 +103,10 @@ func (h ThreeExploBi) MinimizeLatency(ev *mapping.Evaluator, maxPeriod float64) 
 // periodConstrainedSplit runs one pooled splitting trajectory towards the
 // period bound (the H1–H3 shape).
 func periodConstrainedSplit(ev *mapping.Evaluator, maxPeriod float64, opt splitOptions, name string) (Result, error) {
-	st := acquireState(ev)
+	st, err := acquireState(ev)
+	if err != nil {
+		return Result{}, err
+	}
 	defer st.release()
 	ok := st.splitUntil(maxPeriod, opt)
 	res := st.result()
@@ -111,6 +124,7 @@ func periodConstrainedSplit(ev *mapping.Evaluator, maxPeriod float64, opt splitO
 // period bound is reached; the search shrinks the cap while trials stay
 // feasible, minimising the final latency.
 type SpBiP struct {
+	commHomogeneousOnly
 	// Iterations bounds the binary search; 0 means DefaultBinaryIters.
 	Iterations int
 }
@@ -134,7 +148,10 @@ func (h SpBiP) MinimizeLatency(ev *mapping.Evaluator, maxPeriod float64) (Result
 	// One pooled engine serves every bisection trial: each trial rewinds
 	// it in place, and only the winning cap's state is materialised — a
 	// full binary search allocates once, for the returned Mapping.
-	st := acquireState(ev)
+	st, err := acquireState(ev)
+	if err != nil {
+		return Result{}, err
+	}
 	defer st.release()
 	trial := func(latCap float64) (mapping.Metrics, bool) {
 		st.reset()
@@ -172,7 +189,7 @@ func (h SpBiP) MinimizeLatency(ev *mapping.Evaluator, maxPeriod float64) (Result
 // SpMonoL is heuristic H5, "Splitting mono-criterion" with fixed latency:
 // the SpMonoP splitter with a different break condition — keep splitting
 // (reducing the period) as long as the latency bound is respected.
-type SpMonoL struct{}
+type SpMonoL struct{ commHomogeneousOnly }
 
 // Name implements LatencyConstrained.
 func (SpMonoL) Name() string { return "Sp mono, L fix" }
@@ -190,7 +207,7 @@ func (h SpMonoL) MinimizePeriod(ev *mapping.Evaluator, maxLatency float64) (Resu
 // SpBiL is heuristic H6, "Splitting bi-criteria" with fixed latency: like
 // SpMonoL but each step picks the split minimising
 // max_{i∈{j,j′}} Δlatency/Δperiod(i).
-type SpBiL struct{}
+type SpBiL struct{ commHomogeneousOnly }
 
 // Name implements LatencyConstrained.
 func (SpBiL) Name() string { return "Sp bi, L fix" }
@@ -211,7 +228,10 @@ func latencyConstrainedSplit(ev *mapping.Evaluator, maxLatency float64, rule sel
 // the latency optimum, split as far as the budget allows, on one pooled
 // engine.
 func latencyConstrained(ev *mapping.Evaluator, maxLatency float64, opt splitOptions, name string) (Result, error) {
-	st := acquireState(ev)
+	st, err := acquireState(ev)
+	if err != nil {
+		return Result{}, err
+	}
 	defer st.release()
 	if !leq(st.latency(), maxLatency) {
 		res := st.result()
@@ -238,21 +258,21 @@ func LatencyHeuristics() []LatencyConstrained {
 // returns the smallest period its splitting trajectory reaches. Because
 // each accepted split strictly reduces the bottleneck cycle-time, this
 // value is exactly the failure threshold of h on this instance: the
-// heuristic succeeds for every target ≥ it and fails below it.
-func MinAchievablePeriod(ev *mapping.Evaluator, h PeriodConstrained) float64 {
+// heuristic succeeds for every target ≥ it and fails below it. A
+// non-InfeasibleError failure (the heuristic does not support the
+// platform kind) is propagated instead of panicked.
+func MinAchievablePeriod(ev *mapping.Evaluator, h PeriodConstrained) (float64, error) {
 	res, err := h.MinimizeLatency(ev, 0)
 	if err == nil {
 		// A zero-period success is only possible on degenerate
 		// instances (it cannot happen with positive stage weights).
-		return res.Metrics.Period
+		return res.Metrics.Period, nil
 	}
 	var inf *InfeasibleError
-	if e, ok := err.(*InfeasibleError); ok {
-		inf = e
-	} else {
-		panic("heuristics: unexpected error type from MinimizeLatency: " + err.Error())
+	if errors.As(err, &inf) {
+		return inf.Best.Metrics.Period, nil
 	}
-	return inf.Best.Metrics.Period
+	return 0, err
 }
 
 // LatencyFailureThreshold returns the failure threshold of the

@@ -296,7 +296,10 @@ func TestMinAchievablePeriodIsThreshold(t *testing.T) {
 		r := rand.New(rand.NewSource(seed))
 		ev := randEvaluator(r, 8, 5)
 		for _, h := range PeriodHeuristics() {
-			p0 := MinAchievablePeriod(ev, h)
+			p0, err := MinAchievablePeriod(ev, h)
+			if err != nil {
+				return false
+			}
 			// Succeeds exactly at the threshold...
 			if _, err := h.MinimizeLatency(ev, p0*(1+1e-6)); err != nil {
 				return false
@@ -549,16 +552,56 @@ func TestInfeasibleErrorMessage(t *testing.T) {
 	}
 }
 
+// TestEngineRejectsHeterogeneousPlatform pins the capability contract:
+// every paper heuristic refuses a fully heterogeneous platform with the
+// typed ErrUnsupportedPlatform — never a panic — on every exported entry
+// point, while the fullhet lane accepts it.
 func TestEngineRejectsHeterogeneousPlatform(t *testing.T) {
 	plat, err := platform.NewFullyHeterogeneous([]float64{1, 1}, [][]float64{{0, 1}, {1, 0}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ev := mapping.NewEvaluator(pipeline.MustNew([]float64{1}, []float64{0, 0}), plat)
-	defer func() {
-		if recover() == nil {
-			t.Error("engine accepted a fully heterogeneous platform")
+	ev := mapping.NewEvaluator(pipeline.MustNew([]float64{1, 1}, []float64{1, 1, 1}), plat)
+	for _, h := range PeriodHeuristics() {
+		if h.Supports(plat) {
+			t.Errorf("%s claims to support %v", h.ID(), plat.Kind())
 		}
-	}()
-	SpMonoP{}.MinimizeLatency(ev, 1)
+		if _, err := h.MinimizeLatency(ev, 1); !errors.Is(err, ErrUnsupportedPlatform) {
+			t.Errorf("%s.MinimizeLatency: err = %v, want ErrUnsupportedPlatform", h.ID(), err)
+		}
+		if _, err := MinAchievablePeriod(ev, h); !errors.Is(err, ErrUnsupportedPlatform) {
+			t.Errorf("MinAchievablePeriod(%s): err = %v, want ErrUnsupportedPlatform", h.ID(), err)
+		}
+	}
+	for _, h := range append(LatencyHeuristics(), ExtensionLatencyHeuristics()...) {
+		if h.Supports(plat) {
+			t.Errorf("%s claims to support %v", h.ID(), plat.Kind())
+		}
+		if _, err := h.MinimizePeriod(ev, 1); !errors.Is(err, ErrUnsupportedPlatform) {
+			t.Errorf("%s.MinimizePeriod: err = %v, want ErrUnsupportedPlatform", h.ID(), err)
+		}
+	}
+	// The sweepers take the fresh-solve fallback and surface the same
+	// typed error instead of panicking in their constructors.
+	ps := NewPeriodSweeper(ev, SpMonoP{})
+	defer ps.Close()
+	if _, err := ps.Solve(1); !errors.Is(err, ErrUnsupportedPlatform) {
+		t.Errorf("PeriodSweeper.Solve: err = %v, want ErrUnsupportedPlatform", err)
+	}
+	ls := NewLatencySweeper(ev, SpMonoL{})
+	defer ls.Close()
+	if _, err := ls.Solve(1); !errors.Is(err, ErrUnsupportedPlatform) {
+		t.Errorf("LatencySweeper.Solve: err = %v, want ErrUnsupportedPlatform", err)
+	}
+	// The fullhet lane serves the same platform.
+	for _, h := range FullHetPeriodHeuristics() {
+		if !h.Supports(plat) {
+			t.Errorf("%s rejects %v", h.ID(), plat.Kind())
+		}
+	}
+	for _, h := range FullHetLatencyHeuristics() {
+		if !h.Supports(plat) {
+			t.Errorf("%s rejects %v", h.ID(), plat.Kind())
+		}
+	}
 }

@@ -31,10 +31,10 @@ type legacyState struct {
 	free   []int
 }
 
-func legacyNewState(ev *mapping.Evaluator) *legacyState {
+func legacyNewState(ev *mapping.Evaluator) (*legacyState, error) {
 	plat := ev.Platform()
 	if plat.Kind() != platform.CommHomogeneous {
-		panic("heuristics: the paper's heuristics target comm-homogeneous platforms; see SplitFullyHet for the extension")
+		return nil, unsupportedPlatform(plat.Kind())
 	}
 	app := ev.Pipeline()
 	order := plat.FastestFirst()
@@ -46,7 +46,7 @@ func legacyNewState(ev *mapping.Evaluator) *legacyState {
 	}
 	st.cycles = []float64{ev.Cycle(1, app.Stages(), first)}
 	st.lat = st.latencyContribution(1, app.Stages(), first) + app.Delta(app.Stages())/plat.Bandwidth()
-	return st
+	return st, nil
 }
 
 func (st *legacyState) latencyContribution(d, e, u int) float64 {
@@ -240,7 +240,10 @@ func (st *legacyState) result() Result {
 // --- legacy heuristic entry points -------------------------------------
 
 func legacyPeriodConstrained(ev *mapping.Evaluator, maxPeriod float64, opt splitOptions, name string) (Result, error) {
-	st := legacyNewState(ev)
+	st, err := legacyNewState(ev)
+	if err != nil {
+		return Result{}, err
+	}
 	ok := st.splitUntil(maxPeriod, opt)
 	res := st.result()
 	if !ok {
@@ -266,7 +269,10 @@ func legacyH4(ev *mapping.Evaluator, maxPeriod float64, iters int) (Result, erro
 		iters = DefaultBinaryIters
 	}
 	trial := func(latCap float64) (Result, bool) {
-		st := legacyNewState(ev)
+		st, err := legacyNewState(ev)
+		if err != nil {
+			panic(err) // legacyH4 is only driven on comm-homogeneous oracles
+		}
 		opt := splitOptions{rule: selectBi, maxLatency: latCap}
 		ok := st.splitUntil(maxPeriod, opt)
 		return st.result(), ok
@@ -292,7 +298,10 @@ func legacyH4(ev *mapping.Evaluator, maxPeriod float64, iters int) (Result, erro
 }
 
 func legacyLatencyConstrained(ev *mapping.Evaluator, maxLatency float64, opt splitOptions, name string) (Result, error) {
-	st := legacyNewState(ev)
+	st, err := legacyNewState(ev)
+	if err != nil {
+		return Result{}, err
+	}
 	if !leq(st.latency(), maxLatency) {
 		res := st.result()
 		return res, &InfeasibleError{Heuristic: name, Constraint: "latency", Target: maxLatency, Achieved: res.Metrics.Latency, Best: res}

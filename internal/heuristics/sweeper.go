@@ -53,9 +53,14 @@ type PeriodSweeper struct {
 }
 
 // NewPeriodSweeper binds a sweeper to one evaluator and heuristic. Call
-// Close when the sweep is done to return the pooled engine.
+// Close when the sweep is done to return the pooled engine. A heuristic
+// that does not support the evaluator's platform takes the fresh-solve
+// fallback, whose per-bound calls return ErrUnsupportedPlatform.
 func NewPeriodSweeper(ev *mapping.Evaluator, h PeriodConstrained) *PeriodSweeper {
 	s := &PeriodSweeper{ev: ev, h: h, prev: math.Inf(1)}
+	if !h.Supports(ev.Platform()) {
+		return s
+	}
 	switch h.(type) {
 	case SpMonoP:
 		s.opt, s.traj = splitOptions{rule: selectMono, maxLatency: math.Inf(1)}, true
@@ -65,7 +70,14 @@ func NewPeriodSweeper(ev *mapping.Evaluator, h PeriodConstrained) *PeriodSweeper
 		s.opt, s.traj = splitOptions{rule: selectBi, threeWay: true, maxLatency: math.Inf(1)}, true
 	}
 	if s.traj {
-		s.st = acquireState(ev)
+		st, err := acquireState(ev)
+		if err != nil {
+			// Supports and the engine gate agree for the known types, so
+			// this cannot fire; degrading to fresh solves keeps it safe.
+			s.traj = false
+			return s
+		}
+		s.st = st
 	}
 	return s
 }
@@ -153,9 +165,14 @@ type LatencySweeper struct {
 }
 
 // NewLatencySweeper binds a sweeper to one evaluator and heuristic. Call
-// Close when the sweep is done.
+// Close when the sweep is done. A heuristic that does not support the
+// evaluator's platform takes the fresh-solve fallback, exactly as in
+// NewPeriodSweeper.
 func NewLatencySweeper(ev *mapping.Evaluator, h LatencyConstrained) *LatencySweeper {
 	s := &LatencySweeper{ev: ev, h: h, prev: math.Inf(-1)}
+	if !h.Supports(ev.Platform()) {
+		return s
+	}
 	switch h.(type) {
 	case SpMonoL:
 		s.opt, s.known = splitOptions{rule: selectMono}, true
@@ -167,7 +184,12 @@ func NewLatencySweeper(ev *mapping.Evaluator, h LatencyConstrained) *LatencySwee
 		s.opt, s.known = splitOptions{rule: selectBi, threeWay: true}, true
 	}
 	if s.known {
-		s.st = acquireState(ev)
+		st, err := acquireState(ev)
+		if err != nil {
+			s.known = false
+			return s
+		}
+		s.st = st
 		s.initLat = s.st.latency()
 	}
 	return s

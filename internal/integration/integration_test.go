@@ -52,7 +52,10 @@ func TestSandwichAcrossFamilies(t *testing.T) {
 					t.Fatalf("seed %d: exact %g > single-proc %g", seed, opt.Metrics.Period, p0)
 				}
 				for _, h := range heuristics.PeriodHeuristics() {
-					minP := heuristics.MinAchievablePeriod(ev, h)
+					minP, err := heuristics.MinAchievablePeriod(ev, h)
+					if err != nil {
+						t.Fatalf("seed %d: %s threshold: %v", seed, h.ID(), err)
+					}
 					if minP < opt.Metrics.Period-1e-9 {
 						t.Fatalf("seed %d: %s reached %g below exact optimum %g",
 							seed, h.ID(), minP, opt.Metrics.Period)
@@ -162,7 +165,10 @@ func TestThresholdBracketing(t *testing.T) {
 			single := mapping.SingleProcessor(in.App, in.Plat, in.Plat.Fastest())
 			p0 := ev.Period(single)
 			for _, h := range heuristics.PeriodHeuristics() {
-				th := heuristics.MinAchievablePeriod(ev, h)
+				th, err := heuristics.MinAchievablePeriod(ev, h)
+				if err != nil {
+					t.Fatalf("%s seed %d: %s threshold: %v", fam, seed, h.ID(), err)
+				}
 				if th < lb*(1-1e-9) || th > p0*(1+1e-9) {
 					t.Fatalf("%s seed %d: %s threshold %g outside [%g, %g]",
 						fam, seed, h.ID(), th, lb, p0)
@@ -185,7 +191,10 @@ func TestThroughputAccounting(t *testing.T) {
 		Family: workload.E2, Stages: 20, Processors: 10, Seed: 77,
 	})
 	ev := in.Evaluator()
-	floor := heuristics.MinAchievablePeriod(ev, heuristics.SpMonoP{})
+	floor, err := heuristics.MinAchievablePeriod(ev, heuristics.SpMonoP{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	res, err := heuristics.SpMonoP{}.MinimizeLatency(ev, floor*1.05)
 	if err != nil {
 		t.Fatal(err)

@@ -9,11 +9,36 @@ import (
 	"pipesched/internal/exact"
 	"pipesched/internal/heuristics"
 	"pipesched/internal/mapping"
+	"pipesched/internal/platform"
 )
 
 // ExactID is the solver identifier of the exact dynamic program in a
-// portfolio outcome, alongside the heuristic identifiers H1..H6.
+// portfolio outcome, alongside the heuristic identifiers H1..H6 (and the
+// fully-heterogeneous lane's F1/F5/F6).
 const ExactID = "DP"
+
+// periodSolvers selects the period-constrained solver registry by
+// platform capability: the paper's H1–H4 serve Communication Homogeneous
+// platforms (unchanged member set, so comm-homogeneous races stay
+// bit-identical to their history), while fully heterogeneous platforms
+// race the fullhet lane (F1). Every returned solver Supports plat, so no
+// race member can return ErrUnsupportedPlatform.
+func periodSolvers(plat *platform.Platform) []heuristics.PeriodConstrained {
+	if plat.Kind() == platform.CommHomogeneous {
+		return heuristics.PeriodHeuristics()
+	}
+	return heuristics.FullHetPeriodHeuristics()
+}
+
+// latencySolvers is the latency-constrained twin of periodSolvers:
+// H5–H6 on comm-homogeneous platforms, F5–F6 on fully heterogeneous
+// ones.
+func latencySolvers(plat *platform.Platform) []heuristics.LatencyConstrained {
+	if plat.Kind() == platform.CommHomogeneous {
+		return heuristics.LatencyHeuristics()
+	}
+	return heuristics.FullHetLatencyHeuristics()
+}
 
 // SolveOptions configure one portfolio race.
 type SolveOptions struct {
@@ -98,8 +123,10 @@ func serialFallback(ev *mapping.Evaluator) bool {
 		ev.Pipeline().Stages()*ev.Platform().Processors() <= serialFallbackCells
 }
 
-// UnderPeriod races the period-constrained solvers (H1–H4, plus the exact
-// DP when opts.Exact applies) and returns the feasible outcome with the
+// UnderPeriod races the period-constrained solvers of the platform's
+// capability lane (H1–H4 on comm-homogeneous platforms, F1 on fully
+// heterogeneous ones, plus the exact DP when opts.Exact applies) and
+// returns the feasible outcome with the
 // smallest latency (ties: smallest period; further ties: portfolio order).
 // found reports whether any member met the bound; when none did, closest is
 // the *heuristics.InfeasibleError whose achieved period came closest to the
@@ -113,7 +140,7 @@ func UnderPeriod(ctx context.Context, ev *mapping.Evaluator, maxPeriod float64, 
 		return Outcome{}, false, err
 	}
 	var solvers []solver
-	for _, h := range heuristics.PeriodHeuristics() {
+	for _, h := range periodSolvers(ev.Platform()) {
 		h := h
 		solvers = append(solvers, solver{id: h.ID(), run: func() (heuristics.Result, error) {
 			return h.MinimizeLatency(ev, maxPeriod)
@@ -151,8 +178,10 @@ func pickUnderPeriod(attempts []attempt) (out Outcome, found bool, closest error
 	return out, found, closest
 }
 
-// UnderLatency races the latency-constrained solvers (H5–H6, plus the
-// exact DP when opts.Exact applies) and returns the feasible outcome with
+// UnderLatency races the latency-constrained solvers of the platform's
+// capability lane (H5–H6 on comm-homogeneous platforms, F5–F6 on fully
+// heterogeneous ones, plus the exact DP when opts.Exact applies) and
+// returns the feasible outcome with
 // the smallest period (ties: portfolio order). When no member met the
 // bound, closest is the first failure in portfolio order — the error the
 // serial loop would have reported.
@@ -161,7 +190,7 @@ func UnderLatency(ctx context.Context, ev *mapping.Evaluator, maxLatency float64
 		return Outcome{}, false, err
 	}
 	var solvers []solver
-	for _, h := range heuristics.LatencyHeuristics() {
+	for _, h := range latencySolvers(ev.Platform()) {
 		h := h
 		solvers = append(solvers, solver{id: h.ID(), run: func() (heuristics.Result, error) {
 			return h.MinimizePeriod(ev, maxLatency)

@@ -16,12 +16,13 @@ type TradeoffPoint struct {
 	Mapping *mapping.Mapping
 }
 
-// ParetoSweep traces an approximate Pareto frontier using only the paper's
-// polynomial heuristics: it sweeps points period bounds between the period
-// lower bound and the single-processor period, runs all four
-// period-constrained heuristics plus both latency-constrained ones (fed
-// with the latencies discovered so far), and returns the non-dominated
-// results sorted by increasing period.
+// ParetoSweep traces an approximate Pareto frontier using only polynomial
+// heuristics: it sweeps points period bounds between the period lower
+// bound and the single-processor period, runs the platform's
+// period-constrained lane (H1–H4 on comm-homogeneous platforms, F1 on
+// fully heterogeneous ones) plus its latency-constrained lane (fed with
+// the latencies discovered so far), and returns the non-dominated results
+// sorted by increasing period.
 //
 // Unlike the exact front this scales to large platforms (nothing
 // exponential); the returned frontier is a superset-dominated
@@ -63,7 +64,7 @@ func ParetoSweep(ctx context.Context, ev *mapping.Evaluator, points, workers int
 
 	// Phase 1: period-constrained lanes, each walking the bound grid
 	// loosest-first (trajectories only ever extend).
-	periodRows, _ := Map(ctx, workers, heuristics.PeriodHeuristics(), func(ctx context.Context, h heuristics.PeriodConstrained) []cell {
+	periodRows, _ := Map(ctx, workers, periodSolvers(ev.Platform()), func(ctx context.Context, h heuristics.PeriodConstrained) []cell {
 		sw := heuristics.NewPeriodSweeper(ev, h)
 		defer sw.Close()
 		row := make([]cell, points)
@@ -103,7 +104,7 @@ func ParetoSweep(ctx context.Context, ev *mapping.Evaluator, points, workers int
 		maxLat = math.Max(maxLat, pt.Metrics.Latency)
 	}
 	if len(raw) > 0 && maxLat > minLat {
-		latRows, _ := Map(ctx, workers, heuristics.LatencyHeuristics(), func(ctx context.Context, h heuristics.LatencyConstrained) []cell {
+		latRows, _ := Map(ctx, workers, latencySolvers(ev.Platform()), func(ctx context.Context, h heuristics.LatencyConstrained) []cell {
 			sw := heuristics.NewLatencySweeper(ev, h)
 			defer sw.Close()
 			row := make([]cell, points)

@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"pipesched/internal/platform"
 	"pipesched/internal/workload"
 )
 
@@ -75,6 +76,39 @@ func solveBodyJSON(b *testing.B, bound float64) []byte {
 	return fmt.Appendf(nil, `{"pipeline":%s,"platform":%s,"bound":%g}`, app, plat, bound)
 }
 
+// fullHetBodyJSON renders a /v1/solve body for the bench pipeline on a
+// deterministic fully heterogeneous platform (same speeds, per-link
+// bandwidths cycling 1..5).
+func fullHetBodyJSON(b *testing.B, bound float64) []byte {
+	b.Helper()
+	in := testWorkload()
+	app, err := in.App.MarshalJSON()
+	if err != nil {
+		b.Fatal(err)
+	}
+	speeds := in.Plat.Speeds()
+	p := len(speeds)
+	links := make([][]float64, p)
+	for u := range links {
+		links[u] = make([]float64, p)
+	}
+	for u := 0; u < p; u++ {
+		for v := u + 1; v < p; v++ {
+			bw := float64(1 + (u+v)%5)
+			links[u][v], links[v][u] = bw, bw
+		}
+	}
+	plat, err := platform.NewFullyHeterogeneous(speeds, links)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pj, err := plat.MarshalJSON()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return fmt.Appendf(nil, `{"pipeline":%s,"platform":%s,"bound":%g}`, app, pj, bound)
+}
+
 func BenchmarkServeSolve(b *testing.B) {
 	b.Run("hit", func(b *testing.B) {
 		s := New(Options{})
@@ -120,6 +154,41 @@ func BenchmarkServeSolve(b *testing.B) {
 		// solves, stores and evicts — the full cold-path cost.
 		s := New(Options{CacheEntries: 1})
 		raws := [2][]byte{solveBodyJSON(b, 1e6), solveBodyJSON(b, 2e6)}
+		req := httptest.NewRequest("POST", "/v1/solve", nil)
+		w, body := newBenchWriter(), &benchBody{}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if st := serveOnce(s, w, req, body, raws[i&1]); st != http.StatusOK {
+				b.Fatalf("status %d", st)
+			}
+		}
+	})
+
+	b.Run("fullhet-hit", func(b *testing.B) {
+		// The fullhet serving lane: decode + canonical hash now cover the
+		// full link matrix, so a hit here prices the larger key stream.
+		s := New(Options{})
+		raw := fullHetBodyJSON(b, 1e6)
+		req := httptest.NewRequest("POST", "/v1/solve", nil)
+		w, body := newBenchWriter(), &benchBody{}
+		if st := serveOnce(s, w, req, body, raw); st != http.StatusOK { // prime the cache
+			b.Fatalf("prime status %d", st)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if st := serveOnce(s, w, req, body, raw); st != http.StatusOK {
+				b.Fatalf("status %d", st)
+			}
+		}
+	})
+
+	b.Run("fullhet-miss", func(b *testing.B) {
+		// Alternating fullhet bodies against capacity 1: every request
+		// runs the F1 solve end to end.
+		s := New(Options{CacheEntries: 1})
+		raws := [2][]byte{fullHetBodyJSON(b, 1e6), fullHetBodyJSON(b, 2e6)}
 		req := httptest.NewRequest("POST", "/v1/solve", nil)
 		w, body := newBenchWriter(), &benchBody{}
 		b.ReportAllocs()

@@ -31,8 +31,9 @@ import (
 // The encoding is versioned: bump canonVersion whenever a field is added,
 // removed or reordered, so stale keys from older layouts can never alias
 // new ones (irrelevant for the in-memory cache, vital the day keys are
-// persisted or shared between replicas).
-const canonVersion = 1
+// persisted or shared between replicas). Version 2 added the fully
+// heterogeneous platform arm (length-prefixed link-bandwidth rows).
+const canonVersion = 2
 
 // canon accumulates the canonical wire form directly into a hash.
 type canon struct {
@@ -103,7 +104,9 @@ func (c *canon) platform(plat *platform.Platform) {
 		c.f64(plat.Bandwidth())
 	case platform.FullyHeterogeneous:
 		p := plat.Processors()
+		c.u64(uint64(p))
 		for u := 1; u <= p; u++ {
+			c.u64(uint64(p))
 			for v := 1; v <= p; v++ {
 				if u == v {
 					c.f64(0)
@@ -124,6 +127,42 @@ func (c *canon) commHomogeneous(speeds []float64, bandwidth float64) {
 	c.f64(bandwidth)
 }
 
+// fullyHeterogeneous appends a fully heterogeneous platform from its raw
+// wire slices, byte-identical to platform() on the constructed object.
+// Diagonal cells hash as 0 no matter what the request put there: the
+// constructor ignores them, so two requests differing only on the
+// diagonal describe the same platform and must share a key. Every
+// off-diagonal cell feeds the digest, so two platforms differing in one
+// link bandwidth can never collide into one cache entry. Rows and cells
+// are length-prefixed, so a malformed link matrix (rejected later by the
+// constructor) cannot alias a valid platform's stream.
+func (c *canon) fullyHeterogeneous(speeds []float64, links [][]float64) {
+	c.u64(uint64(platform.FullyHeterogeneous))
+	c.floats(speeds)
+	c.u64(uint64(len(links)))
+	for u, row := range links {
+		c.u64(uint64(len(row)))
+		for v, b := range row {
+			if u == v {
+				c.f64(0)
+			} else {
+				c.f64(b)
+			}
+		}
+	}
+}
+
+// wirePlatform appends a platform from its raw wire fields, discriminated
+// by the (already validated) kind tag. An empty tag defaults to
+// comm-homogeneous, matching platform.UnmarshalJSON.
+func (c *canon) wirePlatform(kind string, speeds []float64, bandwidth float64, links [][]float64) {
+	if kind == platform.FullyHeterogeneous.String() {
+		c.fullyHeterogeneous(speeds, links)
+		return
+	}
+	c.commHomogeneous(speeds, bandwidth)
+}
+
 // key finalises the digest and returns the canon to the pool. The digest
 // stages through the canon's own array: summing into a local would make
 // it escape and cost the hot path an allocation per key.
@@ -136,27 +175,26 @@ func (c *canon) key() cache.Key {
 
 // solveKeyWire digests one /v1/solve request straight from its decoded
 // wire form. mode is already normalised by validation, so "H1" and "h1"
-// hash identically; the platform is comm-homogeneous by the time a key is
-// computed (validation rejects everything else before the cache is
-// consulted).
-func solveKeyWire(objective portfolio.Objective, mode string, bound float64, works, deltas, speeds []float64, bandwidth float64) cache.Key {
+// hash identically; the platform kind tag is already validated, so the
+// stream is discriminated by a known kind before the cache is consulted.
+func solveKeyWire(objective portfolio.Objective, mode string, bound float64, works, deltas []float64, plat *platformWire) cache.Key {
 	c := newCanon("solve")
 	c.u64(uint64(objective))
 	c.str(mode)
 	c.f64(bound)
 	c.floats(works)
 	c.floats(deltas)
-	c.commHomogeneous(speeds, bandwidth)
+	c.wirePlatform(plat.Kind, plat.Speeds, plat.Bandwidth, plat.Links)
 	return c.key()
 }
 
 // sweepKeyWire digests one /v1/sweep request from its wire form.
-func sweepKeyWire(points int, works, deltas, speeds []float64, bandwidth float64) cache.Key {
+func sweepKeyWire(points int, works, deltas []float64, plat *platformWire) cache.Key {
 	c := newCanon("sweep")
 	c.u64(uint64(points))
 	c.floats(works)
 	c.floats(deltas)
-	c.commHomogeneous(speeds, bandwidth)
+	c.wirePlatform(plat.Kind, plat.Speeds, plat.Bandwidth, plat.Links)
 	return c.key()
 }
 

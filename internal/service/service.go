@@ -3,6 +3,19 @@
 // DP and the concurrent portfolio/batch engine of internal/portfolio —
 // over a JSON API.
 //
+// # Fully heterogeneous serving
+//
+// Every endpoint accepts both platform kinds and dispatches by
+// capability: comm-homogeneous requests race the paper's H1–H6 (plus the
+// exact DP where eligible), fully heterogeneous ones race the
+// free-processor-choice F lane (F1 period-side, F5/F6 latency-side) —
+// no servable input can reach a solver panic (a fuzz target pins this).
+// The canonical cache key covers the platform kind and, on fully
+// heterogeneous platforms, every per-link bandwidth, so two platforms
+// differing in a single link can never share a cache entry. The one
+// fullhet restriction is mode "exact": the DP's speed-class compression
+// does not extend to per-link bandwidths, so that combination is a 400.
+//
 // Endpoints:
 //
 //	POST /v1/solve   one instance, period- or latency-constrained
@@ -217,16 +230,21 @@ func intervalsJSON(m *mapping.Mapping) []IntervalJSON {
 // serves programmatic clients.)
 type SolveRequest struct {
 	Pipeline *pipeline.Pipeline `json:"pipeline"`
+	// Platform: "comm-homogeneous" (default kind; speeds + one shared
+	// bandwidth) or "fully-heterogeneous" (speeds + symmetric per-link
+	// bandwidth matrix). The solver lane is selected by kind.
 	Platform *platform.Platform `json:"platform"`
 	// Objective: "min-latency" (default; Bound is a period bound, the
-	// paper's H1–H4 side) or "min-period" (Bound is a latency bound,
-	// H5–H6).
+	// paper's H1–H4 side, F1 on fully heterogeneous platforms) or
+	// "min-period" (Bound is a latency bound, H5–H6 or F5–F6).
 	Objective string  `json:"objective,omitempty"`
 	Bound     float64 `json:"bound"`
-	// Mode: "portfolio" (default; heuristics + exact DP raced), "best"
-	// (heuristics only), "exact" (DP only; requires an exact.Eligible
-	// platform — compressed speed-class state space within budget), or
-	// one heuristic identifier "H1".."H6".
+	// Mode: "portfolio" (default; the platform's heuristic lane + exact
+	// DP raced), "best" (heuristics only), "exact" (DP only; requires a
+	// comm-homogeneous exact.Eligible platform — compressed speed-class
+	// state space within budget), or one heuristic identifier
+	// "H1".."H6" (comm-homogeneous) / "F1", "F5", "F6" (fully
+	// heterogeneous).
 	Mode      string `json:"mode,omitempty"`
 	TimeoutMS int    `json:"timeout_ms,omitempty"`
 }
@@ -447,53 +465,100 @@ func validBound(bound float64) error {
 	return nil
 }
 
-// validPlatform rejects platform kinds the serving solvers cannot take.
-// The paper's heuristics target Communication Homogeneous platforms and
-// panic on fully heterogeneous ones — a panic a request must never be
-// able to reach.
-func validPlatform(plat *platform.Platform) error {
-	if plat.Kind() != platform.CommHomogeneous {
-		return badRequest("platform kind %q is not servable (the paper's heuristics target comm-homogeneous platforms; collapse per-link bandwidths to the slowest link first)", plat.Kind())
+// servableKind is the serving layer's single capability gate: a request
+// may name any platform kind some solver lane supports — comm-homogeneous
+// (the paper's H1–H6 plus the exact DP) or fully heterogeneous (the
+// free-processor-choice F1/F5/F6 lane). An empty tag defaults to
+// comm-homogeneous, as in platform.UnmarshalJSON. Both the wire-level
+// check (before any platform object exists) and the object-level one
+// (batch instances) route through here, so the two can never drift.
+func servableKind(kind string) error {
+	switch kind {
+	case "", platform.CommHomogeneous.String(), platform.FullyHeterogeneous.String():
+		return nil
 	}
-	return nil
+	return badRequest("unknown platform kind %q (want %q or %q)", kind, platform.CommHomogeneous, platform.FullyHeterogeneous)
 }
 
-// validPlatformKind is the wire-level twin of validPlatform: the kind tag
-// is checked before any platform object exists. An empty tag defaults to
-// comm-homogeneous, as in platform.UnmarshalJSON.
-func validPlatformKind(kind string) error {
-	if kind != "" && kind != platform.CommHomogeneous.String() {
-		return badRequest("platform kind %q is not servable (the paper's heuristics target comm-homogeneous platforms; collapse per-link bandwidths to the slowest link first)", kind)
+// validPlatform is the object-level face of servableKind, applied to
+// batch instances decoded through platform.UnmarshalJSON.
+func validPlatform(plat *platform.Platform) error {
+	return servableKind(plat.Kind().String())
+}
+
+// wireFullHet reports whether a (validated) wire kind tag names a fully
+// heterogeneous platform.
+func wireFullHet(kind string) bool {
+	return kind == platform.FullyHeterogeneous.String()
+}
+
+// periodRegistry and latencyRegistry select the heuristic lane by
+// platform capability, mirroring the portfolio's dispatch: the paper's
+// H1–H4/H5–H6 on comm-homogeneous platforms, F1/F5–F6 on fully
+// heterogeneous ones.
+func periodRegistry(fullhet bool) []heuristics.PeriodConstrained {
+	if fullhet {
+		return heuristics.FullHetPeriodHeuristics()
 	}
-	return nil
+	return heuristics.PeriodHeuristics()
+}
+
+func latencyRegistry(fullhet bool) []heuristics.LatencyConstrained {
+	if fullhet {
+		return heuristics.FullHetLatencyHeuristics()
+	}
+	return heuristics.LatencyHeuristics()
 }
 
 // normalizeMode canonicalises and checks the solve mode against the
-// objective: H1–H4 exist only on the period-constrained side, H5–H6 only
-// on the latency-constrained one.
-func normalizeMode(mode string, objective portfolio.Objective) (string, error) {
+// objective and platform capability: H1–H4 exist only on the
+// period-constrained side and H5–H6 only on the latency-constrained one,
+// while fully heterogeneous platforms take the F lane (F1 period-side,
+// F5/F6 latency-side) and cannot ask for the exact DP — its speed-class
+// compression does not extend to per-link bandwidths.
+func normalizeMode(mode string, objective portfolio.Objective, fullhet bool) (string, error) {
 	m := strings.ToLower(mode)
 	switch m {
 	case "":
 		return "portfolio", nil
-	case "portfolio", "best", "exact":
+	case "portfolio", "best":
+		return m, nil
+	case "exact":
+		if fullhet {
+			return "", badRequest("mode \"exact\" requires a comm-homogeneous platform (the DP's speed-class compression does not cover per-link bandwidths; use portfolio, best, or an F heuristic)")
+		}
 		return m, nil
 	}
 	id := strings.ToUpper(mode)
 	if objective == portfolio.MinimizeLatency {
-		for _, h := range heuristics.PeriodHeuristics() {
+		for _, h := range periodRegistry(fullhet) {
 			if h.ID() == id {
 				return id, nil
 			}
 		}
+		if fullhet {
+			return "", badRequest("unknown mode %q for objective min-latency on a fully heterogeneous platform (want portfolio, best or F1)", mode)
+		}
 		return "", badRequest("unknown mode %q for objective min-latency (want portfolio, best, exact or H1..H4)", mode)
 	}
-	for _, h := range heuristics.LatencyHeuristics() {
+	for _, h := range latencyRegistry(fullhet) {
 		if h.ID() == id {
 			return id, nil
 		}
 	}
+	if fullhet {
+		return "", badRequest("unknown mode %q for objective min-period on a fully heterogeneous platform (want portfolio, best, F5 or F6)", mode)
+	}
 	return "", badRequest("unknown mode %q for objective min-period (want portfolio, best, exact, H5 or H6)", mode)
+}
+
+// buildPlatform constructs the platform named by a (validated) wire
+// description, dispatching on the kind tag.
+func buildPlatform(pw *platformWire) (*platform.Platform, error) {
+	if wireFullHet(pw.Kind) {
+		return platform.NewFullyHeterogeneous(pw.Speeds, pw.Links)
+	}
+	return platform.New(pw.Speeds, pw.Bandwidth)
 }
 
 func (s *Server) handleSolve(sc *scratch, w http.ResponseWriter, r *http.Request) {
@@ -507,7 +572,7 @@ func (s *Server) handleSolve(sc *scratch, w http.ResponseWriter, r *http.Request
 		s.writeError(w, r, badRequest("both \"pipeline\" and \"platform\" are required"))
 		return
 	}
-	if err := validPlatformKind(req.Platform.Kind); err != nil {
+	if err := servableKind(req.Platform.Kind); err != nil {
 		s.writeError(w, r, err)
 		return
 	}
@@ -520,12 +585,12 @@ func (s *Server) handleSolve(sc *scratch, w http.ResponseWriter, r *http.Request
 		s.writeError(w, r, err)
 		return
 	}
-	mode, err := normalizeMode(req.Mode, objective)
+	mode, err := normalizeMode(req.Mode, objective, wireFullHet(req.Platform.Kind))
 	if err != nil {
 		s.writeError(w, r, err)
 		return
 	}
-	key := solveKeyWire(objective, mode, req.Bound, req.Pipeline.Works, req.Pipeline.Deltas, req.Platform.Speeds, req.Platform.Bandwidth)
+	key := solveKeyWire(objective, mode, req.Bound, req.Pipeline.Works, req.Pipeline.Deltas, &req.Platform)
 	// Hot path: a stored entry is served without building domain objects
 	// or a request context — one lookup, one Write.
 	if body, ok := s.cache.Get(key); ok {
@@ -540,7 +605,7 @@ func (s *Server) handleSolve(sc *scratch, w http.ResponseWriter, r *http.Request
 		s.writeError(w, r, badRequest("invalid request body: %v", err))
 		return
 	}
-	plat, err := platform.New(req.Platform.Speeds, req.Platform.Bandwidth)
+	plat, err := buildPlatform(&req.Platform)
 	if err != nil {
 		s.writeError(w, r, badRequest("invalid request body: %v", err))
 		return
@@ -611,14 +676,15 @@ func (s *Server) solveOne(ctx context.Context, objective portfolio.Objective, mo
 		res, resp.Solver = heuristics.Result{Mapping: xr.Mapping, Metrics: xr.Metrics}, portfolio.ExactID
 	default: // a single heuristic identifier, already validated
 		var err error
+		fullhet := plat.Kind() == platform.FullyHeterogeneous
 		if objective == portfolio.MinimizePeriod {
-			for _, h := range heuristics.LatencyHeuristics() {
+			for _, h := range latencyRegistry(fullhet) {
 				if h.ID() == mode {
 					res, err = h.MinimizePeriod(ev, bound)
 				}
 			}
 		} else {
-			for _, h := range heuristics.PeriodHeuristics() {
+			for _, h := range periodRegistry(fullhet) {
 				if h.ID() == mode {
 					res, err = h.MinimizeLatency(ev, bound)
 				}
@@ -733,7 +799,7 @@ func (s *Server) handleSweep(sc *scratch, w http.ResponseWriter, r *http.Request
 		s.writeError(w, r, badRequest("both \"pipeline\" and \"platform\" are required"))
 		return
 	}
-	if err := validPlatformKind(req.Platform.Kind); err != nil {
+	if err := servableKind(req.Platform.Kind); err != nil {
 		s.writeError(w, r, err)
 		return
 	}
@@ -745,7 +811,7 @@ func (s *Server) handleSweep(sc *scratch, w http.ResponseWriter, r *http.Request
 	if points == 0 {
 		points = defaultSweepPoints
 	}
-	key := sweepKeyWire(points, req.Pipeline.Works, req.Pipeline.Deltas, req.Platform.Speeds, req.Platform.Bandwidth)
+	key := sweepKeyWire(points, req.Pipeline.Works, req.Pipeline.Deltas, &req.Platform)
 	if body, ok := s.cache.Get(key); ok {
 		writeCached(w, body, cache.Hit)
 		return
@@ -755,7 +821,7 @@ func (s *Server) handleSweep(sc *scratch, w http.ResponseWriter, r *http.Request
 		s.writeError(w, r, badRequest("invalid request body: %v", err))
 		return
 	}
-	plat, err := platform.New(req.Platform.Speeds, req.Platform.Bandwidth)
+	plat, err := buildPlatform(&req.Platform)
 	if err != nil {
 		s.writeError(w, r, badRequest("invalid request body: %v", err))
 		return

@@ -12,7 +12,10 @@ import (
 	"testing"
 	"time"
 
+	"pipesched/internal/heuristics"
 	"pipesched/internal/mapping"
+	"pipesched/internal/pipeline"
+	"pipesched/internal/platform"
 	"pipesched/internal/portfolio"
 	"pipesched/internal/workload"
 )
@@ -175,25 +178,180 @@ func TestSolveValidation(t *testing.T) {
 	}
 }
 
-// TestFullyHeterogeneousPlatformRejected pins the boundary guard: the
-// paper's heuristics panic on fully heterogeneous platforms, so such a
-// request must come back 400 — on every endpoint — rather than reach a
-// solver goroutine and kill the process.
-func TestFullyHeterogeneousPlatformRejected(t *testing.T) {
+// fullHetTestInstance is a small fully heterogeneous instance the fullhet
+// endpoint tests share: three processors behind deliberately unequal
+// links, so the free processor choice matters.
+func fullHetTestInstance(t *testing.T) (*pipeline.Pipeline, *platform.Platform) {
+	t.Helper()
+	app := pipeline.MustNew([]float64{4, 2, 6, 1}, []float64{1, 3, 2, 5, 1})
+	links := [][]float64{
+		{0, 2, 9},
+		{2, 0, 4},
+		{9, 4, 0},
+	}
+	plat, err := platform.NewFullyHeterogeneous([]float64{3, 1, 2}, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app, plat
+}
+
+func fullHetBody(t *testing.T, app *pipeline.Pipeline, plat *platform.Platform, extra map[string]any) []byte {
+	t.Helper()
+	req := map[string]any{"pipeline": app, "platform": plat}
+	for k, v := range extra {
+		req[k] = v
+	}
+	data, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestFullyHeterogeneousSolveServed pins the fullhet serving lane end to
+// end: a fully heterogeneous /v1/solve comes back 200 with X-Cache miss,
+// the winning solver is the fullhet portfolio's F1, the returned mapping
+// is bit-identical to the serial SplitFullyHet reference, and the
+// repeated request is a cache hit with the identical body.
+func TestFullyHeterogeneousSolveServed(t *testing.T) {
 	_, ts := newTestServer(t, Options{})
-	het := `{"kind":"fully-heterogeneous","speeds":[1,2],"links":[[0,1],[1,0]]}`
-	for _, tc := range []struct{ path, body string }{
-		{"/v1/solve", `{"pipeline":{"works":[1,2],"deltas":[1,1,1]},"platform":` + het + `,"bound":1000}`},
-		{"/v1/sweep", `{"pipeline":{"works":[1,2],"deltas":[1,1,1]},"platform":` + het + `}`},
-		{"/v1/batch", `{"instances":[{"pipeline":{"works":[1,2],"deltas":[1,1,1]},"platform":` + het + `}],"bound":1000}`},
-	} {
-		resp, body := post(t, ts, tc.path, []byte(tc.body))
-		if resp.StatusCode != http.StatusBadRequest {
-			t.Errorf("%s: status %d, want 400: %s", tc.path, resp.StatusCode, body)
+	app, plat := fullHetTestInstance(t)
+	const bound = 1000.0
+	body := fullHetBody(t, app, plat, map[string]any{"bound": bound})
+
+	resp, data := post(t, ts, "/v1/solve", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200: %s", resp.StatusCode, data)
+	}
+	if xc := resp.Header.Get("X-Cache"); xc != "miss" {
+		t.Errorf("X-Cache %q, want miss", xc)
+	}
+	var sr SolveResponse
+	if err := json.Unmarshal(data, &sr); err != nil {
+		t.Fatalf("bad body %s: %v", data, err)
+	}
+	ref, err := heuristics.SplitFullyHet(mapping.NewEvaluator(app, plat), bound)
+	if err != nil {
+		t.Fatalf("serial reference infeasible: %v", err)
+	}
+	if sr.Solver != "F1" {
+		t.Errorf("solver %q, want F1", sr.Solver)
+	}
+	if sr.Period != ref.Metrics.Period || sr.Latency != ref.Metrics.Latency {
+		t.Errorf("served metrics (%g, %g) != serial SplitFullyHet (%g, %g)",
+			sr.Period, sr.Latency, ref.Metrics.Period, ref.Metrics.Latency)
+	}
+	refIvs := ref.Mapping.Intervals()
+	if len(sr.Intervals) != len(refIvs) {
+		t.Fatalf("served %d intervals, reference %d", len(sr.Intervals), len(refIvs))
+	}
+	for i, iv := range sr.Intervals {
+		if iv.Start != refIvs[i].Start || iv.End != refIvs[i].End || iv.Proc != refIvs[i].Proc {
+			t.Errorf("interval %d: served %+v != reference %+v", i, iv, refIvs[i])
 		}
-		if !bytes.Contains(body, []byte("fully-heterogeneous")) {
-			t.Errorf("%s: error does not name the platform kind: %s", tc.path, body)
+	}
+
+	resp2, data2 := post(t, ts, "/v1/solve", body)
+	if resp2.StatusCode != http.StatusOK || resp2.Header.Get("X-Cache") != "hit" {
+		t.Fatalf("repeat: status %d X-Cache %q, want 200 hit", resp2.StatusCode, resp2.Header.Get("X-Cache"))
+	}
+	if !bytes.Equal(data, data2) {
+		t.Error("cache hit body differs from the miss body")
+	}
+}
+
+// TestFullyHeterogeneousLatencySideServed covers the min-period side of
+// the fullhet lane (F5/F6 race) plus explicit F-heuristic modes.
+func TestFullyHeterogeneousLatencySideServed(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	app, plat := fullHetTestInstance(t)
+	ev := mapping.NewEvaluator(app, plat)
+	single := mapping.SingleProcessor(app, plat, plat.Fastest())
+	latBound := ev.Latency(single) * 2
+
+	out, found, _ := portfolio.UnderLatency(context.Background(), ev, latBound, portfolio.SolveOptions{Exact: true, Serial: true})
+	if !found {
+		t.Fatal("serial fullhet portfolio found no solution under a loose latency bound")
+	}
+	resp, data := post(t, ts, "/v1/solve", fullHetBody(t, app, plat,
+		map[string]any{"bound": latBound, "objective": "min-period"}))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200: %s", resp.StatusCode, data)
+	}
+	var sr SolveResponse
+	if err := json.Unmarshal(data, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Solver != out.Solver || sr.Period != out.Result.Metrics.Period || sr.Latency != out.Result.Metrics.Latency {
+		t.Errorf("served (%s, %g, %g) != serial portfolio (%s, %g, %g)",
+			sr.Solver, sr.Period, sr.Latency, out.Solver, out.Result.Metrics.Period, out.Result.Metrics.Latency)
+	}
+
+	for _, mode := range []string{"F5", "f6"} {
+		resp, data := post(t, ts, "/v1/solve", fullHetBody(t, app, plat,
+			map[string]any{"bound": latBound, "objective": "min-period", "mode": mode}))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("mode %s: status %d: %s", mode, resp.StatusCode, data)
 		}
+	}
+}
+
+// TestFullyHeterogeneousSweepAndBatchServed drives the remaining two
+// endpoints: a fullhet sweep returns the frontier ParetoSweep computes
+// directly, and a mixed batch solves its fullhet instance through F1
+// while the comm-homogeneous one keeps its H/DP lane.
+func TestFullyHeterogeneousSweepAndBatchServed(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	app, plat := fullHetTestInstance(t)
+
+	resp, data := post(t, ts, "/v1/sweep", fullHetBody(t, app, plat, map[string]any{"points": 8}))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep status %d: %s", resp.StatusCode, data)
+	}
+	var sw SweepResponse
+	if err := json.Unmarshal(data, &sw); err != nil {
+		t.Fatal(err)
+	}
+	front := portfolio.ParetoSweep(context.Background(), mapping.NewEvaluator(app, plat), 8, 0)
+	if len(sw.Points) != len(front) || len(front) == 0 {
+		t.Fatalf("served %d sweep points, direct ParetoSweep %d", len(sw.Points), len(front))
+	}
+	for i, pt := range sw.Points {
+		if pt.Period != front[i].Metrics.Period || pt.Latency != front[i].Metrics.Latency {
+			t.Errorf("sweep point %d: served (%g, %g) != direct (%g, %g)",
+				i, pt.Period, pt.Latency, front[i].Metrics.Period, front[i].Metrics.Latency)
+		}
+	}
+
+	hom := testInstance(t)
+	batch := map[string]any{
+		"instances": []map[string]any{
+			{"pipeline": app, "platform": plat},
+			{"pipeline": hom.App, "platform": hom.Plat},
+		},
+		"bound": 1000.0,
+	}
+	bb, err := json.Marshal(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, data = post(t, ts, "/v1/batch", bb)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d: %s", resp.StatusCode, data)
+	}
+	var br BatchResponse
+	if err := json.Unmarshal(data, &br); err != nil {
+		t.Fatal(err)
+	}
+	if br.Solved != 2 || br.Failed != 0 {
+		t.Fatalf("batch solved/failed %d/%d: %s", br.Solved, br.Failed, data)
+	}
+	if br.Results[0].Solver != "F1" {
+		t.Errorf("fullhet batch instance won by %q, want F1", br.Results[0].Solver)
+	}
+	if got := br.Results[1].Solver; got == "" || got[0] == 'F' {
+		t.Errorf("comm-homogeneous batch instance won by %q, want an H/DP solver", got)
 	}
 }
 

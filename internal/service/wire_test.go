@@ -4,12 +4,15 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"strconv"
 	"strings"
 	"testing"
 
+	"pipesched/internal/pipeline"
+	"pipesched/internal/platform"
 	"pipesched/internal/portfolio"
 	"pipesched/internal/workload"
 )
@@ -23,17 +26,101 @@ func TestWireKeysMatchObjectKeys(t *testing.T) {
 	for seed := int64(1); seed <= 5; seed++ {
 		in := workload.Generate(workload.Config{Family: workload.E2, Stages: 7, Processors: 5, Seed: seed})
 		works, deltas := in.App.Works(), in.App.Deltas()
-		speeds, bandwidth := in.Plat.Speeds(), in.Plat.Bandwidth()
+		pw := &platformWire{Speeds: in.Plat.Speeds(), Bandwidth: in.Plat.Bandwidth()}
 		for _, mode := range []string{"portfolio", "best", "H1"} {
 			objKey := solveKey(portfolio.MinimizeLatency, mode, 12.5, in.App, in.Plat)
-			wireKey := solveKeyWire(portfolio.MinimizeLatency, mode, 12.5, works, deltas, speeds, bandwidth)
+			wireKey := solveKeyWire(portfolio.MinimizeLatency, mode, 12.5, works, deltas, pw)
 			if objKey != wireKey {
 				t.Errorf("seed %d mode %s: wire solve key diverges from object key", seed, mode)
 			}
 		}
-		if sweepKey(9, in.App, in.Plat) != sweepKeyWire(9, works, deltas, speeds, bandwidth) {
+		if sweepKey(9, in.App, in.Plat) != sweepKeyWire(9, works, deltas, pw) {
 			t.Errorf("seed %d: wire sweep key diverges from object key", seed)
 		}
+	}
+}
+
+// TestFullHetWireKeysMatchObjectKeys is the fully heterogeneous twin of
+// TestWireKeysMatchObjectKeys, including the diagonal-normalisation rule:
+// the constructor ignores diagonal link cells, so a request carrying
+// garbage there must still hash to the constructed platform's key.
+func TestFullHetWireKeysMatchObjectKeys(t *testing.T) {
+	app := pipeline.MustNew([]float64{3, 1, 4, 1, 5}, []float64{2, 7, 1, 8, 2, 8})
+	speeds := []float64{2, 3, 5}
+	links := [][]float64{
+		{0, 4, 9},
+		{4, 0, 6},
+		{9, 6, 0},
+	}
+	plat, err := platform.NewFullyHeterogeneous(speeds, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirtyDiag := [][]float64{
+		{123, 4, 9},
+		{4, -7, 6},
+		{9, 6, math.NaN()},
+	}
+	for _, pw := range []*platformWire{
+		{Kind: platform.FullyHeterogeneous.String(), Speeds: speeds, Links: links},
+		{Kind: platform.FullyHeterogeneous.String(), Speeds: speeds, Links: dirtyDiag},
+	} {
+		for _, mode := range []string{"portfolio", "best", "F1"} {
+			objKey := solveKey(portfolio.MinimizeLatency, mode, 12.5, app, plat)
+			wireKey := solveKeyWire(portfolio.MinimizeLatency, mode, 12.5, app.Works(), app.Deltas(), pw)
+			if objKey != wireKey {
+				t.Errorf("mode %s: fullhet wire solve key diverges from object key", mode)
+			}
+		}
+		if sweepKey(9, app, plat) != sweepKeyWire(9, app.Works(), app.Deltas(), pw) {
+			t.Error("fullhet wire sweep key diverges from object key")
+		}
+	}
+}
+
+// TestCanonSeparatesLinkBandwidths is the cache-correctness regression
+// the fullhet lane demands: two platforms identical except for a single
+// link bandwidth must produce distinct canonical keys on both the object
+// and the wire path, and the fullhet stream must never collide with a
+// comm-homogeneous platform of the same speeds.
+func TestCanonSeparatesLinkBandwidths(t *testing.T) {
+	app := pipeline.MustNew([]float64{1, 2}, []float64{1, 1, 1})
+	speeds := []float64{1, 2, 3}
+	mkLinks := func(b01 float64) [][]float64 {
+		return [][]float64{
+			{0, b01, 5},
+			{b01, 0, 7},
+			{5, 7, 0},
+		}
+	}
+	a, err := platform.NewFullyHeterogeneous(speeds, mkLinks(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := platform.NewFullyHeterogeneous(speeds, mkLinks(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solveKey(portfolio.MinimizeLatency, "portfolio", 10, app, a) ==
+		solveKey(portfolio.MinimizeLatency, "portfolio", 10, app, b) {
+		t.Error("object keys collide across a changed link bandwidth")
+	}
+	wa := &platformWire{Kind: platform.FullyHeterogeneous.String(), Speeds: speeds, Links: mkLinks(2)}
+	wb := &platformWire{Kind: platform.FullyHeterogeneous.String(), Speeds: speeds, Links: mkLinks(3)}
+	if solveKeyWire(portfolio.MinimizeLatency, "portfolio", 10, app.Works(), app.Deltas(), wa) ==
+		solveKeyWire(portfolio.MinimizeLatency, "portfolio", 10, app.Works(), app.Deltas(), wb) {
+		t.Error("wire keys collide across a changed link bandwidth")
+	}
+	if sweepKeyWire(9, app.Works(), app.Deltas(), wa) == sweepKeyWire(9, app.Works(), app.Deltas(), wb) {
+		t.Error("wire sweep keys collide across a changed link bandwidth")
+	}
+	hom, err := platform.New(speeds, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solveKey(portfolio.MinimizeLatency, "portfolio", 10, app, a) ==
+		solveKey(portfolio.MinimizeLatency, "portfolio", 10, app, hom) {
+		t.Error("fullhet key collides with a comm-homogeneous platform of the same speeds")
 	}
 }
 
@@ -45,7 +132,7 @@ func TestWireKeysMatchObjectKeys(t *testing.T) {
 func TestErrorJSONShape(t *testing.T) {
 	messages := []string{
 		"plain message",
-		`platform kind "fully-heterogeneous" is not servable`,
+		`unknown platform kind "grid" (want "comm-homogeneous" or "fully-heterogeneous")`,
 		"bound -1 is invalid (must be finite and > 0)",
 		"tabs\tand\nnewlines\rand\\slashes",
 		"html <script>&amp;</script> metacharacters",
@@ -90,7 +177,9 @@ func TestErrorShapeEndToEnd(t *testing.T) {
 		"bad-bound":     solveBody(t, in, map[string]any{"bound": -3.5}),
 		"bad-mode":      solveBody(t, in, map[string]any{"bound": 1.0, "mode": "H99"}),
 		"infeasible":    solveBody(t, in, map[string]any{"bound": 1e-9, "mode": "best"}),
-		"het-platform":  []byte(`{"pipeline":{"works":[1,2],"deltas":[1,1,1]},"platform":{"kind":"fully-heterogeneous","speeds":[1,2],"links":[[0,1],[1,0]]},"bound":10}`),
+		"unknown-kind":  []byte(`{"pipeline":{"works":[1,2],"deltas":[1,1,1]},"platform":{"kind":"grid","speeds":[1,2],"bandwidth":1},"bound":10}`),
+		"het-exact":     []byte(`{"pipeline":{"works":[1,2],"deltas":[1,1,1]},"platform":{"kind":"fully-heterogeneous","speeds":[1,2],"links":[[0,1],[1,0]]},"bound":10,"mode":"exact"}`),
+		"het-bad-links": []byte(`{"pipeline":{"works":[1,2],"deltas":[1,1,1]},"platform":{"kind":"fully-heterogeneous","speeds":[1,2],"links":[[0,1]]},"bound":10}`),
 		"trailing-data": append(solveBody(t, in, map[string]any{"bound": 1.0}), []byte(" {}")...),
 	} {
 		t.Run(name, func(t *testing.T) {

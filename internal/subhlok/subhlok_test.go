@@ -149,7 +149,8 @@ func TestHeuristicsBoundedByPolynomialOptimum(t *testing.T) {
 			return false
 		}
 		for _, h := range heuristics.PeriodHeuristics() {
-			if heuristics.MinAchievablePeriod(ev, h) < opt.Metrics.Period-1e-9 {
+			th, err := heuristics.MinAchievablePeriod(ev, h)
+			if err != nil || th < opt.Metrics.Period-1e-9 {
 				return false
 			}
 		}

@@ -3,7 +3,7 @@
 # benchmarks into a machine-readable JSON trajectory file.
 #
 # Usage:
-#   scripts/bench.sh                 # writes BENCH_5.json in the repo root
+#   scripts/bench.sh                 # writes BENCH_6.json in the repo root
 #   scripts/bench.sh out.json        # explicit output path (first arg)
 #   BENCH_OUT=out.json scripts/bench.sh
 #   BENCHTIME=0.5s scripts/bench.sh  # shorter runs (CI)
@@ -20,7 +20,7 @@ set -euo pipefail
 # Resolve a caller-supplied output path against the caller's directory
 # BEFORE changing into the repo root, so `scripts/bench.sh out.json`
 # writes where the caller stands; the default lands in the repo root.
-BENCH_DEFAULT="BENCH_5.json"
+BENCH_DEFAULT="BENCH_6.json"
 OUT="${BENCH_OUT:-${1:-}}"
 case "$OUT" in
 "" | /*) ;;
@@ -29,7 +29,7 @@ esac
 cd "$(dirname "$0")/.."
 [ -n "$OUT" ] || OUT="$BENCH_DEFAULT"
 BENCHTIME="${BENCHTIME:-1s}"
-PATTERN="${BENCH_PATTERN:-^(BenchmarkExactMinPeriod|BenchmarkExactParetoFront|BenchmarkExactLargeFewClass|BenchmarkPortfolioRace|BenchmarkHeuristicSolve|BenchmarkParetoSweep|BenchmarkServeSolve|BenchmarkServeBatch|BenchmarkServeSweep|BenchmarkCacheGetHitParallel|BenchmarkCacheDoHitParallel|BenchmarkCacheChurnParallel)$}"
+PATTERN="${BENCH_PATTERN:-^(BenchmarkExactMinPeriod|BenchmarkExactParetoFront|BenchmarkExactLargeFewClass|BenchmarkPortfolioRace|BenchmarkFullHetPortfolioRace|BenchmarkSplitFullyHet|BenchmarkHeuristicSolve|BenchmarkParetoSweep|BenchmarkServeSolve|BenchmarkServeBatch|BenchmarkServeSweep|BenchmarkCacheGetHitParallel|BenchmarkCacheDoHitParallel|BenchmarkCacheChurnParallel)$}"
 PACKAGES="${BENCH_PACKAGES:-. ./internal/service ./internal/service/cache}"
 
 raw="$(mktemp)"

@@ -32,7 +32,10 @@ type (
 
 // NewServer builds the HTTP solver service: POST /v1/solve, /v1/batch and
 // /v1/sweep routed through the portfolio engine with per-request contexts
-// and deadlines, plus GET /healthz and /metrics. Identical requests are
+// and deadlines, plus GET /healthz and /metrics. Both platform kinds are
+// served, dispatched by capability — comm-homogeneous instances race the
+// paper's H1–H6 (and the exact DP where eligible), fully heterogeneous
+// ones the F1/F5/F6 lane. Identical requests are
 // canonically hashed into a sharded, bounded LRU result cache; concurrent
 // identical requests collapse to one underlying solve.
 func NewServer(opts ServerOptions) *Server { return service.New(opts) }

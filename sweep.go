@@ -13,11 +13,13 @@ import (
 type TradeoffPoint = portfolio.TradeoffPoint
 
 // HeuristicParetoSweep traces an approximate Pareto frontier using only
-// the paper's polynomial heuristics: it sweeps `points` period bounds
-// between the period lower bound and the single-processor period, runs all
-// four period-constrained heuristics plus both latency-constrained ones
-// (fed with the latencies discovered so far), and returns the
-// non-dominated results sorted by increasing period.
+// polynomial heuristics: it sweeps `points` period bounds between the
+// period lower bound and the single-processor period, runs the
+// platform's period-constrained lane (the paper's H1–H4 on
+// comm-homogeneous platforms, the free-processor-choice F1 on fully
+// heterogeneous ones) plus its latency-constrained lane (fed with the
+// latencies discovered so far), and returns the non-dominated results
+// sorted by increasing period.
 //
 // Unlike ExactParetoFront this scales to large platforms (nothing
 // exponential); the returned frontier is a superset-dominated
