@@ -50,10 +50,12 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"pipesched/internal/cli"
+	"pipesched/internal/cluster"
 	"pipesched/internal/service"
 )
 
@@ -83,6 +85,12 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) error {
 		maxBody        = fs.Int64("max-body-bytes", 0, "request body limit in bytes (0 = default 8 MiB)")
 		quiet          = fs.Bool("quiet", false, "suppress the serving log")
 		pprofAddr      = fs.String("pprof", "", "expose net/http/pprof on this separate address (empty = disabled)")
+		peers          = fs.String("peers", "", "comma-separated base URLs of the whole fleet, this node included (empty = single-node)")
+		advertise      = fs.String("advertise", "", "this node's base URL as it appears in -peers (required with -peers)")
+		peerTimeout    = fs.Duration("peer-timeout", cluster.DefaultForwardTimeout, "owner-forward round-trip bound; a slower peer is marked down and the solve runs locally")
+		peerBackoff    = fs.Duration("peer-backoff", cluster.DefaultBackoff, "how long a failed peer stays down before forwards resume")
+		snapshotMax    = fs.Int("snapshot-entries", 0, "hot cache entries served to (and accepted from) each peer at warm-up (0 = default 1024)")
+		noWarmup       = fs.Bool("no-warmup", false, "skip the background cache warm-up from peers at start")
 	)
 	if err := fs.Parse(args); err != nil {
 		return cli.WrapParse(err)
@@ -92,6 +100,27 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) error {
 	}
 	if *drainTimeout < 0 || *requestTimeout < 0 {
 		return cli.Usagef("timeouts must be non-negative")
+	}
+	if *peerTimeout <= 0 || *peerBackoff <= 0 {
+		return cli.Usagef("peer timeouts must be positive")
+	}
+	var clusterCfg *service.ClusterConfig
+	if *peers != "" {
+		if *advertise == "" {
+			return cli.Usagef("-peers requires -advertise")
+		}
+		topo, err := cluster.NewTopology(strings.Split(*peers, ","), *advertise)
+		if err != nil {
+			return cli.Usagef("%v", err)
+		}
+		clusterCfg = &service.ClusterConfig{
+			Topology:        topo,
+			ForwardTimeout:  *peerTimeout,
+			PeerBackoff:     *peerBackoff,
+			SnapshotEntries: *snapshotMax,
+		}
+	} else if *advertise != "" {
+		return cli.Usagef("-advertise requires -peers")
 	}
 
 	logger := log.New(out, "", log.LstdFlags)
@@ -121,7 +150,24 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) error {
 		DrainTimeout:   *drainTimeout,
 		MaxBodyBytes:   *maxBody,
 		Logger:         logger,
+		Cluster:        clusterCfg,
 	})
+	if clusterCfg != nil && !*noWarmup {
+		// Warm-up runs in the background while the listener is already
+		// serving: a cold node is correct (it misses and forwards or
+		// solves), warm-up only makes it fast sooner. Bounded so a
+		// wedged peer cannot pin the goroutine forever.
+		go func() {
+			wctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+			defer cancel()
+			n, err := srv.WarmFromPeers(wctx)
+			if err != nil {
+				logger.Printf("pipeschedd: warm-up incomplete (%d entries imported): %v", n, err)
+				return
+			}
+			logger.Printf("pipeschedd: warm-up imported %d entries", n)
+		}()
+	}
 	return srv.Serve(ctx, ln)
 }
 

@@ -215,6 +215,39 @@
 // committed BENCH_5.json snapshot — one shard is selected and only the
 // router's few-ns overhead shows, there being nothing to parallelise).
 //
+// # Cluster serving: the peer-aware fleet
+//
+// internal/cluster scales the daemon horizontally. Started with
+// -peers/-advertise, every pipeschedd owns a slice of the canonical key
+// space, assigned by rendezvous hashing over the static, normalized
+// peer list — no coordinator, no external store, and removing a node
+// reassigns only the keys it owned. A local miss on a peer-owned key
+// forwards the request to its owner (bounded by a forward timeout,
+// loop-safe via a forward header); the owner's rendered bytes are
+// relayed verbatim and installed locally as a second-tier hit, and the
+// X-Cache header gains remote-hit, remote-miss and fallback tiers. An
+// unreachable owner is never a client-visible error: the node solves
+// locally and marks the peer down for a backoff window, during which
+// its keys are served by local solves. Joining nodes warm their cache
+// in the background from each peer's hottest entries over a bounded
+// length-prefixed snapshot format (GET /v1/peer/snapshot, fuzzed
+// nightly) — a cold node is already correct, warm-up only makes it fast
+// sooner. Solvers are deterministic and responses are canonical
+// rendered bytes, so a fleet answers byte-identically to a single node
+// whichever member serves — pinned by an in-process fleet harness under
+// the race detector and by scripts/cluster_e2e.sh (the cluster-e2e CI
+// job), which also kills a daemon mid-run and requires zero
+// client-visible errors from the survivors.
+//
+// cmd/pipeschedbench is the matching load generator: deterministic
+// Zipf-skewed solve streams with atomic rate-setter arrival shaping
+// (fixed or linearly ramped open-loop rates, or closed-loop), QPS /
+// cache-tier / latency-percentile reporting, and a -verify mode that
+// byte-compares every fleet response against a reference daemon. The
+// façade mirrors the surface for embedding: NewClusterTopology builds
+// the validated fleet view and ServerOptions.Cluster (a
+// ServerClusterConfig) opts an embedded Server into peer-aware serving.
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-versus-measured comparison of every figure and table.
 package pipesched

@@ -1,0 +1,121 @@
+package cluster_test
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"pipesched/internal/cluster"
+	"pipesched/internal/loadgen"
+	"pipesched/internal/service"
+)
+
+// benchFleetHits measures fleet hit-serving throughput: every key in the
+// universe is pre-installed on every node (forward-suppressed posts, so
+// the warm-up itself emits no peer traffic), then the same deterministic
+// Zipf stream cmd/pipeschedbench generates is replayed with b.N
+// requests — all local hits, end to end over loopback HTTP. Comparing
+// the single-node and 3-node rows in BENCH_*.json shows what peer-aware
+// serving costs (or buys) on the hot path.
+func benchFleetHits(b *testing.B, nodes int) {
+	const keys = 16
+	const seed = 5
+	f := startFleet(b, nodes)
+	f.startAll()
+	for i := int64(0); i < keys; i++ {
+		body := solveBody(b, seed+i) // loadgen derives instance i from Seed+i
+		for _, url := range f.urls {
+			if status, _, resp := postLocal(b, url, body); status != http.StatusOK {
+				b.Fatalf("warm post: status %d: %s", status, resp)
+			}
+		}
+	}
+
+	b.ResetTimer()
+	rep, err := loadgen.Run(context.Background(), loadgen.Config{
+		Targets:  f.urls,
+		Workers:  8,
+		Requests: b.N,
+		Keys:     keys,
+		Seed:     seed,
+		Stages:   6, Processors: 4,
+	})
+	b.StopTimer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		b.Fatalf("bench run saw %d errors (statuses %v)", rep.Errors, rep.Statuses)
+	}
+	if rep.Tiers["hit"] != rep.Sent {
+		b.Fatalf("bench run was not all hits: tiers %v", rep.Tiers)
+	}
+	b.ReportMetric(rep.QPS, "qps")
+	b.ReportMetric(rep.Latency.P99MS, "p99ms")
+}
+
+func BenchmarkFleetServe(b *testing.B) {
+	b.Run("single-node", func(b *testing.B) { benchFleetHits(b, 1) })
+	b.Run("3-node", func(b *testing.B) { benchFleetHits(b, 3) })
+}
+
+// BenchmarkFleetForward isolates the owner-forward round trip: a 2-node
+// fleet where the measured node has local cache storage disabled
+// (CacheEntries < 0), so every request for a peer-owned key misses
+// locally and proxies to the warm owner — a pure forward + relay cycle,
+// the cost a cold or storage-starved node pays to serve another node's
+// keys.
+func BenchmarkFleetForward(b *testing.B) {
+	var tss [2]*httptest.Server
+	var urls [2]string
+	for i := range tss {
+		tss[i] = httptest.NewUnstartedServer(nil)
+		urls[i] = "http://" + tss[i].Listener.Addr().String()
+		defer tss[i].Close()
+	}
+	for i := range tss {
+		topo, err := cluster.NewTopology(urls[:], urls[i])
+		if err != nil {
+			b.Fatal(err)
+		}
+		entries := 0
+		if i == 0 {
+			entries = -1 // the measured node never caches: every request forwards
+		}
+		tss[i].Config.Handler = service.New(service.Options{
+			CacheEntries: entries,
+			Cluster:      &service.ClusterConfig{Topology: topo},
+		})
+		tss[i].Start()
+	}
+
+	// Warm the owner with candidate keys and keep those node 0 forwards
+	// (remote-hit proves peer ownership; node 0 stores nothing, so the
+	// probe does not contaminate the measurement).
+	var bodies [][]byte
+	for seed := int64(100); seed < 200 && len(bodies) < 8; seed++ {
+		body := solveBody(b, seed)
+		if status, _, _ := postLocal(b, urls[1], body); status != http.StatusOK {
+			b.Fatalf("warm post: status %d", status)
+		}
+		status, tier, _ := postSolve(b, urls[0], body)
+		if status != http.StatusOK {
+			b.Fatalf("probe: status %d", status)
+		}
+		if tier == "remote-hit" {
+			bodies = append(bodies, body)
+		}
+	}
+	if len(bodies) == 0 {
+		b.Fatal("no peer-owned key found")
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		status, tier, _ := postSolve(b, urls[0], bodies[i%len(bodies)])
+		if status != http.StatusOK || tier != "remote-hit" {
+			b.Fatalf("iteration %d: status %d tier %q, want a remote-hit forward", i, status, tier)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// ForwardHeader marks a request as already forwarded once. A node
+// receiving it serves the request locally no matter what its own
+// ownership view says, so a transient topology disagreement (e.g. two
+// nodes configured with different peer lists by mistake) degrades to one
+// extra hop instead of a forwarding loop.
+const ForwardHeader = "X-Pipesched-Forward"
+
+// SnapshotPath is the peer-only endpoint streaming a node's hot cache
+// entries in the snapshot codec.
+const SnapshotPath = "/v1/peer/snapshot"
+
+const (
+	// DefaultForwardTimeout bounds one owner-forward round trip.
+	DefaultForwardTimeout = 2 * time.Second
+	// DefaultBackoff is how long a peer stays marked down after a
+	// transport failure before forwards are attempted again.
+	DefaultBackoff = 5 * time.Second
+)
+
+// ForwardResult is the owner's answer to a proxied request.
+type ForwardResult struct {
+	Status int    // HTTP status from the owner
+	XCache string // the owner's X-Cache disposition ("hit", "miss", ...)
+	Body   []byte // the rendered response body, verbatim
+}
+
+// Client talks to the fleet: it forwards requests to key owners and
+// fetches warm-up snapshots, tracking per-peer health so that a dead or
+// slow peer costs at most one timeout per backoff window. All methods
+// are safe for concurrent use.
+type Client struct {
+	hc      *http.Client
+	timeout time.Duration
+	backoff time.Duration
+	// downUntil[i] holds the unix-nano instant until which peer i is
+	// considered down; 0 (or any past instant) means available. Plain
+	// atomics: a racing write merely re-marks the same failing peer.
+	downUntil []atomic.Int64
+}
+
+// NewClient builds a client for a fleet of n peers. timeout bounds each
+// forward round trip and backoff the down window after a transport
+// failure; non-positive values select the defaults. The underlying
+// http.Client reuses connections per peer, so steady-state forwarding
+// costs no handshakes.
+func NewClient(n int, timeout, backoff time.Duration) *Client {
+	if timeout <= 0 {
+		timeout = DefaultForwardTimeout
+	}
+	if backoff <= 0 {
+		backoff = DefaultBackoff
+	}
+	return &Client{
+		hc: &http.Client{
+			Transport: &http.Transport{
+				MaxIdleConnsPerHost: 64,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		},
+		timeout:   timeout,
+		backoff:   backoff,
+		downUntil: make([]atomic.Int64, n),
+	}
+}
+
+// Timeout returns the per-forward round-trip bound.
+func (c *Client) Timeout() time.Duration { return c.timeout }
+
+// Available reports whether peer i is currently believed reachable: a
+// peer is down only inside the backoff window after a transport failure.
+func (c *Client) Available(i int) bool {
+	return time.Now().UnixNano() >= c.downUntil[i].Load()
+}
+
+// MarkDown records a transport failure against peer i, suppressing
+// forwards to it for the backoff window.
+func (c *Client) MarkDown(i int) {
+	c.downUntil[i].Store(time.Now().Add(c.backoff).UnixNano())
+}
+
+// markUp clears peer i's down window after a successful round trip, so
+// one lucky probe restores the peer immediately instead of waiting out
+// stale backoff.
+func (c *Client) markUp(i int) {
+	c.downUntil[i].Store(0)
+}
+
+// Forward proxies one request body to peer i at baseURL+path and returns
+// the owner's full answer. The round trip is bounded by the client's
+// forward timeout (intersected with ctx); a transport failure or timeout
+// marks the peer down and returns an error — the caller degrades to a
+// local solve. A completed HTTP exchange of any status marks the peer up
+// and returns its result for the caller to interpret.
+func (c *Client) Forward(ctx context.Context, i int, baseURL, path string, body []byte) (ForwardResult, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return ForwardResult{}, fmt.Errorf("cluster: forward request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(ForwardHeader, "1")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		c.MarkDown(i)
+		return ForwardResult{}, fmt.Errorf("cluster: forward to %s: %w", baseURL, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		c.MarkDown(i)
+		return ForwardResult{}, fmt.Errorf("cluster: forward read from %s: %w", baseURL, err)
+	}
+	c.markUp(i)
+	return ForwardResult{Status: resp.StatusCode, XCache: resp.Header.Get("X-Cache"), Body: b}, nil
+}
+
+// FetchSnapshot streams peer i's hot cache entries and decodes them
+// under the given bounds (see DecodeSnapshot). The round trip is bounded
+// by ctx alone — warm-up tolerates longer pulls than a forward — but a
+// transport failure still marks the peer down.
+func (c *Client) FetchSnapshot(ctx context.Context, i int, baseURL string, maxEntries, maxBody int) ([]Entry, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+SnapshotPath, nil)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: snapshot request: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		c.MarkDown(i)
+		return nil, fmt.Errorf("cluster: snapshot from %s: %w", baseURL, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster: snapshot from %s: status %d", baseURL, resp.StatusCode)
+	}
+	entries, err := DecodeSnapshot(resp.Body, maxEntries, maxBody)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: snapshot from %s: %w", baseURL, err)
+	}
+	c.markUp(i)
+	return entries, nil
+}

@@ -1,0 +1,173 @@
+// Package cluster is the inter-process half of the serving stack's cache
+// design: the machinery that lets N pipeschedd daemons share one
+// canonical cache-key space. The intra-process half — the sharded LRU of
+// internal/service/cache — splits a key space across cores; this package
+// splits it across daemons.
+//
+// # Topology and ownership
+//
+// A fleet is a static list of peer base URLs, identical on every node
+// (order does not matter: the list is normalised and sorted, so every
+// node derives the same indexing). Each canonical cache key — a SHA-256
+// digest computed by the service layer — has exactly one owner, chosen
+// by rendezvous (highest-random-weight) hashing over the key bytes:
+// every peer is scored against the key and the maximum wins. Rendezvous
+// hashing gives the property that matters for cache warm-up and
+// failover: removing one peer reassigns only the keys that peer owned,
+// never shuffling ownership among the survivors.
+//
+// # Forwarding and failure semantics
+//
+// A node that misses locally on a key it does not own proxies the
+// original request to the owner (Client.Forward) and installs the
+// rendered response bytes in its own cache as a second-tier hit. Peer
+// failure is never a client-visible error: a transport failure or
+// forward timeout marks the peer down for a backoff window (during
+// which no forwards are attempted) and the request degrades to a local
+// solve — results are deterministic, so a fallback solve produces
+// byte-identical bodies, only slower.
+//
+// # Snapshot warm-up
+//
+// A joining node streams the hot entries of its peers' caches
+// (GET /v1/peer/snapshot, encoded by this package's wire codec) and
+// imports them before taking traffic warm. The codec is
+// length-prefixed and versioned; decoding bounds both entry count and
+// body size so a misbehaving peer cannot balloon a joiner's memory.
+package cluster
+
+import (
+	"fmt"
+	"net/url"
+	"sort"
+	"strings"
+)
+
+// Key is a canonical cache key: the SHA-256 digest the service layer
+// computes for every cacheable request. It mirrors (and converts freely
+// with) the service cache's key type without importing it.
+type Key [32]byte
+
+// fnvOffset and fnvPrime are the FNV-1a 64-bit parameters; the scoring
+// hash must be identical on every node, so it is fixed here rather than
+// delegated to anything runtime-seeded (maphash would differ per
+// process).
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// Topology is one node's view of the fleet: the normalised, sorted peer
+// list and this node's index in it. It is immutable after construction
+// and safe for concurrent use.
+type Topology struct {
+	peers []string // sorted, normalised base URLs
+	self  int      // index into peers
+	seeds []uint64 // per-peer FNV-1a state over the peer URL
+}
+
+// NewTopology builds the fleet view from the static peer list and this
+// node's advertised base URL. The advertise URL must appear in the list
+// — a fleet where some node is not in its own peer list would compute
+// ownership no other node agrees with. URLs are normalised (scheme
+// defaulted to http, trailing slash dropped, host lowercased) and
+// duplicates rejected.
+func NewTopology(peers []string, advertise string) (*Topology, error) {
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("cluster: empty peer list")
+	}
+	norm := make([]string, 0, len(peers))
+	seen := make(map[string]bool, len(peers))
+	for _, p := range peers {
+		u, err := normalizeURL(p)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: peer %q: %w", p, err)
+		}
+		if seen[u] {
+			return nil, fmt.Errorf("cluster: duplicate peer %q", u)
+		}
+		seen[u] = true
+		norm = append(norm, u)
+	}
+	sort.Strings(norm)
+	adv, err := normalizeURL(advertise)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: advertise %q: %w", advertise, err)
+	}
+	self := sort.SearchStrings(norm, adv)
+	if self >= len(norm) || norm[self] != adv {
+		return nil, fmt.Errorf("cluster: advertise %q is not in the peer list %v", adv, norm)
+	}
+	t := &Topology{peers: norm, self: self, seeds: make([]uint64, len(norm))}
+	for i, p := range norm {
+		h := uint64(fnvOffset)
+		for j := 0; j < len(p); j++ {
+			h = (h ^ uint64(p[j])) * fnvPrime
+		}
+		t.seeds[i] = h
+	}
+	return t, nil
+}
+
+// normalizeURL canonicalises one peer base URL.
+func normalizeURL(s string) (string, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return "", fmt.Errorf("empty URL")
+	}
+	if !strings.Contains(s, "://") {
+		s = "http://" + s
+	}
+	u, err := url.Parse(s)
+	if err != nil {
+		return "", err
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return "", fmt.Errorf("unsupported scheme %q", u.Scheme)
+	}
+	if u.Host == "" {
+		return "", fmt.Errorf("missing host")
+	}
+	if u.RawQuery != "" || u.Fragment != "" {
+		return "", fmt.Errorf("base URL must not carry a query or fragment")
+	}
+	u.Host = strings.ToLower(u.Host)
+	u.Path = strings.TrimRight(u.Path, "/")
+	return u.String(), nil
+}
+
+// Size returns the fleet size.
+func (t *Topology) Size() int { return len(t.peers) }
+
+// Self returns this node's index in the sorted peer list.
+func (t *Topology) Self() int { return t.self }
+
+// Peer returns the base URL of peer i.
+func (t *Topology) Peer(i int) string { return t.peers[i] }
+
+// Peers returns a copy of the sorted peer list.
+func (t *Topology) Peers() []string {
+	out := make([]string, len(t.peers))
+	copy(out, t.peers)
+	return out
+}
+
+// Owner returns the index of the peer that owns key k under rendezvous
+// hashing: each peer's score is FNV-1a over its URL followed by the key
+// bytes, and the highest score wins (ties broken by peer order, which is
+// identical on every node because the list is sorted). The scoring walks
+// 32 bytes per peer with no allocation, so ownership lookup costs tens
+// of nanoseconds even before any caching.
+func (t *Topology) Owner(k Key) int {
+	best, bestScore := 0, uint64(0)
+	for i, seed := range t.seeds {
+		h := seed
+		for _, b := range k {
+			h = (h ^ uint64(b)) * fnvPrime
+		}
+		if i == 0 || h > bestScore {
+			best, bestScore = i, h
+		}
+	}
+	return best
+}

@@ -1,0 +1,69 @@
+package cluster
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"testing"
+)
+
+// FuzzPeerWire throws arbitrary bytes at the snapshot decoder and, for
+// every stream that decodes, re-encodes and decodes again: the two
+// passes must agree entry for entry. A decoder that panics, or that lets
+// one record's body bleed into the next record's key (cross-peer key
+// aliasing), fails here. Seed corpora cover the empty snapshot, real
+// records, magic bytes embedded in bodies, and truncations.
+func FuzzPeerWire(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(snapshotMagic)
+	f.Add([]byte{'P', 'S', 'N', 'P', 2})
+	sample := func(entries []Entry) []byte {
+		var buf bytes.Buffer
+		if err := EncodeSnapshot(&buf, entries); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	k1 := sha256.Sum256([]byte("one"))
+	k2 := sha256.Sum256([]byte("two"))
+	full := sample([]Entry{
+		{Key: k1, Body: []byte(`{"latency":3.5,"period":1.25}`)},
+		{Key: k2, Body: append([]byte{0}, snapshotMagic...)},
+		{Key: sha256.Sum256([]byte("three")), Body: nil},
+	})
+	f.Add(full)
+	f.Add(full[:len(full)-3])
+	f.Add(full[:37])
+
+	const maxEntries, maxBody = 64, 1 << 12
+	f.Fuzz(func(t *testing.T, data []byte) {
+		entries, err := DecodeSnapshot(bytes.NewReader(data), maxEntries, maxBody)
+		if err != nil {
+			return // malformed input must error, never panic — reaching here is the assertion
+		}
+		if len(entries) > maxEntries {
+			t.Fatalf("decoder returned %d entries past the %d bound", len(entries), maxEntries)
+		}
+		var buf bytes.Buffer
+		if err := EncodeSnapshot(&buf, entries); err != nil {
+			t.Fatalf("re-encode of decoded entries failed: %v", err)
+		}
+		again, err := DecodeSnapshot(&buf, maxEntries, maxBody)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded entries failed: %v", err)
+		}
+		if len(again) != len(entries) {
+			t.Fatalf("round trip changed entry count: %d -> %d", len(entries), len(again))
+		}
+		for i := range entries {
+			if again[i].Key != entries[i].Key {
+				t.Fatalf("entry %d key changed across round trip — key aliasing", i)
+			}
+			if len(entries[i].Body) > maxBody {
+				t.Fatalf("entry %d body of %d bytes passed the %d bound", i, len(entries[i].Body), maxBody)
+			}
+			if !bytes.Equal(again[i].Body, entries[i].Body) {
+				t.Fatalf("entry %d body changed across round trip", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,110 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// The peer wire codec: the byte stream of GET /v1/peer/snapshot. A
+// snapshot is a magic+version header followed by zero or more records,
+//
+//	[32-byte key][uvarint body length][body bytes]
+//
+// terminated by EOF. The key travels as its exact 32 digest bytes and
+// the body length-prefixed, so no record can bleed into its neighbour's
+// key — cross-peer key aliasing is structurally impossible, and
+// FuzzPeerWire pins it. Decoding is bounded (entry count, per-body
+// size), so a misbehaving peer cannot balloon a joining node's memory;
+// any malformed stream is an error, never a panic.
+
+// snapshotMagic opens every snapshot stream. The trailing byte is the
+// codec version: bump it whenever a field is added or reordered, so a
+// mixed-version fleet fails loudly at warm-up instead of importing
+// garbage.
+var snapshotMagic = []byte{'P', 'S', 'N', 'P', 1}
+
+// Entry is one cache entry on the wire: a canonical key and the rendered
+// response bytes stored under it.
+type Entry struct {
+	Key  Key
+	Body []byte
+}
+
+// Decode bound errors, distinguishable from plain corruption so callers
+// can log "peer over budget" differently from "peer sent garbage".
+var (
+	ErrBadMagic    = errors.New("cluster: snapshot stream has wrong magic or version")
+	ErrTooMany     = errors.New("cluster: snapshot stream exceeds the entry bound")
+	ErrBodyTooLong = errors.New("cluster: snapshot entry exceeds the body bound")
+)
+
+// EncodeSnapshot writes entries as one snapshot stream. The writer is
+// buffered internally; the returned error is the first write failure.
+func EncodeSnapshot(w io.Writer, entries []Entry) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(snapshotMagic); err != nil {
+		return err
+	}
+	var lenBuf [binary.MaxVarintLen64]byte
+	for _, e := range entries {
+		if _, err := bw.Write(e.Key[:]); err != nil {
+			return err
+		}
+		n := binary.PutUvarint(lenBuf[:], uint64(len(e.Body)))
+		if _, err := bw.Write(lenBuf[:n]); err != nil {
+			return err
+		}
+		if _, err := bw.Write(e.Body); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodeSnapshot reads one snapshot stream back into entries. maxEntries
+// bounds how many records are accepted and maxBody each record's body
+// length; non-positive bounds reject everything, so callers must pass
+// their real budgets. A stream that ends mid-record, overflows a bound
+// or opens with the wrong magic is an error; a well-formed empty
+// snapshot (header only) decodes to zero entries.
+func DecodeSnapshot(r io.Reader, maxEntries, maxBody int) ([]Entry, error) {
+	if maxBody < 0 {
+		maxBody = 0 // a negative bound must not wrap to "unbounded" below
+	}
+	br := bufio.NewReader(r)
+	var magic [5]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMagic, err)
+	}
+	if string(magic[:]) != string(snapshotMagic) {
+		return nil, ErrBadMagic
+	}
+	var entries []Entry
+	for {
+		var key Key
+		if _, err := io.ReadFull(br, key[:]); err != nil {
+			if err == io.EOF {
+				return entries, nil // clean end between records
+			}
+			return nil, fmt.Errorf("cluster: snapshot truncated mid-key: %w", err)
+		}
+		if len(entries) >= maxEntries {
+			return nil, ErrTooMany
+		}
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: snapshot truncated in body length: %w", err)
+		}
+		if n > uint64(maxBody) {
+			return nil, fmt.Errorf("%w: %d bytes", ErrBodyTooLong, n)
+		}
+		body := make([]byte, n)
+		if _, err := io.ReadFull(br, body); err != nil {
+			return nil, fmt.Errorf("cluster: snapshot truncated mid-body: %w", err)
+		}
+		entries = append(entries, Entry{Key: key, Body: body})
+	}
+}

@@ -1,0 +1,96 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func encode(t *testing.T, entries []Entry) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := EncodeSnapshot(&buf, entries); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	for name, entries := range map[string][]Entry{
+		"empty":      {},
+		"one":        {{Key: keyOf(1), Body: []byte(`{"latency":1}`)}},
+		"empty-body": {{Key: keyOf(2), Body: nil}},
+		"several": {
+			{Key: keyOf(3), Body: []byte("a")},
+			{Key: keyOf(4), Body: bytes.Repeat([]byte("x"), 4096)},
+			{Key: keyOf(5), Body: []byte{0, 'P', 'S', 'N', 'P', 1, 0}}, // magic inside a body must not confuse framing
+		},
+	} {
+		got, err := DecodeSnapshot(bytes.NewReader(encode(t, entries)), 16, 1<<20)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		if len(got) != len(entries) {
+			t.Fatalf("%s: got %d entries, want %d", name, len(got), len(entries))
+		}
+		for i := range entries {
+			if got[i].Key != entries[i].Key {
+				t.Fatalf("%s: entry %d key diverged — cross-record aliasing", name, i)
+			}
+			if !bytes.Equal(got[i].Body, entries[i].Body) {
+				t.Fatalf("%s: entry %d body diverged", name, i)
+			}
+		}
+	}
+}
+
+func TestSnapshotBadMagic(t *testing.T) {
+	for name, stream := range map[string][]byte{
+		"empty":         {},
+		"short":         {'P', 'S'},
+		"wrong-magic":   {'X', 'S', 'N', 'P', 1},
+		"wrong-version": {'P', 'S', 'N', 'P', 2},
+	} {
+		if _, err := DecodeSnapshot(bytes.NewReader(stream), 16, 1<<20); !errors.Is(err, ErrBadMagic) {
+			t.Errorf("%s: got %v, want ErrBadMagic", name, err)
+		}
+	}
+}
+
+func TestSnapshotBounds(t *testing.T) {
+	entries := []Entry{
+		{Key: keyOf(1), Body: []byte("aaaa")},
+		{Key: keyOf(2), Body: []byte("bbbb")},
+	}
+	stream := encode(t, entries)
+
+	if _, err := DecodeSnapshot(bytes.NewReader(stream), 1, 1<<20); !errors.Is(err, ErrTooMany) {
+		t.Errorf("entry bound: got %v, want ErrTooMany", err)
+	}
+	if _, err := DecodeSnapshot(bytes.NewReader(stream), 16, 3); !errors.Is(err, ErrBodyTooLong) {
+		t.Errorf("body bound: got %v, want ErrBodyTooLong", err)
+	}
+	// Non-positive body bounds must reject non-empty bodies, never wrap
+	// to "accept anything".
+	if _, err := DecodeSnapshot(bytes.NewReader(stream), 16, -1); !errors.Is(err, ErrBodyTooLong) {
+		t.Errorf("negative body bound: got %v, want ErrBodyTooLong", err)
+	}
+	// At the exact bounds the stream decodes.
+	if _, err := DecodeSnapshot(bytes.NewReader(stream), 2, 4); err != nil {
+		t.Errorf("exact bounds: %v", err)
+	}
+}
+
+func TestSnapshotTruncation(t *testing.T) {
+	stream := encode(t, []Entry{{Key: keyOf(1), Body: []byte("abcdef")}})
+	// Every strict prefix that cuts into a record must error; the header
+	// alone (5 bytes) is a valid empty snapshot.
+	for cut := 6; cut < len(stream); cut++ {
+		if _, err := DecodeSnapshot(bytes.NewReader(stream[:cut]), 16, 1<<20); err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded cleanly", cut, len(stream))
+		}
+	}
+	if got, err := DecodeSnapshot(bytes.NewReader(stream[:5]), 16, 1<<20); err != nil || len(got) != 0 {
+		t.Fatalf("header-only stream: got %d entries, err %v", len(got), err)
+	}
+}

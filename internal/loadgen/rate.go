@@ -1,0 +1,61 @@
+package loadgen
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Pacer shapes the arrival process of the load generator: an open-loop
+// request-per-second rate stored as an atomic inter-arrival interval.
+// The generator reads the interval before every admission and ramps
+// retune it mid-run with SetRate — no locks, no channel round trips, no
+// generator restarts — so the arrival process can be reshaped while
+// requests are in flight. A zero rate means unpaced (closed loop): the
+// generator admits as fast as the workers complete.
+type Pacer struct {
+	intervalNS atomic.Int64 // 0 = unpaced
+}
+
+// NewPacer returns a pacer at perSec requests per second (0 or less =
+// unpaced).
+func NewPacer(perSec float64) *Pacer {
+	p := &Pacer{}
+	p.SetRate(perSec)
+	return p
+}
+
+// SetRate retunes the arrival rate, effective from the next admission.
+func (p *Pacer) SetRate(perSec float64) {
+	if perSec <= 0 || math.IsNaN(perSec) || math.IsInf(perSec, 0) {
+		p.intervalNS.Store(0)
+		return
+	}
+	ns := int64(float64(time.Second) / perSec)
+	if ns < 1 {
+		ns = 1
+	}
+	p.intervalNS.Store(ns)
+}
+
+// Rate returns the current arrival rate (0 = unpaced).
+func (p *Pacer) Rate() float64 {
+	ns := p.intervalNS.Load()
+	if ns == 0 {
+		return 0
+	}
+	return float64(time.Second) / float64(ns)
+}
+
+// Next returns the instant at which the admission after one at t should
+// fire (t itself when unpaced). The generator sleeps until the returned
+// instant; a generator running behind schedule gets a past instant and
+// catches up without sleeping, so transient stalls do not permanently
+// lower the achieved rate.
+func (p *Pacer) Next(t time.Time) time.Time {
+	ns := p.intervalNS.Load()
+	if ns == 0 {
+		return t
+	}
+	return t.Add(time.Duration(ns))
+}

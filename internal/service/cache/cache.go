@@ -188,6 +188,47 @@ func (c *Cache[V]) store(k Key, v V) {
 	}
 }
 
+// Put stores v under k directly, bypassing singleflight: the peer tier
+// of the clustered service uses it to install response bytes rendered
+// elsewhere (a forwarded solve or an imported snapshot entry) as local
+// second-tier hits. An existing entry is refreshed and promoted; with
+// storage disabled (capacity <= 0) Put is a no-op, exactly as Do's store
+// step would be.
+func (c *Cache[V]) Put(k Key, v V) {
+	if c.capacity <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.store(k, v)
+}
+
+// Item is one exported cache entry, as returned by Snapshot.
+type Item[V any] struct {
+	Key Key
+	Val V
+}
+
+// Snapshot returns up to max stored entries, most recently used first —
+// the hot set a joining peer should warm up with. max <= 0 returns every
+// entry. The values are returned as stored; callers sharing them across
+// goroutines rely on the service's convention of never mutating cached
+// values.
+func (c *Cache[V]) Snapshot(max int) []Item[V] {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := c.ll.Len()
+	if max > 0 && max < n {
+		n = max
+	}
+	out := make([]Item[V], 0, n)
+	for el := c.ll.Front(); el != nil && len(out) < n; el = el.Next() {
+		e := el.Value.(*entry[V])
+		out = append(out, Item[V]{Key: e.key, Val: e.val})
+	}
+	return out
+}
+
 // Len returns the number of stored entries.
 func (c *Cache[V]) Len() int {
 	c.mu.Lock()

@@ -96,6 +96,33 @@ func (s *Sharded[V]) Do(ctx context.Context, k Key, fn func() (V, error)) (V, So
 	return s.shard(k).Do(ctx, k, fn)
 }
 
+// Put stores v under k directly on k's shard, bypassing singleflight.
+// See Cache.Put for the contract.
+func (s *Sharded[V]) Put(k Key, v V) { s.shard(k).Put(k, v) }
+
+// Snapshot returns up to max stored entries across shards, each shard's
+// contribution most recently used first. The per-shard quota is
+// max/shards rounded up, so the result is the union of every shard's hot
+// prefix rather than a globally ordered hot set — an approximation that
+// costs nothing and is exactly what cache warm-up wants (keys are
+// SHA-256-uniform, so shard hot sets are statistically interchangeable).
+// max <= 0 returns every entry.
+func (s *Sharded[V]) Snapshot(max int) []Item[V] {
+	per := 0 // 0 = unbounded, per Cache.Snapshot
+	if max > 0 {
+		per = (max + len(s.shards) - 1) / len(s.shards)
+	}
+	var out []Item[V]
+	for _, c := range s.shards {
+		out = append(out, c.Snapshot(per)...)
+		if max > 0 && len(out) >= max {
+			out = out[:max]
+			break
+		}
+	}
+	return out
+}
+
 // Len returns the total number of stored entries across shards.
 func (s *Sharded[V]) Len() int {
 	n := 0

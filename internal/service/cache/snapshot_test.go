@@ -1,0 +1,145 @@
+package cache
+
+import (
+	"context"
+	"testing"
+)
+
+func TestPutThenGet(t *testing.T) {
+	c := New[int](4)
+	c.Put(key(1), 10)
+	if v, ok := c.Get(key(1)); !ok || v != 10 {
+		t.Fatalf("Get after Put = (%d, %v), want (10, true)", v, ok)
+	}
+	// Put refreshes an existing entry in place.
+	c.Put(key(1), 11)
+	if v, _ := c.Get(key(1)); v != 11 {
+		t.Fatalf("refreshed value = %d, want 11", v)
+	}
+	if n := c.Len(); n != 1 {
+		t.Fatalf("Len = %d, want 1", n)
+	}
+	// Do must see a Put entry as a plain hit, not recompute.
+	v, src, err := c.Do(context.Background(), key(1), func() (int, error) {
+		t.Fatal("compute ran although Put installed the entry")
+		return 0, nil
+	})
+	if err != nil || v != 11 || src != Hit {
+		t.Fatalf("Do after Put = (%d, %v, %v), want (11, Hit, nil)", v, src, err)
+	}
+}
+
+func TestPutRespectsLRUBound(t *testing.T) {
+	c := New[int](2)
+	c.Put(key(1), 1)
+	c.Put(key(2), 2)
+	c.Put(key(3), 3) // evicts key 1, the least recently used
+	if _, ok := c.Get(key(1)); ok {
+		t.Fatal("eviction skipped the oldest entry")
+	}
+	if _, ok := c.Get(key(2)); !ok {
+		t.Fatal("key 2 evicted prematurely")
+	}
+	if s := c.Stats(); s.Evictions != 1 || s.Entries != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestPutPromotes(t *testing.T) {
+	c := New[int](2)
+	c.Put(key(1), 1)
+	c.Put(key(2), 2)
+	c.Put(key(1), 10) // promotes key 1 to most recently used
+	c.Put(key(3), 3)  // must now evict key 2
+	if _, ok := c.Get(key(1)); !ok {
+		t.Fatal("promoted entry evicted")
+	}
+	if _, ok := c.Get(key(2)); ok {
+		t.Fatal("unpromoted entry survived")
+	}
+}
+
+func TestPutZeroCapacityIsNoop(t *testing.T) {
+	c := New[int](0)
+	c.Put(key(1), 1)
+	if _, ok := c.Get(key(1)); ok {
+		t.Fatal("zero-capacity cache stored a Put entry")
+	}
+	if n := c.Len(); n != 0 {
+		t.Fatalf("Len = %d, want 0", n)
+	}
+}
+
+func TestSnapshotMRUOrder(t *testing.T) {
+	c := New[int](8)
+	for b := byte(1); b <= 4; b++ {
+		c.Put(key(b), int(b))
+	}
+	c.Get(key(2)) // promote 2 to the front
+
+	snap := c.Snapshot(0)
+	if len(snap) != 4 {
+		t.Fatalf("full snapshot has %d entries, want 4", len(snap))
+	}
+	if snap[0].Key != key(2) || snap[0].Val != 2 {
+		t.Fatalf("snapshot head = %v, want the promoted entry", snap[0])
+	}
+	// A bounded snapshot keeps the hottest prefix.
+	head := c.Snapshot(2)
+	if len(head) != 2 || head[0].Key != key(2) || head[1].Key != key(4) {
+		t.Fatalf("bounded snapshot = %v, want [key2 key4]", head)
+	}
+}
+
+func TestSnapshotEmptyAndOverBound(t *testing.T) {
+	c := New[int](4)
+	if snap := c.Snapshot(0); len(snap) != 0 {
+		t.Fatalf("empty cache snapshot has %d entries", len(snap))
+	}
+	c.Put(key(1), 1)
+	if snap := c.Snapshot(100); len(snap) != 1 {
+		t.Fatalf("over-bound snapshot has %d entries, want 1", len(snap))
+	}
+}
+
+func TestShardedPutAndSnapshot(t *testing.T) {
+	c := NewSharded[int](64, 4)
+	for b := byte(1); b <= 32; b++ {
+		c.Put(key(b), int(b))
+	}
+	for b := byte(1); b <= 32; b++ {
+		if v, ok := c.Get(key(b)); !ok || v != int(b) {
+			t.Fatalf("sharded Get(%d) = (%d, %v)", b, v, ok)
+		}
+	}
+	full := c.Snapshot(0)
+	if len(full) != 32 {
+		t.Fatalf("full sharded snapshot has %d entries, want 32", len(full))
+	}
+	seen := map[Key]int{}
+	for _, it := range full {
+		seen[it.Key] = it.Val
+	}
+	for b := byte(1); b <= 32; b++ {
+		if seen[key(b)] != int(b) {
+			t.Fatalf("snapshot lost key %d", b)
+		}
+	}
+	// A bounded sharded snapshot never exceeds its bound.
+	if head := c.Snapshot(10); len(head) > 10 {
+		t.Fatalf("bounded sharded snapshot has %d entries, want <= 10", len(head))
+	} else if len(head) == 0 {
+		t.Fatal("bounded sharded snapshot is empty")
+	}
+}
+
+func TestShardedPutZeroCapacity(t *testing.T) {
+	c := NewSharded[int](0, 4)
+	c.Put(key(1), 1)
+	if _, ok := c.Get(key(1)); ok {
+		t.Fatal("zero-capacity sharded cache stored a Put entry")
+	}
+	if snap := c.Snapshot(0); len(snap) != 0 {
+		t.Fatalf("zero-capacity snapshot has %d entries", len(snap))
+	}
+}

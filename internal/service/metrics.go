@@ -235,11 +235,13 @@ type CacheSnapshot struct {
 	HitRate   float64 `json:"hit_rate"`
 }
 
-// MetricsSnapshot is the body served by GET /metrics.
+// MetricsSnapshot is the body served by GET /metrics. Cluster is present
+// only in peer mode.
 type MetricsSnapshot struct {
 	UptimeSeconds float64                     `json:"uptime_seconds"`
 	InFlight      int64                       `json:"in_flight"`
 	Cache         CacheSnapshot               `json:"cache"`
+	Cluster       *ClusterMetricsSnapshot     `json:"cluster,omitempty"`
 	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
 }
 

@@ -1,0 +1,218 @@
+package service
+
+// Peer-aware serving: the glue between the HTTP handlers and
+// internal/cluster. In cluster mode every canonical cache key has one
+// owner daemon (rendezvous hashing over the key bytes); the request flow
+// on each node becomes
+//
+//	local cache hit            -> X-Cache: hit        (second-tier hits included)
+//	miss, self owns the key    -> solve locally       (miss/collapsed, as single-node)
+//	miss, peer owns, peer up   -> proxy to owner      (remote-hit / remote-miss),
+//	                              install the bytes locally as a second-tier hit
+//	miss, peer owns, peer down -> solve locally       (fallback)
+//
+// Peer failure is never a client-visible error: transport failures and
+// forward timeouts mark the owner down for a backoff window and degrade
+// to the local solve, which produces byte-identical bodies (the solvers
+// are deterministic) at single-node latency. Responses proxied from the
+// owner are the owner's rendered bytes verbatim, so every tier serves
+// exactly the same body for the same request.
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"pipesched/internal/cluster"
+	"pipesched/internal/service/cache"
+)
+
+// ClusterConfig configures peer-aware serving. The Topology is built
+// once by the caller (cluster.NewTopology validates the peer list), so
+// Server construction stays infallible.
+type ClusterConfig struct {
+	// Topology is the fleet view: static peer list plus self index.
+	Topology *cluster.Topology
+	// ForwardTimeout bounds one owner-forward round trip; 0 selects
+	// cluster.DefaultForwardTimeout (2s).
+	ForwardTimeout time.Duration
+	// PeerBackoff is how long a peer stays down after a transport
+	// failure; 0 selects cluster.DefaultBackoff (5s).
+	PeerBackoff time.Duration
+	// SnapshotEntries bounds both the hot set served on
+	// GET /v1/peer/snapshot and the entries accepted per peer during
+	// warm-up; 0 selects the default (1024).
+	SnapshotEntries int
+}
+
+const defaultSnapshotEntries = 1024
+
+func (c *ClusterConfig) snapshotEntries() int {
+	if c.SnapshotEntries <= 0 {
+		return defaultSnapshotEntries
+	}
+	return c.SnapshotEntries
+}
+
+// peerRouter holds the cluster state of one Server: topology, the peer
+// client with its health view, and the peer-tier counters.
+type peerRouter struct {
+	topo            *cluster.Topology
+	client          *cluster.Client
+	snapshotEntries int
+
+	forwarded       atomic.Uint64 // requests proxied to an owner, any outcome
+	remoteHits      atomic.Uint64 // proxied, owner had it cached
+	remoteMisses    atomic.Uint64 // proxied, owner solved it
+	fallbacks       atomic.Uint64 // owner down or forward failed; solved locally
+	ownedForwards   atomic.Uint64 // forwarded requests served for peers
+	snapshotsServed atomic.Uint64 // GET /v1/peer/snapshot responses
+	warmedEntries   atomic.Uint64 // entries imported by WarmFromPeers
+}
+
+// newPeerRouter builds the router, or nil when cfg is absent (single-node
+// mode).
+func newPeerRouter(cfg *ClusterConfig) *peerRouter {
+	if cfg == nil || cfg.Topology == nil {
+		return nil
+	}
+	return &peerRouter{
+		topo:            cfg.Topology,
+		client:          cluster.NewClient(cfg.Topology.Size(), cfg.ForwardTimeout, cfg.PeerBackoff),
+		snapshotEntries: cfg.snapshotEntries(),
+	}
+}
+
+// isPeerForward reports whether r was already forwarded once by a peer.
+func isPeerForward(r *http.Request) bool {
+	return r.Header.Get(cluster.ForwardHeader) != ""
+}
+
+// route decides how a locally-missed key is served. It returns
+// served=true with the owner's body and tier when the request was
+// successfully proxied; otherwise served=false and the caller solves
+// locally, with fellBack=true when a forward was warranted but failed
+// (the X-Cache tier the caller should then report is "fallback").
+func (p *peerRouter) route(r *http.Request, key cache.Key, path string, raw []byte) (body []byte, tier int, served, fellBack bool) {
+	if isPeerForward(r) {
+		// We are the owner being asked by a peer (or a topology
+		// disagreement's second hop): always serve locally, never
+		// forward again — loops are structurally impossible.
+		p.ownedForwards.Add(1)
+		return nil, 0, false, false
+	}
+	owner := p.topo.Owner(cluster.Key(key))
+	if owner == p.topo.Self() {
+		return nil, 0, false, false
+	}
+	if !p.client.Available(owner) {
+		p.fallbacks.Add(1)
+		return nil, 0, false, true
+	}
+	res, err := p.client.Forward(r.Context(), owner, p.topo.Peer(owner), path, raw)
+	if err != nil || res.Status != http.StatusOK {
+		// Transport failures marked the peer down inside Forward; a
+		// non-200 from a live owner (e.g. its own 504 under load) also
+		// degrades to the deterministic local solve rather than relaying
+		// a status this node can do better than.
+		p.fallbacks.Add(1)
+		return nil, 0, false, true
+	}
+	p.forwarded.Add(1)
+	switch res.XCache {
+	case "hit", "collapsed":
+		p.remoteHits.Add(1)
+		return res.Body, tierRemoteHit, true, false
+	default:
+		p.remoteMisses.Add(1)
+		return res.Body, tierRemoteMiss, true, false
+	}
+}
+
+// handleSnapshot streams this node's hot cache entries in the peer wire
+// codec — the warm-up source for joining nodes.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	items := s.cache.Snapshot(s.peers.snapshotEntries)
+	entries := make([]cluster.Entry, len(items))
+	for i, it := range items {
+		entries[i] = cluster.Entry{Key: cluster.Key(it.Key), Body: it.Val}
+	}
+	s.peers.snapshotsServed.Add(1)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if err := cluster.EncodeSnapshot(w, entries); err != nil {
+		s.logger.Printf("pipeschedd: snapshot stream: %v", err)
+	}
+}
+
+// WarmFromPeers pulls each peer's hot cache snapshot and installs the
+// entries locally, returning how many were imported. It is the joining
+// node's warm-up: correctness never depends on it (a cold node simply
+// misses and forwards or solves), so failures are collected and
+// reported, not fatal, and a partially warmed cache is strictly better
+// than a cold one. In single-node mode it is a no-op.
+func (s *Server) WarmFromPeers(ctx context.Context) (int, error) {
+	if s.peers == nil {
+		return 0, nil
+	}
+	p := s.peers
+	imported := 0
+	var errs []error
+	for i := 0; i < p.topo.Size(); i++ {
+		if i == p.topo.Self() {
+			continue
+		}
+		entries, err := p.client.FetchSnapshot(ctx, i, p.topo.Peer(i), p.snapshotEntries, int(s.opts.maxBody()))
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		for _, e := range entries {
+			s.cache.Put(cache.Key(e.Key), e.Body)
+		}
+		imported += len(entries)
+	}
+	p.warmedEntries.Add(uint64(imported))
+	return imported, errors.Join(errs...)
+}
+
+// ClusterMetricsSnapshot is the "cluster" section of GET /metrics,
+// present only in peer mode.
+type ClusterMetricsSnapshot struct {
+	Peers           int    `json:"peers"`
+	Self            int    `json:"self"`
+	PeersDown       int    `json:"peers_down"`
+	Forwarded       uint64 `json:"forwarded"`
+	RemoteHits      uint64 `json:"remote_hits"`
+	RemoteMisses    uint64 `json:"remote_misses"`
+	Fallbacks       uint64 `json:"fallbacks"`
+	OwnedForwards   uint64 `json:"owned_forwards"`
+	SnapshotsServed uint64 `json:"snapshots_served"`
+	WarmedEntries   uint64 `json:"warmed_entries"`
+}
+
+// snapshot collects the peer-tier counters.
+func (p *peerRouter) snapshot() *ClusterMetricsSnapshot {
+	if p == nil {
+		return nil
+	}
+	down := 0
+	for i := 0; i < p.topo.Size(); i++ {
+		if i != p.topo.Self() && !p.client.Available(i) {
+			down++
+		}
+	}
+	return &ClusterMetricsSnapshot{
+		Peers:           p.topo.Size(),
+		Self:            p.topo.Self(),
+		PeersDown:       down,
+		Forwarded:       p.forwarded.Load(),
+		RemoteHits:      p.remoteHits.Load(),
+		RemoteMisses:    p.remoteMisses.Load(),
+		Fallbacks:       p.fallbacks.Load(),
+		OwnedForwards:   p.ownedForwards.Load(),
+		SnapshotsServed: p.snapshotsServed.Load(),
+		WarmedEntries:   p.warmedEntries.Load(),
+	}
+}

@@ -36,6 +36,7 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -48,6 +49,7 @@ import (
 	"strings"
 	"time"
 
+	"pipesched/internal/cluster"
 	"pipesched/internal/exact"
 	"pipesched/internal/heuristics"
 	"pipesched/internal/mapping"
@@ -82,6 +84,11 @@ type Options struct {
 	// Logger receives start/stop and per-request error lines; nil
 	// discards them.
 	Logger *log.Logger
+	// Cluster enables peer-aware serving: consistent-hash ownership of
+	// the canonical key space across a static fleet, with owner
+	// forwarding, snapshot warm-up and local-solve degradation. nil (the
+	// default) serves single-node with zero overhead on the hot path.
+	Cluster *ClusterConfig
 }
 
 const (
@@ -135,6 +142,9 @@ type Server struct {
 	metrics *metricsRegistry
 	mux     *http.ServeMux
 	logger  *log.Logger
+	// peers is the cluster router; nil in single-node mode, in which
+	// case every peer hook in the handlers is one nil check.
+	peers *peerRouter
 
 	// solveHook, when non-nil, runs inside the singleflight leader just
 	// before the underlying solve. Tests use it to hold requests in
@@ -153,12 +163,16 @@ func New(opts Options) *Server {
 	if s.logger == nil {
 		s.logger = log.New(io.Discard, "", 0)
 	}
+	s.peers = newPeerRouter(opts.Cluster)
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/solve", s.instrument("solve", (*Server).handleSolve))
 	mux.HandleFunc("POST /v1/batch", s.instrument("batch", (*Server).handleBatch))
 	mux.HandleFunc("POST /v1/sweep", s.instrument("sweep", (*Server).handleSweep))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.peers != nil {
+		mux.HandleFunc("GET "+cluster.SnapshotPath, s.handleSnapshot)
+	}
 	s.mux = mux
 	return s
 }
@@ -171,7 +185,9 @@ func (s *Server) CacheStats() cache.Stats { return s.cache.Stats() }
 
 // Metrics returns the snapshot served by GET /metrics.
 func (s *Server) Metrics() MetricsSnapshot {
-	return s.metrics.snapshot(s.cache.Stats(), s.cache.Shards())
+	snap := s.metrics.snapshot(s.cache.Stats(), s.cache.Shards())
+	snap.Cluster = s.peers.snapshot()
+	return snap
 }
 
 // Serve accepts connections on ln until ctx is cancelled, then shuts down
@@ -393,16 +409,34 @@ func (s *Server) instrument(name string, h func(*Server, *scratch, http.Response
 // fields and trailing data are rejected, exactly as before the wire
 // rework (sub-objects decoded from RawMessage stay lenient, matching the
 // former custom-unmarshaler behaviour).
-func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.maxBody()))
+//
+// In single-node mode the body is decoded streaming and the returned raw
+// slice is nil — the hot path is unchanged. In peer mode the body is
+// read fully first and returned verbatim, because a non-owner may need
+// the exact original bytes to proxy to the key's owner.
+func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) ([]byte, error) {
+	limited := http.MaxBytesReader(w, r.Body, s.opts.maxBody())
+	var (
+		dec *json.Decoder
+		raw []byte
+	)
+	if s.peers != nil {
+		var err error
+		if raw, err = io.ReadAll(limited); err != nil {
+			return nil, badRequest("invalid request body: %v", err)
+		}
+		dec = json.NewDecoder(bytes.NewReader(raw))
+	} else {
+		dec = json.NewDecoder(limited)
+	}
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
-		return badRequest("invalid request body: %v", err)
+		return nil, badRequest("invalid request body: %v", err)
 	}
 	if dec.More() {
-		return badRequest("invalid request body: trailing data after the JSON object")
+		return nil, badRequest("invalid request body: trailing data after the JSON object")
 	}
-	return nil
+	return raw, nil
 }
 
 // writeJSON renders a 200 with v as JSON (non-hot paths: health, metrics).
@@ -564,7 +598,8 @@ func buildPlatform(pw *platformWire) (*platform.Platform, error) {
 func (s *Server) handleSolve(sc *scratch, w http.ResponseWriter, r *http.Request) {
 	req := &sc.solve
 	req.reset()
-	if err := s.decodeJSON(w, r, req); err != nil {
+	raw, err := s.decodeJSON(w, r, req)
+	if err != nil {
 		s.writeError(w, r, err)
 		return
 	}
@@ -596,6 +631,19 @@ func (s *Server) handleSolve(sc *scratch, w http.ResponseWriter, r *http.Request
 	if body, ok := s.cache.Get(key); ok {
 		writeCached(w, body, cache.Hit)
 		return
+	}
+	// Peer tier: a local miss on a key owned elsewhere proxies the raw
+	// body to the owner and installs the answer locally; a failed forward
+	// degrades to the local solve below.
+	fellBack := false
+	if s.peers != nil {
+		body, tier, served, fb := s.peers.route(r, key, "/v1/solve", raw)
+		if served {
+			s.cache.Put(key, body)
+			writeCachedTier(w, body, tier)
+			return
+		}
+		fellBack = fb
 	}
 	// Miss: construct and validate the instance. The constructors copy
 	// the wire slices, so the detached solve below owns its inputs and
@@ -630,6 +678,10 @@ func (s *Server) handleSolve(sc *scratch, w http.ResponseWriter, r *http.Request
 	})
 	if err != nil {
 		s.writeError(w, r, err)
+		return
+	}
+	if fellBack {
+		writeCachedTier(w, body, tierFallback)
 		return
 	}
 	writeCached(w, body, src)
@@ -705,8 +757,12 @@ func (s *Server) handleBatch(sc *scratch, w http.ResponseWriter, r *http.Request
 	// Batch bodies hold arbitrarily many instances, so they decode into
 	// a fresh request (the detached batch run below owns it); the pooled
 	// render path and cached-bytes fast path still apply.
+	// Batch requests stay node-local in peer mode: the canonical key of a
+	// whole instance list is effectively unique per client, so forwarding
+	// would add a hop for no expected hit, and the batch engine already
+	// spreads the work across this node's cores.
 	var req BatchRequest
-	if err := s.decodeJSON(w, r, &req); err != nil {
+	if _, err := s.decodeJSON(w, r, &req); err != nil {
 		s.writeError(w, r, err)
 		return
 	}
@@ -791,7 +847,8 @@ func (s *Server) handleBatch(sc *scratch, w http.ResponseWriter, r *http.Request
 func (s *Server) handleSweep(sc *scratch, w http.ResponseWriter, r *http.Request) {
 	req := &sc.sweep
 	req.reset()
-	if err := s.decodeJSON(w, r, req); err != nil {
+	raw, err := s.decodeJSON(w, r, req)
+	if err != nil {
 		s.writeError(w, r, err)
 		return
 	}
@@ -815,6 +872,17 @@ func (s *Server) handleSweep(sc *scratch, w http.ResponseWriter, r *http.Request
 	if body, ok := s.cache.Get(key); ok {
 		writeCached(w, body, cache.Hit)
 		return
+	}
+	// Peer tier, as in handleSolve.
+	fellBack := false
+	if s.peers != nil {
+		body, tier, served, fb := s.peers.route(r, key, "/v1/sweep", raw)
+		if served {
+			s.cache.Put(key, body)
+			writeCachedTier(w, body, tier)
+			return
+		}
+		fellBack = fb
 	}
 	app, err := pipeline.New(req.Pipeline.Works, req.Pipeline.Deltas)
 	if err != nil {
@@ -853,6 +921,10 @@ func (s *Server) handleSweep(sc *scratch, w http.ResponseWriter, r *http.Request
 		s.writeError(w, r, err)
 		return
 	}
+	if fellBack {
+		writeCachedTier(w, body, tierFallback)
+		return
+	}
 	writeCached(w, body, src)
 }
 
@@ -861,10 +933,18 @@ func (s *Server) handleSweep(sc *scratch, w http.ResponseWriter, r *http.Request
 // rendered with their trailing newline (renderJSON), so no second write
 // is ever needed.
 func writeCached(w http.ResponseWriter, body []byte, src cache.Source) {
+	// cache.Source values coincide with the first three tier indices.
+	writeCachedTier(w, body, int(src))
+}
+
+// writeCachedTier is writeCached with an explicit X-Cache tier index,
+// covering the peer tiers (remote-hit, remote-miss, fallback) the
+// single-node cache.Source enum cannot express.
+func writeCachedTier(w http.ResponseWriter, body []byte, tier int) {
 	h := w.Header()
 	h["Content-Type"] = hdrJSON
-	if int(src) < len(hdrXCacheVal) {
-		h["X-Cache"] = hdrXCacheVal[src]
+	if tier >= 0 && tier < len(hdrXCacheVal) {
+		h["X-Cache"] = hdrXCacheVal[tier]
 	}
 	setContentLength(h, len(body))
 	w.Write(body)

@@ -117,13 +117,35 @@ func renderJSON(v any) ([]byte, error) {
 	return body, nil
 }
 
+// X-Cache tier indices. The first three coincide with cache.Source
+// (miss, hit, collapsed); the rest are the peer tiers of clustered
+// serving: remote-hit/remote-miss report a response proxied from the
+// key's owner (split by whether the owner itself had it cached), and
+// fallback reports a local solve taken because the owner was
+// unreachable.
+const (
+	tierMiss = iota
+	tierHit
+	tierCollapsed
+	tierRemoteHit
+	tierRemoteMiss
+	tierFallback
+)
+
 // Static header values: assigning a shared slice into the header map
 // avoids the per-request []string allocation of Header.Set. The slices
 // are never mutated (net/http only reads them), and the keys are already
 // in canonical MIME case.
 var (
 	hdrJSON      = []string{"application/json"}
-	hdrXCacheVal = [...][]string{{"miss"}, {"hit"}, {"collapsed"}}
+	hdrXCacheVal = [...][]string{
+		tierMiss:       {"miss"},
+		tierHit:        {"hit"},
+		tierCollapsed:  {"collapsed"},
+		tierRemoteHit:  {"remote-hit"},
+		tierRemoteMiss: {"remote-miss"},
+		tierFallback:   {"fallback"},
+	}
 )
 
 // appendJSONString appends the JSON string literal for s to buf with

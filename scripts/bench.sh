@@ -3,34 +3,42 @@
 # benchmarks into a machine-readable JSON trajectory file.
 #
 # Usage:
-#   scripts/bench.sh                 # writes BENCH_6.json in the repo root
+#   scripts/bench.sh                 # writes BENCH_<next>.json in the repo root
 #   scripts/bench.sh out.json        # explicit output path (first arg)
+#   scripts/bench.sh some/dir        # derived name inside an existing directory
 #   BENCH_OUT=out.json scripts/bench.sh
 #   BENCHTIME=0.5s scripts/bench.sh  # shorter runs (CI)
 #
-# The default output name tracks the PR trajectory (BENCH_<pr>.json);
-# bump BENCH_DEFAULT when cutting a new snapshot generation. The output
-# records ns/op, B/op and allocs/op for every benchmark matched by
-# BENCH_PATTERN across BENCH_PACKAGES (the root solvers plus the serving
-# layer and its cache). Comparing two commits is a diff of their
-# BENCH_*.json files (scripts/bench_diff.sh automates it); CI uploads the
-# fresh file as a build artifact on every run.
+# The default output name tracks the PR trajectory: the next generation
+# after the highest committed BENCH_<n>.json (so no one has to bump a
+# constant when cutting a snapshot, and CI never collides with a
+# committed file). The output records ns/op, B/op and allocs/op for
+# every benchmark matched by BENCH_PATTERN across BENCH_PACKAGES (the
+# root solvers plus the serving layer, its cache and the cluster fleet).
+# Comparing two commits is a diff of their BENCH_*.json files
+# (scripts/bench_diff.sh automates it); CI uploads the fresh file as a
+# build artifact on every run.
 set -euo pipefail
 
 # Resolve a caller-supplied output path against the caller's directory
 # BEFORE changing into the repo root, so `scripts/bench.sh out.json`
 # writes where the caller stands; the default lands in the repo root.
-BENCH_DEFAULT="BENCH_6.json"
 OUT="${BENCH_OUT:-${1:-}}"
 case "$OUT" in
 "" | /*) ;;
 *) OUT="$PWD/$OUT" ;;
 esac
 cd "$(dirname "$0")/.."
+
+# The default name is one generation past the highest committed snapshot.
+latest=$(ls BENCH_*.json 2>/dev/null | sed -En 's/^BENCH_([0-9]+)\.json$/\1/p' | sort -n | tail -1)
+BENCH_DEFAULT="BENCH_$((${latest:-0} + 1)).json"
 [ -n "$OUT" ] || OUT="$BENCH_DEFAULT"
+# A directory argument gets the derived name inside it.
+[ -d "$OUT" ] && OUT="$OUT/$BENCH_DEFAULT"
 BENCHTIME="${BENCHTIME:-1s}"
-PATTERN="${BENCH_PATTERN:-^(BenchmarkExactMinPeriod|BenchmarkExactParetoFront|BenchmarkExactLargeFewClass|BenchmarkPortfolioRace|BenchmarkFullHetPortfolioRace|BenchmarkSplitFullyHet|BenchmarkHeuristicSolve|BenchmarkParetoSweep|BenchmarkServeSolve|BenchmarkServeBatch|BenchmarkServeSweep|BenchmarkCacheGetHitParallel|BenchmarkCacheDoHitParallel|BenchmarkCacheChurnParallel)$}"
-PACKAGES="${BENCH_PACKAGES:-. ./internal/service ./internal/service/cache}"
+PATTERN="${BENCH_PATTERN:-^(BenchmarkExactMinPeriod|BenchmarkExactParetoFront|BenchmarkExactLargeFewClass|BenchmarkPortfolioRace|BenchmarkFullHetPortfolioRace|BenchmarkSplitFullyHet|BenchmarkHeuristicSolve|BenchmarkParetoSweep|BenchmarkServeSolve|BenchmarkServeBatch|BenchmarkServeSweep|BenchmarkCacheGetHitParallel|BenchmarkCacheDoHitParallel|BenchmarkCacheChurnParallel|BenchmarkFleetServe|BenchmarkFleetForward)$}"
+PACKAGES="${BENCH_PACKAGES:-. ./internal/service ./internal/service/cache ./internal/cluster}"
 
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT

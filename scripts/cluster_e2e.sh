@@ -1,0 +1,117 @@
+#!/usr/bin/env bash
+# cluster_e2e.sh — the fleet lane's end-to-end smoke: boot a real 3-node
+# pipeschedd cluster plus a single-node reference on loopback, drive a
+# deterministic Zipf-skewed stream through pipeschedbench with -verify
+# (every fleet response byte-compared against the reference), then kill
+# one daemon and run a second phase against the survivors. Both phases
+# must finish with zero client-visible errors and zero mismatches —
+# pipeschedbench exits 1 otherwise, and so does this script.
+#
+# Usage:  scripts/cluster_e2e.sh
+# Env:    REQUESTS (default 400)   requests per phase
+#         SEED     (default 7)     workload/key-sequence seed
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+REQUESTS="${REQUESTS:-400}"
+SEED="${SEED:-7}"
+
+workdir="$(mktemp -d)"
+pids=()
+cleanup() {
+    for pid in "${pids[@]:-}"; do
+        kill "$pid" 2>/dev/null || true
+    done
+    wait 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== building pipeschedd and pipeschedbench"
+go build -o "$workdir/pipeschedd" ./cmd/pipeschedd
+go build -o "$workdir/pipeschedbench" ./cmd/pipeschedbench
+
+# pick_ports: choose N distinct loopback ports that nothing is listening
+# on right now. The bind race between the probe and the daemon's own
+# listen is real but negligible on a CI runner; a daemon that does lose
+# the race exits non-zero and fails the wait below loudly.
+pick_ports() {
+    local n=$1 found=0 port
+    local chosen=()
+    while [ "$found" -lt "$n" ]; do
+        port=$((20000 + RANDOM % 20000))
+        case " ${chosen[*]:-} " in *" $port "*) continue ;; esac
+        # The probe runs in a subshell, so no fd leaks either way; a
+        # refused connection means nothing is listening there.
+        if ! (exec 3<>"/dev/tcp/127.0.0.1/$port") 2>/dev/null; then
+            chosen+=("$port")
+            found=$((found + 1))
+        fi
+    done
+    echo "${chosen[@]}"
+}
+
+read -r P1 P2 P3 PREF <<<"$(pick_ports 4)"
+FLEET="http://127.0.0.1:$P1,http://127.0.0.1:$P2,http://127.0.0.1:$P3"
+
+start_daemon() { # start_daemon logfile args...
+    local log=$1
+    shift
+    "$workdir/pipeschedd" "$@" >"$log" 2>&1 &
+    pids+=($!)
+}
+
+wait_healthy() { # wait_healthy url
+    local url=$1 i
+    for i in $(seq 1 100); do
+        if curl -sf "$url/healthz" >/dev/null 2>&1; then
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "daemon at $url never became healthy; logs:" >&2
+    cat "$workdir"/*.log >&2
+    return 1
+}
+
+echo "== starting 3-node fleet ($FLEET) and reference (127.0.0.1:$PREF)"
+i=0
+for port in "$P1" "$P2" "$P3"; do
+    i=$((i + 1))
+    start_daemon "$workdir/node$i.log" \
+        -addr "127.0.0.1:$port" \
+        -peers "$FLEET" \
+        -advertise "http://127.0.0.1:$port" \
+        -peer-timeout 2s -peer-backoff 1s
+done
+start_daemon "$workdir/ref.log" -addr "127.0.0.1:$PREF"
+
+for port in "$P1" "$P2" "$P3" "$PREF"; do
+    wait_healthy "http://127.0.0.1:$port"
+done
+
+echo "== phase 1: full fleet, $REQUESTS requests, bit-compared against the reference"
+"$workdir/pipeschedbench" \
+    -targets "$FLEET" \
+    -verify "http://127.0.0.1:$PREF" \
+    -requests "$REQUESTS" -seed "$SEED" -keys 64 -zipf-s 1.2 \
+    -stages 6 -procs 4 -workers 8
+
+echo "== killing node 3 (port $P3) mid-fleet"
+kill "${pids[2]}"
+wait "${pids[2]}" 2>/dev/null || true
+
+echo "== phase 2: survivors only, dead owner must degrade to local solves"
+"$workdir/pipeschedbench" \
+    -targets "http://127.0.0.1:$P1,http://127.0.0.1:$P2" \
+    -verify "http://127.0.0.1:$PREF" \
+    -requests "$REQUESTS" -seed $((SEED + 1)) -keys 64 -zipf-s 1.2 \
+    -stages 6 -procs 4 -workers 8
+
+echo "== survivor cluster metrics"
+for port in "$P1" "$P2"; do
+    echo "-- 127.0.0.1:$port"
+    curl -sf "http://127.0.0.1:$port/metrics" | tr ',' '\n' | grep -E 'forwarded|remote|fallback|peers' || true
+done
+
+echo "== cluster e2e passed: both phases clean, one peer killed, zero client-visible errors"

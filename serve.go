@@ -4,6 +4,7 @@ import (
 	"context"
 	"net"
 
+	"pipesched/internal/cluster"
 	"pipesched/internal/service"
 )
 
@@ -28,6 +29,18 @@ type (
 	ServerOptions = service.Options
 	// ServerMetrics is the snapshot served by GET /metrics.
 	ServerMetrics = service.MetricsSnapshot
+	// ServerClusterConfig opts a Server into peer-aware fleet serving
+	// via ServerOptions.Cluster: a Topology built by NewClusterTopology
+	// plus the forward timeout, peer backoff and snapshot bound (zero
+	// values select the cluster defaults). Each canonical cache key has
+	// one owning node; local misses forward to the owner and install
+	// the relayed bytes as a second-tier hit, an unreachable owner
+	// degrades to a local solve, and joining nodes warm from their
+	// peers' hottest entries.
+	ServerClusterConfig = service.ClusterConfig
+	// ClusterTopology is the fleet view: the full normalized peer list
+	// and this node's position in it. Build it with NewClusterTopology.
+	ClusterTopology = cluster.Topology
 )
 
 // NewServer builds the HTTP solver service: POST /v1/solve, /v1/batch and
@@ -39,6 +52,18 @@ type (
 // canonically hashed into a sharded, bounded LRU result cache; concurrent
 // identical requests collapse to one underlying solve.
 func NewServer(opts ServerOptions) *Server { return service.New(opts) }
+
+// NewClusterTopology validates a fleet description for peer-aware
+// serving: peers is the base URL of every node in the fleet (this node
+// included), advertise is this node's own entry. URLs are normalized
+// (scheme defaulted to http, host lowercased, trailing slash dropped)
+// before comparison, the list must be duplicate-free, and advertise
+// must appear in it. Every node must be given the same peer list —
+// ownership is rendezvous-hashed over the sorted normalized URLs, so
+// identical lists mean identical ownership everywhere.
+func NewClusterTopology(peers []string, advertise string) (*ClusterTopology, error) {
+	return cluster.NewTopology(peers, advertise)
+}
 
 // Serve listens on addr and serves the solver API until ctx is cancelled,
 // then shuts down gracefully: in-flight requests get ServerOptions.
