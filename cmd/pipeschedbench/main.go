@@ -2,7 +2,7 @@
 // deterministic, Zipf-skewed stream of solve requests at one or more
 // pipeschedd daemons and reports achieved QPS, the X-Cache hit-tier
 // breakdown (hit / miss / collapsed / remote-hit / remote-miss /
-// fallback) and latency percentiles.
+// hedged-hit / fallback) and latency percentiles.
 //
 // The instance universe (-keys seeded instances) and the key sequence
 // (seeded Zipf skew, round-robin target choice) are fully reproducible
@@ -16,6 +16,18 @@
 // (the pacer is retuned mid-run, no generator restart), and -rate 0
 // runs closed-loop as fast as the -workers complete.
 //
+// -scenario FILE replays a multi-phase traffic shape instead of a
+// single run: each phase overlays duration/rate/ramp/skew onto the base
+// flags, phases run in order with optional pauses between (an operator
+// window for restarts), and the per-phase reports are printed in
+// sequence — scripts/scenarios/ ships diurnal, flash-crowd and
+// rolling-restart shapes. -chaos FILE routes the load stream through a
+// fault-injecting transport under a seeded internal/faultinject
+// schedule: injected drops, latency and synthesized statuses are
+// counted separately in the report (never as errors — they are the
+// harness's own doing), and -verify always uses a clean client so
+// bit-identity is asserted on real responses only.
+//
 // Examples:
 //
 //	# closed-loop, 3-node fleet, 30s, heavy skew
@@ -28,6 +40,10 @@
 //
 //	# open loop ramping 500 -> 5000 req/s
 //	pipeschedbench -targets http://:8080 -rate 500 -rate-final 5000 -duration 60s
+//
+//	# the flash-crowd scenario with client-side chaos on top
+//	pipeschedbench -targets http://:8080,http://:8081 \
+//	    -scenario scripts/scenarios/flash-crowd.json -chaos chaos.json
 //
 // Exit codes follow the shared contract: 0 on a clean run, 1 when the
 // run saw client-visible errors or verify mismatches (the counts are in
@@ -48,6 +64,7 @@ import (
 	"time"
 
 	"pipesched/internal/cli"
+	"pipesched/internal/faultinject"
 	"pipesched/internal/loadgen"
 	"pipesched/internal/workload"
 )
@@ -93,6 +110,8 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) error {
 		bound     = fs.Float64("bound", 1e6, "solve bound sent with every request")
 		timeout   = fs.Duration("timeout", 30*time.Second, "per-request timeout")
 		jsonOut   = fs.Bool("json", false, "emit the report as JSON instead of text")
+		scenario  = fs.String("scenario", "", "scenario file (scripts/scenarios/*.json): run its phases in order, one report each")
+		chaos     = fs.String("chaos", "", "fault schedule file: inject client-side latency/drops/statuses under a seeded script (injected faults are reported, never counted as errors)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return cli.WrapParse(err)
@@ -133,6 +152,47 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) error {
 		Bound:        *bound,
 		Timeout:      *timeout,
 	}
+	if *chaos != "" {
+		sched, err := faultinject.LoadSchedule(*chaos)
+		if err != nil {
+			return cli.Usagef("%v", err)
+		}
+		cfg.Chaos = sched
+	}
+
+	if *scenario != "" {
+		sc, err := loadgen.LoadScenario(*scenario)
+		if err != nil {
+			return cli.Usagef("%v", err)
+		}
+		reports, err := loadgen.RunScenario(ctx, cfg, sc)
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			enc := json.NewEncoder(out)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(reports); err != nil {
+				return err
+			}
+		} else {
+			fmt.Fprintf(out, "scenario  %s (%d phases)\n", sc.Name, len(sc.Phases))
+			for _, pr := range reports {
+				fmt.Fprintf(out, "\n-- phase %s\n", pr.Phase)
+				printReport(out, pr.Report)
+			}
+		}
+		dirty := errRunDirty{}
+		for _, pr := range reports {
+			dirty.errors += pr.Report.Errors
+			dirty.mismatches += pr.Report.Mismatches
+		}
+		if dirty.errors > 0 || dirty.mismatches > 0 {
+			return &dirty
+		}
+		return nil
+	}
+
 	rep, err := loadgen.Run(ctx, cfg)
 	if err != nil {
 		return err
@@ -174,7 +234,7 @@ func parseFamily(s string) (workload.Family, error) {
 func printReport(out io.Writer, rep *loadgen.Report) {
 	fmt.Fprintf(out, "targets   %d\n", rep.Targets)
 	fmt.Fprintf(out, "sent      %d in %.2fs (%.0f req/s)\n", rep.Sent, rep.ElapsedSeconds, rep.QPS)
-	fmt.Fprintf(out, "errors    %d    mismatches %d\n", rep.Errors, rep.Mismatches)
+	fmt.Fprintf(out, "errors    %d    mismatches %d    injected %d\n", rep.Errors, rep.Mismatches, rep.Injected)
 	fmt.Fprintf(out, "tiers     %s\n", countMap(rep.Tiers))
 	fmt.Fprintf(out, "statuses  %s\n", countMap(rep.Statuses))
 	l := rep.Latency

@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"os"
 	"strings"
 	"testing"
+	"time"
 
 	"pipesched/internal/workload"
 )
@@ -24,6 +26,10 @@ func TestDaemonPeerFlagValidation(t *testing.T) {
 		{"bad-peer-url", []string{"-peers", "ftp://a:1", "-advertise", "ftp://a:1"}},
 		{"zero-peer-timeout", []string{"-peer-timeout", "0s"}},
 		{"negative-peer-backoff", []string{"-peer-backoff", "-1s"}},
+		{"peers-and-peers-file", []string{"-peers", "http://a:1", "-peers-file", "x", "-advertise", "http://a:1"}},
+		{"watch-without-file", []string{"-peers", "http://a:1,http://b:2", "-advertise", "http://a:1", "-peers-watch", "1s"}},
+		{"negative-replicas", []string{"-peers", "http://a:1,http://b:2", "-advertise", "http://a:1", "-replicas", "-1"}},
+		{"missing-peers-file", []string{"-peers-file", "/nonexistent/peers.txt", "-advertise", "http://a:1"}},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			var out, errOut bytes.Buffer
@@ -62,10 +68,14 @@ func TestDaemonFleetForwards(t *testing.T) {
 
 	var shutdowns []func() error
 	for _, addr := range []string{addrA, addrB} {
+		// -replicas 1: in a two-node fleet the default R=2 puts self in
+		// every key's replica set, and this test is about the forward
+		// wiring.
 		_, shutdown := startDaemon(t,
 			"-addr", addr,
 			"-peers", fleet,
 			"-advertise", "http://"+addr,
+			"-replicas", "1",
 			"-peer-timeout", "500ms",
 			"-peer-backoff", "200ms",
 			"-no-warmup",
@@ -152,5 +162,120 @@ func TestDaemonFleetForwards(t *testing.T) {
 	}
 	if snap.Cluster.Forwarded == 0 {
 		t.Fatal("forward not reflected in metrics")
+	}
+}
+
+// TestDaemonPeersFileReload drives dynamic membership through the full
+// daemon surface: two daemons share a -peers-file and watch it at a
+// short poll interval; appending a third member must swap both onto the
+// 3-peer topology without a restart, and the reload must be visible in
+// /metrics. The new member never comes up — its snapshot pull failing is
+// exactly the degraded-handoff path a real join races against, and it
+// must not block the swap.
+func TestDaemonPeersFileReload(t *testing.T) {
+	addrA, addrB, addrC := reservePort(t), reservePort(t), reservePort(t)
+	peersPath := t.TempDir() + "/peers.txt"
+	writePeers := func(addrs ...string) {
+		var b strings.Builder
+		b.WriteString("# fleet members\n")
+		for _, a := range addrs {
+			b.WriteString("http://" + a + "\n")
+		}
+		if err := os.WriteFile(peersPath, []byte(b.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writePeers(addrA, addrB)
+
+	var shutdowns []func() error
+	for _, addr := range []string{addrA, addrB} {
+		_, shutdown := startDaemon(t,
+			"-addr", addr,
+			"-peers-file", peersPath,
+			"-peers-watch", "50ms",
+			"-advertise", "http://"+addr,
+			"-peer-timeout", "500ms",
+			"-peer-backoff", "200ms",
+			"-no-warmup",
+		)
+		shutdowns = append(shutdowns, shutdown)
+	}
+	defer func() {
+		for _, s := range shutdowns {
+			if err := s(); err != nil {
+				t.Errorf("shutdown: %v", err)
+			}
+		}
+	}()
+
+	clusterSnap := func(base string) (peers int, reloads uint64) {
+		resp, err := http.Get(base + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var snap struct {
+			Cluster *struct {
+				Peers   int    `json:"peers"`
+				Reloads uint64 `json:"reloads"`
+			} `json:"cluster"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&snap)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.Cluster == nil {
+			t.Fatal("metrics carry no cluster section")
+		}
+		return snap.Cluster.Peers, snap.Cluster.Reloads
+	}
+	baseA, baseB := "http://"+addrA, "http://"+addrB
+	if peers, reloads := clusterSnap(baseA); peers != 2 || reloads != 0 {
+		t.Fatalf("before reload: peers=%d reloads=%d, want 2/0", peers, reloads)
+	}
+
+	// mtime granularity can swallow a rewrite that lands in the same
+	// instant the file was created; a short sleep keeps the stamp distinct.
+	time.Sleep(20 * time.Millisecond)
+	writePeers(addrA, addrB, addrC)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for _, base := range []string{baseA, baseB} {
+		for {
+			peers, reloads := clusterSnap(base)
+			if peers == 3 && reloads == 1 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s never picked up the peers-file change: peers=%d reloads=%d", base, peers, reloads)
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+	}
+
+	// The grown fleet must still serve: solve one instance on each live
+	// node and require identical bytes (the absent third member only ever
+	// costs a failed forward attempt, never an error).
+	in := workload.Generate(workload.Config{Family: workload.E1, Stages: 6, Processors: 4, Seed: 3})
+	body, err := json.Marshal(map[string]any{"pipeline": in.App, "platform": in.Plat, "bound": 1e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bodies [][]byte
+	for _, base := range []string{baseA, baseB} {
+		resp, err := http.Post(base+"/v1/solve", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d after reload: %s", base, resp.StatusCode, buf.String())
+		}
+		bodies = append(bodies, buf.Bytes())
+	}
+	if !bytes.Equal(bodies[0], bodies[1]) {
+		t.Fatalf("post-reload daemons disagree:\n%s\nvs\n%s", bodies[0], bodies[1])
 	}
 }

@@ -28,6 +28,32 @@
 // The daemon drains gracefully on SIGINT/SIGTERM: the listener closes
 // immediately, in-flight requests get -drain-timeout to finish.
 //
+// The peer flags opt the daemon into a fleet sharing one replicated
+// result-cache tier (see internal/cluster for the failure semantics):
+//
+//	-peers URLS           static fleet: comma-separated base URLs
+//	-peers-file PATH      dynamic fleet: URLs from a file (one per line,
+//	                      #-comments), reloaded on SIGHUP with
+//	                      snapshot-driven key handoff
+//	-peers-watch DUR      also poll -peers-file for changes (0 = SIGHUP only)
+//	-advertise URL        this node's own entry in the peer list (required)
+//	-replicas N           replica owners per key (default 2); a miss
+//	                      forwards to the first available replica
+//	-peer-timeout DUR     per-forward deadline (default 2s)
+//	-hedge-after DUR      race the next replica when the first has not
+//	                      answered within this delay (default
+//	                      peer-timeout/4; negative disables hedging)
+//	-peer-backoff DUR     initial down window after a failed or 5xx
+//	                      exchange (default 5s)
+//	-peer-max-backoff DUR cap for the exponential down window (default 60s)
+//	-snapshot-entries N   cap per snapshot pull (default 1024)
+//	-no-warmup            skip the background warm-up on boot
+//
+// Example 3-node fleet member:
+//
+//	pipeschedd -addr :8080 -advertise http://10.0.0.1:8080 \
+//	    -peers-file /etc/pipesched/peers.txt -peers-watch 30s
+//
 // Profiling is opt-in: -pprof ADDR exposes net/http/pprof on a separate
 // listener (never on the service port), so production deployments can
 // attach a profiler on localhost without exposing /debug to API clients:
@@ -86,11 +112,16 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) error {
 		quiet          = fs.Bool("quiet", false, "suppress the serving log")
 		pprofAddr      = fs.String("pprof", "", "expose net/http/pprof on this separate address (empty = disabled)")
 		peers          = fs.String("peers", "", "comma-separated base URLs of the whole fleet, this node included (empty = single-node)")
-		advertise      = fs.String("advertise", "", "this node's base URL as it appears in -peers (required with -peers)")
-		peerTimeout    = fs.Duration("peer-timeout", cluster.DefaultForwardTimeout, "owner-forward round-trip bound; a slower peer is marked down and the solve runs locally")
-		peerBackoff    = fs.Duration("peer-backoff", cluster.DefaultBackoff, "how long a failed peer stays down before forwards resume")
-		snapshotMax    = fs.Int("snapshot-entries", 0, "hot cache entries served to (and accepted from) each peer at warm-up (0 = default 1024)")
+		peersFile      = fs.String("peers-file", "", "file holding the fleet's base URLs (one per line, #-comments); reloaded on SIGHUP, enables dynamic membership")
+		advertise      = fs.String("advertise", "", "this node's base URL as it appears in the peer list (required with -peers/-peers-file)")
+		replicas       = fs.Int("replicas", 0, "replica owners per key; a miss forwards to the first available replica (0 = default 2)")
+		peerTimeout    = fs.Duration("peer-timeout", cluster.DefaultForwardTimeout, "replica-forward round-trip bound; a slower peer is marked down and the solve runs locally")
+		hedgeAfter     = fs.Duration("hedge-after", 0, "fire the same forward at the next replica when the first has not answered within this delay (0 = peer-timeout/4, negative = no hedging)")
+		peerBackoff    = fs.Duration("peer-backoff", cluster.DefaultBackoff, "base down window after a peer failure; consecutive failures back off exponentially up to -peer-max-backoff")
+		peerMaxBackoff = fs.Duration("peer-max-backoff", cluster.DefaultMaxBackoff, "cap on the exponential peer down window")
+		snapshotMax    = fs.Int("snapshot-entries", 0, "hot cache entries served to (and accepted from) each peer at warm-up and handoff (0 = default 1024)")
 		noWarmup       = fs.Bool("no-warmup", false, "skip the background cache warm-up from peers at start")
+		peersWatch     = fs.Duration("peers-watch", 0, "poll -peers-file for changes at this interval and reload without a signal (0 = SIGHUP only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return cli.WrapParse(err)
@@ -101,26 +132,49 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) error {
 	if *drainTimeout < 0 || *requestTimeout < 0 {
 		return cli.Usagef("timeouts must be non-negative")
 	}
-	if *peerTimeout <= 0 || *peerBackoff <= 0 {
+	if *peerTimeout <= 0 || *peerBackoff <= 0 || *peerMaxBackoff <= 0 {
 		return cli.Usagef("peer timeouts must be positive")
 	}
-	var clusterCfg *service.ClusterConfig
-	if *peers != "" {
-		if *advertise == "" {
-			return cli.Usagef("-peers requires -advertise")
+	if *replicas < 0 {
+		return cli.Usagef("-replicas must be non-negative")
+	}
+	if *peers != "" && *peersFile != "" {
+		return cli.Usagef("-peers and -peers-file are mutually exclusive")
+	}
+	if *peersWatch < 0 {
+		return cli.Usagef("-peers-watch must be non-negative")
+	}
+	if *peersWatch > 0 && *peersFile == "" {
+		return cli.Usagef("-peers-watch requires -peers-file")
+	}
+	peerList := strings.Split(*peers, ",")
+	if *peersFile != "" {
+		data, err := os.ReadFile(*peersFile)
+		if err != nil {
+			return cli.Usagef("%v", err)
 		}
-		topo, err := cluster.NewTopology(strings.Split(*peers, ","), *advertise)
+		peerList = cluster.ParsePeersFile(data)
+	}
+	var clusterCfg *service.ClusterConfig
+	if *peers != "" || *peersFile != "" {
+		if *advertise == "" {
+			return cli.Usagef("-peers/-peers-file requires -advertise")
+		}
+		topo, err := cluster.NewTopology(peerList, *advertise)
 		if err != nil {
 			return cli.Usagef("%v", err)
 		}
 		clusterCfg = &service.ClusterConfig{
 			Topology:        topo,
+			Replicas:        *replicas,
 			ForwardTimeout:  *peerTimeout,
+			HedgeAfter:      *hedgeAfter,
 			PeerBackoff:     *peerBackoff,
+			MaxPeerBackoff:  *peerMaxBackoff,
 			SnapshotEntries: *snapshotMax,
 		}
 	} else if *advertise != "" {
-		return cli.Usagef("-advertise requires -peers")
+		return cli.Usagef("-advertise requires -peers or -peers-file")
 	}
 
 	logger := log.New(out, "", log.LstdFlags)
@@ -168,7 +222,76 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) error {
 			logger.Printf("pipeschedd: warm-up imported %d entries", n)
 		}()
 	}
+	if clusterCfg != nil && *peersFile != "" {
+		go watchPeersFile(ctx, srv, logger, *peersFile, *advertise, *peersWatch)
+	}
 	return srv.Serve(ctx, ln)
+}
+
+// watchPeersFile is the dynamic-membership loop: it re-reads the peers
+// file on SIGHUP (and, with -peers-watch, whenever the file's
+// mtime/size changes) and swaps the new topology in atomically, pulling
+// newly-owned keys from the fleet in the same pass. A reload that fails
+// to parse or validate is logged and ignored — the serving view never
+// regresses to a broken peer list.
+func watchPeersFile(ctx context.Context, srv *service.Server, logger *log.Logger, path, advertise string, poll time.Duration) {
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+
+	var tick <-chan time.Time
+	if poll > 0 {
+		t := time.NewTicker(poll)
+		defer t.Stop()
+		tick = t.C
+	}
+	stamp := func() string {
+		fi, err := os.Stat(path)
+		if err != nil {
+			return ""
+		}
+		return fmt.Sprintf("%d/%d", fi.ModTime().UnixNano(), fi.Size())
+	}
+	last := stamp()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-hup:
+		case <-tick:
+			if s := stamp(); s == "" || s == last {
+				continue
+			}
+		}
+		last = stamp()
+		reloadPeersFile(ctx, srv, logger, path, advertise)
+	}
+}
+
+// reloadPeersFile performs one reload attempt: parse, diff, swap,
+// handoff.
+func reloadPeersFile(ctx context.Context, srv *service.Server, logger *log.Logger, path, advertise string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		logger.Printf("pipeschedd: peers reload: %v", err)
+		return
+	}
+	topo, err := cluster.NewTopology(cluster.ParsePeersFile(data), advertise)
+	if err != nil {
+		logger.Printf("pipeschedd: peers reload rejected: %v", err)
+		return
+	}
+	if cur := srv.Topology(); cur != nil && strings.Join(cur.Peers(), ",") == strings.Join(topo.Peers(), ",") {
+		return // same fleet; nothing to swap
+	}
+	rctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	n, err := srv.ReloadTopology(rctx, topo)
+	if err != nil {
+		logger.Printf("pipeschedd: topology reloaded (%d peers), handoff incomplete (%d entries): %v", topo.Size(), n, err)
+		return
+	}
+	logger.Printf("pipeschedd: topology reloaded (%d peers), handoff imported %d entries", topo.Size(), n)
 }
 
 // servePprof starts the opt-in profiling listener: an explicit mux

@@ -218,35 +218,63 @@
 // # Cluster serving: the peer-aware fleet
 //
 // internal/cluster scales the daemon horizontally. Started with
-// -peers/-advertise, every pipeschedd owns a slice of the canonical key
-// space, assigned by rendezvous hashing over the static, normalized
-// peer list — no coordinator, no external store, and removing a node
-// reassigns only the keys it owned. A local miss on a peer-owned key
-// forwards the request to its owner (bounded by a forward timeout,
-// loop-safe via a forward header); the owner's rendered bytes are
-// relayed verbatim and installed locally as a second-tier hit, and the
-// X-Cache header gains remote-hit, remote-miss and fallback tiers. An
-// unreachable owner is never a client-visible error: the node solves
-// locally and marks the peer down for a backoff window, during which
-// its keys are served by local solves. Joining nodes warm their cache
-// in the background from each peer's hottest entries over a bounded
-// length-prefixed snapshot format (GET /v1/peer/snapshot, fuzzed
-// nightly) — a cold node is already correct, warm-up only makes it fast
-// sooner. Solvers are deterministic and responses are canonical
-// rendered bytes, so a fleet answers byte-identically to a single node
-// whichever member serves — pinned by an in-process fleet harness under
-// the race detector and by scripts/cluster_e2e.sh (the cluster-e2e CI
-// job), which also kills a daemon mid-run and requires zero
-// client-visible errors from the survivors.
+// -peers/-advertise (or a watched -peers-file), every canonical cache
+// key gets an ordered replica set of -replicas owners (default 2),
+// assigned by rendezvous hashing over the normalized peer list — no
+// coordinator, no external store, and a membership change reassigns
+// only the keys whose replica sets change. A local miss on a
+// non-replica forwards the request to the first available replica
+// (bounded by a forward timeout, loop-safe via a forward header); the
+// replica's rendered bytes are relayed verbatim and installed locally
+// as a second-tier hit, and the X-Cache header gains remote-hit,
+// remote-miss, hedged-hit and fallback tiers.
+//
+// The failure semantics are explicit. Forwards are hedged: when the
+// first replica has not answered within -hedge-after, the same forward
+// races the next replica and the first usable response wins; the loser
+// is cancelled, and cancellation never counts against its health. A
+// failed attempt skips straight to the next replica. Peer health is
+// capped exponential backoff with deterministic jitter — consecutive
+// failures double the down window up to -peer-max-backoff, a completed
+// exchange resets it, and consecutive 5xx responses mark a peer down
+// just like transport failures. Only when every replica is down does
+// the node fall back to a local solve: a dead or misbehaving peer is
+// never a client-visible error, and with R>=2 a single death costs no
+// cache coverage. Membership is dynamic: SIGHUP (or a -peers-watch
+// poll) atomically swaps a new topology, and the node installs peer
+// snapshot entries for keys it just became a replica for, so ownership
+// changes hand off warm state. Joining nodes warm their cache the same
+// way (GET /v1/peer/snapshot, a bounded length-prefixed format fuzzed
+// nightly, as are the peers-file parser and reload ownership agreement)
+// — a cold node is already correct, warm-up only makes it fast sooner.
+// Solvers are deterministic and responses are canonical rendered bytes,
+// so a fleet answers byte-identically to a single node whichever member
+// serves and whatever faults its peers suffer — pinned by an in-process
+// fleet-and-chaos harness under the race detector and by
+// scripts/cluster_e2e.sh (the cluster-e2e CI job), which drives a
+// verified stream through seeded chaos, a peer kill, a rolling restart
+// and a SIGHUP membership shrink, requiring zero client-visible errors
+// in every phase.
+//
+// internal/faultinject supplies the chaos: seeded, scriptable fault
+// schedules (latency, drops, synthesized 5xx, time windows, flapping
+// duty cycles, per-host targeting) applied as an http.RoundTripper or a
+// reverse proxy; cmd/chaosproxy packages the proxy so a fleet's peer
+// traffic can cross a schedule while clients reach daemons directly.
+// Injected failures always carry the X-Fault-Injected marker.
 //
 // cmd/pipeschedbench is the matching load generator: deterministic
 // Zipf-skewed solve streams with atomic rate-setter arrival shaping
 // (fixed or linearly ramped open-loop rates, or closed-loop), QPS /
-// cache-tier / latency-percentile reporting, and a -verify mode that
-// byte-compares every fleet response against a reference daemon. The
-// façade mirrors the surface for embedding: NewClusterTopology builds
-// the validated fleet view and ServerOptions.Cluster (a
-// ServerClusterConfig) opts an embedded Server into peer-aware serving.
+// cache-tier / latency-percentile reporting, a -verify mode that
+// byte-compares every fleet response against a reference daemon, a
+// -chaos mode that injects scheduled faults into the load stream itself
+// (counted separately, verified on a clean client), and -scenario
+// scripts replaying multi-phase traffic shapes (scripts/scenarios/:
+// diurnal cycle, flash crowd, rolling restart). The façade mirrors the
+// surface for embedding: NewClusterTopology builds the validated fleet
+// view and ServerOptions.Cluster (a ServerClusterConfig) opts an
+// embedded Server into peer-aware serving.
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-versus-measured comparison of every figure and table.

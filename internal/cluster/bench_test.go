@@ -4,9 +4,12 @@ import (
 	"context"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
+	"time"
 
 	"pipesched/internal/cluster"
+	"pipesched/internal/faultinject"
 	"pipesched/internal/loadgen"
 	"pipesched/internal/service"
 )
@@ -83,9 +86,11 @@ func BenchmarkFleetForward(b *testing.B) {
 		if i == 0 {
 			entries = -1 // the measured node never caches: every request forwards
 		}
+		// R=1: with the default R=2 a two-node fleet puts self in every
+		// replica set and nothing would forward.
 		tss[i].Config.Handler = service.New(service.Options{
 			CacheEntries: entries,
-			Cluster:      &service.ClusterConfig{Topology: topo},
+			Cluster:      &service.ClusterConfig{Topology: topo, Replicas: 1},
 		})
 		tss[i].Start()
 	}
@@ -116,6 +121,144 @@ func BenchmarkFleetForward(b *testing.B) {
 		status, tier, _ := postSolve(b, urls[0], bodies[i%len(bodies)])
 		if status != http.StatusOK || tier != "remote-hit" {
 			b.Fatalf("iteration %d: status %d tier %q, want a remote-hit forward", i, status, tier)
+		}
+	}
+}
+
+// BenchmarkFleetHedgedForward prices the hedge path in steady state: the
+// rank-0 replica of every measured key sits behind an injected latency
+// far past the hedge delay, so each forward waits out hedge-after, races
+// a second attempt at the rank-1 replica, takes its answer and cancels
+// the laggard. The delta against BenchmarkFleetForward is what a hedged
+// hit costs over a clean one — the price of tail-latency insurance when
+// a replica is slow but not down.
+func BenchmarkFleetHedgedForward(b *testing.B) {
+	var tss [3]*httptest.Server
+	var urls [3]string
+	for i := range tss {
+		tss[i] = httptest.NewUnstartedServer(nil)
+		urls[i] = "http://" + tss[i].Listener.Addr().String()
+		defer tss[i].Close()
+	}
+	// Node 2's peer traffic crosses an injected 25ms; hedge fires at 1ms.
+	slow := &faultinject.Schedule{Seed: 1, Rules: []faultinject.Rule{
+		{Name: "lag", Hosts: []string{strings.TrimPrefix(urls[2], "http://")}, LatencyMS: 25},
+	}}
+	for i := range tss {
+		topo, err := cluster.NewTopology(urls[:], urls[i])
+		if err != nil {
+			b.Fatal(err)
+		}
+		entries := 0
+		cfg := &service.ClusterConfig{Topology: topo, HedgeAfter: time.Millisecond}
+		if i == 0 {
+			entries = -1 // the measured node never caches: every request forwards
+			cfg.Transport = faultinject.NewTransport(nil, slow)
+		}
+		tss[i].Config.Handler = service.New(service.Options{CacheEntries: entries, Cluster: cfg})
+		tss[i].Start()
+	}
+
+	// Warm both replicas, then keep the keys whose rank-0 owner is the
+	// slow node: their probes come back hedged.
+	var bodies [][]byte
+	for seed := int64(100); seed < 300 && len(bodies) < 8; seed++ {
+		body := solveBody(b, seed)
+		for _, u := range []string{urls[1], urls[2]} {
+			if status, _, _ := postLocal(b, u, body); status != http.StatusOK {
+				b.Fatalf("warm post: status %d", status)
+			}
+		}
+		status, tier, _ := postSolve(b, urls[0], body)
+		if status != http.StatusOK {
+			b.Fatalf("probe: status %d", status)
+		}
+		if tier == "hedged-hit" {
+			bodies = append(bodies, body)
+		}
+	}
+	if len(bodies) == 0 {
+		b.Fatal("no key hedged in 200 seeds")
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		status, tier, _ := postSolve(b, urls[0], bodies[i%len(bodies)])
+		if status != http.StatusOK || tier != "hedged-hit" {
+			b.Fatalf("iteration %d: status %d tier %q, want a hedged hit", i, status, tier)
+		}
+	}
+}
+
+// BenchmarkFleetReplicatedMiss prices replica failover in steady state: a
+// 3-node topology where one node is dead and already marked down, so
+// every measured request for a key that node owned goes straight to the
+// surviving rank-1 replica. This is the row that shows what R=2 buys —
+// a peer death degrades its keys to a normal forward against the
+// replica, not to a local fallback solve.
+func BenchmarkFleetReplicatedMiss(b *testing.B) {
+	var tss [3]*httptest.Server
+	var urls [3]string
+	for i := range tss {
+		tss[i] = httptest.NewUnstartedServer(nil)
+		urls[i] = "http://" + tss[i].Listener.Addr().String()
+		defer tss[i].Close()
+	}
+	for i := range tss {
+		topo, err := cluster.NewTopology(urls[:], urls[i])
+		if err != nil {
+			b.Fatal(err)
+		}
+		entries := 0
+		if i == 0 {
+			entries = -1
+		}
+		tss[i].Config.Handler = service.New(service.Options{
+			CacheEntries: entries,
+			// A long backoff keeps the dead peer marked down for the whole
+			// run once the first attempt fails.
+			Cluster: &service.ClusterConfig{Topology: topo, PeerBackoff: time.Minute},
+		})
+		if i != 2 {
+			tss[i].Start()
+		} else {
+			// Dead means connection-refused: an unstarted listener would
+			// still accept and park connections, which reads as slow, not
+			// down, and would never trip the health mark.
+			tss[i].Listener.Close()
+		}
+	}
+
+	// Warm the surviving replica, then keep the keys whose rank-0 owner
+	// is the corpse: the first touch hedges into it and fails over
+	// (marking it down), every later touch is a plain forward to rank 1.
+	var bodies [][]byte
+	for seed := int64(100); seed < 300 && len(bodies) < 8; seed++ {
+		body := solveBody(b, seed)
+		if status, _, _ := postLocal(b, urls[1], body); status != http.StatusOK {
+			b.Fatalf("warm post: status %d", status)
+		}
+		status, tier, _ := postSolve(b, urls[0], body)
+		if status != http.StatusOK {
+			b.Fatalf("probe: status %d", status)
+		}
+		if tier != "hedged-hit" {
+			continue // rank-0 owner is alive; not the path under test
+		}
+		if status, tier, _ = postSolve(b, urls[0], body); status != http.StatusOK || tier != "remote-hit" {
+			b.Fatalf("settled probe: status %d tier %q, want remote-hit via the replica", status, tier)
+		}
+		bodies = append(bodies, body)
+	}
+	if len(bodies) == 0 {
+		b.Fatal("no key failed over in 200 seeds")
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		status, tier, _ := postSolve(b, urls[0], bodies[i%len(bodies)])
+		if status != http.StatusOK || tier != "remote-hit" {
+			b.Fatalf("iteration %d: status %d tier %q, want a replica forward", i, status, tier)
 		}
 	}
 }

@@ -5,7 +5,9 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -24,9 +26,16 @@ const SnapshotPath = "/v1/peer/snapshot"
 const (
 	// DefaultForwardTimeout bounds one owner-forward round trip.
 	DefaultForwardTimeout = 2 * time.Second
-	// DefaultBackoff is how long a peer stays marked down after a
-	// transport failure before forwards are attempted again.
+	// DefaultBackoff is the base down window after a peer's first
+	// failure; consecutive failures double it up to DefaultMaxBackoff.
 	DefaultBackoff = 5 * time.Second
+	// DefaultMaxBackoff caps the exponential down window.
+	DefaultMaxBackoff = 60 * time.Second
+	// DefaultServerErrLimit is how many consecutive 5xx exchanges a peer
+	// may return before it is treated as down. One stray 500 under load
+	// is noise; a run of them is a sick peer that must stop absorbing
+	// forwards.
+	DefaultServerErrLimit = 3
 )
 
 // ForwardResult is the owner's answer to a proxied request.
@@ -36,42 +45,107 @@ type ForwardResult struct {
 	Body   []byte // the rendered response body, verbatim
 }
 
-// Client talks to the fleet: it forwards requests to key owners and
-// fetches warm-up snapshots, tracking per-peer health so that a dead or
-// slow peer costs at most one timeout per backoff window. All methods
-// are safe for concurrent use.
-type Client struct {
-	hc      *http.Client
-	timeout time.Duration
-	backoff time.Duration
-	// downUntil[i] holds the unix-nano instant until which peer i is
-	// considered down; 0 (or any past instant) means available. Plain
-	// atomics: a racing write merely re-marks the same failing peer.
-	downUntil []atomic.Int64
+// HedgedResult is the winning answer of a hedged forward race.
+type HedgedResult struct {
+	ForwardResult
+	Peer   int  // topology index of the replica that answered
+	Hedged bool // true when a hedge attempt (not the first replica) won
 }
 
-// NewClient builds a client for a fleet of n peers. timeout bounds each
-// forward round trip and backoff the down window after a transport
-// failure; non-positive values select the defaults. The underlying
-// http.Client reuses connections per peer, so steady-state forwarding
-// costs no handshakes.
-func NewClient(n int, timeout, backoff time.Duration) *Client {
-	if timeout <= 0 {
-		timeout = DefaultForwardTimeout
+// ClientConfig parameterises a peer Client. The zero value of every
+// field selects the documented default; only Peers is required.
+type ClientConfig struct {
+	// Peers is the fleet size the health table covers.
+	Peers int
+	// Timeout bounds each forward round trip (default
+	// DefaultForwardTimeout).
+	Timeout time.Duration
+	// Backoff is the base down window after a peer's first failure
+	// (default DefaultBackoff). Consecutive failures double the window.
+	Backoff time.Duration
+	// MaxBackoff caps the exponential window (default the larger of
+	// DefaultMaxBackoff and Backoff).
+	MaxBackoff time.Duration
+	// JitterSeed seeds the deterministic jitter added to every down
+	// window, so a fleet of nodes configured with distinct seeds does
+	// not re-probe a recovering peer in lockstep. 0 selects seed 1;
+	// callers should derive the seed from their own identity (the
+	// service layer uses the advertise URL's hash).
+	JitterSeed int64
+	// ServerErrLimit is how many consecutive completed-but-5xx
+	// exchanges mark a peer down (default DefaultServerErrLimit).
+	ServerErrLimit int
+	// Transport overrides the HTTP transport, e.g. with a fault
+	// injector in chaos tests. nil selects a pooled default.
+	Transport http.RoundTripper
+}
+
+// peerHealth is one peer's failure state. Plain atomics: a racing
+// update merely re-marks the same failing peer.
+type peerHealth struct {
+	// downUntil holds the unix-nano instant until which the peer is
+	// considered down; 0 (or any past instant) means available.
+	downUntil atomic.Int64
+	// fails counts consecutive failures, driving the exponential window.
+	fails atomic.Int32
+	// srvErrs counts consecutive completed exchanges with a 5xx status.
+	srvErrs atomic.Int32
+}
+
+// Client talks to the fleet: it forwards requests to key replicas
+// (optionally hedged) and fetches warm-up snapshots, tracking per-peer
+// health so that a dead or slow peer costs at most one timeout per
+// backoff window. All methods are safe for concurrent use.
+type Client struct {
+	hc          *http.Client
+	timeout     time.Duration
+	backoff     time.Duration
+	maxBackoff  time.Duration
+	srvErrLimit int32
+	health      []peerHealth
+
+	// jitter is the seeded source behind the backoff spread. A mutex
+	// (not an atomic) because rand.Rand is not concurrency-safe; it is
+	// touched only on the failure path.
+	jitterMu sync.Mutex
+	jitter   *rand.Rand
+}
+
+// NewClient builds a client from cfg.
+func NewClient(cfg ClientConfig) *Client {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = DefaultForwardTimeout
 	}
-	if backoff <= 0 {
-		backoff = DefaultBackoff
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = DefaultBackoff
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = DefaultMaxBackoff
+	}
+	if cfg.MaxBackoff < cfg.Backoff {
+		cfg.MaxBackoff = cfg.Backoff
+	}
+	if cfg.ServerErrLimit <= 0 {
+		cfg.ServerErrLimit = DefaultServerErrLimit
+	}
+	if cfg.JitterSeed == 0 {
+		cfg.JitterSeed = 1
+	}
+	rt := cfg.Transport
+	if rt == nil {
+		rt = &http.Transport{
+			MaxIdleConnsPerHost: 64,
+			IdleConnTimeout:     90 * time.Second,
+		}
 	}
 	return &Client{
-		hc: &http.Client{
-			Transport: &http.Transport{
-				MaxIdleConnsPerHost: 64,
-				IdleConnTimeout:     90 * time.Second,
-			},
-		},
-		timeout:   timeout,
-		backoff:   backoff,
-		downUntil: make([]atomic.Int64, n),
+		hc:          &http.Client{Transport: rt},
+		timeout:     cfg.Timeout,
+		backoff:     cfg.Backoff,
+		maxBackoff:  cfg.MaxBackoff,
+		srvErrLimit: int32(cfg.ServerErrLimit),
+		health:      make([]peerHealth, cfg.Peers),
+		jitter:      rand.New(rand.NewSource(cfg.JitterSeed)),
 	}
 }
 
@@ -79,34 +153,73 @@ func NewClient(n int, timeout, backoff time.Duration) *Client {
 func (c *Client) Timeout() time.Duration { return c.timeout }
 
 // Available reports whether peer i is currently believed reachable: a
-// peer is down only inside the backoff window after a transport failure.
+// peer is down only inside the backoff window after a failure.
 func (c *Client) Available(i int) bool {
-	return time.Now().UnixNano() >= c.downUntil[i].Load()
+	return time.Now().UnixNano() >= c.health[i].downUntil.Load()
 }
 
-// MarkDown records a transport failure against peer i, suppressing
-// forwards to it for the backoff window.
+// MarkDown records a failure against peer i, suppressing forwards to it
+// for the current backoff window: base x 2^(consecutive failures - 1),
+// capped at MaxBackoff, plus up to 50% seeded jitter so a fleet of
+// recovering nodes spreads its re-probes instead of stampeding.
 func (c *Client) MarkDown(i int) {
-	c.downUntil[i].Store(time.Now().Add(c.backoff).UnixNano())
+	n := c.health[i].fails.Add(1)
+	window := c.backoff
+	// Shift with an explicit cap: past ~32 doublings the window is
+	// saturated anyway and an unchecked shift would overflow.
+	for s := int32(1); s < n && window < c.maxBackoff; s++ {
+		window *= 2
+	}
+	if window > c.maxBackoff {
+		window = c.maxBackoff
+	}
+	c.jitterMu.Lock()
+	j := time.Duration(c.jitter.Int63n(int64(window)/2 + 1))
+	c.jitterMu.Unlock()
+	c.health[i].downUntil.Store(time.Now().Add(window + j).UnixNano())
 }
 
-// markUp clears peer i's down window after a successful round trip, so
-// one lucky probe restores the peer immediately instead of waiting out
-// stale backoff.
+// markUp clears peer i's failure state after a healthy exchange, so one
+// lucky probe restores the peer immediately — window, failure count and
+// server-error run all reset to zero.
 func (c *Client) markUp(i int) {
-	c.downUntil[i].Store(0)
+	h := &c.health[i]
+	h.downUntil.Store(0)
+	h.fails.Store(0)
+	h.srvErrs.Store(0)
+}
+
+// observeStatus folds one completed exchange into peer i's health: any
+// status below 500 proves a functioning peer and resets the failure
+// state, while a run of ServerErrLimit consecutive 5xx responses marks
+// the peer down exactly like a transport failure — a daemon stuck
+// returning 500s must stop absorbing forwards, even though each
+// individual exchange "completed". The caller still receives the result
+// either way; a 5xx is never surfaced to the end client (the service
+// layer degrades to the next replica or a local solve).
+func (c *Client) observeStatus(i, status int) {
+	if status < 500 {
+		c.markUp(i)
+		return
+	}
+	if c.health[i].srvErrs.Add(1) >= c.srvErrLimit {
+		c.MarkDown(i)
+	}
 }
 
 // Forward proxies one request body to peer i at baseURL+path and returns
-// the owner's full answer. The round trip is bounded by the client's
+// the peer's full answer. The round trip is bounded by the client's
 // forward timeout (intersected with ctx); a transport failure or timeout
-// marks the peer down and returns an error — the caller degrades to a
-// local solve. A completed HTTP exchange of any status marks the peer up
-// and returns its result for the caller to interpret.
+// marks the peer down and returns an error — the caller degrades to the
+// next replica or a local solve. A completed exchange below status 500
+// marks the peer up; a run of consecutive 5xx exchanges marks it down
+// (see observeStatus) while still returning the result for the caller to
+// interpret. A failure caused by the caller's own context (cancelled
+// hedge loser, disconnected client) is not held against the peer.
 func (c *Client) Forward(ctx context.Context, i int, baseURL, path string, body []byte) (ForwardResult, error) {
-	ctx, cancel := context.WithTimeout(ctx, c.timeout)
+	fctx, cancel := context.WithTimeout(ctx, c.timeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+path, bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(fctx, http.MethodPost, baseURL+path, bytes.NewReader(body))
 	if err != nil {
 		return ForwardResult{}, fmt.Errorf("cluster: forward request: %w", err)
 	}
@@ -114,17 +227,108 @@ func (c *Client) Forward(ctx context.Context, i int, baseURL, path string, body 
 	req.Header.Set(ForwardHeader, "1")
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		c.MarkDown(i)
+		if ctx.Err() == nil {
+			c.MarkDown(i)
+		}
 		return ForwardResult{}, fmt.Errorf("cluster: forward to %s: %w", baseURL, err)
 	}
 	defer resp.Body.Close()
 	b, err := io.ReadAll(resp.Body)
 	if err != nil {
-		c.MarkDown(i)
+		if ctx.Err() == nil {
+			c.MarkDown(i)
+		}
 		return ForwardResult{}, fmt.Errorf("cluster: forward read from %s: %w", baseURL, err)
 	}
-	c.markUp(i)
+	c.observeStatus(i, resp.StatusCode)
 	return ForwardResult{Status: resp.StatusCode, XCache: resp.Header.Get("X-Cache"), Body: b}, nil
+}
+
+// ForwardHedged races one forward across a key's replica set. The first
+// replica is tried immediately; whenever the newest attempt has neither
+// answered within hedgeAfter nor failed, the next replica joins the
+// race. The first usable answer (a completed 200 exchange) wins and the
+// losers are cancelled — a cancelled loser is not marked down, it lost a
+// race, it did not fail. A failed or non-200 attempt immediately
+// launches the next replica instead of waiting out the hedge delay.
+//
+// peers and urls are the replica set in rank order (peers[j] the
+// topology index behind urls[j]). If no replica answers usably the last
+// failure is returned: (zero, error) when every attempt errored, or the
+// last completed non-200 result for the caller to interpret. Exactly one
+// result is ever returned and every attempt goroutine exits promptly
+// once the race settles, even when the caller's ctx is cancelled
+// mid-hedge.
+func (c *Client) ForwardHedged(ctx context.Context, peers []int, urls []string, path string, body []byte, hedgeAfter time.Duration) (HedgedResult, error) {
+	if len(peers) == 1 {
+		res, err := c.Forward(ctx, peers[0], urls[0], path, body)
+		return HedgedResult{ForwardResult: res, Peer: peers[0]}, err
+	}
+	if hedgeAfter <= 0 {
+		hedgeAfter = c.timeout / 4
+	}
+	rctx, cancel := context.WithCancel(ctx)
+	defer cancel() // settles the race: every loser's Forward aborts
+
+	type attempt struct {
+		res ForwardResult
+		err error
+		idx int // rank in the replica set
+	}
+	// Buffered to the full fan-out so attempt goroutines can always
+	// deliver and exit, even after the caller has taken the winner.
+	results := make(chan attempt, len(peers))
+	launched := 0
+	launch := func() {
+		idx := launched
+		launched++
+		go func() {
+			res, err := c.Forward(rctx, peers[idx], urls[idx], path, body)
+			results <- attempt{res: res, err: err, idx: idx}
+		}()
+	}
+	launch()
+
+	var (
+		last    attempt
+		lastErr error = fmt.Errorf("cluster: no replica attempted")
+		pending       = 1
+		hedgeC  <-chan time.Time
+	)
+	if launched < len(peers) {
+		hedgeC = time.After(hedgeAfter)
+	}
+	for pending > 0 {
+		select {
+		case a := <-results:
+			pending--
+			if a.err == nil && a.res.Status == http.StatusOK {
+				return HedgedResult{ForwardResult: a.res, Peer: peers[a.idx], Hedged: a.idx > 0}, nil
+			}
+			last, lastErr = a, a.err
+			// This rung is burnt; bring in the next replica right away.
+			if launched < len(peers) {
+				launch()
+				pending++
+				hedgeC = time.After(hedgeAfter)
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			if launched < len(peers) {
+				launch()
+				pending++
+				if launched < len(peers) {
+					hedgeC = time.After(hedgeAfter)
+				}
+			}
+		case <-ctx.Done():
+			return HedgedResult{}, ctx.Err()
+		}
+	}
+	if lastErr != nil {
+		return HedgedResult{}, lastErr
+	}
+	return HedgedResult{ForwardResult: last.res, Peer: peers[last.idx], Hedged: last.idx > 0}, nil
 }
 
 // FetchSnapshot streams peer i's hot cache entries and decodes them
@@ -138,7 +342,9 @@ func (c *Client) FetchSnapshot(ctx context.Context, i int, baseURL string, maxEn
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		c.MarkDown(i)
+		if ctx.Err() == nil {
+			c.MarkDown(i)
+		}
 		return nil, fmt.Errorf("cluster: snapshot from %s: %w", baseURL, err)
 	}
 	defer resp.Body.Close()

@@ -1,0 +1,425 @@
+package cluster
+
+// White-box tests for the replication/hedging/health additions: Owners
+// ranking properties, the peers-file parser, capped exponential backoff,
+// 5xx health accounting, and the hedged-forward race (including the
+// no-goroutine-leak guarantee under context cancellation — this file
+// runs under -race in the CI cluster lane).
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func mustTopo(t *testing.T, peers []string, advertise string) *Topology {
+	t.Helper()
+	topo, err := NewTopology(peers, advertise)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+// TestOwnersRankZeroIsOwner pins the documented invariant: Owners(k, 1)
+// is exactly [Owner(k)], and larger replica sets keep rank order as a
+// prefix property — Owners(k, r)[0..r'-1] == Owners(k, r') for r' < r.
+func TestOwnersRankZeroIsOwner(t *testing.T) {
+	urls := []string{"http://a:1", "http://b:2", "http://c:3", "http://d:4", "http://e:5"}
+	topo := mustTopo(t, urls, "http://a:1")
+	for i := 0; i < 500; i++ {
+		k := keyOf(i)
+		full := topo.Owners(k, 5, nil)
+		if len(full) != 5 {
+			t.Fatalf("key %d: %d owners, want 5", i, len(full))
+		}
+		if full[0] != topo.Owner(k) {
+			t.Fatalf("key %d: rank 0 is %d, Owner is %d", i, full[0], topo.Owner(k))
+		}
+		seen := map[int]bool{}
+		for _, o := range full {
+			if seen[o] {
+				t.Fatalf("key %d: duplicate owner %d in %v", i, o, full)
+			}
+			seen[o] = true
+		}
+		for r := 1; r < 5; r++ {
+			sub := topo.Owners(k, r, nil)
+			if len(sub) != r {
+				t.Fatalf("key %d: Owners(%d) has %d entries", i, r, len(sub))
+			}
+			for j := range sub {
+				if sub[j] != full[j] {
+					t.Fatalf("key %d: Owners(%d)=%v is not a prefix of %v", i, r, sub, full)
+				}
+			}
+		}
+	}
+}
+
+// TestOwnersClamp: r beyond the fleet clamps, r <= 0 is empty, and dst
+// is reused without spurious retention.
+func TestOwnersClamp(t *testing.T) {
+	topo := mustTopo(t, []string{"http://a:1", "http://b:2"}, "http://a:1")
+	if got := topo.Owners(keyOf(1), 10, nil); len(got) != 2 {
+		t.Fatalf("Owners clamped to %d, want 2", len(got))
+	}
+	if got := topo.Owners(keyOf(1), 0, nil); len(got) != 0 {
+		t.Fatalf("Owners(0) returned %v", got)
+	}
+	dst := make([]int, 0, 8)
+	a := topo.Owners(keyOf(1), 2, dst)
+	b := topo.Owners(keyOf(2), 1, a)
+	if len(b) != 1 {
+		t.Fatalf("reused dst kept stale entries: %v", b)
+	}
+}
+
+// TestOwnersFailoverPromotion pins the replica-wise minimal-disruption
+// property: removing one peer promotes exactly the next-ranked replica
+// for that peer's keys, and leaves every other key's replica set
+// untouched.
+func TestOwnersFailoverPromotion(t *testing.T) {
+	urls := []string{"http://a:1", "http://b:2", "http://c:3", "http://d:4"}
+	full := mustTopo(t, urls, "http://a:1")
+	reduced := mustTopo(t, []string{"http://a:1", "http://b:2", "http://d:4"}, "http://a:1")
+	removed := "http://c:3"
+
+	name := func(topo *Topology, owners []int) []string {
+		out := make([]string, len(owners))
+		for i, o := range owners {
+			out[i] = topo.Peer(o)
+		}
+		return out
+	}
+	promoted := 0
+	for i := 0; i < 1000; i++ {
+		k := keyOf(i)
+		before := name(full, full.Owners(k, 2, nil))
+		after := name(reduced, reduced.Owners(k, 2, nil))
+		// The reduced set must be the full R=3 ranking with the removed
+		// peer skipped — rendezvous scores are per-peer, so survivors
+		// keep their relative order.
+		want := []string{}
+		for _, p := range name(full, full.Owners(k, 3, nil)) {
+			if p != removed {
+				want = append(want, p)
+			}
+			if len(want) == 2 {
+				break
+			}
+		}
+		for j := range after {
+			if after[j] != want[j] {
+				t.Fatalf("key %d: reduced owners %v, want %v (full %v)", i, after, want, before)
+			}
+		}
+		if before[0] == removed || before[1] == removed {
+			promoted++
+		}
+	}
+	if promoted == 0 {
+		t.Fatal("no key had the removed peer in its replica set — test is vacuous")
+	}
+}
+
+func TestParsePeersFile(t *testing.T) {
+	data := []byte(`# fleet roster
+http://a:1
+  http://b:2   # trailing comment
+
+http://c:3,http://d:4
+,
+`)
+	got := ParsePeersFile(data)
+	want := []string{"http://a:1", "http://b:2", "http://c:3", "http://d:4"}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("entry %d: %q, want %q", i, got[i], want[i])
+		}
+	}
+	if out := ParsePeersFile(nil); len(out) != 0 {
+		t.Fatalf("empty input parsed to %v", out)
+	}
+}
+
+// window returns how far in the future peer i's down window currently
+// ends.
+func window(c *Client, i int) time.Duration {
+	return time.Duration(c.health[i].downUntil.Load() - time.Now().UnixNano())
+}
+
+// TestMarkDownExponentialBackoff: consecutive failures double the down
+// window (plus bounded jitter) up to the cap, and markUp resets the
+// progression to the base window.
+func TestMarkDownExponentialBackoff(t *testing.T) {
+	base, cap_ := 100*time.Millisecond, 800*time.Millisecond
+	c := NewClient(ClientConfig{Peers: 1, Backoff: base, MaxBackoff: cap_, JitterSeed: 42})
+
+	prev := time.Duration(0)
+	for i := 1; i <= 6; i++ {
+		c.MarkDown(0)
+		w := window(c, 0)
+		// Window i is base*2^(i-1) + jitter in [0, window/2]; assert the
+		// envelope rather than the exact jitter draw.
+		ideal := base << (i - 1)
+		if ideal > cap_ {
+			ideal = cap_
+		}
+		if w < ideal || w > ideal+ideal/2+5*time.Millisecond {
+			t.Fatalf("failure %d: window %v outside [%v, %v]", i, w, ideal, ideal+ideal/2)
+		}
+		if ideal < cap_ && w <= prev {
+			t.Fatalf("failure %d: window %v did not grow past %v", i, w, prev)
+		}
+		prev = w
+	}
+
+	c.markUp(0)
+	if !c.Available(0) {
+		t.Fatal("markUp did not clear the down window")
+	}
+	c.MarkDown(0)
+	if w := window(c, 0); w > base+base/2+5*time.Millisecond {
+		t.Fatalf("window after markUp reset is %v, want ~base %v — failure count not reset", w, base)
+	}
+}
+
+// TestForward5xxHealthAccounting: a peer stuck returning 500s is marked
+// down after ServerErrLimit consecutive server errors — each exchange
+// still completes and returns the result to the caller — while any
+// sub-500 status resets the run.
+func TestForward5xxHealthAccounting(t *testing.T) {
+	var status atomic.Int64
+	status.Store(500)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(int(status.Load()))
+	}))
+	defer ts.Close()
+
+	c := NewClient(ClientConfig{Peers: 1, Timeout: time.Second, Backoff: time.Minute, ServerErrLimit: 3})
+	for i := 1; i <= 2; i++ {
+		res, err := c.Forward(context.Background(), 0, ts.URL, "/v1/solve", []byte(`{}`))
+		if err != nil || res.Status != 500 {
+			t.Fatalf("5xx exchange %d: res %+v err %v — must complete and surface the status", i, res, err)
+		}
+		if !c.Available(0) {
+			t.Fatalf("peer down after only %d consecutive 5xx (limit 3)", i)
+		}
+	}
+	// A healthy exchange resets the consecutive-5xx run.
+	status.Store(200)
+	if _, err := c.Forward(context.Background(), 0, ts.URL, "/v1/solve", nil); err != nil {
+		t.Fatal(err)
+	}
+	status.Store(500)
+	for i := 1; i <= 2; i++ {
+		if _, err := c.Forward(context.Background(), 0, ts.URL, "/v1/solve", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !c.Available(0) {
+		t.Fatal("200 between 5xx runs did not reset the counter")
+	}
+	if _, err := c.Forward(context.Background(), 0, ts.URL, "/v1/solve", nil); err != nil {
+		t.Fatal(err)
+	}
+	if c.Available(0) {
+		t.Fatal("3 consecutive 5xx did not mark the peer down")
+	}
+}
+
+// hedgePair starts two stub peers with controllable delay/status and a
+// client covering both.
+func hedgePair(t *testing.T, delay0, delay1 time.Duration) (*Client, []string, *atomic.Int64, *atomic.Int64) {
+	t.Helper()
+	var served0, served1 atomic.Int64
+	mk := func(d time.Duration, served *atomic.Int64, body string) *httptest.Server {
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			// Drain the body first: net/http only arms its client-abort
+			// detection (and with it r.Context cancellation) once the
+			// request body is consumed.
+			io.Copy(io.Discard, r.Body)
+			select {
+			case <-time.After(d):
+			case <-r.Context().Done():
+				return
+			}
+			served.Add(1)
+			w.Header().Set("X-Cache", "hit")
+			fmt.Fprint(w, body)
+		}))
+	}
+	// Both bodies identical: the winner must be usable either way, which
+	// is exactly the deterministic-solver property hedging leans on.
+	s0 := mk(delay0, &served0, `{"v":1}`)
+	s1 := mk(delay1, &served1, `{"v":1}`)
+	t.Cleanup(s0.Close)
+	t.Cleanup(s1.Close)
+	c := NewClient(ClientConfig{Peers: 2, Timeout: 2 * time.Second, Backoff: time.Minute})
+	return c, []string{s0.URL, s1.URL}, &served0, &served1
+}
+
+// TestHedgedForwardSlowPrimary: the primary stalls past the hedge delay,
+// the hedge wins, the result is marked Hedged, and the loser is NOT
+// marked down — it lost a race, it did not fail.
+func TestHedgedForwardSlowPrimary(t *testing.T) {
+	c, urls, _, served1 := hedgePair(t, 500*time.Millisecond, 0)
+	start := time.Now()
+	res, err := c.ForwardHedged(context.Background(), []int{0, 1}, urls, "/v1/solve", []byte(`{}`), 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Hedged || res.Peer != 1 {
+		t.Fatalf("winner %+v, want hedged peer 1", res)
+	}
+	if string(res.Body) != `{"v":1}` || res.Status != http.StatusOK {
+		t.Fatalf("unexpected winning result: %+v", res)
+	}
+	if took := time.Since(start); took > 400*time.Millisecond {
+		t.Fatalf("hedged forward took %v — it waited for the slow primary", took)
+	}
+	if served1.Load() != 1 {
+		t.Fatalf("hedge peer served %d requests, want 1", served1.Load())
+	}
+	if !c.Available(0) {
+		t.Fatal("cancelled race loser was marked down")
+	}
+}
+
+// TestHedgedForwardFastPrimary: the primary answers before the hedge
+// delay, so exactly one request is ever sent and the result is not
+// Hedged.
+func TestHedgedForwardFastPrimary(t *testing.T) {
+	c, urls, served0, served1 := hedgePair(t, 0, 0)
+	res, err := c.ForwardHedged(context.Background(), []int{0, 1}, urls, "/v1/solve", []byte(`{}`), 200*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hedged || res.Peer != 0 {
+		t.Fatalf("winner %+v, want unhedged peer 0", res)
+	}
+	if served0.Load() != 1 || served1.Load() != 0 {
+		t.Fatalf("served %d/%d, want 1/0 — the hedge fired although the primary was fast", served0.Load(), served1.Load())
+	}
+}
+
+// TestHedgedForwardBothAnswer: both replicas complete (the loser's
+// cancellation may lose its own race); exactly one body is returned and
+// it is byte-identical either way.
+func TestHedgedForwardBothAnswer(t *testing.T) {
+	c, urls, _, _ := hedgePair(t, 60*time.Millisecond, 60*time.Millisecond)
+	res, err := c.ForwardHedged(context.Background(), []int{0, 1}, urls, "/v1/solve", []byte(`{}`), 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res.Body) != `{"v":1}` {
+		t.Fatalf("winning body %q — must be the shared deterministic body whoever wins", res.Body)
+	}
+	if res.Peer != 0 && res.Peer != 1 {
+		t.Fatalf("winner peer %d", res.Peer)
+	}
+}
+
+// TestHedgedForwardFailedAttemptLaunchesNext: a dead primary does not
+// burn the hedge delay — the error immediately brings in the next
+// replica.
+func TestHedgedForwardFailedAttemptLaunchesNext(t *testing.T) {
+	live := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"v":1}`))
+	}))
+	defer live.Close()
+	c := NewClient(ClientConfig{Peers: 2, Timeout: time.Second, Backoff: time.Minute})
+	dead := deadURL(t)
+
+	start := time.Now()
+	res, err := c.ForwardHedged(context.Background(), []int{0, 1}, []string{dead, live.URL}, "/v1/solve", []byte(`{}`), 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Hedged || res.Peer != 1 {
+		t.Fatalf("winner %+v, want hedged peer 1", res)
+	}
+	if took := time.Since(start); took > 2*time.Second {
+		t.Fatalf("failover took %v — it waited out the hedge delay instead of reacting to the error", took)
+	}
+	if c.Available(0) {
+		t.Fatal("dead primary not marked down")
+	}
+}
+
+// TestHedgedForwardAllFail: every replica fails; the last error comes
+// back and both peers are marked down.
+func TestHedgedForwardAllFail(t *testing.T) {
+	c := NewClient(ClientConfig{Peers: 2, Timeout: 200 * time.Millisecond, Backoff: time.Minute})
+	if _, err := c.ForwardHedged(context.Background(), []int{0, 1}, []string{deadURL(t), deadURL(t)}, "/v1/solve", nil, 20*time.Millisecond); err == nil {
+		t.Fatal("hedged forward to two dead peers succeeded")
+	}
+	if c.Available(0) || c.Available(1) {
+		t.Fatal("dead peers not marked down")
+	}
+}
+
+// TestHedgedForwardCancellationLeaksNothing: cancelling the caller's
+// context mid-hedge (both peers still stalling) returns promptly and
+// leaks no goroutines, and the stalled-but-healthy peers are NOT marked
+// down — the failure was the caller's, not theirs.
+func TestHedgedForwardCancellationLeaksNothing(t *testing.T) {
+	c, urls, _, _ := hedgePair(t, 10*time.Second, 10*time.Second)
+	// Baseline after the stub servers are up: their accept loops are
+	// steady state, the hedge attempt goroutines are what must drain.
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.ForwardHedged(ctx, []int{0, 1}, urls, "/v1/solve", []byte(`{}`), 20*time.Millisecond)
+		done <- err
+	}()
+	time.Sleep(80 * time.Millisecond) // both attempts in flight
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("cancelled hedge returned a result")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled hedge never returned")
+	}
+	if !c.Available(0) || !c.Available(1) {
+		t.Fatal("caller-cancelled attempts were held against the peers")
+	}
+
+	// The attempt goroutines must drain: the results channel is buffered
+	// to the fan-out, so each can deliver and exit once its Forward
+	// aborts. Allow the runtime a moment to reap them.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// deadURL reserves a loopback port and closes it: an address refusing
+// connections immediately.
+func deadURL(t *testing.T) string {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	url := ts.URL
+	ts.Close()
+	return url
+}

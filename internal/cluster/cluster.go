@@ -16,16 +16,39 @@
 // failover: removing one peer reassigns only the keys that peer owned,
 // never shuffling ownership among the survivors.
 //
+// # Replication
+//
+// Ownership generalises to R replicas per key: Owners returns the top-R
+// rendezvous-ranked peers, so every key has an ordered replica set that
+// every node agrees on. Rendezvous ranking keeps the failover property
+// replica-wise: removing one peer promotes the next-ranked peer for
+// exactly the removed peer's keys and changes nothing else. With R ≥ 2
+// one node's death costs no cache coverage — the surviving replicas
+// already hold (or deterministically recompute) its keys.
+//
 // # Forwarding and failure semantics
 //
 // A node that misses locally on a key it does not own proxies the
-// original request to the owner (Client.Forward) and installs the
-// rendered response bytes in its own cache as a second-tier hit. Peer
-// failure is never a client-visible error: a transport failure or
-// forward timeout marks the peer down for a backoff window (during
-// which no forwards are attempted) and the request degrades to a local
-// solve — results are deterministic, so a fallback solve produces
-// byte-identical bodies, only slower.
+// original request to the key's replicas (Client.Forward, or
+// Client.ForwardHedged when more than one replica is up) and installs
+// the rendered response bytes in its own cache as a second-tier hit.
+// Peer failure is never a client-visible error: a transport failure or
+// forward timeout marks the peer down for a capped-exponential backoff
+// window (during which no forwards are attempted), a peer stuck
+// returning 5xx is marked down after a few consecutive server errors,
+// and the request degrades to the next replica or a local solve —
+// results are deterministic, so a fallback solve produces byte-identical
+// bodies, only slower.
+//
+// # Dynamic membership
+//
+// The peer list may change at runtime: ParsePeersFile reads the
+// peers-file format (one URL per line, #-comments), a new Topology is
+// built from it, and the serving layer swaps it in atomically — requests
+// in flight finish under the view they started with. Ownership is a pure
+// function of (sorted peer list, key), so a reloaded topology and a
+// freshly constructed one can never disagree (FuzzMembershipReload pins
+// this).
 //
 // # Snapshot warm-up
 //
@@ -157,7 +180,8 @@ func (t *Topology) Peers() []string {
 // bytes, and the highest score wins (ties broken by peer order, which is
 // identical on every node because the list is sorted). The scoring walks
 // 32 bytes per peer with no allocation, so ownership lookup costs tens
-// of nanoseconds even before any caching.
+// of nanoseconds even before any caching. Owner(k) is always
+// Owners(k, 1, nil)[0].
 func (t *Topology) Owner(k Key) int {
 	best, bestScore := 0, uint64(0)
 	for i, seed := range t.seeds {
@@ -170,4 +194,68 @@ func (t *Topology) Owner(k Key) int {
 		}
 	}
 	return best
+}
+
+// Owners appends the indices of the top-r rendezvous-ranked peers for
+// key k to dst and returns it, highest score first — the key's ordered
+// replica set. Rank 0 is exactly Owner(k); rank i is the peer that takes
+// over when the i higher-ranked replicas are gone, so failover order is
+// a pure function of the topology and identical on every node. r is
+// clamped to the fleet size; r <= 0 yields an empty slice. Ties break by
+// peer order, as in Owner.
+func (t *Topology) Owners(k Key, r int, dst []int) []int {
+	if r > len(t.peers) {
+		r = len(t.peers)
+	}
+	dst = dst[:0]
+	if r <= 0 {
+		return dst
+	}
+	// Insertion-select into a tiny descending score window: R is 2 or 3
+	// in practice, so this beats sorting all peers and allocates nothing
+	// beyond dst.
+	scores := make([]uint64, 0, 8)
+	for i, seed := range t.seeds {
+		h := seed
+		for _, b := range k {
+			h = (h ^ uint64(b)) * fnvPrime
+		}
+		pos := len(dst)
+		for pos > 0 && h > scores[pos-1] {
+			pos--
+		}
+		if pos >= r {
+			continue
+		}
+		if len(dst) < r {
+			dst = append(dst, 0)
+			scores = append(scores, 0)
+		}
+		copy(dst[pos+1:], dst[pos:])
+		copy(scores[pos+1:], scores[pos:])
+		dst[pos], scores[pos] = i, h
+	}
+	return dst
+}
+
+// ParsePeersFile parses the peers-file format feeding dynamic
+// membership: one peer base URL per line, with blank lines and
+// #-comments ignored; commas also separate entries, so a -peers flag
+// value pastes in unchanged. The returned list is raw — NewTopology
+// still normalises and validates it — but an entry that is empty after
+// trimming is dropped here, so a trailing newline never manufactures a
+// phantom peer.
+func ParsePeersFile(data []byte) []string {
+	var peers []string
+	for _, line := range strings.Split(string(data), "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		for _, entry := range strings.Split(line, ",") {
+			if entry = strings.TrimSpace(entry); entry != "" {
+				peers = append(peers, entry)
+			}
+		}
+	}
+	return peers
 }

@@ -133,7 +133,7 @@ func TestRendezvousMinimalDisruption(t *testing.T) {
 }
 
 func TestClientBackoffWindow(t *testing.T) {
-	c := NewClient(2, time.Second, 50*time.Millisecond)
+	c := NewClient(ClientConfig{Peers: 2, Timeout: time.Second, Backoff: 50 * time.Millisecond})
 	if !c.Available(1) {
 		t.Fatal("fresh peer not available")
 	}
@@ -162,7 +162,7 @@ func TestForwardTransportFailureMarksDown(t *testing.T) {
 	dead := "http://" + ln.Addr().String()
 	ln.Close()
 
-	c := NewClient(1, 200*time.Millisecond, time.Minute)
+	c := NewClient(ClientConfig{Peers: 1, Timeout: 200 * time.Millisecond, Backoff: time.Minute})
 	if _, err := c.Forward(context.Background(), 0, dead, "/v1/solve", []byte(`{}`)); err == nil {
 		t.Fatal("forward to a dead peer succeeded")
 	}
@@ -181,7 +181,7 @@ func TestForwardSuccessAndRecovery(t *testing.T) {
 	}))
 	defer ts.Close()
 
-	c := NewClient(1, time.Second, time.Minute)
+	c := NewClient(ClientConfig{Peers: 1, Timeout: time.Second, Backoff: time.Minute})
 	c.MarkDown(0) // a successful round trip must clear the window
 	res, err := c.Forward(context.Background(), 0, ts.URL, "/v1/solve", []byte(`{"x":1}`))
 	if err != nil {
@@ -208,7 +208,7 @@ func TestForwardTimeout(t *testing.T) {
 	}))
 	defer func() { close(release); ts.Close() }()
 
-	c := NewClient(1, 50*time.Millisecond, time.Minute)
+	c := NewClient(ClientConfig{Peers: 1, Timeout: 50 * time.Millisecond, Backoff: time.Minute})
 	start := time.Now()
 	_, err := c.Forward(context.Background(), 0, ts.URL, "/v1/solve", []byte(`{}`))
 	if err == nil {
@@ -238,7 +238,7 @@ func TestFetchSnapshot(t *testing.T) {
 	}))
 	defer ts.Close()
 
-	c := NewClient(1, time.Second, time.Minute)
+	c := NewClient(ClientConfig{Peers: 1, Timeout: time.Second, Backoff: time.Minute})
 	got, err := c.FetchSnapshot(context.Background(), 0, ts.URL, 10, 1<<20)
 	if err != nil {
 		t.Fatal(err)

@@ -3,6 +3,8 @@ package cluster
 import (
 	"bytes"
 	"crypto/sha256"
+	"slices"
+	"strings"
 	"testing"
 )
 
@@ -63,6 +65,66 @@ func FuzzPeerWire(f *testing.F) {
 			}
 			if !bytes.Equal(again[i].Body, entries[i].Body) {
 				t.Fatalf("entry %d body changed across round trip", i)
+			}
+		}
+	})
+}
+
+// FuzzMembershipReload throws arbitrary bytes at the peers-file parser
+// and, for every input that yields a buildable topology, replays the
+// reload path the daemon takes on SIGHUP: parse, build, write the parsed
+// list back, parse and build again. The two topologies must agree on
+// ownership for every key and every replication factor — a parser that
+// is not a fixed point under its own output, or a ranking that depends
+// on anything beyond the normalized URL list, would let two nodes watch
+// the same file and disagree about who owns a key, which is the one
+// split-brain dynamic membership must never produce. Panics on malformed
+// input fail too, since the file is operator-written.
+func FuzzMembershipReload(f *testing.F) {
+	f.Add([]byte("http://a:1\nhttp://b:2\nhttp://c:3\n"))
+	f.Add([]byte("# fleet\nhttp://a:1, http://b:2\n\n  http://c:3  # joined last\n"))
+	f.Add([]byte("http://a:1,http://a:1"))
+	f.Add([]byte(""))
+	f.Add([]byte("https://node-0.internal:7001\r\nhttps://node-1.internal:7001\r\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		peers := ParsePeersFile(data)
+		// The parser must be a fixed point under its own output: tokens
+		// contain no newline, comma or comment byte, so writing them back
+		// one per line and re-parsing cannot change the list.
+		again := ParsePeersFile([]byte(strings.Join(peers, "\n")))
+		if !slices.Equal(peers, again) {
+			t.Fatalf("parse not idempotent: %q -> %q", peers, again)
+		}
+		if len(peers) == 0 {
+			return
+		}
+		topoA, err := NewTopology(peers, peers[0])
+		if err != nil {
+			return // invalid or duplicate URLs must error, never panic
+		}
+		topoB, err := NewTopology(again, again[0])
+		if err != nil {
+			t.Fatalf("reload rejected a peer list it accepted before: %v", err)
+		}
+		if topoA.Size() != topoB.Size() {
+			t.Fatalf("reload changed fleet size: %d -> %d", topoA.Size(), topoB.Size())
+		}
+		for i := 0; i < 8; i++ {
+			k := Key(sha256.Sum256([]byte{byte(i), byte(len(peers))}))
+			full := topoA.Owners(k, topoA.Size(), nil)
+			if got := topoB.Owners(k, topoB.Size(), nil); !slices.Equal(full, got) {
+				t.Fatalf("ownership disagreement after reload: %v vs %v", full, got)
+			}
+			// The ranking must nest: Owners(k, r) is a prefix of the full
+			// ranking for every r, and rank 0 is the single owner. Replica
+			// failover and the R flag both lean on this.
+			for r := 1; r <= len(full); r++ {
+				if got := topoA.Owners(k, r, nil); !slices.Equal(got, full[:r]) {
+					t.Fatalf("Owners(k, %d) = %v is not a prefix of %v", r, got, full)
+				}
+			}
+			if topoA.Owner(k) != full[0] {
+				t.Fatalf("Owner disagrees with rank 0: %d vs %v", topoA.Owner(k), full)
 			}
 		}
 	})

@@ -1,0 +1,384 @@
+// Package faultinject is the chaos half of the fleet's robustness
+// story: a fault-injecting http.RoundTripper and reverse proxy driven by
+// seeded, scriptable schedules. The serving stack's core guarantee —
+// deterministic solvers make every node byte-identical — means a chaos
+// run can assert exact correctness, not just liveness: inject arbitrary
+// latency, drops, 5xx bursts, partitions and flapping between peers, and
+// every body a client receives must still match the single-node
+// reference bit for bit.
+//
+// # Schedules
+//
+// A Schedule is a seed plus an ordered rule list. Each Rule matches a
+// set of hosts (empty = all) inside an activity window, optionally
+// flapping with a period/duty cycle, and applies some combination of
+// added latency, probabilistic drops, and probabilistic synthesized
+// status codes. Probabilities draw from a rand.Rand seeded by the
+// schedule, so a chaos run is reproducible end to end. The JSON form is
+// what scripts/scenario files and the -chaos flags consume:
+//
+//	{
+//	  "seed": 42,
+//	  "rules": [
+//	    {"name": "slow-node2", "hosts": ["127.0.0.1:7002"],
+//	     "latency_ms": 80, "jitter_ms": 40},
+//	    {"name": "flap", "period_ms": 2000, "on_ms": 600, "drop_prob": 1},
+//	    {"name": "5xx-burst", "start_ms": 1000, "end_ms": 3000,
+//	     "status": 500, "status_prob": 0.5}
+//	  ]
+//	}
+//
+// # Injection points
+//
+// Transport wraps any http.RoundTripper (the in-process chaos suite
+// hands it to the peer client via ClusterConfig.Transport, and the load
+// generator via its Chaos hook). NewProxy wraps a whole node behind a
+// chaos reverse proxy — the cluster e2e script advertises the proxy URL
+// in the peers file, so every forward to that node crosses the fault
+// schedule while clients still reach the node directly.
+//
+// Injected faults are always distinguishable from real ones: transport
+// errors wrap ErrInjected (Injected unwraps through url.Error), and
+// synthesized responses carry the Header marker.
+package faultinject
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the sentinel behind every synthesized transport
+// failure. errors.Is(err, ErrInjected) — or the Injected helper, which
+// also unwraps url.Error — tells a chaos harness that a failure was
+// scheduled, not real.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Header marks a synthesized (injected) HTTP response, so a harness can
+// separate scheduled 5xx bursts from a peer's own errors.
+const Header = "X-Fault-Injected"
+
+// Rule is one scripted fault. The zero value matches nothing harmful:
+// all hosts, always active, no latency, no drops, no status injection.
+type Rule struct {
+	// Name labels the rule in stats and logs.
+	Name string `json:"name,omitempty"`
+	// Hosts restricts the rule to requests whose URL host (host:port)
+	// matches one entry exactly; empty matches every host.
+	Hosts []string `json:"hosts,omitempty"`
+	// StartMS/EndMS bound the rule's activity window, measured from the
+	// transport's start instant. EndMS 0 means no end.
+	StartMS int64 `json:"start_ms,omitempty"`
+	EndMS   int64 `json:"end_ms,omitempty"`
+	// PeriodMS/OnMS make the rule flap: within each period of PeriodMS
+	// the rule is active for the first OnMS milliseconds only.
+	// PeriodMS 0 means continuously active.
+	PeriodMS int64 `json:"period_ms,omitempty"`
+	OnMS     int64 `json:"on_ms,omitempty"`
+	// LatencyMS adds fixed latency to matched requests; JitterMS adds a
+	// further uniform random [0, JitterMS) on top.
+	LatencyMS int64 `json:"latency_ms,omitempty"`
+	JitterMS  int64 `json:"jitter_ms,omitempty"`
+	// DropProb is the probability a matched request fails with a
+	// synthesized transport error (ErrInjected). 1 is a full partition
+	// of the matched hosts.
+	DropProb float64 `json:"drop_prob,omitempty"`
+	// Status (with StatusProb) synthesizes an HTTP response with that
+	// code instead of performing the request — a scripted 5xx burst.
+	Status     int     `json:"status,omitempty"`
+	StatusProb float64 `json:"status_prob,omitempty"`
+}
+
+// validate rejects rules that cannot mean what they say.
+func (r *Rule) validate() error {
+	switch {
+	case r.DropProb < 0 || r.DropProb > 1:
+		return fmt.Errorf("faultinject: rule %q: drop_prob %v outside [0,1]", r.Name, r.DropProb)
+	case r.StatusProb < 0 || r.StatusProb > 1:
+		return fmt.Errorf("faultinject: rule %q: status_prob %v outside [0,1]", r.Name, r.StatusProb)
+	case r.StatusProb > 0 && (r.Status < 100 || r.Status > 599):
+		return fmt.Errorf("faultinject: rule %q: status %d is not an HTTP status", r.Name, r.Status)
+	case r.LatencyMS < 0 || r.JitterMS < 0:
+		return fmt.Errorf("faultinject: rule %q: negative latency", r.Name)
+	case r.PeriodMS < 0 || r.OnMS < 0 || r.OnMS > r.PeriodMS:
+		return fmt.Errorf("faultinject: rule %q: on_ms must sit inside period_ms", r.Name)
+	case r.StartMS < 0 || r.EndMS < 0 || (r.EndMS > 0 && r.EndMS < r.StartMS):
+		return fmt.Errorf("faultinject: rule %q: bad activity window", r.Name)
+	}
+	return nil
+}
+
+// activeAt reports whether the rule applies at elapsed time since the
+// transport started, for the given host.
+func (r *Rule) activeAt(elapsedMS int64, host string) bool {
+	if elapsedMS < r.StartMS || (r.EndMS > 0 && elapsedMS >= r.EndMS) {
+		return false
+	}
+	if r.PeriodMS > 0 && (elapsedMS-r.StartMS)%r.PeriodMS >= r.OnMS {
+		return false
+	}
+	if len(r.Hosts) == 0 {
+		return true
+	}
+	for _, h := range r.Hosts {
+		if strings.EqualFold(h, host) {
+			return true
+		}
+	}
+	return false
+}
+
+// Schedule is a reproducible chaos script: a seed and the rules it
+// drives. The zero value injects nothing.
+type Schedule struct {
+	Seed  int64  `json:"seed,omitempty"`
+	Rules []Rule `json:"rules,omitempty"`
+}
+
+// ParseSchedule decodes and validates the JSON form.
+func ParseSchedule(data []byte) (*Schedule, error) {
+	var s Schedule
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("faultinject: parse schedule: %w", err)
+	}
+	for i := range s.Rules {
+		if err := s.Rules[i].validate(); err != nil {
+			return nil, err
+		}
+	}
+	return &s, nil
+}
+
+// LoadSchedule reads and parses a schedule file.
+func LoadSchedule(path string) (*Schedule, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("faultinject: %w", err)
+	}
+	return ParseSchedule(data)
+}
+
+// Stats counts what a Transport actually injected — the ground truth a
+// chaos test asserts against ("the schedule really fired").
+type Stats struct {
+	Requests  uint64 // requests seen
+	Delayed   uint64 // requests given added latency
+	Dropped   uint64 // requests failed with ErrInjected
+	Statuses  uint64 // requests answered with a synthesized status
+	Passed    uint64 // requests forwarded untouched
+	DelayedMS uint64 // total injected latency, milliseconds
+}
+
+// Transport is a fault-injecting http.RoundTripper. It applies the
+// first matching drop/status rule and the sum of matching latency rules
+// to each request, then (unless dropped or answered synthetically)
+// delegates to the wrapped transport. Safe for concurrent use.
+type Transport struct {
+	next  http.RoundTripper
+	sched *Schedule
+	start time.Time
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	requests  atomic.Uint64
+	delayed   atomic.Uint64
+	dropped   atomic.Uint64
+	statuses  atomic.Uint64
+	passed    atomic.Uint64
+	delayedMS atomic.Uint64
+}
+
+// NewTransport wraps next (nil selects http.DefaultTransport) with the
+// schedule's faults. The activity clock starts now.
+func NewTransport(next http.RoundTripper, sched *Schedule) *Transport {
+	if next == nil {
+		next = http.DefaultTransport
+	}
+	if sched == nil {
+		sched = &Schedule{}
+	}
+	seed := sched.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Transport{
+		next:  next,
+		sched: sched,
+		start: time.Now(),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// roll draws a uniform [0,1) variate from the seeded source.
+func (t *Transport) roll() float64 {
+	t.mu.Lock()
+	f := t.rng.Float64()
+	t.mu.Unlock()
+	return f
+}
+
+// rollN draws a uniform [0,n) integer from the seeded source.
+func (t *Transport) rollN(n int64) int64 {
+	t.mu.Lock()
+	v := t.rng.Int63n(n)
+	t.mu.Unlock()
+	return v
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.requests.Add(1)
+	elapsed := time.Since(t.start).Milliseconds()
+	host := req.URL.Host
+
+	var delay time.Duration
+	for i := range t.sched.Rules {
+		r := &t.sched.Rules[i]
+		if !r.activeAt(elapsed, host) {
+			continue
+		}
+		if r.LatencyMS > 0 || r.JitterMS > 0 {
+			d := r.LatencyMS
+			if r.JitterMS > 0 {
+				d += t.rollN(r.JitterMS)
+			}
+			delay += time.Duration(d) * time.Millisecond
+		}
+		if r.DropProb > 0 && t.roll() < r.DropProb {
+			if err := t.sleep(req.Context(), delay); err != nil {
+				return nil, err
+			}
+			t.dropped.Add(1)
+			return nil, fmt.Errorf("%w: rule %q dropped %s", ErrInjected, r.Name, req.URL.Redacted())
+		}
+		if r.StatusProb > 0 && t.roll() < r.StatusProb {
+			if err := t.sleep(req.Context(), delay); err != nil {
+				return nil, err
+			}
+			t.statuses.Add(1)
+			// The request body is consumed as a real server would.
+			if req.Body != nil {
+				io.Copy(io.Discard, req.Body)
+				req.Body.Close()
+			}
+			return synthesize(req, r.Status, r.Name), nil
+		}
+	}
+	if delay > 0 {
+		t.delayed.Add(1)
+		t.delayedMS.Add(uint64(delay.Milliseconds()))
+		if err := t.sleep(req.Context(), delay); err != nil {
+			return nil, err
+		}
+	}
+	t.passed.Add(1)
+	return t.next.RoundTrip(req)
+}
+
+// sleep waits for d or the request context, whichever ends first — an
+// injected delay must never outlive a cancelled caller.
+func (t *Transport) sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// synthesize builds an injected response for req.
+func synthesize(req *http.Request, status int, rule string) *http.Response {
+	body := fmt.Sprintf("faultinject: rule %q injected status %d\n", rule, status)
+	h := make(http.Header, 2)
+	h.Set(Header, rule)
+	h.Set("Content-Type", "text/plain; charset=utf-8")
+	return &http.Response{
+		Status:        fmt.Sprintf("%d %s", status, http.StatusText(status)),
+		StatusCode:    status,
+		Proto:         req.Proto,
+		ProtoMajor:    req.ProtoMajor,
+		ProtoMinor:    req.ProtoMinor,
+		Header:        h,
+		Body:          io.NopCloser(strings.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}
+
+// Stats returns what has been injected so far.
+func (t *Transport) Stats() Stats {
+	return Stats{
+		Requests:  t.requests.Load(),
+		Delayed:   t.delayed.Load(),
+		Dropped:   t.dropped.Load(),
+		Statuses:  t.statuses.Load(),
+		Passed:    t.passed.Load(),
+		DelayedMS: t.delayedMS.Load(),
+	}
+}
+
+// Injected reports whether err is (or wraps, including through
+// url.Error) an injected fault.
+func Injected(err error) bool {
+	return errors.Is(err, ErrInjected)
+}
+
+// Proxy is a chaos reverse proxy: everything sent to it is relayed to
+// one target through a fault-injecting Transport. Advertise the proxy's
+// URL in a fleet's peer list and every peer-to-peer exchange with that
+// node crosses the schedule, while clients (and health checks) can still
+// reach the node directly.
+type Proxy struct {
+	transport *Transport
+	handler   http.Handler
+}
+
+// NewProxy builds a chaos proxy for target (a base URL) under sched.
+func NewProxy(target string, sched *Schedule) (*Proxy, error) {
+	u, err := url.Parse(target)
+	if err != nil {
+		return nil, fmt.Errorf("faultinject: proxy target: %w", err)
+	}
+	if u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("faultinject: proxy target %q needs scheme and host", target)
+	}
+	t := NewTransport(nil, sched)
+	rp := httputil.NewSingleHostReverseProxy(u)
+	rp.Transport = t
+	rp.ErrorHandler = func(w http.ResponseWriter, r *http.Request, err error) {
+		// An injected drop surfaces as a 502 carrying the marker header;
+		// real upstream failures keep the stock 502 without it.
+		if Injected(err) {
+			w.Header().Set(Header, "drop")
+		}
+		w.WriteHeader(http.StatusBadGateway)
+	}
+	return &Proxy{transport: t, handler: rp}, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	p.handler.ServeHTTP(w, r)
+}
+
+// Stats returns the proxy transport's injection counters.
+func (p *Proxy) Stats() Stats { return p.transport.Stats() }

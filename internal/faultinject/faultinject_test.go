@@ -1,0 +1,247 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+)
+
+func okServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		w.Write([]byte("ok"))
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestParseScheduleRejects(t *testing.T) {
+	for name, src := range map[string]string{
+		"bad-prob":      `{"rules":[{"drop_prob":1.5}]}`,
+		"neg-prob":      `{"rules":[{"drop_prob":-0.1}]}`,
+		"bad-status":    `{"rules":[{"status":42,"status_prob":0.5}]}`,
+		"neg-latency":   `{"rules":[{"latency_ms":-1}]}`,
+		"on-gt-period":  `{"rules":[{"period_ms":100,"on_ms":200}]}`,
+		"end-lt-start":  `{"rules":[{"start_ms":100,"end_ms":50}]}`,
+		"unknown-field": `{"rules":[{"nope":1}]}`,
+		"not-json":      `{`,
+	} {
+		if _, err := ParseSchedule([]byte(src)); err == nil {
+			t.Errorf("%s: ParseSchedule accepted %s", name, src)
+		}
+	}
+	if _, err := ParseSchedule([]byte(`{"seed":7,"rules":[{"name":"x","latency_ms":5}]}`)); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+}
+
+// TestTransportDropIsInjectedError: a full drop fails every request with
+// an error detectable as injected — including through the *url.Error
+// wrapping http.Client applies.
+func TestTransportDropIsInjectedError(t *testing.T) {
+	ts := okServer(t)
+	client := &http.Client{Transport: NewTransport(nil, &Schedule{Seed: 1, Rules: []Rule{{Name: "part", DropProb: 1}}})}
+	_, err := client.Get(ts.URL)
+	if err == nil {
+		t.Fatal("dropped request succeeded")
+	}
+	if !Injected(err) {
+		t.Fatalf("drop not detectable as injected: %v", err)
+	}
+	var uerr *url.Error
+	if !errors.As(err, &uerr) {
+		t.Fatalf("client error is not a url.Error: %T", err)
+	}
+}
+
+// TestTransportStatusInjection: a synthesized status carries the marker
+// header and never reaches the upstream.
+func TestTransportStatusInjection(t *testing.T) {
+	upstream := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		upstream++
+	}))
+	defer ts.Close()
+	tr := NewTransport(nil, &Schedule{Seed: 1, Rules: []Rule{{Name: "burst", Status: 500, StatusProb: 1}}})
+	client := &http.Client{Transport: tr}
+	resp, err := client.Post(ts.URL, "application/json", strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 500 {
+		t.Fatalf("status %d, want injected 500", resp.StatusCode)
+	}
+	if resp.Header.Get(Header) == "" {
+		t.Fatal("synthesized response missing the injected marker header")
+	}
+	if upstream != 0 {
+		t.Fatalf("upstream saw %d requests for an injected status", upstream)
+	}
+	if st := tr.Stats(); st.Statuses != 1 || st.Passed != 0 {
+		t.Fatalf("stats %+v, want 1 synthesized status", st)
+	}
+}
+
+// TestTransportLatency: injected latency delays the round trip but the
+// response is the upstream's own.
+func TestTransportLatency(t *testing.T) {
+	ts := okServer(t)
+	tr := NewTransport(nil, &Schedule{Seed: 1, Rules: []Rule{{Name: "slow", LatencyMS: 80}}})
+	client := &http.Client{Transport: tr}
+	start := time.Now()
+	resp, err := client.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(b) != "ok" {
+		t.Fatalf("body %q", b)
+	}
+	if took := time.Since(start); took < 80*time.Millisecond {
+		t.Fatalf("round trip took %v, want >= 80ms injected latency", took)
+	}
+	if st := tr.Stats(); st.Delayed != 1 || st.DelayedMS < 80 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestTransportLatencyRespectsContext: a cancelled caller never waits
+// out an injected delay.
+func TestTransportLatencyRespectsContext(t *testing.T) {
+	ts := okServer(t)
+	tr := NewTransport(nil, &Schedule{Seed: 1, Rules: []Rule{{Name: "glacial", LatencyMS: 10_000}}})
+	client := &http.Client{Transport: tr}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL, nil)
+	start := time.Now()
+	if _, err := client.Do(req); err == nil {
+		t.Fatal("glacial request succeeded")
+	}
+	if took := time.Since(start); took > 2*time.Second {
+		t.Fatalf("cancelled request still took %v", took)
+	}
+}
+
+// TestRuleHostAndWindowMatching: host filters and time windows bound a
+// rule's blast radius.
+func TestRuleHostAndWindowMatching(t *testing.T) {
+	r := Rule{Hosts: []string{"a:1"}, StartMS: 100, EndMS: 200}
+	for _, tc := range []struct {
+		elapsed int64
+		host    string
+		want    bool
+	}{
+		{150, "a:1", true},
+		{150, "A:1", true}, // case-insensitive
+		{150, "b:2", false},
+		{50, "a:1", false},
+		{200, "a:1", false}, // end exclusive
+	} {
+		if got := r.activeAt(tc.elapsed, tc.host); got != tc.want {
+			t.Errorf("activeAt(%d, %q) = %v, want %v", tc.elapsed, tc.host, got, tc.want)
+		}
+	}
+}
+
+// TestRuleFlapping: a period/on pair gates activity to the duty cycle.
+func TestRuleFlapping(t *testing.T) {
+	r := Rule{PeriodMS: 100, OnMS: 30}
+	for _, tc := range []struct {
+		elapsed int64
+		want    bool
+	}{{0, true}, {29, true}, {30, false}, {99, false}, {100, true}, {129, true}, {130, false}} {
+		if got := r.activeAt(tc.elapsed, "x"); got != tc.want {
+			t.Errorf("flapping activeAt(%d) = %v, want %v", tc.elapsed, got, tc.want)
+		}
+	}
+}
+
+// TestTransportDeterminism: the same seed injects the same fault
+// sequence.
+func TestTransportDeterminism(t *testing.T) {
+	ts := okServer(t)
+	outcomes := func(seed int64) string {
+		tr := NewTransport(nil, &Schedule{Seed: seed, Rules: []Rule{{Name: "half", DropProb: 0.5}}})
+		client := &http.Client{Transport: tr}
+		var b strings.Builder
+		for i := 0; i < 64; i++ {
+			if _, err := client.Get(ts.URL); err != nil {
+				b.WriteByte('d')
+			} else {
+				b.WriteByte('.')
+			}
+		}
+		return b.String()
+	}
+	a, b := outcomes(7), outcomes(7)
+	if a != b {
+		t.Fatalf("same seed, different fault sequences:\n%s\n%s", a, b)
+	}
+	if !strings.Contains(a, "d") || !strings.Contains(a, ".") {
+		t.Fatalf("half-drop produced a degenerate sequence %s", a)
+	}
+	if c := outcomes(8); c == a {
+		t.Fatal("different seeds produced identical fault sequences — rng not seeded")
+	}
+}
+
+// TestProxyRelaysAndInjects: the reverse proxy passes clean traffic
+// through byte-for-byte and turns injected drops into marked 502s.
+func TestProxyRelaysAndInjects(t *testing.T) {
+	ts := okServer(t)
+
+	clean, err := NewProxy(ts.URL, &Schedule{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(clean)
+	defer front.Close()
+	resp, err := http.Get(front.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || string(b) != "ok" {
+		t.Fatalf("clean proxy: status %d body %q", resp.StatusCode, b)
+	}
+
+	dropping, err := NewProxy(ts.URL, &Schedule{Seed: 3, Rules: []Rule{{Name: "part", DropProb: 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front2 := httptest.NewServer(dropping)
+	defer front2.Close()
+	resp, err = http.Get(front2.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("dropped request surfaced status %d, want 502", resp.StatusCode)
+	}
+	if resp.Header.Get(Header) == "" {
+		t.Fatal("injected-drop 502 missing the marker header")
+	}
+	if st := dropping.Stats(); st.Dropped != 1 {
+		t.Fatalf("proxy stats %+v, want 1 drop", st)
+	}
+}
+
+func TestNewProxyRejectsBadTarget(t *testing.T) {
+	for _, target := range []string{"", "not a url at all \x00", "no-scheme"} {
+		if _, err := NewProxy(target, nil); err == nil {
+			t.Errorf("NewProxy accepted %q", target)
+		}
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"sync"
 	"time"
 
+	"pipesched/internal/faultinject"
 	"pipesched/internal/workload"
 )
 
@@ -71,6 +72,15 @@ type Config struct {
 	Bound float64
 	// Timeout bounds each request (default 30s).
 	Timeout time.Duration
+	// Chaos, when set, routes the load stream's requests through a
+	// fault-injecting transport under this seeded schedule: injected
+	// drops, latency and synthesized statuses exercise the client-facing
+	// path of a fleet under partition. Injected faults are counted
+	// separately (Report.Injected) and never as Errors — they are the
+	// harness's own doing, not the fleet's. The verify stream always
+	// uses a clean client, so bit-identity is asserted on real
+	// responses only.
+	Chaos *faultinject.Schedule
 }
 
 func (c *Config) setDefaults() error {
@@ -134,6 +144,7 @@ type Report struct {
 	Targets        int            `json:"targets"`
 	Sent           int            `json:"sent"`
 	Errors         int            `json:"errors"`     // transport failures + non-200 statuses
+	Injected       int            `json:"injected"`   // client-side chaos faults (never errors)
 	Mismatches     int            `json:"mismatches"` // verify-target body divergences
 	ElapsedSeconds float64        `json:"elapsed_seconds"`
 	QPS            float64        `json:"qps"`
@@ -145,10 +156,10 @@ type Report struct {
 // workerState accumulates one worker's tallies, merged after the run so
 // the hot loop never shares a counter.
 type workerState struct {
-	sent, errors, mismatches int
-	tiers                    map[string]int
-	statuses                 map[string]int
-	latencies                []time.Duration
+	sent, errors, injected, mismatches int
+	tiers                              map[string]int
+	statuses                           map[string]int
+	latencies                          []time.Duration
 }
 
 // Run executes one load-generation run and returns its report. The
@@ -163,12 +174,23 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	client := &http.Client{
-		Timeout: cfg.Timeout,
-		Transport: &http.Transport{
+	newTransport := func() http.RoundTripper {
+		return &http.Transport{
 			MaxIdleConnsPerHost: cfg.Workers + 1,
 			IdleConnTimeout:     90 * time.Second,
-		},
+		}
+	}
+	rt := newTransport()
+	if cfg.Chaos != nil {
+		rt = faultinject.NewTransport(rt, cfg.Chaos)
+	}
+	client := &http.Client{Timeout: cfg.Timeout, Transport: rt}
+	// The verify stream never crosses the chaos transport: mismatch
+	// accounting must compare real fleet responses against the
+	// reference, not the harness's own injected failures.
+	verifyClient := client
+	if cfg.Chaos != nil {
+		verifyClient = &http.Client{Timeout: cfg.Timeout, Transport: newTransport()}
 	}
 
 	runCtx := ctx
@@ -224,12 +246,25 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			for j := range jobs {
 				body := bodies[j.key]
 				t0 := time.Now()
-				status, tier, respBody, err := post(runCtx, client, cfg.Targets[j.target], body)
+				status, tier, injected, respBody, err := post(runCtx, client, cfg.Targets[j.target], body)
 				st.latencies = append(st.latencies, time.Since(t0))
 				st.sent++
 				if err != nil {
-					st.errors++
-					st.statuses["transport-error"]++
+					if faultinject.Injected(err) {
+						// The harness dropped its own request; the fleet
+						// never saw it, so it cannot count against it.
+						st.injected++
+						st.statuses["injected"]++
+					} else {
+						st.errors++
+						st.statuses["transport-error"]++
+					}
+					continue
+				}
+				if injected {
+					// A synthesized client-side status, same reasoning.
+					st.injected++
+					st.statuses["injected"]++
 					continue
 				}
 				st.statuses[strconv.Itoa(status)]++
@@ -241,7 +276,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 					st.tiers[tier]++
 				}
 				if cfg.VerifyTarget != "" {
-					_, _, refBody, err := post(runCtx, client, cfg.VerifyTarget, body)
+					_, _, _, refBody, err := post(runCtx, verifyClient, cfg.VerifyTarget, body)
 					if err != nil || !bytes.Equal(respBody, refBody) {
 						st.mismatches++
 					}
@@ -262,6 +297,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	for _, st := range states {
 		rep.Sent += st.sent
 		rep.Errors += st.errors
+		rep.Injected += st.injected
 		rep.Mismatches += st.mismatches
 		for k, v := range st.tiers {
 			rep.Tiers[k] += v
@@ -328,24 +364,25 @@ func buildBodies(cfg Config) ([][]byte, error) {
 	return bodies, nil
 }
 
-// post issues one solve request and returns status, X-Cache tier and
+// post issues one solve request and returns status, X-Cache tier,
+// whether the response was synthesized by a chaos transport, and the
 // body.
-func post(ctx context.Context, client *http.Client, target string, body []byte) (int, string, []byte, error) {
+func post(ctx context.Context, client *http.Client, target string, body []byte) (int, string, bool, []byte, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, target+"/v1/solve", bytes.NewReader(body))
 	if err != nil {
-		return 0, "", nil, err
+		return 0, "", false, nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := client.Do(req)
 	if err != nil {
-		return 0, "", nil, err
+		return 0, "", false, nil, err
 	}
 	defer resp.Body.Close()
 	b, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return 0, "", nil, err
+		return 0, "", false, nil, err
 	}
-	return resp.StatusCode, resp.Header.Get("X-Cache"), b, nil
+	return resp.StatusCode, resp.Header.Get("X-Cache"), resp.Header.Get(faultinject.Header) != "", b, nil
 }
 
 // summarize computes the latency tail of one run.

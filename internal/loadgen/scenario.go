@@ -1,0 +1,143 @@
+package loadgen
+
+// Scenario support: multi-phase load shapes described in committed JSON
+// files (scripts/scenarios/) and replayed via pipeschedbench -scenario.
+// Each phase is one Run with its own duration/rate/skew overlaid on a
+// base Config, so a scenario composes the primitives the engine already
+// has — ramps, Zipf skew, verify, chaos — into named traffic stories:
+// a diurnal ramp, a flash crowd, the client side of a rolling restart.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+)
+
+// ScenarioPhase is one stretch of a scenario. Zero-valued fields inherit
+// from the base Config (and through it the engine defaults); a phase
+// must bound itself with either DurationMS or Requests.
+type ScenarioPhase struct {
+	// Name labels the phase in reports.
+	Name string `json:"name"`
+	// DurationMS bounds the phase in time; Requests bounds it by exact
+	// request count (deterministic key sequence). Exactly one must be
+	// positive.
+	DurationMS int64 `json:"duration_ms,omitempty"`
+	Requests   int   `json:"requests,omitempty"`
+	// Rate (and FinalRate, for a linear ramp across the phase) in
+	// requests/second; 0 = closed loop.
+	Rate      float64 `json:"rate,omitempty"`
+	FinalRate float64 `json:"final_rate,omitempty"`
+	// Workers overrides the concurrent request loops for this phase.
+	Workers int `json:"workers,omitempty"`
+	// Keys/ZipfS reshape the key universe and its skew; Seed re-seeds
+	// the phase (draw order and instance universe — leave it zero to
+	// keep the base config's keys, and with them cache continuity,
+	// across phases).
+	Keys  int     `json:"keys,omitempty"`
+	ZipfS float64 `json:"zipf_s,omitempty"`
+	Seed  int64   `json:"seed,omitempty"`
+	// PauseMS sleeps after the phase completes, before the next one —
+	// the quiet gap an operator uses to restart a daemon mid-scenario.
+	PauseMS int64 `json:"pause_ms,omitempty"`
+}
+
+// Scenario is a named sequence of phases.
+type Scenario struct {
+	Name        string          `json:"name"`
+	Description string          `json:"description,omitempty"`
+	Phases      []ScenarioPhase `json:"phases"`
+}
+
+// PhaseReport pairs a phase with its run outcome.
+type PhaseReport struct {
+	Phase  string  `json:"phase"`
+	Report *Report `json:"report"`
+}
+
+// ParseScenario decodes and validates the JSON form.
+func ParseScenario(data []byte) (*Scenario, error) {
+	var sc Scenario
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sc); err != nil {
+		return nil, fmt.Errorf("loadgen: parse scenario: %w", err)
+	}
+	if len(sc.Phases) == 0 {
+		return nil, fmt.Errorf("loadgen: scenario %q has no phases", sc.Name)
+	}
+	for i, p := range sc.Phases {
+		if p.DurationMS <= 0 && p.Requests <= 0 {
+			return nil, fmt.Errorf("loadgen: scenario %q phase %d (%s): needs duration_ms or requests", sc.Name, i, p.Name)
+		}
+		if p.DurationMS > 0 && p.Requests > 0 {
+			return nil, fmt.Errorf("loadgen: scenario %q phase %d (%s): duration_ms and requests are exclusive", sc.Name, i, p.Name)
+		}
+		if p.DurationMS < 0 || p.Requests < 0 || p.Rate < 0 || p.FinalRate < 0 || p.Workers < 0 || p.Keys < 0 || p.PauseMS < 0 {
+			return nil, fmt.Errorf("loadgen: scenario %q phase %d (%s): negative field", sc.Name, i, p.Name)
+		}
+	}
+	return &sc, nil
+}
+
+// LoadScenario reads and parses a scenario file.
+func LoadScenario(path string) (*Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: %w", err)
+	}
+	return ParseScenario(data)
+}
+
+// phaseConfig overlays one phase on the base config.
+func phaseConfig(base Config, p ScenarioPhase) Config {
+	cfg := base
+	cfg.Requests = p.Requests
+	cfg.Duration = time.Duration(p.DurationMS) * time.Millisecond
+	cfg.Rate = p.Rate
+	cfg.FinalRate = p.FinalRate
+	if p.Workers > 0 {
+		cfg.Workers = p.Workers
+	}
+	if p.Keys > 0 {
+		cfg.Keys = p.Keys
+	}
+	if p.ZipfS > 0 {
+		cfg.ZipfS = p.ZipfS
+	}
+	if p.Seed != 0 {
+		cfg.Seed = p.Seed
+	}
+	return cfg
+}
+
+// RunScenario replays the scenario's phases in order against the base
+// config, returning one report per phase. A phase's run error aborts the
+// scenario; phase-level request errors and mismatches stay in the
+// reports for the caller to judge (pipeschedbench exits dirty if any
+// phase saw one).
+func RunScenario(ctx context.Context, base Config, sc *Scenario) ([]PhaseReport, error) {
+	reports := make([]PhaseReport, 0, len(sc.Phases))
+	for i, p := range sc.Phases {
+		rep, err := Run(ctx, phaseConfig(base, p))
+		if err != nil {
+			return reports, fmt.Errorf("loadgen: scenario %q phase %d (%s): %w", sc.Name, i, p.Name, err)
+		}
+		name := p.Name
+		if name == "" {
+			name = fmt.Sprintf("phase-%d", i+1)
+		}
+		reports = append(reports, PhaseReport{Phase: name, Report: rep})
+		if p.PauseMS > 0 {
+			select {
+			case <-time.After(time.Duration(p.PauseMS) * time.Millisecond):
+			case <-ctx.Done():
+				return reports, ctx.Err()
+			}
+		}
+	}
+	return reports, nil
+}

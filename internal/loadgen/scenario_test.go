@@ -1,0 +1,168 @@
+package loadgen
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"pipesched/internal/faultinject"
+)
+
+func TestParseScenarioRejects(t *testing.T) {
+	for name, data := range map[string]string{
+		"empty-object":  `{}`,
+		"no-phases":     `{"name":"x","phases":[]}`,
+		"unbounded":     `{"name":"x","phases":[{"name":"p"}]}`,
+		"both-bounds":   `{"name":"x","phases":[{"requests":10,"duration_ms":100}]}`,
+		"negative-rate": `{"name":"x","phases":[{"requests":10,"rate":-1}]}`,
+		"unknown-field": `{"name":"x","phases":[{"requests":10,"burst":true}]}`,
+		"not-json":      `phases: [p1]`,
+	} {
+		if _, err := ParseScenario([]byte(data)); err == nil {
+			t.Errorf("%s: ParseScenario accepted %s", name, data)
+		}
+	}
+
+	sc, err := ParseScenario([]byte(`{
+		"name": "ok",
+		"phases": [
+			{"name": "warm", "requests": 10},
+			{"name": "storm", "duration_ms": 500, "rate": 100, "final_rate": 500, "pause_ms": 50}
+		]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Name != "ok" || len(sc.Phases) != 2 || sc.Phases[1].FinalRate != 500 {
+		t.Fatalf("parsed scenario = %+v", sc)
+	}
+}
+
+func TestPhaseConfigOverlay(t *testing.T) {
+	base := Config{
+		Targets: []string{"http://x"},
+		Workers: 8, Keys: 64, ZipfS: 1.3, Seed: 7,
+		Requests: 999, Duration: time.Hour, Rate: 123, FinalRate: 456,
+	}
+
+	// A sparse phase resets the run bounds (they are per-phase, never
+	// inherited) but keeps workers/keys/skew/seed from the base.
+	got := phaseConfig(base, ScenarioPhase{Requests: 10})
+	if got.Requests != 10 || got.Duration != 0 || got.Rate != 0 || got.FinalRate != 0 {
+		t.Fatalf("run bounds not reset: %+v", got)
+	}
+	if got.Workers != 8 || got.Keys != 64 || got.ZipfS != 1.3 || got.Seed != 7 {
+		t.Fatalf("base fields not inherited: %+v", got)
+	}
+
+	// A full phase overrides each of them.
+	got = phaseConfig(base, ScenarioPhase{
+		DurationMS: 250, Rate: 50, FinalRate: 100,
+		Workers: 2, Keys: 16, ZipfS: 2, Seed: 99,
+	})
+	if got.Duration != 250*time.Millisecond || got.Rate != 50 || got.FinalRate != 100 {
+		t.Fatalf("phase bounds not applied: %+v", got)
+	}
+	if got.Workers != 2 || got.Keys != 16 || got.ZipfS != 2 || got.Seed != 99 {
+		t.Fatalf("phase overrides not applied: %+v", got)
+	}
+}
+
+func TestRunScenarioPhases(t *testing.T) {
+	stub := &countingStub{}
+	ts := httptest.NewServer(stub.handler())
+	defer ts.Close()
+	sc, err := ParseScenario([]byte(`{
+		"name": "two-step",
+		"phases": [
+			{"name": "warm", "requests": 20},
+			{"requests": 30, "workers": 2}
+		]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, err := RunScenario(context.Background(), Config{
+		Targets: []string{ts.URL},
+		Workers: 4, Keys: 8, Seed: 3,
+		Stages: 4, Processors: 3,
+	}, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("got %d phase reports, want 2", len(reports))
+	}
+	if reports[0].Phase != "warm" || reports[1].Phase != "phase-2" {
+		t.Fatalf("phase names = %q, %q", reports[0].Phase, reports[1].Phase)
+	}
+	if reports[0].Report.Sent != 20 || reports[1].Report.Sent != 30 {
+		t.Fatalf("sent = %d, %d; want 20, 30", reports[0].Report.Sent, reports[1].Report.Sent)
+	}
+	if total := len(stub.sorted()); total != 50 {
+		t.Fatalf("server saw %d requests, want 50", total)
+	}
+}
+
+func TestRunScenarioHonoursContext(t *testing.T) {
+	stub := &countingStub{}
+	ts := httptest.NewServer(stub.handler())
+	defer ts.Close()
+	sc, err := ParseScenario([]byte(`{
+		"name": "pausey",
+		"phases": [{"name": "p1", "requests": 5, "pause_ms": 60000}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	reports, err := RunScenario(ctx, Config{
+		Targets: []string{ts.URL},
+		Workers: 2, Keys: 4, Seed: 1,
+		Stages: 4, Processors: 3,
+	}, sc)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(reports) != 1 || reports[0].Report.Sent != 5 {
+		t.Fatalf("the completed phase must still be reported: %+v", reports)
+	}
+	if time.Since(start) > 10*time.Second {
+		t.Fatal("cancellation did not cut the pause short")
+	}
+}
+
+func TestRunChaosCountsInjected(t *testing.T) {
+	stub := &countingStub{}
+	ts := httptest.NewServer(stub.handler())
+	defer ts.Close()
+	// Every request gets a synthesized 500 — all injected, none of them
+	// client-visible errors.
+	rep, err := Run(context.Background(), Config{
+		Targets: []string{ts.URL},
+		Workers: 2, Requests: 25, Keys: 4, Seed: 9,
+		Stages: 4, Processors: 3,
+		Chaos: &faultinject.Schedule{
+			Seed:  1,
+			Rules: []faultinject.Rule{{Name: "blackout", Status: 500, StatusProb: 1}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sent != 25 || rep.Injected != 25 {
+		t.Fatalf("sent %d injected %d, want 25/25", rep.Sent, rep.Injected)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("injected faults counted as %d errors, want 0", rep.Errors)
+	}
+	if len(stub.sorted()) != 0 {
+		t.Fatal("synthesized statuses must never reach the upstream")
+	}
+}

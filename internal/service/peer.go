@@ -1,26 +1,37 @@
 package service
 
 // Peer-aware serving: the glue between the HTTP handlers and
-// internal/cluster. In cluster mode every canonical cache key has one
-// owner daemon (rendezvous hashing over the key bytes); the request flow
-// on each node becomes
+// internal/cluster. In cluster mode every canonical cache key has an
+// ordered replica set of R owner daemons (rendezvous ranking over the
+// key bytes); the request flow on each node becomes
 //
-//	local cache hit            -> X-Cache: hit        (second-tier hits included)
-//	miss, self owns the key    -> solve locally       (miss/collapsed, as single-node)
-//	miss, peer owns, peer up   -> proxy to owner      (remote-hit / remote-miss),
-//	                              install the bytes locally as a second-tier hit
-//	miss, peer owns, peer down -> solve locally       (fallback)
+//	local cache hit              -> X-Cache: hit        (second-tier hits included)
+//	miss, self is a replica      -> solve locally       (miss/collapsed, as single-node)
+//	miss, a replica is up        -> proxy to replicas   (remote-hit / remote-miss /
+//	                                hedged-hit), install the bytes locally
+//	                                as a second-tier hit
+//	miss, all replicas down      -> solve locally       (fallback)
 //
-// Peer failure is never a client-visible error: transport failures and
-// forward timeouts mark the owner down for a backoff window and degrade
-// to the local solve, which produces byte-identical bodies (the solvers
-// are deterministic) at single-node latency. Responses proxied from the
-// owner are the owner's rendered bytes verbatim, so every tier serves
+// Forwards are hedged: the first replica is tried immediately, and if it
+// has neither answered nor failed within the hedge delay the next
+// replica joins the race; the first usable answer wins and the losers
+// are cancelled. Peer failure is never a client-visible error: transport
+// failures and forward timeouts mark a replica down for a
+// capped-exponential backoff window and the request degrades to the next
+// replica or the local solve, which produces byte-identical bodies (the
+// solvers are deterministic) at single-node latency. Responses proxied
+// from a replica are its rendered bytes verbatim, so every tier serves
 // exactly the same body for the same request.
+//
+// The topology is swappable at runtime (ReloadTopology): requests in
+// flight finish under the epoch they started with, new requests route
+// under the new view, and the reloading node pulls newly-owned keys from
+// its peers' snapshots in the background.
 
 import (
 	"context"
 	"errors"
+	"hash/fnv"
 	"net/http"
 	"sync/atomic"
 	"time"
@@ -29,22 +40,47 @@ import (
 	"pipesched/internal/service/cache"
 )
 
+// DefaultReplicas is the replica-set size per key when ClusterConfig
+// leaves Replicas zero: two owners, so one death costs no cache
+// coverage.
+const DefaultReplicas = 2
+
 // ClusterConfig configures peer-aware serving. The Topology is built
 // once by the caller (cluster.NewTopology validates the peer list), so
 // Server construction stays infallible.
 type ClusterConfig struct {
-	// Topology is the fleet view: static peer list plus self index.
+	// Topology is the fleet view: normalised peer list plus self index.
+	// It is the initial epoch; ReloadTopology swaps in successors.
 	Topology *cluster.Topology
-	// ForwardTimeout bounds one owner-forward round trip; 0 selects
+	// Replicas is the per-key replica-set size R; 0 selects
+	// DefaultReplicas (2), and values beyond the fleet size clamp.
+	Replicas int
+	// ForwardTimeout bounds one replica-forward round trip; 0 selects
 	// cluster.DefaultForwardTimeout (2s).
 	ForwardTimeout time.Duration
-	// PeerBackoff is how long a peer stays down after a transport
-	// failure; 0 selects cluster.DefaultBackoff (5s).
+	// HedgeAfter is how long the newest forward attempt may stay
+	// unanswered before the next replica joins the race; 0 selects a
+	// quarter of ForwardTimeout (a p95-ish bound for a healthy peer).
+	// Negative disables hedging (each replica gets the full timeout).
+	HedgeAfter time.Duration
+	// PeerBackoff is the base down window after a peer failure; 0
+	// selects cluster.DefaultBackoff (5s). Consecutive failures double
+	// it up to MaxPeerBackoff.
 	PeerBackoff time.Duration
+	// MaxPeerBackoff caps the exponential window; 0 selects
+	// cluster.DefaultMaxBackoff (60s).
+	MaxPeerBackoff time.Duration
+	// JitterSeed seeds the backoff jitter; 0 derives a per-node seed
+	// from the advertise URL so a fleet never re-probes in lockstep.
+	JitterSeed int64
 	// SnapshotEntries bounds both the hot set served on
 	// GET /v1/peer/snapshot and the entries accepted per peer during
-	// warm-up; 0 selects the default (1024).
+	// warm-up and handoff; 0 selects the default (1024).
 	SnapshotEntries int
+	// Transport overrides the peer client's HTTP transport — the hook
+	// the chaos suite uses to inject faults in-process. nil selects the
+	// default pooled transport.
+	Transport http.RoundTripper
 }
 
 const defaultSnapshotEntries = 1024
@@ -56,20 +92,90 @@ func (c *ClusterConfig) snapshotEntries() int {
 	return c.SnapshotEntries
 }
 
-// peerRouter holds the cluster state of one Server: topology, the peer
-// client with its health view, and the peer-tier counters.
+func (c *ClusterConfig) replicas() int {
+	if c.Replicas <= 0 {
+		return DefaultReplicas
+	}
+	return c.Replicas
+}
+
+func (c *ClusterConfig) hedgeAfter() time.Duration {
+	if c.HedgeAfter == 0 {
+		t := c.ForwardTimeout
+		if t <= 0 {
+			t = cluster.DefaultForwardTimeout
+		}
+		return t / 4
+	}
+	if c.HedgeAfter < 0 {
+		// Disabled: each replica gets the full forward timeout before
+		// the next one is tried.
+		t := c.ForwardTimeout
+		if t <= 0 {
+			t = cluster.DefaultForwardTimeout
+		}
+		return t
+	}
+	return c.HedgeAfter
+}
+
+// peerEpoch is one immutable (topology, client) pair. Swapping epochs
+// atomically is what makes membership dynamic: a request loads the
+// pointer once and routes consistently under that view even while a
+// reload lands.
+type peerEpoch struct {
+	topo   *cluster.Topology
+	client *cluster.Client
+}
+
+// peerRouter holds the cluster state of one Server: the current epoch,
+// the routing parameters shared by all epochs, and the peer-tier
+// counters.
 type peerRouter struct {
-	topo            *cluster.Topology
-	client          *cluster.Client
+	epoch           atomic.Pointer[peerEpoch]
+	replicas        int
+	hedgeAfter      time.Duration
 	snapshotEntries int
 
-	forwarded       atomic.Uint64 // requests proxied to an owner, any outcome
-	remoteHits      atomic.Uint64 // proxied, owner had it cached
-	remoteMisses    atomic.Uint64 // proxied, owner solved it
-	fallbacks       atomic.Uint64 // owner down or forward failed; solved locally
+	// Client construction parameters, kept so ReloadTopology can build
+	// a health table sized to the new fleet.
+	timeout    time.Duration
+	backoff    time.Duration
+	maxBackoff time.Duration
+	jitterSeed int64
+	transport  http.RoundTripper
+
+	forwarded       atomic.Uint64 // requests proxied to a replica, any outcome
+	remoteHits      atomic.Uint64 // proxied, replica had it cached
+	remoteMisses    atomic.Uint64 // proxied, replica solved it
+	hedgedHits      atomic.Uint64 // proxied, a hedge attempt won the race
+	fallbacks       atomic.Uint64 // all replicas down or forwards failed; solved locally
 	ownedForwards   atomic.Uint64 // forwarded requests served for peers
 	snapshotsServed atomic.Uint64 // GET /v1/peer/snapshot responses
 	warmedEntries   atomic.Uint64 // entries imported by WarmFromPeers
+	reloads         atomic.Uint64 // topology epochs swapped in
+	handoffEntries  atomic.Uint64 // entries imported by reload handoff
+}
+
+// newClient builds a peer client sized to topo under this router's
+// shared parameters.
+func (p *peerRouter) newClient(topo *cluster.Topology) *cluster.Client {
+	seed := p.jitterSeed
+	if seed == 0 {
+		// Derive a per-node seed from the advertise URL: distinct on
+		// every node, stable across restarts.
+		h := fnv.New64a()
+		h.Write([]byte(topo.Peer(topo.Self())))
+		seed = int64(h.Sum64())
+	}
+	return cluster.NewClient(cluster.ClientConfig{
+		Peers:      topo.Size(),
+		Timeout:    p.timeout,
+		Backoff:    p.backoff,
+		MaxBackoff: p.maxBackoff,
+		JitterSeed: seed,
+		Transport:  p.transport,
+	})
 }
 
 // newPeerRouter builds the router, or nil when cfg is absent (single-node
@@ -78,11 +184,18 @@ func newPeerRouter(cfg *ClusterConfig) *peerRouter {
 	if cfg == nil || cfg.Topology == nil {
 		return nil
 	}
-	return &peerRouter{
-		topo:            cfg.Topology,
-		client:          cluster.NewClient(cfg.Topology.Size(), cfg.ForwardTimeout, cfg.PeerBackoff),
+	p := &peerRouter{
+		replicas:        cfg.replicas(),
+		hedgeAfter:      cfg.hedgeAfter(),
 		snapshotEntries: cfg.snapshotEntries(),
+		timeout:         cfg.ForwardTimeout,
+		backoff:         cfg.PeerBackoff,
+		maxBackoff:      cfg.MaxPeerBackoff,
+		jitterSeed:      cfg.JitterSeed,
+		transport:       cfg.Transport,
 	}
+	p.epoch.Store(&peerEpoch{topo: cfg.Topology, client: p.newClient(cfg.Topology)})
+	return p
 }
 
 // isPeerForward reports whether r was already forwarded once by a peer.
@@ -91,36 +204,56 @@ func isPeerForward(r *http.Request) bool {
 }
 
 // route decides how a locally-missed key is served. It returns
-// served=true with the owner's body and tier when the request was
+// served=true with a replica's body and tier when the request was
 // successfully proxied; otherwise served=false and the caller solves
 // locally, with fellBack=true when a forward was warranted but failed
 // (the X-Cache tier the caller should then report is "fallback").
 func (p *peerRouter) route(r *http.Request, key cache.Key, path string, raw []byte) (body []byte, tier int, served, fellBack bool) {
 	if isPeerForward(r) {
-		// We are the owner being asked by a peer (or a topology
+		// We are a replica being asked by a peer (or a topology
 		// disagreement's second hop): always serve locally, never
 		// forward again — loops are structurally impossible.
 		p.ownedForwards.Add(1)
 		return nil, 0, false, false
 	}
-	owner := p.topo.Owner(cluster.Key(key))
-	if owner == p.topo.Self() {
-		return nil, 0, false, false
+	ep := p.epoch.Load()
+	var ownerBuf [4]int
+	owners := ep.topo.Owners(cluster.Key(key), p.replicas, ownerBuf[:0])
+	candidates := owners[:0]
+	for _, o := range owners {
+		if o == ep.topo.Self() {
+			// This node is in the key's replica set: the local solve IS
+			// the authoritative copy, no forward needed.
+			return nil, 0, false, false
+		}
+		if ep.client.Available(o) {
+			candidates = append(candidates, o)
+		}
 	}
-	if !p.client.Available(owner) {
+	if len(candidates) == 0 {
 		p.fallbacks.Add(1)
 		return nil, 0, false, true
 	}
-	res, err := p.client.Forward(r.Context(), owner, p.topo.Peer(owner), path, raw)
+	urls := make([]string, len(candidates))
+	for i, o := range candidates {
+		urls[i] = ep.topo.Peer(o)
+	}
+	res, err := ep.client.ForwardHedged(r.Context(), candidates, urls, path, raw, p.hedgeAfter)
 	if err != nil || res.Status != http.StatusOK {
-		// Transport failures marked the peer down inside Forward; a
-		// non-200 from a live owner (e.g. its own 504 under load) also
-		// degrades to the deterministic local solve rather than relaying
-		// a status this node can do better than.
+		// Transport failures marked the replicas down inside the client;
+		// a non-200 from a live replica (e.g. its own 504 under load)
+		// also degrades to the deterministic local solve rather than
+		// relaying a status this node can do better than.
 		p.fallbacks.Add(1)
 		return nil, 0, false, true
 	}
 	p.forwarded.Add(1)
+	if res.Hedged {
+		// A hedge attempt beat (or replaced) the first replica: the
+		// client saw no slow-path stall, which is worth its own tier.
+		p.hedgedHits.Add(1)
+		return res.Body, tierHedgedHit, true, false
+	}
 	switch res.XCache {
 	case "hit", "collapsed":
 		p.remoteHits.Add(1)
@@ -132,7 +265,8 @@ func (p *peerRouter) route(r *http.Request, key cache.Key, path string, raw []by
 }
 
 // handleSnapshot streams this node's hot cache entries in the peer wire
-// codec — the warm-up source for joining nodes.
+// codec — the warm-up source for joining nodes and the handoff source
+// for membership changes.
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	items := s.cache.Snapshot(s.peers.snapshotEntries)
 	entries := make([]cluster.Entry, len(items))
@@ -157,13 +291,14 @@ func (s *Server) WarmFromPeers(ctx context.Context) (int, error) {
 		return 0, nil
 	}
 	p := s.peers
+	ep := p.epoch.Load()
 	imported := 0
 	var errs []error
-	for i := 0; i < p.topo.Size(); i++ {
-		if i == p.topo.Self() {
+	for i := 0; i < ep.topo.Size(); i++ {
+		if i == ep.topo.Self() {
 			continue
 		}
-		entries, err := p.client.FetchSnapshot(ctx, i, p.topo.Peer(i), p.snapshotEntries, int(s.opts.maxBody()))
+		entries, err := ep.client.FetchSnapshot(ctx, i, ep.topo.Peer(i), p.snapshotEntries, int(s.opts.maxBody()))
 		if err != nil {
 			errs = append(errs, err)
 			continue
@@ -177,19 +312,94 @@ func (s *Server) WarmFromPeers(ctx context.Context) (int, error) {
 	return imported, errors.Join(errs...)
 }
 
+// ReloadTopology swaps a new fleet view in atomically and performs the
+// snapshot-driven key handoff: this node pulls its peers' hot entries
+// and installs the keys whose replica set it just joined, so a
+// membership change costs no cache coverage. Requests in flight finish
+// under the epoch they started with; new requests route under topo
+// immediately — correctness never waits for the handoff (an unhanded-off
+// key simply misses and forwards or solves). The number of handed-off
+// entries is returned; fetch failures are collected, not fatal. Calling
+// it on a single-node server is an error: there is no peer surface to
+// reload.
+func (s *Server) ReloadTopology(ctx context.Context, topo *cluster.Topology) (int, error) {
+	if s.peers == nil {
+		return 0, errors.New("service: single-node server has no topology to reload")
+	}
+	p := s.peers
+	old := p.epoch.Load()
+	ep := &peerEpoch{topo: topo, client: p.newClient(topo)}
+	p.epoch.Store(ep)
+	p.reloads.Add(1)
+
+	// Handoff: for every peer's hot set, keep the keys this node now
+	// replicates but did not before. The cache install is idempotent, so
+	// the old-ownership filter only avoids redundant work, never
+	// correctness.
+	imported := 0
+	var errs []error
+	var newOwn, oldOwn []int
+	for i := 0; i < topo.Size(); i++ {
+		if i == topo.Self() {
+			continue
+		}
+		entries, err := ep.client.FetchSnapshot(ctx, i, topo.Peer(i), p.snapshotEntries, int(s.opts.maxBody()))
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		for _, e := range entries {
+			newOwn = topo.Owners(cluster.Key(e.Key), p.replicas, newOwn)
+			if !containsInt(newOwn, topo.Self()) {
+				continue
+			}
+			oldOwn = old.topo.Owners(cluster.Key(e.Key), p.replicas, oldOwn)
+			if containsInt(oldOwn, old.topo.Self()) {
+				continue
+			}
+			s.cache.Put(cache.Key(e.Key), e.Body)
+			imported++
+		}
+	}
+	p.handoffEntries.Add(uint64(imported))
+	return imported, errors.Join(errs...)
+}
+
+// Topology returns the server's current fleet view, or nil in
+// single-node mode.
+func (s *Server) Topology() *cluster.Topology {
+	if s.peers == nil {
+		return nil
+	}
+	return s.peers.epoch.Load().topo
+}
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
 // ClusterMetricsSnapshot is the "cluster" section of GET /metrics,
 // present only in peer mode.
 type ClusterMetricsSnapshot struct {
 	Peers           int    `json:"peers"`
 	Self            int    `json:"self"`
+	Replicas        int    `json:"replicas"`
 	PeersDown       int    `json:"peers_down"`
 	Forwarded       uint64 `json:"forwarded"`
 	RemoteHits      uint64 `json:"remote_hits"`
 	RemoteMisses    uint64 `json:"remote_misses"`
+	HedgedHits      uint64 `json:"hedged_hits"`
 	Fallbacks       uint64 `json:"fallbacks"`
 	OwnedForwards   uint64 `json:"owned_forwards"`
 	SnapshotsServed uint64 `json:"snapshots_served"`
 	WarmedEntries   uint64 `json:"warmed_entries"`
+	Reloads         uint64 `json:"reloads"`
+	HandoffEntries  uint64 `json:"handoff_entries"`
 }
 
 // snapshot collects the peer-tier counters.
@@ -197,22 +407,27 @@ func (p *peerRouter) snapshot() *ClusterMetricsSnapshot {
 	if p == nil {
 		return nil
 	}
+	ep := p.epoch.Load()
 	down := 0
-	for i := 0; i < p.topo.Size(); i++ {
-		if i != p.topo.Self() && !p.client.Available(i) {
+	for i := 0; i < ep.topo.Size(); i++ {
+		if i != ep.topo.Self() && !ep.client.Available(i) {
 			down++
 		}
 	}
 	return &ClusterMetricsSnapshot{
-		Peers:           p.topo.Size(),
-		Self:            p.topo.Self(),
+		Peers:           ep.topo.Size(),
+		Self:            ep.topo.Self(),
+		Replicas:        p.replicas,
 		PeersDown:       down,
 		Forwarded:       p.forwarded.Load(),
 		RemoteHits:      p.remoteHits.Load(),
 		RemoteMisses:    p.remoteMisses.Load(),
+		HedgedHits:      p.hedgedHits.Load(),
 		Fallbacks:       p.fallbacks.Load(),
 		OwnedForwards:   p.ownedForwards.Load(),
 		SnapshotsServed: p.snapshotsServed.Load(),
 		WarmedEntries:   p.warmedEntries.Load(),
+		Reloads:         p.reloads.Load(),
+		HandoffEntries:  p.handoffEntries.Load(),
 	}
 }

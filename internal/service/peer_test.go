@@ -17,7 +17,9 @@ import (
 // newPeerTestServer builds a peer-aware node whose only peer is peerURL.
 // The unstarted-server trick resolves this node's own address before the
 // topology is built. Short forward/backoff windows keep failure tests in
-// the millisecond range.
+// the millisecond range. Replicas is pinned to 1: these tests cover the
+// single-owner forward semantics, and in a two-node fleet the default
+// R=2 would put self in every key's replica set (no forwards at all).
 func newPeerTestServer(t *testing.T, peerURL string, timeout, backoff time.Duration) (*Server, *httptest.Server) {
 	t.Helper()
 	ts := httptest.NewUnstartedServer(nil)
@@ -28,6 +30,7 @@ func newPeerTestServer(t *testing.T, peerURL string, timeout, backoff time.Durat
 	}
 	s := New(Options{Cluster: &ClusterConfig{
 		Topology:       topo,
+		Replicas:       1,
 		ForwardTimeout: timeout,
 		PeerBackoff:    backoff,
 	}})

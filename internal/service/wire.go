@@ -119,10 +119,11 @@ func renderJSON(v any) ([]byte, error) {
 
 // X-Cache tier indices. The first three coincide with cache.Source
 // (miss, hit, collapsed); the rest are the peer tiers of clustered
-// serving: remote-hit/remote-miss report a response proxied from the
-// key's owner (split by whether the owner itself had it cached), and
-// fallback reports a local solve taken because the owner was
-// unreachable.
+// serving: remote-hit/remote-miss report a response proxied from a
+// key replica (split by whether the replica itself had it cached),
+// hedged-hit reports a proxied response won by a hedge attempt rather
+// than the first replica, and fallback reports a local solve taken
+// because every replica was unreachable.
 const (
 	tierMiss = iota
 	tierHit
@@ -130,6 +131,7 @@ const (
 	tierRemoteHit
 	tierRemoteMiss
 	tierFallback
+	tierHedgedHit
 )
 
 // Static header values: assigning a shared slice into the header map
@@ -145,6 +147,7 @@ var (
 		tierRemoteHit:  {"remote-hit"},
 		tierRemoteMiss: {"remote-miss"},
 		tierFallback:   {"fallback"},
+		tierHedgedHit:  {"hedged-hit"},
 	}
 )
 

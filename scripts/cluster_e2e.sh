@@ -1,10 +1,15 @@
 #!/usr/bin/env bash
-# cluster_e2e.sh — the fleet lane's end-to-end smoke: boot a real 3-node
-# pipeschedd cluster plus a single-node reference on loopback, drive a
-# deterministic Zipf-skewed stream through pipeschedbench with -verify
-# (every fleet response byte-compared against the reference), then kill
-# one daemon and run a second phase against the survivors. Both phases
-# must finish with zero client-visible errors and zero mismatches —
+# cluster_e2e.sh — the fleet lane's end-to-end smoke, now a fault drill:
+# boot a real 3-node pipeschedd fleet (R=2) plus a single-node reference
+# on loopback, with one node's peer traffic crossing a chaosproxy driven
+# by a seeded fault schedule (flapping latency, 5xx bursts, dropped
+# connections). Then, in order: drive a verified Zipf stream through the
+# chaotic fleet, kill one clean node mid-fleet and stream against the
+# survivors, restart it (rolling restart) and stream again, and finally
+# shrink the fleet by rewriting the shared peers file and SIGHUPing the
+# survivors (dynamic membership). Every phase byte-compares every fleet
+# response against the reference via pipeschedbench -verify and must
+# finish with zero client-visible errors and zero mismatches —
 # pipeschedbench exits 1 otherwise, and so does this script.
 #
 # Usage:  scripts/cluster_e2e.sh
@@ -27,9 +32,10 @@ cleanup() {
 }
 trap cleanup EXIT
 
-echo "== building pipeschedd and pipeschedbench"
+echo "== building pipeschedd, pipeschedbench and chaosproxy"
 go build -o "$workdir/pipeschedd" ./cmd/pipeschedd
 go build -o "$workdir/pipeschedbench" ./cmd/pipeschedbench
+go build -o "$workdir/chaosproxy" ./cmd/chaosproxy
 
 # pick_ports: choose N distinct loopback ports that nothing is listening
 # on right now. The bind race between the probe and the daemon's own
@@ -51,14 +57,43 @@ pick_ports() {
     echo "${chosen[@]}"
 }
 
-read -r P1 P2 P3 PREF <<<"$(pick_ports 4)"
-FLEET="http://127.0.0.1:$P1,http://127.0.0.1:$P2,http://127.0.0.1:$P3"
+read -r P1 P2 P3 PCHAOS PREF <<<"$(pick_ports 5)"
+
+# Node 3 advertises the chaosproxy's address: every forward, hedge and
+# snapshot pull aimed at it crosses the fault schedule, while its own
+# client port P3 stays clean — faults are injected into the fleet's
+# internal traffic only, which is exactly what must never leak out.
+URL1="http://127.0.0.1:$P1"
+URL2="http://127.0.0.1:$P2"
+URL3="http://127.0.0.1:$PCHAOS"
+PEERS_FILE="$workdir/peers.txt"
+printf '# e2e fleet\n%s\n%s\n%s\n' "$URL1" "$URL2" "$URL3" >"$PEERS_FILE"
+
+# The schedule: latency flapping past the hedge delay (so forwards hedge
+# to the other replica), 5xx bursts (so peer health marks the node down
+# and traffic routes around it), and a background drop rate. Seeded, so
+# failures reproduce.
+cat >"$workdir/chaos.json" <<'JSON'
+{
+  "seed": 42,
+  "rules": [
+    {"name": "lag",   "latency_ms": 150, "jitter_ms": 100, "period_ms": 2000, "on_ms": 1000},
+    {"name": "burst", "status": 500, "status_prob": 0.5, "period_ms": 1500, "on_ms": 500},
+    {"name": "part",  "drop_prob": 0.1}
+  ]
+}
+JSON
 
 start_daemon() { # start_daemon logfile args...
     local log=$1
     shift
     "$workdir/pipeschedd" "$@" >"$log" 2>&1 &
     pids+=($!)
+}
+
+node_args() { # node_args port advertise-url
+    echo "-addr 127.0.0.1:$1 -peers-file $PEERS_FILE -advertise $2 \
+          -peer-timeout 2s -peer-backoff 500ms -hedge-after 50ms"
 }
 
 wait_healthy() { # wait_healthy url
@@ -74,44 +109,84 @@ wait_healthy() { # wait_healthy url
     return 1
 }
 
-echo "== starting 3-node fleet ($FLEET) and reference (127.0.0.1:$PREF)"
-i=0
-for port in "$P1" "$P2" "$P3"; do
-    i=$((i + 1))
-    start_daemon "$workdir/node$i.log" \
-        -addr "127.0.0.1:$port" \
-        -peers "$FLEET" \
-        -advertise "http://127.0.0.1:$port" \
-        -peer-timeout 2s -peer-backoff 1s
-done
+echo "== starting 3-node fleet (node 3 peer traffic behind chaosproxy :$PCHAOS) and reference (:$PREF)"
+# shellcheck disable=SC2046 # node_args is a deliberate word list
+start_daemon "$workdir/node1.log" $(node_args "$P1" "$URL1")
+NODE1_PID=${pids[-1]}
+start_daemon "$workdir/node2.log" $(node_args "$P2" "$URL2")
+NODE2_PID=${pids[-1]}
+start_daemon "$workdir/node3.log" $(node_args "$P3" "$URL3")
+"$workdir/chaosproxy" -listen "127.0.0.1:$PCHAOS" -target "http://127.0.0.1:$P3" \
+    -schedule "$workdir/chaos.json" >"$workdir/chaosproxy.log" 2>&1 &
+pids+=($!)
 start_daemon "$workdir/ref.log" -addr "127.0.0.1:$PREF"
 
-for port in "$P1" "$P2" "$P3" "$PREF"; do
+for port in "$P1" "$P2" "$P3" "$PCHAOS" "$PREF"; do
     wait_healthy "http://127.0.0.1:$port"
 done
 
-echo "== phase 1: full fleet, $REQUESTS requests, bit-compared against the reference"
+# Clients talk to the daemons directly (P3, not the proxy): the chaos is
+# peer-path-only, like a flaky NIC between racks.
+CLIENTS="$URL1,$URL2,http://127.0.0.1:$P3"
+
+echo "== phase 1: chaos — full fleet under the fault schedule, $REQUESTS verified requests"
 "$workdir/pipeschedbench" \
-    -targets "$FLEET" \
+    -targets "$CLIENTS" \
     -verify "http://127.0.0.1:$PREF" \
     -requests "$REQUESTS" -seed "$SEED" -keys 64 -zipf-s 1.2 \
     -stages 6 -procs 4 -workers 8
 
-echo "== killing node 3 (port $P3) mid-fleet"
-kill "${pids[2]}"
-wait "${pids[2]}" 2>/dev/null || true
-
-echo "== phase 2: survivors only, dead owner must degrade to local solves"
+echo "== phase 2: kill node 2 mid-fleet; replicas must absorb its keys"
+kill "$NODE2_PID"
+wait "$NODE2_PID" 2>/dev/null || true
 "$workdir/pipeschedbench" \
-    -targets "http://127.0.0.1:$P1,http://127.0.0.1:$P2" \
+    -targets "$URL1,http://127.0.0.1:$P3" \
     -verify "http://127.0.0.1:$PREF" \
     -requests "$REQUESTS" -seed $((SEED + 1)) -keys 64 -zipf-s 1.2 \
+    -stages 6 -procs 4 -workers 8
+
+echo "== phase 3: rolling restart — node 2 rejoins cold and warms from peers"
+# shellcheck disable=SC2046
+start_daemon "$workdir/node2-restarted.log" $(node_args "$P2" "$URL2")
+NODE2_PID=${pids[-1]}
+wait_healthy "$URL2"
+"$workdir/pipeschedbench" \
+    -targets "$CLIENTS" \
+    -verify "http://127.0.0.1:$PREF" \
+    -requests "$REQUESTS" -seed $((SEED + 2)) -keys 64 -zipf-s 1.2 \
+    -stages 6 -procs 4 -workers 8
+
+echo "== phase 4: dynamic membership — drop the chaotic node from the peers file, SIGHUP the survivors"
+# Node 3 (and its proxy) leave the fleet for real: first the file, then
+# the signal, then the processes. The survivors swap to the 2-node
+# topology and hand off; no restart involved.
+printf '# e2e fleet, shrunk\n%s\n%s\n' "$URL1" "$URL2" >"$PEERS_FILE"
+kill -HUP "$NODE1_PID" "$NODE2_PID"
+for port in "$P1" "$P2"; do
+    for i in $(seq 1 50); do
+        if curl -sf "http://127.0.0.1:$port/metrics" | grep -q '"reloads":1'; then
+            break
+        fi
+        if [ "$i" -eq 50 ]; then
+            echo "node on port $port never reloaded its topology" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+done
+"$workdir/pipeschedbench" \
+    -targets "$URL1,$URL2" \
+    -verify "http://127.0.0.1:$PREF" \
+    -requests "$REQUESTS" -seed $((SEED + 3)) -keys 64 -zipf-s 1.2 \
     -stages 6 -procs 4 -workers 8
 
 echo "== survivor cluster metrics"
 for port in "$P1" "$P2"; do
     echo "-- 127.0.0.1:$port"
-    curl -sf "http://127.0.0.1:$port/metrics" | tr ',' '\n' | grep -E 'forwarded|remote|fallback|peers' || true
+    curl -sf "http://127.0.0.1:$port/metrics" | tr ',' '\n' |
+        grep -E 'forwarded|remote|hedged|fallback|peers|reloads|handoff' || true
 done
+echo "-- chaosproxy log"
+tail -2 "$workdir/chaosproxy.log" || true
 
-echo "== cluster e2e passed: both phases clean, one peer killed, zero client-visible errors"
+echo "== cluster e2e passed: chaos, peer death, rolling restart and membership shrink, all phases verified clean"

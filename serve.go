@@ -31,12 +31,16 @@ type (
 	ServerMetrics = service.MetricsSnapshot
 	// ServerClusterConfig opts a Server into peer-aware fleet serving
 	// via ServerOptions.Cluster: a Topology built by NewClusterTopology
-	// plus the forward timeout, peer backoff and snapshot bound (zero
-	// values select the cluster defaults). Each canonical cache key has
-	// one owning node; local misses forward to the owner and install
-	// the relayed bytes as a second-tier hit, an unreachable owner
-	// degrades to a local solve, and joining nodes warm from their
-	// peers' hottest entries.
+	// plus the replication factor, forward timeout, hedge delay, peer
+	// backoff window and cap, and snapshot bound (zero values select the
+	// cluster defaults). Each canonical cache key has an ordered replica
+	// set (default two owners); local misses forward to the first
+	// available replica — hedging to the next when it is slow — and
+	// install the relayed bytes as a second-tier hit. Only when every
+	// replica is down does the node degrade to a local solve. Joining
+	// nodes warm from their peers' hottest entries, and
+	// Server.ReloadTopology swaps the fleet view at runtime with
+	// snapshot-driven key handoff.
 	ServerClusterConfig = service.ClusterConfig
 	// ClusterTopology is the fleet view: the full normalized peer list
 	// and this node's position in it. Build it with NewClusterTopology.
