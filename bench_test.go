@@ -215,6 +215,35 @@ func BenchmarkExactLargeFewClass(b *testing.B) {
 	})
 }
 
+// BenchmarkExactMinPeriodParallel times the wave-parallel DP against the
+// serial runner on an instance above the engagement threshold: 32
+// processors in 4 speed classes of 8 (9⁴ = 6561 compressed states,
+// versus the shipped ParallelStateThreshold of 4096). The serial row
+// pins the threshold out of reach so the allocation-free path runs; the
+// parallel row ships the default policy, so the wave runner engages
+// with one worker stratum per schedulable CPU. On a single-CPU host the
+// engagement gate folds the parallel row back onto the serial path and
+// the two rows coincide — the gate's guarantee that parallelism never
+// loses — so read the delta on a multi-core runner for the real gain.
+func BenchmarkExactMinPeriodParallel(b *testing.B) {
+	ev := fewClassEvaluator(10, 32, 4, 7)
+	run := func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := exact.MinPeriod(ev); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("serial", func(b *testing.B) {
+		old := exact.ParallelStateThreshold
+		exact.ParallelStateThreshold = 1 << 30
+		defer func() { exact.ParallelStateThreshold = old }()
+		run(b)
+	})
+	b.Run("parallel", run)
+}
+
 // Chains-to-chains ablation (DESIGN.md §6): exact DP vs bisection vs the
 // recursive-bisection heuristic on the same homogeneous instance, and
 // greedy vs exact on the heterogeneous one.
@@ -307,6 +336,41 @@ func BenchmarkSolveBatch(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				report, err := pipesched.SolveBatch(context.Background(), instances, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if report.Solved == 0 {
+					b.Fatal("nothing solved")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBatchGrouped contrasts the per-instance batch lane with the
+// platform-grouped SoA lane on the skewed shape real batches have: 64
+// pipelines against one shared platform object, as the service layer's
+// decode-time platform dedup produces. The grouped lane builds the
+// platform-derived evaluator tables once and shares their backing
+// arrays across the batch; the report is bit-identical either way.
+func BenchmarkBatchGrouped(b *testing.B) {
+	instances := workload.GenerateSet(workload.E2, 20, 10, 64, 31000)
+	for i := range instances {
+		instances[i].Plat = instances[0].Plat
+	}
+	opts := pipesched.BatchOptions{Bound: 1.5, RelativeBound: true}
+	for _, mode := range []struct {
+		name string
+		run  func(context.Context, []pipesched.WorkloadInstance, pipesched.BatchOptions) (pipesched.BatchReport, error)
+	}{
+		{"ungrouped", pipesched.SolveBatch},
+		{"grouped", portfolio.SolveBatchGrouped},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				report, err := mode.run(context.Background(), instances, opts)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -16,6 +16,12 @@
 // (the pacer is retuned mid-run, no generator restart), and -rate 0
 // runs closed-loop as fast as the -workers complete.
 //
+// -batch N switches the stream to /v1/batch: the key universe is
+// grouped N instances per request, each group sharing one platform, so
+// the daemon's decode-time platform dedup and the grouped SoA batch
+// lane are exercised end to end (-verify byte-compares batch responses
+// exactly like solve responses).
+//
 // -scenario FILE replays a multi-phase traffic shape instead of a
 // single run: each phase overlays duration/rate/ramp/skew onto the base
 // flags, phases run in order with optional pauses between (an operator
@@ -107,6 +113,7 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) error {
 		stages    = fs.Int("stages", 8, "stages per generated instance")
 		procs     = fs.Int("procs", 8, "processors per generated instance")
 		objective = fs.String("objective", "", "solve objective (default min-latency)")
+		batch     = fs.Int("batch", 0, "instances per request: > 1 drives /v1/batch with groups sharing a platform (0 or 1 = per-instance /v1/solve)")
 		bound     = fs.Float64("bound", 1e6, "solve bound sent with every request")
 		timeout   = fs.Duration("timeout", 30*time.Second, "per-request timeout")
 		jsonOut   = fs.Bool("json", false, "emit the report as JSON instead of text")
@@ -132,6 +139,9 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) error {
 	if *requests < 0 || *keys <= 0 || *workers <= 0 {
 		return cli.Usagef("-requests, -keys and -workers must be positive")
 	}
+	if *batch < 0 {
+		return cli.Usagef("-batch must be non-negative")
+	}
 
 	cfg := loadgen.Config{
 		Targets:      splitTargets(*targets),
@@ -149,6 +159,7 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) error {
 		Stages:       *stages,
 		Processors:   *procs,
 		Objective:    *objective,
+		Batch:        *batch,
 		Bound:        *bound,
 		Timeout:      *timeout,
 	}

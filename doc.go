@@ -215,6 +215,50 @@
 // committed BENCH_5.json snapshot — one shard is selected and only the
 // router's few-ns overhead shows, there being nothing to parallelise).
 //
+// # Performance: the raw-speed floor
+//
+// Below the serving layer, the solve itself is floored on three axes,
+// each pinned bit-identical to a retained serial oracle:
+//
+//   - Wave-parallel exact DP. The compressed DP's states group into
+//     usage levels (processors consumed); every predecessor sits one
+//     level down, so a level is a parallel wave. Above
+//     exact.ParallelStateThreshold states (default 4096) the arena
+//     splits each level across strided worker strata (capped at
+//     GOMAXPROCS, max 8) behind a spin barrier; below it — and always
+//     on a single-core host — the serial path runs unchanged. Both
+//     schedules fill the same table cell by cell, so the choice is
+//     invisible to callers. Tune the threshold from a single goroutine
+//     only: raise it when platforms are small or cores scarce, lower
+//     it toward ~1k on wide machines. exact.ReadStats (and the
+//     /metrics Solver section) reports serial/parallel run counts,
+//     strata and memo hits.
+//   - Saturated-bound memo and feasibility prune. A latency run whose
+//     period bound clears every interval cycle-time cannot reject a
+//     candidate, so all such bounds share one table: the winning cell
+//     is memoized per binding and the fill is skipped — the serving
+//     path's "minimise latency, any period" shape hits this
+//     constantly. Tight bounds instead precompute, per (class, end),
+//     the first feasible interval start, and the DP inner loops skip
+//     the infeasible prefix.
+//   - Mid-race cancellation and the SoA batch lane. The portfolio race
+//     publishes an atomic incumbent bound and cancels heuristics that
+//     can no longer win; three race modes (serial reference,
+//     sequential, concurrent) are pinned bit-identical under -race.
+//     For /v1/batch, mapping.NewEvaluators shares one platform's
+//     derived tables across a group and portfolio.SolveBatchGrouped
+//     groups instances by platform; the service dedups wire-identical
+//     platforms at decode time so batches arrive pointer-shared, and
+//     pipeschedbench -batch drives the lane end to end.
+//
+// BENCH_8 → BENCH_9 on the snapshot machine: a cache-miss /v1/solve
+// drops 83.6µs/90 allocs → 16.2µs/54, /v1/batch 65.5µs/252 allocs →
+// ~35µs/23, and the portfolio race clears its 250µs target (~239µs).
+// The snapshots run single-core, where the parallel gate folds every
+// parallel path onto the serial one — parallel rows coinciding with
+// serial is the gate's no-loss guarantee, and the wave-parallel
+// speedup itself is only readable on a multi-core host.
+//
 // # Cluster serving: the peer-aware fleet
 //
 // internal/cluster scales the daemon horizontally. Started with

@@ -133,17 +133,21 @@ func BenchmarkFleetForward(b *testing.B) {
 // hit costs over a clean one — the price of tail-latency insurance when
 // a replica is slow but not down.
 func BenchmarkFleetHedgedForward(b *testing.B) {
+	b.Run("steady", benchHedgedSteady)
+	b.Run("injected-latency", benchHedgedInjectedLatency)
+}
+
+// hedgedFleet starts the 3-node hedge topology: node 0 is the measured
+// node (storage disabled, every request forwards, peer traffic routed
+// through the schedule the callback builds from the fleet's addresses),
+// nodes 1 and 2 are replicas warmed with the candidate key set.
+func hedgedFleet(b *testing.B, warmKeys int64, schedule func(urls []string) *faultinject.Schedule) (urls [3]string) {
 	var tss [3]*httptest.Server
-	var urls [3]string
 	for i := range tss {
 		tss[i] = httptest.NewUnstartedServer(nil)
 		urls[i] = "http://" + tss[i].Listener.Addr().String()
-		defer tss[i].Close()
+		b.Cleanup(tss[i].Close)
 	}
-	// Node 2's peer traffic crosses an injected 25ms; hedge fires at 1ms.
-	slow := &faultinject.Schedule{Seed: 1, Rules: []faultinject.Rule{
-		{Name: "lag", Hosts: []string{strings.TrimPrefix(urls[2], "http://")}, LatencyMS: 25},
-	}}
 	for i := range tss {
 		topo, err := cluster.NewTopology(urls[:], urls[i])
 		if err != nil {
@@ -153,22 +157,39 @@ func BenchmarkFleetHedgedForward(b *testing.B) {
 		cfg := &service.ClusterConfig{Topology: topo, HedgeAfter: time.Millisecond}
 		if i == 0 {
 			entries = -1 // the measured node never caches: every request forwards
-			cfg.Transport = faultinject.NewTransport(nil, slow)
+			cfg.Transport = faultinject.NewTransport(nil, schedule(urls[:]))
 		}
 		tss[i].Config.Handler = service.New(service.Options{CacheEntries: entries, Cluster: cfg})
 		tss[i].Start()
 	}
-
-	// Warm both replicas, then keep the keys whose rank-0 owner is the
-	// slow node: their probes come back hedged.
-	var bodies [][]byte
-	for seed := int64(100); seed < 300 && len(bodies) < 8; seed++ {
+	for seed := int64(100); seed < 100+warmKeys; seed++ {
 		body := solveBody(b, seed)
 		for _, u := range []string{urls[1], urls[2]} {
 			if status, _, _ := postLocal(b, u, body); status != http.StatusOK {
 				b.Fatalf("warm post: status %d", status)
 			}
 		}
+	}
+	return urls
+}
+
+// benchHedgedSteady prices the deterministic hedge: the rank-0 replica
+// of every measured key sits behind a fixed 25ms — far past the 1ms
+// hedge delay — so each forward waits out hedge-after, races a second
+// attempt at the rank-1 replica, takes its answer and cancels the
+// laggard. The delta against BenchmarkFleetForward is what a hedged hit
+// costs over a clean one.
+func benchHedgedSteady(b *testing.B) {
+	urls := hedgedFleet(b, 200, func(urls []string) *faultinject.Schedule {
+		return &faultinject.Schedule{Seed: 1, Rules: []faultinject.Rule{
+			{Name: "lag", Hosts: []string{strings.TrimPrefix(urls[2], "http://")}, LatencyMS: 25},
+		}}
+	})
+	// Keep the keys whose rank-0 owner is the slow node: their probes
+	// come back hedged.
+	var bodies [][]byte
+	for seed := int64(100); seed < 300 && len(bodies) < 8; seed++ {
+		body := solveBody(b, seed)
 		status, tier, _ := postSolve(b, urls[0], body)
 		if status != http.StatusOK {
 			b.Fatalf("probe: status %d", status)
@@ -188,6 +209,51 @@ func BenchmarkFleetHedgedForward(b *testing.B) {
 			b.Fatalf("iteration %d: status %d tier %q, want a hedged hit", i, status, tier)
 		}
 	}
+}
+
+// benchHedgedInjectedLatency is the chaos twin: every peer link out of
+// the measured node carries a uniform 0–8ms jitter, so each forward is a
+// genuine race between the jittered primary attempt and the 1ms hedge to
+// the (equally jittered) other replica — sometimes the primary returns
+// first, sometimes the hedge wins. The reported hedge-wins/op is the
+// measured hedge-win rate over the run, pinning the tail-latency payoff
+// of hedging quantitatively rather than by construction.
+func benchHedgedInjectedLatency(b *testing.B) {
+	urls := hedgedFleet(b, 32, func(urls []string) *faultinject.Schedule {
+		return &faultinject.Schedule{Seed: 7, Rules: []faultinject.Rule{
+			{Name: "jitter", JitterMS: 8},
+		}}
+	})
+	// Keep forwarded keys (either replica owns them); keys the measured
+	// node owns itself solve locally and never exercise the hedge.
+	var bodies [][]byte
+	for seed := int64(100); seed < 132 && len(bodies) < 8; seed++ {
+		body := solveBody(b, seed)
+		status, tier, _ := postSolve(b, urls[0], body)
+		if status != http.StatusOK {
+			b.Fatalf("probe: status %d", status)
+		}
+		if tier == "remote-hit" || tier == "hedged-hit" {
+			bodies = append(bodies, body)
+		}
+	}
+	if len(bodies) == 0 {
+		b.Fatal("no forwarded key found in 32 seeds")
+	}
+
+	hedged := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		status, tier, _ := postSolve(b, urls[0], bodies[i%len(bodies)])
+		if status != http.StatusOK {
+			b.Fatalf("iteration %d: status %d", i, status)
+		}
+		if tier == "hedged-hit" {
+			hedged++
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(hedged)/float64(b.N), "hedge-wins/op")
 }
 
 // BenchmarkFleetReplicatedMiss prices replica failover in steady state: a

@@ -92,6 +92,40 @@ type arena struct {
 	cands  []float64          // sorted unique candidate cycle-times (lazy)
 	ivbuf  []mapping.Interval // reconstruction scratch
 	cursor []int              // per-class member cursor for reconstruction
+
+	// Usage-level buckets for the wave-parallel runner (parallel.go),
+	// built lazily on first parallel engagement and cached per binding:
+	// levelStates groups every state by its usage count (ascending state
+	// id within a level), levelOff[u]..levelOff[u+1] delimits level u.
+	levelsFor   *mapping.Evaluator
+	levelOff    []int32
+	levelStates []int32
+	levelCur    []int32 // bucket cursors, scratch for buildLevels
+
+	// maxCycle (set at bind) is the largest entry of the cycle table;
+	// period bounds at or above it cannot prune any candidate, so
+	// latency runs under such bounds skip the feasStart precompute.
+	// feasStart (set per run by prepareFeasStart) holds, per (class k,
+	// interval end i), the first interval start whose cycle meets the
+	// run's period bound: because interval work shrinks as the start
+	// advances, infeasible starts cluster at the front, and the DP's
+	// inner loops skip straight past them. nil disables the prune.
+	maxCycle  float64
+	feasStart []int32
+
+	// Saturated-bound memo: a latency run whose period bound is at or
+	// above maxCycle can never reject a candidate, so every such bound
+	// yields the identical table — the unconstrained latency optimum.
+	// The serving path sees this constantly ("minimise latency, period
+	// up to anything"), so the winning cell is remembered per binding
+	// and the whole table fill is skipped while the table is still the
+	// one that memo was taken from. Any other run overwrites f/back and
+	// clears the memo (reconstruction walks back, so the memo is only
+	// valid while the table it indexes into survives).
+	freeValid bool
+	freeBest  float64
+	freeState int
+	freeOK    bool
 }
 
 var arenaPool = sync.Pool{New: func() any { return new(arena) }}
@@ -126,6 +160,9 @@ func (a *arena) bind(ev *mapping.Evaluator) {
 		return // tables, transitions and candidates are still valid
 	}
 	a.boundTo = nil // invalidate while rebinding: a panic must not leave stale tables claimed
+	a.levelsFor = nil
+	a.feasStart = a.feasStart[:0]
+	a.freeValid = false
 	plat := ev.Platform()
 	a.n = ev.Pipeline().Stages()
 	a.classes = plat.SpeedClasses()
@@ -142,13 +179,18 @@ func (a *arena) bind(ev *mapping.Evaluator) {
 	n, nn := a.n, a.n*a.n
 	a.cycle = resize(a.cycle, a.classes*nn)
 	a.lat = resize(a.lat, a.classes*nn)
+	a.maxCycle = 0
 	for k := 0; k < a.classes; k++ {
 		for d := 1; d <= n; d++ {
 			for e := d; e <= n; e++ {
 				in, comp, out := ev.ClassCycleParts(d, e, k)
 				idx := k*nn + (e-1)*n + (d - 1)
-				a.cycle[idx] = in + comp + out
+				cy := in + comp + out
+				a.cycle[idx] = cy
 				a.lat[idx] = in + comp
+				if cy > a.maxCycle {
+					a.maxCycle = cy
+				}
 			}
 		}
 	}
@@ -213,86 +255,195 @@ func (a *arena) candidates() []float64 {
 // admissibility cutoff on individual cycle-times (slack already applied by
 // the caller). ok is false when no complete assignment is feasible.
 //
-// f[S][i] is the best value over all assignments of stages 1..i to
-// intervals consuming exactly the class-usage vector S; the recurrence
-// closes the last interval [kk+1..i] on one processor of any class with a
-// spare member. States are visited outermost (every predecessor S-radix[k]
-// is smaller than S, so its row is complete) and both f and the cost
-// tables are laid out so the inner loop over the last interval's start
-// walks consecutive memory — on portfolio-sized instances this cache
-// behaviour, not arithmetic, bounds the solve. Candidate enumeration
-// order per cell (transition, then start) is unchanged from the row-major
-// formulation, so ties break identically and results stay bit-identical.
+// The recurrence itself lives in computeRow; run only picks the schedule.
+// Small state spaces stay on the serial, allocation-free path; above
+// ParallelStateThreshold the usage-level wave runner (parallel.go) splits
+// each level's states across worker strata. Both schedules produce the
+// same table cell by cell, so the choice is invisible to every caller.
 func (a *arena) run(obj objective, periodBound float64) (best float64, bestState int, ok bool) {
-	n, states, nn := a.n, a.states, a.n*a.n
-	f, back := a.f, a.back
-	for i := range f {
-		f[i] = inf
+	saturated := obj == objMinLatency && periodBound >= a.maxCycle
+	if saturated && a.freeValid {
+		dpStats.memoHits.Add(1)
+		return a.freeBest, a.freeState, a.freeOK
 	}
-	f[0] = 0 // f[S=0][i=0]; every other (S, i) starts unreachable
-	for S := 1; S < states; S++ {
-		rowS := S * (n + 1)
-		t0, t1 := a.transOff[S], a.transOff[S+1]
-		// A state consuming c processors covers at least c one-stage
-		// intervals, so f[S][i] is unreachable (inf) below i = c, and
-		// every predecessor row is unreachable below kk = c-1: both loops
-		// start there, skipping cells the row-major formulation scanned
-		// only to reject.
-		cS := int(a.usage[S])
-		if cS > n {
-			continue
-		}
-		for i := cS; i <= n; i++ {
-			bestV := inf
-			var bestB int32
-			for t := t0; t < t1; t++ {
-				k := int(a.transClass[t])
-				prevRow := int(a.transPrev[t]) * (n + 1)
-				base := k*nn + (i-1)*n // cycle[k][kk+1..i] is at base + kk
-				if obj == objMinPeriod {
-					for kk := cS - 1; kk < i; kk++ {
-						fv := f[prevRow+kk]
-						if fv == inf {
-							continue
-						}
-						cand := fv
-						if cy := a.cycle[base+kk]; cy > cand {
-							cand = cy
-						}
-						if cand < bestV {
-							bestV = cand
-							bestB = int32(kk)<<classShift | int32(k)
-						}
-					}
-				} else {
-					for kk := cS - 1; kk < i; kk++ {
-						fv := f[prevRow+kk]
-						if fv == inf {
-							continue
-						}
-						if a.cycle[base+kk] > periodBound {
-							continue
-						}
-						if cand := fv + a.lat[base+kk]; cand < bestV {
-							bestV = cand
-							bestB = int32(kk)<<classShift | int32(k)
-						}
-					}
+	if w := a.parallelWorkers(); w > 1 {
+		dpStats.parallelRuns.Add(1)
+		dpStats.strata.Add(uint64(w))
+		best, bestState, ok = a.runParallel(obj, periodBound, w)
+	} else {
+		dpStats.serialRuns.Add(1)
+		best, bestState, ok = a.runSerial(obj, periodBound)
+	}
+	if saturated {
+		a.freeValid = true
+		a.freeBest, a.freeState, a.freeOK = best, bestState, ok
+	}
+	return best, bestState, ok
+}
+
+// prepareFeasStart arms (or disarms) the feasibility-prefix prune for
+// one run. Latency runs reject every candidate whose interval cycle
+// exceeds the period bound; since the cost tables are start-consecutive
+// and interval work only shrinks as the start advances, the rejected
+// starts cluster at the front of each (class, end) row. One scan over
+// the cycle table records where the first admissible start sits, and
+// every state's inner loop then begins there instead of re-rejecting the
+// same prefix — the skipped candidates are exactly those the unpruned
+// scan discards, so values, backpointers and tie-breaking are untouched.
+// Bounds that cannot prune (period runs, or a bound at or above every
+// cycle entry) disable the prune outright so the common loose-bound
+// solve pays a single comparison. Disarming truncates rather than nils
+// the slice: probing runs alternate armed and disarmed bounds, and the
+// backing array must survive the disarmed runs for the armed ones to
+// stay allocation-free.
+func (a *arena) prepareFeasStart(obj objective, periodBound float64) {
+	if obj != objMinLatency || periodBound >= a.maxCycle {
+		a.feasStart = a.feasStart[:0]
+		return
+	}
+	n, nn := a.n, a.n*a.n
+	a.feasStart = resize(a.feasStart, a.classes*n)
+	for k := 0; k < a.classes; k++ {
+		for i := 1; i <= n; i++ {
+			base := k*nn + (i-1)*n
+			fs := i // empty admissible window unless a start qualifies
+			for kk := 0; kk < i; kk++ {
+				if a.cycle[base+kk] <= periodBound {
+					fs = kk
+					break
 				}
 			}
-			if bestV < inf {
-				f[rowS+i] = bestV
-				back[rowS+i] = bestB
-			}
+			a.feasStart[k*n+i-1] = int32(fs)
 		}
 	}
-	best = inf
+}
+
+// runSerial visits states in ascending id order (every predecessor
+// S-radix[k] is smaller than S, so its row is complete when read).
+func (a *arena) runSerial(obj objective, periodBound float64) (best float64, bestState int, ok bool) {
+	a.freeValid = false // the fill below overwrites the table the memo indexes into
+	a.prepareFeasStart(obj, periodBound)
+	n, states := a.n, a.states
+	f := a.f
+	f[0] = 0 // f[S=0][i=0]; the rest of row 0 is unreachable
+	for i := 1; i <= n; i++ {
+		f[i] = inf
+	}
 	for S := 1; S < states; S++ {
-		if v := f[S*(n+1)+n]; v < best {
+		a.computeRow(obj, periodBound, S)
+	}
+	return a.merge()
+}
+
+// merge scans the complete table for the winning final state. The scan
+// runs in ascending state order with strict improvement, so ties resolve
+// to the smallest state id no matter which schedule filled the table.
+func (a *arena) merge() (best float64, bestState int, ok bool) {
+	n := a.n
+	best = inf
+	for S := 1; S < a.states; S++ {
+		if v := a.f[S*(n+1)+n]; v < best {
 			best, bestState = v, S
 		}
 	}
 	return best, bestState, best < inf
+}
+
+// computeRow fills every cell of state S's row — values and backpointers —
+// reading only predecessor rows (usage level one below S's), which makes
+// it safe for any schedule that completes a usage level before starting
+// the next.
+//
+// f[S][i] is the best value over all assignments of stages 1..i to
+// intervals consuming exactly the class-usage vector S; the recurrence
+// closes the last interval [kk+1..i] on one processor of any class with a
+// spare member. Both f and the cost tables are laid out so the inner loop
+// over the last interval's start walks consecutive memory — on
+// portfolio-sized instances this cache behaviour, not arithmetic, bounds
+// the solve. Candidate enumeration order per cell (transition, then
+// start) is unchanged from the row-major formulation, so ties break
+// identically and results stay bit-identical.
+func (a *arena) computeRow(obj objective, periodBound float64, S int) {
+	n, nn := a.n, a.n*a.n
+	f, back := a.f, a.back
+	rowS := S * (n + 1)
+	// A state consuming c processors covers at least c one-stage
+	// intervals, so f[S][i] is unreachable (inf) below i = c, and every
+	// predecessor row is unreachable below kk = c-1: the cell loops start
+	// there, skipping cells the row-major formulation scanned only to
+	// reject; the cells below are written unreachable directly.
+	cS := int(a.usage[S])
+	lim := cS
+	if lim > n+1 {
+		lim = n + 1
+	}
+	for i := 0; i < lim; i++ {
+		f[rowS+i] = inf
+	}
+	if cS > n {
+		return
+	}
+	t0, t1 := a.transOff[S], a.transOff[S+1]
+	for i := cS; i <= n; i++ {
+		bestV := inf
+		var bestB int32
+		for t := t0; t < t1; t++ {
+			k := int(a.transClass[t])
+			prevRow := int(a.transPrev[t]) * (n + 1)
+			base := k*nn + (i-1)*n // cycle[k][kk+1..i] is at base + kk
+			lo := cS - 1
+			if obj == objMinPeriod {
+				// Sliced windows over the candidate range let the
+				// compiler drop the per-element bounds checks of the
+				// three parallel tables — on portfolio-sized instances
+				// this loop is the whole solve.
+				fprev := f[prevRow+lo : prevRow+i]
+				cyc := a.cycle[base+lo : base+i]
+				for j, fv := range fprev {
+					if fv == inf {
+						continue
+					}
+					cand := fv
+					if cy := cyc[j]; cy > cand {
+						cand = cy
+					}
+					if cand < bestV {
+						bestV = cand
+						bestB = int32(lo+j)<<classShift | int32(k)
+					}
+				}
+			} else {
+				if len(a.feasStart) > 0 {
+					// Skip the scanned-infeasible prefix: every entry
+					// before feasStart was rejected against this run's
+					// period bound by prepareFeasStart, exactly as the
+					// in-loop check below would reject it.
+					if fs := int(a.feasStart[k*n+i-1]); fs > lo {
+						lo = fs
+					}
+				}
+				fprev := f[prevRow+lo : prevRow+i]
+				cyc := a.cycle[base+lo : base+i]
+				lats := a.lat[base+lo : base+i]
+				for j, fv := range fprev {
+					if fv == inf {
+						continue
+					}
+					if cyc[j] > periodBound {
+						continue
+					}
+					if cand := fv + lats[j]; cand < bestV {
+						bestV = cand
+						bestB = int32(lo+j)<<classShift | int32(k)
+					}
+				}
+			}
+		}
+		f[rowS+i] = bestV
+		if bestV < inf {
+			back[rowS+i] = bestB
+		}
+	}
 }
 
 // latencyTail is the constant trailing δ_n/b term of the latency: adding

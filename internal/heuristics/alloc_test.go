@@ -112,3 +112,48 @@ func TestSweepPointAllocs(t *testing.T) {
 		t.Errorf("LatencySweeper: %.2f allocs per grid point, cap 8", perL)
 	}
 }
+
+// TestRacedSolveAllocs caps the bound-polling lane: a raced solve with a
+// live incumbent must allocate no more than its plain twin — every
+// splitting step polls the shared incumbent, and that poll has to be a
+// load-and-compare, never a heap operation.
+func TestRacedSolveAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race (sync.Pool drops entries)")
+	}
+	ev := allocEvaluator()
+	single := mapping.SingleProcessor(ev.Pipeline(), ev.Platform(), ev.Platform().Fastest())
+	bound := ev.Period(single) * 0.4
+	floor, err := MinAchievablePeriod(ev, SpMonoP{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for floor > bound {
+		bound *= 1.2
+	}
+	inc := NewIncumbent()
+	inc.Offer(1e308) // armed but unbeatable: every poll compares, none cancels
+	for _, h := range PeriodHeuristics() {
+		r, ok := h.(PeriodRacer)
+		if !ok {
+			continue
+		}
+		requireAllocs(t, h.ID()+"/raced", 6, func() {
+			if _, err := r.MinimizeLatencyRaced(ev, bound, inc); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	budget := ev.OptimalLatencyValue() * 1.5
+	for _, h := range LatencyHeuristics() {
+		r, ok := h.(LatencyRacer)
+		if !ok {
+			continue
+		}
+		requireAllocs(t, h.ID()+"/raced", 6, func() {
+			if _, err := r.MinimizePeriodRaced(ev, budget, inc); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -111,6 +111,10 @@ type state struct {
 	// A rerun under a cap below it replays every decision identically —
 	// the invariant LatencySweeper's warm starts rest on.
 	minRejectedLat float64
+
+	// race holds the mid-race cancellation hooks (race.go); the zero
+	// value — every solo run — disables them.
+	race raceWatch
 }
 
 var statePool = sync.Pool{New: func() any { return new(state) }}
@@ -127,6 +131,7 @@ func acquireState(ev *mapping.Evaluator) (*state, error) {
 	}
 	st := statePool.Get().(*state)
 	st.ev = ev
+	st.race = raceWatch{}
 	st.sc = ev.LeaseScratch()
 	st.ivs = st.sc.Ivs[:0]
 	st.cycles = st.sc.Cycles[:0]
@@ -402,9 +407,14 @@ func (st *state) apply(idx int, c *candidate) {
 
 // splitUntil repeatedly splits the bottleneck interval under opt until the
 // period drops to target or below, or no admissible split remains. It
-// reports whether the target was reached.
+// reports whether the target was reached. Raced runs additionally poll
+// their cancellation bounds between splits (racePoll, a no-op for solo
+// runs) and stop early when they prove the run cannot win.
 func (st *state) splitUntil(target float64, opt splitOptions) bool {
 	for !leq(st.period(), target) {
+		if st.racePoll(target) {
+			return false
+		}
 		idx := st.bottleneck()
 		c, ok := st.bestSplit(idx, opt)
 		if !ok {

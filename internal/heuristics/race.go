@@ -1,0 +1,298 @@
+package heuristics
+
+import (
+	"errors"
+	"math"
+	"sync/atomic"
+
+	"pipesched/internal/mapping"
+)
+
+// Mid-race cancellation: when several solvers chase the same bound, the
+// slow ones often spend most of their time provably unable to win — a
+// 3-Explo trajectory whose latency has already climbed past a finished
+// competitor's result can only lose the selection, whatever it does
+// next. Each raced solver therefore carries a cheap running bound on its
+// final result and polls the race's incumbent between splits, aborting
+// with ErrRaceLost the moment the bound proves defeat.
+//
+// Cancellation must be invisible in results: a solver is aborted only
+// when its *final* outcome could not be selected under the portfolio's
+// deterministic tie-breaking. Two facts make the bounds sound:
+//
+//   - Latency never decreases along a splitting trajectory. Processors
+//     enroll fastest-first, so an accepted split moves work from an
+//     enrolled processor onto itself plus strictly-slower free ones and
+//     adds non-negative communication terms: dLat ≥ 0. The running
+//     latency is thus a lower bound on the final latency.
+//
+//   - The final period refines the current partition. Splits only ever
+//     divide an interval among its own processor and free ones, so every
+//     current interval's stages end, finally, on a region of total speed
+//     at most s_j + S_free — its contribution to the final period is at
+//     least W_j/(s_j + S_free). The max of these is a lower bound on the
+//     final period however the trajectory continues.
+//
+// Aborts additionally require a margin (lt, the engine's strict
+// comparator): a solver that would finish *equal* to the incumbent is
+// never cancelled, because equality can still win on portfolio order.
+// And every abort requires a feasible incumbent: with one in hand the
+// race's found flag is true, so the InfeasibleError bookkeeping a
+// cancelled solver skips (the "closest" failure) is never read.
+
+// ErrRaceLost reports that a raced solver abandoned its run because its
+// running bound proved it could not be selected over the incumbent. The
+// portfolio treats such attempts exactly as lost races: excluded from
+// selection and from infeasibility reporting.
+var ErrRaceLost = errors.New("heuristics: solver abandoned mid-race (bound proves it cannot win)")
+
+// Incumbent publishes the best finished metric of a portfolio race —
+// smallest latency for period-constrained races, smallest period for
+// latency-constrained ones. Concurrent solvers lower it with a CAS loop
+// and read it with a single atomic load, so polling costs nanoseconds
+// and allocates nothing.
+type Incumbent struct {
+	bits atomic.Uint64 // float64 bits of the best offered value
+}
+
+// NewIncumbent returns an empty incumbent (best = +Inf).
+func NewIncumbent() *Incumbent {
+	in := &Incumbent{}
+	in.Reset()
+	return in
+}
+
+// Reset empties the incumbent (best = +Inf) so races can pool them.
+func (in *Incumbent) Reset() {
+	in.bits.Store(math.Float64bits(math.Inf(1)))
+}
+
+// Offer lowers the incumbent to v if v is smaller.
+func (in *Incumbent) Offer(v float64) {
+	for {
+		old := in.bits.Load()
+		if math.Float64frombits(old) <= v {
+			return
+		}
+		if in.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Best returns the current incumbent value (+Inf when nothing finished).
+func (in *Incumbent) Best() float64 {
+	return math.Float64frombits(in.bits.Load())
+}
+
+// PeriodRacer is implemented by period-constrained heuristics that can
+// poll a race incumbent (carrying the best finished latency) and abort
+// mid-run with ErrRaceLost once they provably cannot win.
+type PeriodRacer interface {
+	MinimizeLatencyRaced(ev *mapping.Evaluator, maxPeriod float64, inc *Incumbent) (Result, error)
+}
+
+// LatencyRacer is the latency-constrained twin: the incumbent carries
+// the best finished period.
+type LatencyRacer interface {
+	MinimizePeriodRaced(ev *mapping.Evaluator, maxLatency float64, inc *Incumbent) (Result, error)
+}
+
+// predictMode selects what an infeasibility prediction does: nothing,
+// abort the whole solve as race-lost (requires a feasible incumbent), or
+// abort the current trial as a plain failure (H4's bisection trials,
+// where the early failure is outcome-identical and needs no incumbent).
+type predictMode uint8
+
+const (
+	predictOff predictMode = iota
+	predictLost
+	predictFail
+)
+
+// raceWatch is the engine's cancellation hook set; the zero value (solo
+// runs) disables everything.
+type raceWatch struct {
+	inc      *Incumbent
+	watchLat bool // abort when the incumbent beats the running latency
+	watchPer bool // abort when the incumbent beats the refinement period bound
+	predict  predictMode
+	lost     bool // set when an abort counts as a lost race
+}
+
+// racePoll is called once per split iteration; it reports whether the
+// trajectory should stop. target is splitUntil's period target (≤ 0 when
+// the trajectory is not period-seeking). The poll allocates nothing.
+func (st *state) racePoll(target float64) bool {
+	r := &st.race
+	if r.inc == nil && r.predict != predictFail {
+		return false
+	}
+	best := math.Inf(1)
+	if r.inc != nil {
+		best = r.inc.Best()
+	}
+	hasInc := !math.IsInf(best, 1)
+	if r.watchLat && lt(best, st.lat) {
+		r.lost = true
+		return true
+	}
+	needPredict := target > 0 &&
+		(r.predict == predictFail || (r.predict == predictLost && hasInc))
+	needPeriod := r.watchPer && hasInc
+	if !needPredict && !needPeriod {
+		return false
+	}
+	bound := st.refinementPeriodBound()
+	if needPredict && lt(target, bound) {
+		if r.predict == predictLost {
+			r.lost = true
+		}
+		return true
+	}
+	if needPeriod && lt(best, bound) {
+		r.lost = true
+		return true
+	}
+	return false
+}
+
+// refinementPeriodBound returns a lower bound on the final period of any
+// continuation of the current trajectory: each interval's stages finish
+// on its processor plus a subset of the currently-free ones (total speed
+// ≤ s_j + S_free), and communication terms only add, so its region's
+// worst cycle is at least W_j/(s_j + S_free).
+func (st *state) refinementPeriodBound() float64 {
+	plat := st.ev.Platform()
+	freeSpeed := 0.0
+	for _, p := range st.free[st.freeOff:] {
+		freeSpeed += plat.Speed(p)
+	}
+	app := st.ev.Pipeline()
+	bound := 0.0
+	for _, iv := range st.ivs {
+		if b := app.IntervalWork(iv.Start, iv.End) / (plat.Speed(iv.Proc) + freeSpeed); b > bound {
+			bound = b
+		}
+	}
+	return bound
+}
+
+// periodConstrainedSplitRaced is periodConstrainedSplit with the
+// cancellation hooks armed: running-latency watch plus infeasibility
+// prediction, both gated on a feasible incumbent.
+func periodConstrainedSplitRaced(ev *mapping.Evaluator, maxPeriod float64, opt splitOptions, name string, inc *Incumbent) (Result, error) {
+	st, err := acquireState(ev)
+	if err != nil {
+		return Result{}, err
+	}
+	defer st.release()
+	st.race = raceWatch{inc: inc, watchLat: true, predict: predictLost}
+	ok := st.splitUntil(maxPeriod, opt)
+	if st.race.lost {
+		return Result{}, ErrRaceLost
+	}
+	res := st.result()
+	if !ok {
+		return res, &InfeasibleError{Heuristic: name, Constraint: "period", Target: maxPeriod, Achieved: res.Metrics.Period, Best: res}
+	}
+	return res, nil
+}
+
+// MinimizeLatencyRaced implements PeriodRacer for H1.
+func (h SpMonoP) MinimizeLatencyRaced(ev *mapping.Evaluator, maxPeriod float64, inc *Incumbent) (Result, error) {
+	return periodConstrainedSplitRaced(ev, maxPeriod, splitOptions{rule: selectMono, maxLatency: math.Inf(1)}, h.Name(), inc)
+}
+
+// MinimizeLatencyRaced implements PeriodRacer for H2.
+func (h ThreeExploMono) MinimizeLatencyRaced(ev *mapping.Evaluator, maxPeriod float64, inc *Incumbent) (Result, error) {
+	return periodConstrainedSplitRaced(ev, maxPeriod, splitOptions{rule: selectMono, threeWay: true, maxLatency: math.Inf(1)}, h.Name(), inc)
+}
+
+// MinimizeLatencyRaced implements PeriodRacer for H3.
+func (h ThreeExploBi) MinimizeLatencyRaced(ev *mapping.Evaluator, maxPeriod float64, inc *Incumbent) (Result, error) {
+	return periodConstrainedSplitRaced(ev, maxPeriod, splitOptions{rule: selectBi, threeWay: true, maxLatency: math.Inf(1)}, h.Name(), inc)
+}
+
+// MinimizeLatencyRaced implements PeriodRacer for H4. The bisection
+// cannot use the latency watch — its final latency comes from a later,
+// cheaper-capped trial, so the running latency of one trial bounds
+// nothing about the whole solve. Instead the first (uncapped) trial arms
+// the infeasibility prediction: when the refinement bound proves the
+// period target unreachable and a feasible incumbent exists, the whole
+// solve is a lost race. Later bisection trials arm predictFail — a trial
+// the bound condemns would have ended infeasible anyway, so failing it
+// early steers the bisection identically while skipping its tail.
+func (h SpBiP) MinimizeLatencyRaced(ev *mapping.Evaluator, maxPeriod float64, inc *Incumbent) (Result, error) {
+	iters := h.Iterations
+	if iters <= 0 {
+		iters = DefaultBinaryIters
+	}
+	st, err := acquireState(ev)
+	if err != nil {
+		return Result{}, err
+	}
+	defer st.release()
+	trial := func(latCap float64) (mapping.Metrics, bool) {
+		st.reset()
+		ok := st.splitUntil(maxPeriod, splitOptions{rule: selectBi, maxLatency: latCap})
+		return mapping.Metrics{Period: st.period(), Latency: st.latency()}, ok
+	}
+	st.race = raceWatch{inc: inc, predict: predictLost}
+	best, ok := trial(math.Inf(1))
+	if st.race.lost {
+		return Result{}, ErrRaceLost
+	}
+	if !ok {
+		res := st.result()
+		return res, &InfeasibleError{Heuristic: h.Name(), Constraint: "period", Target: maxPeriod, Achieved: res.Metrics.Period, Best: res}
+	}
+	st.race = raceWatch{predict: predictFail}
+	bestCap := math.Inf(1)
+	lo := ev.OptimalLatencyValue()
+	hi := best.Latency
+	for i := 0; i < iters && hi-lo > relEps*(1+hi); i++ {
+		mid := (lo + hi) / 2
+		if met, ok := trial(mid); ok {
+			if met.Latency < best.Latency {
+				best, bestCap = met, mid
+			}
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	trial(bestCap)
+	return st.result(), nil
+}
+
+// latencyConstrainedRaced arms the refinement-bound watch: the running
+// period itself only falls along a trajectory, but the refinement bound
+// is a floor on wherever it can end.
+func latencyConstrainedRaced(ev *mapping.Evaluator, maxLatency float64, opt splitOptions, name string, inc *Incumbent) (Result, error) {
+	st, err := acquireState(ev)
+	if err != nil {
+		return Result{}, err
+	}
+	defer st.release()
+	if !leq(st.latency(), maxLatency) {
+		res := st.result()
+		return res, &InfeasibleError{Heuristic: name, Constraint: "latency", Target: maxLatency, Achieved: res.Metrics.Latency, Best: res}
+	}
+	st.race = raceWatch{inc: inc, watchPer: true}
+	st.splitUntil(0, opt)
+	if st.race.lost {
+		return Result{}, ErrRaceLost
+	}
+	return st.result(), nil
+}
+
+// MinimizePeriodRaced implements LatencyRacer for H5.
+func (h SpMonoL) MinimizePeriodRaced(ev *mapping.Evaluator, maxLatency float64, inc *Incumbent) (Result, error) {
+	return latencyConstrainedRaced(ev, maxLatency, splitOptions{rule: selectMono, maxLatency: maxLatency}, h.Name(), inc)
+}
+
+// MinimizePeriodRaced implements LatencyRacer for H6.
+func (h SpBiL) MinimizePeriodRaced(ev *mapping.Evaluator, maxLatency float64, inc *Incumbent) (Result, error) {
+	return latencyConstrainedRaced(ev, maxLatency, splitOptions{rule: selectBi, maxLatency: maxLatency}, h.Name(), inc)
+}

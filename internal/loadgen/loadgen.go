@@ -66,6 +66,14 @@ type Config struct {
 	Stages, Processors int
 	// Objective is the solve objective ("" = min-latency).
 	Objective string
+	// Batch, when > 1, switches the stream to POST /v1/batch: the key
+	// universe is grouped into batch bodies of this many consecutive
+	// instances, all sharing their group's first platform — the skewed
+	// many-pipelines-few-platforms shape the grouped batch lane (and the
+	// daemon's decode-time platform dedup) is built for. Keys then counts
+	// instances, not requests: the Zipf draw runs over the batch bodies.
+	// 0 or 1 keeps the per-instance /v1/solve stream.
+	Batch int
 	// Bound is the solve bound (default 1e6: loose enough that every
 	// instance is feasible, so the stream measures serving, not
 	// infeasibility handling).
@@ -122,6 +130,9 @@ func (c *Config) setDefaults() error {
 	}
 	if c.Bound == 0 {
 		c.Bound = 1e6
+	}
+	if c.Batch < 0 {
+		return fmt.Errorf("loadgen: negative batch size")
 	}
 	if c.Timeout <= 0 {
 		c.Timeout = 30 * time.Second
@@ -208,11 +219,17 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	// The generator owns all randomness: one seeded Zipf draw and one
 	// round-robin counter per admission, so the multiset of keys (and,
 	// with Requests set, the exact sequence) is reproducible.
+	path := "/v1/solve"
+	if cfg.Batch > 1 {
+		path = "/v1/batch"
+	}
 	type job struct{ key, target int }
 	jobs := make(chan job, cfg.Workers)
 	go func() {
 		defer close(jobs)
-		zipf := rand.NewZipf(rand.New(rand.NewSource(cfg.Seed)), cfg.ZipfS, cfg.ZipfV, uint64(cfg.Keys-1))
+		// The Zipf draw runs over the rendered bodies — per-instance solve
+		// bodies, or batch-mode groups of Batch instances each.
+		zipf := rand.NewZipf(rand.New(rand.NewSource(cfg.Seed)), cfg.ZipfS, cfg.ZipfV, uint64(len(bodies)-1))
 		next := time.Now()
 		for i := 0; cfg.Requests == 0 || i < cfg.Requests; i++ {
 			if cfg.Rate > 0 {
@@ -246,7 +263,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			for j := range jobs {
 				body := bodies[j.key]
 				t0 := time.Now()
-				status, tier, injected, respBody, err := post(runCtx, client, cfg.Targets[j.target], body)
+				status, tier, injected, respBody, err := post(runCtx, client, cfg.Targets[j.target], path, body)
 				st.latencies = append(st.latencies, time.Since(t0))
 				st.sent++
 				if err != nil {
@@ -276,7 +293,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 					st.tiers[tier]++
 				}
 				if cfg.VerifyTarget != "" {
-					_, _, _, refBody, err := post(runCtx, verifyClient, cfg.VerifyTarget, body)
+					_, _, _, refBody, err := post(runCtx, verifyClient, cfg.VerifyTarget, path, body)
 					if err != nil || !bytes.Equal(respBody, refBody) {
 						st.mismatches++
 					}
@@ -336,9 +353,13 @@ func ramp(ctx context.Context, p *Pacer, r0, r1 float64, d time.Duration) {
 }
 
 // buildBodies renders the instance universe once: request i is the
-// marshalled solve body of the seeded instance i, so every run with the
-// same config replays byte-identical requests.
+// marshalled solve body of the seeded instance i (or, in batch mode, the
+// marshalled batch of instances i·Batch..), so every run with the same
+// config replays byte-identical requests.
 func buildBodies(cfg Config) ([][]byte, error) {
+	if cfg.Batch > 1 {
+		return buildBatchBodies(cfg)
+	}
 	bodies := make([][]byte, cfg.Keys)
 	for i := range bodies {
 		in := workload.Generate(workload.Config{
@@ -364,11 +385,58 @@ func buildBodies(cfg Config) ([][]byte, error) {
 	return bodies, nil
 }
 
-// post issues one solve request and returns status, X-Cache tier,
-// whether the response was synthesized by a chaos transport, and the
-// body.
-func post(ctx context.Context, client *http.Client, target string, body []byte) (int, string, bool, []byte, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, target+"/v1/solve", bytes.NewReader(body))
+// buildBatchBodies renders the universe as /v1/batch requests of Batch
+// consecutive seeded pipelines. Every instance in a group reuses the
+// group's first platform: real batches are a sweep of many pipelines
+// over one cluster, and the shared platform is what lets the daemon
+// dedup platforms at decode time and the grouped batch lane build the
+// evaluator tables once per group.
+func buildBatchBodies(cfg Config) ([][]byte, error) {
+	n := (cfg.Keys + cfg.Batch - 1) / cfg.Batch
+	bodies := make([][]byte, n)
+	for g := range bodies {
+		lo := g * cfg.Batch
+		hi := lo + cfg.Batch
+		if hi > cfg.Keys {
+			hi = cfg.Keys
+		}
+		var plat any
+		instances := make([]map[string]any, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			in := workload.Generate(workload.Config{
+				Family:     cfg.Family,
+				Stages:     cfg.Stages,
+				Processors: cfg.Processors,
+				Seed:       cfg.Seed + int64(i),
+			})
+			if plat == nil {
+				plat = in.Plat
+			}
+			instances = append(instances, map[string]any{
+				"pipeline": in.App,
+				"platform": plat,
+			})
+		}
+		req := map[string]any{
+			"instances": instances,
+			"bound":     cfg.Bound,
+		}
+		if cfg.Objective != "" {
+			req["objective"] = cfg.Objective
+		}
+		b, err := json.Marshal(req)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: marshal batch %d: %w", g, err)
+		}
+		bodies[g] = b
+	}
+	return bodies, nil
+}
+
+// post issues one request and returns status, X-Cache tier, whether the
+// response was synthesized by a chaos transport, and the body.
+func post(ctx context.Context, client *http.Client, target, path string, body []byte) (int, string, bool, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, target+path, bytes.NewReader(body))
 	if err != nil {
 		return 0, "", false, nil, err
 	}

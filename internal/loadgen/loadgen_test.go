@@ -2,6 +2,7 @@ package loadgen
 
 import (
 	"context"
+	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -254,5 +255,69 @@ func TestSummarizeQuantiles(t *testing.T) {
 	}
 	if z := summarize(nil); z != (LatencySummary{}) {
 		t.Fatalf("empty summary = %+v", z)
+	}
+}
+
+// TestRunBatchModeWireShape: Batch > 1 drives /v1/batch with bodies of
+// exactly Batch instances whose platforms are one shared object — the
+// shape the daemon's platform dedup and the grouped SoA lane key on —
+// while the pipelines stay distinct.
+func TestRunBatchModeWireShape(t *testing.T) {
+	var mu sync.Mutex
+	paths := map[string]int{}
+	var bodies []string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		buf, _ := io.ReadAll(r.Body)
+		mu.Lock()
+		paths[r.URL.Path]++
+		bodies = append(bodies, string(buf))
+		mu.Unlock()
+		w.Header().Set("X-Cache", "hit")
+		w.Write([]byte(`{"ok":true}`))
+	}))
+	defer ts.Close()
+	rep, err := Run(context.Background(), Config{
+		Targets: []string{ts.URL},
+		Workers: 2, Requests: 20,
+		Keys: 12, Batch: 4,
+		Seed: 5, Stages: 4, Processors: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sent != 20 || rep.Errors != 0 {
+		t.Fatalf("report: %+v", rep)
+	}
+	if paths["/v1/batch"] != 20 || len(paths) != 1 {
+		t.Fatalf("paths = %v, want 20 hits on /v1/batch only", paths)
+	}
+	for _, body := range bodies {
+		var req struct {
+			Instances []struct {
+				Pipeline json.RawMessage `json:"pipeline"`
+				Platform json.RawMessage `json:"platform"`
+			} `json:"instances"`
+			Bound float64 `json:"bound"`
+		}
+		if err := json.Unmarshal([]byte(body), &req); err != nil {
+			t.Fatalf("batch body is not JSON: %v\n%s", err, body)
+		}
+		// 12 keys in groups of 4: every group is full.
+		if len(req.Instances) != 4 {
+			t.Fatalf("batch holds %d instances, want 4", len(req.Instances))
+		}
+		if req.Bound != 1e6 {
+			t.Fatalf("bound = %g, want the default 1e6", req.Bound)
+		}
+		pipes := map[string]bool{}
+		for _, in := range req.Instances {
+			if string(in.Platform) != string(req.Instances[0].Platform) {
+				t.Fatal("instances in one batch must share the group platform")
+			}
+			pipes[string(in.Pipeline)] = true
+		}
+		if len(pipes) < 2 {
+			t.Fatal("batch pipelines are not distinct — universe generation is broken")
+		}
 	}
 }

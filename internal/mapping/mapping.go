@@ -224,6 +224,14 @@ type Evaluator struct {
 // NewEvaluator binds a pipeline and a platform.
 func NewEvaluator(app *pipeline.Pipeline, plat *platform.Platform) *Evaluator {
 	ev := &Evaluator{app: app, plat: plat}
+	ev.bindPlatform()
+	ev.optLat = ev.Latency(SingleProcessor(app, plat, plat.Fastest()))
+	return ev
+}
+
+// bindPlatform fills the platform-derived reciprocal tables.
+func (ev *Evaluator) bindPlatform() {
+	plat := ev.plat
 	ev.invSpeed = make([]float64, plat.Processors())
 	for u := 1; u <= plat.Processors(); u++ {
 		ev.invSpeed[u-1] = 1 / plat.Speed(u)
@@ -249,8 +257,34 @@ func NewEvaluator(app *pipeline.Pipeline, plat *platform.Platform) *Evaluator {
 			}
 		}
 	}
-	ev.optLat = ev.Latency(SingleProcessor(app, plat, plat.Fastest()))
-	return ev
+}
+
+// NewEvaluators binds many pipelines to one shared platform — the batch
+// lane's structure-of-arrays constructor. The platform-derived reciprocal
+// tables are computed once and their backing arrays shared across every
+// returned evaluator: the tables are pure functions of the platform,
+// immutable after construction, so sharing is safe under concurrency and
+// every evaluator is bit-identical to NewEvaluator(apps[i], plat) — only
+// the per-pipeline optimal latency is computed per element.
+func NewEvaluators(apps []*pipeline.Pipeline, plat *platform.Platform) []*Evaluator {
+	evs := make([]*Evaluator, len(apps))
+	var tables *Evaluator
+	for i, app := range apps {
+		ev := &Evaluator{app: app, plat: plat}
+		if tables == nil {
+			ev.bindPlatform()
+			tables = ev
+		} else {
+			ev.invSpeed = tables.invSpeed
+			ev.invClassSpeed = tables.invClassSpeed
+			ev.invBandwidth = tables.invBandwidth
+			ev.invMinLink = tables.invMinLink
+			ev.invLinks = tables.invLinks
+		}
+		ev.optLat = ev.Latency(SingleProcessor(app, plat, plat.Fastest()))
+		evs[i] = ev
+	}
+	return evs
 }
 
 // Pipeline returns the bound application.

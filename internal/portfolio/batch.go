@@ -109,20 +109,20 @@ func resolveBound(ev *mapping.Evaluator, opts BatchOptions) float64 {
 	return opts.Bound * lowerbound.Period(ev)
 }
 
-// solveOne runs one instance's portfolio race. serialRace forces the
-// instance's own portfolio to run sequentially: when the batch level
-// already keeps every core busy, racing each portfolio on top would
-// oversubscribe the CPU by the portfolio size (results are identical
-// either way).
-func solveOne(ctx context.Context, in workload.Instance, index int, opts BatchOptions, serialRace bool) InstanceResult {
+// solveOne runs one instance's portfolio race. seqRace forces the
+// instance's own portfolio onto the sequential cancelling lane: when the
+// batch level already keeps every core busy, racing each portfolio on top
+// would oversubscribe the CPU by the portfolio size, but the incumbent
+// cancellation still trims losing members (results are identical either
+// way).
+func solveOne(ctx context.Context, ev *mapping.Evaluator, index int, opts BatchOptions, seqRace bool) InstanceResult {
 	if err := ctx.Err(); err != nil {
 		// Popped after cancellation: report the cancellation itself, not
 		// a bogus infeasibility.
 		return InstanceResult{Index: index, Err: context.Cause(ctx)}
 	}
-	ev := in.Evaluator()
 	bound := resolveBound(ev, opts)
-	sopts := SolveOptions{Exact: opts.Exact, Serial: serialRace}
+	sopts := SolveOptions{Exact: opts.Exact, Serial: opts.Serial, seqRace: seqRace}
 	var (
 		out     Outcome
 		found   bool
@@ -163,22 +163,32 @@ func solveOne(ctx context.Context, in workload.Instance, index int, opts BatchOp
 // For a fixed input and options the report is identical whatever the
 // worker count, including Serial: scheduling never influences results.
 func SolveBatch(ctx context.Context, instances []workload.Instance, opts BatchOptions) (BatchReport, error) {
-	workers := opts.Workers
+	workers, seqRace := batchWorkers(opts)
+	rows, err := MapIndexed(ctx, workers, instances, func(ctx context.Context, i int, in workload.Instance) *InstanceResult {
+		r := solveOne(ctx, in.Evaluator(), i, opts, seqRace)
+		return &r
+	})
+	return batchReport(ctx, rows, err)
+}
+
+// batchWorkers resolves the worker count and the intra-instance race
+// lane. With several batch workers the cores are already saturated;
+// racing each instance's portfolio on top would oversubscribe by the
+// portfolio size for no gain, so multi-worker batches keep each
+// portfolio on the sequential cancelling lane instead.
+func batchWorkers(opts BatchOptions) (workers int, seqRace bool) {
+	workers = opts.Workers
 	if opts.Serial {
 		workers = 1
 	} else if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	// With several batch workers the cores are already saturated; racing
-	// each instance's portfolio on top would oversubscribe by the
-	// portfolio size for no gain. A single worker keeps the intra-
-	// instance race instead.
-	serialRace := opts.Serial || workers > 1
-	rows, err := MapIndexed(ctx, workers, instances, func(ctx context.Context, i int, in workload.Instance) *InstanceResult {
-		r := solveOne(ctx, in, i, opts, serialRace)
-		return &r
-	})
-	report := BatchReport{Results: make([]InstanceResult, len(instances))}
+	return workers, workers > 1
+}
+
+// batchReport aggregates per-instance rows into the final report.
+func batchReport(ctx context.Context, rows []*InstanceResult, err error) (BatchReport, error) {
+	report := BatchReport{Results: make([]InstanceResult, len(rows))}
 	for i, row := range rows {
 		if row == nil { // never started: the context fell first
 			report.Results[i] = InstanceResult{Index: i, Err: context.Cause(ctx)}

@@ -1,0 +1,81 @@
+package portfolio
+
+import (
+	"context"
+	"math"
+	"runtime"
+	"testing"
+
+	"pipesched/internal/lowerbound"
+	"pipesched/internal/workload"
+)
+
+// TestRaceModesBitIdentical is the cancellation soundness property,
+// stated over all three race schedules: the reference lane (sequential,
+// no cancellation), the sequential cancelling lane and the concurrent
+// cancelling lane must select the identical winner — same solver, same
+// metrics bits, same intervals — on randomized instances, across
+// objectives and bound tightness. Cancellation may only abort members
+// that were going to lose anyway, so the selected outcome can never
+// depend on which lane ran. The -race CI lane runs this test with the
+// detector on, which doubles as the data-race audit of the shared
+// incumbent. closest is compared only on full failure: when any member
+// meets the bound, near-miss reporting from cancelled members is
+// documented as unspecified.
+func TestRaceModesBitIdentical(t *testing.T) {
+	// Force real concurrency even on single-processor hosts: the
+	// concurrent lane is otherwise folded into the sequential one by the
+	// serial fallback.
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	ctx := context.Background()
+	// 30×9 sits above the serial-fallback cell count (so the concurrent
+	// lane really fans out) while keeping the DP's compressed state space
+	// small enough that the full mode × bound × seed matrix stays fast.
+	for seed := int64(0); seed < 8; seed++ {
+		in := workload.Generate(workload.Config{
+			Family: workload.E2, Stages: 30, Processors: 9, Seed: 7000 + seed,
+		})
+		ev := in.Evaluator()
+		check := func(label string, run func(opts SolveOptions) (Outcome, bool, error)) {
+			ref, refFound, refClosest := run(SolveOptions{Exact: true, Serial: true})
+			for lane, opts := range map[string]SolveOptions{
+				"sequential": {Exact: true, seqRace: true},
+				"concurrent": {Exact: true},
+			} {
+				got, found, closest := run(opts)
+				if found != refFound {
+					t.Fatalf("seed %d %s %s: found %v != reference %v", seed, label, lane, found, refFound)
+				}
+				if !found {
+					if (closest == nil) != (refClosest == nil) ||
+						(closest != nil && closest.Error() != refClosest.Error()) {
+						t.Fatalf("seed %d %s %s: closest %v != reference %v", seed, label, lane, closest, refClosest)
+					}
+					continue
+				}
+				if got.Solver != ref.Solver ||
+					math.Float64bits(got.Result.Metrics.Period) != math.Float64bits(ref.Result.Metrics.Period) ||
+					math.Float64bits(got.Result.Metrics.Latency) != math.Float64bits(ref.Result.Metrics.Latency) ||
+					!sameResult(got.Result, ref.Result) {
+					t.Fatalf("seed %d %s %s: outcome (%q %+v) != reference (%q %+v)",
+						seed, label, lane, got.Solver, got.Result.Metrics, ref.Solver, ref.Result.Metrics)
+				}
+			}
+		}
+		lb := lowerbound.Period(ev)
+		for _, factor := range []float64{0.9, 1.05, 1.3, 2.0} {
+			bound := lb * factor
+			check("period", func(opts SolveOptions) (Outcome, bool, error) {
+				return UnderPeriod(ctx, ev, bound, opts)
+			})
+		}
+		optLat := ev.OptimalLatencyValue()
+		for _, factor := range []float64{0.9, 1.1, 1.6} {
+			budget := optLat * factor
+			check("latency", func(opts SolveOptions) (Outcome, bool, error) {
+				return UnderLatency(ctx, ev, budget, opts)
+			})
+		}
+	}
+}

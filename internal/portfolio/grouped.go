@@ -1,0 +1,66 @@
+package portfolio
+
+import (
+	"context"
+
+	"pipesched/internal/mapping"
+	"pipesched/internal/pipeline"
+	"pipesched/internal/platform"
+	"pipesched/internal/workload"
+)
+
+// Grouped batch lane. Real batches are skewed: a sweep over one cluster
+// submits many pipelines against a handful of platforms, and the naive
+// lane rebuilds the platform-derived evaluator tables (reciprocal speed,
+// class and link matrices) once per instance. SolveBatchGrouped groups
+// the batch by platform identity first and constructs each group's
+// evaluators through mapping.NewEvaluators, which computes those tables
+// once per group and shares their backing arrays — structure-of-arrays
+// across the batch instead of per-instance copies. The solve schedule,
+// result order and every output bit are identical to SolveBatch; only
+// construction work is deduplicated. Tests pin the equivalence.
+
+// SolveBatchGrouped is SolveBatch with per-platform-group evaluator
+// construction. Instances sharing a *platform.Platform pointer form a
+// group; instances with equal-content but distinct platform objects fall
+// into singleton groups, which is always correct, merely unshared (the
+// service layer dedups platforms at decode time, so its batches arrive
+// pointer-shared).
+func SolveBatchGrouped(ctx context.Context, instances []workload.Instance, opts BatchOptions) (BatchReport, error) {
+	evs := groupEvaluators(instances)
+	workers, seqRace := batchWorkers(opts)
+	rows, err := MapIndexed(ctx, workers, evs, func(ctx context.Context, i int, ev *mapping.Evaluator) *InstanceResult {
+		r := solveOne(ctx, ev, i, opts, seqRace)
+		return &r
+	})
+	return batchReport(ctx, rows, err)
+}
+
+// groupEvaluators builds one evaluator per instance, sharing the
+// platform-derived tables within each pointer-identity group. Group
+// discovery preserves first-appearance order and the returned slice is
+// in input order, so downstream scheduling sees exactly what SolveBatch
+// would.
+func groupEvaluators(instances []workload.Instance) []*mapping.Evaluator {
+	evs := make([]*mapping.Evaluator, len(instances))
+	groups := make(map[*platform.Platform][]int, 4)
+	order := make([]*platform.Platform, 0, 4)
+	for i, in := range instances {
+		if _, seen := groups[in.Plat]; !seen {
+			order = append(order, in.Plat)
+		}
+		groups[in.Plat] = append(groups[in.Plat], i)
+	}
+	apps := make([]*pipeline.Pipeline, 0, len(instances))
+	for _, plat := range order {
+		idx := groups[plat]
+		apps = apps[:0]
+		for _, i := range idx {
+			apps = append(apps, instances[i].App)
+		}
+		for j, ev := range mapping.NewEvaluators(apps, plat) {
+			evs[idx[j]] = ev
+		}
+	}
+	return evs
+}

@@ -51,10 +51,49 @@ type SolveOptions struct {
 	// DP dominates every heuristic when it applies, at exponential cost.
 	Exact bool
 	// Serial runs the portfolio members one after the other on the
-	// calling goroutine. This is the reference path: selection is shared,
-	// so results are identical to the concurrent race — it exists for
-	// benchmarks and cross-checking tests.
+	// calling goroutine with mid-race cancellation disabled. This is the
+	// reference path: selection is shared and no member is ever
+	// abandoned, so it is the oracle the cancelling lanes are
+	// property-tested against — it exists for benchmarks and
+	// cross-checking tests.
 	Serial bool
+	// seqRace forces the sequential cancelling lane: members run one
+	// after the other, later ones polling the incumbent the earlier ones
+	// published. Batch workers set it — their pool already saturates the
+	// host, so fanning each portfolio out would oversubscribe, but the
+	// cancellation savings still apply.
+	seqRace bool
+}
+
+// raceMode is the execution schedule of one portfolio race.
+type raceMode int
+
+const (
+	// raceReference runs members sequentially without cancellation —
+	// the oracle.
+	raceReference raceMode = iota
+	// raceSequential runs members sequentially, strongest lanes first,
+	// with incumbent cancellation: later slow members abort once their
+	// bound proves they cannot be selected. This is the default on
+	// single-processor hosts and small instances, where fan-out buys
+	// nothing but cancellation still cuts real work.
+	raceSequential
+	// raceConcurrent fans members out across goroutines, all polling the
+	// shared incumbent.
+	raceConcurrent
+)
+
+// raceModeFor picks the schedule: the explicit reference path wins, then
+// the sequential fallbacks, then fan-out.
+func raceModeFor(ev *mapping.Evaluator, opts SolveOptions) raceMode {
+	switch {
+	case opts.Serial:
+		return raceReference
+	case opts.seqRace || serialFallback(ev):
+		return raceSequential
+	default:
+		return raceConcurrent
+	}
 }
 
 // Outcome is the winning entry of a portfolio race.
@@ -71,35 +110,91 @@ type attempt struct {
 }
 
 // solver is one portfolio member, closed over its instance and bound.
+// raced, when non-nil, is the cancellation-aware variant: it polls the
+// race incumbent and aborts with heuristics.ErrRaceLost once its running
+// bound proves defeat. Members without one (the DP, the fullhet lane) run
+// to completion and only feed the incumbent.
 type solver struct {
-	id  string
-	run func() (heuristics.Result, error)
+	id    string
+	run   func() (heuristics.Result, error)
+	raced func(inc *heuristics.Incumbent) (heuristics.Result, error)
 }
 
-// race runs every solver and returns the attempts in solver order. The
-// concurrent path fans one goroutine out per member and drains them all;
-// each attempt lands in its own slot, so the result is independent of
-// scheduling order.
-func race(solvers []solver, serial bool) []attempt {
+// incPool recycles race incumbents so the cancelling lanes stay
+// allocation-neutral against the reference path on pooled steady state.
+var incPool = sync.Pool{New: func() any { return heuristics.NewIncumbent() }}
+
+// race runs every solver and returns the attempts in solver order — each
+// attempt lands in its own slot, so the result is independent of
+// scheduling. The cancelling modes share an incumbent: every finished
+// member offers its selection metric, and raced members abort once they
+// provably cannot beat it. The sequential mode runs members in seqIndex
+// order (strong incumbents first); the reference mode runs them in slice
+// order with no incumbent, replaying the façade's historical sequence.
+func race(solvers []solver, mode raceMode, hasExact bool, metric func(mapping.Metrics) float64) []attempt {
 	out := make([]attempt, len(solvers))
-	if serial {
+	if mode == raceReference {
 		for i, s := range solvers {
 			res, err := s.run()
 			out[i] = attempt{id: s.id, res: res, err: err}
 		}
 		return out
 	}
+	inc := incPool.Get().(*heuristics.Incumbent)
+	inc.Reset()
+	defer incPool.Put(inc)
+	if mode == raceSequential {
+		for k := range solvers {
+			i := seqIndex(k, len(solvers), hasExact)
+			out[i] = runRaced(&solvers[i], inc, metric)
+		}
+		return out
+	}
 	var wg sync.WaitGroup
-	for i, s := range solvers {
-		wg.Add(1)
-		go func(i int, s solver) {
+	wg.Add(len(solvers))
+	for i := range solvers {
+		go func(i int) {
 			defer wg.Done()
-			res, err := s.run()
-			out[i] = attempt{id: s.id, res: res, err: err}
-		}(i, s)
+			out[i] = runRaced(&solvers[i], inc, metric)
+		}(i)
 	}
 	wg.Wait()
 	return out
+}
+
+// runRaced executes one member against the shared incumbent: raced
+// members poll it, every finished member offers its selection metric.
+func runRaced(s *solver, inc *heuristics.Incumbent, metric func(mapping.Metrics) float64) attempt {
+	var res heuristics.Result
+	var err error
+	if s.raced != nil {
+		res, err = s.raced(inc)
+	} else {
+		res, err = s.run()
+	}
+	if err == nil {
+		inc.Offer(metric(res.Metrics))
+	}
+	return attempt{id: s.id, res: res, err: err}
+}
+
+// seqIndex schedules the sequential cancelling lane: the first member
+// (the cheap splitter) seeds the incumbent, then the exact DP — when
+// present, always last in the solver slice — publishes the optimal value,
+// so every expensive explorer that follows races against the best
+// possible incumbent and aborts at the first provably-losing split.
+func seqIndex(k, n int, hasExact bool) int {
+	if !hasExact || n < 2 {
+		return k
+	}
+	switch {
+	case k == 0:
+		return 0
+	case k == 1:
+		return n - 1
+	default:
+		return k - 1
+	}
 }
 
 func exactApplies(ev *mapping.Evaluator, opts SolveOptions) bool {
@@ -130,7 +225,12 @@ func serialFallback(ev *mapping.Evaluator) bool {
 // smallest latency (ties: smallest period; further ties: portfolio order).
 // found reports whether any member met the bound; when none did, closest is
 // the *heuristics.InfeasibleError whose achieved period came closest to the
-// bound (nil when no member produced one).
+// bound (nil when no member produced one). closest is unspecified when
+// found: the cancelling lanes abandon provably-losing members before they
+// can report a near-miss, so only the found outcome is pinned across
+// schedules. An unmet bound disables cancellation entirely (aborts require
+// a feasible incumbent), so the infeasibility report is itself
+// schedule-independent.
 //
 // The selection replays the serial scan of the original façade loop member
 // by member, so the returned result is bit-identical to running the
@@ -142,17 +242,26 @@ func UnderPeriod(ctx context.Context, ev *mapping.Evaluator, maxPeriod float64, 
 	var solvers []solver
 	for _, h := range periodSolvers(ev.Platform()) {
 		h := h
-		solvers = append(solvers, solver{id: h.ID(), run: func() (heuristics.Result, error) {
+		s := solver{id: h.ID(), run: func() (heuristics.Result, error) {
 			return h.MinimizeLatency(ev, maxPeriod)
-		}})
+		}}
+		if r, ok := h.(heuristics.PeriodRacer); ok {
+			s.raced = func(inc *heuristics.Incumbent) (heuristics.Result, error) {
+				return r.MinimizeLatencyRaced(ev, maxPeriod, inc)
+			}
+		}
+		solvers = append(solvers, s)
 	}
-	if exactApplies(ev, opts) {
+	hasExact := exactApplies(ev, opts)
+	if hasExact {
 		solvers = append(solvers, solver{id: ExactID, run: func() (heuristics.Result, error) {
 			r, err := exact.MinLatencyUnderPeriod(ev, maxPeriod)
 			return heuristics.Result{Mapping: r.Mapping, Metrics: r.Metrics}, err
 		}})
 	}
-	return pickUnderPeriod(race(solvers, opts.Serial || serialFallback(ev)))
+	attempts := race(solvers, raceModeFor(ev, opts), hasExact,
+		func(m mapping.Metrics) float64 { return m.Latency })
+	return pickUnderPeriod(attempts)
 }
 
 // pickUnderPeriod mirrors the serial selection of BestUnderPeriod: strict
@@ -162,6 +271,9 @@ func UnderPeriod(ctx context.Context, ev *mapping.Evaluator, maxPeriod float64, 
 func pickUnderPeriod(attempts []attempt) (out Outcome, found bool, closest error) {
 	achieved := 0.0
 	for _, a := range attempts {
+		if errors.Is(a.err, heuristics.ErrRaceLost) {
+			continue // a cancelled member is just a lost race
+		}
 		if a.err != nil {
 			var inf *heuristics.InfeasibleError
 			if errors.As(a.err, &inf) && (closest == nil || inf.Achieved < achieved) {
@@ -184,7 +296,8 @@ func pickUnderPeriod(attempts []attempt) (out Outcome, found bool, closest error
 // returns the feasible outcome with
 // the smallest period (ties: portfolio order). When no member met the
 // bound, closest is the first failure in portfolio order — the error the
-// serial loop would have reported.
+// serial loop would have reported; as with UnderPeriod it is unspecified
+// when found.
 func UnderLatency(ctx context.Context, ev *mapping.Evaluator, maxLatency float64, opts SolveOptions) (out Outcome, found bool, closest error) {
 	if err := ctx.Err(); err != nil {
 		return Outcome{}, false, err
@@ -192,17 +305,26 @@ func UnderLatency(ctx context.Context, ev *mapping.Evaluator, maxLatency float64
 	var solvers []solver
 	for _, h := range latencySolvers(ev.Platform()) {
 		h := h
-		solvers = append(solvers, solver{id: h.ID(), run: func() (heuristics.Result, error) {
+		s := solver{id: h.ID(), run: func() (heuristics.Result, error) {
 			return h.MinimizePeriod(ev, maxLatency)
-		}})
+		}}
+		if r, ok := h.(heuristics.LatencyRacer); ok {
+			s.raced = func(inc *heuristics.Incumbent) (heuristics.Result, error) {
+				return r.MinimizePeriodRaced(ev, maxLatency, inc)
+			}
+		}
+		solvers = append(solvers, s)
 	}
-	if exactApplies(ev, opts) {
+	hasExact := exactApplies(ev, opts)
+	if hasExact {
 		solvers = append(solvers, solver{id: ExactID, run: func() (heuristics.Result, error) {
 			r, err := exact.MinPeriodUnderLatency(ev, maxLatency)
 			return heuristics.Result{Mapping: r.Mapping, Metrics: r.Metrics}, err
 		}})
 	}
-	return pickUnderLatency(race(solvers, opts.Serial || serialFallback(ev)))
+	attempts := race(solvers, raceModeFor(ev, opts), hasExact,
+		func(m mapping.Metrics) float64 { return m.Period })
+	return pickUnderLatency(attempts)
 }
 
 // pickUnderLatency mirrors the serial selection of BestUnderLatency:
@@ -210,6 +332,9 @@ func UnderLatency(ctx context.Context, ev *mapping.Evaluator, maxLatency float64
 // the remembered failure is the first one.
 func pickUnderLatency(attempts []attempt) (out Outcome, found bool, closest error) {
 	for _, a := range attempts {
+		if errors.Is(a.err, heuristics.ErrRaceLost) {
+			continue // a cancelled member is just a lost race
+		}
 		if a.err != nil {
 			if closest == nil {
 				closest = a.err

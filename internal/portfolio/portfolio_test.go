@@ -62,7 +62,10 @@ func TestParallelMatchesSerial(t *testing.T) {
 					t.Fatalf("instance %d bound %g exact=%v: serial (%v, %q, %+v) != parallel (%v, %q, %+v)",
 						ii, bound, withExact, sFound, sOut.Solver, sOut.Result.Metrics, pFound, pOut.Solver, pOut.Result.Metrics)
 				}
-				if (sErr == nil) != (pErr == nil) || (sErr != nil && sErr.Error() != pErr.Error()) {
+				// closest is only specified when no member met the bound
+				// (the cancelling lanes abandon losing members before they
+				// can report a near-miss).
+				if !sFound && ((sErr == nil) != (pErr == nil) || (sErr != nil && sErr.Error() != pErr.Error())) {
 					t.Fatalf("instance %d bound %g: serial err %v != parallel err %v", ii, bound, sErr, pErr)
 				}
 			}
@@ -74,7 +77,7 @@ func TestParallelMatchesSerial(t *testing.T) {
 				if sFound != pFound || sOut.Solver != pOut.Solver || !sameResult(sOut.Result, pOut.Result) {
 					t.Fatalf("instance %d latency bound %g exact=%v: serial != parallel", ii, bound, withExact)
 				}
-				if (sErr == nil) != (pErr == nil) || (sErr != nil && sErr.Error() != pErr.Error()) {
+				if !sFound && ((sErr == nil) != (pErr == nil) || (sErr != nil && sErr.Error() != pErr.Error())) {
 					t.Fatalf("instance %d latency bound %g: serial err %v != parallel err %v", ii, bound, sErr, pErr)
 				}
 			}

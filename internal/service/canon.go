@@ -238,6 +238,36 @@ func batchKey(opts portfolio.BatchOptions, instances []workload.Instance) cache.
 	return c.key()
 }
 
+// batchKeyWire digests one /v1/batch request straight from its decoded
+// wire form. It must produce the same key as batchKey on the constructed
+// objects; tests pin the equivalence, so the primed batch hot path can
+// answer from the cache without materialising a single domain object.
+func batchKeyWire(opts portfolio.BatchOptions, instances []instanceWire) cache.Key {
+	c := newCanon("batch")
+	c.u64(uint64(opts.Objective))
+	c.f64(opts.Bound)
+	c.u64(boolBit(opts.RelativeBound))
+	c.u64(boolBit(opts.Exact))
+	c.u64(uint64(len(instances)))
+	for i := range instances {
+		in := &instances[i]
+		c.floats(in.Pipeline.Works)
+		c.floats(in.Pipeline.Deltas)
+		c.wirePlatform(in.Platform.Kind, in.Platform.Speeds, in.Platform.Bandwidth, in.Platform.Links)
+	}
+	return c.key()
+}
+
+// platformKeyWire digests a platform alone — the fingerprint the batch
+// miss path dedups platforms by, so instances naming the same platform
+// share one constructed object (and therefore one evaluator-table group
+// in the grouped batch lane).
+func platformKeyWire(pw *platformWire) cache.Key {
+	c := newCanon("platform")
+	c.wirePlatform(pw.Kind, pw.Speeds, pw.Bandwidth, pw.Links)
+	return c.key()
+}
+
 func boolBit(b bool) uint64 {
 	if b {
 		return 1

@@ -1,0 +1,102 @@
+package service
+
+import (
+	"sync"
+
+	"pipesched/internal/mapping"
+	"pipesched/internal/pipeline"
+	"pipesched/internal/service/cache"
+)
+
+// Evaluator interning. Two pointer-keyed caches downstream of the
+// handlers make repeated instances cheap — mapping.Evaluator carries
+// precomputed reciprocal tables, and the exact DP's arena pool skips
+// rebinding its cost tables and transition lists entirely when it is
+// re-acquired for the evaluator pointer it last served. Decoding every
+// request into fresh objects defeated both: identical instances arrived
+// as distinct pointers, so the cold path rebuilt tables that had been
+// built microseconds earlier. The intern table closes that gap by
+// mapping the canonical content of a (pipeline, platform) pair to one
+// shared evaluator, giving every repeat of an instance — across solve
+// misses, sweeps and batch elements — the same pointer and therefore
+// warm tables all the way down. Evaluators are immutable after
+// construction, so sharing one across concurrent solves is safe.
+
+// internEntries bounds the intern table. Eviction is FIFO: the serving
+// steady state is a small working set of platforms×pipelines, and a
+// wrong eviction costs only one rebuild, never correctness.
+const internEntries = 256
+
+// instanceKeyWire digests just the (pipeline, platform) pair from its
+// decoded wire form — the evaluator's identity, independent of the
+// objective, mode and bound that key the result cache.
+func instanceKeyWire(works, deltas []float64, plat *platformWire) cache.Key {
+	c := newCanon("instance")
+	c.floats(works)
+	c.floats(deltas)
+	c.wirePlatform(plat.Kind, plat.Speeds, plat.Bandwidth, plat.Links)
+	return c.key()
+}
+
+// evalIntern is the bounded content→evaluator table.
+type evalIntern struct {
+	mu           sync.Mutex
+	m            map[cache.Key]*mapping.Evaluator
+	order        []cache.Key // insertion ring, oldest at next
+	next         int
+	hits, misses uint64
+}
+
+func newEvalIntern() *evalIntern {
+	return &evalIntern{m: make(map[cache.Key]*mapping.Evaluator, internEntries)}
+}
+
+// lease returns the shared evaluator for the wire instance, constructing
+// and validating it on first sight. Construction errors are reported as
+// the same bad-request errors the handlers raised when they built the
+// objects inline, and failed instances are never interned.
+func (ei *evalIntern) lease(works, deltas []float64, pw *platformWire) (*mapping.Evaluator, error) {
+	key := instanceKeyWire(works, deltas, pw)
+	ei.mu.Lock()
+	if ev, ok := ei.m[key]; ok {
+		ei.hits++
+		ei.mu.Unlock()
+		return ev, nil
+	}
+	ei.mu.Unlock()
+	// Build outside the lock: constructors copy the wire slices, so the
+	// evaluator owns its data and the caller's scratch can be pooled.
+	app, err := pipeline.New(works, deltas)
+	if err != nil {
+		return nil, badRequest("invalid request body: %v", err)
+	}
+	plat, err := buildPlatform(pw)
+	if err != nil {
+		return nil, badRequest("invalid request body: %v", err)
+	}
+	ev := mapping.NewEvaluator(app, plat)
+	ei.mu.Lock()
+	defer ei.mu.Unlock()
+	ei.misses++
+	if cur, ok := ei.m[key]; ok {
+		// A concurrent request built it first; keep one canonical pointer
+		// so the arena pool sees a single identity per instance.
+		return cur, nil
+	}
+	if len(ei.order) < internEntries {
+		ei.order = append(ei.order, key)
+	} else {
+		delete(ei.m, ei.order[ei.next])
+		ei.order[ei.next] = key
+		ei.next = (ei.next + 1) % internEntries
+	}
+	ei.m[key] = ev
+	return ev, nil
+}
+
+// stats returns the cumulative hit/miss counters.
+func (ei *evalIntern) stats() (hits, misses uint64) {
+	ei.mu.Lock()
+	defer ei.mu.Unlock()
+	return ei.hits, ei.misses
+}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pipesched/internal/exact"
 	"pipesched/internal/service/cache"
 )
 
@@ -235,12 +236,27 @@ type CacheSnapshot struct {
 	HitRate   float64 `json:"hit_rate"`
 }
 
+// SolverSnapshot is the JSON form of the solver-side counters: how often
+// the exact DP ran serial, engaged the wave-parallel runner or answered
+// from the saturated-bound memo (process-wide, since the DP's scheduler
+// is package state), and how the evaluator intern table is doing. A
+// production scrape showing parallel_runs stuck at zero on a large-state
+// workload is the cue to lower exact.ParallelStateThreshold; intern
+// misses dominating hits means the platform working set exceeds the
+// intern capacity.
+type SolverSnapshot struct {
+	DP           exact.Stats `json:"dp"`
+	InternHits   uint64      `json:"intern_hits"`
+	InternMisses uint64      `json:"intern_misses"`
+}
+
 // MetricsSnapshot is the body served by GET /metrics. Cluster is present
 // only in peer mode.
 type MetricsSnapshot struct {
 	UptimeSeconds float64                     `json:"uptime_seconds"`
 	InFlight      int64                       `json:"in_flight"`
 	Cache         CacheSnapshot               `json:"cache"`
+	Solver        SolverSnapshot              `json:"solver"`
 	Cluster       *ClusterMetricsSnapshot     `json:"cluster,omitempty"`
 	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
 }

@@ -139,6 +139,7 @@ func (o Options) maxBody() int64 {
 type Server struct {
 	opts    Options
 	cache   *cache.Sharded[[]byte]
+	intern  *evalIntern
 	metrics *metricsRegistry
 	mux     *http.ServeMux
 	logger  *log.Logger
@@ -157,6 +158,7 @@ func New(opts Options) *Server {
 	s := &Server{
 		opts:    opts,
 		cache:   cache.NewSharded[[]byte](opts.cacheEntries(), opts.cacheShards()),
+		intern:  newEvalIntern(),
 		metrics: newMetricsRegistry(),
 		logger:  opts.Logger,
 	}
@@ -186,6 +188,8 @@ func (s *Server) CacheStats() cache.Stats { return s.cache.Stats() }
 // Metrics returns the snapshot served by GET /metrics.
 func (s *Server) Metrics() MetricsSnapshot {
 	snap := s.metrics.snapshot(s.cache.Stats(), s.cache.Shards())
+	snap.Solver.DP = exact.ReadStats()
+	snap.Solver.InternHits, snap.Solver.InternMisses = s.intern.stats()
 	snap.Cluster = s.peers.snapshot()
 	return snap
 }
@@ -595,6 +599,33 @@ func buildPlatform(pw *platformWire) (*platform.Platform, error) {
 	return platform.New(pw.Speeds, pw.Bandwidth)
 }
 
+// buildBatchInstances constructs a batch's domain objects from the wire
+// form, validating each element and deduplicating platforms by content:
+// instances that spelled out the same platform get the same constructed
+// object, so the grouped batch lane builds its shared evaluator tables
+// once per distinct platform rather than once per instance.
+func buildBatchInstances(wires []instanceWire) ([]workload.Instance, error) {
+	instances := make([]workload.Instance, len(wires))
+	plats := make(map[cache.Key]*platform.Platform, 4)
+	for i := range wires {
+		in := &wires[i]
+		app, err := pipeline.New(in.Pipeline.Works, in.Pipeline.Deltas)
+		if err != nil {
+			return nil, badRequest("instance %d: invalid request body: %v", i, err)
+		}
+		pk := platformKeyWire(&in.Platform)
+		plat, ok := plats[pk]
+		if !ok {
+			if plat, err = buildPlatform(&in.Platform); err != nil {
+				return nil, badRequest("instance %d: invalid request body: %v", i, err)
+			}
+			plats[pk] = plat
+		}
+		instances[i] = workload.Instance{App: app, Plat: plat}
+	}
+	return instances, nil
+}
+
 func (s *Server) handleSolve(sc *scratch, w http.ResponseWriter, r *http.Request) {
 	req := &sc.solve
 	req.reset()
@@ -645,17 +676,14 @@ func (s *Server) handleSolve(sc *scratch, w http.ResponseWriter, r *http.Request
 		}
 		fellBack = fb
 	}
-	// Miss: construct and validate the instance. The constructors copy
-	// the wire slices, so the detached solve below owns its inputs and
-	// the scratch can be pooled the moment this handler returns.
-	app, err := pipeline.New(req.Pipeline.Works, req.Pipeline.Deltas)
+	// Miss: lease the instance's shared evaluator (validating and
+	// constructing it on first sight). The intern table copies nothing
+	// from the scratch — the constructors copy the wire slices — so the
+	// detached solve below owns its inputs and the scratch can be pooled
+	// the moment this handler returns.
+	ev, err := s.intern.lease(req.Pipeline.Works, req.Pipeline.Deltas, &req.Platform)
 	if err != nil {
-		s.writeError(w, r, badRequest("invalid request body: %v", err))
-		return
-	}
-	plat, err := buildPlatform(&req.Platform)
-	if err != nil {
-		s.writeError(w, r, badRequest("invalid request body: %v", err))
+		s.writeError(w, r, err)
 		return
 	}
 	bound := req.Bound
@@ -670,7 +698,7 @@ func (s *Server) handleSolve(sc *scratch, w http.ResponseWriter, r *http.Request
 		if s.solveHook != nil {
 			s.solveHook()
 		}
-		resp, err := s.solveOne(solveCtx, objective, mode, app, plat, bound)
+		resp, err := s.solveOne(solveCtx, objective, mode, ev, bound)
 		if err != nil {
 			return nil, err
 		}
@@ -687,9 +715,9 @@ func (s *Server) handleSolve(sc *scratch, w http.ResponseWriter, r *http.Request
 	writeCached(w, body, src)
 }
 
-// solveOne runs one instance through the selected mode.
-func (s *Server) solveOne(ctx context.Context, objective portfolio.Objective, mode string, app *pipeline.Pipeline, plat *platform.Platform, bound float64) (SolveResponse, error) {
-	ev := mapping.NewEvaluator(app, plat)
+// solveOne runs one instance through the selected mode. ev is the
+// interned evaluator, so repeated instances hit warm tables downstream.
+func (s *Server) solveOne(ctx context.Context, objective portfolio.Objective, mode string, ev *mapping.Evaluator, bound float64) (SolveResponse, error) {
 	resp := SolveResponse{Objective: objective.String(), Mode: mode, Bound: bound}
 	var res heuristics.Result
 	switch mode {
@@ -728,7 +756,7 @@ func (s *Server) solveOne(ctx context.Context, objective portfolio.Objective, mo
 		res, resp.Solver = heuristics.Result{Mapping: xr.Mapping, Metrics: xr.Metrics}, portfolio.ExactID
 	default: // a single heuristic identifier, already validated
 		var err error
-		fullhet := plat.Kind() == platform.FullyHeterogeneous
+		fullhet := ev.Platform().Kind() == platform.FullyHeterogeneous
 		if objective == portfolio.MinimizePeriod {
 			for _, h := range latencyRegistry(fullhet) {
 				if h.ID() == mode {
@@ -754,15 +782,18 @@ func (s *Server) solveOne(ctx context.Context, objective portfolio.Objective, mo
 }
 
 func (s *Server) handleBatch(sc *scratch, w http.ResponseWriter, r *http.Request) {
-	// Batch bodies hold arbitrarily many instances, so they decode into
-	// a fresh request (the detached batch run below owns it); the pooled
-	// render path and cached-bytes fast path still apply.
+	// Batch bodies decode into pooled wire scratch like solve bodies: the
+	// primed hot path goes body → canonical key → cached bytes without
+	// constructing a single pipeline or platform. Domain objects are
+	// built on the miss only, below, and own their data, so the detached
+	// batch run never touches the scratch after the handler returns.
 	// Batch requests stay node-local in peer mode: the canonical key of a
 	// whole instance list is effectively unique per client, so forwarding
 	// would add a hop for no expected hit, and the batch engine already
 	// spreads the work across this node's cores.
-	var req BatchRequest
-	if _, err := s.decodeJSON(w, r, &req); err != nil {
+	req := &sc.batch
+	req.reset()
+	if _, err := s.decodeJSON(w, r, req); err != nil {
 		s.writeError(w, r, err)
 		return
 	}
@@ -770,8 +801,13 @@ func (s *Server) handleBatch(sc *scratch, w http.ResponseWriter, r *http.Request
 		s.writeError(w, r, badRequest("\"instances\" must hold at least one instance"))
 		return
 	}
-	for i, in := range req.Instances {
-		if err := validPlatform(in.Plat); err != nil {
+	for i := range req.Instances {
+		in := &req.Instances[i]
+		if in.Pipeline.missing() || in.Platform.missing() {
+			s.writeError(w, r, badRequest("instance %d: both \"pipeline\" and \"platform\" are required", i))
+			return
+		}
+		if err := servableKind(in.Platform.Kind); err != nil {
 			s.writeError(w, r, badRequest("instance %d: %v", i, err))
 			return
 		}
@@ -796,9 +832,18 @@ func (s *Server) handleBatch(sc *scratch, w http.ResponseWriter, r *http.Request
 		Exact:         req.Exact,
 		Workers:       workers,
 	}
-	key := batchKey(opts, req.Instances)
+	key := batchKeyWire(opts, req.Instances)
 	if body, ok := s.cache.Get(key); ok {
 		writeCached(w, body, cache.Hit)
+		return
+	}
+	// Miss: construct the domain objects, deduplicating platforms by
+	// content so instances naming the same platform share one object —
+	// the pointer identity the grouped batch lane groups its
+	// evaluator-table construction by.
+	instances, err := buildBatchInstances(req.Instances)
+	if err != nil {
+		s.writeError(w, r, err)
 		return
 	}
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
@@ -809,7 +854,7 @@ func (s *Server) handleBatch(sc *scratch, w http.ResponseWriter, r *http.Request
 		if s.solveHook != nil {
 			s.solveHook()
 		}
-		report, err := portfolio.SolveBatch(solveCtx, req.Instances, opts)
+		report, err := portfolio.SolveBatchGrouped(solveCtx, instances, opts)
 		if err != nil {
 			// Cancelled mid-batch: the report is partial, never cache it.
 			return nil, err
@@ -884,14 +929,9 @@ func (s *Server) handleSweep(sc *scratch, w http.ResponseWriter, r *http.Request
 		}
 		fellBack = fb
 	}
-	app, err := pipeline.New(req.Pipeline.Works, req.Pipeline.Deltas)
+	ev, err := s.intern.lease(req.Pipeline.Works, req.Pipeline.Deltas, &req.Platform)
 	if err != nil {
-		s.writeError(w, r, badRequest("invalid request body: %v", err))
-		return
-	}
-	plat, err := buildPlatform(&req.Platform)
-	if err != nil {
-		s.writeError(w, r, badRequest("invalid request body: %v", err))
+		s.writeError(w, r, err)
 		return
 	}
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
@@ -902,7 +942,6 @@ func (s *Server) handleSweep(sc *scratch, w http.ResponseWriter, r *http.Request
 		if s.solveHook != nil {
 			s.solveHook()
 		}
-		ev := mapping.NewEvaluator(app, plat)
 		// solveCtx is never cancellable (WithoutCancel), so the sweep
 		// always runs to completion and the frontier is never truncated;
 		// a cancelled client merely abandons its wait in cache.Do.

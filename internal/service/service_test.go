@@ -445,6 +445,12 @@ func TestRepeatedRequestIsCacheHit(t *testing.T) {
 	if snap.Endpoints["solve"].Requests != 3 {
 		t.Fatalf("/metrics endpoints = %+v, want 3 solve requests", snap.Endpoints)
 	}
+	// The solver section reports the intern table: one build for the
+	// instance, one re-lease by the second miss (the DP counters are
+	// process-global, so only the per-server intern is asserted here).
+	if snap.Solver.InternMisses != 1 || snap.Solver.InternHits != 1 {
+		t.Fatalf("/metrics solver = %+v, want 1 intern miss and 1 hit", snap.Solver)
+	}
 }
 
 // TestConcurrentIdenticalRequestsCollapse fires N identical solves while

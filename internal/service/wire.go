@@ -64,6 +64,43 @@ func (sw *solveWire) reset() {
 	sw.TimeoutMS = 0
 }
 
+// instanceWire is one element of a batch body: the same pipeline and
+// platform wire pair as a solve body.
+type instanceWire struct {
+	Pipeline pipelineWire `json:"pipeline"`
+	Platform platformWire `json:"platform"`
+}
+
+// batchWire is the top-level body of POST /v1/batch, decoded into pooled
+// scratch like solveWire. encoding/json reuses both the instance slice
+// and every nested number slice when capacity allows, so a warm decode
+// of a batch allocates for none of the instance payloads — on the primed
+// hot path the handler goes body → key → cached bytes without
+// materialising a single pipeline or platform object. reset truncates
+// every nested slice so a field absent from this request can never leak
+// a previous request's numbers into the key.
+type batchWire struct {
+	Instances     []instanceWire `json:"instances"`
+	Objective     string         `json:"objective"`
+	Bound         float64        `json:"bound"`
+	RelativeBound bool           `json:"relative_bound"`
+	Exact         bool           `json:"exact"`
+	Workers       int            `json:"workers"`
+	TimeoutMS     int            `json:"timeout_ms"`
+}
+
+func (bw *batchWire) reset() {
+	for i := range bw.Instances {
+		bw.Instances[i].Pipeline.reset()
+		bw.Instances[i].Platform.reset()
+	}
+	bw.Instances = bw.Instances[:0]
+	bw.Objective = ""
+	bw.Bound = 0
+	bw.RelativeBound, bw.Exact = false, false
+	bw.Workers, bw.TimeoutMS = 0, 0
+}
+
 // sweepWire is the top-level body of POST /v1/sweep.
 type sweepWire struct {
 	Pipeline  pipelineWire `json:"pipeline"`
@@ -92,6 +129,7 @@ type scratch struct {
 	rec   statusRecorder
 	solve solveWire
 	sweep sweepWire
+	batch batchWire
 }
 
 var scratchPool = sync.Pool{New: func() any { return &scratch{} }}

@@ -299,3 +299,58 @@ func TestStrictTopLevelDecodeStillEnforced(t *testing.T) {
 		})
 	}
 }
+
+// TestBatchWireKeyMatchesObjectKey pins batchKeyWire to batchKey: the
+// batch hot path computes its cache key from the pooled wire scratch,
+// and a primed batch must hit the entry that an object-keyed writer (or
+// an older build) stored. Worker count must not fragment the key on
+// either path.
+func TestBatchWireKeyMatchesObjectKey(t *testing.T) {
+	var instances []workload.Instance
+	var wires []instanceWire
+	for seed := int64(1); seed <= 4; seed++ {
+		in := workload.Generate(workload.Config{Family: workload.E2, Stages: 6, Processors: 4, Seed: seed})
+		instances = append(instances, in)
+		wires = append(wires, instanceWire{
+			Pipeline: pipelineWire{Works: in.App.Works(), Deltas: in.App.Deltas()},
+			Platform: platformWire{Speeds: in.Plat.Speeds(), Bandwidth: in.Plat.Bandwidth()},
+		})
+	}
+	app := pipeline.MustNew([]float64{3, 1, 4}, []float64{2, 7, 1, 8})
+	speeds := []float64{2, 3, 5}
+	links := [][]float64{
+		{0, 4, 9},
+		{4, 0, 6},
+		{9, 6, 0},
+	}
+	fullhet, err := platform.NewFullyHeterogeneous(speeds, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	instances = append(instances, workload.Instance{App: app, Plat: fullhet})
+	wires = append(wires, instanceWire{
+		Pipeline: pipelineWire{Works: app.Works(), Deltas: app.Deltas()},
+		Platform: platformWire{Kind: platform.FullyHeterogeneous.String(), Speeds: speeds, Links: links},
+	})
+	for _, opts := range []portfolio.BatchOptions{
+		{Objective: portfolio.MinimizeLatency, Bound: 1.5},
+		{Objective: portfolio.MinimizePeriod, Bound: 2, RelativeBound: true, Exact: true},
+	} {
+		if batchKey(opts, instances) != batchKeyWire(opts, wires) {
+			t.Errorf("opts %+v: wire batch key diverges from object key", opts)
+		}
+		alt := opts
+		alt.Workers = 7
+		if batchKeyWire(alt, wires) != batchKeyWire(opts, wires) {
+			t.Errorf("opts %+v: worker count fragments the batch key", opts)
+		}
+	}
+	// Distinct instance order must produce a distinct key: a batch is an
+	// ordered request, results are positional.
+	swapped := append([]instanceWire(nil), wires...)
+	swapped[0], swapped[1] = swapped[1], swapped[0]
+	opts := portfolio.BatchOptions{Bound: 1.5}
+	if batchKeyWire(opts, swapped) == batchKeyWire(opts, wires) {
+		t.Error("reordering instances kept the batch key")
+	}
+}
