@@ -36,6 +36,10 @@
 //	                      #-comments), reloaded on SIGHUP with
 //	                      snapshot-driven key handoff
 //	-peers-watch DUR      also poll -peers-file for changes (0 = SIGHUP only)
+//	-join URLS            self-healing fleet: bootstrap the member list
+//	                      from any reachable seed URL, announce this node,
+//	                      and let gossip propagate the join (no peers file
+//	                      anywhere; excludes -peers/-peers-file)
 //	-advertise URL        this node's own entry in the peer list (required)
 //	-replicas N           replica owners per key (default 2); a miss
 //	                      forwards to the first available replica
@@ -48,11 +52,21 @@
 //	-peer-max-backoff DUR cap for the exponential down window (default 60s)
 //	-snapshot-entries N   cap per snapshot pull (default 1024)
 //	-no-warmup            skip the background warm-up on boot
+//	-gossip-interval DUR  membership exchange with one live peer per tick
+//	                      (default 10s; 0 disables gossip)
+//	-sync-interval DUR    replica anti-entropy round: pull peer cache
+//	                      digests, fetch missing owned entries (default
+//	                      30s; 0 disables sync)
 //
 // Example 3-node fleet member:
 //
 //	pipeschedd -addr :8080 -advertise http://10.0.0.1:8080 \
 //	    -peers-file /etc/pipesched/peers.txt -peers-watch 30s
+//
+// Example self-healing join (no peers file on the new host):
+//
+//	pipeschedd -addr :8080 -advertise http://10.0.0.4:8080 \
+//	    -join http://10.0.0.1:8080,http://10.0.0.2:8080
 //
 // Profiling is opt-in: -pprof ADDR exposes net/http/pprof on a separate
 // listener (never on the service port), so production deployments can
@@ -122,6 +136,9 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) error {
 		snapshotMax    = fs.Int("snapshot-entries", 0, "hot cache entries served to (and accepted from) each peer at warm-up and handoff (0 = default 1024)")
 		noWarmup       = fs.Bool("no-warmup", false, "skip the background cache warm-up from peers at start")
 		peersWatch     = fs.Duration("peers-watch", 0, "poll -peers-file for changes at this interval and reload without a signal (0 = SIGHUP only)")
+		join           = fs.String("join", "", "comma-separated seed URLs: bootstrap the member list from any reachable one, announce this node, and join the fleet (requires -advertise; excludes -peers/-peers-file)")
+		gossipInterval = fs.Duration("gossip-interval", 10*time.Second, "membership gossip tick: pull one live peer's member list and merge (0 = disabled)")
+		syncInterval   = fs.Duration("sync-interval", 30*time.Second, "replica anti-entropy tick: pull peer cache digests and fetch missing owned entries (0 = disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return cli.WrapParse(err)
@@ -141,11 +158,17 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) error {
 	if *peers != "" && *peersFile != "" {
 		return cli.Usagef("-peers and -peers-file are mutually exclusive")
 	}
+	if *join != "" && (*peers != "" || *peersFile != "") {
+		return cli.Usagef("-join and -peers/-peers-file are mutually exclusive (a joining node learns the fleet from its seeds)")
+	}
 	if *peersWatch < 0 {
 		return cli.Usagef("-peers-watch must be non-negative")
 	}
 	if *peersWatch > 0 && *peersFile == "" {
 		return cli.Usagef("-peers-watch requires -peers-file")
+	}
+	if *gossipInterval < 0 || *syncInterval < 0 {
+		return cli.Usagef("-gossip-interval and -sync-interval must be non-negative")
 	}
 	peerList := strings.Split(*peers, ",")
 	if *peersFile != "" {
@@ -156,7 +179,30 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) error {
 		peerList = cluster.ParsePeersFile(data)
 	}
 	var clusterCfg *service.ClusterConfig
-	if *peers != "" || *peersFile != "" {
+	switch {
+	case *join != "":
+		if *advertise == "" {
+			return cli.Usagef("-join requires -advertise")
+		}
+		m, err := bootstrapJoin(ctx, strings.Split(*join, ","), *advertise, *peerTimeout)
+		if err != nil {
+			return fmt.Errorf("join: %w", err)
+		}
+		topo, err := cluster.NewTopology(m.Peers, *advertise)
+		if err != nil {
+			return fmt.Errorf("join: %w", err)
+		}
+		clusterCfg = &service.ClusterConfig{
+			Topology:        topo,
+			Epoch:           m.Epoch,
+			Replicas:        *replicas,
+			ForwardTimeout:  *peerTimeout,
+			HedgeAfter:      *hedgeAfter,
+			PeerBackoff:     *peerBackoff,
+			MaxPeerBackoff:  *peerMaxBackoff,
+			SnapshotEntries: *snapshotMax,
+		}
+	case *peers != "" || *peersFile != "":
 		if *advertise == "" {
 			return cli.Usagef("-peers/-peers-file requires -advertise")
 		}
@@ -173,8 +219,8 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) error {
 			MaxPeerBackoff:  *peerMaxBackoff,
 			SnapshotEntries: *snapshotMax,
 		}
-	} else if *advertise != "" {
-		return cli.Usagef("-advertise requires -peers or -peers-file")
+	case *advertise != "":
+		return cli.Usagef("-advertise requires -peers, -peers-file or -join")
 	}
 
 	logger := log.New(out, "", log.LstdFlags)
@@ -225,7 +271,46 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) error {
 	if clusterCfg != nil && *peersFile != "" {
 		go watchPeersFile(ctx, srv, logger, *peersFile, *advertise, *peersWatch)
 	}
+	if clusterCfg != nil {
+		if *join != "" {
+			// Announce after the listener is up, so the peers that learn
+			// about us can immediately exchange with us. Failures are
+			// non-fatal: the gossip tick is the backstop.
+			go func() {
+				actx, cancel := context.WithTimeout(ctx, 30*time.Second)
+				defer cancel()
+				if err := srv.AnnounceSelf(actx); err != nil {
+					logger.Printf("pipeschedd: join announce incomplete: %v", err)
+					return
+				}
+				logger.Printf("pipeschedd: joined a fleet of %d peers", srv.Topology().Size())
+			}()
+		}
+		go srv.RunSelfHealing(ctx, *gossipInterval, *syncInterval)
+	}
 	return srv.Serve(ctx, ln)
+}
+
+// bootstrapJoin resolves the initial membership from the seed list,
+// retrying for a short window so "start the whole fleet at once" races
+// do not kill a joining node whose seed is a second behind it.
+func bootstrapJoin(ctx context.Context, seeds []string, advertise string, timeout time.Duration) (cluster.Members, error) {
+	hc := &http.Client{Timeout: timeout}
+	var (
+		m   cluster.Members
+		err error
+	)
+	for attempt := 0; attempt < 5; attempt++ {
+		if m, err = cluster.BootstrapMembers(ctx, seeds, advertise, hc); err == nil {
+			return m, nil
+		}
+		select {
+		case <-ctx.Done():
+			return cluster.Members{}, ctx.Err()
+		case <-time.After(time.Second):
+		}
+	}
+	return cluster.Members{}, err
 }
 
 // watchPeersFile is the dynamic-membership loop: it re-reads the peers

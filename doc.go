@@ -296,9 +296,53 @@
 // serves and whatever faults its peers suffer — pinned by an in-process
 // fleet-and-chaos harness under the race detector and by
 // scripts/cluster_e2e.sh (the cluster-e2e CI job), which drives a
-// verified stream through seeded chaos, a peer kill, a rolling restart
-// and a SIGHUP membership shrink, requiring zero client-visible errors
-// in every phase.
+// verified stream through seeded chaos, a peer kill, a rolling restart,
+// a SIGHUP membership shrink and a membership-churn phase (stale-view
+// disagreement, seed-list join, partition of the joiner), requiring
+// zero client-visible errors in every phase.
+//
+// # Self-healing: join, anti-entropy, disagreement detection
+//
+// The fleet grows and converges without a shared peers file. Seed-list
+// join: a node started with -join (plus -advertise, replacing
+// -peers/-peers-file) bootstraps its member list from any reachable
+// seed URL (GET /v1/peer/members), merges itself in and announces the
+// grown view to every member (POST /v1/peer/join); peers that missed
+// the announce learn of the joiner from the gossip loop, which every
+// -gossip-interval (default 10s) pulls one live peer's member list and
+// merges it. Membership views are epoch-stamped with deterministic
+// merge rules: a higher epoch wins wholesale (a SIGHUP reload bumps the
+// epoch, so operator removals propagate), equal epochs union (two
+// concurrent joins commute to the same view on every node), and a node
+// never adopts a view that excludes itself — a foreign fleet or a stale
+// decommission list is refused, counted, and left visible as a
+// disagreement rather than silently obeyed.
+//
+// Replica anti-entropy heals drift that no membership change announces:
+// a node restarted empty, a healed partition, an eviction racing a
+// forward. Every -sync-interval (default 30s) each node pulls a bounded
+// key digest from each live peer (GET /v1/peer/digest — the digest and
+// membership codecs share the snapshot codec's bounded, fuzzed wire
+// discipline) and fetches only the entries it replicates but does not
+// hold (POST /v1/peer/fetch). A replica set with zero client traffic
+// converges digest-equal within one round per direction; a missed round
+// costs freshness, never correctness, because an unsynced key simply
+// misses and forwards or solves.
+//
+// Disagreement is detected, not inferred: every peer exchange carries
+// the sender's membership stamp (X-Pipesched-Membership, epoch plus a
+// hash of the member list) in both directions, and each side counts
+// stamps differing from its own. A converged fleet shows identical
+// membership_epoch/membership_hash everywhere and flat
+// membership_mismatches; a stale node is visible from both sides within
+// one exchange. An unreachable peer is a health event, not a
+// disagreement (a partitioned node moves no mismatch counters on the
+// survivors), and an unstamped exchange (an older build) is ignored.
+// The /metrics cluster section exposes membership_epoch,
+// membership_hash, membership_mismatches, memberships_rejected,
+// membership_age_seconds, converged_for_seconds and the
+// gossip_exchanges / gossip_merges / joins_served / sync_rounds /
+// sync_pulled loop counters.
 //
 // internal/faultinject supplies the chaos: seeded, scriptable fault
 // schedules (latency, drops, synthesized 5xx, time windows, flapping
@@ -315,7 +359,8 @@
 // -chaos mode that injects scheduled faults into the load stream itself
 // (counted separately, verified on a clean client), and -scenario
 // scripts replaying multi-phase traffic shapes (scripts/scenarios/:
-// diurnal cycle, flash crowd, rolling restart). The façade mirrors the
+// diurnal cycle, flash crowd, rolling restart, membership churn). The
+// façade mirrors the
 // surface for embedding: NewClusterTopology builds the validated fleet
 // view and ServerOptions.Cluster (a ServerClusterConfig) opts an
 // embedded Server into peer-aware serving.

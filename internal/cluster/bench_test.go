@@ -256,6 +256,128 @@ func benchHedgedInjectedLatency(b *testing.B) {
 	b.ReportMetric(float64(hedged)/float64(b.N), "hedge-wins/op")
 }
 
+// BenchmarkFleetAntiEntropy prices the background replica-sync loop at
+// its two operating points. steady-converged is the cost every node pays
+// per sync tick once the fleet is quiet — one digest round trip per
+// peer, no entry transfer — the overhead budget of running anti-entropy
+// continuously. converge-32 is the recovery case: a replica with an
+// empty cache pulls the 32 entries it replicates from its warm peer in
+// one round, the path a restarted node takes back to digest equality
+// with zero client traffic.
+func BenchmarkFleetAntiEntropy(b *testing.B) {
+	const keys = 32
+	ctx := context.Background()
+
+	b.Run("steady-converged", func(b *testing.B) {
+		f := startFleet(b, 2)
+		f.startAll()
+		for seed := int64(0); seed < keys; seed++ {
+			body := solveBody(b, 5000+seed)
+			for _, url := range f.urls {
+				if status, _, resp := postLocal(b, url, body); status != http.StatusOK {
+					b.Fatalf("warm post: status %d: %s", status, resp)
+				}
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			n, err := f.srvs[1].SyncOnce(ctx)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if n != 0 {
+				b.Fatalf("converged sync pulled %d entries", n)
+			}
+		}
+	})
+
+	b.Run("converge-32", func(b *testing.B) {
+		// Only the warm node listens; SyncOnce is outbound-only, so the
+		// cold replica is rebuilt fresh per iteration against a reserved
+		// address that never serves.
+		warm := httptest.NewUnstartedServer(nil)
+		cold := httptest.NewUnstartedServer(nil)
+		b.Cleanup(warm.Close)
+		b.Cleanup(cold.Close)
+		warmURL := "http://" + warm.Listener.Addr().String()
+		coldURL := "http://" + cold.Listener.Addr().String()
+		wtopo, err := cluster.NewTopology([]string{warmURL, coldURL}, warmURL)
+		if err != nil {
+			b.Fatal(err)
+		}
+		warm.Config.Handler = service.New(service.Options{Cluster: &service.ClusterConfig{Topology: wtopo}})
+		warm.Start()
+		for seed := int64(0); seed < keys; seed++ {
+			if status, _, resp := postLocal(b, warmURL, solveBody(b, 5000+seed)); status != http.StatusOK {
+				b.Fatalf("warm post: status %d: %s", status, resp)
+			}
+		}
+		ctopo, err := cluster.NewTopology([]string{warmURL, coldURL}, coldURL)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			replica := service.New(service.Options{Cluster: &service.ClusterConfig{Topology: ctopo}})
+			n, err := replica.SyncOnce(ctx)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if n != keys {
+				b.Fatalf("recovery sync pulled %d entries, want %d", n, keys)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(keys, "entries/op")
+	})
+}
+
+// BenchmarkFleetJoinWarmup prices the -join boot sequence a new node
+// runs before taking traffic: resolve the fleet from a seed
+// (GET /v1/peer/members), build the grown topology at the fleet's
+// epoch, and warm the cache from peer snapshots. The row bounds how
+// long a scale-out event keeps a fresh node cold.
+func BenchmarkFleetJoinWarmup(b *testing.B) {
+	const keys = 32
+	ctx := context.Background()
+	f := startFleet(b, 2)
+	f.startAll()
+	for seed := int64(0); seed < keys; seed++ {
+		body := solveBody(b, 5000+seed)
+		for _, url := range f.urls {
+			if status, _, resp := postLocal(b, url, body); status != http.StatusOK {
+				b.Fatalf("warm post: status %d: %s", status, resp)
+			}
+		}
+	}
+	// Reserve the joiner's address; bootstrap and warm-up are
+	// outbound-only, so it never serves.
+	ts := httptest.NewUnstartedServer(nil)
+	b.Cleanup(ts.Close)
+	joinerURL := "http://" + ts.Listener.Addr().String()
+	hc := &http.Client{Timeout: 2 * time.Second}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := cluster.BootstrapMembers(ctx, []string{f.urls[0]}, joinerURL, hc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		topo, err := cluster.NewTopology(m.Peers, joinerURL)
+		if err != nil {
+			b.Fatal(err)
+		}
+		joiner := service.New(service.Options{Cluster: &service.ClusterConfig{Topology: topo, Epoch: m.Epoch}})
+		n, err := joiner.WarmFromPeers(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n == 0 {
+			b.Fatal("join warm-up imported nothing from a warm fleet")
+		}
+	}
+}
+
 // BenchmarkFleetReplicatedMiss prices replica failover in steady state: a
 // 3-node topology where one node is dead and already marked down, so
 // every measured request for a key that node owned goes straight to the

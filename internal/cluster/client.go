@@ -19,9 +19,26 @@ import (
 // extra hop instead of a forwarding loop.
 const ForwardHeader = "X-Pipesched-Forward"
 
-// SnapshotPath is the peer-only endpoint streaming a node's hot cache
-// entries in the snapshot codec.
-const SnapshotPath = "/v1/peer/snapshot"
+// MembershipHeader carries a node's membership stamp (Members.Stamp) on
+// every peer exchange, requests and responses alike. Two nodes with the
+// same fleet view always stamp identically, so a mismatch observed on
+// either side is exactly a membership disagreement — counted and
+// surfaced in /metrics long before a divergent fleet misroutes.
+const MembershipHeader = "X-Pipesched-Membership"
+
+// Peer-only endpoints. SnapshotPath streams a node's hot cache entries
+// in the snapshot codec; MembersPath serves its membership view (the
+// seed-join bootstrap source and the gossip pull); JoinPath accepts a
+// pushed view and answers with the merged one; DigestPath serves the
+// bounded key digest of the local cache; FetchPath accepts a digest
+// want-list and answers with the matching entries as a snapshot stream.
+const (
+	SnapshotPath = "/v1/peer/snapshot"
+	MembersPath  = "/v1/peer/members"
+	JoinPath     = "/v1/peer/join"
+	DigestPath   = "/v1/peer/digest"
+	FetchPath    = "/v1/peer/fetch"
+)
 
 const (
 	// DefaultForwardTimeout bounds one owner-forward round trip.
@@ -78,6 +95,16 @@ type ClientConfig struct {
 	// Transport overrides the HTTP transport, e.g. with a fault
 	// injector in chaos tests. nil selects a pooled default.
 	Transport http.RoundTripper
+	// Stamp is this node's membership stamp (Members.Stamp), set on
+	// every peer exchange as MembershipHeader and compared against the
+	// peer's response stamp. Empty disables stamping. A Client is bound
+	// to one membership epoch (the serving layer rebuilds it per swap),
+	// so the stamp is immutable here.
+	Stamp string
+	// OnStampMismatch, when non-nil, fires once per exchange whose
+	// response carried a different membership stamp than ours — the
+	// disagreement-detection hook feeding /metrics.
+	OnStampMismatch func(peer int, stamp string)
 }
 
 // peerHealth is one peer's failure state. Plain atomics: a racing
@@ -103,6 +130,8 @@ type Client struct {
 	maxBackoff  time.Duration
 	srvErrLimit int32
 	health      []peerHealth
+	stamp       string
+	onMismatch  func(peer int, stamp string)
 
 	// jitter is the seeded source behind the backoff spread. A mutex
 	// (not an atomic) because rand.Rand is not concurrency-safe; it is
@@ -145,7 +174,30 @@ func NewClient(cfg ClientConfig) *Client {
 		maxBackoff:  cfg.MaxBackoff,
 		srvErrLimit: int32(cfg.ServerErrLimit),
 		health:      make([]peerHealth, cfg.Peers),
+		stamp:       cfg.Stamp,
+		onMismatch:  cfg.OnStampMismatch,
 		jitter:      rand.New(rand.NewSource(cfg.JitterSeed)),
+	}
+}
+
+// setStamp marks an outgoing peer exchange with our membership stamp.
+func (c *Client) setStamp(h http.Header) {
+	if c.stamp != "" {
+		h.Set(MembershipHeader, c.stamp)
+	}
+}
+
+// checkStamp compares a peer's response stamp against ours and fires
+// the mismatch hook on disagreement. A peer that does not stamp (an
+// older build) is not a disagreement.
+func (c *Client) checkStamp(i int, h http.Header) {
+	if c.stamp == "" {
+		return
+	}
+	if got := h.Get(MembershipHeader); got != "" && got != c.stamp {
+		if c.onMismatch != nil {
+			c.onMismatch(i, got)
+		}
 	}
 }
 
@@ -225,6 +277,7 @@ func (c *Client) Forward(ctx context.Context, i int, baseURL, path string, body 
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(ForwardHeader, "1")
+	c.setStamp(req.Header)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		if ctx.Err() == nil {
@@ -241,6 +294,7 @@ func (c *Client) Forward(ctx context.Context, i int, baseURL, path string, body 
 		return ForwardResult{}, fmt.Errorf("cluster: forward read from %s: %w", baseURL, err)
 	}
 	c.observeStatus(i, resp.StatusCode)
+	c.checkStamp(i, resp.Header)
 	return ForwardResult{Status: resp.StatusCode, XCache: resp.Header.Get("X-Cache"), Body: b}, nil
 }
 
@@ -336,15 +390,8 @@ func (c *Client) ForwardHedged(ctx context.Context, peers []int, urls []string, 
 // by ctx alone — warm-up tolerates longer pulls than a forward — but a
 // transport failure still marks the peer down.
 func (c *Client) FetchSnapshot(ctx context.Context, i int, baseURL string, maxEntries, maxBody int) ([]Entry, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+SnapshotPath, nil)
+	resp, err := c.doPeerGet(ctx, i, baseURL, SnapshotPath)
 	if err != nil {
-		return nil, fmt.Errorf("cluster: snapshot request: %w", err)
-	}
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		if ctx.Err() == nil {
-			c.MarkDown(i)
-		}
 		return nil, fmt.Errorf("cluster: snapshot from %s: %w", baseURL, err)
 	}
 	defer resp.Body.Close()
@@ -354,6 +401,143 @@ func (c *Client) FetchSnapshot(ctx context.Context, i int, baseURL string, maxEn
 	entries, err := DecodeSnapshot(resp.Body, maxEntries, maxBody)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: snapshot from %s: %w", baseURL, err)
+	}
+	c.markUp(i)
+	return entries, nil
+}
+
+// doPeerGet issues one stamped GET exchange against peer i, with the
+// shared health accounting: a transport failure not caused by the
+// caller's own context marks the peer down, and any completed response
+// has its membership stamp checked. The caller owns resp.Body.
+func (c *Client) doPeerGet(ctx context.Context, i int, baseURL, path string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	c.setStamp(req.Header)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		if ctx.Err() == nil {
+			c.MarkDown(i)
+		}
+		return nil, err
+	}
+	c.checkStamp(i, resp.Header)
+	return resp, nil
+}
+
+// FetchMembers pulls peer i's membership view — the gossip exchange.
+// The round trip is bounded by the forward timeout: a membership
+// message is tiny, and a gossip tick must never hang behind a stuck
+// peer.
+func (c *Client) FetchMembers(ctx context.Context, i int, baseURL string) (Members, error) {
+	fctx, cancel := context.WithTimeout(ctx, c.timeout)
+	defer cancel()
+	resp, err := c.doPeerGet(fctx, i, baseURL, MembersPath)
+	if err != nil {
+		return Members{}, fmt.Errorf("cluster: members from %s: %w", baseURL, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Members{}, fmt.Errorf("cluster: members from %s: status %d", baseURL, resp.StatusCode)
+	}
+	m, err := DecodeMembers(resp.Body, MaxMembers)
+	if err != nil {
+		return Members{}, fmt.Errorf("cluster: members from %s: %w", baseURL, err)
+	}
+	c.markUp(i)
+	return m, nil
+}
+
+// Join pushes our membership view to peer i and returns the view the
+// peer holds after merging — the announce half of the join protocol.
+// Bounded by the forward timeout, like FetchMembers.
+func (c *Client) Join(ctx context.Context, i int, baseURL string, m Members) (Members, error) {
+	var buf bytes.Buffer
+	if err := EncodeMembers(&buf, m); err != nil {
+		return Members{}, fmt.Errorf("cluster: join encode: %w", err)
+	}
+	fctx, cancel := context.WithTimeout(ctx, c.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(fctx, http.MethodPost, baseURL+JoinPath, &buf)
+	if err != nil {
+		return Members{}, fmt.Errorf("cluster: join request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	c.setStamp(req.Header)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		if ctx.Err() == nil {
+			c.MarkDown(i)
+		}
+		return Members{}, fmt.Errorf("cluster: join to %s: %w", baseURL, err)
+	}
+	defer resp.Body.Close()
+	c.checkStamp(i, resp.Header)
+	if resp.StatusCode != http.StatusOK {
+		return Members{}, fmt.Errorf("cluster: join to %s: status %d", baseURL, resp.StatusCode)
+	}
+	merged, err := DecodeMembers(resp.Body, MaxMembers)
+	if err != nil {
+		return Members{}, fmt.Errorf("cluster: join to %s: %w", baseURL, err)
+	}
+	c.markUp(i)
+	return merged, nil
+}
+
+// FetchDigest pulls the bounded key digest of peer i's cache — the
+// anti-entropy comparison input. Bounded by the forward timeout.
+func (c *Client) FetchDigest(ctx context.Context, i int, baseURL string, maxKeys int) ([]Key, error) {
+	fctx, cancel := context.WithTimeout(ctx, c.timeout)
+	defer cancel()
+	resp, err := c.doPeerGet(fctx, i, baseURL, DigestPath)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: digest from %s: %w", baseURL, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster: digest from %s: status %d", baseURL, resp.StatusCode)
+	}
+	keys, err := DecodeDigest(resp.Body, maxKeys)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: digest from %s: %w", baseURL, err)
+	}
+	c.markUp(i)
+	return keys, nil
+}
+
+// FetchEntries asks peer i for the listed keys' cache entries (the
+// anti-entropy pull): the want-list travels as a digest message, the
+// answer as a snapshot stream holding whatever subset the peer actually
+// has. Bounded by ctx alone, like FetchSnapshot — an entry pull may
+// legitimately move more bytes than a forward.
+func (c *Client) FetchEntries(ctx context.Context, i int, baseURL string, keys []Key, maxEntries, maxBody int) ([]Entry, error) {
+	var buf bytes.Buffer
+	if err := EncodeDigest(&buf, keys); err != nil {
+		return nil, fmt.Errorf("cluster: fetch encode: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+FetchPath, &buf)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: fetch request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	c.setStamp(req.Header)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		if ctx.Err() == nil {
+			c.MarkDown(i)
+		}
+		return nil, fmt.Errorf("cluster: fetch from %s: %w", baseURL, err)
+	}
+	defer resp.Body.Close()
+	c.checkStamp(i, resp.Header)
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster: fetch from %s: status %d", baseURL, resp.StatusCode)
+	}
+	entries, err := DecodeSnapshot(resp.Body, maxEntries, maxBody)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: fetch from %s: %w", baseURL, err)
 	}
 	c.markUp(i)
 	return entries, nil

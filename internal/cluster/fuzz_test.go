@@ -8,16 +8,37 @@ import (
 	"testing"
 )
 
-// FuzzPeerWire throws arbitrary bytes at the snapshot decoder and, for
-// every stream that decodes, re-encodes and decodes again: the two
-// passes must agree entry for entry. A decoder that panics, or that lets
-// one record's body bleed into the next record's key (cross-peer key
-// aliasing), fails here. Seed corpora cover the empty snapshot, real
-// records, magic bytes embedded in bodies, and truncations.
+// FuzzPeerWire throws arbitrary bytes at every peer wire decoder —
+// snapshot, membership and digest share one fuzz target since a
+// confused peer can answer any endpoint with any stream — and, for
+// every input that decodes, re-encodes and decodes again: the two
+// passes must agree record for record. A decoder that panics, or that
+// lets one record's body bleed into the next record's key (cross-peer
+// key aliasing), fails here. Decoded membership views are additionally
+// fed through Merge and NewTopology, pinning that no malformed peer
+// payload can panic or poison a topology swap: the build either errors
+// or yields a working topology, never anything in between. Seed corpora
+// cover the empty streams, real records, magic bytes embedded in
+// bodies, cross-codec magic confusion, and truncations.
 func FuzzPeerWire(f *testing.F) {
 	f.Add([]byte{})
 	f.Add(snapshotMagic)
 	f.Add([]byte{'P', 'S', 'N', 'P', 2})
+	f.Add(membersMagic)
+	f.Add([]byte{'P', 'M', 'B', 'R', 2})
+	f.Add(digestMagic)
+	var mbuf bytes.Buffer
+	if err := EncodeMembers(&mbuf, NewMembers(7, []string{"http://node-0:7001", "http://node-1:7001"})); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(mbuf.Bytes())
+	f.Add(mbuf.Bytes()[:len(mbuf.Bytes())-2])
+	var dbuf bytes.Buffer
+	if err := EncodeDigest(&dbuf, []Key{sha256.Sum256([]byte("k"))}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(dbuf.Bytes())
+	f.Add(dbuf.Bytes()[:len(dbuf.Bytes())-5])
 	sample := func(entries []Entry) []byte {
 		var buf bytes.Buffer
 		if err := EncodeSnapshot(&buf, entries); err != nil {
@@ -38,6 +59,8 @@ func FuzzPeerWire(f *testing.F) {
 
 	const maxEntries, maxBody = 64, 1 << 12
 	f.Fuzz(func(t *testing.T, data []byte) {
+		fuzzMembersWire(t, data)
+		fuzzDigestWire(t, data)
 		entries, err := DecodeSnapshot(bytes.NewReader(data), maxEntries, maxBody)
 		if err != nil {
 			return // malformed input must error, never panic — reaching here is the assertion
@@ -68,6 +91,74 @@ func FuzzPeerWire(f *testing.F) {
 			}
 		}
 	})
+}
+
+// fuzzMembersWire is FuzzPeerWire's membership leg: decode, round-trip,
+// then drive the decoded view through the exact path a gossip exchange
+// takes — Merge into a local view and NewTopology over the result. The
+// swap machinery installs a new epoch only when NewTopology succeeds, so
+// "error or working topology, never a panic" here is precisely the
+// cannot-poison-a-swap guarantee.
+func fuzzMembersWire(t *testing.T, data []byte) {
+	t.Helper()
+	m, err := DecodeMembers(bytes.NewReader(data), 64)
+	if err != nil {
+		return // malformed input must error, never panic
+	}
+	if len(m.Peers) > 64 {
+		t.Fatalf("decoder returned %d peers past the 64 bound", len(m.Peers))
+	}
+	canon := NewMembers(m.Epoch, m.Peers)
+	var buf bytes.Buffer
+	if err := EncodeMembers(&buf, canon); err != nil {
+		t.Fatalf("re-encode of canonicalised members failed: %v", err)
+	}
+	again, err := DecodeMembers(&buf, 64)
+	if err != nil {
+		t.Fatalf("re-decode of re-encoded members failed: %v", err)
+	}
+	if !canon.Equal(NewMembers(again.Epoch, again.Peers)) {
+		t.Fatalf("members round trip changed the view: %+v vs %+v", again, canon)
+	}
+	// The gossip path: merge into a typical local view, then build. Any
+	// outcome but a clean error or a valid topology is a failure.
+	local := NewMembers(1, []string{"http://self:7001", "http://peer:7001"})
+	merged, _ := local.Merge(m)
+	if merged.Stamp() == "" {
+		t.Fatal("merged view has an empty stamp")
+	}
+	topo, err := NewTopology(merged.Peers, "http://self:7001")
+	if err != nil {
+		return // rejected cleanly — the old epoch would stay in force
+	}
+	k := Key(sha256.Sum256(data))
+	if owners := topo.Owners(k, 2, nil); len(owners) == 0 {
+		t.Fatal("adopted topology ranks no owners")
+	}
+}
+
+// fuzzDigestWire is FuzzPeerWire's digest leg: decode and round-trip
+// the anti-entropy key inventory.
+func fuzzDigestWire(t *testing.T, data []byte) {
+	t.Helper()
+	keys, err := DecodeDigest(bytes.NewReader(data), 64)
+	if err != nil {
+		return // malformed input must error, never panic
+	}
+	if len(keys) > 64 {
+		t.Fatalf("decoder returned %d keys past the 64 bound", len(keys))
+	}
+	var buf bytes.Buffer
+	if err := EncodeDigest(&buf, keys); err != nil {
+		t.Fatalf("re-encode of decoded digest failed: %v", err)
+	}
+	again, err := DecodeDigest(&buf, 64)
+	if err != nil {
+		t.Fatalf("re-decode of re-encoded digest failed: %v", err)
+	}
+	if !slices.Equal(again, keys) {
+		t.Fatalf("digest round trip changed keys: %x vs %x", again, keys)
+	}
 }
 
 // FuzzMembershipReload throws arbitrary bytes at the peers-file parser

@@ -1,0 +1,197 @@
+package cluster
+
+// Self-healing membership: the fleet's shared view of who is in it.
+//
+// A Members value is an epoch-stamped peer list. Nodes exchange these
+// views continuously — a joining node pulls one from any seed
+// (GET /v1/peer/members), announces itself to everyone it learned about
+// (POST /v1/peer/join), and every node keeps pulling a random live
+// peer's view on a gossip tick — and fold them together with Merge.
+// The merge rules are chosen so the fleet converges without
+// coordination:
+//
+//   - A higher epoch wins wholesale. Operator actions (a peers-file
+//     reload, SIGHUP) bump the epoch by one, which is the only way a
+//     peer is ever *removed* from the propagated view: shrinkage must
+//     be an explicit decision, never an artifact of merge order.
+//   - Equal epochs take the union of both lists. Joins therefore
+//     commute — two nodes joining concurrently through different seeds
+//     never erase each other — and a partially-propagated join heals in
+//     one exchange.
+//   - A lower epoch changes nothing (the remote node is behind; it will
+//     adopt our view on its next exchange).
+//
+// One rule lives above Merge, in the serving layer: a node never adopts
+// a view that excludes itself. A view without us is either an operator
+// decommissioning this node (then an operator is driving and will stop
+// the process) or a foreign fleet's view; adopting it would make this
+// node compute ownership no request of ours can ever route under.
+// Instead the node keeps its own view, counts the rejection, and the
+// disagreement stays visible in /metrics on both sides until an
+// operator resolves it.
+//
+// Every view hashes to a compact stamp ("epoch:hash16"), carried on all
+// peer exchanges in the X-Pipesched-Membership header. Two nodes with
+// the same view always produce the same stamp (lists are normalised and
+// sorted), so a stamp mismatch is exactly a membership disagreement —
+// surfaced as a counter plus a convergence age in /metrics, visible
+// before a divergent fleet misroutes anything.
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+)
+
+// Members is one node's epoch-stamped view of the fleet membership.
+type Members struct {
+	// Epoch counts operator membership decisions. Gossip merges never
+	// bump it; peers-file reloads do.
+	Epoch uint64
+	// Peers is the member base-URL list, normalised, deduplicated and
+	// sorted — the same canonical form Topology uses, so equal views
+	// are equal slices.
+	Peers []string
+}
+
+// NewMembers canonicalises a peer list into a Members view: every URL
+// is normalised (entries that fail normalisation are dropped — the
+// caller's NewTopology is the strict gate), duplicates collapse, and
+// the result is sorted.
+func NewMembers(epoch uint64, peers []string) Members {
+	norm := make([]string, 0, len(peers))
+	seen := make(map[string]bool, len(peers))
+	for _, p := range peers {
+		u, err := normalizeURL(p)
+		if err != nil || seen[u] {
+			continue
+		}
+		seen[u] = true
+		norm = append(norm, u)
+	}
+	sort.Strings(norm)
+	return Members{Epoch: epoch, Peers: norm}
+}
+
+// Equal reports whether two views are identical (same epoch, same
+// canonical peer list).
+func (m Members) Equal(other Members) bool {
+	if m.Epoch != other.Epoch || len(m.Peers) != len(other.Peers) {
+		return false
+	}
+	for i := range m.Peers {
+		if m.Peers[i] != other.Peers[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Contains reports whether the view includes url (normalised before the
+// lookup; a malformed url is in no view).
+func (m Members) Contains(url string) bool {
+	u, err := normalizeURL(url)
+	if err != nil {
+		return false
+	}
+	i := sort.SearchStrings(m.Peers, u)
+	return i < len(m.Peers) && m.Peers[i] == u
+}
+
+// Merge folds a remote view into this one under the fleet merge rules
+// (higher epoch wins, equal epochs union, lower epochs are ignored) and
+// reports whether the result differs from m. The remote list is
+// re-canonicalised, so a misbehaving peer cannot smuggle an unsorted or
+// duplicated list past the stamp.
+func (m Members) Merge(other Members) (merged Members, changed bool) {
+	switch {
+	case other.Epoch > m.Epoch:
+		merged = NewMembers(other.Epoch, other.Peers)
+	case other.Epoch < m.Epoch:
+		return m, false
+	default:
+		merged = NewMembers(m.Epoch, append(append([]string{}, m.Peers...), other.Peers...))
+	}
+	return merged, !merged.Equal(m)
+}
+
+// Hash digests the view: FNV-1a over the epoch and every peer URL. Two
+// nodes with the same view hash identically on any platform.
+func (m Members) Hash() uint64 {
+	var eb [8]byte
+	binary.LittleEndian.PutUint64(eb[:], m.Epoch)
+	h := uint64(fnvOffset)
+	for _, b := range eb {
+		h = (h ^ uint64(b)) * fnvPrime
+	}
+	for _, p := range m.Peers {
+		for j := 0; j < len(p); j++ {
+			h = (h ^ uint64(p[j])) * fnvPrime
+		}
+		h = (h ^ uint64('\n')) * fnvPrime
+	}
+	return h
+}
+
+// Stamp renders the view's identity as carried in the
+// X-Pipesched-Membership header: "<epoch>:<hash16>". Equal views stamp
+// equal; any difference in epoch or peer list changes the stamp.
+func (m Members) Stamp() string {
+	return fmt.Sprintf("%d:%016x", m.Epoch, m.Hash())
+}
+
+// GetMembers pulls a node's membership view over plain HTTP. It is the
+// transport under both Client.FetchMembers and the pre-topology seed
+// bootstrap (which runs before any Topology or Client exists).
+func GetMembers(ctx context.Context, hc *http.Client, baseURL string) (Members, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+MembersPath, nil)
+	if err != nil {
+		return Members{}, fmt.Errorf("cluster: members request: %w", err)
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return Members{}, fmt.Errorf("cluster: members from %s: %w", baseURL, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Members{}, fmt.Errorf("cluster: members from %s: status %d", baseURL, resp.StatusCode)
+	}
+	m, err := DecodeMembers(resp.Body, MaxMembers)
+	if err != nil {
+		return Members{}, fmt.Errorf("cluster: members from %s: %w", baseURL, err)
+	}
+	return m, nil
+}
+
+// BootstrapMembers resolves a node's initial fleet view from a seed
+// list: each seed is asked in turn for its live member list and the
+// first answer wins, merged (equal-epoch union) with the advertise URL
+// so the result always includes the joining node itself. All seeds
+// unreachable is an error — the caller retries; a node started with
+// -join has no other source of truth.
+func BootstrapMembers(ctx context.Context, seeds []string, advertise string, hc *http.Client) (Members, error) {
+	if _, err := normalizeURL(advertise); err != nil {
+		return Members{}, fmt.Errorf("cluster: advertise %q: %w", advertise, err)
+	}
+	var errs []error
+	for _, s := range seeds {
+		u, err := normalizeURL(s)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("cluster: seed %q: %w", s, err))
+			continue
+		}
+		m, err := GetMembers(ctx, hc, u)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		return NewMembers(m.Epoch, append(m.Peers, advertise)), nil
+	}
+	if len(errs) == 0 {
+		return Members{}, errors.New("cluster: empty seed list")
+	}
+	return Members{}, errors.Join(errs...)
+}

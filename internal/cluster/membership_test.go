@@ -1,0 +1,270 @@
+package cluster
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"slices"
+	"strings"
+	"testing"
+)
+
+func TestNewMembersCanonicalises(t *testing.T) {
+	m := NewMembers(3, []string{
+		"HTTP://B:7002/", // scheme/host case, trailing slash
+		"http://a:7001",
+		"http://b:7002",    // duplicate of the first after normalisation
+		"not a url at all", // dropped — NewTopology is the strict gate
+		"http://a:7001",
+	})
+	if m.Epoch != 3 {
+		t.Fatalf("epoch %d, want 3", m.Epoch)
+	}
+	want := []string{"http://a:7001", "http://b:7002"}
+	if !slices.Equal(m.Peers, want) {
+		t.Fatalf("peers %q, want %q", m.Peers, want)
+	}
+	if !m.Contains("HTTP://A:7001/") {
+		t.Fatal("Contains must normalise before the lookup")
+	}
+	if m.Contains("http://c:7003") || m.Contains("::bad::") {
+		t.Fatal("Contains claims membership of a stranger")
+	}
+}
+
+func TestMembersMergeRules(t *testing.T) {
+	base := NewMembers(1, []string{"http://a:1", "http://b:2"})
+
+	// Higher epoch wins wholesale — including removals: the higher view
+	// drops b and the merge must not resurrect it.
+	shrunk := NewMembers(2, []string{"http://a:1"})
+	got, changed := base.Merge(shrunk)
+	if !changed || !got.Equal(shrunk) {
+		t.Fatalf("higher epoch did not win wholesale: %+v (changed=%v)", got, changed)
+	}
+
+	// Lower epoch changes nothing.
+	if got, changed := base.Merge(NewMembers(0, []string{"http://z:9"})); changed || !got.Equal(base) {
+		t.Fatalf("lower epoch moved the view: %+v (changed=%v)", got, changed)
+	}
+
+	// Equal epochs union, and the union commutes — concurrent joins
+	// through different seeds must not erase each other.
+	joinC := NewMembers(1, []string{"http://a:1", "http://c:3"})
+	joinD := NewMembers(1, []string{"http://a:1", "http://d:4"})
+	ab, _ := base.Merge(joinC)
+	abcd1, _ := ab.Merge(joinD)
+	ad, _ := base.Merge(joinD)
+	abcd2, _ := ad.Merge(joinC)
+	if !abcd1.Equal(abcd2) {
+		t.Fatalf("equal-epoch merges do not commute: %+v vs %+v", abcd1, abcd2)
+	}
+	want := []string{"http://a:1", "http://b:2", "http://c:3", "http://d:4"}
+	if !slices.Equal(abcd1.Peers, want) {
+		t.Fatalf("union peers %q, want %q", abcd1.Peers, want)
+	}
+
+	// Merging an identical view reports no change.
+	if _, changed := base.Merge(NewMembers(1, []string{"http://b:2", "http://a:1"})); changed {
+		t.Fatal("merging an equal view reported a change")
+	}
+
+	// A misbehaving peer cannot smuggle a raw, unsorted, duplicated list
+	// past the merge: the result is re-canonicalised.
+	raw := Members{Epoch: 5, Peers: []string{"http://z:9/", "http://z:9", "HTTP://M:5"}}
+	got, _ = base.Merge(raw)
+	if !slices.Equal(got.Peers, []string{"http://m:5", "http://z:9"}) {
+		t.Fatalf("merge did not re-canonicalise a raw remote list: %q", got.Peers)
+	}
+}
+
+func TestMembersStamp(t *testing.T) {
+	a := NewMembers(2, []string{"http://b:2", "http://a:1"})
+	b := NewMembers(2, []string{"http://a:1", "http://b:2/"})
+	if a.Stamp() != b.Stamp() {
+		t.Fatalf("equal views stamp differently: %s vs %s", a.Stamp(), b.Stamp())
+	}
+	if !strings.HasPrefix(a.Stamp(), "2:") || len(a.Stamp()) != len("2:")+16 {
+		t.Fatalf("stamp %q is not epoch:hash16", a.Stamp())
+	}
+	if NewMembers(3, a.Peers).Stamp() == a.Stamp() {
+		t.Fatal("epoch bump did not change the stamp")
+	}
+	c, _ := a.Merge(NewMembers(2, []string{"http://c:3"}))
+	if c.Stamp() == a.Stamp() {
+		t.Fatal("peer-list change did not change the stamp")
+	}
+}
+
+func TestMembersWireRoundTrip(t *testing.T) {
+	m := NewMembers(42, []string{"http://node-0:7001", "http://node-1:7001", "http://node-2:7001"})
+	var buf bytes.Buffer
+	if err := EncodeMembers(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeMembers(bytes.NewReader(buf.Bytes()), MaxMembers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(m) {
+		t.Fatalf("round trip changed the view: %+v vs %+v", got, m)
+	}
+
+	// Empty view round-trips too (a cold seed answering before any join).
+	buf.Reset()
+	if err := EncodeMembers(&buf, Members{}); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := DecodeMembers(&buf, MaxMembers); err != nil || got.Epoch != 0 || len(got.Peers) != 0 {
+		t.Fatalf("empty view round trip: %+v, %v", got, err)
+	}
+}
+
+func TestDecodeMembersBounds(t *testing.T) {
+	m := NewMembers(1, []string{"http://a:1", "http://b:2", "http://c:3"})
+	var buf bytes.Buffer
+	if err := EncodeMembers(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	encoded := buf.Bytes()
+
+	if _, err := DecodeMembers(bytes.NewReader(encoded), 2); err == nil {
+		t.Fatal("decode accepted a view past the peer bound")
+	}
+	if _, err := DecodeMembers(bytes.NewReader([]byte{'P', 'M', 'B', 'R', 2}), MaxMembers); err == nil {
+		t.Fatal("decode accepted a future wire version")
+	}
+	if _, err := DecodeMembers(bytes.NewReader(snapshotMagic), MaxMembers); err == nil {
+		t.Fatal("decode accepted a snapshot stream as a membership message")
+	}
+	for cut := 1; cut < len(encoded); cut++ {
+		if _, err := DecodeMembers(bytes.NewReader(encoded[:len(encoded)-cut]), MaxMembers); err == nil {
+			t.Fatalf("decode accepted a stream truncated by %d bytes", cut)
+		}
+	}
+
+	// A URL longer than the wire bound must be refused by the encoder —
+	// it could never decode on the other side.
+	long := Members{Epoch: 1, Peers: []string{"http://" + strings.Repeat("a", 600) + ":1"}}
+	if err := EncodeMembers(&buf, long); err == nil {
+		t.Fatal("encode accepted a member URL past the length bound")
+	}
+}
+
+func TestDigestWireRoundTrip(t *testing.T) {
+	keys := []Key{
+		sha256.Sum256([]byte("one")),
+		sha256.Sum256([]byte("two")),
+		sha256.Sum256([]byte("three")),
+	}
+	var buf bytes.Buffer
+	if err := EncodeDigest(&buf, keys); err != nil {
+		t.Fatal(err)
+	}
+	encoded := append([]byte{}, buf.Bytes()...)
+	got, err := DecodeDigest(&buf, len(keys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(got, keys) {
+		t.Fatalf("digest round trip changed keys: %x vs %x", got, keys)
+	}
+
+	if _, err := DecodeDigest(bytes.NewReader(encoded), 2); err == nil {
+		t.Fatal("decode accepted a digest past the key bound")
+	}
+	for cut := 1; cut < 33; cut++ {
+		if _, err := DecodeDigest(bytes.NewReader(encoded[:len(encoded)-cut]), len(keys)); err == nil {
+			t.Fatalf("decode accepted a digest truncated by %d bytes", cut)
+		}
+	}
+	buf.Reset()
+	if err := EncodeDigest(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := DecodeDigest(&buf, 16); err != nil || len(got) != 0 {
+		t.Fatalf("empty digest round trip: %x, %v", got, err)
+	}
+}
+
+// TestParsePeersFileEdgeCases pins the operator-facing corners of the
+// peers-file format: Windows line endings, duplicate entries (kept by
+// the parser — NewTopology is the gate that rejects them), trailing
+// commas, and files that are nothing but comments.
+func TestParsePeersFileEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want []string
+	}{
+		{"crlf", "http://a:1\r\nhttp://b:2\r\n", []string{"http://a:1", "http://b:2"}},
+		{"trailing commas", "http://a:1,http://b:2,\n,http://c:3,,\n", []string{"http://a:1", "http://b:2", "http://c:3"}},
+		{"duplicates kept", "http://a:1\nhttp://a:1\n", []string{"http://a:1", "http://a:1"}},
+		{"comment only", "# the whole fleet is commented out\n  # every line\n", nil},
+		{"empty", "", nil},
+		{"inline comment with comma", "http://a:1 # was http://old:1, retired\n", []string{"http://a:1"}},
+		{"crlf blank lines", "\r\n\r\nhttp://a:1\r\n\r\n", []string{"http://a:1"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := ParsePeersFile([]byte(tc.in)); !slices.Equal(got, tc.want) {
+				t.Fatalf("ParsePeersFile(%q) = %q, want %q", tc.in, got, tc.want)
+			}
+		})
+	}
+
+	// Duplicates survive parsing but must be refused at topology build —
+	// two indistinguishable peers would split ownership nondeterministically.
+	dup := ParsePeersFile([]byte("http://a:1\nhttp://a:1/\n"))
+	if len(dup) != 2 {
+		t.Fatalf("parser collapsed duplicates: %q", dup)
+	}
+	if _, err := NewTopology(dup, dup[0]); err == nil {
+		t.Fatal("NewTopology accepted a duplicated peer list")
+	}
+}
+
+// TestOwnersJoinStability pins the rendezvous property a join leans on:
+// growing the fleet by one node only reassigns keys the joiner wins —
+// every key whose replica set does not include the joiner keeps its
+// owner list byte for byte, so a join never reshuffles ownership among
+// the incumbents.
+func TestOwnersJoinStability(t *testing.T) {
+	before := []string{"http://n0:1", "http://n1:1", "http://n2:1", "http://n3:1"}
+	after := append(append([]string{}, before...), "http://joiner:1")
+	topoA, err := NewTopology(before, before[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	topoB, err := NewTopology(after, after[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	const r = 2
+	urls := func(topo *Topology, owners []int) []string {
+		out := make([]string, len(owners))
+		for i, o := range owners {
+			out[i] = topo.Peer(o)
+		}
+		return out
+	}
+	moved, kept := 0, 0
+	for i := 0; i < 512; i++ {
+		k := Key(sha256.Sum256([]byte{byte(i), byte(i >> 8)}))
+		oldSet := urls(topoA, topoA.Owners(k, r, nil))
+		newSet := urls(topoB, topoB.Owners(k, r, nil))
+		if slices.Contains(newSet, "http://joiner:1") {
+			moved++
+			continue // the joiner won a slot; this key is allowed to move
+		}
+		kept++
+		if !slices.Equal(oldSet, newSet) {
+			t.Fatalf("key %d moved although the joiner is not a replica: %q -> %q", i, oldSet, newSet)
+		}
+	}
+	// With 5 nodes and R=2 the joiner should appear in roughly 2/5 of the
+	// replica sets; both buckets must be well populated for the test to
+	// have bite.
+	if moved == 0 || kept == 0 {
+		t.Fatalf("degenerate split: %d moved, %d kept of 512", moved, kept)
+	}
+}

@@ -24,9 +24,15 @@
 //	     "latency_ms": 80, "jitter_ms": 40},
 //	    {"name": "flap", "period_ms": 2000, "on_ms": 600, "drop_prob": 1},
 //	    {"name": "5xx-burst", "start_ms": 1000, "end_ms": 3000,
-//	     "status": 500, "status_prob": 0.5}
+//	     "status": 500, "status_prob": 0.5},
+//	    {"name": "churn", "hosts": ["127.0.0.1:7003"],
+//	     "period_ms": 4000, "on_ms": 1500, "partition": true}
 //	  ]
 //	}
+//
+// partition is the deterministic form of drop_prob 1: every matched
+// request fails, no RNG draw is consumed, so flapping a partition (the
+// churn rule above) leaves the seeded stream to the probabilistic rules.
 //
 // # Injection points
 //
@@ -94,6 +100,12 @@ type Rule struct {
 	// synthesized transport error (ErrInjected). 1 is a full partition
 	// of the matched hosts.
 	DropProb float64 `json:"drop_prob,omitempty"`
+	// Partition deterministically fails every matched request with
+	// ErrInjected — a network partition of the matched hosts for the
+	// rule's activity window, with no RNG draw, so a churn script
+	// (partition flapping under period_ms/on_ms) consumes no randomness
+	// and leaves the seeded stream to the probabilistic rules.
+	Partition bool `json:"partition,omitempty"`
 	// Status (with StatusProb) synthesizes an HTTP response with that
 	// code instead of performing the request — a scripted 5xx burst.
 	Status     int     `json:"status,omitempty"`
@@ -115,6 +127,8 @@ func (r *Rule) validate() error {
 		return fmt.Errorf("faultinject: rule %q: on_ms must sit inside period_ms", r.Name)
 	case r.StartMS < 0 || r.EndMS < 0 || (r.EndMS > 0 && r.EndMS < r.StartMS):
 		return fmt.Errorf("faultinject: rule %q: bad activity window", r.Name)
+	case r.Partition && (r.DropProb > 0 || r.StatusProb > 0):
+		return fmt.Errorf("faultinject: rule %q: partition already decides the outcome; drop_prob/status_prob cannot apply", r.Name)
 	}
 	return nil
 }
@@ -174,12 +188,13 @@ func LoadSchedule(path string) (*Schedule, error) {
 // Stats counts what a Transport actually injected — the ground truth a
 // chaos test asserts against ("the schedule really fired").
 type Stats struct {
-	Requests  uint64 // requests seen
-	Delayed   uint64 // requests given added latency
-	Dropped   uint64 // requests failed with ErrInjected
-	Statuses  uint64 // requests answered with a synthesized status
-	Passed    uint64 // requests forwarded untouched
-	DelayedMS uint64 // total injected latency, milliseconds
+	Requests    uint64 // requests seen
+	Delayed     uint64 // requests given added latency
+	Dropped     uint64 // requests failed with ErrInjected (probabilistic)
+	Partitioned uint64 // requests failed by a deterministic partition rule
+	Statuses    uint64 // requests answered with a synthesized status
+	Passed      uint64 // requests forwarded untouched
+	DelayedMS   uint64 // total injected latency, milliseconds
 }
 
 // Transport is a fault-injecting http.RoundTripper. It applies the
@@ -194,12 +209,13 @@ type Transport struct {
 	mu  sync.Mutex
 	rng *rand.Rand
 
-	requests  atomic.Uint64
-	delayed   atomic.Uint64
-	dropped   atomic.Uint64
-	statuses  atomic.Uint64
-	passed    atomic.Uint64
-	delayedMS atomic.Uint64
+	requests    atomic.Uint64
+	delayed     atomic.Uint64
+	dropped     atomic.Uint64
+	partitioned atomic.Uint64
+	statuses    atomic.Uint64
+	passed      atomic.Uint64
+	delayedMS   atomic.Uint64
 }
 
 // NewTransport wraps next (nil selects http.DefaultTransport) with the
@@ -257,6 +273,13 @@ func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
 				d += t.rollN(r.JitterMS)
 			}
 			delay += time.Duration(d) * time.Millisecond
+		}
+		if r.Partition {
+			if err := t.sleep(req.Context(), delay); err != nil {
+				return nil, err
+			}
+			t.partitioned.Add(1)
+			return nil, fmt.Errorf("%w: rule %q partitioned %s", ErrInjected, r.Name, req.URL.Redacted())
 		}
 		if r.DropProb > 0 && t.roll() < r.DropProb {
 			if err := t.sleep(req.Context(), delay); err != nil {
@@ -327,12 +350,13 @@ func synthesize(req *http.Request, status int, rule string) *http.Response {
 // Stats returns what has been injected so far.
 func (t *Transport) Stats() Stats {
 	return Stats{
-		Requests:  t.requests.Load(),
-		Delayed:   t.delayed.Load(),
-		Dropped:   t.dropped.Load(),
-		Statuses:  t.statuses.Load(),
-		Passed:    t.passed.Load(),
-		DelayedMS: t.delayedMS.Load(),
+		Requests:    t.requests.Load(),
+		Delayed:     t.delayed.Load(),
+		Dropped:     t.dropped.Load(),
+		Partitioned: t.partitioned.Load(),
+		Statuses:    t.statuses.Load(),
+		Passed:      t.passed.Load(),
+		DelayedMS:   t.delayedMS.Load(),
 	}
 }
 

@@ -61,6 +61,46 @@ func TestTransportDropIsInjectedError(t *testing.T) {
 	}
 }
 
+// TestTransportPartition: a partition rule drops deterministically — no
+// probability draw — counts separately from probabilistic drops, and
+// flaps with the period/on window, which is exactly the churn shape the
+// membership e2e phase injects.
+func TestTransportPartition(t *testing.T) {
+	ts := okServer(t)
+	tr := NewTransport(nil, &Schedule{Seed: 1, Rules: []Rule{{Name: "split", Partition: true}}})
+	client := &http.Client{Transport: tr}
+	for i := 0; i < 3; i++ {
+		if _, err := client.Get(ts.URL); err == nil {
+			t.Fatal("partitioned request succeeded")
+		} else if !Injected(err) {
+			t.Fatalf("partition not detectable as injected: %v", err)
+		}
+	}
+	st := tr.Stats()
+	if st.Partitioned != 3 || st.Dropped != 0 || st.Passed != 0 {
+		t.Fatalf("stats %+v, want 3 partitioned and nothing else", st)
+	}
+
+	// Partition composes with the flapping window: outside the on-window
+	// the request passes untouched.
+	if _, err := ParseSchedule([]byte(`{"rules":[{"name":"churn","period_ms":100,"on_ms":30,"partition":true}]}`)); err != nil {
+		t.Fatalf("churn schedule rejected: %v", err)
+	}
+	r := Rule{Partition: true, PeriodMS: 100, OnMS: 30}
+	if !r.activeAt(10, "h") {
+		t.Fatal("partition inactive inside the on-window")
+	}
+	if r.activeAt(60, "h") {
+		t.Fatal("partition active outside the on-window")
+	}
+
+	// Partition is exclusive with the probabilistic outcomes — it already
+	// decides the fate of every matched request.
+	if _, err := ParseSchedule([]byte(`{"rules":[{"name":"x","partition":true,"drop_prob":0.5}]}`)); err == nil {
+		t.Fatal("schedule mixing partition with drop_prob accepted")
+	}
+}
+
 // TestTransportStatusInjection: a synthesized status carries the marker
 // header and never reaches the upstream.
 func TestTransportStatusInjection(t *testing.T) {

@@ -3,6 +3,7 @@ package loadgen
 import (
 	"context"
 	"net/http/httptest"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -36,6 +37,30 @@ func TestParseScenarioRejects(t *testing.T) {
 	}
 	if sc.Name != "ok" || len(sc.Phases) != 2 || sc.Phases[1].FinalRate != 500 {
 		t.Fatalf("parsed scenario = %+v", sc)
+	}
+}
+
+// TestShippedScenariosParse loads every scenario file the repo ships in
+// scripts/scenarios/ — the files operators actually point pipeschedbench
+// at — so a schema change or a typo in a committed scenario fails in CI
+// instead of at the operator's prompt.
+func TestShippedScenariosParse(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "scripts", "scenarios", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 4 {
+		t.Fatalf("found only %d shipped scenarios — wrong path?", len(files))
+	}
+	for _, f := range files {
+		sc, err := LoadScenario(f)
+		if err != nil {
+			t.Errorf("%s: %v", filepath.Base(f), err)
+			continue
+		}
+		if sc.Name == "" || len(sc.Phases) == 0 {
+			t.Errorf("%s: parsed to an empty scenario", filepath.Base(f))
+		}
 	}
 }
 

@@ -27,6 +27,36 @@ package service
 // flight finish under the epoch they started with, new requests route
 // under the new view, and the reloading node pulls newly-owned keys from
 // its peers' snapshots in the background.
+//
+// # Self-healing membership
+//
+// Every epoch carries an epoch-stamped membership view
+// (cluster.Members). Three loops keep the fleet converged without
+// operators editing peers files on every host:
+//
+//   - Join: a node booted from a seed list announces itself to every
+//     peer it learned about (AnnounceSelf -> POST /v1/peer/join); the
+//     receivers merge the view (equal epochs union, so concurrent joins
+//     commute) and swap in the grown topology.
+//   - Gossip: a periodic tick pulls one live peer's view
+//     (GossipOnce -> GET /v1/peer/members) and adopts the merge, so a
+//     join or an operator reload reaches nodes the initiator never
+//     contacted. Operator reloads bump the epoch, and a higher epoch
+//     wins wholesale — removal propagates; gossip alone never removes.
+//   - Anti-entropy: a periodic sync round (SyncOnce) pulls each live
+//     peer's bounded cache-key digest (GET /v1/peer/digest) and fetches
+//     the entries this node replicates but does not hold
+//     (POST /v1/peer/fetch), so a replica set converges digest-equal
+//     within one round per peer even with zero client traffic. Inline
+//     read-repair stays what it always was: relayed remote-hit bytes
+//     install locally as second-tier hits.
+//
+// A node never adopts a view that excludes itself — it keeps its own
+// epoch, counts the rejection, and every peer exchange carries a
+// membership stamp (X-Pipesched-Membership) whose mismatches are
+// counted on both sides, so a divergent fleet (nodes watching different
+// peers files, a half-landed reload) is visible in /metrics before it
+// misroutes.
 
 import (
 	"context"
@@ -52,6 +82,10 @@ type ClusterConfig struct {
 	// Topology is the fleet view: normalised peer list plus self index.
 	// It is the initial epoch; ReloadTopology swaps in successors.
 	Topology *cluster.Topology
+	// Epoch is the membership epoch Topology represents: 0 for a fresh
+	// static boot, the seed's epoch for a -join bootstrap. Operator
+	// reloads bump it; gossip adopts higher ones.
+	Epoch uint64
 	// Replicas is the per-key replica-set size R; 0 selects
 	// DefaultReplicas (2), and values beyond the fleet size clamp.
 	Replicas int
@@ -119,13 +153,18 @@ func (c *ClusterConfig) hedgeAfter() time.Duration {
 	return c.HedgeAfter
 }
 
-// peerEpoch is one immutable (topology, client) pair. Swapping epochs
-// atomically is what makes membership dynamic: a request loads the
-// pointer once and routes consistently under that view even while a
-// reload lands.
+// peerEpoch is one immutable (topology, client, membership) triple.
+// Swapping epochs atomically is what makes membership dynamic: a
+// request loads the pointer once and routes consistently under that
+// view even while a reload or gossip merge lands. The membership stamp
+// is derived once here, so every exchange under this epoch stamps
+// identically.
 type peerEpoch struct {
-	topo   *cluster.Topology
-	client *cluster.Client
+	topo      *cluster.Topology
+	client    *cluster.Client
+	members   cluster.Members
+	stamp     string
+	installed time.Time
 }
 
 // peerRouter holds the cluster state of one Server: the current epoch,
@@ -137,8 +176,12 @@ type peerRouter struct {
 	hedgeAfter      time.Duration
 	snapshotEntries int
 
-	// Client construction parameters, kept so ReloadTopology can build
-	// a health table sized to the new fleet.
+	// selfURL is this node's normalised advertise URL — constant across
+	// epochs, the anchor every membership install re-validates against.
+	selfURL string
+
+	// Client construction parameters, kept so epoch swaps can build a
+	// health table sized to the new fleet.
 	timeout    time.Duration
 	backoff    time.Duration
 	maxBackoff time.Duration
@@ -153,13 +196,48 @@ type peerRouter struct {
 	ownedForwards   atomic.Uint64 // forwarded requests served for peers
 	snapshotsServed atomic.Uint64 // GET /v1/peer/snapshot responses
 	warmedEntries   atomic.Uint64 // entries imported by WarmFromPeers
-	reloads         atomic.Uint64 // topology epochs swapped in
+	reloads         atomic.Uint64 // topology epochs swapped in (operator or gossip)
 	handoffEntries  atomic.Uint64 // entries imported by reload handoff
+
+	gossipCursor    atomic.Uint64 // round-robin start for GossipOnce
+	gossipExchanges atomic.Uint64 // membership views pulled by gossip
+	gossipMerges    atomic.Uint64 // gossip pulls that changed our view
+	joinsServed     atomic.Uint64 // POST /v1/peer/join requests handled
+	syncRounds      atomic.Uint64 // anti-entropy rounds run
+	syncPulled      atomic.Uint64 // entries installed by anti-entropy
+	mismatches      atomic.Uint64 // peer exchanges with a foreign membership stamp
+	rejected        atomic.Uint64 // remote views refused (self-excluding or invalid)
+	lastMismatch    atomic.Int64  // unix-nano of the newest stamp mismatch; 0 = never
 }
 
-// newClient builds a peer client sized to topo under this router's
-// shared parameters.
-func (p *peerRouter) newClient(topo *cluster.Topology) *cluster.Client {
+// noteMismatch records one membership-stamp disagreement.
+func (p *peerRouter) noteMismatch() {
+	p.mismatches.Add(1)
+	p.lastMismatch.Store(time.Now().UnixNano())
+}
+
+// observeStamp folds an incoming peer exchange's membership stamp into
+// the disagreement counters. An unstamped request (an older build, a
+// bare curl) is not a disagreement.
+func (p *peerRouter) observeStamp(r *http.Request) {
+	if got := r.Header.Get(cluster.MembershipHeader); got != "" && got != p.epoch.Load().stamp {
+		p.noteMismatch()
+	}
+}
+
+// stampResponse marks a peer-exchange response with our membership
+// stamp, so the calling peer can detect the disagreement on its side
+// too. Client-facing responses never pass through here.
+func (p *peerRouter) stampResponse(w http.ResponseWriter) {
+	w.Header().Set(cluster.MembershipHeader, p.epoch.Load().stamp)
+}
+
+// newEpoch builds one immutable epoch around topo: the canonical
+// membership view (epoch number + the topology's normalised sorted
+// list), its stamp, and a peer client sized to the fleet and bound to
+// that stamp.
+func (p *peerRouter) newEpoch(topo *cluster.Topology, epochNum uint64) *peerEpoch {
+	m := cluster.NewMembers(epochNum, topo.Peers())
 	seed := p.jitterSeed
 	if seed == 0 {
 		// Derive a per-node seed from the advertise URL: distinct on
@@ -168,14 +246,25 @@ func (p *peerRouter) newClient(topo *cluster.Topology) *cluster.Client {
 		h.Write([]byte(topo.Peer(topo.Self())))
 		seed = int64(h.Sum64())
 	}
-	return cluster.NewClient(cluster.ClientConfig{
+	client := cluster.NewClient(cluster.ClientConfig{
 		Peers:      topo.Size(),
 		Timeout:    p.timeout,
 		Backoff:    p.backoff,
 		MaxBackoff: p.maxBackoff,
 		JitterSeed: seed,
 		Transport:  p.transport,
+		Stamp:      m.Stamp(),
+		OnStampMismatch: func(int, string) {
+			p.noteMismatch()
+		},
 	})
+	return &peerEpoch{
+		topo:      topo,
+		client:    client,
+		members:   m,
+		stamp:     m.Stamp(),
+		installed: time.Now(),
+	}
 }
 
 // newPeerRouter builds the router, or nil when cfg is absent (single-node
@@ -188,13 +277,14 @@ func newPeerRouter(cfg *ClusterConfig) *peerRouter {
 		replicas:        cfg.replicas(),
 		hedgeAfter:      cfg.hedgeAfter(),
 		snapshotEntries: cfg.snapshotEntries(),
+		selfURL:         cfg.Topology.Peer(cfg.Topology.Self()),
 		timeout:         cfg.ForwardTimeout,
 		backoff:         cfg.PeerBackoff,
 		maxBackoff:      cfg.MaxPeerBackoff,
 		jitterSeed:      cfg.JitterSeed,
 		transport:       cfg.Transport,
 	}
-	p.epoch.Store(&peerEpoch{topo: cfg.Topology, client: p.newClient(cfg.Topology)})
+	p.epoch.Store(p.newEpoch(cfg.Topology, cfg.Epoch))
 	return p
 }
 
@@ -208,12 +298,18 @@ func isPeerForward(r *http.Request) bool {
 // successfully proxied; otherwise served=false and the caller solves
 // locally, with fellBack=true when a forward was warranted but failed
 // (the X-Cache tier the caller should then report is "fallback").
-func (p *peerRouter) route(r *http.Request, key cache.Key, path string, raw []byte) (body []byte, tier int, served, fellBack bool) {
+func (p *peerRouter) route(w http.ResponseWriter, r *http.Request, key cache.Key, path string, raw []byte) (body []byte, tier int, served, fellBack bool) {
 	if isPeerForward(r) {
 		// We are a replica being asked by a peer (or a topology
 		// disagreement's second hop): always serve locally, never
-		// forward again — loops are structurally impossible.
+		// forward again — loops are structurally impossible. The
+		// exchange is peer-to-peer, so it carries membership stamps in
+		// both directions; a client-facing response never does
+		// (writeCachedTier sets only its three fixed headers, but the
+		// stamp below lands on w only on this branch).
 		p.ownedForwards.Add(1)
+		p.observeStamp(r)
+		p.stampResponse(w)
 		return nil, 0, false, false
 	}
 	ep := p.epoch.Load()
@@ -268,6 +364,8 @@ func (p *peerRouter) route(r *http.Request, key cache.Key, path string, raw []by
 // codec — the warm-up source for joining nodes and the handoff source
 // for membership changes.
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	s.peers.observeStamp(r)
+	s.peers.stampResponse(w)
 	items := s.cache.Snapshot(s.peers.snapshotEntries)
 	entries := make([]cluster.Entry, len(items))
 	for i, it := range items {
@@ -277,6 +375,84 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/octet-stream")
 	if err := cluster.EncodeSnapshot(w, entries); err != nil {
 		s.logger.Printf("pipeschedd: snapshot stream: %v", err)
+	}
+}
+
+// handleMembers serves this node's membership view — the seed a joining
+// node bootstraps from and the gossip pull every node runs periodically.
+func (s *Server) handleMembers(w http.ResponseWriter, r *http.Request) {
+	p := s.peers
+	p.observeStamp(r)
+	p.stampResponse(w)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if err := cluster.EncodeMembers(w, p.epoch.Load().members); err != nil {
+		s.logger.Printf("pipeschedd: members stream: %v", err)
+	}
+}
+
+// handleJoin accepts a pushed membership view (a joining node's
+// announce), merges it under the fleet rules, installs the merged view
+// if it grew ours, and answers with the view now in force — so the
+// joiner immediately learns about peers its seed knew and it did not.
+func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
+	p := s.peers
+	p.observeStamp(r)
+	remote, err := cluster.DecodeMembers(http.MaxBytesReader(w, r.Body, s.opts.maxBody()), cluster.MaxMembers)
+	if err != nil {
+		p.stampResponse(w)
+		writeErrorBody(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	p.joinsServed.Add(1)
+	now := s.adoptMembers(remote)
+	// Stamp after the merge: the response carries the view it encodes.
+	w.Header().Set(cluster.MembershipHeader, now.Stamp())
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if err := cluster.EncodeMembers(w, now); err != nil {
+		s.logger.Printf("pipeschedd: join stream: %v", err)
+	}
+}
+
+// handleDigest serves the bounded key digest of this node's cache — the
+// anti-entropy comparison input. Keys only, no bodies: a sync round
+// against a converged replica costs one small exchange per peer.
+func (s *Server) handleDigest(w http.ResponseWriter, r *http.Request) {
+	p := s.peers
+	p.observeStamp(r)
+	p.stampResponse(w)
+	items := s.cache.Snapshot(p.snapshotEntries)
+	keys := make([]cluster.Key, len(items))
+	for i, it := range items {
+		keys[i] = cluster.Key(it.Key)
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if err := cluster.EncodeDigest(w, keys); err != nil {
+		s.logger.Printf("pipeschedd: digest stream: %v", err)
+	}
+}
+
+// handleFetch answers an anti-entropy want-list: the subset of the
+// requested keys this node holds, streamed as a snapshot. Keys we do
+// not hold are simply absent — the puller treats the answer as best
+// effort, exactly like warm-up.
+func (s *Server) handleFetch(w http.ResponseWriter, r *http.Request) {
+	p := s.peers
+	p.observeStamp(r)
+	p.stampResponse(w)
+	keys, err := cluster.DecodeDigest(http.MaxBytesReader(w, r.Body, s.opts.maxBody()), p.snapshotEntries)
+	if err != nil {
+		writeErrorBody(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	entries := make([]cluster.Entry, 0, len(keys))
+	for _, k := range keys {
+		if body, ok := s.cache.Get(cache.Key(k)); ok {
+			entries = append(entries, cluster.Entry{Key: k, Body: body})
+		}
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if err := cluster.EncodeSnapshot(w, entries); err != nil {
+		s.logger.Printf("pipeschedd: fetch stream: %v", err)
 	}
 }
 
@@ -327,9 +503,28 @@ func (s *Server) ReloadTopology(ctx context.Context, topo *cluster.Topology) (in
 		return 0, errors.New("service: single-node server has no topology to reload")
 	}
 	p := s.peers
-	old := p.epoch.Load()
-	ep := &peerEpoch{topo: topo, client: p.newClient(topo)}
-	p.epoch.Store(ep)
+	// An operator reload bumps the membership epoch: it is the one
+	// mechanism that may REMOVE peers, and removal must dominate the
+	// equal-epoch union rule gossip merges use — a higher epoch wins
+	// wholesale, so the shrunk view propagates instead of being
+	// resurrected by the next exchange. A reload onto the peer list
+	// already in force is a no-op — without this, a SIGHUP racing a
+	// gossip adoption of the same view (both survivors of a shrink watch
+	// the same file AND gossip with each other) would bump the epoch
+	// twice for one operator decision. The CAS closes that race: if a
+	// gossip install lands between the equality check and the swap, the
+	// reload re-checks against the winner's view.
+	var old, ep *peerEpoch
+	for {
+		old = p.epoch.Load()
+		if cluster.NewMembers(old.members.Epoch, topo.Peers()).Equal(old.members) {
+			return 0, nil
+		}
+		ep = p.newEpoch(topo, old.members.Epoch+1)
+		if p.epoch.CompareAndSwap(old, ep) {
+			break
+		}
+	}
 	p.reloads.Add(1)
 
 	// Handoff: for every peer's hot set, keep the keys this node now
@@ -374,6 +569,222 @@ func (s *Server) Topology() *cluster.Topology {
 	return s.peers.epoch.Load().topo
 }
 
+// Membership returns the server's current membership view (zero value
+// in single-node mode).
+func (s *Server) Membership() cluster.Members {
+	if s.peers == nil {
+		return cluster.Members{}
+	}
+	return s.peers.epoch.Load().members
+}
+
+// adoptMembers merges a remote membership view into the current epoch
+// and installs the merged view if it differs, returning whichever view
+// is in force afterwards. Installation is guarded twice: a view that
+// excludes this node is never adopted (it is either an operator
+// decommissioning us — then the operator stops the process — or a
+// foreign fleet; adopting it would leave this node computing ownership
+// none of its own requests can route under), and a view whose peer list
+// fails topology validation cannot poison the swap — the old epoch
+// simply stays. Both refusals count as rejections and keep the
+// disagreement visible. Concurrent adopters CAS-race; the loser retries
+// against the winner's epoch, so merges from gossip, join handling and
+// announces interleave safely.
+func (s *Server) adoptMembers(remote cluster.Members) cluster.Members {
+	p := s.peers
+	for {
+		ep := p.epoch.Load()
+		merged, changed := ep.members.Merge(remote)
+		if !changed {
+			return ep.members
+		}
+		if !merged.Contains(p.selfURL) {
+			p.rejected.Add(1)
+			p.noteMismatch()
+			return ep.members
+		}
+		topo, err := cluster.NewTopology(merged.Peers, p.selfURL)
+		if err != nil {
+			p.rejected.Add(1)
+			return ep.members
+		}
+		ne := p.newEpoch(topo, merged.Epoch)
+		if p.epoch.CompareAndSwap(ep, ne) {
+			p.reloads.Add(1)
+			return ne.members
+		}
+		// Lost an install race; re-merge against the winner's view.
+	}
+}
+
+// GossipOnce performs one membership exchange: it pulls the member list
+// of the next live peer (round-robin across ticks) and adopts the
+// merged view. changed reports whether our view moved. A gossip-driven
+// install performs no snapshot handoff — the anti-entropy loop heals
+// any coverage gap on its own cadence. No reachable peer is not an
+// error; every reachable peer failing is.
+func (s *Server) GossipOnce(ctx context.Context) (changed bool, err error) {
+	if s.peers == nil {
+		return false, nil
+	}
+	p := s.peers
+	ep := p.epoch.Load()
+	n := ep.topo.Size()
+	if n < 2 {
+		return false, nil
+	}
+	start := int(p.gossipCursor.Add(1) % uint64(n))
+	var errs []error
+	for k := 0; k < n; k++ {
+		i := (start + k) % n
+		if i == ep.topo.Self() || !ep.client.Available(i) {
+			continue
+		}
+		m, err := ep.client.FetchMembers(ctx, i, ep.topo.Peer(i))
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		p.gossipExchanges.Add(1)
+		before := ep.members
+		if now := s.adoptMembers(m); !now.Equal(before) {
+			p.gossipMerges.Add(1)
+			return true, nil
+		}
+		return false, nil
+	}
+	return false, errors.Join(errs...)
+}
+
+// AnnounceSelf pushes this node's membership view to every peer in it
+// (POST /v1/peer/join) and adopts each merged answer — the joining
+// node's immediate propagation path after a seed-list bootstrap. The
+// periodic gossip tick is the backstop for peers an announce could not
+// reach; failures are collected, never fatal.
+func (s *Server) AnnounceSelf(ctx context.Context) error {
+	if s.peers == nil {
+		return nil
+	}
+	p := s.peers
+	ep := p.epoch.Load()
+	var errs []error
+	for i := 0; i < ep.topo.Size(); i++ {
+		if i == ep.topo.Self() {
+			continue
+		}
+		m, err := ep.client.Join(ctx, i, ep.topo.Peer(i), ep.members)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		s.adoptMembers(m)
+	}
+	return errors.Join(errs...)
+}
+
+// SyncOnce performs one replica anti-entropy round: for every live peer
+// it pulls the bounded key digest of that peer's cache and fetches the
+// entries this node replicates (self in the key's replica set) but does
+// not hold, installing them locally. A replica set with zero client
+// traffic therefore converges digest-equal within one round per
+// direction. The number of installed entries is returned; per-peer
+// failures are collected, never fatal — a missed round costs freshness,
+// not correctness.
+func (s *Server) SyncOnce(ctx context.Context) (int, error) {
+	if s.peers == nil {
+		return 0, nil
+	}
+	p := s.peers
+	p.syncRounds.Add(1)
+	ep := p.epoch.Load()
+	pulled := 0
+	var errs []error
+	var own []int
+	for i := 0; i < ep.topo.Size(); i++ {
+		if i == ep.topo.Self() || !ep.client.Available(i) {
+			continue
+		}
+		keys, err := ep.client.FetchDigest(ctx, i, ep.topo.Peer(i), p.snapshotEntries)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		want := keys[:0]
+		for _, k := range keys {
+			own = ep.topo.Owners(k, p.replicas, own)
+			if !containsInt(own, ep.topo.Self()) {
+				continue
+			}
+			if _, ok := s.cache.Get(cache.Key(k)); ok {
+				continue
+			}
+			want = append(want, k)
+		}
+		if len(want) == 0 {
+			continue
+		}
+		entries, err := ep.client.FetchEntries(ctx, i, ep.topo.Peer(i), want, p.snapshotEntries, int(s.opts.maxBody()))
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		for _, e := range entries {
+			s.cache.Put(cache.Key(e.Key), e.Body)
+		}
+		pulled += len(entries)
+	}
+	p.syncPulled.Add(uint64(pulled))
+	return pulled, errors.Join(errs...)
+}
+
+// RunSelfHealing runs the background membership-gossip and replica
+// anti-entropy loops until ctx is cancelled. A non-positive interval
+// disables the corresponding loop. The daemon spawns this; tests drive
+// GossipOnce and SyncOnce directly for determinism. Each tick is
+// bounded so one stuck peer cannot wedge the loop past the next tick.
+func (s *Server) RunSelfHealing(ctx context.Context, gossipEvery, syncEvery time.Duration) {
+	if s.peers == nil {
+		return
+	}
+	var gossipC, syncC <-chan time.Time
+	if gossipEvery > 0 {
+		t := time.NewTicker(gossipEvery)
+		defer t.Stop()
+		gossipC = t.C
+	}
+	if syncEvery > 0 {
+		t := time.NewTicker(syncEvery)
+		defer t.Stop()
+		syncC = t.C
+	}
+	if gossipC == nil && syncC == nil {
+		return
+	}
+	tick := func(run func(context.Context) error) {
+		tctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+		defer cancel()
+		if err := run(tctx); err != nil && ctx.Err() == nil {
+			s.logger.Printf("pipeschedd: self-healing: %v", err)
+		}
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-gossipC:
+			tick(func(c context.Context) error {
+				_, err := s.GossipOnce(c)
+				return err
+			})
+		case <-syncC:
+			tick(func(c context.Context) error {
+				_, err := s.SyncOnce(c)
+				return err
+			})
+		}
+	}
+}
+
 func containsInt(s []int, v int) bool {
 	for _, x := range s {
 		if x == v {
@@ -400,6 +811,24 @@ type ClusterMetricsSnapshot struct {
 	WarmedEntries   uint64 `json:"warmed_entries"`
 	Reloads         uint64 `json:"reloads"`
 	HandoffEntries  uint64 `json:"handoff_entries"`
+
+	// Self-healing membership: the epoch-stamped view, its wire stamp,
+	// and the disagreement/convergence observables. MembershipAgeSeconds
+	// is how long the current view has been in force;
+	// ConvergedForSeconds is the time since the last stamp mismatch was
+	// observed (capped at the view's age) — a fleet that has gossiped
+	// quietly for a while is converged.
+	MembershipEpoch      uint64  `json:"membership_epoch"`
+	MembershipHash       string  `json:"membership_hash"`
+	MembershipMismatches uint64  `json:"membership_mismatches"`
+	MembershipsRejected  uint64  `json:"memberships_rejected"`
+	MembershipAgeSeconds float64 `json:"membership_age_seconds"`
+	ConvergedForSeconds  float64 `json:"converged_for_seconds"`
+	GossipExchanges      uint64  `json:"gossip_exchanges"`
+	GossipMerges         uint64  `json:"gossip_merges"`
+	JoinsServed          uint64  `json:"joins_served"`
+	SyncRounds           uint64  `json:"sync_rounds"`
+	SyncPulled           uint64  `json:"sync_pulled"`
 }
 
 // snapshot collects the peer-tier counters.
@@ -413,6 +842,17 @@ func (p *peerRouter) snapshot() *ClusterMetricsSnapshot {
 		if i != ep.topo.Self() && !ep.client.Available(i) {
 			down++
 		}
+	}
+	now := time.Now()
+	age := now.Sub(ep.installed).Seconds()
+	converged := age
+	if lm := p.lastMismatch.Load(); lm != 0 {
+		if c := now.Sub(time.Unix(0, lm)).Seconds(); c < converged {
+			converged = c
+		}
+	}
+	if converged < 0 {
+		converged = 0
 	}
 	return &ClusterMetricsSnapshot{
 		Peers:           ep.topo.Size(),
@@ -429,5 +869,17 @@ func (p *peerRouter) snapshot() *ClusterMetricsSnapshot {
 		WarmedEntries:   p.warmedEntries.Load(),
 		Reloads:         p.reloads.Load(),
 		HandoffEntries:  p.handoffEntries.Load(),
+
+		MembershipEpoch:      ep.members.Epoch,
+		MembershipHash:       ep.stamp,
+		MembershipMismatches: p.mismatches.Load(),
+		MembershipsRejected:  p.rejected.Load(),
+		MembershipAgeSeconds: age,
+		ConvergedForSeconds:  converged,
+		GossipExchanges:      p.gossipExchanges.Load(),
+		GossipMerges:         p.gossipMerges.Load(),
+		JoinsServed:          p.joinsServed.Load(),
+		SyncRounds:           p.syncRounds.Load(),
+		SyncPulled:           p.syncPulled.Load(),
 	}
 }

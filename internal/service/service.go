@@ -174,6 +174,10 @@ func New(opts Options) *Server {
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if s.peers != nil {
 		mux.HandleFunc("GET "+cluster.SnapshotPath, s.handleSnapshot)
+		mux.HandleFunc("GET "+cluster.MembersPath, s.handleMembers)
+		mux.HandleFunc("POST "+cluster.JoinPath, s.handleJoin)
+		mux.HandleFunc("GET "+cluster.DigestPath, s.handleDigest)
+		mux.HandleFunc("POST "+cluster.FetchPath, s.handleFetch)
 	}
 	s.mux = mux
 	return s
@@ -668,7 +672,7 @@ func (s *Server) handleSolve(sc *scratch, w http.ResponseWriter, r *http.Request
 	// degrades to the local solve below.
 	fellBack := false
 	if s.peers != nil {
-		body, tier, served, fb := s.peers.route(r, key, "/v1/solve", raw)
+		body, tier, served, fb := s.peers.route(w, r, key, "/v1/solve", raw)
 		if served {
 			s.cache.Put(key, body)
 			writeCachedTier(w, body, tier)
@@ -921,7 +925,7 @@ func (s *Server) handleSweep(sc *scratch, w http.ResponseWriter, r *http.Request
 	// Peer tier, as in handleSolve.
 	fellBack := false
 	if s.peers != nil {
-		body, tier, served, fb := s.peers.route(r, key, "/v1/sweep", raw)
+		body, tier, served, fb := s.peers.route(w, r, key, "/v1/sweep", raw)
 		if served {
 			s.cache.Put(key, body)
 			writeCachedTier(w, body, tier)
